@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every file in this directory regenerates one of the paper's evaluation
+artifacts (Figures 3-6, the abstract's claims, and the Section-5 design
+ablations). Run them with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The ``-s`` flag shows the regenerated series tables next to the digitised paper
+values; `EXPERIMENTS.md` archives one such run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+def print_block(title: str, body: str) -> None:
+    """Uniform formatting for the tables the benchmarks emit."""
+    bar = "=" * max(len(title), 20)
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2026)

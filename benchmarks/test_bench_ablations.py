@@ -1,0 +1,107 @@
+"""A1 — Section-5 design ablations on the functional simulator.
+
+The paper motivates several implementation decisions qualitatively; this
+benchmark measures each of them with the simulator's hardware counters on a
+moderate-size functional run:
+
+* **Recompute vs store bucket indices** (Phase 4): storing the indices adds n
+  extra global reads + writes; the paper found recomputing faster.
+* **Counter arrays** (Phase 2): 8 shared-memory counter arrays vs 1 reduce the
+  atomic serialisation.
+* **Equality-bucket detection**: skipping constant buckets makes low-entropy
+  inputs cheaper.
+* **Small-case sorter**: odd-even merge network vs bitonic network comparator
+  counts (the paper picked odd-even after measuring both).
+"""
+
+import numpy as np
+
+from conftest import print_block
+from repro.core.config import SampleSortConfig
+from repro.core.sample_sort import SampleSorter
+from repro.datagen import make_input
+from repro.gpu.device import TESLA_C1060
+from repro.primitives.sorting_networks import comparator_count
+
+N = 1 << 16
+BASE_CONFIG = SampleSortConfig.paper().with_(bucket_threshold=1 << 13)
+
+
+def _sort_with(config, workload):
+    return SampleSorter(device=TESLA_C1060, config=config).sort(workload.keys.copy())
+
+
+def test_bench_recompute_vs_store_bucket_indices(benchmark):
+    workload = make_input("uniform", N, "uint32", seed=1)
+
+    def run():
+        recompute = _sort_with(BASE_CONFIG, workload)
+        store = _sort_with(BASE_CONFIG.with_(recompute_bucket_indices=False), workload)
+        return recompute, store
+
+    recompute, store = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert np.array_equal(recompute.keys, store.keys)
+    recompute_bytes = recompute.counters().global_bytes_total
+    store_bytes = store.counters().global_bytes_total
+    print_block(
+        "Ablation: Phase-4 bucket indices (recompute vs store)",
+        f"recompute: {recompute_bytes / 1e6:8.2f} MB moved, {recompute.time_us:9.1f} us\n"
+        f"store    : {store_bytes / 1e6:8.2f} MB moved, {store.time_us:9.1f} us\n"
+        f"paper: 'storing the bucket indices ... was not faster than just "
+        f"recomputing them'",
+    )
+    assert store_bytes > recompute_bytes
+
+
+def test_bench_counter_array_contention(benchmark):
+    workload = make_input("dduplicates", N, "uint32", seed=2)
+
+    def run():
+        return {
+            groups: _sort_with(BASE_CONFIG.with_(counter_groups=groups), workload)
+            for groups in (1, 2, 4, 8)
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    conflicts = {}
+    for groups, result in results.items():
+        phase2 = result.trace.phase_counters("phase2_histogram")
+        conflicts[groups] = phase2.atomic_conflicts
+        rows.append(f"{groups} counter array(s): {phase2.atomic_conflicts:>10} "
+                    f"serialised atomic replays")
+    print_block("Ablation: Phase-2 counter arrays (atomic contention)", "\n".join(rows))
+    assert conflicts[8] < conflicts[1]
+
+
+def test_bench_equality_bucket_detection(benchmark):
+    workload = make_input("dduplicates", N, "uint32", seed=3)
+
+    def run():
+        on = _sort_with(BASE_CONFIG, workload)
+        off = _sort_with(BASE_CONFIG.with_(detect_constant_buckets=False), workload)
+        return on, off
+
+    on, off = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert np.array_equal(on.keys, off.keys)
+    print_block(
+        "Ablation: equality-bucket detection on DeterministicDuplicates",
+        f"enabled : {on.time_us:9.1f} us predicted "
+        f"({on.stats.get('constant_elements', 0)} elements skipped)\n"
+        f"disabled: {off.time_us:9.1f} us predicted",
+    )
+    assert on.time_us < off.time_us
+
+
+def test_bench_small_sorter_network_choice(benchmark):
+    def run():
+        return {size: (comparator_count(size, "odd_even"),
+                       comparator_count(size, "bitonic"))
+                for size in (256, 512, 1024, 2048)}
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [f"n={size:5d}: odd-even {oe:>8} comparators, bitonic {bi:>8}"
+            for size, (oe, bi) in counts.items()]
+    print_block("Ablation: shared-memory network choice", "\n".join(rows))
+    for oe, bi in counts.values():
+        assert oe < bi  # the paper's reason for choosing odd-even merge sort

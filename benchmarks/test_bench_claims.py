@@ -1,0 +1,88 @@
+"""E5 — the abstract's headline claims, plus the linear-scaling claim.
+
+The abstract quantifies sample sort's advantage in four comparisons; this
+benchmark recomputes each of them from the reproduced curves and prints paper
+vs. reproduction:
+
+* >= 25 % (avg 68 %) faster than Thrust merge sort on uniform 32-bit key-value
+  pairs;
+* >= 30 % faster on average than Thrust merge sort on sorted key-value pairs
+  (and never slower);
+* >= 63 % (avg 2x) faster than Thrust radix sort on uniform 64-bit keys;
+* more than 2x faster than GPU quicksort on uniform 32-bit keys;
+* "scales almost linearly with the input size".
+"""
+
+import numpy as np
+
+from conftest import print_block
+from repro.analysis.comparisons import scaling_exponent, speedup_summary
+from repro.harness import CLAIMS, PAPER_CLAIMS, format_claims, run_experiment_model
+from repro.harness.runner import run_experiment_model as _run_model
+from repro.harness.figures import FIGURE4, FIGURE5
+from repro.harness.experiment import power_of_two_range
+
+DEVICE = "Tesla C1060"
+
+
+def _run_all():
+    return {
+        "claims": run_experiment_model(CLAIMS),
+        "figure4": _run_model(FIGURE4),
+        "figure5": _run_model(FIGURE5, sizes=power_of_two_range(19, 27)),
+    }
+
+
+def test_bench_headline_claims(benchmark):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    claims_result = results["claims"]
+    figure4 = results["figure4"]
+    figure5 = results["figure5"]
+
+    print_block("Headline claims", format_claims(claims_result))
+
+    # -- sample vs merge, uniform KV pairs -----------------------------------
+    uniform = claims_result.rates_by_algorithm(DEVICE, "uniform")
+    merge_claim = PAPER_CLAIMS["sample_vs_merge_uniform_kv"]
+    merge_speedup = speedup_summary(uniform["sample"], uniform["thrust merge"])
+    assert merge_speedup.minimum >= merge_claim["min_speedup"]
+    assert merge_speedup.average >= 1.4
+
+    # -- sample vs merge, sorted KV pairs -------------------------------------
+    sorted_rates = claims_result.rates_by_algorithm(DEVICE, "sorted")
+    sorted_speedup = speedup_summary(sorted_rates["sample"],
+                                     sorted_rates["thrust merge"])
+    assert sorted_speedup.minimum >= 1.0           # "at least as fast"
+    assert sorted_speedup.average >= 1.2           # "still 30% better on average"
+
+    # -- sample vs thrust radix, 64-bit uniform keys ---------------------------
+    figure4_uniform = figure4.rates_by_algorithm(DEVICE, "uniform")
+    radix64_claim = PAPER_CLAIMS["sample_vs_radix_uniform_64"]
+    radix64_speedup = speedup_summary(figure4_uniform["sample"],
+                                      figure4_uniform["thrust radix"])
+    assert radix64_speedup.minimum >= radix64_claim["min_speedup"]
+    assert radix64_speedup.average >= radix64_claim["avg_speedup"] * 0.9
+
+    # -- sample vs quicksort, 32-bit uniform keys ------------------------------
+    figure5_uniform = figure5.rates_by_algorithm(DEVICE, "uniform")
+    quick_speedup = speedup_summary(figure5_uniform["sample"],
+                                    figure5_uniform["quick"])
+    assert quick_speedup.average >= 1.6
+
+    summary_rows = [
+        f"sample vs thrust merge (uniform KV): min {merge_speedup.minimum:.2f}x "
+        f"avg {merge_speedup.average:.2f}x   (paper: 1.25x / 1.68x)",
+        f"sample vs thrust merge (sorted KV):  min {sorted_speedup.minimum:.2f}x "
+        f"avg {sorted_speedup.average:.2f}x   (paper: 1.00x / 1.30x)",
+        f"sample vs thrust radix (64-bit):     min {radix64_speedup.minimum:.2f}x "
+        f"avg {radix64_speedup.average:.2f}x   (paper: 1.63x / 2.00x)",
+        f"sample vs quicksort (32-bit keys):   min {quick_speedup.minimum:.2f}x "
+        f"avg {quick_speedup.average:.2f}x   (paper: ~2x)",
+    ]
+    print_block("Headline claims — paper vs reproduction", "\n".join(summary_rows))
+
+    # -- near-linear scaling ---------------------------------------------------
+    sample_series = claims_result.get(DEVICE, "uniform", "sample")
+    exponent = scaling_exponent(sample_series.sizes, sample_series.times_us)
+    print_block("Scaling exponent of sample sort (1.0 = linear)", f"{exponent:.3f}")
+    assert 0.85 <= exponent <= 1.15

@@ -1,0 +1,55 @@
+"""E1 — Figure 3: sorting rates on 32-bit key-value pairs.
+
+Regenerates the three panels of Figure 3 (Uniform, Sorted, DeterministicDuplicates;
+n = 2^19 ... 2^27) for CUDPP radix, Thrust radix, sample sort and Thrust merge
+sort, prints them next to the digitised paper values, and asserts the paper's
+qualitative findings:
+
+* radix sorts lead on uniform 32-bit key-value pairs,
+* sample sort beats Thrust merge sort by >= 25 % everywhere (68 % on average),
+* on DeterministicDuplicates sample sort overtakes even the radix sorts.
+"""
+
+import numpy as np
+
+from conftest import print_block
+from repro.analysis.comparisons import speedup_summary
+from repro.harness import (
+    FIGURE3,
+    FIGURE3_SERIES,
+    format_paper_comparison,
+    format_series_table,
+    run_experiment_model,
+)
+
+DEVICE = "Tesla C1060"
+
+
+def _run_figure3():
+    return run_experiment_model(FIGURE3)
+
+
+def test_bench_figure3_series(benchmark):
+    result = benchmark.pedantic(_run_figure3, rounds=1, iterations=1)
+
+    for distribution in FIGURE3.distributions:
+        print_block(
+            f"Figure 3 ({distribution}) — 32-bit key-value pairs",
+            format_series_table(result, DEVICE, distribution),
+        )
+    print_block("Figure 3 — paper vs reproduction",
+                format_paper_comparison(result, FIGURE3_SERIES))
+
+    uniform = result.rates_by_algorithm(DEVICE, "uniform")
+    dduplicates = result.rates_by_algorithm(DEVICE, "dduplicates")
+
+    # radix leads on uniform key-value pairs ...
+    assert np.nanmean(uniform["cudpp radix"]) > np.nanmean(uniform["sample"])
+    assert np.nanmean(uniform["thrust radix"]) > np.nanmean(uniform["sample"])
+    # ... sample sort beats merge sort by at least 25% at every size ...
+    merge_speedup = speedup_summary(uniform["sample"], uniform["thrust merge"],
+                                    "sample", "thrust merge")
+    assert merge_speedup.minimum >= 1.25
+    assert merge_speedup.average >= 1.4
+    # ... and on low-entropy inputs sample sort overtakes the radix sorts.
+    assert np.nanmean(dduplicates["sample"]) > np.nanmean(dduplicates["cudpp radix"])

@@ -1,0 +1,58 @@
+"""E2 — Figure 4: sorting rates on 64-bit integer keys.
+
+Regenerates both panels of Figure 4 (Uniform and Sorted, n = 2^17 ... 2^27) for
+sample sort and Thrust radix sort — the experiment behind the headline claim
+that on 64-bit keys the comparison-based sample sort beats the radix sort that
+manipulates the binary key representation:
+
+* at least 63 % faster at every size,
+* about 2x faster on average,
+* with only a small degradation on the already-sorted input (the paper's worst
+  case for sample sort).
+"""
+
+import numpy as np
+
+from conftest import print_block
+from repro.analysis.comparisons import speedup_summary
+from repro.harness import (
+    FIGURE4,
+    FIGURE4_SERIES,
+    format_paper_comparison,
+    format_series_table,
+    run_experiment_model,
+)
+
+DEVICE = "Tesla C1060"
+
+
+def _run_figure4():
+    return run_experiment_model(FIGURE4)
+
+
+def test_bench_figure4_series(benchmark):
+    result = benchmark.pedantic(_run_figure4, rounds=1, iterations=1)
+
+    for distribution in FIGURE4.distributions:
+        print_block(
+            f"Figure 4 ({distribution}) — 64-bit integer keys",
+            format_series_table(result, DEVICE, distribution),
+        )
+    print_block("Figure 4 — paper vs reproduction",
+                format_paper_comparison(result, FIGURE4_SERIES))
+
+    uniform = result.rates_by_algorithm(DEVICE, "uniform")
+    sorted_panel = result.rates_by_algorithm(DEVICE, "sorted")
+
+    speedup = speedup_summary(uniform["sample"], uniform["thrust radix"],
+                              "sample", "thrust radix")
+    print_block("Figure 4 — speed-up summary", speedup.describe())
+    # "at least 63% and on average 2 times faster than the highly optimized
+    # GPU Thrust radix sort"
+    assert speedup.minimum >= 1.63
+    assert speedup.average >= 1.9
+
+    # the sorted input (sample sort's worst case) does not deviate much
+    uniform_mean = np.nanmean(uniform["sample"])
+    sorted_mean = np.nanmean(sorted_panel["sample"])
+    assert sorted_mean >= 0.75 * uniform_mean

@@ -1,0 +1,92 @@
+"""E3 — Figure 5: sorting rates on 32-bit integer keys, six distributions.
+
+Regenerates all six panels (Uniform, Gaussian, Sorted, Staggered, Bucket,
+DeterministicDuplicates; n = 2^17 ... 2^28) for CUDPP radix, Thrust radix, GPU
+quicksort, bbsort, hybrid sort (on the float rendering of the keys, as in the
+paper) and sample sort, and asserts the section's findings:
+
+* radix sorts lead on uniform 32-bit keys, sample sort leads every other
+  comparison-based / distribution-based competitor,
+* sample sort is more than ~2x faster than GPU quicksort,
+* bbsort / hybrid sort degrade on the skewed distributions; hybrid sort crashes
+  (DNF) and bbsort becomes very slow on DeterministicDuplicates,
+* sample sort is robust: its mean rate varies little across distributions.
+"""
+
+import numpy as np
+
+from conftest import print_block
+from repro.analysis.comparisons import robustness, speedup_summary
+from repro.harness import (
+    FIGURE5,
+    FIGURE5_SERIES,
+    format_paper_comparison,
+    format_series_table,
+    run_experiment_model,
+)
+
+DEVICE = "Tesla C1060"
+
+
+def _run_figure5():
+    return run_experiment_model(FIGURE5)
+
+
+def test_bench_figure5_series(benchmark):
+    result = benchmark.pedantic(_run_figure5, rounds=1, iterations=1)
+
+    for distribution in FIGURE5.distributions:
+        print_block(
+            f"Figure 5 ({distribution}) — 32-bit integer keys",
+            format_series_table(result, DEVICE, distribution),
+        )
+    print_block("Figure 5 — paper vs reproduction",
+                format_paper_comparison(result, FIGURE5_SERIES))
+
+    uniform = result.rates_by_algorithm(DEVICE, "uniform")
+    dduplicates = result.rates_by_algorithm(DEVICE, "dduplicates")
+    staggered = result.rates_by_algorithm(DEVICE, "staggered")
+
+    # ordering on uniform keys
+    assert np.nanmean(uniform["cudpp radix"]) > np.nanmean(uniform["sample"])
+    assert np.nanmean(uniform["sample"]) > np.nanmean(uniform["bbsort"])
+    assert np.nanmean(uniform["sample"]) > np.nanmean(uniform["quick"])
+    assert np.nanmean(uniform["sample"]) > np.nanmean(uniform["hybrid"])
+
+    # "more than 2 times faster than quicksort" (allowing a small tolerance on
+    # the reproduction's calibration)
+    quick_speedup = speedup_summary(uniform["sample"], uniform["quick"],
+                                    "sample", "quick")
+    print_block("Figure 5 — sample vs quicksort", quick_speedup.describe())
+    assert quick_speedup.average >= 1.6
+
+    # hybrid sort crashes on DDuplicates (DNF), bbsort becomes very slow
+    assert all(np.isnan(rate) for rate in dduplicates["hybrid"])
+    assert np.nanmean(dduplicates["bbsort"]) < 0.4 * np.nanmean(uniform["bbsort"])
+    # sample sort instead becomes faster (equality buckets)
+    assert np.nanmean(dduplicates["sample"]) > np.nanmean(uniform["sample"])
+
+    # uniformity-assuming sorters degrade on the skewed distributions
+    assert np.nanmean(staggered["bbsort"]) < np.nanmean(uniform["bbsort"])
+
+    # robustness of sample sort: on no distribution does it fall far below its
+    # uniform-input rate (being *faster*, as on DDuplicates, is fine), while
+    # bbsort collapses on at least one distribution
+    def worst_vs_uniform(algorithm):
+        uniform_mean = np.nanmean(
+            result.get(DEVICE, "uniform", algorithm).rates)
+        means = [np.nanmean(result.get(DEVICE, distribution, algorithm).rates)
+                 for distribution in FIGURE5.distributions]
+        return min(means) / uniform_mean
+
+    sample_robustness = worst_vs_uniform("sample")
+    bbsort_robustness = worst_vs_uniform("bbsort")
+    print_block("Figure 5 — robustness (worst-distribution mean / uniform mean)",
+                f"sample  : {sample_robustness:.2f}\n"
+                f"bbsort  : {bbsort_robustness:.2f}")
+    assert sample_robustness > 0.7
+    assert sample_robustness > bbsort_robustness
+    # the generic robustness metric orders them the same way
+    assert robustness({d: result.get(DEVICE, d, "sample").rates
+                       for d in FIGURE5.distributions}) > robustness(
+        {d: result.get(DEVICE, d, "bbsort").rates for d in FIGURE5.distributions})

@@ -1,0 +1,69 @@
+"""Functional-simulation cross-check for the figure benchmarks.
+
+The figure benchmarks regenerate the paper's curves with the analytic model;
+this benchmark runs the *actual algorithm implementations* on the SIMT
+simulator at a moderate size (2^16, key-value pairs) with full output
+validation, and prints the measured sorting rates so the model-based figures
+can be sanity-checked against executed kernels. It also reports the per-phase
+breakdown of sample sort (the Section-5 cost discussion).
+"""
+
+import numpy as np
+
+from conftest import print_block
+from repro.core.config import SampleSortConfig
+from repro.harness import ExperimentSpec, run_experiment_simulation
+from repro.harness.report import format_series_table
+
+SPEC = ExperimentSpec(
+    name="simulation-crosscheck",
+    description="functional simulator run of every algorithm on uniform KV pairs",
+    algorithms=("sample", "thrust merge", "thrust radix", "cudpp radix",
+                "quick", "bbsort"),
+    sizes=(1 << 16,),
+    distributions=("uniform",),
+    key_type="uint32",
+    with_values=True,
+    simulation_sizes=(1 << 16,),
+)
+
+
+def _run():
+    return run_experiment_simulation(
+        SPEC, sample_config=SampleSortConfig.paper().with_(bucket_threshold=1 << 14),
+    )
+
+
+def test_bench_functional_simulation(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_block("Functional simulation — uniform 32-bit key-value pairs, n = 2^16",
+                format_series_table(result, "Tesla C1060", "uniform"))
+
+    rates = {algorithm: result.get("Tesla C1060", "uniform", algorithm).rates[0]
+             for algorithm in SPEC.algorithms}
+    # every algorithm completed and was validated by the runner
+    assert all(np.isfinite(rate) and rate > 0 for rate in rates.values())
+    # the comparison the whole paper is about: sample sort ahead of merge sort
+    assert rates["sample"] > rates["thrust merge"]
+
+
+def test_bench_sample_sort_phase_breakdown(benchmark):
+    from repro.core.sample_sort import SampleSorter
+    from repro.datagen import make_input
+    from repro.gpu.device import TESLA_C1060
+
+    workload = make_input("uniform", 1 << 17, "uint32", with_values=True, seed=5)
+    sorter = SampleSorter(device=TESLA_C1060,
+                          config=SampleSortConfig.paper().with_(
+                              bucket_threshold=1 << 14))
+
+    result = benchmark.pedantic(
+        lambda: sorter.sort(workload.keys, workload.values), rounds=1, iterations=1
+    )
+    print_block("Sample sort phase breakdown (functional simulation, n = 2^17)",
+                result.trace.format_breakdown())
+    breakdown = result.phase_breakdown()
+    assert set(breakdown) >= {"phase1_splitters", "phase2_histogram",
+                              "phase3_scan", "phase4_scatter", "bucket_sort"}
+    # the distribution phases plus bucket sorting account for nearly all time
+    assert breakdown["phase4_scatter"] > breakdown["phase3_scan"]

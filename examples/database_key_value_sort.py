@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Database-style key-value sorting: sample sort vs the library baselines.
+
+The paper motivates GPU sorting with database workloads ("any application that
+uses a database may benefit from an efficient sorting algorithm"). This example
+builds a synthetic order table — 64-bit order keys with skewed customer-id
+distribution and a 32-bit row-id payload — and compares sample sort against the
+algorithms a database engine of the era could have picked: Thrust merge sort
+(the comparison-based library sort) and Thrust radix sort (which must consume
+the full 64-bit key).
+
+Usage::
+
+    python examples/database_key_value_sort.py [n]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import SampleSortConfig, TESLA_C1060, make_sorter, validate_result
+
+
+def synthetic_orders(n: int, seed: int = 7) -> tuple[np.ndarray, np.ndarray]:
+    """Order keys: (customer_id << 40) | timestamp, with a skewed customer mix."""
+    rng = np.random.default_rng(seed)
+    customers = (rng.zipf(1.3, size=n) % 50_000).astype(np.uint64)
+    timestamps = rng.integers(0, 1 << 40, size=n, dtype=np.uint64)
+    keys = (customers << np.uint64(40)) | timestamps
+    row_ids = np.arange(n, dtype=np.uint32)
+    return keys, row_ids
+
+
+def main(n: int = 1 << 16) -> None:
+    keys, row_ids = synthetic_orders(n)
+    print(f"sorting {n:,} synthetic order records (64-bit keys + 32-bit row ids) "
+          f"on the simulated {TESLA_C1060.name}\n")
+
+    contenders = {
+        "sample": make_sorter("sample", TESLA_C1060,
+                              config=SampleSortConfig.paper().with_(
+                                  bucket_threshold=max(1 << 13, n // 8))),
+        "thrust merge": make_sorter("thrust merge", TESLA_C1060),
+        "thrust radix": make_sorter("thrust radix", TESLA_C1060),
+    }
+
+    print(f"{'algorithm':<15}{'predicted time [us]':>22}{'rate [elem/us]':>18}"
+          f"{'valid':>8}")
+    results = {}
+    for name, sorter in contenders.items():
+        result = sorter.sort(keys, row_ids)
+        ok = validate_result(result, keys, row_ids).ok
+        results[name] = result
+        print(f"{name:<15}{result.time_us:>22,.1f}{result.sorting_rate:>18.1f}"
+              f"{'yes' if ok else 'NO':>8}")
+
+    sample = results["sample"]
+    radix = results["thrust radix"]
+    merge = results["thrust merge"]
+    print(f"\nsample sort vs thrust radix (64-bit keys): "
+          f"{radix.time_us / sample.time_us:.2f}x faster")
+    print(f"sample sort vs thrust merge:               "
+          f"{merge.time_us / sample.time_us:.2f}x faster")
+    print("\n(the paper's Figure 4 finding: once keys are 64 bits wide, the "
+          "comparison-based sample sort overtakes the radix sort that must "
+          "process every key bit)")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 1 << 16)

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Robustness study: sample sort across the six benchmark distributions.
+
+Reproduces the message of Section 6 / Figure 5 at example scale: sample sort's
+rate barely moves across Uniform, Gaussian, Sorted, Staggered, Bucket and
+DeterministicDuplicates inputs (it even speeds up on the low-entropy one),
+while the uniformity-assuming bbsort collapses on DeterministicDuplicates and
+hybrid sort crashes on it.
+
+Usage::
+
+    python examples/distribution_robustness.py [n]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import SampleSortConfig, TESLA_C1060, make_sorter
+from repro.datagen import FIGURE5_DISTRIBUTIONS, make_input
+from repro.gpu.errors import AlgorithmFailure, UnsupportedInputError
+
+
+def main(n: int = 1 << 16) -> None:
+    print(f"distribution robustness at n = {n:,} (functional simulation, "
+          f"{TESLA_C1060.name})\n")
+    algorithms = ["sample", "bbsort", "hybrid"]
+    print(f"{'distribution':<14}" + "".join(f"{a:>16}" for a in algorithms))
+
+    rates: dict[str, dict[str, float]] = {a: {} for a in algorithms}
+    for distribution in FIGURE5_DISTRIBUTIONS:
+        row = [f"{distribution:<14}"]
+        for name in algorithms:
+            key_type = "float32" if name == "hybrid" else "uint32"
+            workload = make_input(distribution, n, key_type, seed=3)
+            kwargs = {}
+            if name == "sample":
+                kwargs["config"] = SampleSortConfig.paper().with_(
+                    bucket_threshold=max(1 << 13, n // 8))
+            sorter = make_sorter(name, TESLA_C1060, **kwargs)
+            try:
+                result = sorter.sort(workload.keys)
+                assert np.array_equal(result.keys, np.sort(workload.keys))
+                rates[name][distribution] = result.sorting_rate
+                row.append(f"{result.sorting_rate:>16.1f}")
+            except (AlgorithmFailure, UnsupportedInputError):
+                rates[name][distribution] = float("nan")
+                row.append(f"{'DNF':>16}")
+        print("".join(row))
+
+    sample_rates = [r for r in rates["sample"].values() if np.isfinite(r)]
+    print(f"\nsample sort: worst/best rate ratio across distributions = "
+          f"{min(sample_rates) / max(sample_rates):.2f} "
+          f"(1.0 would be perfectly flat)")
+    print("bbsort / hybrid: note the DeterministicDuplicates column — the paper "
+          "reports exactly this collapse and crash.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 1 << 16)

@@ -1,0 +1,85 @@
+"""repro — reproduction of "GPU Sample Sort" (Leischner, Osipov, Sanders, 2010).
+
+The package implements the paper's k-way sample sort and every system it is
+evaluated against on a SIMT GPU simulator, plus an analytic performance model
+calibrated once against the paper's reported rates so that every figure of the
+evaluation section can be regenerated without CUDA hardware.
+
+Layer map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.gpu` — the SIMT GPU simulator substrate (devices, memory,
+  warps, kernels, counters, timing).
+* :mod:`repro.primitives` — scan, reduce, compaction, sorting networks,
+  histograms, sampling RNG.
+* :mod:`repro.core` — the paper's contribution: :class:`SampleSorter` and its
+  four-phase distribution pipeline.
+* :mod:`repro.baselines` — Thrust merge sort, CUDPP/Thrust radix sort, GPU
+  quicksort, hybrid sort and bbsort.
+* :mod:`repro.datagen` — the Helman-Bader-JaJa distribution suite and key types.
+* :mod:`repro.perfmodel` — closed-form operation counts and the calibrated
+  analytic time model.
+* :mod:`repro.harness` — the paper's figures as runnable experiments.
+* :mod:`repro.analysis` — output validation and comparison metrics.
+
+Quick start::
+
+    import numpy as np
+    from repro import SampleSorter, TESLA_C1060
+
+    keys = np.random.default_rng(0).integers(0, 2**32, 1 << 18, dtype=np.uint64)
+    result = SampleSorter(TESLA_C1060).sort(keys.astype(np.uint32))
+    print(result.sorting_rate, "elements/us predicted on", result.device.name)
+"""
+
+from .analysis import validate_result
+from .baselines import (
+    BbSorter,
+    GpuQuicksortSorter,
+    HybridSorter,
+    RadixSorter,
+    ThrustMergeSorter,
+    available_sorters,
+    make_sorter,
+)
+from .core import (
+    GpuSorter,
+    SampleSortConfig,
+    SampleSorter,
+    SortResult,
+    sample_sort,
+    serial_sample_sort,
+)
+from .datagen import make_input
+from .gpu import GTX_285, TESLA_C1060, DeviceSpec, get_device
+from .harness import EXPERIMENTS, get_experiment, run_experiment
+from .perfmodel import AnalyticTimeModel, rate_series
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "validate_result",
+    "BbSorter",
+    "GpuQuicksortSorter",
+    "HybridSorter",
+    "RadixSorter",
+    "ThrustMergeSorter",
+    "available_sorters",
+    "make_sorter",
+    "GpuSorter",
+    "SampleSortConfig",
+    "SampleSorter",
+    "SortResult",
+    "sample_sort",
+    "serial_sample_sort",
+    "make_input",
+    "DeviceSpec",
+    "TESLA_C1060",
+    "GTX_285",
+    "get_device",
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+    "AnalyticTimeModel",
+    "rate_series",
+]

@@ -1,0 +1,31 @@
+"""Result validation and cross-algorithm comparison metrics."""
+
+from .comparisons import (
+    SpeedupSummary,
+    crossover_size,
+    rate_table,
+    robustness,
+    scaling_exponent,
+    speedup_summary,
+)
+from .validation import (
+    ValidationReport,
+    is_permutation,
+    is_sorted,
+    validate_result,
+    values_follow_keys,
+)
+
+__all__ = [
+    "SpeedupSummary",
+    "crossover_size",
+    "rate_table",
+    "robustness",
+    "scaling_exponent",
+    "speedup_summary",
+    "ValidationReport",
+    "is_permutation",
+    "is_sorted",
+    "validate_result",
+    "values_follow_keys",
+]

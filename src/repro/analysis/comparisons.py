@@ -1,0 +1,127 @@
+"""Cross-algorithm comparison metrics.
+
+These are the summary statistics the paper's abstract and Section 6 quote:
+"at least 25 % and on average 68 % faster than ...", "more than 2 times faster
+than quicksort", crossover points between curves, and the robustness of a
+sorter across distributions (how little its rate varies). The claims benchmark
+(`benchmarks/test_bench_claims.py`) evaluates all of them on the reproduced
+curves and compares against the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SpeedupSummary:
+    """Summary of pointwise speed-ups of algorithm A over algorithm B."""
+
+    algorithm: str
+    baseline: str
+    minimum: float
+    average: float
+    maximum: float
+    points: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.algorithm} vs {self.baseline}: "
+            f"min {self.minimum:.2f}x, avg {self.average:.2f}x, "
+            f"max {self.maximum:.2f}x over {self.points} sizes"
+        )
+
+
+def speedup_summary(
+    rates_a: Sequence[float], rates_b: Sequence[float],
+    algorithm: str = "A", baseline: str = "B",
+) -> SpeedupSummary:
+    """Pointwise ratio statistics of two aligned rate series (NaNs skipped)."""
+    ratios = [
+        a / b
+        for a, b in zip(rates_a, rates_b)
+        if np.isfinite(a) and np.isfinite(b) and b > 0
+    ]
+    if not ratios:
+        return SpeedupSummary(algorithm, baseline, float("nan"), float("nan"),
+                              float("nan"), 0)
+    return SpeedupSummary(
+        algorithm=algorithm,
+        baseline=baseline,
+        minimum=float(np.min(ratios)),
+        average=float(np.mean(ratios)),
+        maximum=float(np.max(ratios)),
+        points=len(ratios),
+    )
+
+
+def crossover_size(
+    sizes: Sequence[int], rates_a: Sequence[float], rates_b: Sequence[float]
+) -> Optional[int]:
+    """Smallest size from which algorithm A is at least as fast as B.
+
+    Returns ``None`` when A never catches up within the measured range.
+    """
+    for n, a, b in zip(sizes, rates_a, rates_b):
+        if np.isfinite(a) and np.isfinite(b) and a >= b:
+            return int(n)
+    return None
+
+
+def robustness(rates_by_distribution: Mapping[str, Sequence[float]]) -> float:
+    """Worst-case over best-case mean rate across distributions (0..1].
+
+    The paper's robustness claim — sample sort "performs almost equally well"
+    on all tested distributions — corresponds to a value close to 1; a sorter
+    that collapses on one distribution (bbsort on DDuplicates) scores near 0.
+    """
+    means = []
+    for rates in rates_by_distribution.values():
+        finite = [r for r in rates if np.isfinite(r)]
+        if not finite:
+            return 0.0
+        means.append(float(np.mean(finite)))
+    if not means or max(means) <= 0:
+        return 0.0
+    return float(min(means) / max(means))
+
+
+def scaling_exponent(sizes: Sequence[int], times_us: Sequence[float]) -> float:
+    """Fitted exponent b of time ~ n^b (1.0 = perfectly linear scaling).
+
+    The paper reports that sample sort "scales almost linearly with the input
+    size"; the claims benchmark checks the fitted exponent stays near 1.
+    """
+    sizes = np.asarray(sizes, dtype=np.float64)
+    times = np.asarray(times_us, dtype=np.float64)
+    mask = np.isfinite(times) & (times > 0) & (sizes > 0)
+    if mask.sum() < 2:
+        return float("nan")
+    slope, _ = np.polyfit(np.log(sizes[mask]), np.log(times[mask]), 1)
+    return float(slope)
+
+
+def rate_table(
+    sizes: Sequence[int], series: Mapping[str, Sequence[float]],
+) -> list[dict]:
+    """Reshape aligned rate series into a list of per-size rows (for reports)."""
+    rows = []
+    for index, n in enumerate(sizes):
+        row: dict = {"n": int(n)}
+        for name, rates in series.items():
+            row[name] = float(rates[index]) if index < len(rates) else float("nan")
+        rows.append(row)
+    return rows
+
+
+__all__ = [
+    "SpeedupSummary",
+    "speedup_summary",
+    "crossover_size",
+    "robustness",
+    "scaling_exponent",
+    "rate_table",
+]

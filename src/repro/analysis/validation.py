@@ -1,0 +1,124 @@
+"""Output validation: the correctness oracles used by tests and the harness.
+
+A sorting result is correct when (a) the output keys are non-decreasing, (b)
+the output is a permutation of the input, and — for key-value sorts — (c) every
+output value is still attached to its original key. These checks are cheap
+(O(n log n) with NumPy) and are run by the harness after every functional
+simulation, so a mis-implemented kernel can never silently produce a plausible
+looking benchmark number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.base import SortResult
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of validating one sort result."""
+
+    is_sorted: bool
+    is_permutation: bool
+    values_consistent: bool
+    n: int
+    message: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.is_sorted and self.is_permutation and self.values_consistent
+
+
+def is_sorted(keys: np.ndarray) -> bool:
+    """True when ``keys`` is non-decreasing."""
+    keys = np.asarray(keys)
+    if keys.size <= 1:
+        return True
+    return bool(np.all(keys[1:] >= keys[:-1]))
+
+
+def is_permutation(original: np.ndarray, result: np.ndarray) -> bool:
+    """True when ``result`` is a permutation of ``original`` (multiset equality)."""
+    original = np.asarray(original)
+    result = np.asarray(result)
+    if original.shape != result.shape:
+        return False
+    return bool(np.array_equal(np.sort(original, kind="stable"),
+                               np.sort(result, kind="stable")))
+
+
+def values_follow_keys(
+    input_keys: np.ndarray,
+    input_values: Optional[np.ndarray],
+    output_keys: np.ndarray,
+    output_values: Optional[np.ndarray],
+) -> bool:
+    """True when every output (key, value) pair existed in the input.
+
+    For the index payloads the workload generator produces (value = original
+    position) this is an exact check: ``input_keys[output_values]`` must equal
+    ``output_keys``. For arbitrary payloads it falls back to multiset equality
+    of the (key, value) pairs.
+    """
+    if input_values is None and output_values is None:
+        return True
+    if input_values is None or output_values is None:
+        return False
+    input_keys = np.asarray(input_keys)
+    output_keys = np.asarray(output_keys)
+    output_values = np.asarray(output_values)
+    input_values = np.asarray(input_values)
+    if output_values.shape != output_keys.shape:
+        return False
+    # Fast path: payload is the original index.
+    if (np.issubdtype(input_values.dtype, np.integer)
+            and input_values.size
+            and np.array_equal(np.sort(input_values, kind="stable"),
+                               np.arange(input_values.size, dtype=input_values.dtype))):
+        lookup = np.empty(input_values.size, dtype=np.int64)
+        lookup[input_values.astype(np.int64)] = np.arange(input_values.size)
+        original_position = lookup[output_values.astype(np.int64)]
+        return bool(np.array_equal(input_keys[original_position], output_keys))
+    # General path: compare the multisets of (key, value) pairs.
+    in_pairs = np.rec.fromarrays([input_keys, input_values], names="k,v")
+    out_pairs = np.rec.fromarrays([output_keys, output_values], names="k,v")
+    return bool(np.array_equal(np.sort(in_pairs, order=("k", "v")),
+                               np.sort(out_pairs, order=("k", "v"))))
+
+
+def validate_result(
+    result: SortResult,
+    input_keys: np.ndarray,
+    input_values: Optional[np.ndarray] = None,
+) -> ValidationReport:
+    """Run all three checks against a :class:`SortResult`."""
+    sorted_ok = is_sorted(result.keys)
+    perm_ok = is_permutation(input_keys, result.keys)
+    values_ok = values_follow_keys(input_keys, input_values, result.keys, result.values)
+    problems = []
+    if not sorted_ok:
+        problems.append("output keys are not sorted")
+    if not perm_ok:
+        problems.append("output keys are not a permutation of the input")
+    if not values_ok:
+        problems.append("values did not follow their keys")
+    return ValidationReport(
+        is_sorted=sorted_ok,
+        is_permutation=perm_ok,
+        values_consistent=values_ok,
+        n=int(np.asarray(input_keys).size),
+        message="; ".join(problems) if problems else "ok",
+    )
+
+
+__all__ = [
+    "ValidationReport",
+    "is_sorted",
+    "is_permutation",
+    "values_follow_keys",
+    "validate_result",
+]

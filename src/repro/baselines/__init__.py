@@ -1,0 +1,45 @@
+"""Baseline GPU sorting algorithms the paper evaluates sample sort against.
+
+All baselines run on the same :mod:`repro.gpu` simulator and implement the
+:class:`~repro.core.base.GpuSorter` interface:
+
+* :class:`ThrustMergeSorter` — two-way merge sort (Satish/Harris/Garland), the
+  strongest published comparison sort at the time;
+* :class:`RadixSorter` — scan-based LSD radix sort in its CUDPP and Thrust
+  parameterisations (:func:`cudpp_radix`, :func:`thrust_radix`);
+* :class:`GpuQuicksortSorter` — Cederman–Tsigas explicit-partition quicksort;
+* :class:`HybridSorter` — Sintorn–Assarsson hybrid sort (float keys only);
+* :class:`BbSorter` — bbsort (uniformity-assuming bucket sort).
+"""
+
+from .bbsort import BbSorter
+from .gpu_quicksort import GpuQuicksortSorter
+from .hybrid_sort import HybridSorter
+from .radix import RadixSorter, cudpp_radix, thrust_radix
+from .registry import (
+    ALIASES,
+    SORTER_FACTORIES,
+    available_sorters,
+    make_sorter,
+    resolve_name,
+)
+from .thrust_merge import ThrustMergeSorter
+from .uniform_bucket import BucketLayout, project_buckets, run_uniform_distribution
+
+__all__ = [
+    "BbSorter",
+    "GpuQuicksortSorter",
+    "HybridSorter",
+    "RadixSorter",
+    "cudpp_radix",
+    "thrust_radix",
+    "ThrustMergeSorter",
+    "BucketLayout",
+    "project_buckets",
+    "run_uniform_distribution",
+    "ALIASES",
+    "SORTER_FACTORIES",
+    "available_sorters",
+    "make_sorter",
+    "resolve_name",
+]

@@ -1,0 +1,172 @@
+"""Hybrid sort baseline (Sintorn & Assarsson 2008) — float keys only.
+
+"One of the first GPU-based two-way merge sort algorithms appeared as the
+second phase of a two step approach by Sintorn and Assarsson. ... To improve
+parallelism in the last iterations, it initially partitions the input into
+sufficiently many tiles assuming that the keys are uniformly distributed" (§3).
+The paper's Figure 5 includes hybrid sort "on floats, since it is the only key
+type accepted by this implementation", and reports that
+
+* its performance "significantly degrades" on the Bucket and Staggered
+  distributions (the uniformity assumption breaks), and
+* it *crashes* on DeterministicDuplicates.
+
+The reproduction models the published two-step structure:
+
+1. a uniformity-assuming bucket split into ``n / target_bucket`` buckets (the
+   shared engine in :mod:`repro.baselines.uniform_bucket`), followed by
+2. a per-bucket merge sort: each bucket is cut into 4-element runs that are
+   merge-joined in shared memory; buckets larger than the size the algorithm
+   was designed for fall back to a global-memory sorting network, which is what
+   makes skewed inputs slow,
+
+and reproduces the crash: a bucket larger than the implementation's fixed
+per-bucket capacity raises :class:`~repro.gpu.errors.AlgorithmFailure`, which
+the experiment harness records as a DNF exactly like the paper records the
+crash.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..gpu.block import BlockContext
+from ..gpu.device import DeviceSpec, TESLA_C1060
+from ..gpu.errors import AlgorithmFailure
+from ..gpu.grid import LaunchConfig
+from ..gpu.kernel import KernelLauncher
+from ..gpu.memory import DeviceArray
+from ..primitives.sorting_networks import estimate_network_cost
+from ..core.base import GpuSorter, SortResult
+from .uniform_bucket import run_uniform_distribution
+
+#: Bucket size the first phase aims for (elements per merge-sort list).
+TARGET_BUCKET = 512
+#: Buckets beyond this multiple of the target make the implementation fail,
+#: reproducing the paper's observed crash on DeterministicDuplicates.
+CRASH_FACTOR = 32
+
+
+def _bucket_merge_sort_kernel(
+    ctx: BlockContext,
+    keys: DeviceArray, values: Optional[DeviceArray],
+    starts: np.ndarray, sizes: np.ndarray, shared_capacity: int,
+) -> None:
+    b = ctx.block_id
+    start = int(starts[b])
+    size = int(sizes[b])
+    if size <= 1:
+        return
+    tile_keys = ctx.read_range(keys, start, size)
+    tile_values = ctx.read_range(values, start, size) if values is not None else None
+
+    if size <= shared_capacity:
+        # The designed-for case: the bucket is merge sorted in shared memory.
+        ctx.counters.shared_bytes_accessed += int(tile_keys.nbytes)
+        merge_levels = int(np.ceil(np.log2(max(size / 4.0, 2.0))))
+        ctx.charge_per_element(size, 4.0 + 2.0 * merge_levels)
+        sorted_keys = np.sort(tile_keys, kind="stable")
+        sorted_values = None
+        if tile_values is not None:
+            order = np.argsort(tile_keys, kind="stable")
+            sorted_values = tile_values[order]
+    else:
+        # Oversized bucket: the implementation falls back to running the merge
+        # network out of global memory — every network stage streams the bucket
+        # through DRAM, which is what makes skewed inputs slow. The network's
+        # cost is charged from the closed-form stage/comparator counts.
+        stats = estimate_network_cost(size, kind="odd_even")
+        ctx.charge_instructions(stats.instructions)
+        bytes_per_stage = int(tile_keys.nbytes)
+        ctx.charge_streaming_traffic(
+            bytes_read=stats.stages * bytes_per_stage,
+            bytes_written=stats.stages * bytes_per_stage,
+        )
+        sorted_keys = np.sort(tile_keys, kind="stable")
+        sorted_values = None
+        if tile_values is not None:
+            order = np.argsort(tile_keys, kind="stable")
+            sorted_values = tile_values[order]
+
+    ctx.write_range(keys, start, sorted_keys)
+    if values is not None and sorted_values is not None:
+        ctx.write_range(values, start, sorted_values)
+
+
+class HybridSorter(GpuSorter):
+    """Sintorn–Assarsson hybrid sort (uniform bucket split + merge sort)."""
+
+    name = "hybrid"
+    supports_values = True
+    supported_key_dtypes = (np.dtype(np.float32),)
+
+    def __init__(self, device: DeviceSpec = TESLA_C1060,
+                 target_bucket: int = TARGET_BUCKET,
+                 crash_factor: int = CRASH_FACTOR,
+                 block_threads: int = 256):
+        super().__init__(device)
+        if target_bucket < 4:
+            raise ValueError(f"target_bucket must be at least 4, got {target_bucket}")
+        self.target_bucket = target_bucket
+        self.crash_factor = crash_factor
+        self.block_threads = block_threads
+
+    def _sort_impl(self, keys: np.ndarray, values: Optional[np.ndarray]) -> SortResult:
+        launcher = KernelLauncher(self.device)
+        n = int(keys.size)
+        num_buckets = max(1, n // self.target_bucket)
+
+        src_keys = launcher.gmem.from_host(keys, name="hybrid_keys_in")
+        dst_keys = launcher.gmem.alloc(n, keys.dtype, name="hybrid_keys_out")
+        src_values = dst_values = None
+        if values is not None:
+            src_values = launcher.gmem.from_host(values, name="hybrid_values_in")
+            dst_values = launcher.gmem.alloc(n, values.dtype, name="hybrid_values_out")
+
+        layout = run_uniform_distribution(
+            launcher, src_keys, src_values, dst_keys, dst_values, num_buckets,
+            block_threads=self.block_threads, phase_prefix="hybrid_split",
+        )
+
+        crash_limit = self.crash_factor * self.target_bucket
+        if num_buckets > 1 and layout.largest_bucket > crash_limit:
+            raise AlgorithmFailure(
+                f"hybrid sort: bucket of {layout.largest_bucket} elements exceeds the "
+                f"implementation's per-bucket capacity of {crash_limit} "
+                f"(skew {layout.skew:.1f}x); the published implementation crashes on "
+                f"such inputs (observed in the paper on DeterministicDuplicates)"
+            )
+
+        occupied = layout.bucket_sizes > 0
+        starts = layout.bucket_starts[occupied]
+        sizes = layout.bucket_sizes[occupied]
+        if sizes.size:
+            order = np.argsort(sizes)[::-1]
+            starts, sizes = starts[order], sizes[order]
+            cfg = LaunchConfig(
+                grid_dim=int(sizes.size),
+                block_dim=min(self.block_threads, self.device.max_threads_per_block),
+                elements_per_thread=max(1, -(-int(sizes.max()) // self.block_threads)),
+            )
+            shared_capacity = self.device.shared_mem_per_sm // (keys.dtype.itemsize + 4)
+            launcher.launch(
+                _bucket_merge_sort_kernel, cfg, dst_keys, dst_values,
+                starts, sizes, shared_capacity,
+                problem_size=int(sizes.sum()), phase="hybrid_bucket_sort",
+                name="hybrid_bucket_sort",
+            )
+
+        return SortResult(
+            keys=dst_keys.to_host(),
+            values=None if dst_values is None else dst_values.to_host(),
+            trace=launcher.trace,
+            algorithm=self.name,
+            device=self.device,
+            stats={"num_buckets": num_buckets, "largest_bucket": layout.largest_bucket,
+                   "bucket_skew": layout.skew},
+        )
+
+
+__all__ = ["HybridSorter", "TARGET_BUCKET", "CRASH_FACTOR"]

@@ -1,0 +1,107 @@
+"""Registry mapping algorithm names to sorter factories.
+
+The experiment harness refers to algorithms by the names used in the paper's
+figure legends ("sample", "thrust merge", "thrust radix", "cudpp radix",
+"quick", "bbsort", "hybrid"); this module resolves those names to configured
+sorter instances for a given device.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..core.config import SampleSortConfig
+from ..core.sample_sort import SampleSorter
+from ..gpu.device import DeviceSpec, TESLA_C1060
+from .bbsort import BbSorter
+from .gpu_quicksort import GpuQuicksortSorter
+from .hybrid_sort import HybridSorter
+from .radix import RadixSorter
+from .thrust_merge import ThrustMergeSorter
+
+SorterFactory = Callable[..., object]
+
+
+def _make_sample(device: DeviceSpec, config: Optional[SampleSortConfig] = None,
+                 **kwargs) -> SampleSorter:
+    return SampleSorter(device=device, config=config, **kwargs)
+
+
+def _make_thrust_merge(device: DeviceSpec, **kwargs) -> ThrustMergeSorter:
+    return ThrustMergeSorter(device=device, **kwargs)
+
+
+def _make_thrust_radix(device: DeviceSpec, **kwargs) -> RadixSorter:
+    return RadixSorter(device=device, variant="thrust", **kwargs)
+
+
+def _make_cudpp_radix(device: DeviceSpec, **kwargs) -> RadixSorter:
+    return RadixSorter(device=device, variant="cudpp", **kwargs)
+
+
+def _make_quick(device: DeviceSpec, **kwargs) -> GpuQuicksortSorter:
+    return GpuQuicksortSorter(device=device, **kwargs)
+
+
+def _make_bbsort(device: DeviceSpec, **kwargs) -> BbSorter:
+    return BbSorter(device=device, **kwargs)
+
+
+def _make_hybrid(device: DeviceSpec, **kwargs) -> HybridSorter:
+    return HybridSorter(device=device, **kwargs)
+
+
+#: The algorithm names used by the paper's figures.
+SORTER_FACTORIES: dict[str, SorterFactory] = {
+    "sample": _make_sample,
+    "thrust merge": _make_thrust_merge,
+    "thrust radix": _make_thrust_radix,
+    "cudpp radix": _make_cudpp_radix,
+    "quick": _make_quick,
+    "bbsort": _make_bbsort,
+    "hybrid": _make_hybrid,
+}
+
+#: Aliases accepted by :func:`make_sorter` (command-line convenience).
+ALIASES: dict[str, str] = {
+    "samplesort": "sample",
+    "sample-sort": "sample",
+    "merge": "thrust merge",
+    "thrust-merge": "thrust merge",
+    "radix": "thrust radix",
+    "thrust-radix": "thrust radix",
+    "cudpp-radix": "cudpp radix",
+    "quicksort": "quick",
+    "gpu-quicksort": "quick",
+    "hybridsort": "hybrid",
+}
+
+
+def available_sorters() -> list[str]:
+    """Canonical algorithm names, in the paper's legend order."""
+    return list(SORTER_FACTORIES)
+
+
+def resolve_name(name: str) -> str:
+    """Resolve an alias to a canonical sorter name."""
+    key = name.strip().lower()
+    key = ALIASES.get(key, key)
+    if key not in SORTER_FACTORIES:
+        raise KeyError(
+            f"unknown sorter {name!r}; available: {available_sorters()}"
+        )
+    return key
+
+
+def make_sorter(name: str, device: DeviceSpec = TESLA_C1060, **kwargs):
+    """Instantiate a sorter by (possibly aliased) name."""
+    return SORTER_FACTORIES[resolve_name(name)](device=device, **kwargs)
+
+
+__all__ = [
+    "SORTER_FACTORIES",
+    "ALIASES",
+    "available_sorters",
+    "resolve_name",
+    "make_sorter",
+]

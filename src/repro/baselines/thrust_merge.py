@@ -1,0 +1,174 @@
+"""Two-way merge sort baseline (Thrust merge sort, Satish/Harris/Garland 2009).
+
+The paper's main comparison-based competitor: "the fastest algorithm described
+in the literature currently is a two-way merge sort by Harris et al. It divides
+the input into n/256 tiles, sorts them using odd-even merge sort and two-way
+merges the results in log(n/256) iterations" (§3). It is also the only
+published comparison sort that handles 32-bit key-value pairs, which is why
+Figure 3 compares against it on that input type.
+
+Structure on the simulator:
+
+* **Tile sort kernel** — one block per 256-element tile; the tile is staged into
+  shared memory and sorted with Batcher's odd-even merge network.
+* **Merge passes** — ``log2(n / 256)`` kernels; in pass ``i`` each block merges
+  a pair of sorted runs of length ``256 * 2^i`` by rank computation (every
+  element binary-searches its position in the partner run: ``log2`` comparisons
+  per element, no divergence within a warp beyond the search itself), reading
+  and writing the full data set once per pass through global memory.
+
+The two-way structure is exactly what the paper's bandwidth argument targets:
+``O(n log(n/256))`` global memory traffic versus sample sort's
+``O(n log_k(n/M))``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..gpu.block import BlockContext
+from ..gpu.device import DeviceSpec, TESLA_C1060
+from ..gpu.grid import LaunchConfig, grid_for
+from ..gpu.kernel import KernelLauncher
+from ..gpu.memory import DeviceArray
+from ..primitives.sorting_networks import odd_even_merge_sort
+from ..core.base import GpuSorter, SortResult
+
+#: Tile size of the initial network sort (the paper quotes n/256 tiles).
+MERGE_TILE = 256
+#: Scalar instructions charged per element per merge pass, on top of the
+#: binary-search comparisons (index arithmetic, predicated moves).
+MERGE_BASE_INSTR = 6.0
+
+
+def _tile_sort_kernel(ctx: BlockContext, keys: DeviceArray,
+                      values: Optional[DeviceArray], n: int) -> None:
+    start, end = ctx.tile_bounds(n)
+    if end <= start:
+        return
+    tile_keys = ctx.read_range(keys, start, end - start)
+    tile_values = ctx.read_range(values, start, end - start) if values is not None else None
+    stage = ctx.shared.alloc(tile_keys.size, tile_keys.dtype)
+    stage[:] = tile_keys
+    sorted_keys, sorted_values, _ = odd_even_merge_sort(tile_keys, tile_values, ctx=ctx)
+    ctx.write_range(keys, start, sorted_keys)
+    if values is not None and sorted_values is not None:
+        ctx.write_range(values, start, sorted_values)
+
+
+def merge_two_runs(
+    a_keys: np.ndarray, b_keys: np.ndarray,
+    a_values: Optional[np.ndarray], b_values: Optional[np.ndarray],
+) -> tuple[np.ndarray, Optional[np.ndarray]]:
+    """Stable rank-based merge of two sorted runs (the per-block merge step)."""
+    ranks_a = np.arange(a_keys.size) + np.searchsorted(b_keys, a_keys, side="left")
+    ranks_b = np.arange(b_keys.size) + np.searchsorted(a_keys, b_keys, side="right")
+    total = a_keys.size + b_keys.size
+    out_keys = np.empty(total, dtype=a_keys.dtype)
+    out_keys[ranks_a] = a_keys
+    out_keys[ranks_b] = b_keys
+    out_values = None
+    if a_values is not None and b_values is not None:
+        out_values = np.empty(total, dtype=a_values.dtype)
+        out_values[ranks_a] = a_values
+        out_values[ranks_b] = b_values
+    return out_keys, out_values
+
+
+def _merge_pass_kernel(
+    ctx: BlockContext,
+    src_keys: DeviceArray, src_values: Optional[DeviceArray],
+    dst_keys: DeviceArray, dst_values: Optional[DeviceArray],
+    run_length: int, n: int,
+) -> None:
+    pair_start = ctx.block_id * 2 * run_length
+    if pair_start >= n:
+        return
+    a_start = pair_start
+    a_end = min(n, a_start + run_length)
+    b_start = a_end
+    b_end = min(n, b_start + run_length)
+
+    a_keys = ctx.read_range(src_keys, a_start, a_end - a_start)
+    b_keys = ctx.read_range(src_keys, b_start, b_end - b_start)
+    a_values = b_values = None
+    if src_values is not None:
+        a_values = ctx.read_range(src_values, a_start, a_end - a_start)
+        b_values = ctx.read_range(src_values, b_start, b_end - b_start)
+
+    total = (a_end - a_start) + (b_end - b_start)
+    search_cost = np.log2(max(run_length, 2))
+    ctx.charge_per_element(total, MERGE_BASE_INSTR + search_cost)
+
+    if b_keys.size == 0:
+        merged_keys, merged_values = a_keys, a_values
+    else:
+        merged_keys, merged_values = merge_two_runs(a_keys, b_keys, a_values, b_values)
+
+    ctx.write_range(dst_keys, a_start, merged_keys)
+    if dst_values is not None and merged_values is not None:
+        ctx.write_range(dst_values, a_start, merged_values)
+
+
+class ThrustMergeSorter(GpuSorter):
+    """Thrust-style two-way merge sort on the simulator."""
+
+    name = "thrust merge"
+    supports_values = True
+    supported_key_dtypes = None
+
+    def __init__(self, device: DeviceSpec = TESLA_C1060, tile: int = MERGE_TILE):
+        super().__init__(device)
+        if tile < 2 or tile & (tile - 1):
+            raise ValueError(f"tile must be a power of two >= 2, got {tile}")
+        self.tile = tile
+
+    def _sort_impl(self, keys: np.ndarray, values: Optional[np.ndarray]) -> SortResult:
+        launcher = KernelLauncher(self.device)
+        n = int(keys.size)
+
+        buf_keys = [launcher.gmem.from_host(keys, name="merge_keys_a"),
+                    launcher.gmem.alloc(n, keys.dtype, name="merge_keys_b")]
+        buf_values = [None, None]
+        if values is not None:
+            buf_values = [launcher.gmem.from_host(values, name="merge_values_a"),
+                          launcher.gmem.alloc(n, values.dtype, name="merge_values_b")]
+
+        # Phase 1: sort 256-element tiles with the odd-even merge network.
+        tile_cfg = grid_for(n, min(self.tile, self.device.max_threads_per_block),
+                            max(1, self.tile // min(self.tile, self.device.max_threads_per_block)))
+        launcher.launch(
+            _tile_sort_kernel, tile_cfg, buf_keys[0], buf_values[0], n,
+            problem_size=n, phase="tile_sort", name="merge_tile_sort",
+        )
+
+        # Phase 2: log2(n / tile) two-way merge passes, ping-ponging buffers.
+        src, dst = 0, 1
+        run_length = self.tile
+        merge_passes = 0
+        while run_length < n:
+            pairs = max(1, -(-n // (2 * run_length)))
+            cfg = LaunchConfig(grid_dim=pairs, block_dim=min(self.tile, self.device.max_threads_per_block),
+                               elements_per_thread=max(1, (2 * run_length) // self.tile))
+            launcher.launch(
+                _merge_pass_kernel, cfg, buf_keys[src], buf_values[src],
+                buf_keys[dst], buf_values[dst], run_length, n,
+                problem_size=n, phase="merge_pass", name=f"merge_pass_{merge_passes}",
+            )
+            src, dst = dst, src
+            run_length *= 2
+            merge_passes += 1
+
+        return SortResult(
+            keys=buf_keys[src].to_host(),
+            values=None if buf_values[src] is None else buf_values[src].to_host(),
+            trace=launcher.trace,
+            algorithm=self.name,
+            device=self.device,
+            stats={"merge_passes": merge_passes, "tile": self.tile},
+        )
+
+
+__all__ = ["ThrustMergeSorter", "merge_two_runs", "MERGE_TILE"]

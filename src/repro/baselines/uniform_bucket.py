@@ -1,0 +1,167 @@
+"""Uniformity-assuming bucket distribution shared by hybrid sort and bbsort.
+
+Both hybrid sort (Sintorn & Assarsson) and bbsort (Chen et al.) start with a
+distribution phase that "assumes that the keys are uniformly distributed" (§4):
+an element's bucket is computed directly from its value by a linear projection
+of the key range onto ``B`` buckets, with no sampling and no search tree. That
+makes the phase cheaper than sample sort's (one multiply instead of a ``log k``
+tree walk) but makes the bucket sizes track the input distribution — the reason
+both algorithms degrade on the Bucket and Staggered distributions and fall over
+on DeterministicDuplicates (§6).
+
+The engine provides:
+
+* min/max key range detection (device reductions),
+* a histogram / scan / scatter pipeline identical in structure to sample sort's
+  Phases 2–4 but using the linear projection, and
+* the resulting bucket boundaries, which the callers sort with their own
+  small-case strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..gpu.block import BlockContext
+from ..gpu.grid import grid_for
+from ..gpu.kernel import KernelLauncher
+from ..gpu.memory import DeviceArray
+from ..primitives.histogram import block_histogram
+from ..primitives.reduce import device_reduce
+from ..primitives.scan import device_exclusive_scan
+from ..core.scatter_kernel import local_bucket_ranks
+
+#: Instructions per element for the linear bucket projection.
+PROJECTION_INSTR = 4.0
+
+
+@dataclass
+class BucketLayout:
+    """Result of one uniformity-assuming distribution pass."""
+
+    bucket_starts: np.ndarray
+    bucket_sizes: np.ndarray
+    num_buckets: int
+    key_min: float
+    key_max: float
+
+    @property
+    def largest_bucket(self) -> int:
+        return int(self.bucket_sizes.max()) if self.bucket_sizes.size else 0
+
+    @property
+    def mean_bucket(self) -> float:
+        if self.bucket_sizes.size == 0:
+            return 0.0
+        return float(self.bucket_sizes.sum() / self.num_buckets)
+
+    @property
+    def skew(self) -> float:
+        """Largest bucket over the ideal (mean) bucket size."""
+        mean = self.mean_bucket
+        return float(self.largest_bucket / mean) if mean > 0 else 1.0
+
+
+def project_buckets(keys: np.ndarray, key_min, key_max, num_buckets: int) -> np.ndarray:
+    """The linear projection bucket = (key - min) / (max - min) * B."""
+    as_float = keys.astype(np.float64)
+    lo = float(key_min)
+    hi = float(key_max)
+    if hi <= lo:
+        return np.zeros(keys.shape, dtype=np.int64)
+    scaled = (as_float - lo) / (hi - lo) * num_buckets
+    return np.minimum(scaled.astype(np.int64), num_buckets - 1)
+
+
+def _uniform_hist_kernel(ctx: BlockContext, keys: DeviceArray, hist: DeviceArray,
+                         key_min, key_max, num_buckets: int, n: int,
+                         num_blocks: int) -> None:
+    start, end = ctx.tile_bounds(n)
+    if end <= start:
+        ctx.store(hist, np.arange(num_buckets) * num_blocks + ctx.block_id,
+                  np.zeros(num_buckets, dtype=np.int64))
+        return
+    tile = ctx.read_range(keys, start, end - start)
+    buckets = project_buckets(tile, key_min, key_max, num_buckets)
+    ctx.charge_per_element(tile.size, PROJECTION_INSTR)
+    counts = block_histogram(ctx, buckets, num_buckets, counter_groups=4)
+    ctx.store(hist, np.arange(num_buckets) * num_blocks + ctx.block_id, counts)
+
+
+def _uniform_scatter_kernel(
+    ctx: BlockContext,
+    src_keys: DeviceArray, src_values: Optional[DeviceArray],
+    dst_keys: DeviceArray, dst_values: Optional[DeviceArray],
+    offsets: DeviceArray, key_min, key_max, num_buckets: int, n: int,
+    num_blocks: int,
+) -> None:
+    start, end = ctx.tile_bounds(n)
+    if end <= start:
+        return
+    tile = ctx.read_range(src_keys, start, end - start)
+    buckets = project_buckets(tile, key_min, key_max, num_buckets)
+    ctx.charge_per_element(tile.size, PROJECTION_INSTR + 3.0)
+    ranks = local_bucket_ranks(buckets)
+    base = ctx.load(offsets, buckets * num_blocks + ctx.block_id)
+    positions = base + ranks
+    ctx.store(dst_keys, positions, tile)
+    if src_values is not None and dst_values is not None:
+        vals = ctx.read_range(src_values, start, end - start)
+        ctx.store(dst_values, positions, vals)
+
+
+def run_uniform_distribution(
+    launcher: KernelLauncher,
+    src_keys: DeviceArray,
+    src_values: Optional[DeviceArray],
+    dst_keys: DeviceArray,
+    dst_values: Optional[DeviceArray],
+    num_buckets: int,
+    block_threads: int = 256,
+    elements_per_thread: int = 4,
+    phase_prefix: str = "uniform",
+) -> BucketLayout:
+    """Distribute ``src`` into ``num_buckets`` uniform key sub-ranges in ``dst``."""
+    n = int(src_keys.size)
+    key_min = device_reduce(launcher, src_keys, n, op="min",
+                            phase=f"{phase_prefix}_minmax")
+    key_max = device_reduce(launcher, src_keys, n, op="max",
+                            phase=f"{phase_prefix}_minmax")
+
+    launch_cfg = grid_for(n, block_threads, elements_per_thread)
+    num_blocks = launch_cfg.grid_dim
+    hist = launcher.gmem.alloc(num_buckets * num_blocks, np.int64,
+                               name="uniform_hist")
+    launcher.launch(
+        _uniform_hist_kernel, launch_cfg, src_keys, hist, key_min, key_max,
+        num_buckets, n, num_blocks,
+        problem_size=n, phase=f"{phase_prefix}_histogram", name="uniform_histogram",
+    )
+    offsets = device_exclusive_scan(launcher, hist, num_buckets * num_blocks,
+                                    phase=f"{phase_prefix}_scan")
+    launcher.launch(
+        _uniform_scatter_kernel, launch_cfg, src_keys, src_values,
+        dst_keys, dst_values, offsets, key_min, key_max, num_buckets, n, num_blocks,
+        problem_size=n, phase=f"{phase_prefix}_scatter", name="uniform_scatter",
+    )
+
+    counts = hist.data[: num_buckets * num_blocks].reshape(num_buckets, num_blocks)
+    bucket_sizes = counts.sum(axis=1).astype(np.int64)
+    scanned = offsets.data[: num_buckets * num_blocks].reshape(num_buckets, num_blocks)
+    bucket_starts = scanned[:, 0].astype(np.int64)
+    launcher.gmem.free(hist)
+    launcher.gmem.free(offsets)
+    return BucketLayout(
+        bucket_starts=bucket_starts,
+        bucket_sizes=bucket_sizes,
+        num_buckets=num_buckets,
+        key_min=float(key_min),
+        key_max=float(key_max),
+    )
+
+
+__all__ = ["BucketLayout", "project_buckets", "run_uniform_distribution",
+           "PROJECTION_INSTR"]

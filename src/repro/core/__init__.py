@@ -1,0 +1,45 @@
+"""The paper's primary contribution: GPU sample sort.
+
+Public entry points:
+
+* :class:`SampleSorter` / :func:`sample_sort` — the k-way sample sort of the
+  paper, running on the :mod:`repro.gpu` simulator.
+* :class:`SampleSortConfig` — the Section-5 parameters (k, M, a, t, ell, ...).
+* :class:`GpuSorter` / :class:`SortResult` — the sorter interface shared with
+  every baseline in :mod:`repro.baselines`.
+* :func:`serial_sample_sort` — the paper's Algorithm 1, used as a reference.
+"""
+
+from .base import GpuSorter, SortResult
+from .bucket_sorter import BucketTask, quicksort_in_block, run_bucket_sort
+from .config import SampleSortConfig
+from .cpu_reference import (
+    SerialSortStats,
+    expected_distribution_levels,
+    serial_sample_sort,
+)
+from .sample_sort import SampleSorter, sample_sort
+from .scatter_kernel import local_bucket_ranks
+from .search_tree import SplitterSet, build_search_tree, make_splitter_set, traverse
+from .splitters import select_splitters_from_sample, splitter_balance
+
+__all__ = [
+    "GpuSorter",
+    "SortResult",
+    "BucketTask",
+    "quicksort_in_block",
+    "run_bucket_sort",
+    "SampleSortConfig",
+    "SerialSortStats",
+    "expected_distribution_levels",
+    "serial_sample_sort",
+    "SampleSorter",
+    "sample_sort",
+    "local_bucket_ranks",
+    "SplitterSet",
+    "build_search_tree",
+    "make_splitter_set",
+    "traverse",
+    "select_splitters_from_sample",
+    "splitter_balance",
+]

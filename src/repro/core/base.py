@@ -1,0 +1,140 @@
+"""Common sorter interface shared by sample sort and every baseline.
+
+All sorting algorithms in the reproduction — the paper's sample sort and the
+five comparators it is evaluated against — implement :class:`GpuSorter`. A
+sorter is constructed once (with a device and algorithm-specific configuration)
+and can then sort many inputs; every call returns a :class:`SortResult` holding
+the sorted data *and* the full kernel trace, so callers can ask for the
+predicted device time, the per-phase breakdown or any hardware counter without
+re-running.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..gpu.counters import KernelCounters
+from ..gpu.device import DeviceSpec, TESLA_C1060
+from ..gpu.errors import UnsupportedInputError
+from ..gpu.stream import KernelTrace
+
+
+@dataclass
+class SortResult:
+    """Outcome of one sort on the simulator."""
+
+    #: The sorted keys, copied back to the host.
+    keys: np.ndarray
+    #: The payload reordered alongside the keys (``None`` for key-only sorts).
+    values: Optional[np.ndarray]
+    #: Ordered record of every kernel launch with counters and predicted times.
+    trace: KernelTrace
+    #: Name of the algorithm that produced this result.
+    algorithm: str
+    #: Device the sort was simulated on.
+    device: DeviceSpec
+    #: Free-form per-algorithm metadata (passes, bucket counts, ...).
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def n(self) -> int:
+        return int(self.keys.size)
+
+    @property
+    def time_us(self) -> float:
+        """Total predicted device time in microseconds."""
+        return self.trace.total_time_us
+
+    @property
+    def sorting_rate(self) -> float:
+        """Sorted elements per microsecond — the y-axis of every paper figure."""
+        t = self.time_us
+        if t <= 0:
+            return float("inf") if self.n else 0.0
+        return self.n / t
+
+    def counters(self) -> KernelCounters:
+        """Aggregated hardware counters over the whole sort."""
+        return self.trace.total_counters()
+
+    def phase_breakdown(self) -> dict[str, float]:
+        return self.trace.phase_breakdown()
+
+
+class GpuSorter(abc.ABC):
+    """Abstract base class of all simulated GPU sorting algorithms."""
+
+    #: Registry / display name (e.g. ``"sample"``, ``"thrust merge"``).
+    name: str = "abstract"
+    #: Key dtypes this algorithm accepts; ``None`` means "any comparable dtype".
+    supported_key_dtypes: Optional[tuple[np.dtype, ...]] = None
+    #: Whether the algorithm can carry a 32-bit payload alongside the keys.
+    supports_values: bool = True
+
+    def __init__(self, device: DeviceSpec = TESLA_C1060):
+        self.device = device
+
+    # -------------------------------------------------------------- public API
+    def sort(self, keys: np.ndarray, values: Optional[np.ndarray] = None) -> SortResult:
+        """Sort ``keys`` (with an optional payload) and return a :class:`SortResult`.
+
+        The input arrays are never modified; the result holds new arrays.
+        """
+        keys = np.asarray(keys)
+        if keys.ndim != 1:
+            raise UnsupportedInputError(
+                f"{self.name} expects a one-dimensional key array, got shape {keys.shape}"
+            )
+        if values is not None:
+            values = np.asarray(values)
+            if not self.supports_values:
+                raise UnsupportedInputError(
+                    f"{self.name} does not support key-value sorting"
+                )
+            if values.shape != keys.shape:
+                raise UnsupportedInputError(
+                    f"values shape {values.shape} does not match keys shape {keys.shape}"
+                )
+        self._check_dtype(keys)
+        if keys.size <= 1:
+            return self._trivial_result(keys, values)
+        return self._sort_impl(keys, values)
+
+    def _check_dtype(self, keys: np.ndarray) -> None:
+        if self.supported_key_dtypes is None:
+            return
+        if keys.dtype not in self.supported_key_dtypes:
+            allowed = ", ".join(str(np.dtype(d)) for d in self.supported_key_dtypes)
+            raise UnsupportedInputError(
+                f"{self.name} only accepts key dtypes [{allowed}], got {keys.dtype}"
+            )
+
+    def _trivial_result(self, keys: np.ndarray, values: Optional[np.ndarray]) -> SortResult:
+        return SortResult(
+            keys=keys.copy(),
+            values=None if values is None else values.copy(),
+            trace=KernelTrace(),
+            algorithm=self.name,
+            device=self.device,
+            stats={"trivial": True},
+        )
+
+    # --------------------------------------------------------------- algorithm
+    @abc.abstractmethod
+    def _sort_impl(self, keys: np.ndarray, values: Optional[np.ndarray]) -> SortResult:
+        """Algorithm-specific sorting of a non-trivial input."""
+
+    # ------------------------------------------------------------------- misc
+    def describe(self) -> str:
+        """Short human-readable description used in reports."""
+        return f"{self.name} on {self.device.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<{type(self).__name__} name={self.name!r} device={self.device.name!r}>"
+
+
+__all__ = ["SortResult", "GpuSorter"]

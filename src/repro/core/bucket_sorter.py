@@ -1,0 +1,225 @@
+"""Small-case sorting of buckets (the paper's "Sorting buckets" step, §5).
+
+Once the whole input is partitioned into buckets of at most ``M`` elements, each
+bucket is sorted by one thread block; buckets are scheduled largest-first to
+improve load balancing. Inside a block the paper uses its adaptation of the
+Cederman–Tsigas GPU quicksort: sequences larger than what fits into shared
+memory are split by explicit two-way partitioning (pivot = midpoint of the
+sequence's min and max key), and sequences that fit in shared memory are sorted
+with an odd-even merge sorting network ("we found it to be faster than the
+bitonic sorting network and other approaches").
+
+Two further details from the paper are reproduced:
+
+* buckets bounded by duplicated splitters contain a single key value and are
+  *not* sorted at all (they only need to be present in the output buffer) —
+  this is the low-entropy optimisation measured by the DDuplicates benchmarks;
+* quicksort "does not cause any serialization of work, except for pivot
+  selection and stack operations" — accordingly only the partitioning work and
+  the network comparisons are charged, with no divergence penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..gpu.block import BlockContext
+from ..gpu.grid import LaunchConfig
+from ..gpu.kernel import KernelLauncher
+from ..gpu.memory import DeviceArray
+from ..primitives.sorting_networks import odd_even_merge_sort
+from .config import SampleSortConfig
+
+
+@dataclass(frozen=True)
+class BucketTask:
+    """One bucket awaiting small-case sorting."""
+
+    start: int
+    size: int
+    #: Which buffer currently holds the bucket's data ("primary" or "aux").
+    source: str = "primary"
+    #: Constant buckets are copied, never sorted.
+    constant: bool = False
+
+
+def _midpoint_pivot(lo, hi, dtype: np.dtype):
+    """Cederman–Tsigas pivot: the midpoint of the sequence's min and max key."""
+    if np.issubdtype(dtype, np.floating):
+        return lo + (hi - lo) / 2.0
+    lo_i = int(lo)
+    hi_i = int(hi)
+    return dtype.type(lo_i + (hi_i - lo_i) // 2)
+
+
+def quicksort_in_block(
+    ctx: BlockContext,
+    src_keys: DeviceArray,
+    src_values: Optional[DeviceArray],
+    dst_keys: DeviceArray,
+    dst_values: Optional[DeviceArray],
+    start: int,
+    size: int,
+    config: SampleSortConfig,
+) -> dict:
+    """Sort ``src[start:start+size]`` into ``dst`` at the same offsets.
+
+    Partition passes stream through global memory (each level reads and writes
+    the subsequence once — the same traffic a ping-pong buffer scheme would
+    issue); subsequences of at most ``shared_sort_threshold`` elements are
+    staged into shared memory and finished with the odd-even merge network.
+
+    Returns a small statistics dict (partition levels, network calls).
+    """
+    threshold = config.shared_sort_threshold
+    stats = {"partition_passes": 0, "network_sorts": 0, "quicksort_max_depth": 0}
+    if size <= 0:
+        return stats
+
+    # First move the data into the destination buffer if the source differs;
+    # afterwards everything happens in dst (traffic identical to ping-pong).
+    if src_keys is not dst_keys:
+        ctx.write_range(dst_keys, start, ctx.read_range(src_keys, start, size))
+        if src_values is not None and dst_values is not None:
+            ctx.write_range(dst_values, start, ctx.read_range(src_values, start, size))
+
+    stack: list[tuple[int, int, int]] = [(start, size, 0)]
+    while stack:
+        seg_start, seg_size, depth = stack.pop()
+        stats["quicksort_max_depth"] = max(stats["quicksort_max_depth"], depth)
+        if seg_size <= 1:
+            continue
+
+        if seg_size <= threshold:
+            keys = ctx.read_range(dst_keys, seg_start, seg_size)
+            vals = (
+                ctx.read_range(dst_values, seg_start, seg_size)
+                if dst_values is not None
+                else None
+            )
+            # Stage into shared memory (charged), sort with the network.
+            ctx.counters.shared_bytes_accessed += int(keys.nbytes) + (
+                int(vals.nbytes) if vals is not None else 0
+            )
+            sorted_keys, sorted_vals, _ = odd_even_merge_sort(keys, vals, ctx=ctx)
+            ctx.write_range(dst_keys, seg_start, sorted_keys)
+            if dst_values is not None and sorted_vals is not None:
+                ctx.write_range(dst_values, seg_start, sorted_vals)
+            stats["network_sorts"] += 1
+            continue
+
+        # Explicit two-way partition through global memory.
+        keys = ctx.read_range(dst_keys, seg_start, seg_size)
+        vals = (
+            ctx.read_range(dst_values, seg_start, seg_size)
+            if dst_values is not None
+            else None
+        )
+        ctx.charge_per_element(seg_size, 2.0)  # min/max reduction
+        lo = keys.min()
+        hi = keys.max()
+        if lo == hi:
+            # Constant subsequence: already sorted, write-back not needed.
+            continue
+        pivot = _midpoint_pivot(lo, hi, keys.dtype)
+        mask = keys <= pivot
+        ctx.charge_per_element(seg_size, 4.0)  # compare + offset bookkeeping
+        left_keys = keys[mask]
+        right_keys = keys[~mask]
+        ctx.write_range(dst_keys, seg_start,
+                        np.concatenate([left_keys, right_keys]))
+        if vals is not None and dst_values is not None:
+            ctx.write_range(
+                dst_values, seg_start,
+                np.concatenate([vals[mask], vals[~mask]]),
+            )
+        stats["partition_passes"] += 1
+        left_size = int(left_keys.size)
+        stack.append((seg_start, left_size, depth + 1))
+        stack.append((seg_start + left_size, seg_size - left_size, depth + 1))
+    return stats
+
+
+def _bucket_sort_kernel(
+    ctx: BlockContext,
+    primary_keys: DeviceArray,
+    primary_values: Optional[DeviceArray],
+    aux_keys: Optional[DeviceArray],
+    aux_values: Optional[DeviceArray],
+    starts: np.ndarray,
+    sizes: np.ndarray,
+    from_aux: np.ndarray,
+    constant_flags: np.ndarray,
+    config: SampleSortConfig,
+    stats_out: dict,
+) -> None:
+    b = ctx.block_id
+    start = int(starts[b])
+    size = int(sizes[b])
+    if size <= 0:
+        return
+    src_keys = aux_keys if from_aux[b] and aux_keys is not None else primary_keys
+    src_values = aux_values if from_aux[b] and aux_values is not None else primary_values
+
+    if constant_flags[b]:
+        # Constant bucket: only ensure its records end up in the primary buffer.
+        if src_keys is not primary_keys:
+            ctx.write_range(primary_keys, start, ctx.read_range(src_keys, start, size))
+            if src_values is not None and primary_values is not None:
+                ctx.write_range(primary_values, start,
+                                ctx.read_range(src_values, start, size))
+        stats_out["constant_buckets"] = stats_out.get("constant_buckets", 0) + 1
+        stats_out["constant_elements"] = stats_out.get("constant_elements", 0) + size
+        return
+
+    block_stats = quicksort_in_block(
+        ctx, src_keys, src_values, primary_keys, primary_values, start, size, config
+    )
+    for key, value in block_stats.items():
+        stats_out[key] = stats_out.get(key, 0) + value
+    stats_out["sorted_buckets"] = stats_out.get("sorted_buckets", 0) + 1
+
+
+def run_bucket_sort(
+    launcher: KernelLauncher,
+    primary_keys: DeviceArray,
+    primary_values: Optional[DeviceArray],
+    aux_keys: Optional[DeviceArray],
+    aux_values: Optional[DeviceArray],
+    tasks: list[BucketTask],
+    config: SampleSortConfig,
+) -> dict:
+    """Sort all pending buckets, one thread block per bucket.
+
+    Buckets are scheduled by decreasing size (the paper's load-balancing rule).
+    Returns aggregated statistics from all blocks.
+    """
+    if not tasks:
+        return {}
+    ordered = sorted(tasks, key=lambda task: task.size, reverse=True)
+    starts = np.array([t.start for t in ordered], dtype=np.int64)
+    sizes = np.array([t.size for t in ordered], dtype=np.int64)
+    from_aux = np.array([t.source == "aux" for t in ordered], dtype=bool)
+    constant_flags = np.array([t.constant for t in ordered], dtype=bool)
+
+    stats_out: dict = {}
+    launch_cfg = LaunchConfig(
+        grid_dim=len(ordered),
+        block_dim=config.block_threads,
+        elements_per_thread=max(
+            1, -(-int(sizes.max()) // config.block_threads)
+        ),
+    )
+    launcher.launch(
+        _bucket_sort_kernel, launch_cfg, primary_keys, primary_values,
+        aux_keys, aux_values, starts, sizes, from_aux, constant_flags, config,
+        stats_out,
+        problem_size=int(sizes.sum()), phase="bucket_sort", name="bucket_sort",
+    )
+    return stats_out
+
+
+__all__ = ["BucketTask", "quicksort_in_block", "run_bucket_sort"]

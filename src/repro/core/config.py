@@ -1,0 +1,196 @@
+"""Configuration of GPU sample sort.
+
+Section 5 ("Parameters") fixes the implementation constants:
+
+* ``k = 128`` — the distribution degree, trading the non-uniformity of bucket
+  sizes against the better performance of quicksort on small instances,
+* ``M = 2^17`` — the bucket-size threshold below which buckets are handed to
+  the small-case sorter,
+* ``a = 30`` (32-bit keys) / ``a = 15`` (64-bit keys) — the oversampling factor,
+  chosen so the sample still sorts entirely in shared memory,
+* ``t = 256`` threads per block and ``ell = 8`` elements per thread — the tile
+  geometry balancing exposed parallelism, Phase-2 output volume and Phase-4
+  memory latency,
+* 8 shared-memory counter arrays for the Phase-2 histogram.
+
+:class:`SampleSortConfig` carries these values, validates them against a device
+(everything Phase 2 keeps resident must fit in 16 KB of shared memory) and
+provides the scaled-down preset the test-suite uses so that multi-pass
+behaviour is exercised with small inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..gpu.device import DeviceSpec
+from ..gpu.errors import LaunchConfigError, SharedMemoryError
+
+
+@dataclass(frozen=True)
+class SampleSortConfig:
+    """Tunable parameters of :class:`~repro.core.sample_sort.SampleSorter`."""
+
+    #: Distribution degree (number of regular buckets per pass). Power of two.
+    k: int = 128
+    #: Bucket-size threshold for switching to the small-case sorter (paper: 2^17).
+    bucket_threshold: int = 1 << 17
+    #: Oversampling factor for keys of at most 32 bits.
+    oversampling: int = 30
+    #: Oversampling factor for 64-bit keys.
+    oversampling_64bit: int = 15
+    #: Threads per block of the distribution kernels (paper: 256).
+    block_threads: int = 256
+    #: Elements processed sequentially by each thread (paper: 8).
+    elements_per_thread: int = 8
+    #: Number of shared-memory counter arrays used by the Phase-2 histogram.
+    counter_groups: int = 8
+    #: Sequences of at most this many elements are sorted by the odd-even merge
+    #: network directly in shared memory; longer sequences are first split by
+    #: the in-block quicksort. (Roughly shared capacity / key size.)
+    shared_sort_threshold: int = 2048
+    #: Hard recursion-depth cap for the distribution phase (safety net; the
+    #: expected depth is ceil(log_k(n / M)) which is 2 for n = 2^27).
+    max_distribution_depth: int = 8
+    #: Whether buckets bounded by duplicated splitters are treated as constant
+    #: and skipped by the bucket sorter (the low-entropy optimisation).
+    detect_constant_buckets: bool = True
+    #: Whether Phase 4 recomputes bucket indices (the paper's choice) instead
+    #: of reloading indices stored by Phase 2. Exposed for the ablation bench.
+    recompute_bucket_indices: bool = True
+    #: Seed for splitter sampling (None = nondeterministic).
+    seed: int | None = 0
+
+    # ------------------------------------------------------------- validation
+    def __post_init__(self) -> None:
+        if self.k < 2 or (self.k & (self.k - 1)) != 0:
+            raise ValueError(f"k must be a power of two >= 2, got {self.k}")
+        if self.bucket_threshold < 2:
+            raise ValueError(
+                f"bucket_threshold must be at least 2, got {self.bucket_threshold}"
+            )
+        if self.oversampling < 1 or self.oversampling_64bit < 1:
+            raise ValueError("oversampling factors must be >= 1")
+        if self.block_threads < 1:
+            raise ValueError(f"block_threads must be positive, got {self.block_threads}")
+        if self.elements_per_thread < 1:
+            raise ValueError(
+                f"elements_per_thread must be positive, got {self.elements_per_thread}"
+            )
+        if self.counter_groups < 1:
+            raise ValueError(f"counter_groups must be positive, got {self.counter_groups}")
+        if self.shared_sort_threshold < 2:
+            raise ValueError("shared_sort_threshold must be at least 2")
+        if self.max_distribution_depth < 1:
+            raise ValueError("max_distribution_depth must be at least 1")
+
+    # --------------------------------------------------------------- derived
+    @property
+    def tile_size(self) -> int:
+        """Elements per thread block in the distribution kernels (t * ell)."""
+        return self.block_threads * self.elements_per_thread
+
+    @property
+    def num_splitters(self) -> int:
+        return self.k - 1
+
+    @property
+    def output_buckets(self) -> int:
+        """Buckets emitted per pass: k regular plus k equality buckets.
+
+        Equality buckets implement the duplicate-splitter handling inherited
+        from super-scalar sample sort: elements equal to a *duplicated* splitter
+        are diverted into a dedicated bucket that is constant by construction
+        and never needs recursive sorting. See ``search_tree.py``.
+        """
+        return 2 * self.k
+
+    def oversampling_for(self, key_dtype) -> int:
+        """The oversampling factor to use for a given key dtype."""
+        if np.dtype(key_dtype).itemsize >= 8:
+            return self.oversampling_64bit
+        return self.oversampling
+
+    def sample_size(self, key_dtype) -> int:
+        """Number of sampled elements (a * k) for the given key dtype."""
+        return self.oversampling_for(key_dtype) * self.k
+
+    # ------------------------------------------------------- device validation
+    def validate_for_device(self, device: DeviceSpec, key_itemsize: int = 4) -> None:
+        """Check that the configuration can run on ``device``.
+
+        Phase 2 keeps the splitter search tree plus ``counter_groups`` counter
+        arrays of ``output_buckets`` 32-bit entries resident in shared memory;
+        Phase 1 sorts the whole ``a * k`` sample in shared memory; both must fit
+        in the SM's capacity, and the block size must be a legal launch.
+        """
+        if self.block_threads > device.max_threads_per_block:
+            raise LaunchConfigError(
+                f"block_threads={self.block_threads} exceeds the device limit of "
+                f"{device.max_threads_per_block}"
+            )
+        tree_bytes = self.k * key_itemsize
+        counter_bytes = self.counter_groups * self.output_buckets * 4
+        flags_bytes = self.k  # one byte per splitter equality flag
+        phase2_bytes = tree_bytes + counter_bytes + flags_bytes
+        if phase2_bytes > device.shared_mem_per_sm:
+            raise SharedMemoryError(
+                f"Phase 2 needs {phase2_bytes} bytes of shared memory "
+                f"(tree {tree_bytes} + counters {counter_bytes} + flags {flags_bytes}) "
+                f"but the SM only has {device.shared_mem_per_sm}"
+            )
+        sample_bytes = self.sample_size(np.dtype(f"u{key_itemsize}")
+                                        if key_itemsize in (4, 8) else np.uint32) * key_itemsize
+        if sample_bytes > device.shared_mem_per_sm:
+            raise SharedMemoryError(
+                f"the splitter sample ({sample_bytes} bytes) does not fit in shared "
+                f"memory ({device.shared_mem_per_sm} bytes); reduce the oversampling "
+                f"factor or k"
+            )
+    def effective_shared_sort_threshold(self, device: DeviceSpec,
+                                        record_bytes: int) -> int:
+        """The largest sequence the odd-even network can sort in shared memory.
+
+        The configured ``shared_sort_threshold`` is clamped to what actually
+        fits in the SM for the given record size — e.g. 64-bit key-value
+        records halve the usable sequence length, exactly as the real
+        implementation must stage shorter chunks for wider keys.
+        """
+        capacity = max(2, device.shared_mem_per_sm // max(record_bytes, 1))
+        return int(min(self.shared_sort_threshold, capacity))
+
+    # ----------------------------------------------------------------- presets
+    def with_(self, **kwargs) -> "SampleSortConfig":
+        """Copy of this config with selected fields replaced."""
+        return replace(self, **kwargs)
+
+    @classmethod
+    def paper(cls) -> "SampleSortConfig":
+        """The exact parameter set of Section 5."""
+        return cls()
+
+    @classmethod
+    def small(cls, seed: int | None = 0) -> "SampleSortConfig":
+        """A scaled-down configuration for tests and quick examples.
+
+        All the structure of the full algorithm (multiple distribution passes,
+        equality buckets, quicksort fallback, network small-sort) is exercised
+        with inputs of only a few thousand elements.
+        """
+        return cls(
+            k=16,
+            bucket_threshold=512,
+            oversampling=8,
+            oversampling_64bit=4,
+            block_threads=64,
+            elements_per_thread=4,
+            counter_groups=4,
+            shared_sort_threshold=128,
+            max_distribution_depth=8,
+            seed=seed,
+        )
+
+
+__all__ = ["SampleSortConfig"]

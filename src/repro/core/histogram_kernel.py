@@ -1,0 +1,146 @@
+"""Phase 2: per-block bucket histograms.
+
+"Each thread block computes the bucket indices for all elements in its tile,
+counts the number of elements in each bucket and stores this per-block k-entry
+histogram in global memory" (§4).
+
+Implementation notes reproduced from §5:
+
+* the splitter search tree ``bt`` is loaded into shared memory once per block
+  ("to speed up the traversal of the search tree and save accesses to global
+  memory"),
+* the traversal is branch-free (see :mod:`repro.core.search_tree`),
+* bucket counters live in shared memory and are updated with atomic adds,
+  split over ``counter_groups`` separate counter arrays to reduce contention,
+* the output is a ``B x p`` histogram table stored in *column-major* order
+  (bucket-major: entry ``b * p + block``), which is exactly the layout Phase 3
+  scans to obtain global bucket offsets.
+
+When ``config.recompute_bucket_indices`` is False, the kernel additionally
+writes every element's bucket index to global memory so Phase 4 can reload it
+instead of recomputing — the alternative the paper tried and rejected ("storing
+the bucket indices in global memory was not faster than just recomputing
+them"). The ablation benchmark measures both variants.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..gpu.block import BlockContext
+from ..gpu.grid import grid_for
+from ..gpu.kernel import KernelLauncher
+from ..gpu.memory import DeviceArray
+from ..primitives.histogram import block_histogram
+from .config import SampleSortConfig
+from .search_tree import SplitterSet, traverse
+from .splitters import SplitterBuffers
+
+
+def compute_tile_buckets(
+    ctx: BlockContext,
+    keys: DeviceArray,
+    splitter_bufs: SplitterBuffers,
+    segment_start: int,
+    segment_size: int,
+    config: SampleSortConfig,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Load this block's tile and find every element's output bucket.
+
+    Shared by Phases 2 and 4 (the paper deliberately does the same work twice).
+    Returns ``(tile_keys, bucket_ids)``; both are empty for out-of-range blocks.
+    """
+    k = config.k
+    splitter_set = splitter_bufs.splitter_set
+
+    # Load the search tree, the splitters and the equality flags into shared
+    # memory (global reads counted; one copy per block, as on the device).
+    tree_shared = ctx.shared.alloc(k, keys.dtype)
+    tree_shared[:] = ctx.load(splitter_bufs.tree, np.arange(k))
+    splitters_shared = ctx.shared.alloc(max(k - 1, 1), keys.dtype)
+    splitters_shared[: k - 1] = ctx.load(splitter_bufs.splitters, np.arange(k - 1))
+    flags_shared = ctx.shared.alloc(max(k - 1, 1), np.uint8)
+    flags_shared[: k - 1] = ctx.load(splitter_bufs.eq_flags, np.arange(k - 1))
+    ctx.syncthreads()
+
+    start, end = ctx.tile_bounds(segment_size)
+    if end <= start:
+        return np.empty(0, dtype=keys.dtype), np.empty(0, dtype=np.int64)
+
+    tile = ctx.read_range(keys, segment_start + start, end - start)
+
+    # Branch-free traversal: log2(k) predicated steps per element plus the
+    # equality-bucket check. All lanes follow the same path => no divergence.
+    regular = traverse(tree_shared, tile)
+    bucket = 2 * regular
+    if k > 1:
+        in_range = regular < (k - 1)
+        safe = np.minimum(regular, k - 2)
+        equal = in_range & flags_shared[safe].astype(bool) & (tile == splitters_shared[safe])
+        bucket = bucket + equal.astype(np.int64)
+    ctx.warps.predicated(tile.size,
+                         splitter_set.traversal_instructions_per_element())
+    ctx.counters.shared_bytes_accessed += int(tile.size) * int(np.log2(k)) * keys.itemsize
+    return tile, bucket
+
+
+def _phase2_kernel(
+    ctx: BlockContext,
+    keys: DeviceArray,
+    splitter_bufs: SplitterBuffers,
+    hist: DeviceArray,
+    bucket_store: Optional[DeviceArray],
+    segment_start: int,
+    segment_size: int,
+    num_blocks: int,
+    config: SampleSortConfig,
+) -> None:
+    tile, bucket = compute_tile_buckets(
+        ctx, keys, splitter_bufs, segment_start, segment_size, config
+    )
+    num_buckets = 2 * config.k
+    if tile.size == 0:
+        counts = np.zeros(num_buckets, dtype=np.int64)
+    else:
+        counts = block_histogram(
+            ctx, bucket, num_buckets, counter_groups=config.counter_groups
+        )
+    # Column-major (bucket-major) store: entry b * p + block_id.
+    out_idx = np.arange(num_buckets) * num_blocks + ctx.block_id
+    ctx.store(hist, out_idx, counts)
+
+    if bucket_store is not None and tile.size:
+        start, _ = ctx.tile_bounds(segment_size)
+        ctx.write_range(bucket_store, start, bucket.astype(bucket_store.dtype))
+
+
+def run_phase2(
+    launcher: KernelLauncher,
+    keys: DeviceArray,
+    splitter_bufs: SplitterBuffers,
+    segment_start: int,
+    segment_size: int,
+    config: SampleSortConfig,
+    bucket_store: Optional[DeviceArray] = None,
+) -> tuple[DeviceArray, int]:
+    """Run Phase 2 over one segment.
+
+    Returns ``(histogram, num_blocks)`` where ``histogram`` is the device array
+    of ``2k * num_blocks`` bucket counts in column-major order.
+    """
+    launch_cfg = grid_for(segment_size, config.block_threads,
+                          config.elements_per_thread)
+    num_blocks = launch_cfg.grid_dim
+    hist = launcher.gmem.alloc(2 * config.k * num_blocks, np.int64,
+                               name="bucket_histogram")
+    launcher.launch(
+        _phase2_kernel, launch_cfg, keys, splitter_bufs, hist, bucket_store,
+        segment_start, segment_size, num_blocks, config,
+        problem_size=segment_size, phase="phase2_histogram", name="phase2_histogram",
+    )
+    return hist, num_blocks
+
+
+__all__ = ["compute_tile_buckets", "run_phase2"]

@@ -1,0 +1,56 @@
+"""Phase 3: global bucket offsets.
+
+"Perform a prefix sum over the k x p histogram tables stored in a column-major
+order to compute global bucket offsets in the output, for instance the Thrust
+implementation" (§4). The reproduction uses its own scan primitive
+(:func:`repro.primitives.scan.device_exclusive_scan`), which plays the role of
+the Thrust scan the paper calls into.
+
+Because the histogram is stored bucket-major (all blocks' counts for bucket 0,
+then bucket 1, ...), a single flat exclusive scan directly yields, for every
+``(bucket, block)`` pair, the output position where that block's first element
+of that bucket belongs — and the differences of consecutive bucket baselines
+are the bucket sizes the host needs for scheduling the next passes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu.kernel import KernelLauncher
+from ..gpu.memory import DeviceArray
+from ..primitives.scan import device_exclusive_scan
+
+
+def run_phase3(
+    launcher: KernelLauncher,
+    hist: DeviceArray,
+    num_buckets: int,
+    num_blocks: int,
+) -> tuple[DeviceArray, np.ndarray, np.ndarray]:
+    """Scan the column-major histogram.
+
+    Returns ``(offsets, bucket_starts, bucket_sizes)`` where ``offsets`` is the
+    device array of per-(bucket, block) output offsets (same layout as the
+    histogram), and the two host arrays give each bucket's start position and
+    total size within the segment — the information the orchestrator needs to
+    build child segments and schedule bucket sorting.
+    """
+    total = num_buckets * num_blocks
+    if hist.size < total:
+        raise ValueError(
+            f"histogram has {hist.size} entries but {num_buckets} buckets x "
+            f"{num_blocks} blocks = {total} are required"
+        )
+    offsets = device_exclusive_scan(launcher, hist, total, phase="phase3_scan")
+
+    # Host-side readback of the per-bucket aggregates (tiny: 2k values). The
+    # real implementation reads these back as well to schedule bucket sorting.
+    counts = hist.data[:total].reshape(num_buckets, num_blocks)
+    bucket_sizes = counts.sum(axis=1).astype(np.int64)
+    scanned = offsets.data[:total].reshape(num_buckets, num_blocks)
+    bucket_starts = scanned[:, 0].astype(np.int64)
+    return offsets, bucket_starts, bucket_sizes
+
+
+__all__ = ["run_phase3"]

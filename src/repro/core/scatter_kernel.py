@@ -1,0 +1,133 @@
+"""Phase 4: scatter elements to their buckets.
+
+"Each thread block again computes the bucket indices for all elements in its
+tile, computes their local offsets in the buckets and finally stores elements
+at their proper output positions using the global offsets computed in the
+previous step" (§4).
+
+Two design decisions from §5 are reflected here:
+
+* **Recompute, don't store.** By default the bucket indices are recomputed
+  rather than reloaded from global memory: "the computation is memory bandwidth
+  bounded so that the added overhead of n global memory accesses undoes the
+  savings in computation". Setting ``recompute_bucket_indices=False`` on the
+  configuration switches to the store/reload variant for the ablation study.
+* **Unstructured writes are accepted.** The scatter's writes are not coalesced;
+  the paper found that more elaborate schemes (sorting each tile by bucket in
+  shared memory first, as the radix sorts do) were *slower* for sample sort
+  because the latency of the simple scheme can be hidden by computation. The
+  simulator counts the scattered transactions so the cost shows up in the
+  timing model exactly where the paper says it belongs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..gpu.block import BlockContext
+from ..gpu.grid import grid_for
+from ..gpu.kernel import KernelLauncher
+from ..gpu.memory import DeviceArray
+from .config import SampleSortConfig
+from .histogram_kernel import compute_tile_buckets
+from .splitters import SplitterBuffers
+
+
+def local_bucket_ranks(bucket: np.ndarray) -> np.ndarray:
+    """Rank of every element among the tile's elements of the same bucket.
+
+    The rank is taken in tile order (stable), which is what a per-thread
+    sequential pass over its ``ell`` elements produces on the device.
+    """
+    bucket = np.asarray(bucket, dtype=np.int64)
+    n = bucket.size
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    order = np.argsort(bucket, kind="stable")
+    sorted_bucket = bucket[order]
+    run_start = np.zeros(n, dtype=np.int64)
+    breaks = np.flatnonzero(np.diff(sorted_bucket)) + 1
+    run_start[breaks] = breaks
+    run_start = np.maximum.accumulate(run_start)
+    rank_sorted = np.arange(n, dtype=np.int64) - run_start
+    ranks = np.empty(n, dtype=np.int64)
+    ranks[order] = rank_sorted
+    return ranks
+
+
+def _phase4_kernel(
+    ctx: BlockContext,
+    in_keys: DeviceArray,
+    in_values: Optional[DeviceArray],
+    out_keys: DeviceArray,
+    out_values: Optional[DeviceArray],
+    splitter_bufs: SplitterBuffers,
+    offsets: DeviceArray,
+    bucket_store: Optional[DeviceArray],
+    segment_start: int,
+    segment_size: int,
+    num_blocks: int,
+    config: SampleSortConfig,
+) -> None:
+    start, end = ctx.tile_bounds(segment_size)
+    if end <= start:
+        return
+
+    if config.recompute_bucket_indices or bucket_store is None:
+        tile, bucket = compute_tile_buckets(
+            ctx, in_keys, splitter_bufs, segment_start, segment_size, config
+        )
+    else:
+        # Ablation variant: reload the bucket indices Phase 2 stored.
+        tile = ctx.read_range(in_keys, segment_start + start, end - start)
+        bucket = ctx.read_range(bucket_store, start, end - start).astype(np.int64)
+
+    ranks = local_bucket_ranks(bucket)
+    ctx.charge_per_element(tile.size, 4.0)  # local offset bookkeeping
+
+    # Per-(bucket, block) base offsets, read from the scanned histogram.
+    offset_idx = bucket * num_blocks + ctx.block_id
+    base = ctx.load(offsets, offset_idx)
+    positions = segment_start + base + ranks
+
+    # The scattered stores: counted as uncoalesced transactions by the memory
+    # system. Values (if any) follow their keys.
+    ctx.store(out_keys, positions, tile)
+    if in_values is not None and out_values is not None:
+        vals = ctx.read_range(in_values, segment_start + start, end - start)
+        ctx.store(out_values, positions, vals)
+
+
+def run_phase4(
+    launcher: KernelLauncher,
+    in_keys: DeviceArray,
+    in_values: Optional[DeviceArray],
+    out_keys: DeviceArray,
+    out_values: Optional[DeviceArray],
+    splitter_bufs: SplitterBuffers,
+    offsets: DeviceArray,
+    segment_start: int,
+    segment_size: int,
+    num_blocks: int,
+    config: SampleSortConfig,
+    bucket_store: Optional[DeviceArray] = None,
+) -> None:
+    """Run Phase 4 over one segment, scattering into the output buffers."""
+    launch_cfg = grid_for(segment_size, config.block_threads,
+                          config.elements_per_thread)
+    if launch_cfg.grid_dim != num_blocks:
+        raise ValueError(
+            f"phase 4 launched with {launch_cfg.grid_dim} blocks but the histogram "
+            f"was built with {num_blocks}"
+        )
+    launcher.launch(
+        _phase4_kernel, launch_cfg, in_keys, in_values, out_keys, out_values,
+        splitter_bufs, offsets, bucket_store, segment_start, segment_size,
+        num_blocks, config,
+        problem_size=segment_size, phase="phase4_scatter", name="phase4_scatter",
+    )
+
+
+__all__ = ["local_bucket_ranks", "run_phase4"]

@@ -1,0 +1,187 @@
+"""Implicit binary search tree over the splitters (paper Algorithm 2).
+
+Phase 2 and Phase 4 must find, for every element, the bucket it belongs to —
+i.e. locate the element among the ``k - 1`` sorted splitters. Doing this with a
+binary search over a sorted array would make the warp's threads diverge (each
+thread takes a different branch path). The paper instead stores the splitters
+as an *implicit complete binary search tree* ``bt`` (root ``s_{k/2}`` at index
+1, children of node ``j`` at ``2j`` and ``2j + 1``) and traverses it with the
+branch-free update
+
+    j := 2 * j + (element > bt[j])        (repeated log2 k times)
+
+so every thread executes the identical instruction sequence — the conditional
+is a predicated add, a technique the paper adopts from super-scalar sample sort
+(Sanders & Winkel) where it avoids branch mispredictions on CPUs.
+
+Duplicate splitters (low-entropy inputs) are handled with *equality buckets*,
+also inherited from super-scalar sample sort: a splitter that occurs more than
+once in the sorted splitter array is flagged, and elements equal to a flagged
+splitter are diverted into a dedicated bucket ``2 b + 1`` that is constant by
+construction — the bucket sorter can skip it entirely. This is what makes the
+algorithm robust (and fast) on the DeterministicDuplicates distribution and is
+required for termination when almost all keys are equal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def build_search_tree(splitters: np.ndarray) -> np.ndarray:
+    """Lay out ``k - 1`` sorted splitters as an implicit BST.
+
+    Returns an array ``bt`` of length ``k`` where index 0 is unused, index 1 is
+    the root, and the children of node ``j`` are ``2 j`` and ``2 j + 1`` — the
+    layout of Algorithm 2. ``k`` must be a power of two.
+    """
+    splitters = np.asarray(splitters)
+    k = splitters.size + 1
+    if k < 2 or (k & (k - 1)) != 0:
+        raise ValueError(
+            f"the number of splitters must be a power of two minus one, got {splitters.size}"
+        )
+    if splitters.size > 1 and np.any(splitters[1:] < splitters[:-1]):
+        raise ValueError("splitters must be sorted in non-decreasing order")
+    bt = np.zeros(k, dtype=splitters.dtype)
+
+    # Fill by in-order recursion: node j covers the sorted range [lo, hi).
+    stack = [(1, 0, k - 1)]
+    while stack:
+        node, lo, hi = stack.pop()
+        if lo >= hi:
+            continue
+        mid = (lo + hi) // 2
+        bt[node] = splitters[mid]
+        stack.append((2 * node, lo, mid))
+        stack.append((2 * node + 1, mid + 1, hi))
+    return bt
+
+
+def traverse(bt: np.ndarray, keys: np.ndarray) -> np.ndarray:
+    """Branch-free traversal of the splitter tree (Algorithm 2), vectorised.
+
+    Returns, for every key, the index of the *regular* bucket it falls into:
+    the number of splitters strictly smaller than the key — identical to
+    ``np.searchsorted(splitters, keys, side='left')``.
+    """
+    bt = np.asarray(bt)
+    keys = np.asarray(keys)
+    k = bt.size
+    if k < 2 or (k & (k - 1)) != 0:
+        raise ValueError(f"tree length must be a power of two >= 2, got {k}")
+    levels = int(np.log2(k))
+    j = np.ones(keys.shape, dtype=np.int64)
+    for _ in range(levels):
+        j = 2 * j + (keys > bt[j])
+    return j - k
+
+
+@dataclass(frozen=True)
+class SplitterSet:
+    """Splitters of one distribution pass, ready for bucket finding."""
+
+    #: The sorted splitters (length k - 1, duplicates allowed).
+    splitters: np.ndarray
+    #: The implicit BST layout of the splitters (length k, index 0 unused).
+    tree: np.ndarray
+    #: ``eq_flags[i]`` is True when splitter ``i`` is duplicated and therefore
+    #: owns an equality bucket.
+    eq_flags: np.ndarray
+    #: Distribution degree (number of regular buckets).
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.splitters.size != self.k - 1:
+            raise ValueError(
+                f"expected {self.k - 1} splitters, got {self.splitters.size}"
+            )
+        if self.tree.size != self.k:
+            raise ValueError(f"expected a tree of length {self.k}, got {self.tree.size}")
+        if self.eq_flags.size != self.k - 1:
+            raise ValueError(
+                f"expected {self.k - 1} equality flags, got {self.eq_flags.size}"
+            )
+
+    @property
+    def num_output_buckets(self) -> int:
+        """Total bucket ids a pass can emit: 2k (regular at 2b, equality at 2b+1)."""
+        return 2 * self.k
+
+    # ---------------------------------------------------------------- traversal
+    def bucket_of(self, keys: np.ndarray, use_tree: bool = True) -> np.ndarray:
+        """Output bucket index for every key.
+
+        Regular buckets are even ids ``2 b``; elements equal to a flagged
+        (duplicated) splitter ``b`` get the odd equality bucket ``2 b + 1``.
+        ``use_tree=False`` uses ``np.searchsorted`` directly, which is the
+        reference the property tests compare the tree traversal against.
+        """
+        keys = np.asarray(keys)
+        if use_tree:
+            b = traverse(self.tree, keys)
+        else:
+            b = np.searchsorted(self.splitters, keys, side="left").astype(np.int64)
+        bucket = 2 * b
+        if self.splitters.size:
+            in_range = b < self.splitters.size
+            safe = np.minimum(b, self.splitters.size - 1)
+            equal = in_range & self.eq_flags[safe] & (keys == self.splitters[safe])
+            bucket = bucket + equal.astype(np.int64)
+        return bucket
+
+    def traversal_instructions_per_element(self) -> float:
+        """Scalar instructions per element of the branch-free bucket search.
+
+        ``log2 k`` predicated compare-add steps plus the equality-bucket check
+        and the final index arithmetic. The compiler unrolls the loop because k
+        is a compile-time constant (the paper relies on this), so no loop
+        overhead is charged.
+        """
+        return 2.0 * np.log2(self.k) + 3.0
+
+    # -------------------------------------------------------------- bucket info
+    def is_constant_bucket(self, bucket_ids: np.ndarray) -> np.ndarray:
+        """Boolean mask: which of the given output buckets are constant.
+
+        Equality buckets (odd ids) hold exactly one key value by construction.
+        """
+        bucket_ids = np.asarray(bucket_ids, dtype=np.int64)
+        return (bucket_ids % 2) == 1
+
+    def bucket_bounds(self, bucket_id: int):
+        """Half-open key interval ``(low, high)`` a regular bucket can contain.
+
+        Returns ``(None, splitters[0])`` for the leftmost and
+        ``(splitters[-1], None)`` for the rightmost bucket. For equality buckets
+        both bounds equal the splitter value.
+        """
+        b, is_eq = divmod(int(bucket_id), 2)
+        if is_eq:
+            v = self.splitters[b]
+            return v, v
+        low = self.splitters[b - 1] if b > 0 else None
+        high = self.splitters[b] if b < self.splitters.size else None
+        return low, high
+
+
+def make_splitter_set(sorted_splitters: np.ndarray, k: int) -> SplitterSet:
+    """Build a :class:`SplitterSet` from sorted splitter values."""
+    sorted_splitters = np.asarray(sorted_splitters)
+    if sorted_splitters.size != k - 1:
+        raise ValueError(f"expected {k - 1} splitters, got {sorted_splitters.size}")
+    eq_flags = np.zeros(k - 1, dtype=bool)
+    if k > 2:
+        # A splitter owns an equality bucket when the *next* splitter repeats
+        # its value: elements equal to that value are routed (searchsorted-left)
+        # to the first occurrence, so flagging the first occurrence suffices.
+        eq_flags[:-1] = sorted_splitters[:-1] == sorted_splitters[1:]
+    tree = build_search_tree(sorted_splitters)
+    return SplitterSet(
+        splitters=sorted_splitters.copy(), tree=tree, eq_flags=eq_flags, k=k
+    )
+
+
+__all__ = ["build_search_tree", "traverse", "SplitterSet", "make_splitter_set"]

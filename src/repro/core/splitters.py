@@ -1,0 +1,172 @@
+"""Phase 1: splitter selection.
+
+"We take a random sample S of a*k input elements using a simple GPU LCG random
+number generator that takes its seed from the CPU Mersenne Twister. Then we
+sort it, and place each a-th element of S in the array of splitters bt such
+that they form a complete binary search tree" (§5).
+
+The phase is simulated as a single-thread-block kernel:
+
+1. every simulated thread advances its LCG to pick sample positions,
+2. the sampled keys are gathered from global memory (an uncoalesced gather —
+   counted as such),
+3. the sample is sorted entirely in shared memory with the odd-even merge
+   network (this is why the oversampling factor drops from 30 to 15 for 64-bit
+   keys: the larger sample must still fit in 16 KB),
+4. every a-th element becomes a splitter; the splitters are laid out as the
+   implicit search tree and written (with the equality flags) to global memory
+   so the Phase-2/4 blocks can load them into their shared memory.
+
+The oversampling factor ``a`` trades the cost of sorting the sample against the
+quality (balance) of the resulting buckets; `oversampling quality` is covered by
+a dedicated statistical test in the test-suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..gpu.block import BlockContext
+from ..gpu.grid import LaunchConfig
+from ..gpu.kernel import KernelLauncher
+from ..gpu.memory import DeviceArray
+from ..primitives.rng import sample_indices
+from ..primitives.sorting_networks import odd_even_merge_sort
+from .config import SampleSortConfig
+from .search_tree import SplitterSet, make_splitter_set
+
+
+@dataclass
+class SplitterBuffers:
+    """Device-resident splitter data produced by Phase 1 for one pass."""
+
+    tree: DeviceArray
+    splitters: DeviceArray
+    eq_flags: DeviceArray
+    splitter_set: SplitterSet
+
+
+def select_splitters_from_sample(sample_sorted: np.ndarray, k: int,
+                                 oversampling: int) -> np.ndarray:
+    """Pick ``k - 1`` splitters from an already sorted sample of ``a * k`` keys.
+
+    The paper places "each a-th element" of the sorted sample into the splitter
+    array; with a sample of size ``a * k`` that yields exactly ``k - 1`` interior
+    splitters (positions a, 2a, ..., (k-1)a, 1-based).
+    """
+    sample_sorted = np.asarray(sample_sorted)
+    expected = oversampling * k
+    if sample_sorted.size < k - 1:
+        raise ValueError(
+            f"sample of size {sample_sorted.size} cannot produce {k - 1} splitters"
+        )
+    if sample_sorted.size != expected:
+        # Tolerate a clipped sample (segment smaller than a*k): fall back to
+        # evenly spaced order statistics, which is the same estimator.
+        positions = np.linspace(0, sample_sorted.size - 1, k + 1)[1:-1]
+        return sample_sorted[np.round(positions).astype(np.int64)]
+    positions = oversampling * np.arange(1, k) - 1
+    return sample_sorted[positions]
+
+
+def _phase1_kernel(
+    ctx: BlockContext,
+    keys: DeviceArray,
+    tree_buf: DeviceArray,
+    splitter_buf: DeviceArray,
+    flag_buf: DeviceArray,
+    segment_start: int,
+    segment_size: int,
+    config: SampleSortConfig,
+    seed: Optional[int],
+    out: dict,
+) -> None:
+    """Single-block Phase-1 kernel: sample, sort, select, lay out the tree."""
+    k = config.k
+    a = config.oversampling_for(keys.dtype)
+    sample_count = min(a * k, segment_size)
+
+    # 1. draw sample positions with the per-thread LCGs
+    positions = sample_indices(segment_size, sample_count, seed=seed)
+    ctx.charge_per_element(sample_count, 4.0)  # LCG update + scaling
+
+    # 2. gather the sampled keys (uncoalesced gather, counted by the simulator)
+    sample = ctx.load(keys, segment_start + positions)
+
+    # 3. sort the sample in shared memory with the odd-even merge network
+    stage = ctx.shared.alloc(sample_count, keys.dtype)
+    stage[:] = sample
+    sorted_sample, _, _ = odd_even_merge_sort(stage, ctx=ctx)
+
+    # 4. select splitters, build the tree and the equality flags
+    splitters = select_splitters_from_sample(sorted_sample, k, a)
+    splitter_set = make_splitter_set(splitters.astype(keys.dtype), k)
+    ctx.charge_instructions(4 * k)  # tree layout + flag computation
+
+    ctx.store(tree_buf, np.arange(k), splitter_set.tree)
+    ctx.store(splitter_buf, np.arange(k - 1), splitter_set.splitters)
+    ctx.store(flag_buf, np.arange(k - 1), splitter_set.eq_flags.astype(np.uint8))
+    out["splitter_set"] = splitter_set
+
+
+def run_phase1(
+    launcher: KernelLauncher,
+    keys: DeviceArray,
+    segment_start: int,
+    segment_size: int,
+    config: SampleSortConfig,
+    seed: Optional[int] = None,
+) -> SplitterBuffers:
+    """Run Phase 1 for one segment and return the device-resident splitters."""
+    if segment_size < config.k:
+        raise ValueError(
+            f"segment of {segment_size} elements is too small for a k={config.k} "
+            f"distribution pass; it should have been handed to the small-case sorter"
+        )
+    k = config.k
+    tree_buf = launcher.gmem.alloc(k, keys.dtype, name="splitter_tree")
+    splitter_buf = launcher.gmem.alloc(max(k - 1, 1), keys.dtype, name="splitters")
+    flag_buf = launcher.gmem.alloc(max(k - 1, 1), np.uint8, name="splitter_flags")
+
+    out: dict = {}
+    launch_cfg = LaunchConfig(grid_dim=1, block_dim=config.block_threads,
+                              elements_per_thread=1)
+    launcher.launch(
+        _phase1_kernel, launch_cfg, keys, tree_buf, splitter_buf, flag_buf,
+        segment_start, segment_size, config, seed, out,
+        problem_size=segment_size, phase="phase1_splitters", name="phase1_splitters",
+    )
+    return SplitterBuffers(
+        tree=tree_buf,
+        splitters=splitter_buf,
+        eq_flags=flag_buf,
+        splitter_set=out["splitter_set"],
+    )
+
+
+def splitter_balance(splitter_set: SplitterSet, keys: np.ndarray) -> float:
+    """Largest bucket divided by the ideal bucket size (diagnostics / tests).
+
+    The paper argues that "sufficiently large random samples yield provably good
+    splitters independent of the input distribution"; the statistical test on
+    oversampling quality asserts this ratio stays moderate for a = 30.
+    """
+    keys = np.asarray(keys)
+    if keys.size == 0:
+        return 1.0
+    buckets = splitter_set.bucket_of(keys, use_tree=False)
+    counts = np.bincount(buckets, minlength=splitter_set.num_output_buckets)
+    regular = counts[0::2]
+    ideal = keys.size / splitter_set.k
+    return float(regular.max() / ideal) if ideal > 0 else 1.0
+
+
+__all__ = [
+    "SplitterBuffers",
+    "select_splitters_from_sample",
+    "run_phase1",
+    "splitter_balance",
+]

@@ -1,0 +1,240 @@
+"""Input distributions of the experimental study (§6).
+
+The paper uses "a commonly accepted set of distributions motivated and
+described in [7]" — Helman, Bader and JáJá's randomized parallel sorting study —
+parameterised with ``p = 240`` (the number of scalar processors of a Tesla
+C1060) and a Mersenne Twister as the uniform source:
+
+* **Uniform** — uniform random keys in ``[0, 2^32 - 1]``.
+* **Gaussian** — each key is the average of 4 uniform random values.
+* **Bucket sorted** — the input is split into ``p`` blocks; within block ``i``
+  the ``j``-th group of ``n/p^2`` elements is drawn from the ``j``-th of ``p``
+  equal key sub-ranges, producing a globally "bucketised" but locally random
+  sequence.
+* **Staggered** — ``p`` blocks; block ``i <= p/2`` gets keys from sub-range
+  ``2i - 1``-ish (high half interleave), the rest from the low half; adversarial
+  for uniformity-assuming partitioners.
+* **Deterministic duplicates** — the first ``p/2`` blocks are the constant
+  ``log n``, the next ``p/4`` blocks ``log(n/2)``, and so on: only ``O(log n)``
+  distinct keys in the whole input (a minimum-entropy workload).
+* **Sorted** — an already-sorted uniform input (the paper's reported worst case
+  for its implementation).
+* **Zero** — all keys equal; the extreme entropy-zero case (used by the test
+  suite and the robustness example).
+
+Every generator returns ``uint64`` values in ``[0, 2^32)`` so that the same
+logical distribution can later be cast to the paper's three key types (32-bit
+integers, floats, 64-bit integers) by :mod:`repro.datagen.keytypes`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+#: Number of "processors" used to parameterise the block-structured
+#: distributions; the paper sets it to the Tesla C1060's 240 scalar processors.
+DEFAULT_P = 240
+
+KEY_RANGE_BITS = 32
+KEY_RANGE = 1 << KEY_RANGE_BITS
+
+
+def _rng(seed: Optional[int]) -> np.random.Generator:
+    """Mersenne-Twister generator, matching the paper's uniform source."""
+    return np.random.Generator(np.random.MT19937(seed))
+
+
+def uniform(n: int, seed: Optional[int] = None, p: int = DEFAULT_P) -> np.ndarray:
+    """Uniformly distributed random keys in ``[0, 2^32 - 1]``."""
+    _check_n(n)
+    gen = _rng(seed)
+    return gen.integers(0, KEY_RANGE, size=n, dtype=np.uint64)
+
+
+def gaussian(n: int, seed: Optional[int] = None, p: int = DEFAULT_P) -> np.ndarray:
+    """Gaussian-ish keys: the average of 4 uniform random values per key."""
+    _check_n(n)
+    gen = _rng(seed)
+    samples = gen.integers(0, KEY_RANGE, size=(4, n), dtype=np.uint64)
+    return (samples.sum(axis=0) // 4).astype(np.uint64)
+
+
+def bucket_sorted(n: int, seed: Optional[int] = None, p: int = DEFAULT_P) -> np.ndarray:
+    """The Bucket distribution of Helman–Bader–JáJá.
+
+    The input is split into ``p`` blocks; the first ``n/p^2`` elements of every
+    block are uniform in the first of ``p`` key sub-ranges, the next ``n/p^2``
+    in the second sub-range, and so forth. The result looks locally random but
+    globally pre-bucketised.
+    """
+    _check_n(n)
+    if p <= 0:
+        raise ValueError(f"p must be positive, got {p}")
+    gen = _rng(seed)
+    out = np.empty(n, dtype=np.uint64)
+    positions = np.arange(n, dtype=np.int64)
+    block = positions * p // n            # which of the p blocks
+    within = positions - block * n // p   # index within the block (approximate
+    # for non-divisible n; the shape of the distribution is unaffected)
+    block_len = np.maximum(1, n // p)
+    group = np.minimum((within * p) // np.maximum(block_len, 1), p - 1)
+    sub_range = KEY_RANGE // p
+    low = group.astype(np.uint64) * np.uint64(sub_range)
+    out = low + gen.integers(0, max(sub_range, 1), size=n, dtype=np.uint64)
+    return out
+
+
+def staggered(n: int, seed: Optional[int] = None, p: int = DEFAULT_P) -> np.ndarray:
+    """The Staggered distribution of Helman–Bader–JáJá.
+
+    ``p`` blocks; a block with index ``i < p/2`` draws all of its elements from
+    the narrow sub-range ``[(2i+1) * 2^31/p, (2i+2) * 2^31/p)`` (the upper
+    half-interleave), the remaining blocks from the lower half. Adversarial for
+    partitioners that assume uniformly spread keys.
+    """
+    _check_n(n)
+    if p <= 0:
+        raise ValueError(f"p must be positive, got {p}")
+    gen = _rng(seed)
+    positions = np.arange(n, dtype=np.int64)
+    block = np.minimum(positions * p // n, p - 1)
+    half_range = KEY_RANGE // 2
+    sub = max(1, half_range // p)
+    first_half = block < (p + 1) // 2
+    # upper-half target sub-range for early blocks, lower half for late blocks
+    base = np.where(
+        first_half,
+        half_range + (block.astype(np.int64) * 2 % p) * sub,
+        ((block - (p + 1) // 2) * 2 % p) * sub,
+    ).astype(np.uint64)
+    return base + gen.integers(0, sub, size=n, dtype=np.uint64)
+
+
+def deterministic_duplicates(n: int, seed: Optional[int] = None,
+                             p: int = DEFAULT_P) -> np.ndarray:
+    """The DeterministicDuplicates distribution: O(log n) distinct keys.
+
+    The elements of the first ``p/2`` blocks are set to ``log n``, the elements
+    of the next ``p/4`` blocks to ``log(n/2)``, and so forth.
+    """
+    _check_n(n)
+    if p <= 0:
+        raise ValueError(f"p must be positive, got {p}")
+    out = np.empty(n, dtype=np.uint64)
+    remaining_blocks = p
+    start_block = 0
+    level = 0
+    logn = max(1, int(np.log2(max(n, 2))))
+    while start_block < p:
+        take = max(1, remaining_blocks // 2)
+        value = max(0, logn - level)
+        lo = start_block * n // p
+        hi = min(n, (start_block + take) * n // p)
+        if start_block + take >= p:
+            hi = n
+        out[lo:hi] = np.uint64(value)
+        start_block += take
+        remaining_blocks -= take
+        level += 1
+        if take == 1 and remaining_blocks <= 1:
+            out[hi:] = np.uint64(max(0, logn - level))
+            break
+    return out
+
+
+def sorted_keys(n: int, seed: Optional[int] = None, p: int = DEFAULT_P) -> np.ndarray:
+    """An already sorted uniform input (the paper's worst case for sample sort)."""
+    return np.sort(uniform(n, seed=seed, p=p))
+
+
+def reverse_sorted(n: int, seed: Optional[int] = None, p: int = DEFAULT_P) -> np.ndarray:
+    """A reverse-sorted uniform input (extra stress case, not in the paper)."""
+    return sorted_keys(n, seed=seed, p=p)[::-1].copy()
+
+
+def zero(n: int, seed: Optional[int] = None, p: int = DEFAULT_P) -> np.ndarray:
+    """All keys equal — the zero-entropy extreme."""
+    _check_n(n)
+    return np.zeros(n, dtype=np.uint64)
+
+
+def _check_n(n: int) -> None:
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+
+
+@dataclass(frozen=True)
+class Distribution:
+    """A named input distribution."""
+
+    name: str
+    generator: Callable[..., np.ndarray]
+    description: str
+
+    def generate(self, n: int, seed: Optional[int] = None,
+                 p: int = DEFAULT_P) -> np.ndarray:
+        """Generate ``n`` raw 32-bit-range keys (as uint64)."""
+        return self.generator(n, seed=seed, p=p)
+
+
+#: Registry of the paper's distributions plus the extra stress cases.
+DISTRIBUTIONS: dict[str, Distribution] = {
+    "uniform": Distribution("uniform", uniform,
+                            "uniform random keys in [0, 2^32)"),
+    "gaussian": Distribution("gaussian", gaussian,
+                             "average of 4 uniform values per key"),
+    "bucket": Distribution("bucket", bucket_sorted,
+                           "p-block bucketised keys (Helman-Bader-JaJa)"),
+    "staggered": Distribution("staggered", staggered,
+                              "p-block staggered keys (Helman-Bader-JaJa)"),
+    "dduplicates": Distribution("dduplicates", deterministic_duplicates,
+                                "deterministic duplicates: O(log n) distinct keys"),
+    "sorted": Distribution("sorted", sorted_keys,
+                           "already sorted uniform keys"),
+    "reverse": Distribution("reverse", reverse_sorted,
+                            "reverse-sorted uniform keys"),
+    "zero": Distribution("zero", zero, "all keys equal"),
+}
+
+#: The six distributions shown in Figure 5, in the paper's order.
+FIGURE5_DISTRIBUTIONS = ["uniform", "gaussian", "sorted", "staggered", "bucket",
+                         "dduplicates"]
+
+
+def get_distribution(name: str) -> Distribution:
+    """Look up a distribution by name (case-insensitive)."""
+    key = name.strip().lower()
+    if key not in DISTRIBUTIONS:
+        raise KeyError(
+            f"unknown distribution {name!r}; available: {sorted(DISTRIBUTIONS)}"
+        )
+    return DISTRIBUTIONS[key]
+
+
+def generate(name: str, n: int, seed: Optional[int] = None,
+             p: int = DEFAULT_P) -> np.ndarray:
+    """Convenience: generate ``n`` keys from the named distribution."""
+    return get_distribution(name).generate(n, seed=seed, p=p)
+
+
+__all__ = [
+    "DEFAULT_P",
+    "KEY_RANGE",
+    "KEY_RANGE_BITS",
+    "Distribution",
+    "DISTRIBUTIONS",
+    "FIGURE5_DISTRIBUTIONS",
+    "uniform",
+    "gaussian",
+    "bucket_sorted",
+    "staggered",
+    "deterministic_duplicates",
+    "sorted_keys",
+    "reverse_sorted",
+    "zero",
+    "get_distribution",
+    "generate",
+]

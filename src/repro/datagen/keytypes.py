@@ -1,0 +1,154 @@
+"""Key types used in the paper's experiments.
+
+The experimental study (§6) reports results for four input types:
+
+* 32-bit integer keys (``uint32``),
+* 32-bit floating point keys (``float32`` — the only type hybrid sort accepts),
+* 64-bit integer keys (``uint64`` — the type where radix sort loses),
+* key-value pairs where both key and value are 32-bit integers (the only type
+  Thrust merge sort handles, hence the Figure 3 comparison).
+
+:func:`make_input` converts the raw ``[0, 2^32)`` keys produced by
+:mod:`repro.datagen.distributions` into any of these, optionally attaching a
+payload, and returns a :class:`SortInput` the harness and sorters consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .distributions import KEY_RANGE, generate
+
+
+@dataclass(frozen=True)
+class KeyType:
+    """Description of one key type from the paper."""
+
+    name: str
+    dtype: np.dtype
+    key_bits: int
+    comparison_only: bool
+    description: str
+
+    @property
+    def key_bytes(self) -> int:
+        return int(np.dtype(self.dtype).itemsize)
+
+
+KEY_TYPES: dict[str, KeyType] = {
+    "uint32": KeyType("uint32", np.dtype(np.uint32), 32, False,
+                      "32-bit unsigned integer keys"),
+    "uint64": KeyType("uint64", np.dtype(np.uint64), 64, False,
+                      "64-bit unsigned integer keys"),
+    "float32": KeyType("float32", np.dtype(np.float32), 32, True,
+                       "32-bit floating point keys"),
+}
+
+
+def get_key_type(name: str) -> KeyType:
+    key = name.strip().lower()
+    if key not in KEY_TYPES:
+        raise KeyError(f"unknown key type {name!r}; available: {sorted(KEY_TYPES)}")
+    return KEY_TYPES[key]
+
+
+@dataclass
+class SortInput:
+    """A generated sorting workload."""
+
+    keys: np.ndarray
+    values: Optional[np.ndarray]
+    key_type: KeyType
+    distribution: str
+    seed: Optional[int]
+
+    @property
+    def n(self) -> int:
+        return int(self.keys.size)
+
+    @property
+    def has_values(self) -> bool:
+        return self.values is not None
+
+    @property
+    def record_bytes(self) -> int:
+        """Bytes per record (key plus optional payload)."""
+        total = self.key_type.key_bytes
+        if self.values is not None:
+            total += int(self.values.dtype.itemsize)
+        return total
+
+    def copy(self) -> "SortInput":
+        return SortInput(
+            keys=self.keys.copy(),
+            values=None if self.values is None else self.values.copy(),
+            key_type=self.key_type,
+            distribution=self.distribution,
+            seed=self.seed,
+        )
+
+    def expected_keys(self) -> np.ndarray:
+        """The correctly sorted key sequence (NumPy oracle)."""
+        return np.sort(self.keys)
+
+
+def raw_to_dtype(raw: np.ndarray, key_type: KeyType,
+                 seed: Optional[int] = None) -> np.ndarray:
+    """Convert raw 32-bit-range keys into the requested key type.
+
+    * ``uint32``: direct cast.
+    * ``float32``: scaled into [0, 1) so every distinct raw key stays distinct
+      enough at float precision for the distributions used here.
+    * ``uint64``: the raw key forms the *high* 32 bits and an independent
+      uniform draw fills the low 32 bits, so the distribution shape over the
+      key space is preserved while keys genuinely require 64-bit comparisons
+      (this is what makes the radix baseline pay for the longer key).
+    """
+    raw = np.asarray(raw, dtype=np.uint64)
+    if key_type.name == "uint32":
+        return raw.astype(np.uint32)
+    if key_type.name == "float32":
+        return (raw.astype(np.float64) / float(KEY_RANGE)).astype(np.float32)
+    if key_type.name == "uint64":
+        gen = np.random.Generator(np.random.MT19937(seed))
+        low = gen.integers(0, KEY_RANGE, size=raw.size, dtype=np.uint64)
+        return (raw << np.uint64(32)) | low
+    raise KeyError(f"unhandled key type {key_type.name!r}")
+
+
+def make_input(
+    distribution: str,
+    n: int,
+    key_type: str = "uint32",
+    with_values: bool = False,
+    seed: Optional[int] = None,
+    p: Optional[int] = None,
+) -> SortInput:
+    """Generate a complete sorting workload.
+
+    ``with_values=True`` attaches a 32-bit payload that is simply the original
+    index of every record, which also lets the validation module check that
+    keys and values stayed paired through the sort.
+    """
+    kt = get_key_type(key_type)
+    kwargs = {} if p is None else {"p": p}
+    raw = generate(distribution, n, seed=seed, **kwargs)
+    keys = raw_to_dtype(raw, kt, seed=None if seed is None else seed + 1)
+    values = None
+    if with_values:
+        values = np.arange(n, dtype=np.uint32)
+    return SortInput(keys=keys, values=values, key_type=kt,
+                     distribution=distribution, seed=seed)
+
+
+__all__ = [
+    "KeyType",
+    "KEY_TYPES",
+    "get_key_type",
+    "SortInput",
+    "raw_to_dtype",
+    "make_input",
+]

@@ -1,0 +1,95 @@
+"""SIMT GPU simulator substrate.
+
+This subpackage is the reproduction's replacement for the CUDA hardware the
+paper runs on (see DESIGN.md §3): devices, global and shared memory with
+coalescing / bank-conflict / atomic-contention accounting, warp divergence
+tracking, block scheduling with an occupancy model and a device-time model that
+turns counted work into predicted kernel time.
+
+Typical usage::
+
+    from repro.gpu import TESLA_C1060, KernelLauncher, grid_for
+
+    launcher = KernelLauncher(TESLA_C1060)
+    keys = launcher.gmem.from_host(host_keys)
+
+    def double_kernel(ctx, buf):
+        tile = ctx.load_tile(buf)
+        ctx.charge_per_element(tile.size, 1)
+        ctx.store_tile(buf, tile * 2)
+
+    launcher.launch(double_kernel, grid_for(keys.size, 256, 8),
+                    keys, problem_size=keys.size, phase="demo")
+    print(launcher.trace.format_breakdown())
+"""
+
+from .atomics import AtomicUnit
+from .block import BlockContext
+from .counters import KernelCounters, TransferCounters
+from .device import (
+    DEVICE_PRESETS,
+    GTX_285,
+    TESLA_C1060,
+    TINY_TEST_DEVICE,
+    DeviceSpec,
+    get_device,
+)
+from .errors import (
+    AlgorithmFailure,
+    AtomicsError,
+    DeviceConfigError,
+    GlobalMemoryError,
+    GpuSimError,
+    KernelExecutionError,
+    LaunchConfigError,
+    SharedMemoryError,
+    SorterError,
+    UnsupportedInputError,
+)
+from .grid import LaunchConfig, grid_for
+from .kernel import KernelLauncher, kernel, launch
+from .memory import DeviceArray, GlobalMemory
+from .scheduler import Occupancy, chip_utilisation, occupancy_for
+from .shared import SharedMemory
+from .stream import KernelRecord, KernelTrace
+from .timing import DeviceTimeModel, KernelTime
+from .warp import WarpExecutor
+
+__all__ = [
+    "AtomicUnit",
+    "BlockContext",
+    "KernelCounters",
+    "TransferCounters",
+    "DeviceSpec",
+    "TESLA_C1060",
+    "GTX_285",
+    "TINY_TEST_DEVICE",
+    "DEVICE_PRESETS",
+    "get_device",
+    "GpuSimError",
+    "DeviceConfigError",
+    "LaunchConfigError",
+    "SharedMemoryError",
+    "GlobalMemoryError",
+    "AtomicsError",
+    "KernelExecutionError",
+    "SorterError",
+    "UnsupportedInputError",
+    "AlgorithmFailure",
+    "LaunchConfig",
+    "grid_for",
+    "KernelLauncher",
+    "kernel",
+    "launch",
+    "DeviceArray",
+    "GlobalMemory",
+    "Occupancy",
+    "occupancy_for",
+    "chip_utilisation",
+    "SharedMemory",
+    "KernelRecord",
+    "KernelTrace",
+    "DeviceTimeModel",
+    "KernelTime",
+    "WarpExecutor",
+]

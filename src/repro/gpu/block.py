@@ -1,0 +1,176 @@
+"""Thread-block execution context.
+
+A simulated kernel is a Python callable ``kernel(ctx, *args)`` invoked once per
+thread block. Inside the callable, per-thread work is expressed with vectorised
+NumPy operations over "one entry per thread" (or per logical work item laid out
+in thread order), which mirrors how a warp executes one SIMT instruction across
+its lanes.
+
+The :class:`BlockContext` exposes everything a CUDA block would have access to:
+
+* its block id and geometry (``block_id``, ``num_threads``, ``thread_ids``),
+* the tile of the input it owns (``tile_bounds``),
+* global memory access with coalescing accounting (``load``, ``store``,
+  ``load_tile``, ``store_tile``),
+* shared memory (``shared``) and shared/global atomics (``atomics``),
+* warp-level divergence accounting (``warps``),
+* barriers (``syncthreads``) and explicit instruction accounting
+  (``charge_instructions``).
+
+All counting flows into one :class:`~repro.gpu.counters.KernelCounters` owned by
+the launch, which the timing model later converts to device time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .atomics import AtomicUnit
+from .counters import KernelCounters
+from .device import DeviceSpec
+from .grid import LaunchConfig
+from .memory import DeviceArray, GlobalMemory
+from .shared import SharedMemory
+from .warp import WarpExecutor
+
+
+class BlockContext:
+    """Execution context handed to a kernel body for one thread block."""
+
+    def __init__(
+        self,
+        device: DeviceSpec,
+        gmem: GlobalMemory,
+        launch: LaunchConfig,
+        block_id: int,
+        counters: KernelCounters,
+        problem_size: Optional[int] = None,
+    ):
+        self.device = device
+        self.gmem = gmem
+        self.launch = launch
+        self.block_id = int(block_id)
+        self.counters = counters
+        self.problem_size = problem_size
+        self.shared = SharedMemory(device, counters,
+                                   capacity_bytes=device.shared_mem_per_sm)
+        self.atomics = AtomicUnit(device, counters)
+        self.warps = WarpExecutor(device, launch.block_dim, counters)
+
+    # ---------------------------------------------------------------- geometry
+    @property
+    def num_threads(self) -> int:
+        return self.launch.block_dim
+
+    @property
+    def num_blocks(self) -> int:
+        return self.launch.grid_dim
+
+    @property
+    def elements_per_thread(self) -> int:
+        return self.launch.elements_per_thread
+
+    @property
+    def tile_size(self) -> int:
+        return self.launch.tile_size
+
+    def thread_ids(self) -> np.ndarray:
+        """Thread indices 0..block_dim-1 within this block."""
+        return np.arange(self.num_threads)
+
+    def global_thread_ids(self) -> np.ndarray:
+        """Grid-wide thread indices for this block."""
+        return self.block_id * self.num_threads + np.arange(self.num_threads)
+
+    def tile_bounds(self, n: Optional[int] = None) -> tuple[int, int]:
+        """The [start, end) slice of an n-element input owned by this block."""
+        if n is None:
+            n = self.problem_size
+        if n is None:
+            raise ValueError("tile_bounds requires the problem size")
+        return self.launch.tile_bounds(self.block_id, n)
+
+    # ------------------------------------------------------------ global memory
+    def load(self, handle: DeviceArray, indices: np.ndarray) -> np.ndarray:
+        """Gather ``handle[indices]`` (one index per thread/work item)."""
+        return self.gmem.gather(handle, indices, self.counters,
+                                warp_size=self.device.warp_size)
+
+    def store(self, handle: DeviceArray, indices: np.ndarray, values) -> None:
+        """Scatter ``values`` to ``handle[indices]``."""
+        self.gmem.scatter(handle, indices, values, self.counters,
+                          warp_size=self.device.warp_size)
+
+    def load_tile(self, handle: DeviceArray, n: Optional[int] = None) -> np.ndarray:
+        """Coalesced load of this block's whole tile of ``handle``.
+
+        This is the canonical access pattern of Phases 2 and 4: each thread of
+        the block reads ``ell`` consecutive chunks with a block-strided layout,
+        which coalesces perfectly; the simulator charges the ideal transaction
+        count through the contiguous fast path.
+        """
+        start, end = self.tile_bounds(n if n is not None else handle.size)
+        return self.gmem.read_block(handle, start, end - start, self.counters)
+
+    def store_tile(self, handle: DeviceArray, values: np.ndarray,
+                   n: Optional[int] = None) -> None:
+        """Coalesced store of this block's whole tile of ``handle``."""
+        start, end = self.tile_bounds(n if n is not None else handle.size)
+        values = np.asarray(values)
+        if values.size != end - start:
+            raise ValueError(
+                f"store_tile size mismatch: tile has {end - start} elements, "
+                f"got {values.size}"
+            )
+        self.gmem.write_block(handle, start, values, self.counters)
+
+    def read_range(self, handle: DeviceArray, start: int, count: int) -> np.ndarray:
+        """Coalesced read of an arbitrary contiguous range."""
+        return self.gmem.read_block(handle, start, count, self.counters)
+
+    def write_range(self, handle: DeviceArray, start: int, values: np.ndarray) -> None:
+        """Coalesced write of an arbitrary contiguous range."""
+        self.gmem.write_block(handle, start, values, self.counters)
+
+    # ------------------------------------------------------------ miscellaneous
+    def syncthreads(self) -> None:
+        """Record a block-wide barrier."""
+        self.counters.barriers += 1
+
+    def charge_instructions(self, count: float) -> None:
+        """Charge ``count`` dynamic scalar instructions to this block.
+
+        Kernels call this for arithmetic that the vectorised NumPy expression
+        performs "for free" from the simulator's point of view, e.g. one unit
+        per element per comparison level of the search-tree traversal.
+        """
+        self.counters.instructions += int(count)
+
+    def charge_per_element(self, num_elements: int, instructions_per_element: float) -> None:
+        """Charge ``num_elements * instructions_per_element`` instructions."""
+        self.counters.instructions += int(round(num_elements * instructions_per_element))
+
+    def charge_streaming_traffic(self, bytes_read: int, bytes_written: int) -> None:
+        """Charge perfectly coalesced global traffic without moving data.
+
+        Used by kernels that model a well-understood streaming access pattern
+        (e.g. the repeated passes of a sorting network running out of global
+        memory) where materialising every intermediate pass through the memory
+        system would only repeat the same ideal transaction count.
+        """
+        seg = self.device.mem_transaction_bytes
+        if bytes_read > 0:
+            tx = -(-int(bytes_read) // seg)
+            self.counters.global_bytes_read += int(bytes_read)
+            self.counters.global_read_transactions += tx
+            self.counters.ideal_read_transactions += tx
+        if bytes_written > 0:
+            tx = -(-int(bytes_written) // seg)
+            self.counters.global_bytes_written += int(bytes_written)
+            self.counters.global_write_transactions += tx
+            self.counters.ideal_write_transactions += tx
+
+
+__all__ = ["BlockContext"]

@@ -1,0 +1,151 @@
+"""Hardware event counters collected while simulating kernels.
+
+Every quantity the paper's performance argument rests on is counted explicitly:
+
+* global-memory traffic, split into *requested* bytes and *transaction* bytes
+  (the difference is the coalescing penalty discussed in Section 2 of the paper),
+* shared-memory traffic and bank conflicts,
+* dynamic instructions (scalar-thread instructions, the SIMT work),
+* atomic operations and the serialisation they cause under contention
+  (the 8-counter-array trick of Phase 2 exists to reduce exactly this number),
+* divergent branches (the branch-free tree traversal exists to keep this at zero),
+* barriers and kernel launches.
+
+Counters are plain data and compose with ``+`` so that per-block counters can be
+summed into per-kernel and per-sort totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class KernelCounters:
+    """Accumulated event counts for one kernel launch (or a sum of launches)."""
+
+    #: Bytes the threads asked to read from global memory.
+    global_bytes_read: int = 0
+    #: Bytes the threads asked to write to global memory.
+    global_bytes_written: int = 0
+    #: Number of memory transactions issued for global reads.
+    global_read_transactions: int = 0
+    #: Number of memory transactions issued for global writes.
+    global_write_transactions: int = 0
+    #: Minimum number of transactions had every access been perfectly coalesced.
+    ideal_read_transactions: int = 0
+    ideal_write_transactions: int = 0
+    #: Bytes moved through per-SM shared memory.
+    shared_bytes_accessed: int = 0
+    #: Extra shared-memory cycles caused by bank conflicts.
+    shared_bank_conflicts: int = 0
+    #: Dynamic scalar-thread instructions executed.
+    instructions: int = 0
+    #: Atomic operations issued (shared or global).
+    atomic_operations: int = 0
+    #: Extra serialised atomic operations due to address contention.
+    atomic_conflicts: int = 0
+    #: Warp-level branches where the warp did not agree on one path.
+    divergent_branches: int = 0
+    #: Warp-level branches evaluated in total.
+    total_branches: int = 0
+    #: __syncthreads() style barriers executed per block.
+    barriers: int = 0
+    #: Number of kernel launches represented by this counter set.
+    kernel_launches: int = 0
+
+    # ------------------------------------------------------------------ algebra
+    def __add__(self, other: "KernelCounters") -> "KernelCounters":
+        if not isinstance(other, KernelCounters):
+            return NotImplemented
+        merged = KernelCounters()
+        for f in fields(KernelCounters):
+            setattr(merged, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return merged
+
+    def __iadd__(self, other: "KernelCounters") -> "KernelCounters":
+        if not isinstance(other, KernelCounters):
+            return NotImplemented
+        for f in fields(KernelCounters):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def copy(self) -> "KernelCounters":
+        out = KernelCounters()
+        out += self
+        return out
+
+    # ------------------------------------------------------------- derived info
+    @property
+    def global_bytes_total(self) -> int:
+        """Total requested global traffic in bytes (reads + writes)."""
+        return self.global_bytes_read + self.global_bytes_written
+
+    @property
+    def global_transactions(self) -> int:
+        return self.global_read_transactions + self.global_write_transactions
+
+    @property
+    def ideal_transactions(self) -> int:
+        return self.ideal_read_transactions + self.ideal_write_transactions
+
+    def coalescing_efficiency(self) -> float:
+        """Fraction of issued transactions that were strictly necessary.
+
+        1.0 means perfectly coalesced traffic; values < 1.0 mean the device
+        moved more bus transactions than the requested bytes required, which the
+        timing model translates into lower effective bandwidth.
+        """
+        issued = self.global_transactions
+        if issued == 0:
+            return 1.0
+        return self.ideal_transactions / issued
+
+    def divergence_rate(self) -> float:
+        """Fraction of evaluated warp branches that diverged."""
+        if self.total_branches == 0:
+            return 0.0
+        return self.divergent_branches / self.total_branches
+
+    def atomic_serialisation(self) -> float:
+        """Average number of serialised replays per atomic operation."""
+        if self.atomic_operations == 0:
+            return 0.0
+        return self.atomic_conflicts / self.atomic_operations
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(KernelCounters)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        parts = ", ".join(f"{k}={v}" for k, v in self.as_dict().items() if v)
+        return f"KernelCounters({parts})"
+
+
+@dataclass
+class TransferCounters:
+    """Host<->device transfer counters.
+
+    The paper excludes host transfer time from its measurements ("we do not
+    include the time for transferring the data from host CPU memory to GPU
+    memory"); the reproduction still counts them so the exclusion is explicit
+    rather than accidental.
+    """
+
+    host_to_device_bytes: int = 0
+    device_to_host_bytes: int = 0
+
+    def __add__(self, other: "TransferCounters") -> "TransferCounters":
+        if not isinstance(other, TransferCounters):
+            return NotImplemented
+        return TransferCounters(
+            self.host_to_device_bytes + other.host_to_device_bytes,
+            self.device_to_host_bytes + other.device_to_host_bytes,
+        )
+
+
+def zeros() -> KernelCounters:
+    """Return a fresh, zero-initialised counter set."""
+    return KernelCounters()
+
+
+__all__ = ["KernelCounters", "TransferCounters", "zeros"]

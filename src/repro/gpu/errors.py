@@ -1,0 +1,72 @@
+"""Exception types raised by the SIMT GPU simulator.
+
+The simulator enforces a subset of the hardware constraints that a real CUDA
+device would enforce (shared-memory capacity, block-size limits, buffer bounds)
+so that kernels written against it cannot silently rely on behaviour that would
+not exist on the paper's target hardware (an NVidia Tesla C1060 / GTX 285).
+"""
+
+from __future__ import annotations
+
+
+class GpuSimError(Exception):
+    """Base class for all simulator errors."""
+
+
+class DeviceConfigError(GpuSimError):
+    """Raised when a :class:`~repro.gpu.device.DeviceSpec` is inconsistent."""
+
+
+class LaunchConfigError(GpuSimError):
+    """Raised when a kernel launch configuration violates device limits.
+
+    Examples: more threads per block than ``max_threads_per_block``, a
+    non-positive grid, or a block size that is not a multiple of the warp size
+    when the kernel requires full warps.
+    """
+
+
+class SharedMemoryError(GpuSimError):
+    """Raised when a block allocates more shared memory than the SM provides."""
+
+
+class GlobalMemoryError(GpuSimError):
+    """Raised on out-of-bounds or type-mismatched global memory access."""
+
+
+class AtomicsError(GpuSimError):
+    """Raised when atomics are used on a device that does not support them."""
+
+
+class KernelExecutionError(GpuSimError):
+    """Raised when a kernel body fails; wraps the original exception."""
+
+    def __init__(self, kernel_name: str, block_id: int, original: BaseException):
+        self.kernel_name = kernel_name
+        self.block_id = block_id
+        self.original = original
+        super().__init__(
+            f"kernel {kernel_name!r} failed in block {block_id}: {original!r}"
+        )
+
+
+class SorterError(GpuSimError):
+    """Base class for errors raised by sorting algorithms built on the simulator."""
+
+
+class UnsupportedInputError(SorterError):
+    """Raised when a sorter is given an input type it does not accept.
+
+    This mirrors the paper's experimental setup, where several of the published
+    implementations only accept specific key types (e.g. hybrid sort only sorts
+    ``float32`` keys) and are therefore omitted from the other plots.
+    """
+
+
+class AlgorithmFailure(SorterError):
+    """Raised when an algorithm fails on a legal input.
+
+    The paper reports that hybrid sort *crashes* on the DeterministicDuplicates
+    distribution; the reproduction models that behaviour with this exception so
+    the harness can record a DNF instead of silently producing wrong output.
+    """

@@ -1,0 +1,94 @@
+"""Kernel launch configuration (grid / block geometry).
+
+The paper's distribution kernels use a one-dimensional grid of ``p`` thread
+blocks, each with ``t = 256`` threads processing ``ell = 8`` elements per
+thread, i.e. a tile of ``t * ell = 2048`` elements per block. This module holds
+the small amount of arithmetic needed to derive tile boundaries from an input
+size and to validate a launch against the device limits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import DeviceSpec
+from .errors import LaunchConfigError
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """Geometry of one kernel launch."""
+
+    grid_dim: int
+    block_dim: int
+    #: Sequential elements each thread processes (the paper's ``ell``).
+    elements_per_thread: int = 1
+    #: Dynamic shared memory the kernel requests per block, in bytes.
+    shared_mem_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.grid_dim <= 0:
+            raise LaunchConfigError(f"grid_dim must be positive, got {self.grid_dim}")
+        if self.block_dim <= 0:
+            raise LaunchConfigError(f"block_dim must be positive, got {self.block_dim}")
+        if self.elements_per_thread <= 0:
+            raise LaunchConfigError(
+                f"elements_per_thread must be positive, got {self.elements_per_thread}"
+            )
+        if self.shared_mem_bytes < 0:
+            raise LaunchConfigError("shared_mem_bytes must be non-negative")
+
+    @property
+    def tile_size(self) -> int:
+        """Elements processed by one block."""
+        return self.block_dim * self.elements_per_thread
+
+    @property
+    def total_threads(self) -> int:
+        return self.grid_dim * self.block_dim
+
+    @property
+    def total_elements(self) -> int:
+        """Upper bound on elements covered by the whole grid."""
+        return self.grid_dim * self.tile_size
+
+    def validate(self, device: DeviceSpec) -> None:
+        """Raise :class:`LaunchConfigError` if the launch violates device limits."""
+        if self.block_dim > device.max_threads_per_block:
+            raise LaunchConfigError(
+                f"block_dim {self.block_dim} exceeds device limit "
+                f"{device.max_threads_per_block}"
+            )
+        if self.shared_mem_bytes > device.shared_mem_per_sm:
+            raise LaunchConfigError(
+                f"requested {self.shared_mem_bytes} bytes of shared memory but the "
+                f"SM only has {device.shared_mem_per_sm}"
+            )
+
+    def tile_bounds(self, block_id: int, n: int) -> tuple[int, int]:
+        """Half-open element range [start, end) covered by ``block_id`` for an
+        input of ``n`` elements. The final tile may be partial."""
+        start = block_id * self.tile_size
+        end = min(n, start + self.tile_size)
+        return start, max(start, end)
+
+
+def grid_for(n: int, block_dim: int, elements_per_thread: int = 1,
+             shared_mem_bytes: int = 0) -> LaunchConfig:
+    """Compute the launch configuration covering ``n`` elements.
+
+    This is the ``p = ceil(n / (t * ell))`` of Section 4.
+    """
+    if n < 0:
+        raise LaunchConfigError(f"cannot launch a grid for negative n={n}")
+    tile = block_dim * elements_per_thread
+    grid = max(1, -(-n // tile))
+    return LaunchConfig(
+        grid_dim=grid,
+        block_dim=block_dim,
+        elements_per_thread=elements_per_thread,
+        shared_mem_bytes=shared_mem_bytes,
+    )
+
+
+__all__ = ["LaunchConfig", "grid_for"]

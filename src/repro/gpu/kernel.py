@@ -1,0 +1,148 @@
+"""Kernel launching for the SIMT simulator.
+
+:func:`launch` is the simulator's counterpart of ``kernel<<<grid, block>>>``: it
+validates the launch configuration against the device, runs the kernel body once
+per thread block, aggregates the per-block event counters, asks the timing model
+for a predicted execution time and (optionally) appends the launch to a
+:class:`~repro.gpu.stream.KernelTrace`.
+
+Blocks are executed sequentially in Python — the *data* parallelism of a block
+is expressed inside the kernel body with vectorised NumPy operations, which is
+both the fast way to simulate and a faithful rendering of SIMT: one NumPy
+expression over "one lane per thread" is one SIMT instruction stream.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Optional
+
+from .block import BlockContext
+from .counters import KernelCounters
+from .device import DeviceSpec
+from .errors import KernelExecutionError
+from .grid import LaunchConfig
+from .memory import GlobalMemory
+from .stream import KernelRecord, KernelTrace
+from .timing import DeviceTimeModel, KernelTime
+
+KernelFn = Callable[..., None]
+
+
+def kernel(name: Optional[str] = None, phase: str = "kernel",
+           regs_per_thread: int = 16) -> Callable[[KernelFn], KernelFn]:
+    """Decorator attaching launch metadata to a kernel body.
+
+    The metadata (display name, default phase label, register estimate) is used
+    by :func:`launch` when the caller does not override it.
+    """
+
+    def wrap(fn: KernelFn) -> KernelFn:
+        fn.__kernel_name__ = name or fn.__name__
+        fn.__kernel_phase__ = phase
+        fn.__kernel_regs__ = regs_per_thread
+
+        @functools.wraps(fn)
+        def body(*args, **kwargs):
+            return fn(*args, **kwargs)
+
+        body.__kernel_name__ = fn.__kernel_name__
+        body.__kernel_phase__ = fn.__kernel_phase__
+        body.__kernel_regs__ = fn.__kernel_regs__
+        return body
+
+    return wrap
+
+
+def launch(
+    fn: KernelFn,
+    launch_config: LaunchConfig,
+    device: DeviceSpec,
+    gmem: GlobalMemory,
+    *args,
+    problem_size: Optional[int] = None,
+    trace: Optional[KernelTrace] = None,
+    phase: Optional[str] = None,
+    name: Optional[str] = None,
+    regs_per_thread: Optional[int] = None,
+    time_model: Optional[DeviceTimeModel] = None,
+    **kwargs,
+) -> tuple[KernelCounters, KernelTime]:
+    """Run ``fn(ctx, *args, **kwargs)`` for every block of the grid.
+
+    Returns the aggregated counters and the predicted kernel time. If ``trace``
+    is given, a :class:`KernelRecord` is appended to it.
+    """
+    launch_config.validate(device)
+    counters = KernelCounters()
+    counters.kernel_launches = 1
+
+    kernel_name = name or getattr(fn, "__kernel_name__", fn.__name__)
+    kernel_phase = phase or getattr(fn, "__kernel_phase__", "kernel")
+    regs = regs_per_thread if regs_per_thread is not None else getattr(
+        fn, "__kernel_regs__", 16
+    )
+
+    for block_id in range(launch_config.grid_dim):
+        ctx = BlockContext(
+            device=device,
+            gmem=gmem,
+            launch=launch_config,
+            block_id=block_id,
+            counters=counters,
+            problem_size=problem_size,
+        )
+        try:
+            fn(ctx, *args, **kwargs)
+        except KernelExecutionError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - wrap with launch context
+            raise KernelExecutionError(kernel_name, block_id, exc) from exc
+
+    model = time_model or DeviceTimeModel(device)
+    time = model.kernel_time(counters, launch_config, regs)
+
+    if trace is not None:
+        trace.append(
+            KernelRecord(
+                name=kernel_name,
+                phase=kernel_phase,
+                launch=launch_config,
+                counters=counters,
+                time=time,
+            )
+        )
+    return counters, time
+
+
+class KernelLauncher:
+    """Convenience object bundling device, memory, trace and time model.
+
+    Sorting algorithms hold one launcher for the duration of a sort so that all
+    their kernels share the same accounting context::
+
+        launcher = KernelLauncher(device)
+        keys = launcher.gmem.from_host(host_keys)
+        launcher.launch(my_kernel, grid_for(n, 256, 8), keys, phase="phase2")
+        print(launcher.trace.total_time_us)
+    """
+
+    def __init__(self, device: DeviceSpec, gmem: Optional[GlobalMemory] = None,
+                 trace: Optional[KernelTrace] = None):
+        self.device = device
+        self.gmem = gmem if gmem is not None else GlobalMemory(device)
+        self.trace = trace if trace is not None else KernelTrace()
+        self.time_model = DeviceTimeModel(device)
+
+    def launch(self, fn: KernelFn, launch_config: LaunchConfig, *args,
+               **kwargs) -> tuple[KernelCounters, KernelTime]:
+        kwargs.setdefault("trace", self.trace)
+        kwargs.setdefault("time_model", self.time_model)
+        return launch(fn, launch_config, self.device, self.gmem, *args, **kwargs)
+
+    @property
+    def total_time_us(self) -> float:
+        return self.trace.total_time_us
+
+
+__all__ = ["kernel", "launch", "KernelLauncher"]

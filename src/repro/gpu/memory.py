@@ -1,0 +1,266 @@
+"""Global device memory for the SIMT simulator.
+
+Global memory is where the sorting input, output, histograms and bucket offsets
+live. Two properties of GT200 global memory matter for the paper's analysis and
+are modelled here:
+
+* **Traffic volume.** Every k-way distribution pass touches the whole input a
+  constant number of times; two-way algorithms touch it ``log2`` times. The
+  simulator counts requested bytes exactly.
+* **Coalescing.** Loads/stores of the 32 threads of a warp that fall into the
+  same 128-byte segment are serviced by one transaction; scattered accesses
+  require one transaction per segment touched. Phase 4's scatter is the main
+  source of uncoalesced traffic in sample sort; the merge and radix baselines
+  have more regular write patterns. The simulator analyses the actual index
+  vectors of every access and counts issued vs. ideal transactions.
+
+Arrays are wrapped in :class:`DeviceArray` handles; raw element data is stored
+in NumPy arrays so kernels can operate on whole tiles with vectorised
+operations (one Python-level "instruction" per warp-instruction batch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .counters import KernelCounters
+from .device import DeviceSpec
+from .errors import GlobalMemoryError
+
+
+@dataclass
+class DeviceArray:
+    """A handle to an allocation in simulated global memory."""
+
+    name: str
+    data: np.ndarray
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    @property
+    def itemsize(self) -> int:
+        return int(self.data.dtype.itemsize)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    def __len__(self) -> int:  # pragma: no cover - trivial
+        return self.size
+
+    def to_host(self) -> np.ndarray:
+        """Copy the contents back to the host (returns an independent array)."""
+        return self.data.copy()
+
+
+def _count_warp_segments(
+    byte_addresses: np.ndarray, warp_size: int, segment_bytes: int
+) -> int:
+    """Count memory transactions for a vector of per-thread byte addresses.
+
+    Threads are grouped into warps of ``warp_size`` consecutive lanes; each warp
+    issues one transaction per distinct ``segment_bytes``-sized segment touched.
+    """
+    n = byte_addresses.size
+    if n == 0:
+        return 0
+    segments = byte_addresses // segment_bytes
+    # Pad to a whole number of warps with a sentinel that never collides with a
+    # real segment (real segments are non-negative).
+    pad = (-n) % warp_size
+    if pad:
+        segments = np.concatenate([segments, np.full(pad, -1, dtype=np.int64)])
+    per_warp = segments.reshape(-1, warp_size)
+    per_warp = np.sort(per_warp, axis=1)
+    distinct = np.ones(per_warp.shape[0], dtype=np.int64)
+    distinct += (np.diff(per_warp, axis=1) != 0).sum(axis=1)
+    if pad:
+        # The sentinel introduced exactly one extra distinct value in the last
+        # warp unless the last warp is empty of real lanes (cannot happen since
+        # pad < warp_size).
+        distinct[-1] -= 1
+    return int(distinct.sum())
+
+
+def _ideal_segments(count: int, itemsize: int, warp_size: int, segment_bytes: int) -> int:
+    """Minimum transactions needed for ``count`` contiguous accesses of a warp."""
+    if count == 0:
+        return 0
+    per_warp_bytes = warp_size * itemsize
+    ideal_per_full_warp = max(1, -(-per_warp_bytes // segment_bytes))
+    full_warps, rem = divmod(count, warp_size)
+    total = full_warps * ideal_per_full_warp
+    if rem:
+        total += max(1, -(-(rem * itemsize) // segment_bytes))
+    return int(total)
+
+
+class GlobalMemory:
+    """Simulated global (device) memory with transaction accounting.
+
+    One instance is shared by all kernels of a sort so that total footprint can
+    be checked against the device capacity, mimicking the 4 GB limit that lets
+    the paper scale to n = 2^27 key-value pairs on the Tesla C1060.
+    """
+
+    def __init__(self, device: DeviceSpec):
+        self.device = device
+        self._allocations: dict[str, DeviceArray] = {}
+        self._bytes_allocated = 0
+        self._alloc_counter = 0
+
+    # ------------------------------------------------------------- allocation
+    @property
+    def bytes_allocated(self) -> int:
+        return self._bytes_allocated
+
+    def alloc(self, shape, dtype, name: Optional[str] = None) -> DeviceArray:
+        """Allocate a zero-initialised device array."""
+        arr = np.zeros(shape, dtype=dtype)
+        return self._register(arr, name)
+
+    def from_host(self, host_array: np.ndarray, name: Optional[str] = None) -> DeviceArray:
+        """Copy a host array to the device (models cudaMemcpy H2D)."""
+        arr = np.array(host_array, copy=True)
+        return self._register(arr, name)
+
+    def _register(self, arr: np.ndarray, name: Optional[str]) -> DeviceArray:
+        if name is None:
+            name = f"buf{self._alloc_counter}"
+        self._alloc_counter += 1
+        new_total = self._bytes_allocated + arr.nbytes
+        if new_total > self.device.global_mem_bytes:
+            raise GlobalMemoryError(
+                f"device memory exhausted: requested {arr.nbytes} bytes for "
+                f"{name!r}, {self._bytes_allocated} already allocated, capacity "
+                f"{self.device.global_mem_bytes}"
+            )
+        handle = DeviceArray(name=name, data=arr)
+        self._allocations[name] = handle
+        self._bytes_allocated = new_total
+        return handle
+
+    def free(self, handle: DeviceArray) -> None:
+        """Release an allocation (models cudaFree)."""
+        if handle.name in self._allocations:
+            del self._allocations[handle.name]
+            self._bytes_allocated -= handle.nbytes
+
+    # ------------------------------------------------------------ access paths
+    def gather(
+        self,
+        handle: DeviceArray,
+        indices: np.ndarray,
+        counters: KernelCounters,
+        warp_size: Optional[int] = None,
+    ) -> np.ndarray:
+        """Read ``handle[indices]``, counting read traffic and transactions.
+
+        ``indices`` is interpreted as one index per active thread in launch
+        order; consecutive groups of ``warp_size`` entries form a warp for the
+        coalescing analysis.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        self._check_bounds(handle, idx)
+        ws = warp_size or self.device.warp_size
+        itemsize = handle.itemsize
+        counters.global_bytes_read += int(idx.size) * itemsize
+        counters.global_read_transactions += _count_warp_segments(
+            idx * itemsize, ws, self.device.mem_transaction_bytes
+        )
+        counters.ideal_read_transactions += _ideal_segments(
+            int(idx.size), itemsize, ws, self.device.mem_transaction_bytes
+        )
+        return handle.data[idx]
+
+    def scatter(
+        self,
+        handle: DeviceArray,
+        indices: np.ndarray,
+        values: np.ndarray,
+        counters: KernelCounters,
+        warp_size: Optional[int] = None,
+    ) -> None:
+        """Write ``values`` to ``handle[indices]`` with write-traffic accounting."""
+        idx = np.asarray(indices, dtype=np.int64)
+        vals = np.asarray(values)
+        if idx.shape != vals.shape:
+            raise GlobalMemoryError(
+                f"scatter shape mismatch: indices {idx.shape} vs values {vals.shape}"
+            )
+        self._check_bounds(handle, idx)
+        ws = warp_size or self.device.warp_size
+        itemsize = handle.itemsize
+        counters.global_bytes_written += int(idx.size) * itemsize
+        counters.global_write_transactions += _count_warp_segments(
+            idx * itemsize, ws, self.device.mem_transaction_bytes
+        )
+        counters.ideal_write_transactions += _ideal_segments(
+            int(idx.size), itemsize, ws, self.device.mem_transaction_bytes
+        )
+        handle.data[idx] = vals.astype(handle.dtype, copy=False)
+
+    def read_block(
+        self, handle: DeviceArray, start: int, count: int, counters: KernelCounters
+    ) -> np.ndarray:
+        """Read a contiguous slice — the fully coalesced fast path."""
+        if count < 0 or start < 0 or start + count > handle.size:
+            raise GlobalMemoryError(
+                f"read_block out of bounds: [{start}, {start + count}) of {handle.size}"
+            )
+        itemsize = handle.itemsize
+        counters.global_bytes_read += count * itemsize
+        tx = _ideal_segments(
+            count, itemsize, self.device.warp_size, self.device.mem_transaction_bytes
+        )
+        counters.global_read_transactions += tx
+        counters.ideal_read_transactions += tx
+        return handle.data[start : start + count]
+
+    def write_block(
+        self,
+        handle: DeviceArray,
+        start: int,
+        values: np.ndarray,
+        counters: KernelCounters,
+    ) -> None:
+        """Write a contiguous slice — the fully coalesced fast path."""
+        values = np.asarray(values)
+        count = int(values.size)
+        if start < 0 or start + count > handle.size:
+            raise GlobalMemoryError(
+                f"write_block out of bounds: [{start}, {start + count}) of {handle.size}"
+            )
+        itemsize = handle.itemsize
+        counters.global_bytes_written += count * itemsize
+        tx = _ideal_segments(
+            count, itemsize, self.device.warp_size, self.device.mem_transaction_bytes
+        )
+        counters.global_write_transactions += tx
+        counters.ideal_write_transactions += tx
+        handle.data[start : start + count] = values.astype(handle.dtype, copy=False)
+
+    # ---------------------------------------------------------------- internal
+    @staticmethod
+    def _check_bounds(handle: DeviceArray, idx: np.ndarray) -> None:
+        if idx.size == 0:
+            return
+        lo = int(idx.min())
+        hi = int(idx.max())
+        if lo < 0 or hi >= handle.size:
+            raise GlobalMemoryError(
+                f"index out of bounds for {handle.name!r}: range [{lo}, {hi}] "
+                f"but size is {handle.size}"
+            )
+
+
+__all__ = ["DeviceArray", "GlobalMemory"]

@@ -1,0 +1,117 @@
+"""Block scheduling and occupancy model.
+
+GT200 SMs hide memory latency by keeping many warps resident and switching
+between them at zero cost. How many blocks fit on one SM (the *occupancy*) is
+limited by threads, shared memory and the per-SM block limit. The paper chooses
+``t = 256`` threads and ``ell = 8`` elements per thread explicitly as "a
+compromise between the parallelism exposed by the algorithm, the amount of data
+written in the second phase and memory latency in the fourth phase" — an
+occupancy/traffic trade-off the simulator reproduces.
+
+The scheduler answers two questions the timing model needs:
+
+* how many blocks are resident per SM (determines how well latency is hidden),
+* how many *waves* of blocks the grid needs (a grid much larger than the chip
+  runs in several waves; a grid smaller than the chip leaves SMs idle, which is
+  why sorting rates in the paper drop for small n).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import DeviceSpec
+from .grid import LaunchConfig
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Occupancy of one kernel launch on one device."""
+
+    blocks_per_sm: int
+    resident_warps_per_sm: int
+    max_warps_per_sm: int
+    waves: int
+    active_sms_last_wave: int
+
+    @property
+    def warp_occupancy(self) -> float:
+        """Resident warps divided by the SM's warp capacity (0..1]."""
+        if self.max_warps_per_sm == 0:
+            return 0.0
+        return min(1.0, self.resident_warps_per_sm / self.max_warps_per_sm)
+
+    @property
+    def latency_hiding(self) -> float:
+        """Heuristic latency-hiding factor in (0, 1].
+
+        With few resident warps the SM stalls on memory latency; with ~50 % or
+        more warp occupancy GT200 typically hides global-memory latency for
+        streaming kernels. The factor saturates accordingly.
+        """
+        return min(1.0, 0.25 + 1.5 * self.warp_occupancy)
+
+
+def occupancy_for(device: DeviceSpec, launch: LaunchConfig,
+                  regs_per_thread: int = 16) -> Occupancy:
+    """Compute occupancy for a launch on a device.
+
+    ``regs_per_thread`` defaults to a typical value for the paper's kernels;
+    register pressure only rarely becomes the limiting factor for them, but the
+    limit is modelled so that configurations like very large unrolled traversals
+    can be studied.
+    """
+    warp_size = device.warp_size
+    threads = launch.block_dim
+    warps_per_block = -(-threads // warp_size)
+
+    # Limits: threads, blocks, shared memory, registers.
+    limit_threads = device.max_threads_per_sm // threads if threads else 0
+    limit_blocks = device.max_blocks_per_sm
+    if launch.shared_mem_bytes > 0:
+        limit_shared = device.shared_mem_per_sm // launch.shared_mem_bytes
+    else:
+        limit_shared = device.max_blocks_per_sm
+    regs_per_block = regs_per_thread * threads
+    if regs_per_block > 0:
+        limit_regs = device.registers_per_sm // regs_per_block
+    else:
+        limit_regs = device.max_blocks_per_sm
+
+    blocks_per_sm = max(0, min(limit_threads, limit_blocks, limit_shared, limit_regs))
+    if blocks_per_sm == 0:
+        # The block does not fit at all; the launcher will have raised for hard
+        # violations, but borderline register pressure degrades to one block.
+        blocks_per_sm = 1
+
+    resident_warps = blocks_per_sm * warps_per_block
+    chip_blocks = blocks_per_sm * device.sm_count
+    waves = max(1, -(-launch.grid_dim // chip_blocks))
+    last_wave_blocks = launch.grid_dim - (waves - 1) * chip_blocks
+    active_sms_last_wave = min(device.sm_count, -(-last_wave_blocks // blocks_per_sm))
+
+    return Occupancy(
+        blocks_per_sm=blocks_per_sm,
+        resident_warps_per_sm=resident_warps,
+        max_warps_per_sm=device.max_warps_per_sm,
+        waves=waves,
+        active_sms_last_wave=active_sms_last_wave,
+    )
+
+
+def chip_utilisation(device: DeviceSpec, launch: LaunchConfig,
+                     regs_per_thread: int = 16) -> float:
+    """Fraction of the chip kept busy over the whole launch, in (0, 1].
+
+    Small grids (few blocks) cannot occupy all 30 SMs; this is the effect that
+    makes every curve in the paper's figures rise with n before flattening.
+    """
+    occ = occupancy_for(device, launch, regs_per_thread)
+    full_waves = occ.waves - 1
+    total_sm_waves = occ.waves * device.sm_count
+    busy_sm_waves = full_waves * device.sm_count + occ.active_sms_last_wave
+    return max(1.0 / (device.sm_count * occ.max_warps_per_sm),
+               busy_sm_waves / total_sm_waves)
+
+
+__all__ = ["Occupancy", "occupancy_for", "chip_utilisation"]

@@ -1,0 +1,139 @@
+"""Per-block shared memory with capacity enforcement and bank-conflict model.
+
+Shared memory is the 16 KB on-chip scratchpad of a GT200 SM. The paper uses it
+for (a) the splitter search tree ``bt`` in Phases 2 and 4, (b) the per-block
+bucket counters, and (c) the sequences handled by the odd-even merge sorting
+network inside the small-case sorter. All of these must fit in 16 KB, which is
+why ``k = 128`` and the per-thread element count ``ell = 8`` are chosen the way
+they are; the simulator enforces the capacity so configurations that would not
+run on the real hardware fail loudly.
+
+Bank conflicts: GT200 shared memory has 16 banks of 4-byte words; simultaneous
+accesses by a half-warp to different words in the same bank serialise. The
+estimate implemented here counts, per half-warp, the maximum number of distinct
+words that map to one bank.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .counters import KernelCounters
+from .device import DeviceSpec
+from .errors import SharedMemoryError
+
+
+class SharedMemory:
+    """Shared-memory allocator and access model for one thread block."""
+
+    def __init__(self, device: DeviceSpec, counters: KernelCounters,
+                 capacity_bytes: Optional[int] = None):
+        self.device = device
+        self.counters = counters
+        self.capacity_bytes = (
+            device.shared_mem_per_sm if capacity_bytes is None else capacity_bytes
+        )
+        self._used_bytes = 0
+        self._arrays: list[np.ndarray] = []
+
+    # ------------------------------------------------------------- allocation
+    @property
+    def used_bytes(self) -> int:
+        return self._used_bytes
+
+    @property
+    def remaining_bytes(self) -> int:
+        return self.capacity_bytes - self._used_bytes
+
+    def alloc(self, shape, dtype) -> np.ndarray:
+        """Allocate a zero-initialised shared array for this block."""
+        arr = np.zeros(shape, dtype=dtype)
+        if self._used_bytes + arr.nbytes > self.capacity_bytes:
+            raise SharedMemoryError(
+                f"shared memory exhausted: requested {arr.nbytes} bytes, "
+                f"{self._used_bytes} used of {self.capacity_bytes}"
+            )
+        self._used_bytes += arr.nbytes
+        self._arrays.append(arr)
+        return arr
+
+    def can_fit(self, nbytes: int) -> bool:
+        """Whether an additional allocation of ``nbytes`` would fit."""
+        return self._used_bytes + nbytes <= self.capacity_bytes
+
+    def elements_capacity(self, dtype, reserve_bytes: int = 0) -> int:
+        """How many elements of ``dtype`` still fit (after ``reserve_bytes``)."""
+        free = self.remaining_bytes - reserve_bytes
+        return max(0, free // np.dtype(dtype).itemsize)
+
+    # ----------------------------------------------------------------- access
+    def load(self, array: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        """Read ``array[indices]`` with bank-conflict accounting."""
+        idx = np.asarray(indices, dtype=np.int64)
+        self._account(array, idx)
+        return array[idx]
+
+    def store(self, array: np.ndarray, indices: np.ndarray, values) -> None:
+        """Write ``array[indices] = values`` with bank-conflict accounting."""
+        idx = np.asarray(indices, dtype=np.int64)
+        self._account(array, idx)
+        array[idx] = values
+
+    def broadcast_read(self, array: np.ndarray, index: int, lanes: int) -> np.ndarray:
+        """All ``lanes`` threads read the same word — a conflict-free broadcast."""
+        self.counters.shared_bytes_accessed += int(array.dtype.itemsize)
+        return np.full(lanes, array[index], dtype=array.dtype)
+
+    # --------------------------------------------------------------- internal
+    def _account(self, array: np.ndarray, idx: np.ndarray) -> None:
+        itemsize = int(array.dtype.itemsize)
+        self.counters.shared_bytes_accessed += int(idx.size) * itemsize
+        self.counters.shared_bank_conflicts += self.estimate_bank_conflicts(
+            idx, itemsize
+        )
+
+    def estimate_bank_conflicts(self, idx: np.ndarray, itemsize: int) -> int:
+        """Extra serialised shared-memory cycles for this access pattern.
+
+        Accesses are grouped into half-warps of 16 lanes (GT200 services shared
+        memory per half-warp). For each half-warp the cost is the maximum number
+        of *distinct words* that map to the same bank; the conflict count is the
+        cost minus one (a conflict-free access has cost one).
+        """
+        n = idx.size
+        if n == 0:
+            return 0
+        banks = self.device.shared_mem_banks
+        half = max(1, self.device.warp_size // 2)
+        words = (idx * itemsize) // 4
+        bank_of = words % banks
+        pad = (-n) % half
+        if pad:
+            words = np.concatenate([words, np.full(pad, -1, dtype=np.int64)])
+            bank_of = np.concatenate([bank_of, np.full(pad, -1, dtype=np.int64)])
+        words = words.reshape(-1, half)
+        bank_of = bank_of.reshape(-1, half)
+        conflicts = 0
+        for row_words, row_banks in zip(words, bank_of):
+            valid = row_words >= 0
+            if not valid.any():
+                continue
+            rw = row_words[valid]
+            rb = row_banks[valid]
+            # Distinct (bank, word) pairs per bank: broadcasts of the same word
+            # are free, distinct words on one bank serialise.
+            order = np.lexsort((rw, rb))
+            rb_sorted = rb[order]
+            rw_sorted = rw[order]
+            new_pair = np.ones(rb_sorted.size, dtype=bool)
+            new_pair[1:] = (np.diff(rb_sorted) != 0) | (np.diff(rw_sorted) != 0)
+            # count distinct words per bank
+            distinct_banks, counts = np.unique(rb_sorted[new_pair], return_counts=True)
+            if counts.size:
+                conflicts += int(counts.max()) - 1
+        return conflicts
+
+
+__all__ = ["SharedMemory"]

@@ -1,0 +1,113 @@
+"""Kernel trace: the ordered record of launches that make up one sort.
+
+A CUDA application is "a sequential CPU program that launches kernels on a GPU"
+(Section 2). For the reproduction, the equivalent of a CUDA stream timeline is
+the :class:`KernelTrace`: every kernel launch appends a :class:`KernelRecord`
+with its counters, its launch geometry and its predicted time, tagged with a
+phase label (``"phase1_splitters"``, ``"phase2_histogram"``, ... ) so per-phase
+breakdowns — the basis of the Section 5 design discussion and of the ablation
+benchmarks — fall out for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from .counters import KernelCounters
+from .grid import LaunchConfig
+from .timing import KernelTime
+
+
+@dataclass
+class KernelRecord:
+    """One kernel launch in a trace."""
+
+    name: str
+    phase: str
+    launch: LaunchConfig
+    counters: KernelCounters
+    time: KernelTime
+
+    @property
+    def time_us(self) -> float:
+        return self.time.total_us
+
+
+@dataclass
+class KernelTrace:
+    """Ordered sequence of kernel launches for a complete operation."""
+
+    records: list[KernelRecord] = field(default_factory=list)
+
+    def append(self, record: KernelRecord) -> None:
+        self.records.append(record)
+
+    def extend(self, other: "KernelTrace") -> None:
+        self.records.extend(other.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    # -------------------------------------------------------------- aggregates
+    @property
+    def total_time_us(self) -> float:
+        return sum(r.time_us for r in self.records)
+
+    @property
+    def kernel_count(self) -> int:
+        return len(self.records)
+
+    def total_counters(self) -> KernelCounters:
+        total = KernelCounters()
+        for record in self.records:
+            total += record.counters
+        return total
+
+    def phases(self) -> list[str]:
+        """Distinct phase labels in first-appearance order."""
+        seen: list[str] = []
+        for record in self.records:
+            if record.phase not in seen:
+                seen.append(record.phase)
+        return seen
+
+    def phase_time_us(self, phase: str) -> float:
+        return sum(r.time_us for r in self.records if r.phase == phase)
+
+    def phase_counters(self, phase: str) -> KernelCounters:
+        total = KernelCounters()
+        for record in self.records:
+            if record.phase == phase:
+                total += record.counters
+        return total
+
+    def phase_breakdown(self) -> dict[str, float]:
+        """Mapping phase label -> total predicted microseconds."""
+        return {phase: self.phase_time_us(phase) for phase in self.phases()}
+
+    def filter(self, phases: Iterable[str]) -> "KernelTrace":
+        """A sub-trace containing only the given phases."""
+        wanted = set(phases)
+        return KernelTrace([r for r in self.records if r.phase in wanted])
+
+    def format_breakdown(self, title: Optional[str] = None) -> str:
+        """Human-readable per-phase table (used by examples and reports)."""
+        lines = []
+        if title:
+            lines.append(title)
+        total = self.total_time_us
+        lines.append(f"{'phase':<28}{'kernels':>8}{'time [us]':>14}{'share':>9}")
+        for phase in self.phases():
+            t = self.phase_time_us(phase)
+            k = sum(1 for r in self.records if r.phase == phase)
+            share = (t / total * 100.0) if total > 0 else 0.0
+            lines.append(f"{phase:<28}{k:>8}{t:>14.1f}{share:>8.1f}%")
+        lines.append(f"{'total':<28}{len(self.records):>8}{total:>14.1f}{100.0:>8.1f}%")
+        return "\n".join(lines)
+
+
+__all__ = ["KernelRecord", "KernelTrace"]

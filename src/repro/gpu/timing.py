@@ -1,0 +1,126 @@
+"""Device time model: counted work -> predicted kernel time.
+
+The reproduction has no CUDA hardware, so absolute times are *predicted* from
+the event counters the simulator collects. The model is deliberately simple and
+shared by every algorithm so comparisons stay apples-to-apples:
+
+* **Memory time** — issued global transactions times the transaction size,
+  divided by the sustained bandwidth. Uncoalesced access patterns issue more
+  transactions for the same requested bytes, so they automatically see a lower
+  effective bandwidth, exactly the Section 2 argument.
+* **Compute time** — dynamic scalar instructions divided by the chip's issue
+  rate, inflated by warp divergence (a diverged branch executes both sides) and
+  atomic serialisation, and by shared-memory bank conflicts.
+* **Overlap** — with good occupancy the SM overlaps memory latency with compute
+  from other warps, so kernel time approaches ``max(mem, compute)``. With poor
+  occupancy (small grids, heavy shared-memory usage) the two serialize. The
+  overlap factor interpolates using the scheduler's latency-hiding estimate and
+  the chip utilisation.
+* **Launch overhead** — a fixed few microseconds per kernel; this is what makes
+  sorting rates collapse for very small inputs in all of the paper's figures.
+
+Absolute numbers from this model are calibration-quality, not silicon-quality;
+``EXPERIMENTS.md`` compares shapes, orderings and ratios against the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .counters import KernelCounters
+from .device import DeviceSpec
+from .grid import LaunchConfig
+from .scheduler import chip_utilisation, occupancy_for
+
+
+@dataclass(frozen=True)
+class KernelTime:
+    """Predicted timing breakdown of one kernel launch, in microseconds."""
+
+    memory_us: float
+    compute_us: float
+    overhead_us: float
+    overlap: float
+
+    @property
+    def total_us(self) -> float:
+        hi = max(self.memory_us, self.compute_us)
+        lo = min(self.memory_us, self.compute_us)
+        return hi + (1.0 - self.overlap) * lo + self.overhead_us
+
+    @property
+    def bound(self) -> str:
+        """Which resource dominates this kernel ("memory" or "compute")."""
+        return "memory" if self.memory_us >= self.compute_us else "compute"
+
+
+class DeviceTimeModel:
+    """Maps :class:`KernelCounters` to predicted time on a :class:`DeviceSpec`."""
+
+    #: Extra cycles charged per serialised atomic replay.
+    ATOMIC_REPLAY_CYCLES = 4.0
+    #: Extra cycles charged per shared-memory bank conflict.
+    BANK_CONFLICT_CYCLES = 2.0
+    #: Cycles charged per executed barrier per resident warp.
+    BARRIER_CYCLES = 8.0
+    #: Instructions charged for each divergent warp branch (both sides replay).
+    DIVERGENT_BRANCH_PENALTY = 24.0
+
+    def __init__(self, device: DeviceSpec):
+        self.device = device
+
+    # ----------------------------------------------------------------- pieces
+    def memory_time_us(self, counters: KernelCounters) -> float:
+        """Time to move the issued transactions at sustained bandwidth."""
+        device = self.device
+        issued_bytes = counters.global_transactions * device.mem_transaction_bytes
+        # A transaction never moves less than the requested payload.
+        issued_bytes = max(issued_bytes, counters.global_bytes_total)
+        return issued_bytes / device.bytes_per_us
+
+    def compute_time_us(self, counters: KernelCounters, utilisation: float = 1.0) -> float:
+        """Time to retire the counted instructions on the busy fraction of the chip."""
+        device = self.device
+        effective_instructions = (
+            counters.instructions
+            + counters.atomic_operations
+            + counters.atomic_conflicts * self.ATOMIC_REPLAY_CYCLES
+            + counters.shared_bank_conflicts * self.BANK_CONFLICT_CYCLES
+            + counters.divergent_branches * self.DIVERGENT_BRANCH_PENALTY
+            + counters.barriers * self.BARRIER_CYCLES
+            # shared memory accesses retire roughly like ALU instructions
+            + counters.shared_bytes_accessed / 4.0
+        )
+        rate = device.peak_instruction_rate * max(utilisation, 1e-6)
+        return effective_instructions / rate
+
+    # ------------------------------------------------------------------ kernel
+    def kernel_time(
+        self,
+        counters: KernelCounters,
+        launch: LaunchConfig | None = None,
+        regs_per_thread: int = 16,
+    ) -> KernelTime:
+        """Predict the execution time of one kernel launch."""
+        if launch is not None:
+            occ = occupancy_for(self.device, launch, regs_per_thread)
+            utilisation = chip_utilisation(self.device, launch, regs_per_thread)
+            overlap = occ.latency_hiding * min(1.0, 0.5 + 0.5 * utilisation)
+        else:
+            utilisation = 1.0
+            overlap = 0.85
+        mem = self.memory_time_us(counters)
+        comp = self.compute_time_us(counters, utilisation)
+        launches = max(1, counters.kernel_launches)
+        overhead = launches * self.device.kernel_launch_overhead_us
+        return KernelTime(
+            memory_us=mem, compute_us=comp, overhead_us=overhead, overlap=overlap
+        )
+
+    def time_us(self, counters: KernelCounters, launch: LaunchConfig | None = None,
+                regs_per_thread: int = 16) -> float:
+        """Convenience: total predicted microseconds for one launch."""
+        return self.kernel_time(counters, launch, regs_per_thread).total_us
+
+
+__all__ = ["KernelTime", "DeviceTimeModel"]

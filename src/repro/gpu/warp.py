@@ -1,0 +1,84 @@
+"""Warp-level bookkeeping: SIMT divergence accounting.
+
+A GT200 SM executes threads in warps of 32. If the lanes of a warp disagree on
+a conditional branch, both sides execute serially ("conditional branching" in
+Section 2 of the paper). The paper's branch-free search-tree traversal
+(Algorithm 2, adapted from super-scalar sample sort) exists precisely to keep
+this divergence at zero: the conditional increment ``j := 2j + (e > bt[j])`` is
+a predicated instruction all lanes execute identically.
+
+Kernels report their branch structure to :class:`WarpExecutor`, which counts
+how many warp-branches diverged and how much extra work the divergence caused.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .counters import KernelCounters
+from .device import DeviceSpec
+
+
+class WarpExecutor:
+    """Tracks warp composition and divergence for one thread block."""
+
+    def __init__(self, device: DeviceSpec, num_threads: int, counters: KernelCounters):
+        self.device = device
+        self.num_threads = int(num_threads)
+        self.counters = counters
+        self.warp_size = device.warp_size
+
+    @property
+    def num_warps(self) -> int:
+        return -(-self.num_threads // self.warp_size)
+
+    def lane_ids(self) -> np.ndarray:
+        """Lane index (0..warp_size-1) of every thread in the block."""
+        return np.arange(self.num_threads) % self.warp_size
+
+    def warp_ids(self) -> np.ndarray:
+        """Warp index of every thread in the block."""
+        return np.arange(self.num_threads) // self.warp_size
+
+    # ------------------------------------------------------------- divergence
+    def branch(self, taken_mask: np.ndarray) -> int:
+        """Record a data-dependent branch evaluated by every thread.
+
+        ``taken_mask`` is a boolean array with one entry per thread (or per
+        logical work item laid out in thread order). Returns the number of warps
+        that diverged, after updating the counters. A warp diverges when its
+        lanes do not all agree.
+        """
+        mask = np.asarray(taken_mask, dtype=bool).ravel()
+        n = mask.size
+        if n == 0:
+            return 0
+        pad = (-n) % self.warp_size
+        if pad:
+            # inactive padded lanes follow the last real lane, causing no
+            # additional divergence
+            mask = np.concatenate([mask, np.full(pad, mask[-1])])
+        per_warp = mask.reshape(-1, self.warp_size)
+        any_taken = per_warp.any(axis=1)
+        all_taken = per_warp.all(axis=1)
+        diverged = int(np.count_nonzero(any_taken & ~all_taken))
+        self.counters.total_branches += per_warp.shape[0]
+        self.counters.divergent_branches += diverged
+        return diverged
+
+    def predicated(self, count_items: int, instructions_per_item: int = 1) -> None:
+        """Record predicated (branch-free) execution of ``count_items`` items.
+
+        Predication converts control dependence into data dependence: every lane
+        executes the instruction and conditionally commits the result, so no
+        divergence is recorded — only the instruction cost.
+        """
+        self.counters.instructions += int(count_items) * int(instructions_per_item)
+
+    def uniform_branch(self, count_warps: int | None = None) -> None:
+        """Record a branch whose condition is uniform across each warp."""
+        warps = self.num_warps if count_warps is None else int(count_warps)
+        self.counters.total_branches += warps
+
+
+__all__ = ["WarpExecutor"]

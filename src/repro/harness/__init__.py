@@ -1,0 +1,56 @@
+"""Experiment harness: the paper's figures as runnable experiment specs."""
+
+from .experiment import ExperimentSpec, power_of_two_range
+from .figures import CLAIMS, EXPERIMENTS, FIGURE3, FIGURE4, FIGURE5, FIGURE6, get_experiment
+from .paperdata import (
+    FIGURE3_SERIES,
+    FIGURE4_SERIES,
+    FIGURE5_SERIES,
+    FIGURE6_IMPROVEMENTS,
+    PAPER_CLAIMS,
+    PaperSeries,
+    paper_series,
+)
+from .report import (
+    format_claims,
+    format_device_comparison,
+    format_experiment,
+    format_paper_comparison,
+    format_series_table,
+)
+from .runner import (
+    ExperimentResult,
+    SeriesResult,
+    run_experiment,
+    run_experiment_model,
+    run_experiment_simulation,
+)
+
+__all__ = [
+    "ExperimentSpec",
+    "power_of_two_range",
+    "CLAIMS",
+    "EXPERIMENTS",
+    "FIGURE3",
+    "FIGURE4",
+    "FIGURE5",
+    "FIGURE6",
+    "get_experiment",
+    "FIGURE3_SERIES",
+    "FIGURE4_SERIES",
+    "FIGURE5_SERIES",
+    "FIGURE6_IMPROVEMENTS",
+    "PAPER_CLAIMS",
+    "PaperSeries",
+    "paper_series",
+    "format_claims",
+    "format_device_comparison",
+    "format_experiment",
+    "format_paper_comparison",
+    "format_series_table",
+    "ExperimentResult",
+    "SeriesResult",
+    "run_experiment",
+    "run_experiment_model",
+    "run_experiment_simulation",
+]

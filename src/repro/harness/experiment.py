@@ -1,0 +1,91 @@
+"""Experiment specifications.
+
+An :class:`ExperimentSpec` captures everything one of the paper's figures
+needs: which algorithms run, on which input sizes, distributions, key types and
+devices, and whether a payload is attached. The concrete specs bound to the
+paper's figures live in :mod:`repro.harness.figures`; the runner in
+:mod:`repro.harness.runner` executes a spec either through the analytic model
+(full size range) or through the functional simulator (moderate sizes, with
+output validation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..gpu.device import DeviceSpec, TESLA_C1060
+
+
+def power_of_two_range(lo_exponent: int, hi_exponent: int) -> list[int]:
+    """Sizes 2^lo .. 2^hi inclusive — the x-axes of all the paper's figures."""
+    if lo_exponent > hi_exponent:
+        raise ValueError(
+            f"lo_exponent {lo_exponent} must not exceed hi_exponent {hi_exponent}"
+        )
+    return [1 << e for e in range(lo_exponent, hi_exponent + 1)]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Definition of one reproduction experiment (one paper figure or claim set)."""
+
+    #: Short identifier ("figure3", "figure4", ...).
+    name: str
+    #: Human-readable description shown in reports.
+    description: str
+    #: Algorithms to run, using the registry names of :mod:`repro.baselines`.
+    algorithms: tuple[str, ...]
+    #: Input sizes (elements).
+    sizes: tuple[int, ...]
+    #: Input distributions (names from :mod:`repro.datagen.distributions`).
+    distributions: tuple[str, ...] = ("uniform",)
+    #: Key type name ("uint32", "uint64", "float32").
+    key_type: str = "uint32"
+    #: Whether a 32-bit payload is attached (key-value sorting).
+    with_values: bool = False
+    #: Devices the experiment runs on (one curve set per device).
+    devices: tuple[DeviceSpec, ...] = (TESLA_C1060,)
+    #: Hybrid sort only accepts float32 keys; when this flag is set the harness
+    #: feeds it the float32 rendering of the same distribution, as the paper
+    #: does in Figure 5.
+    hybrid_uses_float_keys: bool = True
+    #: Sizes used when the experiment is run on the functional simulator
+    #: instead of the analytic model (kept moderate for CPU wall-clock time).
+    simulation_sizes: tuple[int, ...] = (1 << 16, 1 << 17)
+    #: Free-form metadata (paper figure number, notes).
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.algorithms:
+            raise ValueError("an experiment needs at least one algorithm")
+        if not self.sizes:
+            raise ValueError("an experiment needs at least one input size")
+        if not self.distributions:
+            raise ValueError("an experiment needs at least one distribution")
+        if any(n <= 0 for n in self.sizes):
+            raise ValueError("input sizes must be positive")
+
+    @property
+    def value_bytes(self) -> int:
+        return 4 if self.with_values else 0
+
+    def series_keys(self) -> list[tuple[str, str, str]]:
+        """All (device, distribution, algorithm) combinations of the experiment."""
+        return [
+            (device.name, distribution, algorithm)
+            for device in self.devices
+            for distribution in self.distributions
+            for algorithm in self.algorithms
+        ]
+
+    def describe(self) -> str:
+        sizes = f"2^{len(bin(min(self.sizes))) - 3}..2^{len(bin(max(self.sizes))) - 3}"
+        return (
+            f"{self.name}: {self.description} "
+            f"[{', '.join(self.algorithms)}] on {', '.join(self.distributions)} "
+            f"({self.key_type}{'+values' if self.with_values else ''}, sizes {sizes})"
+        )
+
+
+__all__ = ["ExperimentSpec", "power_of_two_range"]

@@ -1,0 +1,101 @@
+"""The paper's experiments as :class:`ExperimentSpec` objects (E1-E5 in DESIGN.md).
+
+Each constant corresponds to one figure of the evaluation section; the claims
+"experiment" bundles the abstract's headline comparisons. The benchmark files
+under ``benchmarks/`` execute exactly these specs and print the regenerated
+series next to the digitised paper values.
+"""
+
+from __future__ import annotations
+
+from ..gpu.device import GTX_285, TESLA_C1060
+from .experiment import ExperimentSpec, power_of_two_range
+
+#: Figure 3 — sorting rates on 32-bit key-value pairs (Uniform / Sorted /
+#: DeterministicDuplicates), n = 2^19 ... 2^27.
+FIGURE3 = ExperimentSpec(
+    name="figure3",
+    description="32-bit key-value pairs: sample vs Thrust merge vs the radix sorts",
+    algorithms=("cudpp radix", "thrust radix", "sample", "thrust merge"),
+    sizes=tuple(power_of_two_range(19, 27)),
+    distributions=("uniform", "sorted", "dduplicates"),
+    key_type="uint32",
+    with_values=True,
+    devices=(TESLA_C1060,),
+    meta={"paper_figure": "Figure 3"},
+)
+
+#: Figure 4 — sorting rates on 64-bit integer keys (Uniform / Sorted),
+#: n = 2^17 ... 2^27.
+FIGURE4 = ExperimentSpec(
+    name="figure4",
+    description="64-bit integer keys: sample sort vs Thrust radix sort",
+    algorithms=("sample", "thrust radix"),
+    sizes=tuple(power_of_two_range(17, 27)),
+    distributions=("uniform", "sorted"),
+    key_type="uint64",
+    with_values=False,
+    devices=(TESLA_C1060,),
+    meta={"paper_figure": "Figure 4"},
+)
+
+#: Figure 5 — sorting rates on 32-bit integer keys over the six benchmark
+#: distributions, n = 2^17 ... 2^28 (hybrid sort runs on the float32 rendering).
+FIGURE5 = ExperimentSpec(
+    name="figure5",
+    description="32-bit integer keys over the six benchmark distributions",
+    algorithms=("cudpp radix", "thrust radix", "quick", "bbsort", "hybrid", "sample"),
+    sizes=tuple(power_of_two_range(17, 28)),
+    distributions=("uniform", "gaussian", "sorted", "staggered", "bucket",
+                   "dduplicates"),
+    key_type="uint32",
+    with_values=False,
+    devices=(TESLA_C1060,),
+    hybrid_uses_float_keys=True,
+    meta={"paper_figure": "Figure 5"},
+)
+
+#: Figure 6 — uniform 32-bit key-value pairs on the Tesla C1060 vs the GTX 285
+#: (the bandwidth-bound vs compute-bound analysis).
+FIGURE6 = ExperimentSpec(
+    name="figure6",
+    description="Tesla C1060 vs GTX 285 on uniform 32-bit key-value pairs",
+    algorithms=("cudpp radix", "thrust radix", "sample", "thrust merge"),
+    sizes=tuple(power_of_two_range(19, 27)),
+    distributions=("uniform",),
+    key_type="uint32",
+    with_values=True,
+    devices=(TESLA_C1060, GTX_285),
+    meta={"paper_figure": "Figure 6"},
+)
+
+#: E5 — the abstract / Section-6 headline claims. The sizes cover the range the
+#: claims are quoted over; the claims benchmark computes min / average
+#: speed-ups from these curves.
+CLAIMS = ExperimentSpec(
+    name="claims",
+    description="Headline speed-up claims of the abstract and Section 6",
+    algorithms=("sample", "thrust merge", "thrust radix", "quick"),
+    sizes=tuple(power_of_two_range(19, 27)),
+    distributions=("uniform", "sorted"),
+    key_type="uint32",
+    with_values=True,
+    devices=(TESLA_C1060,),
+    meta={"paper_figure": "Abstract / Section 6"},
+)
+
+#: All experiments keyed by name (used by benchmarks and the CLI examples).
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    spec.name: spec for spec in (FIGURE3, FIGURE4, FIGURE5, FIGURE6, CLAIMS)
+}
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    key = name.strip().lower()
+    if key not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[key]
+
+
+__all__ = ["FIGURE3", "FIGURE4", "FIGURE5", "FIGURE6", "CLAIMS", "EXPERIMENTS",
+           "get_experiment"]

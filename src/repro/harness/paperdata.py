@@ -1,0 +1,172 @@
+"""Digitised reference data from the paper.
+
+The paper publishes its results as plots (Figures 3-6), not tables, so the
+reference values below are approximate digitisations (read off the plots to
+roughly +-10 %). They exist so that `EXPERIMENTS.md` and the benchmark harness
+can print *paper vs. reproduction* side by side and so the claims benchmark can
+check that the reproduction preserves the orderings and ratios the paper
+reports. Absolute agreement is neither expected nor claimed — the reproduction
+runs on a simulator, not on a Tesla C1060.
+
+All rates are in sorted elements per microsecond on the Tesla C1060 unless the
+entry says otherwise; sizes are element counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PaperSeries:
+    """One digitised curve from a paper figure."""
+
+    figure: str
+    distribution: str
+    algorithm: str
+    key_type: str
+    with_values: bool
+    #: mapping n -> approximate sorted elements / microsecond
+    rates: dict
+
+
+# ----------------------------------------------------------------- Figure 3
+# 32-bit key-value pairs on the Tesla C1060.
+FIGURE3_SERIES: list[PaperSeries] = [
+    PaperSeries("figure3", "uniform", "cudpp radix", "uint32", True,
+                {1 << 19: 105, 1 << 21: 125, 1 << 23: 135, 1 << 25: 140, 1 << 27: 141}),
+    PaperSeries("figure3", "uniform", "thrust radix", "uint32", True,
+                {1 << 19: 90, 1 << 21: 110, 1 << 23: 120, 1 << 25: 125, 1 << 27: 126}),
+    PaperSeries("figure3", "uniform", "sample", "uint32", True,
+                {1 << 19: 75, 1 << 21: 88, 1 << 23: 95, 1 << 25: 98, 1 << 27: 100}),
+    PaperSeries("figure3", "uniform", "thrust merge", "uint32", True,
+                {1 << 19: 50, 1 << 21: 55, 1 << 23: 57, 1 << 25: 58, 1 << 27: 58}),
+    PaperSeries("figure3", "sorted", "sample", "uint32", True,
+                {1 << 19: 70, 1 << 21: 80, 1 << 23: 85, 1 << 25: 88, 1 << 27: 90}),
+    PaperSeries("figure3", "sorted", "thrust merge", "uint32", True,
+                {1 << 19: 52, 1 << 21: 58, 1 << 23: 62, 1 << 25: 64, 1 << 27: 65}),
+    PaperSeries("figure3", "dduplicates", "sample", "uint32", True,
+                {1 << 19: 120, 1 << 21: 160, 1 << 23: 190, 1 << 25: 205, 1 << 27: 210}),
+    PaperSeries("figure3", "dduplicates", "cudpp radix", "uint32", True,
+                {1 << 19: 105, 1 << 21: 125, 1 << 23: 135, 1 << 25: 140, 1 << 27: 141}),
+]
+
+# ----------------------------------------------------------------- Figure 4
+# 64-bit integer keys (keys only).
+FIGURE4_SERIES: list[PaperSeries] = [
+    PaperSeries("figure4", "uniform", "sample", "uint64", False,
+                {1 << 19: 42, 1 << 21: 52, 1 << 23: 58, 1 << 25: 62, 1 << 27: 64}),
+    PaperSeries("figure4", "uniform", "thrust radix", "uint64", False,
+                {1 << 19: 25, 1 << 21: 28, 1 << 23: 30, 1 << 25: 31, 1 << 27: 31}),
+    PaperSeries("figure4", "sorted", "sample", "uint64", False,
+                {1 << 19: 40, 1 << 21: 48, 1 << 23: 54, 1 << 25: 58, 1 << 27: 60}),
+    PaperSeries("figure4", "sorted", "thrust radix", "uint64", False,
+                {1 << 19: 25, 1 << 21: 28, 1 << 23: 30, 1 << 25: 31, 1 << 27: 31}),
+]
+
+# ----------------------------------------------------------------- Figure 5
+# 32-bit integer keys (keys only), six distributions. Only the values needed
+# for shape comparison are digitised (mid-range and large sizes).
+FIGURE5_SERIES: list[PaperSeries] = [
+    PaperSeries("figure5", "uniform", "cudpp radix", "uint32", False,
+                {1 << 21: 170, 1 << 23: 185, 1 << 25: 195}),
+    PaperSeries("figure5", "uniform", "thrust radix", "uint32", False,
+                {1 << 21: 140, 1 << 23: 155, 1 << 25: 160}),
+    PaperSeries("figure5", "uniform", "sample", "uint32", False,
+                {1 << 21: 85, 1 << 23: 93, 1 << 25: 97}),
+    PaperSeries("figure5", "uniform", "quick", "uint32", False,
+                {1 << 21: 42, 1 << 23: 45, 1 << 25: 46}),
+    PaperSeries("figure5", "uniform", "bbsort", "uint32", False,
+                {1 << 21: 72, 1 << 23: 78, 1 << 25: 80}),
+    PaperSeries("figure5", "uniform", "hybrid", "float32", False,
+                {1 << 21: 62, 1 << 23: 68, 1 << 25: 70}),
+    PaperSeries("figure5", "dduplicates", "sample", "uint32", False,
+                {1 << 21: 230, 1 << 23: 265, 1 << 25: 285}),
+    PaperSeries("figure5", "dduplicates", "cudpp radix", "uint32", False,
+                {1 << 21: 170, 1 << 23: 185, 1 << 25: 195}),
+    PaperSeries("figure5", "dduplicates", "quick", "uint32", False,
+                {1 << 21: 70, 1 << 23: 80, 1 << 25: 85}),
+    PaperSeries("figure5", "dduplicates", "bbsort", "uint32", False,
+                {1 << 21: 15, 1 << 23: 12, 1 << 25: 10}),
+    PaperSeries("figure5", "staggered", "sample", "uint32", False,
+                {1 << 21: 85, 1 << 23: 92, 1 << 25: 96}),
+    PaperSeries("figure5", "staggered", "bbsort", "uint32", False,
+                {1 << 21: 45, 1 << 23: 48, 1 << 25: 50}),
+    PaperSeries("figure5", "sorted", "sample", "uint32", False,
+                {1 << 21: 80, 1 << 23: 88, 1 << 25: 92}),
+]
+
+# ----------------------------------------------------------------- Figure 6
+# Average improvement of each algorithm when moving from the Tesla C1060 to
+# the GTX 285 (uniform 32-bit key-value pairs). These are quoted in the text.
+FIGURE6_IMPROVEMENTS: dict[str, float] = {
+    "cudpp radix": 0.30,
+    "thrust radix": 0.25,
+    "sample": 0.18,
+    "thrust merge": 0.18,
+}
+
+# ------------------------------------------------------------------- Claims
+#: The abstract / Section 6 headline claims (E5 in DESIGN.md), expressed as
+#: pointwise speed-up requirements "sample over <baseline>".
+PAPER_CLAIMS: dict[str, dict] = {
+    "sample_vs_merge_uniform_kv": {
+        "description": "sample sort vs Thrust merge sort, uniform 32-bit key-value pairs",
+        "baseline": "thrust merge",
+        "distribution": "uniform",
+        "key_type": "uint32",
+        "with_values": True,
+        "min_speedup": 1.25,
+        "avg_speedup": 1.68,
+    },
+    "sample_vs_merge_sorted_kv": {
+        "description": "sample sort vs Thrust merge sort, sorted 32-bit key-value pairs",
+        "baseline": "thrust merge",
+        "distribution": "sorted",
+        "key_type": "uint32",
+        "with_values": True,
+        "min_speedup": 1.0,
+        "avg_speedup": 1.30,
+    },
+    "sample_vs_radix_uniform_64": {
+        "description": "sample sort vs Thrust radix sort, uniform 64-bit keys",
+        "baseline": "thrust radix",
+        "distribution": "uniform",
+        "key_type": "uint64",
+        "with_values": False,
+        "min_speedup": 1.63,
+        "avg_speedup": 2.0,
+    },
+    "sample_vs_quicksort_uniform_32": {
+        "description": "sample sort vs GPU quicksort, uniform 32-bit keys",
+        "baseline": "quick",
+        "distribution": "uniform",
+        "key_type": "uint32",
+        "with_values": False,
+        "min_speedup": 1.5,
+        "avg_speedup": 2.0,
+    },
+}
+
+
+def paper_series(figure: str) -> list[PaperSeries]:
+    """All digitised series of one figure."""
+    table = {
+        "figure3": FIGURE3_SERIES,
+        "figure4": FIGURE4_SERIES,
+        "figure5": FIGURE5_SERIES,
+    }
+    if figure not in table:
+        raise KeyError(f"no digitised series for {figure!r}")
+    return table[figure]
+
+
+__all__ = [
+    "PaperSeries",
+    "FIGURE3_SERIES",
+    "FIGURE4_SERIES",
+    "FIGURE5_SERIES",
+    "FIGURE6_IMPROVEMENTS",
+    "PAPER_CLAIMS",
+    "paper_series",
+]

@@ -1,0 +1,147 @@
+"""Text rendering of experiment results.
+
+The benchmarks print, for every figure, the same rows/series the paper plots —
+algorithm rates per input size per distribution — and, where digitised paper
+values exist, a side-by-side *paper vs. reproduction* table. Everything is
+plain monospace text so it shows up directly in ``pytest -s`` / benchmark logs
+and can be pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..analysis.comparisons import speedup_summary
+from .paperdata import PAPER_CLAIMS, PaperSeries
+from .runner import ExperimentResult
+
+
+def _fmt_rate(rate: float) -> str:
+    if not np.isfinite(rate):
+        return "DNF"
+    return f"{rate:.1f}"
+
+
+def _fmt_size(n: int) -> str:
+    exponent = int(round(np.log2(n)))
+    if 1 << exponent == n:
+        return f"2^{exponent}"
+    return str(n)
+
+
+def format_series_table(result: ExperimentResult, device: str, distribution: str,
+                        title: Optional[str] = None) -> str:
+    """One figure panel: rows = input sizes, columns = algorithms."""
+    algorithms = [a for a in result.spec.algorithms
+                  if (device, distribution, a) in result.series]
+    if not algorithms:
+        return f"(no series for {device} / {distribution})"
+    sizes = result.get(device, distribution, algorithms[0]).sizes
+    lines = []
+    header = title or (f"{result.spec.name} [{result.spec.meta.get('paper_figure', '')}] "
+                       f"— {distribution} on {device} "
+                       f"({result.spec.key_type}"
+                       f"{'+values' if result.spec.with_values else ''}, "
+                       f"sorted elements / us, mode={result.mode})")
+    lines.append(header)
+    lines.append(f"{'n':>8} " + " ".join(f"{a:>14}" for a in algorithms))
+    for row_index, n in enumerate(sizes):
+        cells = []
+        for algorithm in algorithms:
+            series = result.get(device, distribution, algorithm)
+            cells.append(f"{_fmt_rate(series.rates[row_index]):>14}")
+        lines.append(f"{_fmt_size(n):>8} " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def format_experiment(result: ExperimentResult) -> str:
+    """All panels of an experiment, one table per (device, distribution)."""
+    blocks = []
+    for device in (d.name for d in result.spec.devices):
+        for distribution in result.spec.distributions:
+            blocks.append(format_series_table(result, device, distribution))
+    return "\n\n".join(blocks)
+
+
+def format_paper_comparison(
+    result: ExperimentResult,
+    paper: Sequence[PaperSeries],
+    device: Optional[str] = None,
+) -> str:
+    """Side-by-side paper vs. reproduction table at the digitised sizes."""
+    device = device or result.spec.devices[0].name
+    lines = [
+        f"paper vs reproduction — {result.spec.name} "
+        f"(rates in elements/us; paper values are approximate digitisations)"
+    ]
+    lines.append(f"{'distribution':<14}{'algorithm':<15}{'n':>8}{'paper':>9}"
+                 f"{'repro':>9}{'ratio':>8}")
+    for series in paper:
+        key = (device, series.distribution, series.algorithm)
+        if key not in result.series:
+            continue
+        ours = result.series[key]
+        for n, paper_rate in sorted(series.rates.items()):
+            if n not in ours.sizes:
+                continue
+            index = ours.sizes.index(n)
+            our_rate = ours.rates[index]
+            ratio = our_rate / paper_rate if np.isfinite(our_rate) and paper_rate else float("nan")
+            lines.append(
+                f"{series.distribution:<14}{series.algorithm:<15}{_fmt_size(n):>8}"
+                f"{paper_rate:>9.1f}{_fmt_rate(our_rate):>9}{ratio:>8.2f}"
+            )
+    return "\n".join(lines)
+
+
+def format_claims(result: ExperimentResult, device: Optional[str] = None) -> str:
+    """Evaluate the abstract's speed-up claims on a claims-experiment result."""
+    device = device or result.spec.devices[0].name
+    lines = ["headline claims — paper vs reproduction (speed-ups of sample sort)"]
+    lines.append(f"{'claim':<38}{'paper min':>10}{'repro min':>10}"
+                 f"{'paper avg':>10}{'repro avg':>10}")
+    for name, claim in PAPER_CLAIMS.items():
+        distribution = claim["distribution"]
+        baseline = claim["baseline"]
+        key_sample = (device, distribution, "sample")
+        key_base = (device, distribution, baseline)
+        if key_sample not in result.series or key_base not in result.series:
+            continue
+        summary = speedup_summary(
+            result.series[key_sample].rates, result.series[key_base].rates,
+            algorithm="sample", baseline=baseline,
+        )
+        lines.append(
+            f"{name:<38}{claim['min_speedup']:>10.2f}{summary.minimum:>10.2f}"
+            f"{claim['avg_speedup']:>10.2f}{summary.average:>10.2f}"
+        )
+    return "\n".join(lines)
+
+
+def format_device_comparison(result: ExperimentResult, distribution: str = "uniform") -> str:
+    """The Figure-6 improvement table (device B rate / device A rate - 1)."""
+    devices = [d.name for d in result.spec.devices]
+    if len(devices) < 2:
+        return "(device comparison needs two devices)"
+    base, other = devices[0], devices[1]
+    lines = [f"device comparison — {base} vs {other} ({distribution})"]
+    lines.append(f"{'algorithm':<15}{base:>14}{other:>14}{'improvement':>13}")
+    for algorithm in result.spec.algorithms:
+        series_a = result.get(base, distribution, algorithm)
+        series_b = result.get(other, distribution, algorithm)
+        rate_a, rate_b = series_a.mean_rate, series_b.mean_rate
+        improvement = rate_b / rate_a - 1.0 if rate_a > 0 else float("nan")
+        lines.append(f"{algorithm:<15}{rate_a:>14.1f}{rate_b:>14.1f}"
+                     f"{improvement * 100:>12.1f}%")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "format_series_table",
+    "format_experiment",
+    "format_paper_comparison",
+    "format_claims",
+    "format_device_comparison",
+]

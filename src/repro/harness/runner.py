@@ -1,0 +1,193 @@
+"""Experiment runner: execute an :class:`ExperimentSpec` and collect rate curves.
+
+Two execution modes mirror the two layers of the reproduction:
+
+* ``mode="model"`` — evaluate the analytic performance model over the spec's
+  full size range (this is how the paper's figures are regenerated; it takes
+  milliseconds per curve),
+* ``mode="simulate"`` — run the actual sorting algorithms on the functional
+  SIMT simulator at the spec's ``simulation_sizes``, validating every output
+  against the NumPy oracle. This is slower (seconds per point) and exists to
+  demonstrate that the algorithms really sort and to cross-check the analytic
+  counts against measured counters.
+
+Algorithms that cannot run a given workload are recorded as DNF, exactly as the
+paper omits implementations "for the inputs they were not implemented for" and
+reports the hybrid-sort crash on DeterministicDuplicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..analysis.validation import validate_result
+from ..baselines.registry import make_sorter
+from ..core.config import SampleSortConfig
+from ..datagen.keytypes import make_input
+from ..gpu.device import DeviceSpec
+from ..gpu.errors import AlgorithmFailure, UnsupportedInputError
+from ..perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from ..perfmodel.model import AnalyticTimeModel
+from ..perfmodel.rates import algorithm_fails, canonical_profile
+from .experiment import ExperimentSpec
+
+
+@dataclass
+class SeriesResult:
+    """One curve: an algorithm on one (device, distribution) combination."""
+
+    device: str
+    distribution: str
+    algorithm: str
+    sizes: list[int] = field(default_factory=list)
+    #: sorted elements per microsecond; NaN where the algorithm did not run
+    rates: list[float] = field(default_factory=list)
+    times_us: list[float] = field(default_factory=list)
+    #: per-size failure notes ("" when the point ran fine)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, n: int, rate: float, time_us: float, note: str = "") -> None:
+        self.sizes.append(int(n))
+        self.rates.append(float(rate))
+        self.times_us.append(float(time_us))
+        self.notes.append(note)
+
+    @property
+    def mean_rate(self) -> float:
+        finite = [r for r in self.rates if np.isfinite(r)]
+        return float(np.mean(finite)) if finite else float("nan")
+
+    @property
+    def failed_everywhere(self) -> bool:
+        return all(not np.isfinite(r) for r in self.rates)
+
+
+@dataclass
+class ExperimentResult:
+    """All curves produced by running one experiment."""
+
+    spec: ExperimentSpec
+    mode: str
+    series: dict[tuple[str, str, str], SeriesResult] = field(default_factory=dict)
+
+    def get(self, device: str, distribution: str, algorithm: str) -> SeriesResult:
+        return self.series[(device, distribution, algorithm)]
+
+    def algorithms(self) -> list[str]:
+        return list(self.spec.algorithms)
+
+    def rates_by_algorithm(self, device: str, distribution: str) -> dict[str, list[float]]:
+        return {
+            algorithm: self.get(device, distribution, algorithm).rates
+            for algorithm in self.spec.algorithms
+            if (device, distribution, algorithm) in self.series
+        }
+
+
+def _key_type_for(spec: ExperimentSpec, algorithm: str) -> str:
+    """Hybrid sort only accepts floats; the paper feeds it the float rendering."""
+    if algorithm == "hybrid" and spec.hybrid_uses_float_keys:
+        return "float32"
+    return spec.key_type
+
+
+def _sorter_kwargs(algorithm: str, sample_config: Optional[SampleSortConfig]) -> dict:
+    if algorithm == "sample" and sample_config is not None:
+        return {"config": sample_config}
+    return {}
+
+
+# ----------------------------------------------------------------- model mode
+def run_experiment_model(
+    spec: ExperimentSpec,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    sizes: Optional[Sequence[int]] = None,
+) -> ExperimentResult:
+    """Evaluate the experiment with the analytic performance model."""
+    result = ExperimentResult(spec=spec, mode="model")
+    sizes = list(sizes if sizes is not None else spec.sizes)
+    for device in spec.devices:
+        model = AnalyticTimeModel(device, calibration)
+        for distribution in spec.distributions:
+            for algorithm in spec.algorithms:
+                key_type = _key_type_for(spec, algorithm)
+                key_bytes = 8 if key_type == "uint64" else 4
+                series = SeriesResult(device.name, distribution, algorithm)
+                for n in sizes:
+                    profile = canonical_profile(distribution, n,
+                                                is_64bit=key_bytes == 8)
+                    if algorithm_fails(algorithm, distribution, key_type, profile, n):
+                        series.add(n, float("nan"), float("nan"), "DNF")
+                        continue
+                    pred = model.predict(algorithm, n, key_bytes, spec.value_bytes,
+                                         profile)
+                    series.add(n, pred.sorting_rate, pred.total_us)
+                result.series[(device.name, distribution, algorithm)] = series
+    return result
+
+
+# ------------------------------------------------------------ simulation mode
+def run_experiment_simulation(
+    spec: ExperimentSpec,
+    sizes: Optional[Sequence[int]] = None,
+    seed: int = 0,
+    validate: bool = True,
+    sample_config: Optional[SampleSortConfig] = None,
+    devices: Optional[Sequence[DeviceSpec]] = None,
+) -> ExperimentResult:
+    """Run the experiment on the functional simulator (moderate sizes)."""
+    result = ExperimentResult(spec=spec, mode="simulate")
+    sizes = list(sizes if sizes is not None else spec.simulation_sizes)
+    device_list = list(devices if devices is not None else spec.devices)
+    for device in device_list:
+        for distribution in spec.distributions:
+            for algorithm in spec.algorithms:
+                key_type = _key_type_for(spec, algorithm)
+                series = SeriesResult(device.name, distribution, algorithm)
+                for index, n in enumerate(sizes):
+                    workload = make_input(
+                        distribution, n, key_type=key_type,
+                        with_values=spec.with_values, seed=seed + index,
+                    )
+                    sorter = make_sorter(
+                        algorithm, device,
+                        **_sorter_kwargs(algorithm, sample_config),
+                    )
+                    try:
+                        sort_result = sorter.sort(workload.keys, workload.values)
+                    except (AlgorithmFailure, UnsupportedInputError) as exc:
+                        series.add(n, float("nan"), float("nan"), f"DNF: {exc}")
+                        continue
+                    note = ""
+                    if validate:
+                        report = validate_result(sort_result, workload.keys,
+                                                 workload.values)
+                        if not report.ok:
+                            raise AssertionError(
+                                f"{algorithm} produced an invalid result on "
+                                f"{distribution}/{key_type} n={n}: {report.message}"
+                            )
+                    series.add(n, sort_result.sorting_rate, sort_result.time_us, note)
+                result.series[(device.name, distribution, algorithm)] = series
+    return result
+
+
+def run_experiment(spec: ExperimentSpec, mode: str = "model", **kwargs) -> ExperimentResult:
+    """Dispatch to the model or simulation runner."""
+    if mode == "model":
+        return run_experiment_model(spec, **kwargs)
+    if mode == "simulate":
+        return run_experiment_simulation(spec, **kwargs)
+    raise ValueError(f"unknown mode {mode!r}; expected 'model' or 'simulate'")
+
+
+__all__ = [
+    "SeriesResult",
+    "ExperimentResult",
+    "run_experiment",
+    "run_experiment_model",
+    "run_experiment_simulation",
+]

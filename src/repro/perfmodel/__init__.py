@@ -1,0 +1,45 @@
+"""Analytic performance model: closed-form work counts, effective-throughput
+calibration and sorting-rate prediction over the paper's full size range."""
+
+from .calibration import Calibration, DEFAULT_CALIBRATION
+from .model import AnalyticTimeModel, PredictedTime, device_pair_comparison
+from .operations import (
+    WORK_FUNCTIONS,
+    WorkEstimate,
+    bbsort_work,
+    hybrid_sort_work,
+    merge_sort_work,
+    quicksort_work,
+    radix_sort_work,
+    sample_sort_work,
+)
+from .rates import (
+    RatePoint,
+    algorithm_fails,
+    average_speedup,
+    canonical_profile,
+    minimum_speedup,
+    rate_series,
+)
+
+__all__ = [
+    "Calibration",
+    "DEFAULT_CALIBRATION",
+    "AnalyticTimeModel",
+    "PredictedTime",
+    "device_pair_comparison",
+    "WORK_FUNCTIONS",
+    "WorkEstimate",
+    "bbsort_work",
+    "hybrid_sort_work",
+    "merge_sort_work",
+    "quicksort_work",
+    "radix_sort_work",
+    "sample_sort_work",
+    "RatePoint",
+    "algorithm_fails",
+    "average_speedup",
+    "canonical_profile",
+    "minimum_speedup",
+    "rate_series",
+]

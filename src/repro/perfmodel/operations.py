@@ -1,0 +1,413 @@
+"""Closed-form operation counts per algorithm.
+
+The functional simulator executes every kernel and *measures* traffic and
+instruction counts, but it cannot be run at the paper's largest problem sizes
+(up to n = 2^28) in reasonable wall-clock time on a CPU. The analytic model in
+this package therefore re-derives the same quantities in closed form — number
+of passes, bytes moved per pass, instructions per element, kernel launches —
+directly from each algorithm's structure and configuration. The formulas are
+*the same arithmetic the implementations perform*; the test-suite checks that
+the closed-form counts agree with the functional simulator's measured counters
+at sizes where both can run.
+
+Every function returns a :class:`WorkEstimate`; the conversion to time happens
+in :mod:`repro.perfmodel.model` with one shared set of effective-throughput
+calibration constants, so the *relative* standing of the algorithms is decided
+entirely by these counts.
+
+Distribution dependence enters through a :class:`~repro.datagen.entropy.DistributionProfile`:
+
+* sample sort gets cheaper on low-entropy inputs (elements falling into
+  equality buckets skip bucket sorting entirely),
+* the uniformity-assuming sorters (hybrid, bbsort) get *more expensive* on
+  skewed inputs (their oversized buckets fall back to global-memory networks),
+* radix sort is essentially distribution-independent,
+* quicksort pays a modest penalty for heavily duplicated keys (its two-way
+  partitions stop making progress early only because of the min==max check).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil, log2
+from typing import Optional
+
+import numpy as np
+
+from ..core.config import SampleSortConfig
+from ..datagen.entropy import DistributionProfile
+from .calibration import Calibration, DEFAULT_CALIBRATION
+
+
+@dataclass
+class WorkEstimate:
+    """Device work of one complete sort, in counts (not time)."""
+
+    #: Coalesced (streaming) global memory traffic in bytes.
+    bytes_streamed: float = 0.0
+    #: Scattered (uncoalesced) global memory traffic in bytes, *before* the
+    #: transaction-inflation penalty the model applies.
+    bytes_scattered: float = 0.0
+    #: Dynamic scalar-thread instructions.
+    instructions: float = 0.0
+    #: Number of kernel launches.
+    kernel_launches: float = 0.0
+    #: Shared-memory traffic in bytes (charged at the compute side).
+    shared_bytes: float = 0.0
+    #: Number of block-wide barrier waits, summed over blocks.
+    barriers: float = 0.0
+    #: Free-form notes (passes, levels, ...), for reports and tests.
+    detail: dict = field(default_factory=dict)
+
+    def add(self, other: "WorkEstimate") -> "WorkEstimate":
+        self.bytes_streamed += other.bytes_streamed
+        self.bytes_scattered += other.bytes_scattered
+        self.instructions += other.instructions
+        self.kernel_launches += other.kernel_launches
+        self.shared_bytes += other.shared_bytes
+        self.barriers += other.barriers
+        for key, value in other.detail.items():
+            self.detail.setdefault(key, value)
+        return self
+
+    @property
+    def total_bytes(self) -> float:
+        return self.bytes_streamed + self.bytes_scattered
+
+
+def _uniform_profile(n: int) -> DistributionProfile:
+    """Profile assumed when the caller does not supply one (uniform keys)."""
+    return DistributionProfile(
+        n=n, distinct_keys=n, entropy_bits=float(np.log2(max(n, 2))),
+        normalised_entropy=1.0, duplicate_mass=0.0, uniform_partition_skew=1.1,
+        sortedness=0.5, is_64bit=False,
+    )
+
+
+def _word_factor(key_bytes: int) -> float:
+    """Relative cost of comparing / manipulating one key on 32-bit hardware.
+
+    GT200 scalar processors are 32-bit; comparisons, digit extractions and
+    compare-exchanges on 64-bit keys take roughly twice the instructions.
+    """
+    return max(1.0, key_bytes / 4.0)
+
+
+def _network_instr_per_element(seq_len: int, cal: Calibration,
+                               key_bytes: int = 4) -> float:
+    """Instructions per element of an odd-even / bitonic network on ``seq_len``."""
+    if seq_len <= 1:
+        return 0.0
+    levels = max(1.0, ceil(log2(seq_len)))
+    stages = levels * (levels + 1) / 2.0
+    # one compare-exchange touches two elements => stages/2 comparators per
+    # element per stage pair
+    return cal.network_instr_per_compare * stages / 2.0 * _word_factor(key_bytes)
+
+
+# --------------------------------------------------------------------- sample
+def sample_sort_work(
+    n: int,
+    key_bytes: int,
+    value_bytes: int = 0,
+    profile: Optional[DistributionProfile] = None,
+    config: Optional[SampleSortConfig] = None,
+    cal: Calibration = DEFAULT_CALIBRATION,
+) -> WorkEstimate:
+    """Work of the paper's sample sort (Sections 4-5 structure)."""
+    if n <= 0:
+        return WorkEstimate(detail={"passes": 0})
+    cfg = config or SampleSortConfig.paper()
+    prof = profile or _uniform_profile(n)
+    record = key_bytes + value_bytes
+    k = cfg.k
+    m = cfg.bucket_threshold
+
+    # Number of k-way distribution passes until buckets are <= M (expected).
+    passes = 0 if n <= m else max(1, ceil(log2(n / m) / log2(k)))
+    passes = min(passes, cfg.max_distribution_depth)
+
+    est = WorkEstimate(detail={"passes": passes})
+    wf = _word_factor(key_bytes)
+    traversal_instr = (2.0 * log2(k) + 3.0) * wf
+
+    for _ in range(passes):
+        blocks = max(1, ceil(n / cfg.tile_size))
+        hist_entries = 2 * k * blocks
+        # Phase 1: sample a*k keys (uncoalesced gather), network-sort in shared.
+        sample_sz = cfg.oversampling_for(np.uint64 if key_bytes >= 8 else np.uint32) * k
+        est.bytes_scattered += sample_sz * key_bytes
+        est.instructions += sample_sz * _network_instr_per_element(sample_sz, cal, key_bytes)
+        est.kernel_launches += 1
+        # Phase 2: read keys, traverse, count with shared atomics, write histogram.
+        est.bytes_streamed += n * key_bytes + hist_entries * 8
+        est.instructions += n * (traversal_instr + cal.atomic_instr)
+        est.shared_bytes += n * key_bytes
+        est.kernel_launches += 1
+        # Phase 3: scan of the histogram (small).
+        est.bytes_streamed += 3 * hist_entries * 8
+        est.instructions += 4 * hist_entries
+        est.kernel_launches += 3
+        # Phase 4: re-read keys (+values), recompute buckets, scatter records.
+        est.bytes_streamed += n * record
+        est.bytes_scattered += n * record
+        est.instructions += n * (traversal_instr + cal.scatter_rank_instr)
+        est.shared_bytes += n * key_bytes
+        est.kernel_launches += 1
+
+    # Bucket sorting. Elements in equality buckets (low-entropy inputs) skip it.
+    constant_fraction = prof.duplicate_mass if cfg.detect_constant_buckets else 0.0
+    if passes == 0:
+        constant_fraction = 0.0
+    active = n * (1.0 - min(0.85, constant_fraction))
+    # expected leaf-bucket size after `passes` k-way splits (never above M,
+    # never below the shared-memory sequence length)
+    bucket_size = n / (k ** passes) if passes else n
+    bucket_size = min(bucket_size, m)
+    shared_seq = max(2, min(cfg.shared_sort_threshold,
+                            (16 * 1024) // max(record, 1)))
+    bucket_size = max(bucket_size, shared_seq)
+    # quicksort partition levels inside a bucket until the network threshold
+    levels = 0 if bucket_size <= shared_seq else ceil(log2(bucket_size / shared_seq))
+    est.detail["bucket_partition_levels"] = levels
+    est.bytes_streamed += active * record * 2 * levels
+    # the in-bucket quicksort's partition work is lighter than the standalone
+    # Cederman-Tsigas quicksort (no work-queue management, no extra counting
+    # kernel), hence the 0.5 factor
+    est.instructions += active * 0.5 * cal.quicksort_partition_instr * wf * levels
+    # final network sort of shared-memory sized chunks
+    est.bytes_streamed += active * record * 2
+    est.shared_bytes += active * record
+    est.instructions += active * _network_instr_per_element(shared_seq, cal, key_bytes)
+    est.kernel_launches += 1
+    # constant buckets may still need one copy into the final buffer
+    est.bytes_streamed += (n - active) * record
+    est.detail["constant_fraction"] = constant_fraction
+
+    # Sorted inputs: the paper observes a mild slowdown (its worst case) caused
+    # by less balanced buckets from clustered samples; model it as a small
+    # overhead on the bucket-sort stage.
+    if prof.sortedness > 0.95 and prof.normalised_entropy > 0.5:
+        est.instructions *= cal.sample_sorted_penalty
+    return est
+
+
+# ---------------------------------------------------------------------- merge
+def merge_sort_work(
+    n: int,
+    key_bytes: int,
+    value_bytes: int = 0,
+    profile: Optional[DistributionProfile] = None,
+    tile: int = 256,
+    cal: Calibration = DEFAULT_CALIBRATION,
+) -> WorkEstimate:
+    """Work of the Thrust two-way merge sort (tile sort + log2(n/tile) merges)."""
+    if n <= 0:
+        return WorkEstimate(detail={"merge_passes": 0})
+    record = key_bytes + value_bytes
+    wf = _word_factor(key_bytes)
+    est = WorkEstimate()
+    # tile sort
+    est.bytes_streamed += 2 * n * record
+    est.shared_bytes += n * record
+    est.instructions += n * _network_instr_per_element(tile, cal, key_bytes)
+    est.kernel_launches += 1
+    # merge passes
+    merge_passes = 0 if n <= tile else ceil(log2(n / tile))
+    for p in range(merge_passes):
+        run = tile * (2 ** p)
+        est.bytes_streamed += 2 * n * record
+        est.instructions += n * (cal.merge_base_instr + log2(max(run, 2)) * wf)
+        est.kernel_launches += 1
+    est.detail["merge_passes"] = merge_passes
+    return est
+
+
+# ---------------------------------------------------------------------- radix
+def radix_sort_work(
+    n: int,
+    key_bytes: int,
+    value_bytes: int = 0,
+    profile: Optional[DistributionProfile] = None,
+    variant: str = "thrust",
+    digit_bits: int = 4,
+    cal: Calibration = DEFAULT_CALIBRATION,
+) -> WorkEstimate:
+    """Work of the scan-based LSD radix sorts (CUDPP / Thrust variants)."""
+    if n <= 0:
+        return WorkEstimate(detail={"passes": 0})
+    record = key_bytes + value_bytes
+    key_bits = key_bytes * 8
+    wf = _word_factor(key_bytes)
+    passes = ceil(key_bits / digit_bits)
+    hist_instr, scatter_instr = (
+        cal.radix_cudpp_instr if variant == "cudpp" else cal.radix_thrust_instr
+    )
+    # The Thrust 64-bit code path carries substantial extra per-pass work (see
+    # Calibration.radix_wide_key_penalty).
+    wide_penalty = cal.radix_wide_key_penalty if key_bytes > 4 else 1.0
+    tile = 1024
+    est = WorkEstimate(detail={"passes": passes})
+    for _ in range(passes):
+        blocks = max(1, ceil(n / tile))
+        hist_entries = (1 << digit_bits) * blocks
+        # histogram kernel: read keys, local split in shared memory
+        est.bytes_streamed += n * key_bytes + hist_entries * 8
+        est.shared_bytes += 2 * n * key_bytes
+        est.instructions += n * (hist_instr + 1.0 * digit_bits) * wf * wide_penalty
+        est.kernel_launches += 1
+        # scan
+        est.bytes_streamed += 3 * hist_entries * 8
+        est.instructions += 4 * hist_entries
+        est.kernel_launches += 3
+        # scatter kernel: read records, write records in near-coalesced runs
+        est.bytes_streamed += n * record
+        run_length = max(1.0, tile / (1 << digit_bits))
+        scatter_fraction = min(1.0, cal.radix_scatter_scatter_fraction * 32.0 / run_length * 0.2)
+        est.bytes_streamed += n * record * (1.0 - scatter_fraction)
+        est.bytes_scattered += n * record * scatter_fraction
+        est.instructions += n * scatter_instr * wf * wide_penalty
+        est.kernel_launches += 1
+    return est
+
+
+# ------------------------------------------------------------------ quicksort
+def quicksort_work(
+    n: int,
+    key_bytes: int,
+    value_bytes: int = 0,
+    profile: Optional[DistributionProfile] = None,
+    cutoff: int = 1024,
+    cal: Calibration = DEFAULT_CALIBRATION,
+) -> WorkEstimate:
+    """Work of the Cederman-Tsigas explicit-partition GPU quicksort."""
+    if n <= 0:
+        return WorkEstimate(detail={"levels": 0})
+    prof = profile or _uniform_profile(n)
+    record = key_bytes + value_bytes
+    levels = 0 if n <= cutoff else ceil(log2(n / cutoff))
+    # midpoint pivots are slightly unbalanced on skewed / clustered inputs
+    imbalance = 1.0 + 0.2 * min(3.0, max(0.0, prof.uniform_partition_skew - 1.0))
+    # heavily duplicated keys terminate early thanks to the min==max check
+    if prof.normalised_entropy < 0.35:
+        levels = max(1, ceil(levels * 0.6))
+    effective_levels = levels * imbalance
+    wf = _word_factor(key_bytes)
+    est = WorkEstimate(detail={"levels": levels})
+    # per level: counting pass (read) + move pass (read + scattered two-stream write)
+    est.bytes_streamed += effective_levels * n * (2 * record)
+    est.bytes_scattered += effective_levels * n * record * 0.25
+    est.instructions += effective_levels * n * cal.quicksort_partition_instr * wf
+    est.kernel_launches += 2 * levels
+    # small-case bitonic sorts
+    est.bytes_streamed += 2 * n * record
+    est.shared_bytes += n * record
+    est.instructions += n * _network_instr_per_element(cutoff, cal, key_bytes)
+    est.kernel_launches += 1
+    return est
+
+
+# ----------------------------------------------------------- uniformity-based
+def _uniform_bucket_work(
+    n: int,
+    key_bytes: int,
+    value_bytes: int,
+    profile: Optional[DistributionProfile],
+    target_bucket: int,
+    network_kind: str,
+    cal: Calibration,
+) -> WorkEstimate:
+    """Shared distribution + per-bucket-sort work of hybrid sort and bbsort."""
+    prof = profile or _uniform_profile(n)
+    record = key_bytes + value_bytes
+    wf = _word_factor(key_bytes)
+    est = WorkEstimate()
+    # min/max reductions + bucket-refinement pass + histogram + scan + scatter
+    est.bytes_streamed += 2 * n * key_bytes          # min and max reductions
+    est.bytes_streamed += n * key_bytes              # refinement / counting pass
+    est.bytes_streamed += n * key_bytes              # histogram read
+    est.bytes_streamed += n * record                 # scatter read
+    est.bytes_scattered += n * record                # scatter write
+    est.instructions += n * (2.0 * cal.projection_instr + cal.scatter_rank_instr + 4.0) * wf
+    est.kernel_launches += 10
+
+    # per-bucket sorting: buckets inflate with the distribution's skew
+    shared_capacity = (16 * 1024) // max(record, 1)
+    typical_bucket = target_bucket * max(1.0, prof.uniform_partition_skew)
+    largest_bucket = min(n, target_bucket * max(
+        1.0, prof.uniform_partition_skew * cal.skew_amplification))
+    if prof.normalised_entropy < 0.35:
+        # nearly all keys identical: one bucket receives most of the input
+        largest_bucket = max(largest_bucket, n * prof.duplicate_mass)
+    oversized_fraction = 0.0
+    if largest_bucket > shared_capacity:
+        oversized_fraction = min(1.0, max(prof.duplicate_mass,
+                                          (prof.uniform_partition_skew - 1.0) / 10.0))
+    in_shared = n * (1.0 - oversized_fraction)
+    oversized = n - in_shared
+
+    est.bytes_streamed += 2 * in_shared * record
+    est.shared_bytes += in_shared * record
+    est.instructions += in_shared * cal.uniform_small_sort_factor * _network_instr_per_element(
+        min(typical_bucket, shared_capacity), cal, key_bytes)
+
+    if oversized > 0:
+        # global-memory network on the oversized buckets: every stage streams
+        # the bucket through DRAM
+        levels = max(1.0, ceil(log2(max(largest_bucket, 2))))
+        stages = levels * (levels + 1) / 2.0
+        est.bytes_streamed += 2 * oversized * record * stages
+        est.instructions += oversized * cal.network_instr_per_compare * stages / 2.0 * wf
+    est.kernel_launches += 1
+    est.detail.update({
+        "largest_bucket": float(largest_bucket),
+        "oversized_fraction": oversized_fraction,
+    })
+    return est
+
+
+def bbsort_work(
+    n: int, key_bytes: int, value_bytes: int = 0,
+    profile: Optional[DistributionProfile] = None,
+    cal: Calibration = DEFAULT_CALIBRATION,
+) -> WorkEstimate:
+    """Work of bbsort (uniformity-assuming bucket sort, bitonic small sorter)."""
+    if n <= 0:
+        return WorkEstimate()
+    return _uniform_bucket_work(n, key_bytes, value_bytes, profile, 256, "bitonic", cal)
+
+
+def hybrid_sort_work(
+    n: int, key_bytes: int, value_bytes: int = 0,
+    profile: Optional[DistributionProfile] = None,
+    cal: Calibration = DEFAULT_CALIBRATION,
+) -> WorkEstimate:
+    """Work of hybrid sort; raises no exception here — DNF detection is the
+    harness's job (it mirrors the crash the paper observed on DDuplicates)."""
+    if n <= 0:
+        return WorkEstimate()
+    return _uniform_bucket_work(n, key_bytes, value_bytes, profile, 512, "odd_even", cal)
+
+
+#: Registry used by the analytic model and the harness.
+WORK_FUNCTIONS = {
+    "sample": sample_sort_work,
+    "thrust merge": merge_sort_work,
+    "thrust radix": lambda *a, **kw: radix_sort_work(*a, variant="thrust", **kw),
+    "cudpp radix": lambda *a, **kw: radix_sort_work(*a, variant="cudpp", **kw),
+    "quick": quicksort_work,
+    "bbsort": bbsort_work,
+    "hybrid": hybrid_sort_work,
+}
+
+
+__all__ = [
+    "WorkEstimate",
+    "sample_sort_work",
+    "merge_sort_work",
+    "radix_sort_work",
+    "quicksort_work",
+    "bbsort_work",
+    "hybrid_sort_work",
+    "WORK_FUNCTIONS",
+]

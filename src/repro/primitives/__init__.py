@@ -1,0 +1,57 @@
+"""Data-parallel GPU primitives used by sample sort and the baselines.
+
+These are the reproduction's counterparts of the CUDPP/Thrust primitives the
+paper builds on: scan (prefix sum), segmented scan, reduction, stream
+compaction, shared-memory sorting networks, histograms and the sampling RNG.
+All of them run on the :mod:`repro.gpu` simulator and charge their cost to the
+same counters the sorting kernels use.
+"""
+
+from .compact import compact_host, device_compact
+from .histogram import block_histogram, histogram_host
+from .reduce import block_reduce, device_reduce
+from .rng import GpuLcg, host_twister, sample_indices
+from .scan import (
+    block_exclusive_scan,
+    block_inclusive_scan,
+    device_exclusive_scan,
+    exclusive_scan_host,
+    inclusive_scan_host,
+)
+from .segmented_scan import (
+    block_segmented_scan,
+    segment_heads_from_offsets,
+    segmented_exclusive_scan_host,
+    segmented_inclusive_scan_host,
+)
+from .sorting_networks import (
+    NetworkStats,
+    bitonic_sort,
+    comparator_count,
+    odd_even_merge_sort,
+)
+
+__all__ = [
+    "compact_host",
+    "device_compact",
+    "block_histogram",
+    "histogram_host",
+    "block_reduce",
+    "device_reduce",
+    "GpuLcg",
+    "host_twister",
+    "sample_indices",
+    "block_exclusive_scan",
+    "block_inclusive_scan",
+    "device_exclusive_scan",
+    "exclusive_scan_host",
+    "inclusive_scan_host",
+    "block_segmented_scan",
+    "segment_heads_from_offsets",
+    "segmented_exclusive_scan_host",
+    "segmented_inclusive_scan_host",
+    "NetworkStats",
+    "bitonic_sort",
+    "comparator_count",
+    "odd_even_merge_sort",
+]

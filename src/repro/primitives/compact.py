@@ -1,0 +1,104 @@
+"""Stream compaction (select) built on scan.
+
+Compaction — keeping only the elements that satisfy a predicate while
+preserving order — is the primitive behind the scan-based GPU quicksort
+formulation the paper discusses in §3 (Sengupta et al.), and the explicit
+two-way partition of the Cederman–Tsigas quicksort baseline is essentially two
+compactions (the "< pivot" stream and the ">= pivot" stream).
+
+The device version performs the canonical three steps:
+
+1. each block evaluates the predicate over its tile and scans the 0/1 flags,
+2. the per-block counts are scanned to get block output offsets,
+3. each block scatters its surviving elements to ``offset + local rank``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..gpu.block import BlockContext
+from ..gpu.grid import grid_for
+from ..gpu.kernel import KernelLauncher
+from ..gpu.memory import DeviceArray
+from .scan import block_exclusive_scan, device_exclusive_scan
+
+_COMPACT_BLOCK_THREADS = 256
+_COMPACT_ELEMENTS_PER_THREAD = 4
+
+
+def compact_host(values: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Host reference of stream compaction."""
+    values = np.asarray(values)
+    mask = np.asarray(mask, dtype=bool)
+    if values.shape != mask.shape:
+        raise ValueError("values and mask must have the same shape")
+    return values[mask].copy()
+
+
+def _count_kernel(ctx: BlockContext, src: DeviceArray, counts: DeviceArray,
+                  n: int, predicate: Callable[[np.ndarray], np.ndarray]) -> None:
+    start, end = ctx.tile_bounds(n)
+    if end <= start:
+        ctx.store(counts, np.array([ctx.block_id]), np.array([0]))
+        return
+    tile = ctx.read_range(src, start, end - start)
+    flags = np.asarray(predicate(tile), dtype=bool)
+    ctx.charge_per_element(tile.size, 2.0)
+    ctx.warps.branch(flags)
+    ctx.store(counts, np.array([ctx.block_id]), np.array([int(flags.sum())]))
+
+
+def _scatter_kernel(ctx: BlockContext, src: DeviceArray, dst: DeviceArray,
+                    offsets: DeviceArray, n: int,
+                    predicate: Callable[[np.ndarray], np.ndarray]) -> None:
+    start, end = ctx.tile_bounds(n)
+    if end <= start:
+        return
+    tile = ctx.read_range(src, start, end - start)
+    flags = np.asarray(predicate(tile), dtype=bool)
+    ctx.charge_per_element(tile.size, 2.0)
+    local_rank, kept = block_exclusive_scan(ctx, flags.astype(np.int64))
+    if kept == 0:
+        return
+    base = int(ctx.load(offsets, np.array([ctx.block_id]))[0])
+    out_idx = base + local_rank[flags]
+    ctx.store(dst, out_idx, tile[flags])
+
+
+def device_compact(
+    launcher: KernelLauncher,
+    src: DeviceArray,
+    predicate: Callable[[np.ndarray], np.ndarray],
+    n: Optional[int] = None,
+    phase: str = "compact",
+    out: Optional[DeviceArray] = None,
+) -> tuple[DeviceArray, int]:
+    """Compact the first ``n`` elements of ``src`` that satisfy ``predicate``.
+
+    Returns ``(output_array, kept_count)``; only the first ``kept_count``
+    entries of the output are meaningful.
+    """
+    n = int(src.size if n is None else n)
+    dst = out if out is not None else launcher.gmem.alloc(max(n, 1), src.dtype,
+                                                          name=f"{src.name}_compact")
+    if n == 0:
+        return dst, 0
+
+    launch_cfg = grid_for(n, _COMPACT_BLOCK_THREADS, _COMPACT_ELEMENTS_PER_THREAD)
+    counts = launcher.gmem.alloc(launch_cfg.grid_dim, np.int64,
+                                 name=f"{src.name}_flagcounts")
+    launcher.launch(_count_kernel, launch_cfg, src, counts, n, predicate,
+                    problem_size=n, phase=phase, name="compact_count")
+    offsets = device_exclusive_scan(launcher, counts, launch_cfg.grid_dim, phase=phase)
+    total_kept = int(counts.data.sum())
+    launcher.launch(_scatter_kernel, launch_cfg, src, dst, offsets, n, predicate,
+                    problem_size=n, phase=phase, name="compact_scatter")
+    launcher.gmem.free(counts)
+    launcher.gmem.free(offsets)
+    return dst, total_kept
+
+
+__all__ = ["compact_host", "device_compact"]

@@ -1,0 +1,114 @@
+"""Reduction primitives (sum / min / max) on the simulator.
+
+Reductions are the second workhorse primitive of GPU data-parallel code. The
+reproduction uses them for vector-summing the Phase-2 per-group counter arrays
+into one per-block histogram, for bucket-size statistics in the bucket
+scheduler, and inside several baselines (pivot selection in GPU quicksort, key
+range detection in bbsort / hybrid sort).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..gpu.block import BlockContext
+from ..gpu.grid import grid_for
+from ..gpu.kernel import KernelLauncher
+from ..gpu.memory import DeviceArray
+
+_REDUCE_BLOCK_THREADS = 256
+_REDUCE_ELEMENTS_PER_THREAD = 8
+
+#: numpy ufunc + neutral element per supported operation
+_OPS: dict[str, tuple[Callable[[np.ndarray], np.generic], float]] = {
+    "sum": (np.sum, 0),
+    "min": (np.min, np.inf),
+    "max": (np.max, -np.inf),
+}
+
+
+def block_reduce(ctx: BlockContext, values: np.ndarray, op: str = "sum"):
+    """Tree-reduce ``values`` inside one block.
+
+    Charges ``log2`` levels of work and the shared-memory staging traffic, and
+    returns the scalar result.
+    """
+    if op not in _OPS:
+        raise ValueError(f"unsupported reduction op {op!r}; expected one of {sorted(_OPS)}")
+    values = np.asarray(values)
+    n = int(values.size)
+    if n == 0:
+        _, neutral = _OPS[op]
+        return values.dtype.type(neutral) if np.isfinite(neutral) else neutral
+    ctx.counters.shared_bytes_accessed += values.nbytes
+    levels = max(1, int(np.ceil(np.log2(max(n, 2)))))
+    ctx.charge_per_element(n, 1.0)
+    ctx.charge_instructions(levels * ctx.num_threads)
+    ctx.syncthreads()
+    fn, _ = _OPS[op]
+    return fn(values)
+
+
+def _reduce_kernel(ctx: BlockContext, src: DeviceArray, partials: DeviceArray,
+                   n: int, op: str) -> None:
+    start, end = ctx.tile_bounds(n)
+    if end <= start:
+        fn, neutral = _OPS[op]
+        ctx.store(partials, np.array([ctx.block_id]),
+                  np.array([neutral], dtype=partials.dtype))
+        return
+    tile = ctx.read_range(src, start, end - start)
+    result = block_reduce(ctx, tile, op)
+    ctx.store(partials, np.array([ctx.block_id]),
+              np.array([result], dtype=partials.dtype))
+
+
+def device_reduce(
+    launcher: KernelLauncher,
+    src: DeviceArray,
+    n: Optional[int] = None,
+    op: str = "sum",
+    phase: str = "reduce",
+    block_threads: int = _REDUCE_BLOCK_THREADS,
+    elements_per_thread: int = _REDUCE_ELEMENTS_PER_THREAD,
+):
+    """Device-wide reduction of the first ``n`` elements of ``src``.
+
+    Launches ``O(log(n))`` kernels (in practice two levels for all sizes the
+    paper uses) and returns a Python scalar.
+    """
+    if op not in _OPS:
+        raise ValueError(f"unsupported reduction op {op!r}; expected one of {sorted(_OPS)}")
+    n = int(src.size if n is None else n)
+    if n == 0:
+        raise ValueError("cannot reduce an empty array on the device")
+
+    current = src
+    remaining = n
+    owned: list[DeviceArray] = []
+    while True:
+        launch_cfg = grid_for(remaining, block_threads, elements_per_thread)
+        out_dtype = np.float64 if current.dtype.kind == "f" else np.int64
+        partials = launcher.gmem.alloc(launch_cfg.grid_dim, out_dtype,
+                                       name=f"{src.name}_partials")
+        owned.append(partials)
+        launcher.launch(
+            _reduce_kernel, launch_cfg, current, partials, remaining, op,
+            problem_size=remaining, phase=phase, name=f"reduce_{op}",
+        )
+        if launch_cfg.grid_dim == 1:
+            result = partials.data[0]
+            break
+        current = partials
+        remaining = launch_cfg.grid_dim
+
+    for handle in owned:
+        launcher.gmem.free(handle)
+    if np.issubdtype(type(result), np.floating) or isinstance(result, float):
+        return float(result)
+    return int(result)
+
+
+__all__ = ["block_reduce", "device_reduce"]

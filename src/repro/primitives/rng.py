@@ -1,0 +1,83 @@
+"""Random number generation matching the paper's Phase 1 setup.
+
+"We take a random sample S of a*k input elements using a simple GPU LCG random
+number generator that takes its seed from the CPU Mersenne Twister" (§5). The
+reproduction keeps the same two-level structure:
+
+* the **host** side uses a Mersenne Twister (NumPy's ``MT19937`` bit generator)
+  to draw per-thread seeds, and
+* the **device** side advances a 32-bit linear congruential generator per
+  thread to pick sample positions.
+
+The LCG uses the classic Numerical-Recipes constants (a=1664525, c=1013904223,
+m=2^32), the same generator family the original CUDA code used.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+LCG_A = np.uint64(1664525)
+LCG_C = np.uint64(1013904223)
+LCG_MOD_BITS = 32
+LCG_MASK = np.uint64((1 << LCG_MOD_BITS) - 1)
+
+
+def host_twister(seed: Optional[int] = None) -> np.random.Generator:
+    """The host-side Mersenne Twister used to seed the device LCGs."""
+    return np.random.Generator(np.random.MT19937(seed))
+
+
+class GpuLcg:
+    """A batch of per-thread 32-bit LCG streams.
+
+    Each simulated thread owns one LCG state. Advancing the generator is a
+    vectorised update of all states — one SIMT instruction per thread, exactly
+    as on the device.
+    """
+
+    def __init__(self, num_streams: int, seed: Optional[int] = None,
+                 twister: Optional[np.random.Generator] = None):
+        if num_streams <= 0:
+            raise ValueError(f"num_streams must be positive, got {num_streams}")
+        tw = twister if twister is not None else host_twister(seed)
+        # Seed every stream from the host twister, as the paper does.
+        self.state = tw.integers(0, 2**32, size=num_streams, dtype=np.uint64)
+        self.num_streams = num_streams
+
+    def next_uint32(self) -> np.ndarray:
+        """Advance every stream once and return the new 32-bit states."""
+        self.state = (LCG_A * self.state + LCG_C) & LCG_MASK
+        return self.state.astype(np.uint32)
+
+    def next_below(self, bound: int) -> np.ndarray:
+        """One value in ``[0, bound)`` per stream (multiply-shift reduction)."""
+        if bound <= 0:
+            raise ValueError(f"bound must be positive, got {bound}")
+        draw = self.next_uint32().astype(np.uint64)
+        return ((draw * np.uint64(bound)) >> np.uint64(32)).astype(np.int64)
+
+    def uniform(self) -> np.ndarray:
+        """One float in [0, 1) per stream."""
+        return self.next_uint32().astype(np.float64) / 2.0**32
+
+
+def sample_indices(n: int, count: int, seed: Optional[int] = None,
+                   twister: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Draw ``count`` sample positions in ``[0, n)`` the way Phase 1 does.
+
+    One LCG stream per sample position (as if one thread drew each sample).
+    Sampling is *with replacement*, matching the original implementation; the
+    oversampling factor makes occasional repeats statistically harmless.
+    """
+    if n <= 0:
+        raise ValueError(f"cannot sample from an empty input (n={n})")
+    if count <= 0:
+        raise ValueError(f"sample count must be positive, got {count}")
+    lcg = GpuLcg(count, seed=seed, twister=twister)
+    return lcg.next_below(n)
+
+
+__all__ = ["GpuLcg", "host_twister", "sample_indices", "LCG_A", "LCG_C"]

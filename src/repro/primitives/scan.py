@@ -1,0 +1,164 @@
+"""Prefix-sum (scan) primitives.
+
+The scan primitive of Sengupta, Harris, Zhang and Owens is "an essential
+building block for data parallel computation" (§3) and the reproduction uses it
+in two places, like the paper does:
+
+* **Phase 3** of sample sort scans the column-major ``k x p`` histogram to turn
+  per-block bucket counts into global output offsets, and
+* the radix-sort baseline scans per-pass digit histograms.
+
+The device-level scan follows the classic three-kernel structure (a
+work-efficient Blelloch scan): each block scans its tile and emits a block sum,
+the block sums are scanned (recursively if necessary), and a final kernel adds
+each block's offset to its tile.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..gpu.block import BlockContext
+from ..gpu.grid import grid_for
+from ..gpu.kernel import KernelLauncher
+from ..gpu.memory import DeviceArray
+
+#: Default geometry of scan kernels: 256 threads, 4 elements per thread.
+SCAN_BLOCK_THREADS = 256
+SCAN_ELEMENTS_PER_THREAD = 4
+
+#: Instructions charged per element per up/down-sweep level of a block scan.
+_SCAN_INSTR_PER_ELEMENT = 2.0
+
+
+def exclusive_scan_host(values: np.ndarray) -> np.ndarray:
+    """Host reference: exclusive prefix sum with the same dtype semantics."""
+    values = np.asarray(values)
+    out = np.zeros_like(values)
+    if values.size > 1:
+        np.cumsum(values[:-1], out=out[1:])
+    return out
+
+
+def inclusive_scan_host(values: np.ndarray) -> np.ndarray:
+    """Host reference: inclusive prefix sum."""
+    return np.cumsum(np.asarray(values))
+
+
+def block_exclusive_scan(ctx: BlockContext, values: np.ndarray
+                         ) -> tuple[np.ndarray, int]:
+    """Exclusive scan of ``values`` inside one block's shared memory.
+
+    Returns the scanned values and the tile total. Charges the instruction cost
+    of a work-efficient scan (two passes over the data across ``log2`` levels)
+    and the shared-memory traffic of staging the tile.
+    """
+    values = np.asarray(values)
+    n = int(values.size)
+    if n == 0:
+        return values.copy(), 0
+    stage = ctx.shared.alloc(n, values.dtype)
+    stage[:] = values
+    ctx.counters.shared_bytes_accessed += 2 * values.nbytes
+    levels = max(1, int(np.ceil(np.log2(max(n, 2)))))
+    ctx.charge_per_element(n, _SCAN_INSTR_PER_ELEMENT * levels)
+    ctx.syncthreads()
+    total = int(values.sum())
+    scanned = exclusive_scan_host(values)
+    return scanned, total
+
+
+def block_inclusive_scan(ctx: BlockContext, values: np.ndarray
+                         ) -> tuple[np.ndarray, int]:
+    """Inclusive scan of ``values`` inside one block (same cost model)."""
+    scanned, total = block_exclusive_scan(ctx, values)
+    return scanned + np.asarray(values), total
+
+
+# --------------------------------------------------------------------- kernels
+def _scan_blocks_kernel(ctx: BlockContext, src: DeviceArray, dst: DeviceArray,
+                        block_sums: DeviceArray, n: int) -> None:
+    start, end = ctx.tile_bounds(n)
+    if end <= start:
+        ctx.store(block_sums, np.array([ctx.block_id]), np.array([0]))
+        return
+    tile = ctx.read_range(src, start, end - start)
+    scanned, total = block_exclusive_scan(ctx, tile)
+    ctx.write_range(dst, start, scanned)
+    ctx.store(block_sums, np.array([ctx.block_id]), np.array([total]))
+
+
+def _add_offsets_kernel(ctx: BlockContext, dst: DeviceArray,
+                        block_offsets: DeviceArray, n: int) -> None:
+    start, end = ctx.tile_bounds(n)
+    if end <= start:
+        return
+    offset = ctx.load(block_offsets, np.array([ctx.block_id]))[0]
+    if offset == 0:
+        # Nothing to add; a real implementation still reads the offset (counted
+        # above) but can skip the tile update only if the offset is zero for
+        # the *whole* grid, so we keep charging the pass uniformly.
+        pass
+    tile = ctx.read_range(dst, start, end - start)
+    ctx.charge_per_element(end - start, 1.0)
+    ctx.write_range(dst, start, tile + offset)
+
+
+def device_exclusive_scan(
+    launcher: KernelLauncher,
+    src: DeviceArray,
+    n: Optional[int] = None,
+    phase: str = "scan",
+    block_threads: int = SCAN_BLOCK_THREADS,
+    elements_per_thread: int = SCAN_ELEMENTS_PER_THREAD,
+    out: Optional[DeviceArray] = None,
+) -> DeviceArray:
+    """Device-wide exclusive scan of ``src`` (first ``n`` elements).
+
+    Returns a device array holding the scanned values. The number of kernel
+    launches is ``O(log_tile(n))`` levels times three, which for every input the
+    paper considers is at most two levels.
+    """
+    n = int(src.size if n is None else n)
+    dst = out if out is not None else launcher.gmem.alloc(src.size, src.dtype,
+                                                          name=f"{src.name}_scan")
+    if n == 0:
+        return dst
+
+    launch_cfg = grid_for(n, block_threads, elements_per_thread)
+    block_sums = launcher.gmem.alloc(launch_cfg.grid_dim, np.int64,
+                                     name=f"{src.name}_blocksums")
+    launcher.launch(
+        _scan_blocks_kernel, launch_cfg, src, dst, block_sums,
+        n, problem_size=n, phase=phase, name="scan_blocks",
+    )
+
+    if launch_cfg.grid_dim == 1:
+        launcher.gmem.free(block_sums)
+        return dst
+
+    # Scan the block sums (recursively when there are many blocks).
+    scanned_sums = device_exclusive_scan(
+        launcher, block_sums, launch_cfg.grid_dim, phase=phase,
+        block_threads=block_threads, elements_per_thread=elements_per_thread,
+    )
+    launcher.launch(
+        _add_offsets_kernel, launch_cfg, dst, scanned_sums,
+        n, problem_size=n, phase=phase, name="scan_add_offsets",
+    )
+    launcher.gmem.free(block_sums)
+    launcher.gmem.free(scanned_sums)
+    return dst
+
+
+__all__ = [
+    "exclusive_scan_host",
+    "inclusive_scan_host",
+    "block_exclusive_scan",
+    "block_inclusive_scan",
+    "device_exclusive_scan",
+    "SCAN_BLOCK_THREADS",
+    "SCAN_ELEMENTS_PER_THREAD",
+]

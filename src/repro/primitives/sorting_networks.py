@@ -1,0 +1,258 @@
+"""Sorting networks: Batcher's odd-even merge sort and bitonic sort.
+
+These are the shared-memory "small sorters" of the paper. Sorting networks suit
+SIMT hardware because every compare-exchange stage is a fixed, data-independent
+pattern executed by all lanes — no divergence, perfect predication.
+
+Where they are used:
+
+* The paper's sample sort uses **odd-even merge sort** for sequences that fit
+  into shared memory ("In our experiments we found it to be faster than the
+  bitonic sorting network and other approaches like a parallel merge sort", §5).
+* The Thrust merge-sort baseline sorts its 256-element tiles with odd-even
+  merge sort (Satish, Harris, Garland).
+* The GPU quicksort baseline (Cederman–Tsigas) finishes small partitions with a
+  bitonic network.
+
+Both networks operate on key arrays (optionally carrying a value payload) and
+work for any comparable dtype. The implementations sort correctly for arbitrary
+lengths by padding to the next power of two with +infinity sentinels, which is
+what the CUDA kernels do as well.
+
+Cost accounting: each compare-exchange costs a fixed number of instructions per
+element; the networks report their stage/comparator counts so kernels can charge
+them through :class:`~repro.gpu.block.BlockContext`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..gpu.block import BlockContext
+
+#: Scalar instructions per compare-exchange per element (load, compare, select,
+#: store — predicated, no branches).
+INSTR_PER_COMPARE_EXCHANGE = 4.0
+
+
+def _padded_length(n: int) -> int:
+    """Smallest power of two >= n (and >= 1)."""
+    if n <= 1:
+        return 1
+    return 1 << int(np.ceil(np.log2(n)))
+
+
+def _max_sentinel(dtype: np.dtype):
+    dtype = np.dtype(dtype)
+    if dtype.kind == "f":
+        return np.inf
+    return np.iinfo(dtype).max
+
+
+@dataclass(frozen=True)
+class NetworkStats:
+    """Size statistics of a sorting-network execution."""
+
+    n: int
+    padded_n: int
+    stages: int
+    comparators: int
+
+    @property
+    def instructions(self) -> float:
+        return self.comparators * INSTR_PER_COMPARE_EXCHANGE
+
+
+def odd_even_merge_network_pairs(n: int) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Comparator pairs of Batcher's odd-even merge sort for a power-of-two n.
+
+    Returns a list of stages; each stage is a pair of index arrays (lo, hi)
+    that can be compare-exchanged in parallel.
+    """
+    if n & (n - 1):
+        raise ValueError(f"odd-even merge network needs a power-of-two size, got {n}")
+    stages: list[tuple[np.ndarray, np.ndarray]] = []
+    p = 1
+    while p < n:
+        k = p
+        while k >= 1:
+            lo_list = []
+            hi_list = []
+            for j in range(k % p, n - k, 2 * k):
+                for i in range(min(k, n - j - k)):
+                    a = i + j
+                    b = i + j + k
+                    if (a // (p * 2)) == (b // (p * 2)):
+                        lo_list.append(a)
+                        hi_list.append(b)
+            if lo_list:
+                stages.append((np.array(lo_list), np.array(hi_list)))
+            k //= 2
+        p *= 2
+    return stages
+
+
+def bitonic_network_pairs(n: int) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Comparator pairs of a bitonic sorting network for a power-of-two n."""
+    if n & (n - 1):
+        raise ValueError(f"bitonic network needs a power-of-two size, got {n}")
+    stages: list[tuple[np.ndarray, np.ndarray]] = []
+    k = 2
+    while k <= n:
+        j = k // 2
+        while j >= 1:
+            idx = np.arange(n)
+            partner = idx ^ j
+            mask = partner > idx
+            a = idx[mask]
+            b = partner[mask]
+            ascending = (a & k) == 0
+            # encode direction by swapping endpoints for descending comparators
+            lo = np.where(ascending, a, b)
+            hi = np.where(ascending, b, a)
+            stages.append((lo, hi))
+            j //= 2
+        k *= 2
+    return stages
+
+
+def _apply_network(
+    keys: np.ndarray,
+    values: Optional[np.ndarray],
+    stages: list[tuple[np.ndarray, np.ndarray]],
+) -> int:
+    """Apply compare-exchange stages in place; returns the comparator count."""
+    comparators = 0
+    for lo, hi in stages:
+        comparators += int(lo.size)
+        a = keys[lo]
+        b = keys[hi]
+        swap = a > b
+        if np.any(swap):
+            keys[lo[swap]], keys[hi[swap]] = b[swap], a[swap]
+            if values is not None:
+                va = values[lo[swap]].copy()
+                values[lo[swap]] = values[hi[swap]]
+                values[hi[swap]] = va
+    return comparators
+
+
+def _network_sort(
+    keys: np.ndarray,
+    values: Optional[np.ndarray],
+    kind: str,
+    ctx: Optional[BlockContext],
+) -> tuple[np.ndarray, Optional[np.ndarray], NetworkStats]:
+    keys = np.asarray(keys)
+    n = int(keys.size)
+    if values is not None:
+        values = np.asarray(values)
+        if values.size != n:
+            raise ValueError(
+                f"values length {values.size} does not match keys length {n}"
+            )
+    if n <= 1:
+        stats = NetworkStats(n=n, padded_n=max(n, 1), stages=0, comparators=0)
+        return keys.copy(), None if values is None else values.copy(), stats
+
+    padded = _padded_length(n)
+    work_keys = np.full(padded, _max_sentinel(keys.dtype), dtype=keys.dtype)
+    work_keys[:n] = keys
+    work_values = None
+    if values is not None:
+        work_values = np.zeros(padded, dtype=values.dtype)
+        work_values[:n] = values
+
+    if kind == "odd_even":
+        stages = odd_even_merge_network_pairs(padded)
+    elif kind == "bitonic":
+        stages = bitonic_network_pairs(padded)
+    else:
+        raise ValueError(f"unknown network kind {kind!r}")
+
+    comparators = _apply_network(work_keys, work_values, stages)
+    stats = NetworkStats(
+        n=n, padded_n=padded, stages=len(stages), comparators=comparators
+    )
+    if ctx is not None:
+        ctx.counters.shared_bytes_accessed += int(
+            work_keys.nbytes + (work_values.nbytes if work_values is not None else 0)
+        )
+        ctx.charge_instructions(stats.instructions)
+        ctx.counters.barriers += stats.stages
+    sorted_keys = work_keys[:n]
+    sorted_values = None if work_values is None else work_values[:n]
+    return sorted_keys, sorted_values, stats
+
+
+def odd_even_merge_sort(
+    keys: np.ndarray,
+    values: Optional[np.ndarray] = None,
+    ctx: Optional[BlockContext] = None,
+) -> tuple[np.ndarray, Optional[np.ndarray], NetworkStats]:
+    """Sort with Batcher's odd-even merge sort network.
+
+    Returns ``(sorted_keys, sorted_values_or_None, stats)``. If ``ctx`` is
+    given, the network's instruction / shared-memory / barrier cost is charged
+    to that block.
+    """
+    return _network_sort(keys, values, "odd_even", ctx)
+
+
+def bitonic_sort(
+    keys: np.ndarray,
+    values: Optional[np.ndarray] = None,
+    ctx: Optional[BlockContext] = None,
+) -> tuple[np.ndarray, Optional[np.ndarray], NetworkStats]:
+    """Sort with a bitonic sorting network (see :func:`odd_even_merge_sort`)."""
+    return _network_sort(keys, values, "bitonic", ctx)
+
+
+def estimate_network_cost(n: int, kind: str = "odd_even") -> NetworkStats:
+    """Closed-form estimate of a network's stage and comparator counts.
+
+    Used when the cost of a network must be charged without materialising the
+    comparator pattern (e.g. for the analytic performance model, or for the
+    degenerate oversized-bucket paths of the hybrid/bbsort baselines where the
+    bucket can be a large fraction of the whole input). Both networks have
+    ``log2(n) * (log2(n) + 1) / 2`` stages of about ``n / 2`` comparators.
+    """
+    n = int(n)
+    padded = _padded_length(max(n, 1))
+    if padded <= 1:
+        return NetworkStats(n=n, padded_n=padded, stages=0, comparators=0)
+    levels = int(np.log2(padded))
+    stages = levels * (levels + 1) // 2
+    comparators = stages * padded // 2
+    return NetworkStats(n=n, padded_n=padded, stages=stages, comparators=comparators)
+
+
+def comparator_count(n: int, kind: str = "odd_even") -> int:
+    """Number of compare-exchanges the network performs for ``n`` elements.
+
+    Used by the analytic performance model; both networks are Theta(n log^2 n).
+    """
+    padded = _padded_length(max(int(n), 1))
+    if padded == 1:
+        return 0
+    if kind == "odd_even":
+        stages = odd_even_merge_network_pairs(padded)
+    elif kind == "bitonic":
+        stages = bitonic_network_pairs(padded)
+    else:
+        raise ValueError(f"unknown network kind {kind!r}")
+    return int(sum(lo.size for lo, _ in stages))
+
+
+__all__ = [
+    "NetworkStats",
+    "odd_even_merge_sort",
+    "bitonic_sort",
+    "odd_even_merge_network_pairs",
+    "bitonic_network_pairs",
+    "comparator_count",
+    "INSTR_PER_COMPARE_EXCHANGE",
+]

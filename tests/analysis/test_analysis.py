@@ -1,0 +1,103 @@
+"""Tests for output validation and comparison metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    crossover_size,
+    is_permutation,
+    is_sorted,
+    rate_table,
+    robustness,
+    scaling_exponent,
+    speedup_summary,
+    validate_result,
+    values_follow_keys,
+)
+from repro.core.base import SortResult
+from repro.gpu.device import TESLA_C1060
+from repro.gpu.stream import KernelTrace
+
+
+def _result(keys, values=None):
+    return SortResult(keys=np.asarray(keys), values=values, trace=KernelTrace(),
+                      algorithm="test", device=TESLA_C1060)
+
+
+class TestValidation:
+    def test_is_sorted(self):
+        assert is_sorted(np.array([1, 2, 2, 3]))
+        assert not is_sorted(np.array([2, 1]))
+        assert is_sorted(np.array([]))
+        assert is_sorted(np.array([7]))
+
+    def test_is_permutation(self):
+        assert is_permutation(np.array([3, 1, 2]), np.array([1, 2, 3]))
+        assert not is_permutation(np.array([1, 1, 2]), np.array([1, 2, 2]))
+        assert not is_permutation(np.array([1, 2]), np.array([1, 2, 3]))
+
+    def test_values_follow_keys_index_payload(self, rng):
+        keys = rng.integers(0, 100, 500).astype(np.uint32)
+        values = np.arange(500, dtype=np.uint32)
+        order = np.argsort(keys, kind="stable")
+        assert values_follow_keys(keys, values, keys[order], values[order])
+        # corrupting one value breaks the pairing
+        bad = values[order].copy()
+        bad[0], bad[1] = bad[1], bad[0]
+        if keys[order][0] != keys[order][1]:
+            assert not values_follow_keys(keys, values, keys[order], bad)
+
+    def test_values_follow_keys_general_payload(self, rng):
+        keys = rng.integers(0, 50, 200).astype(np.uint32)
+        values = rng.integers(0, 9, 200).astype(np.uint32)
+        order = np.argsort(keys, kind="stable")
+        assert values_follow_keys(keys, values, keys[order], values[order])
+
+    def test_values_follow_keys_none_handling(self):
+        assert values_follow_keys(np.array([1]), None, np.array([1]), None)
+        assert not values_follow_keys(np.array([1]), np.array([0]), np.array([1]), None)
+
+    def test_validate_result_good_and_bad(self, rng):
+        keys = rng.integers(0, 1000, 300).astype(np.uint32)
+        good = validate_result(_result(np.sort(keys)), keys)
+        assert good.ok and good.message == "ok"
+        bad = validate_result(_result(keys), keys)  # unsorted output
+        assert not bad.ok and "not sorted" in bad.message
+        wrong = validate_result(_result(np.sort(keys) + 1), keys)
+        assert not wrong.is_permutation
+
+
+class TestComparisons:
+    def test_speedup_summary(self):
+        summary = speedup_summary([2.0, 3.0, 4.0], [1.0, 1.5, 1.0],
+                                  algorithm="a", baseline="b")
+        assert summary.minimum == pytest.approx(2.0)
+        assert summary.maximum == pytest.approx(4.0)
+        assert summary.points == 3
+        assert "a vs b" in summary.describe()
+
+    def test_speedup_summary_skips_nans(self):
+        summary = speedup_summary([2.0, float("nan")], [1.0, 1.0])
+        assert summary.points == 1
+
+    def test_crossover(self):
+        sizes = [10, 100, 1000]
+        assert crossover_size(sizes, [0.5, 1.5, 3.0], [1.0, 1.0, 1.0]) == 100
+        assert crossover_size(sizes, [0.1, 0.2, 0.3], [1.0, 1.0, 1.0]) is None
+
+    def test_robustness(self):
+        flat = {"a": [10, 11], "b": [9, 10]}
+        spiky = {"a": [10, 11], "b": [1, 1]}
+        assert robustness(flat) > robustness(spiky)
+        assert robustness({"a": [float("nan")]}) == 0.0
+
+    def test_scaling_exponent_linear(self):
+        sizes = [2**e for e in range(16, 24)]
+        times = [n * 0.01 for n in sizes]
+        assert scaling_exponent(sizes, times) == pytest.approx(1.0, abs=0.01)
+        assert np.isnan(scaling_exponent([1], [1.0]))
+
+    def test_rate_table(self):
+        rows = rate_table([10, 20], {"x": [1.0, 2.0], "y": [3.0, 4.0]})
+        assert rows[0] == {"n": 10, "x": 1.0, "y": 3.0}
+        assert rows[1]["y"] == 4.0

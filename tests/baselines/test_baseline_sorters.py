@@ -1,0 +1,262 @@
+"""Tests for the baseline sorters (merge, radix, quicksort, hybrid, bbsort)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.validation import validate_result
+from repro.baselines import (
+    BbSorter,
+    GpuQuicksortSorter,
+    HybridSorter,
+    RadixSorter,
+    ThrustMergeSorter,
+    cudpp_radix,
+    thrust_radix,
+)
+from repro.baselines.radix import (
+    float32_to_ordered_uint32,
+    ordered_uint32_to_float32,
+)
+from repro.baselines.registry import available_sorters, make_sorter, resolve_name
+from repro.baselines.thrust_merge import merge_two_runs
+from repro.baselines.uniform_bucket import project_buckets
+from repro.datagen import make_input
+from repro.gpu.device import TESLA_C1060
+from repro.gpu.errors import AlgorithmFailure, UnsupportedInputError
+
+
+def _uniform32(rng, n):
+    return rng.integers(0, 2**32, n, dtype=np.uint64).astype(np.uint32)
+
+
+class TestThrustMerge:
+    @pytest.mark.parametrize("n", [0, 1, 2, 255, 256, 257, 5000, 20_000])
+    def test_sorts(self, rng, n):
+        keys = _uniform32(rng, n)
+        result = ThrustMergeSorter().sort(keys)
+        assert np.array_equal(result.keys, np.sort(keys))
+
+    def test_key_value(self, rng):
+        keys = _uniform32(rng, 10_000)
+        values = np.arange(10_000, dtype=np.uint32)
+        result = ThrustMergeSorter().sort(keys, values)
+        assert validate_result(result, keys, values).ok
+
+    def test_merge_pass_count_is_log2(self, rng):
+        keys = _uniform32(rng, 256 * 16)
+        result = ThrustMergeSorter().sort(keys)
+        assert result.stats["merge_passes"] == 4
+        assert result.trace.phases() == ["tile_sort", "merge_pass"]
+
+    def test_merge_two_runs_is_stable_and_correct(self, rng):
+        a = np.sort(rng.integers(0, 50, 300).astype(np.uint32))
+        b = np.sort(rng.integers(0, 50, 211).astype(np.uint32))
+        merged, _ = merge_two_runs(a, b, None, None)
+        assert np.array_equal(merged, np.sort(np.concatenate([a, b])))
+
+    def test_invalid_tile_rejected(self):
+        with pytest.raises(ValueError):
+            ThrustMergeSorter(tile=100)
+
+    def test_handles_duplicates_and_sorted_input(self, rng):
+        dup = make_input("dduplicates", 8000, seed=1)
+        assert np.array_equal(ThrustMergeSorter().sort(dup.keys).keys,
+                              np.sort(dup.keys))
+        srt = make_input("sorted", 8000, seed=1)
+        assert np.array_equal(ThrustMergeSorter().sort(srt.keys).keys,
+                              np.sort(srt.keys))
+
+
+class TestRadix:
+    @pytest.mark.parametrize("variant", ["cudpp", "thrust"])
+    @pytest.mark.parametrize("n", [1, 100, 4096, 20_000])
+    def test_sorts_uint32(self, rng, variant, n):
+        keys = _uniform32(rng, n)
+        result = RadixSorter(variant=variant).sort(keys)
+        assert np.array_equal(result.keys, np.sort(keys))
+
+    def test_pass_count_by_key_width(self, rng):
+        r32 = thrust_radix().sort(_uniform32(rng, 4096))
+        r64 = thrust_radix().sort(rng.integers(0, 2**63, 4096, dtype=np.uint64))
+        assert r32.stats["passes"] == 8
+        assert r64.stats["passes"] == 16
+        # the extra passes cost device time — the heart of Figure 4
+        assert r64.time_us > r32.time_us
+
+    def test_cudpp_rejects_64bit(self, rng):
+        with pytest.raises(UnsupportedInputError):
+            cudpp_radix().sort(rng.integers(0, 2**63, 128, dtype=np.uint64))
+
+    def test_key_value(self, rng):
+        keys = _uniform32(rng, 12_000)
+        values = np.arange(12_000, dtype=np.uint32)
+        result = cudpp_radix().sort(keys, values)
+        assert validate_result(result, keys, values).ok
+
+    def test_radix_is_stable(self, rng):
+        keys = rng.integers(0, 4, 5000).astype(np.uint32)
+        values = np.arange(5000, dtype=np.uint32)
+        result = thrust_radix().sort(keys, values)
+        # for equal keys the original order (value order) must be preserved
+        for key in np.unique(keys):
+            vals = result.values[result.keys == key]
+            assert np.all(np.diff(vals.astype(np.int64)) > 0)
+
+    def test_float_keys(self, rng):
+        keys = (rng.random(6000) * 100 - 50).astype(np.float32)
+        result = thrust_radix().sort(keys)
+        assert np.array_equal(result.keys, np.sort(keys))
+
+    def test_float_bit_flip_roundtrip_preserves_order(self, rng):
+        keys = (rng.random(1000) * 2000 - 1000).astype(np.float32)
+        bits = float32_to_ordered_uint32(keys)
+        assert np.array_equal(np.argsort(bits, kind="stable"),
+                              np.argsort(keys, kind="stable"))
+        assert np.array_equal(ordered_uint32_to_float32(bits), keys)
+
+    def test_invalid_variant_and_digits(self):
+        with pytest.raises(ValueError):
+            RadixSorter(variant="merrill")
+        with pytest.raises(ValueError):
+            RadixSorter(digit_bits=0)
+
+    def test_distribution_independence(self):
+        """Radix work does not depend on the key distribution (same passes)."""
+        uni = make_input("uniform", 8000, seed=2)
+        dup = make_input("dduplicates", 8000, seed=2)
+        r_uni = cudpp_radix().sort(uni.keys)
+        r_dup = cudpp_radix().sort(dup.keys)
+        assert r_uni.stats["passes"] == r_dup.stats["passes"]
+        assert r_dup.time_us == pytest.approx(r_uni.time_us, rel=0.2)
+
+
+class TestGpuQuicksort:
+    @pytest.mark.parametrize("n", [0, 1, 100, 5000, 20_000])
+    def test_sorts(self, rng, n):
+        keys = _uniform32(rng, n)
+        result = GpuQuicksortSorter().sort(keys)
+        assert np.array_equal(result.keys, np.sort(keys))
+
+    def test_key_value(self, rng):
+        keys = _uniform32(rng, 9000)
+        values = np.arange(9000, dtype=np.uint32)
+        result = GpuQuicksortSorter().sort(keys, values)
+        assert validate_result(result, keys, values).ok
+
+    def test_partition_levels_grow_with_n(self, rng):
+        small = GpuQuicksortSorter(cutoff=512).sort(_uniform32(rng, 2048))
+        large = GpuQuicksortSorter(cutoff=512).sort(_uniform32(rng, 32_768))
+        assert large.stats["partition_levels"] > small.stats["partition_levels"]
+
+    def test_all_equal_keys_terminate(self):
+        keys = np.full(10_000, 42, dtype=np.uint32)
+        result = GpuQuicksortSorter().sort(keys)
+        assert np.array_equal(result.keys, keys)
+        assert result.stats["partition_levels"] <= 2
+
+    def test_duplicate_heavy_input(self):
+        workload = make_input("dduplicates", 12_000, seed=5)
+        result = GpuQuicksortSorter().sort(workload.keys)
+        assert np.array_equal(result.keys, np.sort(workload.keys))
+
+    def test_sorted_and_reverse_inputs(self, rng):
+        keys = np.sort(_uniform32(rng, 8192))
+        assert np.array_equal(GpuQuicksortSorter().sort(keys).keys, keys)
+        rev = keys[::-1].copy()
+        assert np.array_equal(GpuQuicksortSorter().sort(rev).keys, keys)
+
+    def test_invalid_cutoff(self):
+        with pytest.raises(ValueError):
+            GpuQuicksortSorter(cutoff=1)
+
+
+class TestHybridSort:
+    def test_sorts_floats(self, rng):
+        keys = rng.random(10_000).astype(np.float32)
+        result = HybridSorter().sort(keys)
+        assert np.array_equal(result.keys, np.sort(keys))
+
+    def test_rejects_integer_keys(self, rng):
+        with pytest.raises(UnsupportedInputError):
+            HybridSorter().sort(_uniform32(rng, 128))
+
+    def test_crashes_on_deterministic_duplicates(self):
+        """The paper: 'hybrid sort crashes' on DDuplicates."""
+        workload = make_input("dduplicates", 1 << 16, "float32", seed=1)
+        with pytest.raises(AlgorithmFailure, match="crash"):
+            HybridSorter().sort(workload.keys)
+
+    def test_skewed_input_slower_than_uniform(self, rng):
+        uniform_keys = rng.random(20_000).astype(np.float32)
+        skewed_keys = (rng.random(20_000) ** 6).astype(np.float32)
+        r_uni = HybridSorter().sort(uniform_keys)
+        r_skew = HybridSorter().sort(skewed_keys)
+        assert np.array_equal(r_skew.keys, np.sort(skewed_keys))
+        # the uniformity assumption breaks: buckets become unbalanced and the
+        # oversized ones pay the slow path, so the sort gets slower
+        assert r_skew.stats["bucket_skew"] > r_uni.stats["bucket_skew"]
+        assert r_skew.time_us > r_uni.time_us
+
+    def test_key_value(self, rng):
+        keys = rng.random(8000).astype(np.float32)
+        values = np.arange(8000, dtype=np.uint32)
+        result = HybridSorter().sort(keys, values)
+        assert validate_result(result, keys, values).ok
+
+    def test_invalid_target_bucket(self):
+        with pytest.raises(ValueError):
+            HybridSorter(target_bucket=2)
+
+
+class TestBbSort:
+    @pytest.mark.parametrize("key_type", ["uint32", "float32"])
+    def test_sorts(self, rng, key_type):
+        workload = make_input("uniform", 12_000, key_type, seed=4)
+        result = BbSorter().sort(workload.keys)
+        assert np.array_equal(result.keys, np.sort(workload.keys))
+
+    def test_survives_duplicates_but_slows_down(self):
+        """'bbsort becomes completely inefficient' on DDuplicates — but no crash."""
+        uniform = make_input("uniform", 20_000, seed=6)
+        duplicates = make_input("dduplicates", 20_000, seed=6)
+        r_uni = BbSorter().sort(uniform.keys)
+        r_dup = BbSorter().sort(duplicates.keys)
+        assert np.array_equal(r_dup.keys, np.sort(duplicates.keys))
+        assert r_dup.time_us > 2 * r_uni.time_us
+
+    def test_key_value(self, rng):
+        keys = _uniform32(rng, 6000)
+        values = np.arange(6000, dtype=np.uint32)
+        result = BbSorter().sort(keys, values)
+        assert validate_result(result, keys, values).ok
+
+    def test_project_buckets_helper(self):
+        keys = np.array([0.0, 0.5, 1.0])
+        buckets = project_buckets(keys, 0.0, 1.0, 4)
+        assert list(buckets) == [0, 2, 3]
+        # degenerate range: everything lands in bucket zero
+        assert np.all(project_buckets(keys, 1.0, 1.0, 4) == 0)
+
+
+class TestRegistry:
+    def test_all_paper_algorithms_registered(self):
+        assert set(available_sorters()) == {
+            "sample", "thrust merge", "thrust radix", "cudpp radix",
+            "quick", "bbsort", "hybrid",
+        }
+
+    def test_aliases(self):
+        assert resolve_name("Quicksort") == "quick"
+        assert resolve_name("thrust-merge") == "thrust merge"
+        with pytest.raises(KeyError):
+            resolve_name("timsort")
+
+    @pytest.mark.parametrize("name", ["sample", "thrust merge", "thrust radix",
+                                      "cudpp radix", "quick", "bbsort", "hybrid"])
+    def test_factories_build_working_sorters(self, rng, name):
+        sorter = make_sorter(name, TESLA_C1060)
+        keys = (rng.random(2048).astype(np.float32) if name == "hybrid"
+                else _uniform32(rng, 2048))
+        result = sorter.sort(keys)
+        assert np.array_equal(result.keys, np.sort(keys))
+        assert result.device is TESLA_C1060

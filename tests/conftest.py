@@ -1,0 +1,72 @@
+"""Shared fixtures for the test-suite.
+
+Tests exercise the full algorithm structure (multiple distribution passes,
+equality buckets, quicksort fallback, shared-memory network sorts) but on
+scaled-down configurations so the whole suite stays fast on a CPU-only machine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SampleSortConfig
+from repro.gpu.counters import KernelCounters
+from repro.gpu.device import TESLA_C1060, TINY_TEST_DEVICE
+from repro.gpu.grid import LaunchConfig
+from repro.gpu.kernel import KernelLauncher
+from repro.gpu.block import BlockContext
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for test inputs."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def device():
+    """The paper's primary device preset."""
+    return TESLA_C1060
+
+
+@pytest.fixture
+def tiny_device():
+    """A deliberately small device for occupancy / capacity edge cases."""
+    return TINY_TEST_DEVICE
+
+
+@pytest.fixture
+def small_config() -> SampleSortConfig:
+    """Scaled-down sample-sort configuration used across the algorithm tests."""
+    return SampleSortConfig.small()
+
+
+@pytest.fixture
+def launcher(device) -> KernelLauncher:
+    """A fresh kernel launcher on the default device."""
+    return KernelLauncher(device)
+
+
+@pytest.fixture
+def block_context(device) -> BlockContext:
+    """A standalone block context for unit-testing kernel building blocks."""
+    launcher = KernelLauncher(device)
+    launch = LaunchConfig(grid_dim=1, block_dim=64, elements_per_thread=4)
+    return BlockContext(
+        device=device,
+        gmem=launcher.gmem,
+        launch=launch,
+        block_id=0,
+        counters=KernelCounters(),
+        problem_size=256,
+    )
+
+
+def make_keys(rng: np.random.Generator, n: int, dtype=np.uint32,
+              upper: int = 2**32) -> np.ndarray:
+    """Helper used by many tests: n random keys of the requested dtype."""
+    raw = rng.integers(0, upper, size=n, dtype=np.uint64)
+    if np.dtype(dtype) == np.float32:
+        return (raw / upper).astype(np.float32)
+    return raw.astype(dtype)

@@ -1,0 +1,209 @@
+"""Tests for the sample-sort configuration and the splitter search tree."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SampleSortConfig
+from repro.core.search_tree import (
+    SplitterSet,
+    build_search_tree,
+    make_splitter_set,
+    traverse,
+)
+from repro.gpu.device import TESLA_C1060, TINY_TEST_DEVICE
+from repro.gpu.errors import LaunchConfigError, SharedMemoryError
+
+
+class TestConfig:
+    def test_paper_parameters(self):
+        cfg = SampleSortConfig.paper()
+        assert cfg.k == 128
+        assert cfg.bucket_threshold == 1 << 17
+        assert cfg.oversampling == 30
+        assert cfg.oversampling_64bit == 15
+        assert cfg.block_threads == 256
+        assert cfg.elements_per_thread == 8
+        assert cfg.counter_groups == 8
+        assert cfg.tile_size == 2048
+        assert cfg.num_splitters == 127
+        assert cfg.output_buckets == 256
+
+    def test_oversampling_by_key_width(self):
+        cfg = SampleSortConfig.paper()
+        assert cfg.oversampling_for(np.uint32) == 30
+        assert cfg.oversampling_for(np.uint64) == 15
+        assert cfg.sample_size(np.uint32) == 30 * 128
+        assert cfg.sample_size(np.uint64) == 15 * 128
+
+    def test_paper_config_valid_on_paper_device(self):
+        SampleSortConfig.paper().validate_for_device(TESLA_C1060, key_itemsize=4)
+        SampleSortConfig.paper().validate_for_device(TESLA_C1060, key_itemsize=8)
+
+    def test_rejects_non_power_of_two_k(self):
+        with pytest.raises(ValueError):
+            SampleSortConfig(k=100)
+        with pytest.raises(ValueError):
+            SampleSortConfig(k=1)
+
+    @pytest.mark.parametrize("field,value", [
+        ("bucket_threshold", 1),
+        ("oversampling", 0),
+        ("block_threads", 0),
+        ("elements_per_thread", 0),
+        ("counter_groups", 0),
+        ("shared_sort_threshold", 1),
+        ("max_distribution_depth", 0),
+    ])
+    def test_rejects_invalid_fields(self, field, value):
+        with pytest.raises(ValueError):
+            SampleSortConfig(**{field: value})
+
+    def test_block_too_large_for_device(self):
+        cfg = SampleSortConfig(block_threads=512)
+        with pytest.raises(LaunchConfigError):
+            cfg.validate_for_device(TINY_TEST_DEVICE)
+
+    def test_shared_memory_overflow_detected(self):
+        cfg = SampleSortConfig(k=2048, counter_groups=8, block_threads=256)
+        with pytest.raises(SharedMemoryError):
+            cfg.validate_for_device(TESLA_C1060)
+
+    def test_effective_shared_threshold_shrinks_for_wide_records(self):
+        cfg = SampleSortConfig.paper()
+        assert cfg.effective_shared_sort_threshold(TESLA_C1060, 4) == 2048
+        assert cfg.effective_shared_sort_threshold(TESLA_C1060, 12) < 2048
+
+    def test_small_preset_runs_everything(self):
+        cfg = SampleSortConfig.small()
+        assert cfg.k < 128
+        assert cfg.bucket_threshold < (1 << 17)
+        cfg.validate_for_device(TESLA_C1060)
+
+    def test_with_creates_modified_copy(self):
+        cfg = SampleSortConfig.paper()
+        other = cfg.with_(k=64)
+        assert other.k == 64 and cfg.k == 128
+
+
+class TestSearchTreeConstruction:
+    def test_root_is_median_splitter(self):
+        splitters = np.arange(1, 128, dtype=np.uint32)  # 127 splitters, k=128
+        bt = build_search_tree(splitters)
+        assert bt.size == 128
+        assert bt[1] == splitters[63]  # s_{k/2}
+        assert bt[2] == splitters[31]
+        assert bt[3] == splitters[95]
+
+    def test_requires_power_of_two_bucket_count(self):
+        with pytest.raises(ValueError):
+            build_search_tree(np.arange(6))
+
+    def test_requires_sorted_splitters(self):
+        with pytest.raises(ValueError):
+            build_search_tree(np.array([3, 1, 2], dtype=np.uint32))
+
+    def test_single_splitter(self):
+        bt = build_search_tree(np.array([42], dtype=np.uint32))
+        assert bt.size == 2
+        assert bt[1] == 42
+
+
+class TestTraversal:
+    @pytest.mark.parametrize("k", [2, 4, 8, 32, 128])
+    def test_traversal_equals_searchsorted(self, rng, k):
+        splitters = np.sort(rng.integers(0, 1000, k - 1).astype(np.uint32))
+        keys = rng.integers(0, 1100, 2000).astype(np.uint32)
+        bt = build_search_tree(splitters)
+        assert np.array_equal(traverse(bt, keys),
+                              np.searchsorted(splitters, keys, side="left"))
+
+    def test_traversal_with_duplicate_splitters(self, rng):
+        splitters = np.sort(rng.integers(0, 5, 31).astype(np.uint32))
+        keys = rng.integers(0, 6, 500).astype(np.uint32)
+        bt = build_search_tree(splitters)
+        assert np.array_equal(traverse(bt, keys),
+                              np.searchsorted(splitters, keys, side="left"))
+
+    def test_traversal_rejects_bad_tree_length(self):
+        with pytest.raises(ValueError):
+            traverse(np.zeros(6), np.array([1]))
+
+    def test_traversal_extreme_keys(self):
+        splitters = np.array([10, 20, 30], dtype=np.uint32)
+        bt = build_search_tree(splitters)
+        assert traverse(bt, np.array([0], dtype=np.uint32))[0] == 0
+        assert traverse(bt, np.array([10], dtype=np.uint32))[0] == 0
+        assert traverse(bt, np.array([11], dtype=np.uint32))[0] == 1
+        assert traverse(bt, np.array([999], dtype=np.uint32))[0] == 3
+
+
+class TestSplitterSet:
+    def test_equality_flags_mark_first_of_duplicate_run(self):
+        ss = make_splitter_set(np.array([3, 3, 3, 7, 9, 9, 20], dtype=np.uint32), 8)
+        assert list(ss.eq_flags) == [True, True, False, False, True, False, False]
+
+    def test_bucket_of_routes_duplicates_to_equality_buckets(self):
+        ss = make_splitter_set(np.array([3, 3, 3, 7, 9, 9, 20], dtype=np.uint32), 8)
+        keys = np.array([1, 3, 4, 9, 10, 25], dtype=np.uint32)
+        buckets = ss.bucket_of(keys)
+        # key 3 equals the duplicated splitter 3 -> equality bucket 2*0+1
+        assert buckets[1] == 1
+        # key 9 equals the duplicated splitter at index 4 -> bucket 2*4+1
+        assert buckets[3] == 9
+        # non-duplicate keys land in even (regular) buckets
+        assert buckets[0] % 2 == 0 and buckets[2] % 2 == 0 and buckets[5] % 2 == 0
+
+    def test_tree_and_searchsorted_paths_agree(self, rng):
+        splitters = np.sort(rng.integers(0, 50, 31).astype(np.uint32))
+        ss = make_splitter_set(splitters, 32)
+        keys = rng.integers(0, 60, 3000).astype(np.uint32)
+        assert np.array_equal(ss.bucket_of(keys, use_tree=True),
+                              ss.bucket_of(keys, use_tree=False))
+
+    def test_equality_buckets_are_constant(self, rng):
+        splitters = np.sort(rng.integers(0, 8, 63).astype(np.uint32))
+        ss = make_splitter_set(splitters, 64)
+        keys = rng.integers(0, 10, 5000).astype(np.uint32)
+        buckets = ss.bucket_of(keys)
+        for bucket_id in np.unique(buckets[buckets % 2 == 1]):
+            members = keys[buckets == bucket_id]
+            assert np.unique(members).size == 1
+
+    def test_bucket_partition_respects_splitter_order(self, rng):
+        splitters = np.sort(rng.integers(0, 1000, 15).astype(np.uint32))
+        ss = make_splitter_set(splitters, 16)
+        keys = rng.integers(0, 1100, 4000).astype(np.uint32)
+        buckets = ss.bucket_of(keys)
+        # concatenating buckets in id order must yield a sequence where bucket
+        # boundaries respect key order (max of bucket i <= min of bucket j>i,
+        # allowing equality across adjacent buckets for duplicated keys)
+        maxima = {}
+        minima = {}
+        for b in np.unique(buckets):
+            members = keys[buckets == b]
+            maxima[b] = members.max()
+            minima[b] = members.min()
+        ordered = sorted(maxima)
+        for earlier, later in zip(ordered, ordered[1:]):
+            assert maxima[earlier] <= minima[later]
+
+    def test_is_constant_bucket_mask(self):
+        ss = make_splitter_set(np.array([1, 1, 2], dtype=np.uint32), 4)
+        mask = ss.is_constant_bucket(np.array([0, 1, 2, 3]))
+        assert list(mask) == [False, True, False, True]
+
+    def test_bucket_bounds(self):
+        ss = make_splitter_set(np.array([10, 10, 30], dtype=np.uint32), 4)
+        assert ss.bucket_bounds(0) == (None, 10)
+        assert ss.bucket_bounds(1) == (10, 10)
+        assert ss.bucket_bounds(6) == (30, None)
+
+    def test_num_output_buckets_and_instruction_estimate(self):
+        ss = make_splitter_set(np.arange(1, 128, dtype=np.uint32), 128)
+        assert ss.num_output_buckets == 256
+        assert ss.traversal_instructions_per_element() == pytest.approx(2 * 7 + 3)
+
+    def test_mismatched_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            SplitterSet(splitters=np.arange(3), tree=np.zeros(4),
+                        eq_flags=np.zeros(2, dtype=bool), k=4)

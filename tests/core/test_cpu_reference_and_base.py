@@ -1,0 +1,101 @@
+"""Tests for the serial Algorithm-1 reference and the shared sorter interface."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import GpuSorter, SortResult
+from repro.core.cpu_reference import (
+    SerialSortStats,
+    expected_distribution_levels,
+    serial_sample_sort,
+)
+from repro.gpu.device import TESLA_C1060
+from repro.gpu.errors import UnsupportedInputError
+from repro.gpu.stream import KernelTrace
+
+
+class TestSerialSampleSort:
+    @pytest.mark.parametrize("n", [0, 1, 2, 100, 5000])
+    def test_sorts(self, rng, n):
+        data = rng.integers(0, 1000, n).astype(np.uint32)
+        result, stats = serial_sample_sort(data, k=8, small_threshold=64, oversampling=4)
+        assert np.array_equal(result, np.sort(data))
+        assert isinstance(stats, SerialSortStats)
+
+    def test_handles_duplicates(self):
+        data = np.full(5000, 3, dtype=np.uint32)
+        result, stats = serial_sample_sort(data, k=8, small_threshold=64)
+        assert np.array_equal(result, data)
+
+    def test_distribution_levels_follow_log_k(self, rng):
+        data = rng.integers(0, 2**32, 1 << 14, dtype=np.uint64)
+        _, stats = serial_sample_sort(data, k=16, small_threshold=128, oversampling=16)
+        expected = expected_distribution_levels(1 << 14, 16, 128)
+        assert expected <= stats.distribution_levels <= expected + 2
+
+    def test_expected_levels_formula(self):
+        # ceil(log_k(n / M)): the Section-4 bound
+        assert expected_distribution_levels(1 << 27, 128, 1 << 17) == 2
+        assert expected_distribution_levels(1 << 23, 128, 1 << 17) == 1
+        assert expected_distribution_levels(1 << 16, 128, 1 << 17) == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            serial_sample_sort(np.arange(4), k=1)
+        with pytest.raises(ValueError):
+            serial_sample_sort(np.arange(4), small_threshold=0)
+
+    def test_comparison_estimate_grows_with_n(self, rng):
+        small = serial_sample_sort(rng.integers(0, 100, 500), k=8,
+                                   small_threshold=32)[1]
+        large = serial_sample_sort(rng.integers(0, 100, 5000), k=8,
+                                   small_threshold=32)[1]
+        assert large.comparisons_estimate > small.comparisons_estimate
+
+
+class _FakeSorter(GpuSorter):
+    """Minimal concrete sorter used to exercise the base-class plumbing."""
+
+    name = "fake"
+    supported_key_dtypes = (np.dtype(np.uint32),)
+
+    def _sort_impl(self, keys, values):
+        order = np.argsort(keys, kind="stable")
+        return SortResult(
+            keys=keys[order], values=None if values is None else values[order],
+            trace=KernelTrace(), algorithm=self.name, device=self.device,
+        )
+
+
+class TestSorterBase:
+    def test_sort_result_metrics(self):
+        sorter = _FakeSorter(TESLA_C1060)
+        keys = np.array([3, 1, 2], dtype=np.uint32)
+        result = sorter.sort(keys)
+        assert result.n == 3
+        assert result.sorting_rate == float("inf") or result.sorting_rate >= 0
+        assert result.counters().kernel_launches == 0
+        assert result.phase_breakdown() == {}
+
+    def test_dtype_restriction_enforced(self):
+        sorter = _FakeSorter()
+        with pytest.raises(UnsupportedInputError, match="only accepts"):
+            sorter.sort(np.zeros(4, dtype=np.float64))
+
+    def test_values_unsupported_flag(self):
+        class KeysOnly(_FakeSorter):
+            supports_values = False
+
+        with pytest.raises(UnsupportedInputError, match="key-value"):
+            KeysOnly().sort(np.zeros(4, dtype=np.uint32), np.zeros(4, dtype=np.uint32))
+
+    def test_trivial_inputs_short_circuit(self):
+        sorter = _FakeSorter()
+        result = sorter.sort(np.array([], dtype=np.uint32))
+        assert result.n == 0
+        assert result.stats.get("trivial")
+
+    def test_describe_and_repr(self):
+        sorter = _FakeSorter()
+        assert "fake" in sorter.describe()
+        assert "fake" in repr(sorter)

@@ -1,0 +1,227 @@
+"""Tests for the individual phases of the distribution pass (Phases 1-4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SampleSortConfig
+from repro.core.histogram_kernel import run_phase2
+from repro.core.prefix_kernel import run_phase3
+from repro.core.scatter_kernel import local_bucket_ranks, run_phase4
+from repro.core.splitters import (
+    run_phase1,
+    select_splitters_from_sample,
+    splitter_balance,
+)
+from repro.gpu.device import TESLA_C1060
+from repro.gpu.kernel import KernelLauncher
+
+
+@pytest.fixture
+def config():
+    return SampleSortConfig.small()
+
+
+@pytest.fixture
+def launcher():
+    return KernelLauncher(TESLA_C1060)
+
+
+def _setup_segment(launcher, rng, n, dtype=np.uint32, upper=10_000):
+    keys = rng.integers(0, upper, n, dtype=np.uint64).astype(dtype)
+    dev_keys = launcher.gmem.from_host(keys, name="keys")
+    return keys, dev_keys
+
+
+class TestPhase1:
+    def test_splitter_selection_from_sample(self):
+        sample = np.arange(8 * 16, dtype=np.uint32)  # a=8, k=16
+        splitters = select_splitters_from_sample(sample, k=16, oversampling=8)
+        assert splitters.size == 15
+        assert np.all(np.diff(splitters.astype(np.int64)) >= 0)
+        # every a-th element
+        assert splitters[0] == sample[7]
+        assert splitters[-1] == sample[8 * 15 - 1]
+
+    def test_clipped_sample_falls_back_to_order_statistics(self):
+        sample = np.sort(np.arange(40, dtype=np.uint32))
+        splitters = select_splitters_from_sample(sample, k=16, oversampling=8)
+        assert splitters.size == 15
+        assert np.all(np.diff(splitters.astype(np.int64)) >= 0)
+
+    def test_sample_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            select_splitters_from_sample(np.arange(3), k=16, oversampling=8)
+
+    def test_run_phase1_produces_device_buffers(self, launcher, rng, config):
+        keys, dev_keys = _setup_segment(launcher, rng, 4096)
+        bufs = run_phase1(launcher, dev_keys, 0, 4096, config, seed=1)
+        ss = bufs.splitter_set
+        assert ss.k == config.k
+        assert bufs.tree.size == config.k
+        assert np.array_equal(bufs.tree.data, ss.tree)
+        assert np.array_equal(bufs.splitters.data[:config.k - 1], ss.splitters)
+        assert launcher.trace.phases() == ["phase1_splitters"]
+
+    def test_run_phase1_rejects_tiny_segment(self, launcher, rng, config):
+        _, dev_keys = _setup_segment(launcher, rng, 64)
+        with pytest.raises(ValueError):
+            run_phase1(launcher, dev_keys, 0, config.k - 1, config)
+
+    def test_splitters_are_balanced_for_uniform_keys(self, launcher, rng):
+        config = SampleSortConfig.small().with_(oversampling=16)
+        keys, dev_keys = _setup_segment(launcher, rng, 1 << 14, upper=2**32)
+        bufs = run_phase1(launcher, dev_keys, 0, keys.size, config, seed=3)
+        # "sufficiently large random samples yield provably good splitters"
+        assert splitter_balance(bufs.splitter_set, keys) < 3.0
+
+
+class TestPhase2:
+    def test_histogram_counts_every_element_once(self, launcher, rng, config):
+        keys, dev_keys = _setup_segment(launcher, rng, 5000)
+        bufs = run_phase1(launcher, dev_keys, 0, 5000, config, seed=0)
+        hist, num_blocks = run_phase2(launcher, dev_keys, bufs, 0, 5000, config)
+        counts = hist.data.reshape(2 * config.k, num_blocks)
+        assert counts.sum() == 5000
+        # histogram matches a direct host-side bucket count
+        expected = np.bincount(bufs.splitter_set.bucket_of(keys),
+                               minlength=2 * config.k)
+        assert np.array_equal(counts.sum(axis=1), expected)
+
+    def test_histogram_is_column_major_by_block(self, launcher, rng, config):
+        keys, dev_keys = _setup_segment(launcher, rng, config.tile_size * 3)
+        bufs = run_phase1(launcher, dev_keys, 0, keys.size, config, seed=0)
+        hist, num_blocks = run_phase2(launcher, dev_keys, bufs, 0, keys.size, config)
+        assert num_blocks == 3
+        counts = hist.data.reshape(2 * config.k, num_blocks)
+        for block in range(num_blocks):
+            lo = block * config.tile_size
+            hi = min(keys.size, lo + config.tile_size)
+            expected = np.bincount(bufs.splitter_set.bucket_of(keys[lo:hi]),
+                                   minlength=2 * config.k)
+            assert np.array_equal(counts[:, block], expected)
+
+    def test_phase2_traffic_reads_whole_segment_once(self, launcher, rng, config):
+        keys, dev_keys = _setup_segment(launcher, rng, 8192)
+        bufs = run_phase1(launcher, dev_keys, 0, 8192, config, seed=0)
+        before = launcher.trace.total_counters().global_bytes_read
+        run_phase2(launcher, dev_keys, bufs, 0, 8192, config)
+        phase2 = launcher.trace.phase_counters("phase2_histogram")
+        # reads the tile once plus the per-block splitter tree/flags
+        assert phase2.global_bytes_read >= 8192 * 4
+        assert phase2.global_bytes_read < 8192 * 4 * 2
+        assert phase2.atomic_operations == 8192
+
+
+class TestPhase3:
+    def test_offsets_are_exclusive_scan_of_histogram(self, launcher, rng, config):
+        keys, dev_keys = _setup_segment(launcher, rng, 6000)
+        bufs = run_phase1(launcher, dev_keys, 0, 6000, config, seed=0)
+        hist, num_blocks = run_phase2(launcher, dev_keys, bufs, 0, 6000, config)
+        flat = hist.data[: 2 * config.k * num_blocks].copy()
+        offsets, starts, sizes = run_phase3(launcher, hist, 2 * config.k, num_blocks)
+        expected = np.zeros_like(flat)
+        expected[1:] = np.cumsum(flat)[:-1]
+        assert np.array_equal(offsets.data[: flat.size], expected)
+        assert sizes.sum() == 6000
+        assert starts[0] == 0
+        # bucket starts are consistent with bucket sizes
+        nonzero = sizes > 0
+        reconstructed = np.concatenate([[0], np.cumsum(sizes)[:-1]])
+        assert np.array_equal(starts[nonzero], reconstructed[nonzero])
+
+    def test_phase3_size_mismatch_rejected(self, launcher):
+        hist = launcher.gmem.alloc(10, np.int64)
+        with pytest.raises(ValueError):
+            run_phase3(launcher, hist, 16, 4)
+
+
+class TestPhase4:
+    def test_local_bucket_ranks(self):
+        buckets = np.array([2, 0, 2, 1, 0, 2])
+        ranks = local_bucket_ranks(buckets)
+        assert list(ranks) == [0, 0, 1, 0, 1, 2]
+        assert local_bucket_ranks(np.array([], dtype=np.int64)).size == 0
+
+    @pytest.mark.parametrize("with_values", [False, True])
+    def test_scatter_produces_bucket_partitioned_output(self, launcher, rng, config,
+                                                        with_values):
+        n = 7000
+        keys, dev_keys = _setup_segment(launcher, rng, n)
+        values = np.arange(n, dtype=np.uint32)
+        dev_values = launcher.gmem.from_host(values) if with_values else None
+        out_keys = launcher.gmem.alloc(n, keys.dtype)
+        out_values = launcher.gmem.alloc(n, np.uint32) if with_values else None
+
+        bufs = run_phase1(launcher, dev_keys, 0, n, config, seed=0)
+        hist, num_blocks = run_phase2(launcher, dev_keys, bufs, 0, n, config)
+        offsets, starts, sizes = run_phase3(launcher, hist, 2 * config.k, num_blocks)
+        run_phase4(launcher, dev_keys, dev_values, out_keys, out_values,
+                   bufs, offsets, 0, n, num_blocks, config)
+
+        scattered = out_keys.data
+        # output is a permutation of the input
+        assert np.array_equal(np.sort(scattered), np.sort(keys))
+        # every bucket's slice contains exactly the keys that belong to it
+        buckets = bufs.splitter_set.bucket_of(keys)
+        for bucket_id in range(2 * config.k):
+            size = int(sizes[bucket_id])
+            if size == 0:
+                continue
+            start = int(starts[bucket_id])
+            got = np.sort(scattered[start:start + size])
+            expected = np.sort(keys[buckets == bucket_id])
+            assert np.array_equal(got, expected)
+        if with_values:
+            assert np.array_equal(keys[out_values.data], scattered)
+
+    def test_scatter_counts_uncoalesced_writes(self, launcher, rng, config):
+        n = 8192
+        keys, dev_keys = _setup_segment(launcher, rng, n)
+        out_keys = launcher.gmem.alloc(n, keys.dtype)
+        bufs = run_phase1(launcher, dev_keys, 0, n, config, seed=0)
+        hist, num_blocks = run_phase2(launcher, dev_keys, bufs, 0, n, config)
+        offsets, _, _ = run_phase3(launcher, hist, 2 * config.k, num_blocks)
+        run_phase4(launcher, dev_keys, None, out_keys, None, bufs, offsets,
+                   0, n, num_blocks, config)
+        phase4 = launcher.trace.phase_counters("phase4_scatter")
+        assert phase4.global_write_transactions > phase4.ideal_write_transactions
+        assert phase4.coalescing_efficiency() < 1.0
+
+    def test_block_count_mismatch_rejected(self, launcher, rng, config):
+        n = 4096
+        keys, dev_keys = _setup_segment(launcher, rng, n)
+        out_keys = launcher.gmem.alloc(n, keys.dtype)
+        bufs = run_phase1(launcher, dev_keys, 0, n, config, seed=0)
+        hist, num_blocks = run_phase2(launcher, dev_keys, bufs, 0, n, config)
+        offsets, _, _ = run_phase3(launcher, hist, 2 * config.k, num_blocks)
+        with pytest.raises(ValueError):
+            run_phase4(launcher, dev_keys, None, out_keys, None, bufs, offsets,
+                       0, n, num_blocks + 1, config)
+
+    def test_store_and_reload_variant_matches_recompute(self, launcher, rng):
+        """The ablation of Section 5: storing bucket indices vs recomputing."""
+        n = 6000
+        config_recompute = SampleSortConfig.small()
+        config_store = config_recompute.with_(recompute_bucket_indices=False)
+        keys = rng.integers(0, 50_000, n, dtype=np.uint64).astype(np.uint32)
+
+        outputs = {}
+        for label, config in (("recompute", config_recompute), ("store", config_store)):
+            launcher = KernelLauncher(TESLA_C1060)
+            dev_keys = launcher.gmem.from_host(keys)
+            out_keys = launcher.gmem.alloc(n, keys.dtype)
+            bucket_store = None
+            if not config.recompute_bucket_indices:
+                bucket_store = launcher.gmem.alloc(n, np.int32)
+            bufs = run_phase1(launcher, dev_keys, 0, n, config, seed=9)
+            hist, num_blocks = run_phase2(launcher, dev_keys, bufs, 0, n, config,
+                                          bucket_store=bucket_store)
+            offsets, _, _ = run_phase3(launcher, hist, 2 * config.k, num_blocks)
+            run_phase4(launcher, dev_keys, None, out_keys, None, bufs, offsets,
+                       0, n, num_blocks, config, bucket_store=bucket_store)
+            outputs[label] = (out_keys.data.copy(),
+                             launcher.trace.total_counters().global_bytes_total)
+        assert np.array_equal(outputs["recompute"][0], outputs["store"][0])
+        # the store/reload variant moves strictly more global memory — the
+        # reason the paper rejects it
+        assert outputs["store"][1] > outputs["recompute"][1]

@@ -1,0 +1,193 @@
+"""Tests for the complete GPU sample sort (orchestrated phases + bucket sorting)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.validation import validate_result
+from repro.core.bucket_sorter import BucketTask, run_bucket_sort
+from repro.core.config import SampleSortConfig
+from repro.core.cpu_reference import (
+    expected_distribution_levels,
+    serial_sample_sort,
+)
+from repro.core.sample_sort import SampleSorter, sample_sort
+from repro.datagen import make_input
+from repro.gpu.device import TESLA_C1060
+from repro.gpu.errors import UnsupportedInputError
+from repro.gpu.kernel import KernelLauncher
+
+
+@pytest.fixture
+def sorter(small_config):
+    return SampleSorter(device=TESLA_C1060, config=small_config)
+
+
+class TestBasicCorrectness:
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 17, 255, 1024, 5000, 20_000])
+    def test_sorts_uniform_inputs(self, sorter, rng, n):
+        keys = rng.integers(0, 2**32, n, dtype=np.uint64).astype(np.uint32)
+        result = sorter.sort(keys)
+        assert np.array_equal(result.keys, np.sort(keys))
+        assert result.algorithm == "sample"
+        # the input array is never modified
+        assert keys.size == n
+
+    @pytest.mark.parametrize("dtype", [np.uint32, np.uint64, np.float32])
+    def test_supports_all_paper_key_types(self, sorter, rng, dtype):
+        if dtype == np.float32:
+            keys = rng.random(8000).astype(np.float32)
+        else:
+            keys = rng.integers(0, 2**32, 8000, dtype=np.uint64).astype(dtype)
+        result = sorter.sort(keys)
+        assert np.array_equal(result.keys, np.sort(keys))
+
+    def test_key_value_pairs_stay_paired(self, sorter, rng):
+        keys = rng.integers(0, 10_000, 12_000, dtype=np.uint64).astype(np.uint32)
+        values = np.arange(12_000, dtype=np.uint32)
+        result = sorter.sort(keys, values)
+        report = validate_result(result, keys, values)
+        assert report.ok, report.message
+
+    @pytest.mark.parametrize("distribution", ["uniform", "gaussian", "sorted",
+                                              "staggered", "bucket", "dduplicates",
+                                              "zero", "reverse"])
+    def test_robust_across_all_paper_distributions(self, sorter, distribution):
+        workload = make_input(distribution, 10_000, "uint32", with_values=True, seed=7)
+        result = sorter.sort(workload.keys, workload.values)
+        report = validate_result(result, workload.keys, workload.values)
+        assert report.ok, f"{distribution}: {report.message}"
+
+    def test_matches_serial_reference(self, sorter, rng):
+        keys = rng.integers(0, 1000, 6000, dtype=np.uint64).astype(np.uint32)
+        gpu_result = sorter.sort(keys)
+        serial_result, _ = serial_sample_sort(keys, k=16, small_threshold=256,
+                                              oversampling=8, seed=1)
+        assert np.array_equal(gpu_result.keys, serial_result)
+
+    def test_rejects_multidimensional_input(self, sorter):
+        with pytest.raises(UnsupportedInputError):
+            sorter.sort(np.zeros((4, 4), dtype=np.uint32))
+
+    def test_rejects_mismatched_values(self, sorter):
+        with pytest.raises(UnsupportedInputError):
+            sorter.sort(np.zeros(4, dtype=np.uint32), np.zeros(5, dtype=np.uint32))
+
+    def test_functional_wrapper(self, rng, small_config):
+        keys = rng.integers(0, 100, 3000, dtype=np.uint64).astype(np.uint32)
+        result = sample_sort(keys, config=small_config)
+        assert np.array_equal(result.keys, np.sort(keys))
+
+
+class TestAlgorithmStructure:
+    def test_multiple_distribution_passes_for_large_inputs(self, rng):
+        config = SampleSortConfig.small().with_(k=4, bucket_threshold=256)
+        sorter = SampleSorter(config=config)
+        keys = rng.integers(0, 2**32, 20_000, dtype=np.uint64).astype(np.uint32)
+        result = sorter.sort(keys)
+        assert np.array_equal(result.keys, np.sort(keys))
+        # expectation: ceil(log_k(n/M)) = ceil(log_4(20000/256)) = 4 levels;
+        # the realised depth may exceed the expectation slightly but the work
+        # must have recursed at least the expected number of levels
+        assert result.stats["max_depth"] >= expected_distribution_levels(20_000, 4, 256) - 1
+        assert result.stats["distribution_passes"] > 1
+
+    def test_no_distribution_pass_below_threshold(self, rng, small_config):
+        sorter = SampleSorter(config=small_config)
+        keys = rng.integers(0, 100, small_config.bucket_threshold // 2,
+                            dtype=np.uint64).astype(np.uint32)
+        result = sorter.sort(keys)
+        assert result.stats["distribution_passes"] == 0
+        assert "phase2_histogram" not in result.trace.phases()
+
+    def test_phase_labels_present_for_large_input(self, sorter, rng):
+        keys = rng.integers(0, 2**32, 8000, dtype=np.uint64).astype(np.uint32)
+        result = sorter.sort(keys)
+        phases = result.trace.phases()
+        for expected in ("phase1_splitters", "phase2_histogram", "phase3_scan",
+                         "phase4_scatter", "bucket_sort"):
+            assert expected in phases, phases
+
+    def test_equality_buckets_skip_sorting_on_duplicates(self, sorter):
+        workload = make_input("dduplicates", 16_000, "uint32", seed=3)
+        result = sorter.sort(workload.keys)
+        assert result.stats.get("constant_elements", 0) > 0.3 * workload.n
+        assert np.array_equal(result.keys, np.sort(workload.keys))
+
+    def test_constant_bucket_detection_can_be_disabled(self, small_config):
+        workload = make_input("dduplicates", 16_000, "uint32", seed=3)
+        on = SampleSorter(config=small_config).sort(workload.keys)
+        off = SampleSorter(
+            config=small_config.with_(detect_constant_buckets=False)
+        ).sort(workload.keys)
+        assert np.array_equal(on.keys, off.keys)
+        assert off.stats.get("constant_elements", 0) == 0
+        # skipping constant buckets saves device time on low-entropy inputs
+        assert on.time_us < off.time_us
+
+    def test_all_equal_keys_terminate_quickly(self, small_config):
+        sorter = SampleSorter(config=small_config)
+        keys = np.full(20_000, 7, dtype=np.uint32)
+        result = sorter.sort(keys)
+        assert np.array_equal(result.keys, keys)
+        assert result.stats["max_depth"] <= small_config.max_distribution_depth
+
+    def test_sorting_rate_and_phase_breakdown_exposed(self, sorter, rng):
+        keys = rng.integers(0, 2**32, 6000, dtype=np.uint64).astype(np.uint32)
+        result = sorter.sort(keys)
+        assert result.time_us > 0
+        assert result.sorting_rate == pytest.approx(result.n / result.time_us)
+        breakdown = result.phase_breakdown()
+        assert sum(breakdown.values()) == pytest.approx(result.time_us)
+
+    def test_64bit_uses_reduced_oversampling_and_shared_threshold(self, rng):
+        config = SampleSortConfig.paper()
+        sorter = SampleSorter(config=config)
+        keys = rng.integers(0, 2**63, 3000, dtype=np.uint64)
+        result = sorter.sort(keys)
+        assert np.array_equal(result.keys, np.sort(keys))
+
+    def test_trivial_inputs_produce_empty_trace(self, sorter):
+        result = sorter.sort(np.array([5], dtype=np.uint32))
+        assert result.stats.get("trivial")
+        assert result.trace.kernel_count == 0
+
+
+class TestBucketSorterDirect:
+    def test_constant_bucket_copied_from_aux(self, rng, small_config):
+        launcher = KernelLauncher(TESLA_C1060)
+        n = 1000
+        aux = launcher.gmem.from_host(np.full(n, 9, dtype=np.uint32))
+        primary = launcher.gmem.alloc(n, np.uint32)
+        stats = run_bucket_sort(
+            launcher, primary, None, aux, None,
+            [BucketTask(start=0, size=n, source="aux", constant=True)],
+            small_config,
+        )
+        assert stats["constant_buckets"] == 1
+        assert np.all(primary.data == 9)
+
+    def test_buckets_sorted_largest_first(self, rng, small_config):
+        launcher = KernelLauncher(TESLA_C1060)
+        keys = rng.integers(0, 1000, 3000, dtype=np.uint64).astype(np.uint32)
+        primary = launcher.gmem.from_host(keys)
+        tasks = [BucketTask(start=0, size=1000), BucketTask(start=1000, size=2000)]
+        run_bucket_sort(launcher, primary, None, None, None, tasks, small_config)
+        assert np.array_equal(primary.data[:1000], np.sort(keys[:1000]))
+        assert np.array_equal(primary.data[1000:], np.sort(keys[1000:]))
+
+    def test_empty_task_list(self, small_config):
+        launcher = KernelLauncher(TESLA_C1060)
+        primary = launcher.gmem.alloc(10, np.uint32)
+        assert run_bucket_sort(launcher, primary, None, None, None, [],
+                               small_config) == {}
+
+    def test_quicksort_fallback_engages_for_large_buckets(self, rng, small_config):
+        launcher = KernelLauncher(TESLA_C1060)
+        n = 4 * small_config.shared_sort_threshold
+        keys = rng.integers(0, 10**6, n, dtype=np.uint64).astype(np.uint32)
+        primary = launcher.gmem.from_host(keys)
+        stats = run_bucket_sort(launcher, primary, None, None, None,
+                                [BucketTask(start=0, size=n)], small_config)
+        assert stats["partition_passes"] >= 1
+        assert stats["network_sorts"] >= 2
+        assert np.array_equal(primary.data, np.sort(keys))

@@ -1,0 +1,228 @@
+"""Tests for the benchmark input distributions, key types and profiling."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.distributions import (
+    DEFAULT_P,
+    DISTRIBUTIONS,
+    FIGURE5_DISTRIBUTIONS,
+    KEY_RANGE,
+    bucket_sorted,
+    deterministic_duplicates,
+    gaussian,
+    generate,
+    get_distribution,
+    reverse_sorted,
+    sorted_keys,
+    staggered,
+    uniform,
+    zero,
+)
+from repro.datagen.entropy import (
+    profile_keys,
+    shannon_entropy_bits,
+    sortedness,
+    uniform_partition_skew,
+)
+from repro.datagen.keytypes import (
+    KEY_TYPES,
+    SortInput,
+    get_key_type,
+    make_input,
+    raw_to_dtype,
+)
+
+
+class TestDistributionBasics:
+    @pytest.mark.parametrize("name", list(DISTRIBUTIONS))
+    def test_size_range_and_determinism(self, name):
+        keys = generate(name, 5000, seed=3)
+        assert keys.shape == (5000,)
+        assert keys.dtype == np.uint64
+        assert keys.min() >= 0
+        assert keys.max() < KEY_RANGE
+        again = generate(name, 5000, seed=3)
+        assert np.array_equal(keys, again)
+
+    @pytest.mark.parametrize("name", ["uniform", "gaussian", "bucket", "staggered"])
+    def test_different_seeds_differ(self, name):
+        a = generate(name, 4096, seed=1)
+        b = generate(name, 4096, seed=2)
+        assert not np.array_equal(a, b)
+
+    @pytest.mark.parametrize("name", list(DISTRIBUTIONS))
+    def test_zero_length(self, name):
+        assert generate(name, 0, seed=0).size == 0
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            uniform(-1)
+
+    def test_registry_lookup(self):
+        assert get_distribution("Uniform").name == "uniform"
+        with pytest.raises(KeyError):
+            get_distribution("zipf")
+
+    def test_figure5_list_matches_paper(self):
+        assert set(FIGURE5_DISTRIBUTIONS) == {
+            "uniform", "gaussian", "sorted", "staggered", "bucket", "dduplicates"
+        }
+        assert DEFAULT_P == 240  # the Tesla C1060's scalar processor count
+
+
+class TestDistributionShapes:
+    def test_uniform_covers_the_key_range(self):
+        keys = uniform(100_000, seed=0)
+        assert keys.min() < KEY_RANGE * 0.02
+        assert keys.max() > KEY_RANGE * 0.98
+
+    def test_gaussian_concentrates_near_the_middle(self):
+        keys = gaussian(100_000, seed=0)
+        mean = keys.astype(np.float64).mean()
+        std = keys.astype(np.float64).std()
+        assert abs(mean - KEY_RANGE / 2) < KEY_RANGE * 0.02
+        assert std < uniform(100_000, seed=0).astype(np.float64).std()
+
+    def test_sorted_is_sorted_and_reverse_is_reverse(self):
+        keys = sorted_keys(10_000, seed=0)
+        assert np.all(np.diff(keys.astype(np.int64)) >= 0)
+        rev = reverse_sorted(10_000, seed=0)
+        assert np.all(np.diff(rev.astype(np.int64)) <= 0)
+
+    def test_zero_distribution(self):
+        assert np.all(zero(100) == 0)
+
+    def test_deterministic_duplicates_has_logarithmic_distinct_keys(self):
+        keys = deterministic_duplicates(1 << 16, seed=0)
+        distinct = np.unique(keys).size
+        assert distinct <= 2 * np.log2(1 << 16)
+        # the most frequent key owns about half the input
+        _, counts = np.unique(keys, return_counts=True)
+        assert counts.max() > keys.size * 0.4
+
+    def test_bucket_and_staggered_are_skewed_at_fine_granularity(self):
+        # At the ~n/256-bucket granularity a uniformity-assuming partitioner
+        # uses, both distributions concentrate mass compared to uniform keys.
+        reference = uniform_partition_skew(uniform(1 << 16, seed=0), partitions=2048)
+        for gen in (bucket_sorted, staggered):
+            keys = gen(1 << 16, seed=0)
+            assert uniform_partition_skew(keys, partitions=2048) > reference
+
+    def test_bucket_distribution_has_block_local_structure(self):
+        # Within one of the p blocks, early elements come from lower key
+        # sub-ranges than late elements (the defining property of the Bucket
+        # distribution).
+        p = 16
+        n = 1 << 14
+        keys = bucket_sorted(n, seed=0, p=p).astype(np.int64)
+        block = keys[: n // p]
+        first_chunk = block[: len(block) // p]
+        last_chunk = block[-(len(block) // p):]
+        assert first_chunk.mean() < last_chunk.mean()
+
+    def test_staggered_concentrates_each_block_in_a_narrow_range(self):
+        p = 16
+        n = 1 << 14
+        keys = staggered(n, seed=1, p=p).astype(np.int64)
+        block = keys[: n // p]
+        span = block.max() - block.min()
+        assert span < KEY_RANGE // p
+
+
+class TestKeyTypes:
+    def test_registry(self):
+        assert set(KEY_TYPES) == {"uint32", "uint64", "float32"}
+        assert get_key_type("UINT64").key_bits == 64
+        with pytest.raises(KeyError):
+            get_key_type("int16")
+
+    def test_raw_to_uint32_roundtrip(self):
+        raw = np.array([0, 1, 2**32 - 1], dtype=np.uint64)
+        out = raw_to_dtype(raw, get_key_type("uint32"))
+        assert out.dtype == np.uint32
+        assert list(out) == [0, 1, 2**32 - 1]
+
+    def test_raw_to_float_preserves_order(self, rng):
+        raw = rng.integers(0, KEY_RANGE, 1000, dtype=np.uint64)
+        out = raw_to_dtype(raw, get_key_type("float32"))
+        assert out.dtype == np.float32
+        assert np.all((out >= 0) & (out < 1))
+        order_raw = np.argsort(raw, kind="stable")
+        assert np.all(np.diff(out[order_raw]) >= 0)
+
+    def test_raw_to_uint64_uses_high_bits(self, rng):
+        raw = rng.integers(0, KEY_RANGE, 1000, dtype=np.uint64)
+        out = raw_to_dtype(raw, get_key_type("uint64"), seed=1)
+        assert out.dtype == np.uint64
+        assert np.array_equal(out >> np.uint64(32), raw)
+
+    def test_make_input_key_value(self):
+        workload = make_input("uniform", 2048, "uint32", with_values=True, seed=0)
+        assert isinstance(workload, SortInput)
+        assert workload.n == 2048
+        assert workload.has_values
+        assert np.array_equal(workload.values, np.arange(2048, dtype=np.uint32))
+        assert workload.record_bytes == 8
+        assert workload.key_type.name == "uint32"
+
+    def test_make_input_key_only_and_copy(self):
+        workload = make_input("sorted", 100, "uint64", seed=0)
+        assert not workload.has_values
+        assert workload.record_bytes == 8
+        clone = workload.copy()
+        clone.keys[0] = 0
+        assert workload.keys[0] == np.sort(workload.keys)[0] or workload.keys[0] != clone.keys[0]
+
+    def test_expected_keys_is_sorted(self):
+        workload = make_input("staggered", 500, "uint32", seed=2)
+        expected = workload.expected_keys()
+        assert np.all(np.diff(expected.astype(np.int64)) >= 0)
+
+
+class TestProfiling:
+    def test_entropy_of_constant_and_uniform(self):
+        assert shannon_entropy_bits(np.zeros(100)) == 0.0
+        high = shannon_entropy_bits(np.arange(1024))
+        assert high == pytest.approx(10.0)
+
+    def test_sortedness(self):
+        assert sortedness(np.arange(10)) == 1.0
+        assert sortedness(np.arange(10)[::-1]) == 0.0
+        assert sortedness(np.array([5])) == 1.0
+
+    def test_profile_uniform(self):
+        keys = uniform(1 << 15, seed=0)
+        prof = profile_keys(keys)
+        assert prof.normalised_entropy > 0.9
+        assert not prof.is_low_entropy
+        assert not prof.is_skewed
+        assert prof.n == 1 << 15
+
+    def test_profile_dduplicates(self):
+        keys = deterministic_duplicates(1 << 15, seed=0)
+        prof = profile_keys(keys)
+        assert prof.is_low_entropy
+        assert prof.duplicate_mass > 0.9
+        assert prof.distinct_keys < 64
+
+    def test_profile_skewed(self):
+        keys = staggered(1 << 15, seed=0, p=8)
+        prof = profile_keys(keys, partitions=240)
+        assert prof.uniform_partition_skew > 1.5
+
+    def test_profile_empty(self):
+        prof = profile_keys(np.array([], dtype=np.uint32))
+        assert prof.n == 0
+        assert prof.distinct_keys == 0
+
+    def test_profile_subsampling_stable(self):
+        keys = uniform(1 << 16, seed=0)
+        full = profile_keys(keys, sample_limit=None)
+        sampled = profile_keys(keys, sample_limit=1 << 12)
+        assert abs(full.normalised_entropy - sampled.normalised_entropy) < 0.2
+
+    def test_profile_64bit_flag(self):
+        prof = profile_keys(np.arange(16, dtype=np.uint64))
+        assert prof.is_64bit
+        assert not profile_keys(np.arange(16, dtype=np.uint32)).is_64bit

@@ -1,0 +1,88 @@
+"""Tests for hardware counters (repro.gpu.counters)."""
+
+import pytest
+
+from repro.gpu.counters import KernelCounters, TransferCounters, zeros
+
+
+class TestAlgebra:
+    def test_zeros(self):
+        c = zeros()
+        assert c.global_bytes_total == 0
+        assert c.instructions == 0
+        assert c.kernel_launches == 0
+
+    def test_add_sums_every_field(self):
+        a = KernelCounters(global_bytes_read=10, instructions=5, barriers=1)
+        b = KernelCounters(global_bytes_read=7, instructions=2, atomic_operations=3)
+        c = a + b
+        assert c.global_bytes_read == 17
+        assert c.instructions == 7
+        assert c.barriers == 1
+        assert c.atomic_operations == 3
+        # originals untouched
+        assert a.global_bytes_read == 10
+        assert b.instructions == 2
+
+    def test_iadd_accumulates_in_place(self):
+        a = KernelCounters(global_bytes_written=4)
+        a += KernelCounters(global_bytes_written=6, kernel_launches=1)
+        assert a.global_bytes_written == 10
+        assert a.kernel_launches == 1
+
+    def test_copy_is_independent(self):
+        a = KernelCounters(instructions=3)
+        b = a.copy()
+        b.instructions += 10
+        assert a.instructions == 3
+
+    def test_add_wrong_type_not_supported(self):
+        with pytest.raises(TypeError):
+            KernelCounters() + 5
+
+
+class TestDerivedMetrics:
+    def test_global_totals(self):
+        c = KernelCounters(global_bytes_read=100, global_bytes_written=50,
+                           global_read_transactions=4, global_write_transactions=2,
+                           ideal_read_transactions=2, ideal_write_transactions=2)
+        assert c.global_bytes_total == 150
+        assert c.global_transactions == 6
+        assert c.ideal_transactions == 4
+
+    def test_coalescing_efficiency_perfect(self):
+        c = KernelCounters(global_read_transactions=4, ideal_read_transactions=4)
+        assert c.coalescing_efficiency() == pytest.approx(1.0)
+
+    def test_coalescing_efficiency_poor(self):
+        c = KernelCounters(global_read_transactions=32, ideal_read_transactions=4)
+        assert c.coalescing_efficiency() == pytest.approx(0.125)
+
+    def test_coalescing_efficiency_no_traffic(self):
+        assert KernelCounters().coalescing_efficiency() == 1.0
+
+    def test_divergence_rate(self):
+        c = KernelCounters(total_branches=10, divergent_branches=3)
+        assert c.divergence_rate() == pytest.approx(0.3)
+        assert KernelCounters().divergence_rate() == 0.0
+
+    def test_atomic_serialisation(self):
+        c = KernelCounters(atomic_operations=100, atomic_conflicts=50)
+        assert c.atomic_serialisation() == pytest.approx(0.5)
+        assert KernelCounters().atomic_serialisation() == 0.0
+
+    def test_as_dict_roundtrip(self):
+        c = KernelCounters(instructions=42, barriers=7)
+        d = c.as_dict()
+        assert d["instructions"] == 42
+        assert d["barriers"] == 7
+        assert set(d) >= {"global_bytes_read", "atomic_operations", "kernel_launches"}
+
+
+class TestTransferCounters:
+    def test_addition(self):
+        a = TransferCounters(host_to_device_bytes=100, device_to_host_bytes=10)
+        b = TransferCounters(host_to_device_bytes=1, device_to_host_bytes=2)
+        c = a + b
+        assert c.host_to_device_bytes == 101
+        assert c.device_to_host_bytes == 12

@@ -1,0 +1,106 @@
+"""Tests for device specifications (repro.gpu.device)."""
+
+import pytest
+
+from repro.gpu.device import (
+    DEVICE_PRESETS,
+    GTX_285,
+    TESLA_C1060,
+    TINY_TEST_DEVICE,
+    DeviceSpec,
+    get_device,
+)
+from repro.gpu.errors import DeviceConfigError
+
+
+class TestPaperDevices:
+    def test_tesla_matches_paper_description(self):
+        # "30 Multiprocessors, each containing 8 scalar processors, for a total
+        # of up to 240 cores on chip" clocked at 1.296 GHz, 73.3 GB/s measured.
+        assert TESLA_C1060.sm_count == 30
+        assert TESLA_C1060.sps_per_sm == 8
+        assert TESLA_C1060.core_count == 240
+        assert TESLA_C1060.clock_ghz == pytest.approx(1.296)
+        assert TESLA_C1060.mem_bandwidth_gb_s == pytest.approx(73.3)
+        assert TESLA_C1060.shared_mem_per_sm == 16 * 1024
+        assert TESLA_C1060.warp_size == 32
+
+    def test_gtx285_matches_paper_description(self):
+        # Same core count, 13% faster clock, 124.7 GB/s measured bandwidth.
+        assert GTX_285.core_count == TESLA_C1060.core_count
+        assert GTX_285.clock_ghz == pytest.approx(1.476)
+        assert GTX_285.mem_bandwidth_gb_s == pytest.approx(124.7)
+        assert GTX_285.clock_ghz / TESLA_C1060.clock_ghz == pytest.approx(1.139, abs=0.01)
+
+    def test_gtx285_has_more_bandwidth_per_core(self):
+        assert (GTX_285.mem_bandwidth_gb_s / GTX_285.core_count
+                > TESLA_C1060.mem_bandwidth_gb_s / TESLA_C1060.core_count)
+
+
+class TestDerivedQuantities:
+    def test_peak_instruction_rate_scales_with_clock(self):
+        slow = TESLA_C1060
+        fast = TESLA_C1060.with_(clock_ghz=2 * TESLA_C1060.clock_ghz)
+        assert fast.peak_instruction_rate == pytest.approx(2 * slow.peak_instruction_rate)
+
+    def test_bytes_per_us(self):
+        assert TESLA_C1060.bytes_per_us == pytest.approx(73.3 * 1e3)
+
+    def test_max_warps_per_sm(self):
+        assert TESLA_C1060.max_warps_per_sm == 32
+
+    def test_with_returns_modified_copy(self):
+        modified = TESLA_C1060.with_(mem_bandwidth_gb_s=100.0)
+        assert modified.mem_bandwidth_gb_s == 100.0
+        assert TESLA_C1060.mem_bandwidth_gb_s == pytest.approx(73.3)
+        assert modified.name == TESLA_C1060.name
+
+    def test_describe_mentions_cores_and_bandwidth(self):
+        text = TESLA_C1060.describe()
+        assert "240 cores" in text
+        assert "73.3" in text
+
+
+class TestValidation:
+    def test_zero_sms_rejected(self):
+        with pytest.raises(DeviceConfigError):
+            DeviceSpec(name="bad", sm_count=0, sps_per_sm=8, clock_ghz=1.0,
+                       mem_bandwidth_gb_s=50.0)
+
+    def test_negative_clock_rejected(self):
+        with pytest.raises(DeviceConfigError):
+            DeviceSpec(name="bad", sm_count=1, sps_per_sm=8, clock_ghz=-1.0,
+                       mem_bandwidth_gb_s=50.0)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(DeviceConfigError):
+            DeviceSpec(name="bad", sm_count=1, sps_per_sm=8, clock_ghz=1.0,
+                       mem_bandwidth_gb_s=0.0)
+
+    def test_block_limit_must_be_multiple_of_warp(self):
+        with pytest.raises(DeviceConfigError):
+            DeviceSpec(name="bad", sm_count=1, sps_per_sm=8, clock_ghz=1.0,
+                       mem_bandwidth_gb_s=50.0, max_threads_per_block=100)
+
+    def test_implausible_ipc_rejected(self):
+        with pytest.raises(DeviceConfigError):
+            DeviceSpec(name="bad", sm_count=1, sps_per_sm=8, clock_ghz=1.0,
+                       mem_bandwidth_gb_s=50.0, instructions_per_clock=9.0)
+
+
+class TestRegistry:
+    def test_presets_contain_paper_devices(self):
+        assert DEVICE_PRESETS["tesla-c1060"] is TESLA_C1060
+        assert DEVICE_PRESETS["gtx-285"] is GTX_285
+
+    def test_get_device_is_case_insensitive(self):
+        assert get_device("Tesla-C1060") is TESLA_C1060
+        assert get_device(" GTX-285 ") is GTX_285
+
+    def test_get_device_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown device"):
+            get_device("radeon")
+
+    def test_tiny_device_is_small(self):
+        assert TINY_TEST_DEVICE.core_count < TESLA_C1060.core_count
+        assert TINY_TEST_DEVICE.shared_mem_per_sm < TESLA_C1060.shared_mem_per_sm

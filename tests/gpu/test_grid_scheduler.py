@@ -1,0 +1,124 @@
+"""Tests for launch configurations and the occupancy/scheduling model."""
+
+import pytest
+
+from repro.gpu.device import TESLA_C1060, TINY_TEST_DEVICE
+from repro.gpu.errors import LaunchConfigError
+from repro.gpu.grid import LaunchConfig, grid_for
+from repro.gpu.scheduler import chip_utilisation, occupancy_for
+
+
+class TestLaunchConfig:
+    def test_paper_tile_geometry(self):
+        # t = 256 threads, ell = 8 elements per thread -> 2048-element tiles
+        cfg = LaunchConfig(grid_dim=10, block_dim=256, elements_per_thread=8)
+        assert cfg.tile_size == 2048
+        assert cfg.total_threads == 2560
+        assert cfg.total_elements == 20480
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(LaunchConfigError):
+            LaunchConfig(grid_dim=0, block_dim=256)
+        with pytest.raises(LaunchConfigError):
+            LaunchConfig(grid_dim=1, block_dim=0)
+        with pytest.raises(LaunchConfigError):
+            LaunchConfig(grid_dim=1, block_dim=32, elements_per_thread=0)
+        with pytest.raises(LaunchConfigError):
+            LaunchConfig(grid_dim=1, block_dim=32, shared_mem_bytes=-1)
+
+    def test_validate_against_device_limits(self):
+        LaunchConfig(grid_dim=1, block_dim=512).validate(TESLA_C1060)
+        with pytest.raises(LaunchConfigError):
+            LaunchConfig(grid_dim=1, block_dim=1024).validate(TESLA_C1060)
+        with pytest.raises(LaunchConfigError):
+            LaunchConfig(grid_dim=1, block_dim=64,
+                         shared_mem_bytes=64 * 1024).validate(TESLA_C1060)
+
+    def test_tile_bounds_including_partial_last_tile(self):
+        cfg = LaunchConfig(grid_dim=3, block_dim=4, elements_per_thread=2)
+        n = 18
+        assert cfg.tile_bounds(0, n) == (0, 8)
+        assert cfg.tile_bounds(1, n) == (8, 16)
+        assert cfg.tile_bounds(2, n) == (16, 18)
+
+    def test_tile_bounds_out_of_range_block(self):
+        cfg = LaunchConfig(grid_dim=4, block_dim=4, elements_per_thread=2)
+        start, end = cfg.tile_bounds(3, 10)
+        assert start == end  # empty tile
+
+
+class TestGridFor:
+    def test_exact_division(self):
+        cfg = grid_for(2048 * 4, 256, 8)
+        assert cfg.grid_dim == 4
+
+    def test_rounds_up(self):
+        cfg = grid_for(2048 * 4 + 1, 256, 8)
+        assert cfg.grid_dim == 5
+
+    def test_small_input_gets_one_block(self):
+        assert grid_for(10, 256, 8).grid_dim == 1
+        assert grid_for(0, 256, 8).grid_dim == 1
+
+    def test_negative_input_rejected(self):
+        with pytest.raises(LaunchConfigError):
+            grid_for(-1, 256, 8)
+
+    def test_paper_block_count_formula(self):
+        # p = ceil(n / (t * ell)) from Section 4
+        n = 1 << 20
+        cfg = grid_for(n, 256, 8)
+        assert cfg.grid_dim == -(-n // 2048)
+
+
+class TestOccupancy:
+    def test_paper_kernel_occupancy(self):
+        # 256-thread blocks with modest shared memory: limited by the 1024
+        # threads/SM -> 4 blocks, 32 warps resident
+        cfg = LaunchConfig(grid_dim=512, block_dim=256, elements_per_thread=8,
+                           shared_mem_bytes=2048)
+        occ = occupancy_for(TESLA_C1060, cfg)
+        assert occ.blocks_per_sm == 4
+        assert occ.resident_warps_per_sm == 32
+        assert occ.warp_occupancy == pytest.approx(1.0)
+        assert occ.latency_hiding == 1.0
+
+    def test_shared_memory_limits_occupancy(self):
+        cfg = LaunchConfig(grid_dim=512, block_dim=256,
+                           shared_mem_bytes=15 * 1024)
+        occ = occupancy_for(TESLA_C1060, cfg)
+        assert occ.blocks_per_sm == 1
+        assert occ.warp_occupancy < 0.5
+
+    def test_register_pressure_limits_occupancy(self):
+        cfg = LaunchConfig(grid_dim=512, block_dim=256)
+        rich = occupancy_for(TESLA_C1060, cfg, regs_per_thread=8)
+        poor = occupancy_for(TESLA_C1060, cfg, regs_per_thread=60)
+        assert poor.blocks_per_sm <= rich.blocks_per_sm
+
+    def test_waves_scale_with_grid(self):
+        small = occupancy_for(TESLA_C1060, LaunchConfig(grid_dim=30, block_dim=256))
+        large = occupancy_for(TESLA_C1060, LaunchConfig(grid_dim=3000, block_dim=256))
+        assert small.waves == 1
+        assert large.waves > small.waves
+
+    def test_oversized_block_degrades_to_one(self):
+        cfg = LaunchConfig(grid_dim=1, block_dim=128)
+        occ = occupancy_for(TINY_TEST_DEVICE, cfg, regs_per_thread=200)
+        assert occ.blocks_per_sm == 1
+
+
+class TestChipUtilisation:
+    def test_tiny_grid_underutilises(self):
+        small = chip_utilisation(TESLA_C1060, LaunchConfig(grid_dim=1, block_dim=256))
+        large = chip_utilisation(TESLA_C1060, LaunchConfig(grid_dim=4096, block_dim=256))
+        assert small < large
+        assert 0 < small <= 1
+        assert large == pytest.approx(1.0, abs=0.05)
+
+    def test_utilisation_monotone_in_grid(self):
+        values = [
+            chip_utilisation(TESLA_C1060, LaunchConfig(grid_dim=g, block_dim=256))
+            for g in (1, 8, 64, 512, 4096)
+        ]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))

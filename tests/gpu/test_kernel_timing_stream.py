@@ -1,0 +1,188 @@
+"""Tests for kernel launching, the device time model and kernel traces."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.block import BlockContext
+from repro.gpu.counters import KernelCounters
+from repro.gpu.device import GTX_285, TESLA_C1060
+from repro.gpu.errors import KernelExecutionError, LaunchConfigError
+from repro.gpu.grid import LaunchConfig, grid_for
+from repro.gpu.kernel import KernelLauncher, kernel, launch
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.stream import KernelRecord, KernelTrace
+from repro.gpu.timing import DeviceTimeModel, KernelTime
+
+
+def scale_kernel(ctx: BlockContext, buf, n, factor):
+    start, end = ctx.tile_bounds(n)
+    if end <= start:
+        return
+    tile = ctx.read_range(buf, start, end - start)
+    ctx.charge_per_element(tile.size, 1.0)
+    ctx.write_range(buf, start, tile * factor)
+
+
+class TestLaunch:
+    def test_kernel_runs_over_all_blocks(self):
+        launcher = KernelLauncher(TESLA_C1060)
+        data = launcher.gmem.from_host(np.arange(1000, dtype=np.int64))
+        counters, time = launcher.launch(
+            scale_kernel, grid_for(1000, 64, 4), data, 1000, 3,
+            problem_size=1000, phase="demo",
+        )
+        assert np.array_equal(data.data, np.arange(1000) * 3)
+        assert counters.kernel_launches == 1
+        assert counters.global_bytes_read == 1000 * 8
+        assert counters.global_bytes_written == 1000 * 8
+        assert counters.instructions >= 1000
+        assert time.total_us > 0
+
+    def test_trace_records_launch(self):
+        launcher = KernelLauncher(TESLA_C1060)
+        data = launcher.gmem.from_host(np.arange(64, dtype=np.int64))
+        launcher.launch(scale_kernel, grid_for(64, 32, 2), data, 64, 2,
+                        problem_size=64, phase="phaseA", name="scale")
+        assert len(launcher.trace) == 1
+        record = launcher.trace.records[0]
+        assert record.name == "scale"
+        assert record.phase == "phaseA"
+        assert record.time_us == launcher.trace.total_time_us
+
+    def test_invalid_launch_rejected(self):
+        launcher = KernelLauncher(TESLA_C1060)
+        data = launcher.gmem.alloc(8, np.int64)
+        with pytest.raises(LaunchConfigError):
+            launcher.launch(scale_kernel,
+                            LaunchConfig(grid_dim=1, block_dim=2048),
+                            data, 8, 1)
+
+    def test_kernel_exception_wrapped_with_block_id(self):
+        def broken(ctx):
+            if ctx.block_id == 2:
+                raise ValueError("boom")
+
+        launcher = KernelLauncher(TESLA_C1060)
+        with pytest.raises(KernelExecutionError) as excinfo:
+            launcher.launch(broken, LaunchConfig(grid_dim=4, block_dim=32))
+        assert excinfo.value.block_id == 2
+        assert "boom" in str(excinfo.value)
+
+    def test_kernel_decorator_metadata(self):
+        @kernel(name="fancy", phase="special", regs_per_thread=20)
+        def my_kernel(ctx):
+            pass
+
+        launcher = KernelLauncher(TESLA_C1060)
+        launcher.launch(my_kernel, LaunchConfig(grid_dim=1, block_dim=32))
+        assert launcher.trace.records[0].name == "fancy"
+        assert launcher.trace.records[0].phase == "special"
+
+    def test_launch_without_trace(self):
+        gmem = GlobalMemory(TESLA_C1060)
+        data = gmem.from_host(np.arange(16, dtype=np.int64))
+        counters, _ = launch(scale_kernel, grid_for(16, 16, 1), TESLA_C1060, gmem,
+                             data, 16, 5, problem_size=16)
+        assert counters.kernel_launches == 1
+        assert np.array_equal(data.data, np.arange(16) * 5)
+
+
+class TestDeviceTimeModel:
+    def test_memory_time_from_transactions(self):
+        model = DeviceTimeModel(TESLA_C1060)
+        counters = KernelCounters(
+            global_bytes_read=1 << 20,
+            global_read_transactions=(1 << 20) // 32,
+            ideal_read_transactions=(1 << 20) // 32,
+        )
+        expected_us = (1 << 20) / TESLA_C1060.bytes_per_us
+        assert model.memory_time_us(counters) == pytest.approx(expected_us, rel=0.01)
+
+    def test_uncoalesced_traffic_costs_more(self):
+        model = DeviceTimeModel(TESLA_C1060)
+        coalesced = KernelCounters(global_bytes_read=1 << 16,
+                                   global_read_transactions=(1 << 16) // 32)
+        scattered = KernelCounters(global_bytes_read=1 << 16,
+                                   global_read_transactions=1 << 14)
+        assert model.memory_time_us(scattered) > model.memory_time_us(coalesced)
+
+    def test_compute_time_scales_with_instructions(self):
+        model = DeviceTimeModel(TESLA_C1060)
+        one = model.compute_time_us(KernelCounters(instructions=10**6))
+        two = model.compute_time_us(KernelCounters(instructions=2 * 10**6))
+        assert two == pytest.approx(2 * one)
+
+    def test_divergence_and_atomics_increase_compute_time(self):
+        model = DeviceTimeModel(TESLA_C1060)
+        base = KernelCounters(instructions=10**6)
+        noisy = KernelCounters(instructions=10**6, divergent_branches=10**4,
+                               atomic_operations=10**5, atomic_conflicts=10**5,
+                               shared_bank_conflicts=10**4)
+        assert model.compute_time_us(noisy) > model.compute_time_us(base)
+
+    def test_faster_device_is_faster(self):
+        counters = KernelCounters(
+            global_bytes_read=1 << 22,
+            global_read_transactions=(1 << 22) // 32,
+            instructions=10**7,
+        )
+        tesla = DeviceTimeModel(TESLA_C1060).time_us(counters)
+        gtx = DeviceTimeModel(GTX_285).time_us(counters)
+        assert gtx < tesla
+
+    def test_kernel_time_includes_launch_overhead(self):
+        model = DeviceTimeModel(TESLA_C1060)
+        counters = KernelCounters(kernel_launches=3)
+        t = model.kernel_time(counters)
+        assert t.overhead_us == pytest.approx(3 * TESLA_C1060.kernel_launch_overhead_us)
+        assert t.total_us >= t.overhead_us
+
+    def test_bound_classification(self):
+        t_mem = KernelTime(memory_us=100, compute_us=10, overhead_us=0, overlap=1.0)
+        t_cmp = KernelTime(memory_us=10, compute_us=100, overhead_us=0, overlap=1.0)
+        assert t_mem.bound == "memory"
+        assert t_cmp.bound == "compute"
+
+    def test_overlap_reduces_total(self):
+        full = KernelTime(memory_us=100, compute_us=50, overhead_us=0, overlap=1.0)
+        none = KernelTime(memory_us=100, compute_us=50, overhead_us=0, overlap=0.0)
+        assert full.total_us == pytest.approx(100)
+        assert none.total_us == pytest.approx(150)
+
+
+class TestKernelTrace:
+    def _record(self, phase, us):
+        return KernelRecord(
+            name=phase, phase=phase,
+            launch=LaunchConfig(grid_dim=1, block_dim=32),
+            counters=KernelCounters(kernel_launches=1),
+            time=KernelTime(memory_us=us, compute_us=0, overhead_us=0, overlap=1.0),
+        )
+
+    def test_totals_and_breakdown(self):
+        trace = KernelTrace()
+        trace.append(self._record("phase2", 10))
+        trace.append(self._record("phase4", 30))
+        trace.append(self._record("phase2", 5))
+        assert trace.kernel_count == 3
+        assert trace.total_time_us == pytest.approx(45)
+        assert trace.phases() == ["phase2", "phase4"]
+        assert trace.phase_time_us("phase2") == pytest.approx(15)
+        breakdown = trace.phase_breakdown()
+        assert set(breakdown) == {"phase2", "phase4"}
+
+    def test_total_counters_and_filter(self):
+        trace = KernelTrace()
+        trace.append(self._record("a", 1))
+        trace.append(self._record("b", 2))
+        assert trace.total_counters().kernel_launches == 2
+        filtered = trace.filter(["a"])
+        assert len(filtered) == 1
+
+    def test_extend_and_format(self):
+        a = KernelTrace([self._record("x", 1)])
+        b = KernelTrace([self._record("y", 2)])
+        a.extend(b)
+        text = a.format_breakdown(title="demo")
+        assert "demo" in text
+        assert "x" in text and "y" in text and "total" in text

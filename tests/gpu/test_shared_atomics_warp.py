@@ -1,0 +1,182 @@
+"""Tests for shared memory, atomics and warp divergence accounting."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.atomics import AtomicUnit, _conflict_cost
+from repro.gpu.counters import KernelCounters
+from repro.gpu.device import TESLA_C1060
+from repro.gpu.errors import AtomicsError, SharedMemoryError
+from repro.gpu.shared import SharedMemory
+from repro.gpu.warp import WarpExecutor
+
+
+@pytest.fixture
+def counters():
+    return KernelCounters()
+
+
+@pytest.fixture
+def shared(counters):
+    return SharedMemory(TESLA_C1060, counters)
+
+
+@pytest.fixture
+def atomics(counters):
+    return AtomicUnit(TESLA_C1060, counters)
+
+
+class TestSharedMemoryAllocation:
+    def test_alloc_within_capacity(self, shared):
+        arr = shared.alloc(1024, np.uint32)
+        assert arr.nbytes == 4096
+        assert shared.used_bytes == 4096
+        assert shared.remaining_bytes == 16 * 1024 - 4096
+
+    def test_capacity_exceeded_raises(self, shared):
+        shared.alloc(3000, np.uint32)
+        with pytest.raises(SharedMemoryError, match="exhausted"):
+            shared.alloc(2000, np.uint32)
+
+    def test_paper_phase2_footprint_fits(self, shared):
+        # splitter tree (128 x 4B) + 8 counter arrays of 256 x 4B + flags
+        shared.alloc(128, np.uint32)
+        shared.alloc((8, 256), np.int32)
+        shared.alloc(127, np.uint8)
+        assert shared.used_bytes <= 16 * 1024
+
+    def test_paper_sample_fits_for_both_key_widths(self, shared, counters):
+        # a=30 for 32-bit keys and a=15 for 64-bit keys both fit in 16 KB,
+        # which is the paper's stated reason for the two oversampling factors.
+        s32 = SharedMemory(TESLA_C1060, counters)
+        s32.alloc(30 * 128, np.uint32)
+        s64 = SharedMemory(TESLA_C1060, counters)
+        s64.alloc(15 * 128, np.uint64)
+
+    def test_can_fit_and_elements_capacity(self, shared):
+        assert shared.can_fit(16 * 1024)
+        assert not shared.can_fit(16 * 1024 + 1)
+        assert shared.elements_capacity(np.uint32) == 4096
+        assert shared.elements_capacity(np.uint64, reserve_bytes=8 * 1024) == 1024
+
+
+class TestSharedMemoryAccess:
+    def test_load_store_roundtrip(self, shared, counters):
+        arr = shared.alloc(64, np.uint32)
+        shared.store(arr, np.arange(64), np.arange(64))
+        out = shared.load(arr, np.arange(64))
+        assert np.array_equal(out, np.arange(64))
+        assert counters.shared_bytes_accessed == 2 * 64 * 4
+
+    def test_sequential_access_no_bank_conflicts(self, shared, counters):
+        arr = shared.alloc(256, np.uint32)
+        shared.load(arr, np.arange(16))
+        assert counters.shared_bank_conflicts == 0
+
+    def test_same_bank_access_counts_conflicts(self, shared, counters):
+        arr = shared.alloc(512, np.uint32)
+        # 16 threads of a half-warp all hit bank 0 with distinct words
+        shared.load(arr, np.arange(16) * 16)
+        assert counters.shared_bank_conflicts > 0
+
+    def test_broadcast_is_free(self, shared, counters):
+        arr = shared.alloc(32, np.uint32)
+        values = shared.broadcast_read(arr, 3, lanes=32)
+        assert values.shape == (32,)
+        assert counters.shared_bank_conflicts == 0
+
+    def test_broadcast_same_word_not_a_conflict(self, shared, counters):
+        arr = shared.alloc(32, np.uint32)
+        shared.load(arr, np.zeros(16, dtype=np.int64))
+        assert counters.shared_bank_conflicts == 0
+
+
+class TestAtomics:
+    def test_add_applies_all_updates(self, atomics):
+        target = np.zeros(8, dtype=np.int64)
+        atomics.add(target, np.array([0, 0, 1, 7, 7, 7]), 1)
+        assert target[0] == 2
+        assert target[1] == 1
+        assert target[7] == 3
+
+    def test_conflicts_counted_for_same_address(self, atomics, counters):
+        target = np.zeros(4, dtype=np.int64)
+        atomics.increment(target, np.zeros(32, dtype=np.int64))
+        assert counters.atomic_operations == 32
+        assert counters.atomic_conflicts == 31
+
+    def test_distinct_addresses_no_conflicts(self, atomics, counters):
+        target = np.zeros(32, dtype=np.int64)
+        atomics.increment(target, np.arange(32))
+        assert counters.atomic_conflicts == 0
+
+    def test_multiple_counter_groups_reduce_conflicts(self, counters):
+        """The paper's 8-counter-array trick measurably reduces serialisation."""
+        device = TESLA_C1060
+        same_bucket = np.zeros(256, dtype=np.int64)  # all hits on bucket 0
+
+        one_array = KernelCounters()
+        AtomicUnit(device, one_array).increment(np.zeros(16, dtype=np.int64),
+                                                same_bucket)
+        eight_arrays = KernelCounters()
+        groups = np.arange(256) % 8
+        AtomicUnit(device, eight_arrays).increment(
+            np.zeros(8 * 16, dtype=np.int64), groups * 16 + same_bucket
+        )
+        assert eight_arrays.atomic_conflicts < one_array.atomic_conflicts
+
+    def test_unsupported_device_raises(self, counters):
+        device = TESLA_C1060.with_(supports_shared_atomics=False)
+        unit = AtomicUnit(device, counters)
+        with pytest.raises(AtomicsError):
+            unit.add(np.zeros(4, dtype=np.int64), np.array([0]), 1, shared=True)
+
+    def test_exchange_max(self, atomics):
+        target = np.zeros(4, dtype=np.int64)
+        atomics.exchange_max(target, np.array([1, 1, 2]), np.array([5, 3, 9]))
+        assert target[1] == 5
+        assert target[2] == 9
+
+    def test_conflict_cost_helper(self):
+        assert _conflict_cost(np.zeros(32, dtype=np.int64), 32) == 31
+        assert _conflict_cost(np.arange(32), 32) == 0
+        assert _conflict_cost(np.array([], dtype=np.int64), 32) == 0
+        # two warps, each fully conflicting
+        assert _conflict_cost(np.repeat([0, 1], 32), 32) == 62
+
+
+class TestWarpDivergence:
+    def test_uniform_mask_no_divergence(self, counters):
+        warps = WarpExecutor(TESLA_C1060, 128, counters)
+        diverged = warps.branch(np.ones(128, dtype=bool))
+        assert diverged == 0
+        assert counters.divergent_branches == 0
+        assert counters.total_branches == 4
+
+    def test_mixed_mask_diverges(self, counters):
+        warps = WarpExecutor(TESLA_C1060, 64, counters)
+        mask = np.zeros(64, dtype=bool)
+        mask[::2] = True
+        assert warps.branch(mask) == 2
+        assert counters.divergent_branches == 2
+
+    def test_per_warp_uniform_masks_do_not_diverge(self, counters):
+        warps = WarpExecutor(TESLA_C1060, 64, counters)
+        mask = np.concatenate([np.ones(32, dtype=bool), np.zeros(32, dtype=bool)])
+        assert warps.branch(mask) == 0
+
+    def test_predicated_counts_instructions_not_divergence(self, counters):
+        warps = WarpExecutor(TESLA_C1060, 32, counters)
+        warps.predicated(1000, instructions_per_item=3)
+        assert counters.instructions == 3000
+        assert counters.divergent_branches == 0
+
+    def test_lane_and_warp_ids(self, counters):
+        warps = WarpExecutor(TESLA_C1060, 70, counters)
+        assert warps.num_warps == 3
+        assert warps.lane_ids()[32] == 0
+        assert warps.warp_ids()[32] == 1
+
+    def test_empty_mask(self, counters):
+        warps = WarpExecutor(TESLA_C1060, 32, counters)
+        assert warps.branch(np.array([], dtype=bool)) == 0

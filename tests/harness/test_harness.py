@@ -1,0 +1,204 @@
+"""Tests for the experiment harness (specs, figures, runner, reports, paper data)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SampleSortConfig
+from repro.gpu.device import GTX_285, TESLA_C1060
+from repro.harness import (
+    CLAIMS,
+    EXPERIMENTS,
+    FIGURE3,
+    FIGURE3_SERIES,
+    FIGURE4,
+    FIGURE5,
+    FIGURE6,
+    FIGURE6_IMPROVEMENTS,
+    PAPER_CLAIMS,
+    ExperimentSpec,
+    format_claims,
+    format_device_comparison,
+    format_experiment,
+    format_paper_comparison,
+    format_series_table,
+    get_experiment,
+    paper_series,
+    power_of_two_range,
+    run_experiment,
+    run_experiment_model,
+    run_experiment_simulation,
+)
+
+
+class TestExperimentSpec:
+    def test_power_of_two_range(self):
+        assert power_of_two_range(17, 20) == [1 << 17, 1 << 18, 1 << 19, 1 << 20]
+        with pytest.raises(ValueError):
+            power_of_two_range(20, 17)
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(name="x", description="", algorithms=(), sizes=(1,))
+        with pytest.raises(ValueError):
+            ExperimentSpec(name="x", description="", algorithms=("sample",), sizes=())
+        with pytest.raises(ValueError):
+            ExperimentSpec(name="x", description="", algorithms=("sample",),
+                           sizes=(0,))
+
+    def test_series_keys_cover_all_combinations(self):
+        keys = FIGURE3.series_keys()
+        assert len(keys) == len(FIGURE3.algorithms) * len(FIGURE3.distributions)
+        assert ("Tesla C1060", "uniform", "sample") in keys
+
+    def test_describe(self):
+        assert "figure4" in FIGURE4.describe()
+
+
+class TestFigureDefinitions:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {"figure3", "figure4", "figure5", "figure6",
+                                    "claims"}
+        assert get_experiment("FIGURE3") is FIGURE3
+        with pytest.raises(KeyError):
+            get_experiment("figure9")
+
+    def test_figure3_matches_paper_setup(self):
+        assert FIGURE3.with_values
+        assert FIGURE3.key_type == "uint32"
+        assert set(FIGURE3.distributions) == {"uniform", "sorted", "dduplicates"}
+        assert min(FIGURE3.sizes) == 1 << 19 and max(FIGURE3.sizes) == 1 << 27
+        assert set(FIGURE3.algorithms) == {"cudpp radix", "thrust radix", "sample",
+                                           "thrust merge"}
+
+    def test_figure4_is_64bit_keys_only(self):
+        assert FIGURE4.key_type == "uint64"
+        assert not FIGURE4.with_values
+        assert set(FIGURE4.algorithms) == {"sample", "thrust radix"}
+
+    def test_figure5_covers_six_distributions(self):
+        assert len(FIGURE5.distributions) == 6
+        assert "hybrid" in FIGURE5.algorithms
+        assert max(FIGURE5.sizes) == 1 << 28
+
+    def test_figure6_uses_both_devices(self):
+        assert FIGURE6.devices == (TESLA_C1060, GTX_285)
+
+    def test_paper_series_lookup(self):
+        assert paper_series("figure3") is FIGURE3_SERIES
+        with pytest.raises(KeyError):
+            paper_series("figure7")
+
+    def test_paper_claims_well_formed(self):
+        for claim in PAPER_CLAIMS.values():
+            assert claim["baseline"] in ("thrust merge", "thrust radix", "quick")
+            assert claim["min_speedup"] >= 1.0
+            assert claim["avg_speedup"] >= claim["min_speedup"]
+        assert set(FIGURE6_IMPROVEMENTS) == {"cudpp radix", "thrust radix",
+                                             "sample", "thrust merge"}
+
+
+class TestModelRunner:
+    def test_model_run_produces_all_series(self):
+        result = run_experiment_model(FIGURE4, sizes=[1 << 19, 1 << 21])
+        assert result.mode == "model"
+        assert len(result.series) == 2 * 2  # 2 distributions x 2 algorithms
+        series = result.get("Tesla C1060", "uniform", "sample")
+        assert series.sizes == [1 << 19, 1 << 21]
+        assert all(r > 0 for r in series.rates)
+
+    def test_model_run_reproduces_figure4_ordering(self):
+        result = run_experiment_model(FIGURE4, sizes=[1 << 21, 1 << 23, 1 << 25])
+        sample = result.get("Tesla C1060", "uniform", "sample")
+        radix = result.get("Tesla C1060", "uniform", "thrust radix")
+        assert all(s > r for s, r in zip(sample.rates, radix.rates))
+
+    def test_model_run_marks_hybrid_dnf_on_duplicates(self):
+        result = run_experiment_model(FIGURE5, sizes=[1 << 21])
+        series = result.get("Tesla C1060", "dduplicates", "hybrid")
+        assert series.failed_everywhere
+        assert "DNF" in series.notes[0]
+
+    def test_dispatch_and_invalid_mode(self):
+        assert run_experiment(FIGURE4, mode="model", sizes=[1 << 20]).mode == "model"
+        with pytest.raises(ValueError):
+            run_experiment(FIGURE4, mode="hardware")
+
+    def test_figure6_improvements_qualitative(self):
+        result = run_experiment_model(FIGURE6, sizes=[1 << 23])
+        improvements = {}
+        for algorithm in FIGURE6.algorithms:
+            tesla = result.get("Tesla C1060", "uniform", algorithm).mean_rate
+            gtx = result.get("Zotac GTX 285", "uniform", algorithm).mean_rate
+            improvements[algorithm] = gtx / tesla - 1.0
+        assert improvements["cudpp radix"] > improvements["sample"]
+        assert improvements["thrust merge"] < FIGURE6_IMPROVEMENTS["cudpp radix"]
+
+
+class TestSimulationRunner:
+    def test_simulation_runs_and_validates(self):
+        spec = ExperimentSpec(
+            name="mini",
+            description="simulation smoke test",
+            algorithms=("sample", "thrust merge"),
+            sizes=(1 << 12,),
+            distributions=("uniform",),
+            key_type="uint32",
+            with_values=True,
+            simulation_sizes=(1 << 12,),
+        )
+        result = run_experiment_simulation(
+            spec, sample_config=SampleSortConfig.small(),
+        )
+        assert result.mode == "simulate"
+        for algorithm in spec.algorithms:
+            series = result.get("Tesla C1060", "uniform", algorithm)
+            assert series.rates[0] > 0
+
+    def test_simulation_records_dnf_instead_of_raising(self):
+        spec = ExperimentSpec(
+            name="mini-hybrid",
+            description="hybrid DNF",
+            algorithms=("hybrid",),
+            sizes=(1 << 16,),
+            distributions=("dduplicates",),
+            key_type="uint32",
+            with_values=False,
+            simulation_sizes=(1 << 16,),
+        )
+        result = run_experiment_simulation(spec)
+        series = result.get("Tesla C1060", "dduplicates", "hybrid")
+        assert series.failed_everywhere
+
+
+class TestReports:
+    @pytest.fixture(scope="class")
+    def figure3_result(self):
+        return run_experiment_model(FIGURE3, sizes=[1 << 19, 1 << 21, 1 << 23])
+
+    def test_series_table(self, figure3_result):
+        text = format_series_table(figure3_result, "Tesla C1060", "uniform")
+        assert "sample" in text and "thrust merge" in text
+        assert "2^19" in text and "2^23" in text
+
+    def test_full_experiment_format(self, figure3_result):
+        text = format_experiment(figure3_result)
+        assert text.count("figure3") == 3  # one panel per distribution
+
+    def test_paper_comparison_table(self, figure3_result):
+        text = format_paper_comparison(figure3_result, FIGURE3_SERIES)
+        assert "paper" in text and "repro" in text
+        assert "uniform" in text
+
+    def test_claims_table(self):
+        result = run_experiment_model(CLAIMS, sizes=[1 << 21, 1 << 23])
+        text = format_claims(result)
+        assert "sample_vs_merge_uniform_kv" in text
+
+    def test_device_comparison_table(self):
+        result = run_experiment_model(FIGURE6, sizes=[1 << 23])
+        text = format_device_comparison(result)
+        assert "Tesla C1060" in text and "GTX 285" in text and "%" in text
+
+    def test_missing_series_handled(self, figure3_result):
+        assert "(no series" in format_series_table(figure3_result, "Tesla C1060",
+                                                   "zipf")

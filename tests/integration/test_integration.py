@@ -1,0 +1,150 @@
+"""Integration tests across modules: end-to-end sorts, cross-algorithm agreement,
+counter consistency between the functional simulator and the analytic model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.validation import validate_result
+from repro.baselines import make_sorter
+from repro.core.config import SampleSortConfig
+from repro.core.cpu_reference import serial_sample_sort
+from repro.core.sample_sort import SampleSorter
+from repro.datagen import FIGURE5_DISTRIBUTIONS, make_input, profile_keys
+from repro.gpu.device import GTX_285, TESLA_C1060
+from repro.gpu.errors import AlgorithmFailure, UnsupportedInputError
+from repro.perfmodel import AnalyticTimeModel, sample_sort_work
+
+ALL_ALGORITHMS = ["sample", "thrust merge", "thrust radix", "cudpp radix",
+                  "quick", "bbsort", "hybrid"]
+
+
+class TestCrossAlgorithmAgreement:
+    @pytest.mark.parametrize("distribution", ["uniform", "staggered", "dduplicates"])
+    def test_every_algorithm_produces_the_same_sorted_keys(self, distribution):
+        n = 1 << 13
+        workload32 = make_input(distribution, n, "uint32", with_values=True, seed=11)
+        workloadf = make_input(distribution, n, "float32", with_values=True, seed=11)
+        reference = np.sort(workload32.keys)
+        reference_f = np.sort(workloadf.keys)
+        for name in ALL_ALGORITHMS:
+            workload = workloadf if name == "hybrid" else workload32
+            sorter = make_sorter(
+                name, TESLA_C1060,
+                **({"config": SampleSortConfig.small()} if name == "sample" else {}),
+            )
+            try:
+                result = sorter.sort(workload.keys, workload.values)
+            except (AlgorithmFailure, UnsupportedInputError):
+                assert name == "hybrid" and distribution == "dduplicates"
+                continue
+            expected = reference_f if name == "hybrid" else reference
+            assert np.array_equal(result.keys, expected), name
+            assert validate_result(result, workload.keys, workload.values).ok, name
+
+    def test_gpu_sample_sort_agrees_with_serial_reference_on_all_distributions(self):
+        sorter = SampleSorter(config=SampleSortConfig.small())
+        for distribution in FIGURE5_DISTRIBUTIONS:
+            workload = make_input(distribution, 6000, "uint32", seed=2)
+            gpu = sorter.sort(workload.keys)
+            serial, _ = serial_sample_sort(workload.keys, k=8, small_threshold=128,
+                                           oversampling=8, seed=2)
+            assert np.array_equal(gpu.keys, serial), distribution
+
+
+class TestEndToEndPaperConfiguration:
+    def test_paper_configuration_at_moderate_scale(self, rng):
+        """Full paper parameters (k=128, t=256, ell=8, a=30) on a 2^17 input."""
+        n = 1 << 17
+        keys = rng.integers(0, 2**32, n, dtype=np.uint64).astype(np.uint32)
+        values = np.arange(n, dtype=np.uint32)
+        sorter = SampleSorter(device=TESLA_C1060,
+                              config=SampleSortConfig.paper().with_(
+                                  bucket_threshold=1 << 14))
+        result = sorter.sort(keys, values)
+        assert validate_result(result, keys, values).ok
+        assert result.stats["distribution_passes"] >= 1
+        # phase structure of Section 4 is present
+        phases = result.trace.phases()
+        assert phases[:4] == ["phase1_splitters", "phase2_histogram",
+                              "phase3_scan", "phase4_scatter"]
+        # sorting rate is in a physically sensible band for the simulated device
+        assert 5 < result.sorting_rate < 2000
+
+    def test_device_affects_predicted_time_but_not_output(self, rng):
+        keys = rng.integers(0, 2**32, 1 << 14, dtype=np.uint64).astype(np.uint32)
+        slow = SampleSorter(device=TESLA_C1060, config=SampleSortConfig.small()).sort(keys)
+        fast = SampleSorter(device=GTX_285, config=SampleSortConfig.small()).sort(keys)
+        assert np.array_equal(slow.keys, fast.keys)
+        assert fast.time_us < slow.time_us
+
+    def test_key_value_payload_survives_multiple_passes(self, rng):
+        config = SampleSortConfig.small().with_(k=4, bucket_threshold=256)
+        n = 20_000
+        keys = rng.integers(0, 1 << 20, n, dtype=np.uint64).astype(np.uint32)
+        values = np.arange(n, dtype=np.uint32)
+        result = SampleSorter(config=config).sort(keys, values)
+        assert result.stats["max_depth"] >= 2
+        assert validate_result(result, keys, values).ok
+
+
+class TestCounterConsistency:
+    """The analytic model's closed-form counts must track the simulator's counters."""
+
+    def test_sample_sort_traffic_matches_closed_form(self, rng):
+        n = 1 << 16
+        config = SampleSortConfig.paper().with_(bucket_threshold=1 << 13)
+        keys = rng.integers(0, 2**32, n, dtype=np.uint64).astype(np.uint32)
+        result = SampleSorter(config=config).sort(keys)
+        measured = result.counters()
+        estimate = sample_sort_work(n, 4, 0, profile=profile_keys(keys), config=config)
+        measured_bytes = measured.global_bytes_total
+        assert 0.4 * estimate.total_bytes <= measured_bytes <= 2.5 * estimate.total_bytes
+        assert estimate.detail["passes"] == result.stats["distribution_passes"]
+
+    def test_radix_pass_structure_matches_model(self, rng):
+        n = 1 << 14
+        keys = rng.integers(0, 2**32, n, dtype=np.uint64).astype(np.uint32)
+        result = make_sorter("thrust radix", TESLA_C1060).sort(keys)
+        from repro.perfmodel import radix_sort_work
+        estimate = radix_sort_work(n, 4)
+        assert estimate.detail["passes"] == result.stats["passes"]
+        measured_bytes = result.counters().global_bytes_total
+        assert 0.4 * estimate.total_bytes <= measured_bytes <= 2.5 * estimate.total_bytes
+
+    def test_branch_free_traversal_causes_no_divergence(self, rng):
+        """The Algorithm-2 design goal: the bucket-finding phases never diverge."""
+        n = 1 << 15
+        keys = rng.integers(0, 2**32, n, dtype=np.uint64).astype(np.uint32)
+        result = SampleSorter(config=SampleSortConfig.small()).sort(keys)
+        for phase in ("phase2_histogram", "phase4_scatter"):
+            counters = result.trace.phase_counters(phase)
+            assert counters.divergent_branches == 0
+
+    def test_functional_and_analytic_rates_within_one_order_of_magnitude(self, rng):
+        n = 1 << 16
+        keys = rng.integers(0, 2**32, n, dtype=np.uint64).astype(np.uint32)
+        functional = SampleSorter(config=SampleSortConfig.paper()).sort(keys)
+        analytic = AnalyticTimeModel(TESLA_C1060).predict(
+            "sample", n, 4, 0, profile_keys(keys))
+        ratio = functional.sorting_rate / analytic.sorting_rate
+        assert 0.1 < ratio < 10.0
+
+
+class TestFailureInjection:
+    def test_shared_memory_overflow_is_loud(self):
+        config = SampleSortConfig(k=2048)
+        sorter = SampleSorter(config=config)
+        with pytest.raises(Exception):
+            sorter.sort(np.arange(10_000, dtype=np.uint32))
+
+    def test_hybrid_dnf_is_isolated_to_hybrid(self):
+        workload = make_input("dduplicates", 1 << 16, "float32", seed=0)
+        with pytest.raises(AlgorithmFailure):
+            make_sorter("hybrid", TESLA_C1060).sort(workload.keys)
+        # every other algorithm handles the same input fine
+        result = make_sorter("bbsort", TESLA_C1060).sort(workload.keys)
+        assert np.array_equal(result.keys, np.sort(workload.keys))
+
+    def test_unsupported_dtype_errors_are_informative(self):
+        with pytest.raises(UnsupportedInputError, match="float32"):
+            make_sorter("hybrid", TESLA_C1060).sort(np.arange(10, dtype=np.uint32))

@@ -1,0 +1,219 @@
+"""Tests for the analytic performance model (operations, calibration, model, rates)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SampleSortConfig
+from repro.datagen.entropy import profile_keys
+from repro.datagen.distributions import deterministic_duplicates, uniform
+from repro.gpu.device import GTX_285, TESLA_C1060
+from repro.perfmodel import (
+    AnalyticTimeModel,
+    Calibration,
+    DEFAULT_CALIBRATION,
+    WorkEstimate,
+    WORK_FUNCTIONS,
+    algorithm_fails,
+    average_speedup,
+    canonical_profile,
+    device_pair_comparison,
+    merge_sort_work,
+    minimum_speedup,
+    quicksort_work,
+    radix_sort_work,
+    rate_series,
+    sample_sort_work,
+)
+
+
+class TestWorkEstimates:
+    def test_sample_pass_count_matches_section4(self):
+        cfg = SampleSortConfig.paper()
+        assert sample_sort_work(1 << 16, 4, config=cfg).detail["passes"] == 0
+        assert sample_sort_work(1 << 20, 4, config=cfg).detail["passes"] == 1
+        assert sample_sort_work(1 << 27, 4, config=cfg).detail["passes"] == 2
+
+    def test_merge_pass_count(self):
+        assert merge_sort_work(1 << 20, 4).detail["merge_passes"] == 12
+        assert merge_sort_work(256, 4).detail["merge_passes"] == 0
+
+    def test_radix_pass_count_doubles_for_64bit(self):
+        assert radix_sort_work(1 << 20, 4).detail["passes"] == 8
+        assert radix_sort_work(1 << 20, 8).detail["passes"] == 16
+
+    def test_quicksort_levels(self):
+        assert quicksort_work(1 << 20, 4).detail["levels"] == 10
+        assert quicksort_work(512, 4).detail["levels"] == 0
+
+    def test_zero_n_is_empty_work(self):
+        for fn in WORK_FUNCTIONS.values():
+            est = fn(0, 4)
+            assert est.total_bytes == 0
+            assert est.instructions == 0
+
+    def test_work_scales_roughly_linearly_with_n(self):
+        small = sample_sort_work(1 << 20, 4)
+        large = sample_sort_work(1 << 21, 4)
+        # one extra in-bucket partition level appears when the expected leaf
+        # bucket doubles, so the growth is slightly super-linear but bounded
+        assert 2 * small.total_bytes <= large.total_bytes <= 2.6 * small.total_bytes
+
+    def test_key_value_records_move_more_bytes(self):
+        keys_only = sample_sort_work(1 << 20, 4, 0)
+        key_value = sample_sort_work(1 << 20, 4, 4)
+        assert key_value.total_bytes > keys_only.total_bytes
+
+    def test_low_entropy_profile_reduces_sample_work(self):
+        uniform_prof = profile_keys(uniform(1 << 15, seed=0))
+        dup_prof = profile_keys(deterministic_duplicates(1 << 15, seed=0))
+        busy = sample_sort_work(1 << 22, 4, profile=uniform_prof)
+        lazy = sample_sort_work(1 << 22, 4, profile=dup_prof)
+        assert lazy.total_bytes < busy.total_bytes
+
+    def test_merge_sort_two_way_traffic_exceeds_sample(self):
+        """The Section-4 asymptotics: O(n log(n/256)) vs O(n log_k(n/M)) traffic."""
+        n = 1 << 26
+        assert (merge_sort_work(n, 4, 4).bytes_streamed
+                > 2 * sample_sort_work(n, 4, 4).bytes_streamed)
+
+    def test_work_estimate_add(self):
+        a = WorkEstimate(bytes_streamed=10, instructions=5, kernel_launches=1)
+        b = WorkEstimate(bytes_streamed=3, bytes_scattered=2, detail={"x": 1})
+        a.add(b)
+        assert a.bytes_streamed == 13
+        assert a.bytes_scattered == 2
+        assert a.detail["x"] == 1
+
+
+class TestCalibration:
+    def test_defaults_are_shared_and_frozen(self):
+        assert DEFAULT_CALIBRATION.effective_bandwidth_fraction < 1.0
+        with pytest.raises(Exception):
+            DEFAULT_CALIBRATION.effective_bandwidth_fraction = 1.0  # type: ignore
+
+    def test_with_creates_variant(self):
+        variant = DEFAULT_CALIBRATION.with_(scatter_inflation=8.0)
+        assert variant.scatter_inflation == 8.0
+        assert DEFAULT_CALIBRATION.scatter_inflation != 8.0
+
+
+class TestAnalyticModel:
+    @pytest.fixture
+    def model(self):
+        return AnalyticTimeModel(TESLA_C1060)
+
+    def test_prediction_fields(self, model):
+        pred = model.predict("sample", 1 << 22, 4, 4)
+        assert pred.total_us > 0
+        assert pred.sorting_rate == pytest.approx((1 << 22) / pred.total_us)
+        assert pred.bound in ("memory", "compute")
+        assert 0 < pred.utilisation <= 1
+
+    def test_unknown_algorithm(self, model):
+        with pytest.raises(KeyError):
+            model.predict("timsort", 1000, 4)
+
+    def test_time_increases_with_n(self, model):
+        times = [model.predict("sample", n, 4).total_us for n in (1 << 20, 1 << 22, 1 << 24)]
+        assert times[0] < times[1] < times[2]
+
+    def test_rate_rises_then_flattens(self, model):
+        rates = [model.predict("sample", 1 << e, 4).sorting_rate for e in range(17, 28)]
+        assert rates[0] < rates[4]
+        assert rates[-1] == pytest.approx(rates[-2], rel=0.15)
+
+    def test_more_bandwidth_never_hurts(self):
+        base = AnalyticTimeModel(TESLA_C1060)
+        fat = AnalyticTimeModel(TESLA_C1060.with_(mem_bandwidth_gb_s=200.0))
+        for algorithm in WORK_FUNCTIONS:
+            key_bytes = 4
+            assert (fat.predict(algorithm, 1 << 23, key_bytes).total_us
+                    <= base.predict(algorithm, 1 << 23, key_bytes).total_us + 1e-9)
+
+    # ------------------------------------------------------- paper orderings
+    def test_headline_ordering_32bit_key_value(self, model):
+        """Figure 3: radix > sample > merge on uniform 32-bit key-value pairs."""
+        n = 1 << 23
+        prof = canonical_profile("uniform", n)
+        radix = model.predict("cudpp radix", n, 4, 4, prof).sorting_rate
+        sample = model.predict("sample", n, 4, 4, prof).sorting_rate
+        merge = model.predict("thrust merge", n, 4, 4, prof).sorting_rate
+        assert radix > sample > merge
+        assert 1.25 <= sample / merge  # "at least 25% faster"
+
+    def test_headline_ordering_64bit(self, model):
+        """Figure 4: sample sort beats Thrust radix on 64-bit keys by >= 1.63x."""
+        n = 1 << 23
+        prof = canonical_profile("uniform", n, is_64bit=True)
+        sample = model.predict("sample", n, 8, 0, prof).sorting_rate
+        radix = model.predict("thrust radix", n, 8, 0, prof).sorting_rate
+        assert sample / radix >= 1.63
+
+    def test_sample_beats_quicksort_by_a_lot(self, model):
+        n = 1 << 23
+        prof = canonical_profile("uniform", n)
+        sample = model.predict("sample", n, 4, 0, prof).sorting_rate
+        quick = model.predict("quick", n, 4, 0, prof).sorting_rate
+        assert sample / quick >= 1.5
+
+    def test_sample_beats_radix_on_low_entropy(self, model):
+        """Figure 3/5: on DeterministicDuplicates even 32-bit radix loses."""
+        n = 1 << 23
+        prof = canonical_profile("dduplicates", n)
+        sample = model.predict("sample", n, 4, 0, prof).sorting_rate
+        radix = model.predict("cudpp radix", n, 4, 0, prof).sorting_rate
+        assert sample > radix
+
+    def test_bbsort_collapses_on_duplicates(self, model):
+        n = 1 << 23
+        uni = model.predict("bbsort", n, 4, 0, canonical_profile("uniform", n)).sorting_rate
+        dup = model.predict("bbsort", n, 4, 0, canonical_profile("dduplicates", n)).sorting_rate
+        assert dup < 0.4 * uni
+
+    def test_figure6_radix_gains_more_from_bandwidth(self):
+        """Radix sorts are more bandwidth-bound; merge/sample more compute-bound."""
+        n = 1 << 23
+        improvements = {}
+        for algorithm in ("cudpp radix", "thrust radix", "sample", "thrust merge"):
+            comparison = device_pair_comparison(algorithm, n, 4, 4,
+                                                canonical_profile("uniform", n))
+            improvements[algorithm] = comparison["improvement"]
+            assert comparison["improvement"] > 0
+        assert improvements["cudpp radix"] > improvements["sample"]
+        assert improvements["thrust radix"] > improvements["thrust merge"]
+
+    def test_sample_robustness_across_distributions(self, model):
+        """The robustness claim: sample sort's rate varies little across inputs."""
+        n = 1 << 23
+        rates = [
+            model.predict("sample", n, 4, 0, canonical_profile(d, n)).sorting_rate
+            for d in ("uniform", "gaussian", "sorted", "staggered", "bucket")
+        ]
+        assert min(rates) / max(rates) > 0.7
+
+
+class TestRateSeries:
+    def test_series_structure(self):
+        points = rate_series("sample", [1 << 18, 1 << 20], "uniform", "uint32")
+        assert len(points) == 2
+        assert points[0].n == 1 << 18
+        assert points[1].rate > 0
+
+    def test_hybrid_dnf_on_integer_keys_and_duplicates(self):
+        assert algorithm_fails("hybrid", "uniform", "uint32", None, 1 << 20)
+        assert algorithm_fails("hybrid", "dduplicates", "float32", None, 1 << 20)
+        assert not algorithm_fails("hybrid", "uniform", "float32", None, 1 << 20)
+        assert algorithm_fails("cudpp radix", "uniform", "uint64", None, 1 << 20)
+        points = rate_series("hybrid", [1 << 20], "uniform", "uint32")
+        assert points[0].failed and np.isnan(points[0].rate)
+
+    def test_speedup_helpers(self):
+        assert average_speedup([2.0, 4.0], [1.0, 2.0]) == pytest.approx(2.0)
+        assert minimum_speedup([2.0, 3.0], [1.0, 2.0]) == pytest.approx(1.5)
+        assert np.isnan(average_speedup([], []))
+
+    def test_canonical_profile_dduplicates_tracks_log_n(self):
+        small = canonical_profile("dduplicates", 1 << 18)
+        large = canonical_profile("dduplicates", 1 << 26)
+        assert small.distinct_keys < large.distinct_keys <= 40
+        assert small.duplicate_mass > 0.8

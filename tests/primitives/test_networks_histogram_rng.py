@@ -1,0 +1,198 @@
+"""Tests for sorting networks, the shared-memory histogram and the sampling RNG."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.counters import KernelCounters
+from repro.primitives.histogram import block_histogram, histogram_host
+from repro.primitives.rng import LCG_A, LCG_C, GpuLcg, host_twister, sample_indices
+from repro.primitives.sorting_networks import (
+    bitonic_network_pairs,
+    bitonic_sort,
+    comparator_count,
+    estimate_network_cost,
+    odd_even_merge_network_pairs,
+    odd_even_merge_sort,
+)
+
+
+class TestNetworkStructure:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 64, 256])
+    def test_odd_even_pairs_are_valid(self, n):
+        for lo, hi in odd_even_merge_network_pairs(n):
+            assert np.all(lo >= 0) and np.all(hi < n)
+            assert np.all(lo != hi)
+            # within one stage every index appears at most once
+            used = np.concatenate([lo, hi])
+            assert np.unique(used).size == used.size
+
+    def test_networks_require_power_of_two(self):
+        with pytest.raises(ValueError):
+            odd_even_merge_network_pairs(12)
+        with pytest.raises(ValueError):
+            bitonic_network_pairs(12)
+
+    def test_comparator_count_order_of_magnitude(self):
+        # Theta(n log^2 n): for n=256 roughly n/4 * log^2 comparators
+        count = comparator_count(256, "odd_even")
+        assert 256 * 4 < count < 256 * 40
+        assert comparator_count(1) == 0
+
+    def test_estimate_close_to_exact(self):
+        for n in (64, 256, 1024):
+            exact = comparator_count(n, "odd_even")
+            estimate = estimate_network_cost(n).comparators
+            assert 0.4 * estimate <= exact <= 1.6 * estimate
+
+
+class TestNetworkSorting:
+    @pytest.mark.parametrize("kind", ["odd_even", "bitonic"])
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 17, 64, 100, 255, 256, 1000])
+    def test_sorts_random_inputs(self, rng, kind, n):
+        sorter = odd_even_merge_sort if kind == "odd_even" else bitonic_sort
+        keys = rng.integers(0, 50, n).astype(np.uint32)
+        sorted_keys, _, stats = sorter(keys)
+        assert np.array_equal(sorted_keys, np.sort(keys))
+        assert stats.n == n
+
+    def test_sorts_with_payload(self, rng):
+        keys = rng.integers(0, 100, 300).astype(np.uint32)
+        values = np.arange(300, dtype=np.uint32)
+        sorted_keys, sorted_values, _ = odd_even_merge_sort(keys, values)
+        assert np.array_equal(sorted_keys, np.sort(keys))
+        assert np.array_equal(keys[sorted_values], sorted_keys)
+
+    def test_payload_length_mismatch(self):
+        with pytest.raises(ValueError):
+            odd_even_merge_sort(np.arange(4), np.arange(3))
+
+    def test_float_keys(self, rng):
+        keys = rng.random(200).astype(np.float32)
+        sorted_keys, _, _ = bitonic_sort(keys)
+        assert np.array_equal(sorted_keys, np.sort(keys))
+
+    def test_64bit_keys(self, rng):
+        keys = rng.integers(0, 2**63, 128, dtype=np.uint64)
+        sorted_keys, _, _ = odd_even_merge_sort(keys)
+        assert np.array_equal(sorted_keys, np.sort(keys))
+
+    def test_already_sorted_and_reverse(self):
+        keys = np.arange(100, dtype=np.uint32)
+        assert np.array_equal(odd_even_merge_sort(keys)[0], keys)
+        assert np.array_equal(odd_even_merge_sort(keys[::-1].copy())[0], keys)
+
+    def test_all_equal(self):
+        keys = np.full(77, 3, dtype=np.uint32)
+        assert np.array_equal(odd_even_merge_sort(keys)[0], keys)
+
+    def test_context_accounting(self, block_context):
+        keys = np.arange(64, dtype=np.uint32)[::-1].copy()
+        odd_even_merge_sort(keys, ctx=block_context)
+        assert block_context.counters.instructions > 0
+        assert block_context.counters.barriers > 0
+        assert block_context.counters.shared_bytes_accessed > 0
+
+    def test_odd_even_cheaper_than_bitonic(self):
+        """The paper picked odd-even merge sort over bitonic for a reason."""
+        assert comparator_count(2048, "odd_even") < comparator_count(2048, "bitonic")
+
+
+class TestBlockHistogram:
+    def test_matches_host_histogram(self, block_context, rng):
+        buckets = rng.integers(0, 16, 512)
+        counts = block_histogram(block_context, buckets, 16, counter_groups=8)
+        assert np.array_equal(counts, histogram_host(buckets, 16))
+
+    @pytest.mark.parametrize("groups", [1, 2, 4, 8, 16])
+    def test_counter_groups_do_not_change_result(self, block_context, rng, groups):
+        buckets = rng.integers(0, 32, 300)
+        counts = block_histogram(block_context, buckets, 32, counter_groups=groups)
+        assert np.array_equal(counts, histogram_host(buckets, 32))
+
+    def test_more_groups_fewer_conflicts(self, device, rng):
+        """The ablation the paper describes: 8 counter arrays reduce contention."""
+        from repro.gpu.block import BlockContext
+        from repro.gpu.grid import LaunchConfig
+        from repro.gpu.kernel import KernelLauncher
+
+        buckets = np.zeros(1024, dtype=np.int64)  # worst case: one hot bucket
+
+        def conflicts(groups):
+            ctx = BlockContext(device, KernelLauncher(device).gmem,
+                               LaunchConfig(grid_dim=1, block_dim=256),
+                               0, KernelCounters(), 1024)
+            block_histogram(ctx, buckets, 16, counter_groups=groups)
+            return ctx.counters.atomic_conflicts
+
+        assert conflicts(8) < conflicts(1)
+
+    def test_invalid_arguments(self, block_context):
+        with pytest.raises(ValueError):
+            block_histogram(block_context, np.array([0]), 0)
+        with pytest.raises(ValueError):
+            block_histogram(block_context, np.array([0]), 4, counter_groups=0)
+        with pytest.raises(ValueError):
+            block_histogram(block_context, np.array([5]), 4)
+
+    def test_no_atomics_fallback(self, rng):
+        from repro.gpu.block import BlockContext
+        from repro.gpu.device import TESLA_C1060
+        from repro.gpu.grid import LaunchConfig
+        from repro.gpu.kernel import KernelLauncher
+
+        device = TESLA_C1060.with_(supports_shared_atomics=False)
+        ctx = BlockContext(device, KernelLauncher(device).gmem,
+                           LaunchConfig(grid_dim=1, block_dim=64),
+                           0, KernelCounters(), 256)
+        buckets = rng.integers(0, 8, 256)
+        counts = block_histogram(ctx, buckets, 8, counter_groups=4)
+        assert np.array_equal(counts, histogram_host(buckets, 8))
+        assert ctx.counters.atomic_operations == 0
+
+
+class TestRng:
+    def test_lcg_constants(self):
+        assert int(LCG_A) == 1664525
+        assert int(LCG_C) == 1013904223
+
+    def test_streams_are_deterministic_given_seed(self):
+        a = GpuLcg(16, seed=7).next_uint32()
+        b = GpuLcg(16, seed=7).next_uint32()
+        assert np.array_equal(a, b)
+
+    def test_streams_differ_across_seeds(self):
+        a = GpuLcg(16, seed=1).next_uint32()
+        b = GpuLcg(16, seed=2).next_uint32()
+        assert not np.array_equal(a, b)
+
+    def test_next_below_in_range(self):
+        lcg = GpuLcg(1000, seed=3)
+        draws = lcg.next_below(37)
+        assert draws.min() >= 0
+        assert draws.max() < 37
+
+    def test_uniform_unit_interval(self):
+        lcg = GpuLcg(10_000, seed=4)
+        u = lcg.uniform()
+        assert 0 <= u.min() and u.max() < 1
+        assert abs(u.mean() - 0.5) < 0.02
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            GpuLcg(0)
+        with pytest.raises(ValueError):
+            GpuLcg(4).next_below(0)
+        with pytest.raises(ValueError):
+            sample_indices(0, 10)
+        with pytest.raises(ValueError):
+            sample_indices(10, 0)
+
+    def test_sample_indices_cover_range_roughly_uniformly(self):
+        idx = sample_indices(1000, 50_000, seed=5)
+        assert idx.min() >= 0 and idx.max() < 1000
+        counts = np.bincount(idx, minlength=1000)
+        # with 50 expected hits per position, no position should be empty
+        assert counts.min() > 0
+
+    def test_host_twister_reproducible(self):
+        assert host_twister(1).integers(0, 100) == host_twister(1).integers(0, 100)

@@ -1,0 +1,212 @@
+"""Tests for scan, segmented scan, reduction and compaction primitives."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import TESLA_C1060
+from repro.gpu.kernel import KernelLauncher
+from repro.primitives.compact import compact_host, device_compact
+from repro.primitives.reduce import block_reduce, device_reduce
+from repro.primitives.scan import (
+    block_exclusive_scan,
+    block_inclusive_scan,
+    device_exclusive_scan,
+    exclusive_scan_host,
+    inclusive_scan_host,
+)
+from repro.primitives.segmented_scan import (
+    block_segmented_scan,
+    segment_heads_from_offsets,
+    segmented_exclusive_scan_host,
+    segmented_inclusive_scan_host,
+)
+
+
+@pytest.fixture
+def launcher():
+    return KernelLauncher(TESLA_C1060)
+
+
+class TestHostScans:
+    def test_exclusive_scan_simple(self):
+        out = exclusive_scan_host(np.array([3, 1, 4, 1, 5]))
+        assert list(out) == [0, 3, 4, 8, 9]
+
+    def test_inclusive_scan_simple(self):
+        out = inclusive_scan_host(np.array([3, 1, 4, 1, 5]))
+        assert list(out) == [3, 4, 8, 9, 14]
+
+    def test_exclusive_scan_empty_and_single(self):
+        assert exclusive_scan_host(np.array([], dtype=np.int64)).size == 0
+        assert list(exclusive_scan_host(np.array([7]))) == [0]
+
+    def test_scan_relationship(self, rng):
+        values = rng.integers(0, 100, 257)
+        assert np.array_equal(
+            inclusive_scan_host(values), exclusive_scan_host(values) + values
+        )
+
+
+class TestBlockScans:
+    def test_block_exclusive_scan_matches_host(self, block_context, rng):
+        values = rng.integers(0, 50, 200).astype(np.int64)
+        scanned, total = block_exclusive_scan(block_context, values)
+        assert np.array_equal(scanned, exclusive_scan_host(values))
+        assert total == values.sum()
+        assert block_context.counters.instructions > 0
+        assert block_context.counters.barriers >= 1
+
+    def test_block_inclusive_scan(self, block_context):
+        values = np.array([1, 2, 3], dtype=np.int64)
+        scanned, total = block_inclusive_scan(block_context, values)
+        assert list(scanned) == [1, 3, 6]
+        assert total == 6
+
+    def test_block_scan_empty(self, block_context):
+        scanned, total = block_exclusive_scan(block_context, np.array([], dtype=np.int64))
+        assert scanned.size == 0
+        assert total == 0
+
+
+class TestDeviceScan:
+    @pytest.mark.parametrize("n", [1, 5, 1023, 1024, 1025, 10_000, 70_000])
+    def test_matches_host_reference(self, launcher, rng, n):
+        values = rng.integers(0, 1000, n).astype(np.int64)
+        src = launcher.gmem.from_host(values)
+        out = device_exclusive_scan(launcher, src, n)
+        assert np.array_equal(out.data[:n], exclusive_scan_host(values))
+
+    def test_multi_level_scan_launches_multiple_kernels(self, launcher, rng):
+        n = 50_000
+        values = rng.integers(0, 10, n).astype(np.int64)
+        src = launcher.gmem.from_host(values)
+        device_exclusive_scan(launcher, src, n)
+        assert launcher.trace.kernel_count >= 3
+        assert all(r.phase == "scan" for r in launcher.trace.records)
+
+    def test_zero_length(self, launcher):
+        src = launcher.gmem.alloc(4, np.int64)
+        out = device_exclusive_scan(launcher, src, 0)
+        assert out.size >= 0
+
+
+class TestSegmentedScan:
+    def test_inclusive_restarts_at_heads(self):
+        values = np.array([1, 2, 3, 4, 5, 6])
+        heads = np.array([True, False, False, True, False, False])
+        out = segmented_inclusive_scan_host(values, heads)
+        assert list(out) == [1, 3, 6, 4, 9, 15]
+
+    def test_exclusive_variant(self):
+        values = np.array([1, 2, 3, 4])
+        heads = np.array([True, False, True, False])
+        out = segmented_exclusive_scan_host(values, heads)
+        assert list(out) == [0, 1, 0, 3]
+
+    def test_no_heads_behaves_like_plain_scan(self, rng):
+        values = rng.integers(0, 9, 64)
+        heads = np.zeros(64, dtype=bool)
+        heads[0] = True
+        assert np.array_equal(segmented_inclusive_scan_host(values, heads),
+                              inclusive_scan_host(values))
+
+    def test_every_position_a_head(self, rng):
+        values = rng.integers(0, 9, 32)
+        heads = np.ones(32, dtype=bool)
+        assert np.array_equal(segmented_inclusive_scan_host(values, heads), values)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            segmented_inclusive_scan_host(np.arange(4), np.array([True]))
+
+    def test_block_segmented_scan_costs_more_than_plain(self, device):
+        from repro.gpu.block import BlockContext
+        from repro.gpu.counters import KernelCounters
+        from repro.gpu.grid import LaunchConfig
+        from repro.gpu.kernel import KernelLauncher
+
+        values = np.arange(512, dtype=np.int64)
+        heads = np.zeros(512, dtype=bool)
+        heads[::64] = True
+
+        def fresh_ctx():
+            return BlockContext(device, KernelLauncher(device).gmem,
+                                LaunchConfig(grid_dim=1, block_dim=64),
+                                0, KernelCounters(), 512)
+
+        plain_ctx = fresh_ctx()
+        block_exclusive_scan(plain_ctx, values)
+        seg_ctx = fresh_ctx()
+        out = block_segmented_scan(seg_ctx, values, heads)
+        assert np.array_equal(out, segmented_exclusive_scan_host(values, heads))
+        # the paper's point about scan-based quicksort: segmented scan is the
+        # more expensive primitive
+        assert seg_ctx.counters.instructions > plain_ctx.counters.instructions
+
+    def test_segment_heads_from_offsets(self):
+        heads = segment_heads_from_offsets(np.array([0, 4, 9]), 12)
+        assert heads[0] and heads[4] and heads[9]
+        assert heads.sum() == 3
+
+
+class TestReduce:
+    def test_block_reduce_ops(self, block_context, rng):
+        values = rng.integers(0, 1000, 333)
+        assert block_reduce(block_context, values, "sum") == values.sum()
+        assert block_reduce(block_context, values, "min") == values.min()
+        assert block_reduce(block_context, values, "max") == values.max()
+
+    def test_block_reduce_unknown_op(self, block_context):
+        with pytest.raises(ValueError, match="unsupported"):
+            block_reduce(block_context, np.arange(4), "median")
+
+    @pytest.mark.parametrize("n", [1, 100, 5000, 40_000])
+    @pytest.mark.parametrize("op", ["sum", "min", "max"])
+    def test_device_reduce_matches_numpy(self, launcher, rng, n, op):
+        values = rng.integers(-500, 500, n).astype(np.int64)
+        src = launcher.gmem.from_host(values)
+        result = device_reduce(launcher, src, n, op=op)
+        expected = {"sum": values.sum(), "min": values.min(), "max": values.max()}[op]
+        assert result == expected
+
+    def test_device_reduce_float(self, launcher, rng):
+        values = rng.random(5000)
+        src = launcher.gmem.from_host(values)
+        assert device_reduce(launcher, src, op="sum") == pytest.approx(values.sum())
+
+    def test_device_reduce_empty_rejected(self, launcher):
+        src = launcher.gmem.alloc(1, np.int64)
+        with pytest.raises(ValueError):
+            device_reduce(launcher, src, 0)
+
+
+class TestCompact:
+    def test_compact_host(self):
+        values = np.array([5, 2, 8, 1, 9])
+        out = compact_host(values, values > 4)
+        assert list(out) == [5, 8, 9]
+
+    def test_compact_host_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            compact_host(np.arange(4), np.array([True, False]))
+
+    @pytest.mark.parametrize("n", [1, 37, 4096, 20_000])
+    def test_device_compact_matches_host(self, launcher, rng, n):
+        values = rng.integers(0, 100, n).astype(np.int64)
+        src = launcher.gmem.from_host(values)
+        out, kept = device_compact(launcher, src, lambda x: x % 3 == 0, n)
+        expected = compact_host(values, values % 3 == 0)
+        assert kept == expected.size
+        assert np.array_equal(out.data[:kept], expected)
+
+    def test_device_compact_nothing_kept(self, launcher):
+        src = launcher.gmem.from_host(np.arange(100, dtype=np.int64))
+        out, kept = device_compact(launcher, src, lambda x: x < 0)
+        assert kept == 0
+
+    def test_device_compact_everything_kept_preserves_order(self, launcher, rng):
+        values = rng.integers(0, 100, 3000).astype(np.int64)
+        src = launcher.gmem.from_host(values)
+        out, kept = device_compact(launcher, src, lambda x: np.ones(x.shape, bool))
+        assert kept == values.size
+        assert np.array_equal(out.data[:kept], values)

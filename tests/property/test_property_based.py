@@ -1,0 +1,208 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These complement the example-based tests with randomised coverage of the
+fundamental contracts: every sorter produces a sorted permutation with values
+following keys, the search-tree traversal is exactly ``searchsorted``, scans
+and histograms are consistent, and the analytic model behaves monotonically.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.analysis.validation import validate_result
+from repro.baselines import (
+    BbSorter,
+    GpuQuicksortSorter,
+    RadixSorter,
+    ThrustMergeSorter,
+)
+from repro.core.config import SampleSortConfig
+from repro.core.sample_sort import SampleSorter
+from repro.core.scatter_kernel import local_bucket_ranks
+from repro.core.search_tree import build_search_tree, make_splitter_set, traverse
+from repro.perfmodel import AnalyticTimeModel, sample_sort_work
+from repro.primitives.scan import exclusive_scan_host
+from repro.primitives.segmented_scan import segmented_inclusive_scan_host
+from repro.primitives.sorting_networks import bitonic_sort, odd_even_merge_sort
+
+SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+key_arrays = hnp.arrays(
+    dtype=np.uint32,
+    shape=st.integers(min_value=0, max_value=3000),
+    elements=st.integers(min_value=0, max_value=2**32 - 1),
+)
+
+small_key_arrays = hnp.arrays(
+    dtype=np.uint32,
+    shape=st.integers(min_value=0, max_value=600),
+    elements=st.integers(min_value=0, max_value=40),  # many duplicates
+)
+
+
+class TestSorterInvariants:
+    @settings(**SETTINGS)
+    @given(keys=key_arrays)
+    def test_sample_sort_produces_sorted_permutation(self, keys):
+        sorter = SampleSorter(config=SampleSortConfig.small())
+        values = np.arange(keys.size, dtype=np.uint32)
+        result = sorter.sort(keys, values)
+        assert validate_result(result, keys, values).ok
+
+    @settings(**SETTINGS)
+    @given(keys=small_key_arrays)
+    def test_sample_sort_duplicate_heavy_inputs(self, keys):
+        sorter = SampleSorter(config=SampleSortConfig.small().with_(
+            bucket_threshold=64, k=4))
+        result = sorter.sort(keys)
+        assert np.array_equal(result.keys, np.sort(keys))
+
+    @settings(**SETTINGS)
+    @given(keys=key_arrays)
+    def test_merge_sort_invariants(self, keys):
+        result = ThrustMergeSorter().sort(keys)
+        assert np.array_equal(result.keys, np.sort(keys))
+
+    @settings(**SETTINGS)
+    @given(keys=key_arrays)
+    def test_radix_sort_invariants(self, keys):
+        result = RadixSorter(variant="cudpp").sort(keys)
+        assert np.array_equal(result.keys, np.sort(keys))
+
+    @settings(**SETTINGS)
+    @given(keys=small_key_arrays)
+    def test_quicksort_invariants(self, keys):
+        result = GpuQuicksortSorter(cutoff=64).sort(keys)
+        assert np.array_equal(result.keys, np.sort(keys))
+
+    @settings(**SETTINGS)
+    @given(keys=key_arrays)
+    def test_bbsort_invariants(self, keys):
+        result = BbSorter().sort(keys)
+        assert np.array_equal(result.keys, np.sort(keys))
+
+
+class TestPrimitiveInvariants:
+    @settings(**SETTINGS)
+    @given(keys=hnp.arrays(dtype=np.uint32,
+                           shape=st.integers(min_value=0, max_value=500),
+                           elements=st.integers(min_value=0, max_value=1000)))
+    def test_networks_agree_with_numpy(self, keys):
+        assert np.array_equal(odd_even_merge_sort(keys)[0], np.sort(keys))
+        assert np.array_equal(bitonic_sort(keys)[0], np.sort(keys))
+
+    @settings(**SETTINGS)
+    @given(values=hnp.arrays(dtype=np.int64,
+                             shape=st.integers(min_value=0, max_value=800),
+                             elements=st.integers(min_value=-100, max_value=100)))
+    def test_exclusive_scan_properties(self, values):
+        scanned = exclusive_scan_host(values)
+        assert scanned.shape == values.shape
+        if values.size:
+            assert scanned[0] == 0
+            assert np.array_equal(np.diff(scanned), values[:-1])
+
+    @settings(**SETTINGS)
+    @given(values=hnp.arrays(dtype=np.int64,
+                             shape=st.integers(min_value=1, max_value=400),
+                             elements=st.integers(min_value=0, max_value=50)),
+           data=st.data())
+    def test_segmented_scan_equals_per_segment_cumsum(self, values, data):
+        heads = np.zeros(values.size, dtype=bool)
+        heads[0] = True
+        extra = data.draw(st.lists(st.integers(0, values.size - 1), max_size=10))
+        heads[np.array(extra, dtype=np.int64)] = True if extra else heads[0]
+        out = segmented_inclusive_scan_host(values, heads)
+        # reference: restart a cumulative sum at every head
+        expected = np.empty_like(values)
+        running = 0
+        for index, (value, head) in enumerate(zip(values, heads)):
+            running = value if head else running + value
+            expected[index] = running
+        assert np.array_equal(out, expected)
+
+    @settings(**SETTINGS)
+    @given(buckets=hnp.arrays(dtype=np.int64,
+                              shape=st.integers(min_value=0, max_value=500),
+                              elements=st.integers(min_value=0, max_value=15)))
+    def test_local_bucket_ranks_are_dense_per_bucket(self, buckets):
+        ranks = local_bucket_ranks(buckets)
+        for bucket in np.unique(buckets):
+            bucket_ranks = np.sort(ranks[buckets == bucket])
+            assert np.array_equal(bucket_ranks, np.arange(bucket_ranks.size))
+
+
+class TestSearchTreeInvariants:
+    @settings(**SETTINGS)
+    @given(data=st.data())
+    def test_traversal_equals_searchsorted(self, data):
+        k = data.draw(st.sampled_from([2, 4, 8, 16, 32, 64]))
+        splitters = np.sort(np.array(
+            data.draw(st.lists(st.integers(0, 1000), min_size=k - 1, max_size=k - 1)),
+            dtype=np.uint32,
+        ))
+        keys = np.array(
+            data.draw(st.lists(st.integers(0, 1100), min_size=0, max_size=500)),
+            dtype=np.uint32,
+        )
+        bt = build_search_tree(splitters)
+        assert np.array_equal(traverse(bt, keys),
+                              np.searchsorted(splitters, keys, side="left"))
+
+    @settings(**SETTINGS)
+    @given(data=st.data())
+    def test_bucket_assignment_is_order_consistent(self, data):
+        k = data.draw(st.sampled_from([4, 8, 16]))
+        splitters = np.sort(np.array(
+            data.draw(st.lists(st.integers(0, 30), min_size=k - 1, max_size=k - 1)),
+            dtype=np.uint32,
+        ))
+        keys = np.array(
+            data.draw(st.lists(st.integers(0, 35), min_size=2, max_size=300)),
+            dtype=np.uint32,
+        )
+        ss = make_splitter_set(splitters, k)
+        buckets = ss.bucket_of(keys)
+        # bucket ids must be monotone with respect to key order
+        order = np.argsort(keys, kind="stable")
+        assert np.all(np.diff(buckets[order]) >= 0)
+        # equality buckets contain exactly one distinct key
+        for b in np.unique(buckets[buckets % 2 == 1]):
+            assert np.unique(keys[buckets == b]).size == 1
+
+
+class TestModelInvariants:
+    @settings(**SETTINGS)
+    @given(exponent=st.integers(min_value=14, max_value=27),
+           key_bytes=st.sampled_from([4, 8]),
+           value_bytes=st.sampled_from([0, 4]))
+    def test_predicted_time_positive_and_monotone_in_n(self, exponent, key_bytes,
+                                                       value_bytes):
+        model = AnalyticTimeModel()
+        smaller = model.predict("sample", 1 << exponent, key_bytes, value_bytes)
+        larger = model.predict("sample", 1 << (exponent + 1), key_bytes, value_bytes)
+        assert smaller.total_us > 0
+        assert larger.total_us > smaller.total_us
+
+    @settings(**SETTINGS)
+    @given(exponent=st.integers(min_value=16, max_value=26))
+    def test_work_counts_nonnegative_and_roughly_monotone(self, exponent):
+        small = sample_sort_work(1 << exponent, 4, 4)
+        large = sample_sort_work(1 << (exponent + 1), 4, 4)
+        assert small.total_bytes >= 0 and small.instructions >= 0
+        # doubling n never *reduces* the counted work by more than the
+        # in-bucket savings at a pass-count transition (an extra k-way pass
+        # shrinks the leaf buckets, so per-element bucket-sort work drops)
+        assert large.total_bytes >= 0.6 * small.total_bytes
+        assert large.instructions >= 0.6 * small.instructions
+        # per-element work stays within a bounded band across the doubling
+        # (the band is widest around the M threshold, where the first k-way pass
+        # replaces most of the in-bucket quicksort levels)
+        assert large.total_bytes <= 3.0 * small.total_bytes
