@@ -1,0 +1,140 @@
+"""A2 — Level-batched vs per-segment distribution engine.
+
+The paper's CUDA implementation launches each distribution phase once per
+recursion *level*; the historical simulator scheduling launched one set of
+phase kernels per *segment*. This benchmark runs the same workload through
+both execution modes and records
+
+* host wall-clock time of the functional simulation (the Python overhead the
+  batching removes),
+* kernel-launch counts, total and per phase (O(levels) vs O(segments)),
+* the predicted device time (identical work => near-identical prediction).
+
+Results are archived in ``BENCH_engine.json`` at the repository root so the
+performance trajectory of the engine is tracked from PR to PR.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import print_block
+from repro.core.config import SampleSortConfig
+from repro.core.sample_sort import SampleSorter
+from repro.datagen import make_input
+from repro.gpu.device import TESLA_C1060
+from repro.harness.report import format_launch_summary
+
+N = 1 << 17
+#: k=8 / M=256 drives a 3-level recursion with hundreds of segments — the
+#: regime where one-launch-per-segment scheduling pays the most overhead.
+BASE_CONFIG = SampleSortConfig.paper().with_(
+    k=8, oversampling=8, bucket_threshold=256, seed=7
+)
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def _run_mode(mode, workload):
+    sorter = SampleSorter(
+        device=TESLA_C1060, config=BASE_CONFIG.with_(execution_mode=mode)
+    )
+    start = time.perf_counter()
+    result = sorter.sort(workload.keys.copy(), workload.values.copy())
+    wall_s = time.perf_counter() - start
+    return result, wall_s
+
+
+def test_bench_engine_execution_modes(benchmark):
+    workload = make_input("uniform", N, "uint32", with_values=True, seed=21)
+
+    def run():
+        return {mode: _run_mode(mode, workload)
+                for mode in ("per_segment", "level_batched")}
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    per_segment, seg_wall = outcome["per_segment"]
+    batched, batch_wall = outcome["level_batched"]
+
+    # both modes really sorted, identically
+    assert np.array_equal(batched.keys, np.sort(workload.keys))
+    assert per_segment.keys.tobytes() == batched.keys.tobytes()
+    assert per_segment.values.tobytes() == batched.values.tobytes()
+
+    # the launch structure is the point: O(levels) vs O(segments)
+    levels = batched.stats["levels"]
+    segments = batched.stats["segments_distributed"]
+    assert batched.stats["launches_by_phase"]["phase2_histogram"] == levels
+    assert per_segment.stats["launches_by_phase"]["phase2_histogram"] == segments
+    assert batched.stats["kernel_launches"] < per_segment.stats["kernel_launches"]
+
+    record = {
+        "benchmark": "engine_execution_modes",
+        "n": N,
+        "key_type": "uint32+values",
+        "distribution": "uniform",
+        "config": {"k": BASE_CONFIG.k, "bucket_threshold": BASE_CONFIG.bucket_threshold,
+                   "oversampling": BASE_CONFIG.oversampling, "seed": BASE_CONFIG.seed},
+        "levels": levels,
+        "segments_distributed": segments,
+        "modes": {},
+    }
+    for mode, (result, wall_s) in outcome.items():
+        record["modes"][mode] = {
+            "wall_s": round(wall_s, 4),
+            "simulated_us": round(result.time_us, 1),
+            "kernel_launches": result.stats["kernel_launches"],
+            "launches_by_phase": result.stats["launches_by_phase"],
+        }
+    record["wall_speedup"] = round(seg_wall / batch_wall, 3) if batch_wall else None
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    print_block(
+        "Engine ablation: per-segment vs level-batched scheduling",
+        f"segments distributed: {segments}, recursion levels: {levels}\n"
+        f"per_segment  : {per_segment.stats['kernel_launches']:>5} launches, "
+        f"{seg_wall:6.3f} s wall, {per_segment.time_us:9.1f} us simulated\n"
+        f"level_batched: {batched.stats['kernel_launches']:>5} launches, "
+        f"{batch_wall:6.3f} s wall, {batched.time_us:9.1f} us simulated\n"
+        f"wall speedup : {record['wall_speedup']}x "
+        f"(archived in {RESULT_PATH.name})\n\n"
+        + format_launch_summary(batched),
+    )
+
+
+def test_bench_sort_many_amortisation(benchmark):
+    """Batch serving: one engine run over many requests vs one run each."""
+    rng = np.random.default_rng(33)
+    requests = [rng.integers(0, 2**32, 1 << 13, dtype=np.uint64).astype(np.uint32)
+                for _ in range(8)]
+    config = BASE_CONFIG.with_(bucket_threshold=1 << 11)
+
+    def run():
+        start = time.perf_counter()
+        batch_results = SampleSorter(config=config).sort_many(
+            [k.copy() for k in requests]
+        )
+        batch_wall = time.perf_counter() - start
+        start = time.perf_counter()
+        solo_results = [SampleSorter(config=config).sort(k.copy())
+                        for k in requests]
+        solo_wall = time.perf_counter() - start
+        return batch_results, batch_wall, solo_results, solo_wall
+
+    batch_results, batch_wall, solo_results, solo_wall = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    for request, batch_result, solo_result in zip(requests, batch_results,
+                                                  solo_results):
+        assert np.array_equal(batch_result.keys, np.sort(request))
+        assert batch_result.keys.tobytes() == solo_result.keys.tobytes()
+
+    batch_launches = batch_results[0].stats["kernel_launches"]
+    solo_launches = sum(r.stats["kernel_launches"] for r in solo_results)
+    assert batch_launches < solo_launches
+    print_block(
+        "sort_many: batched serving of 8 independent requests",
+        f"one engine run : {batch_launches:>5} launches, {batch_wall:6.3f} s wall\n"
+        f"one run each   : {solo_launches:>5} launches, {solo_wall:6.3f} s wall",
+    )

@@ -13,6 +13,7 @@ Public entry points:
 from .base import GpuSorter, SortResult
 from .bucket_sorter import BucketTask, quicksort_in_block, run_bucket_sort
 from .config import SampleSortConfig
+from .engine import DistributionEngine, SegmentDescriptor
 from .cpu_reference import (
     SerialSortStats,
     expected_distribution_levels,
@@ -30,6 +31,8 @@ __all__ = [
     "quicksort_in_block",
     "run_bucket_sort",
     "SampleSortConfig",
+    "DistributionEngine",
+    "SegmentDescriptor",
     "SerialSortStats",
     "expected_distribution_levels",
     "serial_sample_sort",

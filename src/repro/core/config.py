@@ -60,6 +60,12 @@ class SampleSortConfig:
     #: Whether Phase 4 recomputes bucket indices (the paper's choice) instead
     #: of reloading indices stored by Phase 2. Exposed for the ablation bench.
     recompute_bucket_indices: bool = True
+    #: How the distribution engine schedules the four phases:
+    #: ``"level_batched"`` launches each phase once per recursion level across
+    #: all same-depth segments (the paper's one-kernel-per-phase-per-level
+    #: structure, O(levels * phases) launches); ``"per_segment"`` launches a
+    #: full set of phase kernels for every segment (O(segments) launches).
+    execution_mode: str = "level_batched"
     #: Seed for splitter sampling (None = nondeterministic).
     seed: int | None = 0
 
@@ -85,6 +91,11 @@ class SampleSortConfig:
             raise ValueError("shared_sort_threshold must be at least 2")
         if self.max_distribution_depth < 1:
             raise ValueError("max_distribution_depth must be at least 1")
+        if self.execution_mode not in ("per_segment", "level_batched"):
+            raise ValueError(
+                f"execution_mode must be 'per_segment' or 'level_batched', "
+                f"got {self.execution_mode!r}"
+            )
 
     # --------------------------------------------------------------- derived
     @property

@@ -1,0 +1,367 @@
+"""Level-synchronous distribution engine.
+
+The paper's CUDA implementation processes *all* buckets of a recursion level
+together — one kernel launch per phase per level — so a depth-``d`` sort issues
+``O(d)`` launches regardless of how many buckets the recursion produced. The
+:class:`DistributionEngine` reproduces that structure: it maintains a frontier
+of same-depth segments and runs each phase **once per level** across all of
+them, using the batched phase kernels and the block -> (segment, tile) mapping
+of :func:`repro.gpu.grid.batched_grid_for`.
+
+The engine also keeps the original one-launch-set-per-segment scheduling
+selectable (``SampleSortConfig.execution_mode = "per_segment"``) so the two
+can be compared: both modes visit the *same* recursion tree (the per-segment
+sampling seed is a pure function of the segment's identity, see
+:func:`repro.core.splitters.segment_seed`) and therefore produce byte-identical
+output; only the number of kernel launches — and the chip utilisation of each
+launch — differs.
+
+Independent sort requests can be merged into one engine run through multiple
+root segments (:meth:`DistributionEngine.run` accepts any number of roots);
+:meth:`repro.core.sample_sort.SampleSorter.sort_many` uses this to amortise
+launcher setup across a batch of requests — every level then distributes the
+segments of *all* requests with a single set of phase launches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..gpu.device import DeviceSpec
+from ..gpu.kernel import KernelLauncher
+from ..gpu.memory import DeviceArray
+from ..gpu.scheduler import chip_utilisation, per_segment_utilisation
+from ..gpu.stream import KernelTrace
+from .bucket_sorter import BucketTask, run_bucket_sort
+from .config import SampleSortConfig
+from .histogram_kernel import run_phase2, run_phase2_batched
+from .prefix_kernel import run_phase3, run_phase3_batched
+from .scatter_kernel import run_phase4, run_phase4_batched
+from .splitters import run_phase1, run_phase1_batched, segment_seed
+
+
+@dataclass
+class SegmentDescriptor:
+    """A contiguous range of the working buffers awaiting processing."""
+
+    start: int
+    size: int
+    #: "primary" or "aux" — which buffer currently holds this segment's data.
+    buffer: str
+    depth: int
+    constant: bool = False
+
+
+class DistributionEngine:
+    """Schedules the four distribution phases over a frontier of segments."""
+
+    def __init__(self, device: DeviceSpec, config: SampleSortConfig):
+        self.device = device
+        self.config = config
+
+    # ------------------------------------------------------------------ public
+    def run(
+        self,
+        launcher: KernelLauncher,
+        primary_keys: DeviceArray,
+        primary_values: Optional[DeviceArray],
+        aux_keys: DeviceArray,
+        aux_values: Optional[DeviceArray],
+        roots: list[SegmentDescriptor],
+    ) -> dict:
+        """Distribute every root down to leaf buckets, then sort the buckets.
+
+        Returns the statistics dict for the whole run, including kernel-launch
+        accounting (total, per phase, and per recursion level).
+        """
+        trace_start = len(launcher.trace)
+        stats: dict = {
+            "distribution_passes": 0,
+            "segments_distributed": 0,
+            "max_depth": 0,
+            "execution_mode": self.config.execution_mode,
+        }
+
+        if self.config.execution_mode == "level_batched":
+            leaves = self._run_level_batched(
+                launcher, primary_keys, primary_values, aux_keys, aux_values,
+                roots, stats,
+            )
+        else:
+            leaves = self._run_per_segment(
+                launcher, primary_keys, primary_values, aux_keys, aux_values,
+                roots, stats,
+            )
+
+        tasks = [
+            BucketTask(start=segment.start, size=segment.size,
+                       source=segment.buffer, constant=segment.constant)
+            for segment in leaves
+            if segment.size > 0
+        ]
+        bucket_stats = run_bucket_sort(
+            launcher, primary_keys, primary_values, aux_keys, aux_values,
+            tasks, self.config,
+        )
+        stats.update(bucket_stats)
+        stats["num_leaf_buckets"] = len(tasks)
+
+        run_trace = KernelTrace(records=launcher.trace.records[trace_start:])
+        stats["kernel_launches"] = run_trace.kernel_count
+        stats["launches_by_phase"] = run_trace.launches_by_phase()
+        return stats
+
+    # ------------------------------------------------------------- scheduling
+    def _is_leaf(self, segment: SegmentDescriptor) -> bool:
+        config = self.config
+        return (
+            segment.constant
+            or segment.size <= config.bucket_threshold
+            or segment.depth >= config.max_distribution_depth
+            or segment.size < config.k
+        )
+
+    def _run_per_segment(
+        self,
+        launcher: KernelLauncher,
+        primary_keys: DeviceArray,
+        primary_values: Optional[DeviceArray],
+        aux_keys: DeviceArray,
+        aux_values: Optional[DeviceArray],
+        roots: list[SegmentDescriptor],
+        stats: dict,
+    ) -> list[SegmentDescriptor]:
+        """Original scheduling: one full set of phase launches per segment."""
+        pending = list(roots)
+        leaves: list[SegmentDescriptor] = []
+        while pending:
+            segment = pending.pop()
+            stats["max_depth"] = max(stats["max_depth"], segment.depth)
+            if self._is_leaf(segment):
+                leaves.append(segment)
+                continue
+            children = self._distribution_pass(
+                launcher, segment, primary_keys, primary_values,
+                aux_keys, aux_values,
+            )
+            stats["distribution_passes"] += 1
+            stats["segments_distributed"] += 1
+            pending.extend(children)
+        stats["levels"] = stats["max_depth"]
+        return leaves
+
+    def _run_level_batched(
+        self,
+        launcher: KernelLauncher,
+        primary_keys: DeviceArray,
+        primary_values: Optional[DeviceArray],
+        aux_keys: DeviceArray,
+        aux_values: Optional[DeviceArray],
+        roots: list[SegmentDescriptor],
+        stats: dict,
+    ) -> list[SegmentDescriptor]:
+        """Level-synchronous scheduling: one launch per phase per level."""
+        frontier = list(roots)
+        leaves: list[SegmentDescriptor] = []
+        level_launches: list[dict] = []
+        while frontier:
+            active: list[SegmentDescriptor] = []
+            for segment in frontier:
+                stats["max_depth"] = max(stats["max_depth"], segment.depth)
+                if self._is_leaf(segment):
+                    leaves.append(segment)
+                else:
+                    active.append(segment)
+            if not active:
+                break
+            buffers = {segment.buffer for segment in active}
+            if len(buffers) != 1:
+                raise AssertionError(
+                    f"a level's segments must share one buffer, got {buffers}"
+                )
+            trace_before = len(launcher.trace)
+            children, level_info = self._level_pass(
+                launcher, active, primary_keys, primary_values,
+                aux_keys, aux_values,
+            )
+            level_info["launches"] = len(launcher.trace) - trace_before
+            level_launches.append(level_info)
+            stats["distribution_passes"] += len(active)
+            stats["segments_distributed"] += len(active)
+            frontier = children
+        stats["levels"] = len(level_launches)
+        stats["level_launches"] = level_launches
+        return leaves
+
+    @staticmethod
+    def _buffer_direction(
+        in_buffer: str,
+        primary_keys: DeviceArray,
+        primary_values: Optional[DeviceArray],
+        aux_keys: DeviceArray,
+        aux_values: Optional[DeviceArray],
+    ):
+        """Ping-pong direction of one pass: ``(in_k, in_v, out_k, out_v, out_buffer)``.
+
+        Shared by both schedulers so the buffer-flipping rule cannot diverge
+        between execution modes (the byte-identical parity contract).
+        """
+        if in_buffer == "primary":
+            return primary_keys, primary_values, aux_keys, aux_values, "aux"
+        return aux_keys, aux_values, primary_keys, primary_values, "primary"
+
+    # --------------------------------------------------------- per-segment pass
+    def _distribution_pass(
+        self,
+        launcher: KernelLauncher,
+        segment: SegmentDescriptor,
+        primary_keys: DeviceArray,
+        primary_values: Optional[DeviceArray],
+        aux_keys: DeviceArray,
+        aux_values: Optional[DeviceArray],
+    ) -> list[SegmentDescriptor]:
+        """One k-way distribution pass over ``segment``; returns the children."""
+        config = self.config
+        in_keys, in_values, out_keys, out_values, out_buffer = \
+            self._buffer_direction(segment.buffer, primary_keys, primary_values,
+                                   aux_keys, aux_values)
+
+        seed = segment_seed(config.seed, segment.depth, segment.start)
+        splitter_bufs = run_phase1(
+            launcher, in_keys, segment.start, segment.size, config, seed=seed
+        )
+
+        bucket_store = None
+        if not config.recompute_bucket_indices:
+            bucket_store = launcher.gmem.alloc(segment.size, np.int32,
+                                               name="bucket_indices")
+
+        hist, num_blocks = run_phase2(
+            launcher, in_keys, splitter_bufs, segment.start, segment.size, config,
+            bucket_store=bucket_store,
+        )
+        num_buckets = 2 * config.k
+        offsets, bucket_starts, bucket_sizes = run_phase3(
+            launcher, hist, num_buckets, num_blocks
+        )
+        run_phase4(
+            launcher, in_keys, in_values, out_keys, out_values, splitter_bufs,
+            offsets, segment.start, segment.size, num_blocks, config,
+            bucket_store=bucket_store,
+        )
+
+        # Release the pass's temporaries (keeps the footprint close to the
+        # real implementation's: two data buffers plus small metadata).
+        launcher.gmem.free(hist)
+        launcher.gmem.free(offsets)
+        launcher.gmem.free(splitter_bufs.tree)
+        launcher.gmem.free(splitter_bufs.splitters)
+        launcher.gmem.free(splitter_bufs.eq_flags)
+        if bucket_store is not None:
+            launcher.gmem.free(bucket_store)
+
+        return self._children_of(segment, out_buffer, bucket_starts, bucket_sizes)
+
+    # ---------------------------------------------------------- batched level
+    def _level_pass(
+        self,
+        launcher: KernelLauncher,
+        active: list[SegmentDescriptor],
+        primary_keys: DeviceArray,
+        primary_values: Optional[DeviceArray],
+        aux_keys: DeviceArray,
+        aux_values: Optional[DeviceArray],
+    ) -> tuple[list[SegmentDescriptor], dict]:
+        """Run Phases 1-4 once across all segments of one level."""
+        config = self.config
+        depth = active[0].depth
+        in_keys, in_values, out_keys, out_values, out_buffer = \
+            self._buffer_direction(active[0].buffer, primary_keys, primary_values,
+                                   aux_keys, aux_values)
+
+        seg_starts = np.array([s.start for s in active], dtype=np.int64)
+        seg_sizes = np.array([s.size for s in active], dtype=np.int64)
+        seeds = [segment_seed(config.seed, s.depth, s.start) for s in active]
+
+        splitter_bufs = run_phase1_batched(
+            launcher, in_keys, seg_starts, seg_sizes, config, seeds
+        )
+
+        bucket_store = None
+        if not config.recompute_bucket_indices:
+            bucket_store = launcher.gmem.alloc(int(seg_sizes.sum()), np.int32,
+                                               name="bucket_indices_slab")
+
+        hist, block_map, hist_base = run_phase2_batched(
+            launcher, in_keys, splitter_bufs, seg_starts, seg_sizes, config,
+            bucket_store=bucket_store,
+        )
+        num_buckets = 2 * config.k
+        offsets, seg_scan_base, starts_per_seg, sizes_per_seg = run_phase3_batched(
+            launcher, hist, num_buckets, block_map.blocks_per_segment, hist_base
+        )
+        run_phase4_batched(
+            launcher, in_keys, in_values, out_keys, out_values, splitter_bufs,
+            offsets, block_map, seg_starts, seg_sizes, hist_base, seg_scan_base,
+            config, bucket_store=bucket_store,
+        )
+
+        launcher.gmem.free(hist)
+        launcher.gmem.free(offsets)
+        launcher.gmem.free(splitter_bufs.tree)
+        launcher.gmem.free(splitter_bufs.splitters)
+        launcher.gmem.free(splitter_bufs.eq_flags)
+        if bucket_store is not None:
+            launcher.gmem.free(bucket_store)
+
+        children: list[SegmentDescriptor] = []
+        for index, segment in enumerate(active):
+            children.extend(
+                self._children_of(segment, out_buffer,
+                                  starts_per_seg[index], sizes_per_seg[index])
+            )
+
+        level_info = {
+            "level": depth,
+            "segments": len(active),
+            "elements": int(seg_sizes.sum()),
+            "fused_utilisation": chip_utilisation(self.device, block_map.launch),
+            "per_segment_utilisation": per_segment_utilisation(
+                self.device, seg_sizes, config.block_threads,
+                config.elements_per_thread,
+            ),
+        }
+        return children, level_info
+
+    # ------------------------------------------------------------------ shared
+    def _children_of(
+        self,
+        segment: SegmentDescriptor,
+        out_buffer: str,
+        bucket_starts: np.ndarray,
+        bucket_sizes: np.ndarray,
+    ) -> list[SegmentDescriptor]:
+        """Child segments of one distributed segment (empty buckets skipped)."""
+        children: list[SegmentDescriptor] = []
+        detect_constant = self.config.detect_constant_buckets
+        for bucket_id in range(2 * self.config.k):
+            size = int(bucket_sizes[bucket_id])
+            if size == 0:
+                continue
+            is_equality_bucket = bool(bucket_id % 2 == 1)
+            children.append(
+                SegmentDescriptor(
+                    start=segment.start + int(bucket_starts[bucket_id]),
+                    size=size,
+                    buffer=out_buffer,
+                    depth=segment.depth + 1,
+                    constant=is_equality_bucket and detect_constant,
+                )
+            )
+        return children
+
+
+__all__ = ["SegmentDescriptor", "DistributionEngine"]

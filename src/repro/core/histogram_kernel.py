@@ -30,13 +30,70 @@ from typing import Optional
 import numpy as np
 
 from ..gpu.block import BlockContext
-from ..gpu.grid import grid_for
+from ..gpu.grid import BlockMap, batched_grid_for, grid_for
 from ..gpu.kernel import KernelLauncher
 from ..gpu.memory import DeviceArray
 from ..primitives.histogram import block_histogram
 from .config import SampleSortConfig
 from .search_tree import SplitterSet, traverse
-from .splitters import SplitterBuffers
+from .splitters import BatchedSplitterBuffers, SplitterBuffers
+
+
+def load_splitters_shared(
+    ctx: BlockContext,
+    tree_buf: DeviceArray,
+    splitter_buf: DeviceArray,
+    flag_buf: DeviceArray,
+    k: int,
+    slab_index: int = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Stage one segment's search tree, splitters and flags into shared memory.
+
+    ``slab_index`` selects the segment's stripe inside batched slab buffers
+    (0 for the single-segment buffers of the per-segment path). Global reads
+    are counted; one copy per block, as on the device. Each stripe is a
+    contiguous range, so the loads go through the coalesced fast path.
+    """
+    tree_shared = ctx.shared.alloc(k, tree_buf.dtype)
+    tree_shared[:] = ctx.read_range(tree_buf, slab_index * k, k)
+    splitters_shared = ctx.shared.alloc(max(k - 1, 1), splitter_buf.dtype)
+    splitters_shared[: k - 1] = ctx.read_range(
+        splitter_buf, slab_index * (k - 1), k - 1
+    )
+    flags_shared = ctx.shared.alloc(max(k - 1, 1), np.uint8)
+    flags_shared[: k - 1] = ctx.read_range(
+        flag_buf, slab_index * (k - 1), k - 1
+    )
+    ctx.syncthreads()
+    return tree_shared, splitters_shared, flags_shared
+
+
+def assign_buckets(
+    ctx: BlockContext,
+    tile: np.ndarray,
+    tree_shared: np.ndarray,
+    splitters_shared: np.ndarray,
+    flags_shared: np.ndarray,
+    k: int,
+    splitter_set: SplitterSet,
+    key_itemsize: int,
+) -> np.ndarray:
+    """Branch-free bucket assignment for one tile of keys.
+
+    ``log2(k)`` predicated steps per element plus the equality-bucket check.
+    All lanes follow the same path => no divergence.
+    """
+    regular = traverse(tree_shared, tile)
+    bucket = 2 * regular
+    if k > 1:
+        in_range = regular < (k - 1)
+        safe = np.minimum(regular, k - 2)
+        equal = in_range & flags_shared[safe].astype(bool) & (tile == splitters_shared[safe])
+        bucket = bucket + equal.astype(np.int64)
+    ctx.warps.predicated(tile.size,
+                         splitter_set.traversal_instructions_per_element())
+    ctx.counters.shared_bytes_accessed += int(tile.size) * int(np.log2(k)) * key_itemsize
+    return bucket
 
 
 def compute_tile_buckets(
@@ -53,37 +110,52 @@ def compute_tile_buckets(
     Returns ``(tile_keys, bucket_ids)``; both are empty for out-of-range blocks.
     """
     k = config.k
-    splitter_set = splitter_bufs.splitter_set
-
-    # Load the search tree, the splitters and the equality flags into shared
-    # memory (global reads counted; one copy per block, as on the device).
-    tree_shared = ctx.shared.alloc(k, keys.dtype)
-    tree_shared[:] = ctx.load(splitter_bufs.tree, np.arange(k))
-    splitters_shared = ctx.shared.alloc(max(k - 1, 1), keys.dtype)
-    splitters_shared[: k - 1] = ctx.load(splitter_bufs.splitters, np.arange(k - 1))
-    flags_shared = ctx.shared.alloc(max(k - 1, 1), np.uint8)
-    flags_shared[: k - 1] = ctx.load(splitter_bufs.eq_flags, np.arange(k - 1))
-    ctx.syncthreads()
+    tree_shared, splitters_shared, flags_shared = load_splitters_shared(
+        ctx, splitter_bufs.tree, splitter_bufs.splitters, splitter_bufs.eq_flags, k
+    )
 
     start, end = ctx.tile_bounds(segment_size)
     if end <= start:
         return np.empty(0, dtype=keys.dtype), np.empty(0, dtype=np.int64)
 
     tile = ctx.read_range(keys, segment_start + start, end - start)
-
-    # Branch-free traversal: log2(k) predicated steps per element plus the
-    # equality-bucket check. All lanes follow the same path => no divergence.
-    regular = traverse(tree_shared, tile)
-    bucket = 2 * regular
-    if k > 1:
-        in_range = regular < (k - 1)
-        safe = np.minimum(regular, k - 2)
-        equal = in_range & flags_shared[safe].astype(bool) & (tile == splitters_shared[safe])
-        bucket = bucket + equal.astype(np.int64)
-    ctx.warps.predicated(tile.size,
-                         splitter_set.traversal_instructions_per_element())
-    ctx.counters.shared_bytes_accessed += int(tile.size) * int(np.log2(k)) * keys.itemsize
+    bucket = assign_buckets(
+        ctx, tile, tree_shared, splitters_shared, flags_shared, k,
+        splitter_bufs.splitter_set, keys.itemsize,
+    )
     return tile, bucket
+
+
+def compute_tile_buckets_batched(
+    ctx: BlockContext,
+    keys: DeviceArray,
+    splitter_bufs: BatchedSplitterBuffers,
+    block_map: BlockMap,
+    seg_starts: np.ndarray,
+    seg_sizes: np.ndarray,
+) -> tuple[int, int, np.ndarray, np.ndarray]:
+    """The batched counterpart of :func:`compute_tile_buckets`.
+
+    Resolves this block's (segment, tile) through the block map, stages that
+    segment's stripe of the splitter slabs and assigns buckets. Returns
+    ``(segment, tile_start, tile_keys, bucket_ids)`` with ``tile_start``
+    relative to the segment.
+    """
+    k = splitter_bufs.k
+    segment, start, end = block_map.tile_bounds(ctx.block_id, seg_sizes)
+    tree_shared, splitters_shared, flags_shared = load_splitters_shared(
+        ctx, splitter_bufs.tree, splitter_bufs.splitters, splitter_bufs.eq_flags,
+        k, slab_index=segment,
+    )
+    if end <= start:
+        return segment, start, np.empty(0, dtype=keys.dtype), np.empty(0, dtype=np.int64)
+
+    tile = ctx.read_range(keys, int(seg_starts[segment]) + start, end - start)
+    bucket = assign_buckets(
+        ctx, tile, tree_shared, splitters_shared, flags_shared, k,
+        splitter_bufs.splitter_sets[segment], keys.itemsize,
+    )
+    return segment, start, tile, bucket
 
 
 def _phase2_kernel(
@@ -143,4 +215,82 @@ def run_phase2(
     return hist, num_blocks
 
 
-__all__ = ["compute_tile_buckets", "run_phase2"]
+def _phase2_batched_kernel(
+    ctx: BlockContext,
+    keys: DeviceArray,
+    splitter_bufs: BatchedSplitterBuffers,
+    hist: DeviceArray,
+    bucket_store: Optional[DeviceArray],
+    block_map: BlockMap,
+    seg_starts: np.ndarray,
+    seg_sizes: np.ndarray,
+    hist_base: np.ndarray,
+    config: SampleSortConfig,
+) -> None:
+    segment, tile_start, tile, bucket = compute_tile_buckets_batched(
+        ctx, keys, splitter_bufs, block_map, seg_starts, seg_sizes
+    )
+    num_buckets = 2 * config.k
+    if tile.size == 0:
+        counts = np.zeros(num_buckets, dtype=np.int64)
+    else:
+        counts = block_histogram(
+            ctx, bucket, num_buckets, counter_groups=config.counter_groups
+        )
+    # Column-major *within the segment's slab*: entry b * p_seg + tile, offset
+    # by the segment's slab base — the layout a flat Phase-3 scan consumes.
+    p_seg = int(block_map.blocks_per_segment[segment])
+    tile_id = int(block_map.tile_ids[ctx.block_id])
+    out_idx = int(hist_base[segment]) + np.arange(num_buckets) * p_seg + tile_id
+    ctx.store(hist, out_idx, counts)
+
+    if bucket_store is not None and tile.size:
+        ctx.write_range(bucket_store,
+                        int(block_map.elem_base[segment]) + tile_start,
+                        bucket.astype(bucket_store.dtype))
+
+
+def run_phase2_batched(
+    launcher: KernelLauncher,
+    keys: DeviceArray,
+    splitter_bufs: BatchedSplitterBuffers,
+    seg_starts: np.ndarray,
+    seg_sizes: np.ndarray,
+    config: SampleSortConfig,
+    bucket_store: Optional[DeviceArray] = None,
+) -> tuple[DeviceArray, BlockMap, np.ndarray]:
+    """Run Phase 2 once over every segment of a level.
+
+    One fused launch covers all segments; each segment's block-column histogram
+    occupies a contiguous slab of ``2k * p_seg`` entries. Returns
+    ``(histogram_slab, block_map, hist_base)`` where ``hist_base[s]`` is the
+    slab offset of segment ``s``.
+    """
+    seg_starts = np.asarray(seg_starts, dtype=np.int64)
+    seg_sizes = np.asarray(seg_sizes, dtype=np.int64)
+    launch_cfg, block_map = batched_grid_for(
+        seg_sizes, config.block_threads, config.elements_per_thread
+    )
+    num_buckets = 2 * config.k
+    slab_sizes = num_buckets * block_map.blocks_per_segment
+    hist_base = np.zeros(len(seg_sizes), dtype=np.int64)
+    np.cumsum(slab_sizes[:-1], out=hist_base[1:])
+    hist = launcher.gmem.alloc(int(slab_sizes.sum()), np.int64,
+                               name="bucket_histogram_slab")
+    launcher.launch(
+        _phase2_batched_kernel, launch_cfg, keys, splitter_bufs, hist,
+        bucket_store, block_map, seg_starts, seg_sizes, hist_base,
+        config, problem_size=int(seg_sizes.sum()),
+        phase="phase2_histogram", name="phase2_histogram_batched",
+    )
+    return hist, block_map, hist_base
+
+
+__all__ = [
+    "load_splitters_shared",
+    "assign_buckets",
+    "compute_tile_buckets",
+    "compute_tile_buckets_batched",
+    "run_phase2",
+    "run_phase2_batched",
+]

@@ -53,4 +53,45 @@ def run_phase3(
     return offsets, bucket_starts, bucket_sizes
 
 
-__all__ = ["run_phase3"]
+def run_phase3_batched(
+    launcher: KernelLauncher,
+    hist: DeviceArray,
+    num_buckets: int,
+    blocks_per_segment: np.ndarray,
+    hist_base: np.ndarray,
+) -> tuple[DeviceArray, np.ndarray, list[np.ndarray], list[np.ndarray]]:
+    """Scan the concatenated histogram slabs of a whole level at once.
+
+    A single flat exclusive scan over the level's slab is enough: restricted to
+    one segment's slab it equals the segment-local scan plus the scan value at
+    the slab base, so Phase 4 recovers segment-local offsets by subtracting
+    ``seg_scan_base[s] = scanned[hist_base[s]]``.
+
+    Returns ``(offsets_slab, seg_scan_base, bucket_starts, bucket_sizes)`` with
+    one ``bucket_starts``/``bucket_sizes`` array (length ``num_buckets``, in
+    segment-local element offsets) per segment.
+    """
+    blocks_per_segment = np.asarray(blocks_per_segment, dtype=np.int64)
+    hist_base = np.asarray(hist_base, dtype=np.int64)
+    total = int((num_buckets * blocks_per_segment).sum())
+    if hist.size < total:
+        raise ValueError(
+            f"histogram slab has {hist.size} entries but the level needs {total}"
+        )
+    offsets = device_exclusive_scan(launcher, hist, total, phase="phase3_scan")
+
+    seg_scan_base = np.zeros(len(blocks_per_segment), dtype=np.int64)
+    bucket_starts: list[np.ndarray] = []
+    bucket_sizes: list[np.ndarray] = []
+    for s, p_seg in enumerate(blocks_per_segment):
+        base = int(hist_base[s])
+        span = num_buckets * int(p_seg)
+        counts = hist.data[base:base + span].reshape(num_buckets, int(p_seg))
+        scanned = offsets.data[base:base + span].reshape(num_buckets, int(p_seg))
+        seg_scan_base[s] = int(offsets.data[base])
+        bucket_starts.append((scanned[:, 0] - seg_scan_base[s]).astype(np.int64))
+        bucket_sizes.append(counts.sum(axis=1).astype(np.int64))
+    return offsets, seg_scan_base, bucket_starts, bucket_sizes
+
+
+__all__ = ["run_phase3", "run_phase3_batched"]

@@ -22,6 +22,14 @@
 
 3. copy the fully sorted primary buffer back to the host.
 
+Scheduling of step 1 is delegated to the
+:class:`~repro.core.engine.DistributionEngine`. In the default
+``"level_batched"`` execution mode each phase is launched **once per recursion
+level** across all same-depth segments — the paper's one-kernel-per-phase
+structure, O(levels * phases) launches. The ``"per_segment"`` mode keeps the
+historical one-launch-set-per-segment scheduling for comparison; both modes
+visit the same recursion tree and return byte-identical results.
+
 The returned :class:`~repro.core.base.SortResult` carries the complete kernel
 trace; its ``phase_breakdown()`` reproduces the per-phase cost discussion of
 Section 5 and its counters feed the bandwidth-vs-compute analysis of Figure 6.
@@ -29,33 +37,17 @@ Section 5 and its counters feed the bandwidth-vs-compute analysis of Figure 6.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+import copy
+from typing import Optional, Sequence
 
 import numpy as np
 
 from ..gpu.device import DeviceSpec, TESLA_C1060
+from ..gpu.errors import UnsupportedInputError
 from ..gpu.kernel import KernelLauncher
-from ..gpu.memory import DeviceArray
 from .base import GpuSorter, SortResult
-from .bucket_sorter import BucketTask, run_bucket_sort
 from .config import SampleSortConfig
-from .histogram_kernel import run_phase2
-from .prefix_kernel import run_phase3
-from .scatter_kernel import run_phase4
-from .splitters import run_phase1
-
-
-@dataclass
-class _Segment:
-    """A contiguous range of the working buffers awaiting processing."""
-
-    start: int
-    size: int
-    #: "primary" or "aux" — which buffer currently holds this segment's data.
-    buffer: str
-    depth: int
-    constant: bool = False
+from .engine import DistributionEngine, SegmentDescriptor
 
 
 class SampleSorter(GpuSorter):
@@ -70,17 +62,25 @@ class SampleSorter(GpuSorter):
         super().__init__(device)
         self.config = config if config is not None else SampleSortConfig.paper()
 
-    # ------------------------------------------------------------------ sort
-    def _sort_impl(self, keys: np.ndarray, values: Optional[np.ndarray]) -> SortResult:
+    # --------------------------------------------------------------- internals
+    def _effective_config(self, keys: np.ndarray,
+                          values: Optional[np.ndarray]) -> SampleSortConfig:
+        """Validate the configuration and clamp the shared-sort threshold."""
         config = self.config
         config.validate_for_device(self.device, key_itemsize=keys.dtype.itemsize)
-        record_bytes = keys.dtype.itemsize + (values.dtype.itemsize if values is not None else 0)
+        record_bytes = keys.dtype.itemsize + (
+            values.dtype.itemsize if values is not None else 0
+        )
         effective_threshold = config.effective_shared_sort_threshold(
             self.device, record_bytes
         )
         if effective_threshold != config.shared_sort_threshold:
             config = config.with_(shared_sort_threshold=effective_threshold)
+        return config
 
+    # ------------------------------------------------------------------ sort
+    def _sort_impl(self, keys: np.ndarray, values: Optional[np.ndarray]) -> SortResult:
+        config = self._effective_config(keys, values)
         launcher = KernelLauncher(self.device)
         n = int(keys.size)
 
@@ -91,52 +91,11 @@ class SampleSorter(GpuSorter):
             primary_values = launcher.gmem.from_host(values, name="values_primary")
             aux_values = launcher.gmem.alloc(n, values.dtype, name="values_aux")
 
-        stats: dict = {
-            "distribution_passes": 0,
-            "segments_distributed": 0,
-            "constant_elements": 0,
-            "max_depth": 0,
-        }
-
-        pending: list[_Segment] = [_Segment(start=0, size=n, buffer="primary", depth=0)]
-        leaves: list[_Segment] = []
-        pass_seed = config.seed
-
-        while pending:
-            segment = pending.pop()
-            stats["max_depth"] = max(stats["max_depth"], segment.depth)
-            if (
-                segment.constant
-                or segment.size <= config.bucket_threshold
-                or segment.depth >= config.max_distribution_depth
-                or segment.size < config.k
-            ):
-                leaves.append(segment)
-                continue
-            children = self._distribution_pass(
-                launcher, segment, primary_keys, primary_values,
-                aux_keys, aux_values, pass_seed,
-            )
-            if pass_seed is not None:
-                pass_seed += 1
-            stats["distribution_passes"] += 1
-            stats["segments_distributed"] += 1
-            pending.extend(children)
-
-        # ---------------------------------------------------------- bucket sort
-        tasks = [
-            BucketTask(start=segment.start, size=segment.size,
-                       source=segment.buffer, constant=segment.constant)
-            for segment in leaves
-            if segment.size > 0
-        ]
-        bucket_stats = run_bucket_sort(
-            launcher, primary_keys, primary_values, aux_keys, aux_values,
-            tasks, config,
+        engine = DistributionEngine(self.device, config)
+        roots = [SegmentDescriptor(start=0, size=n, buffer="primary", depth=0)]
+        stats = engine.run(
+            launcher, primary_keys, primary_values, aux_keys, aux_values, roots
         )
-        stats.update(bucket_stats)
-        stats["num_leaf_buckets"] = len(tasks)
-        stats["constant_elements"] = bucket_stats.get("constant_elements", 0)
 
         return SortResult(
             keys=primary_keys.to_host(),
@@ -147,78 +106,113 @@ class SampleSorter(GpuSorter):
             stats=stats,
         )
 
-    # ------------------------------------------------------------ distribution
-    def _distribution_pass(
+    # ------------------------------------------------------------- batched API
+    def sort_many(
         self,
-        launcher: KernelLauncher,
-        segment: _Segment,
-        primary_keys: DeviceArray,
-        primary_values: Optional[DeviceArray],
-        aux_keys: DeviceArray,
-        aux_values: Optional[DeviceArray],
-        seed: Optional[int],
-    ) -> list[_Segment]:
-        """One k-way distribution pass over ``segment``; returns child segments."""
-        config = self.config
-        if segment.buffer == "primary":
-            in_keys, in_values = primary_keys, primary_values
-            out_keys, out_values = aux_keys, aux_values
-            out_buffer = "aux"
-        else:
-            in_keys, in_values = aux_keys, aux_values
-            out_keys, out_values = primary_keys, primary_values
-            out_buffer = "primary"
+        batch_keys: Sequence[np.ndarray],
+        batch_values: Optional[Sequence[np.ndarray]] = None,
+    ) -> list[SortResult]:
+        """Sort many independent inputs with one engine run.
 
-        splitter_bufs = run_phase1(
-            launcher, in_keys, segment.start, segment.size, config, seed=seed
-        )
+        All requests share one launcher, one pair of ping-pong buffers and one
+        kernel trace; every request contributes a depth-0 root segment, so in
+        ``"level_batched"`` mode the engine distributes the segments of *all*
+        requests with a single set of phase launches per level — the first step
+        toward serving many concurrent sort requests without paying per-request
+        launch overhead.
 
-        bucket_store = None
-        if not config.recompute_bucket_indices:
-            bucket_store = launcher.gmem.alloc(segment.size, np.int32,
-                                               name="bucket_indices")
-
-        hist, num_blocks = run_phase2(
-            launcher, in_keys, splitter_bufs, segment.start, segment.size, config,
-            bucket_store=bucket_store,
-        )
-        num_buckets = 2 * config.k
-        offsets, bucket_starts, bucket_sizes = run_phase3(
-            launcher, hist, num_buckets, num_blocks
-        )
-        run_phase4(
-            launcher, in_keys, in_values, out_keys, out_values, splitter_bufs,
-            offsets, segment.start, segment.size, num_blocks, config,
-            bucket_store=bucket_store,
-        )
-
-        # Release the pass's temporaries (keeps the footprint close to the
-        # real implementation's: two data buffers plus small metadata).
-        launcher.gmem.free(hist)
-        launcher.gmem.free(offsets)
-        launcher.gmem.free(splitter_bufs.tree)
-        launcher.gmem.free(splitter_bufs.splitters)
-        launcher.gmem.free(splitter_bufs.eq_flags)
-        if bucket_store is not None:
-            launcher.gmem.free(bucket_store)
-
-        children: list[_Segment] = []
-        detect_constant = config.detect_constant_buckets
-        for bucket_id in range(num_buckets):
-            size = int(bucket_sizes[bucket_id])
-            if size == 0:
-                continue
-            is_equality_bucket = bool(bucket_id % 2 == 1)
-            children.append(
-                _Segment(
-                    start=segment.start + int(bucket_starts[bucket_id]),
-                    size=size,
-                    buffer=out_buffer,
-                    depth=segment.depth + 1,
-                    constant=is_equality_bucket and detect_constant,
+        Requirements: at least one request, all key arrays one-dimensional and
+        of the same dtype; ``batch_values`` is all-or-nothing and each value
+        array must match its key array's shape. Returns one
+        :class:`SortResult` per request, in order. The trace (and the launch /
+        time accounting derived from it) is shared by the whole batch; each
+        result's ``stats`` records its ``batch_index`` and request size.
+        """
+        if len(batch_keys) == 0:
+            raise UnsupportedInputError("sort_many needs at least one input")
+        keys_list = [np.asarray(keys) for keys in batch_keys]
+        for keys in keys_list:
+            if keys.ndim != 1:
+                raise UnsupportedInputError(
+                    f"{self.name} expects one-dimensional key arrays, "
+                    f"got shape {keys.shape}"
                 )
+            self._check_dtype(keys)
+        dtypes = {keys.dtype for keys in keys_list}
+        if len(dtypes) != 1:
+            raise UnsupportedInputError(
+                f"sort_many requires a single key dtype per batch, got {dtypes}"
             )
-        return children
+        values_list: Optional[list[np.ndarray]] = None
+        if batch_values is not None:
+            if len(batch_values) != len(keys_list):
+                raise UnsupportedInputError(
+                    f"batch of {len(keys_list)} key arrays but "
+                    f"{len(batch_values)} value arrays"
+                )
+            values_list = [np.asarray(v) for v in batch_values]
+            for keys, vals in zip(keys_list, values_list):
+                if vals.shape != keys.shape:
+                    raise UnsupportedInputError(
+                        f"values shape {vals.shape} does not match keys shape "
+                        f"{keys.shape}"
+                    )
+            value_dtypes = {vals.dtype for vals in values_list}
+            if len(value_dtypes) != 1:
+                raise UnsupportedInputError(
+                    f"sort_many requires a single value dtype per batch, "
+                    f"got {value_dtypes}"
+                )
+
+        all_keys = np.concatenate(keys_list)
+        all_values = np.concatenate(values_list) if values_list is not None else None
+        config = self._effective_config(all_keys, all_values)
+
+        launcher = KernelLauncher(self.device)
+        total = int(all_keys.size)
+        primary_keys = launcher.gmem.from_host(all_keys, name="keys_primary")
+        aux_keys = launcher.gmem.alloc(total, all_keys.dtype, name="keys_aux")
+        primary_values = aux_values = None
+        if all_values is not None:
+            primary_values = launcher.gmem.from_host(all_values, name="values_primary")
+            aux_values = launcher.gmem.alloc(total, all_values.dtype,
+                                             name="values_aux")
+
+        roots: list[SegmentDescriptor] = []
+        bounds: list[tuple[int, int]] = []
+        offset = 0
+        for keys in keys_list:
+            bounds.append((offset, offset + int(keys.size)))
+            if keys.size > 0:
+                roots.append(SegmentDescriptor(
+                    start=offset, size=int(keys.size), buffer="primary", depth=0
+                ))
+            offset += int(keys.size)
+
+        engine = DistributionEngine(self.device, config)
+        stats = engine.run(
+            launcher, primary_keys, primary_values, aux_keys, aux_values, roots
+        )
+        stats["batch_size"] = len(keys_list)
+
+        sorted_keys = primary_keys.to_host()
+        sorted_values = None if primary_values is None else primary_values.to_host()
+        results: list[SortResult] = []
+        for index, (lo, hi) in enumerate(bounds):
+            # Deep copy: the batch shares one engine run, but each result's
+            # stats (nested launch dicts/lists included) must be independent.
+            request_stats = copy.deepcopy(stats)
+            request_stats["batch_index"] = index
+            request_stats["batch_request_n"] = hi - lo
+            results.append(SortResult(
+                keys=sorted_keys[lo:hi].copy(),
+                values=None if sorted_values is None else sorted_values[lo:hi].copy(),
+                trace=launcher.trace,
+                algorithm=self.name,
+                device=self.device,
+                stats=request_stats,
+            ))
+        return results
 
 
 def sample_sort(

@@ -27,12 +27,12 @@ from typing import Optional
 import numpy as np
 
 from ..gpu.block import BlockContext
-from ..gpu.grid import grid_for
+from ..gpu.grid import BlockMap, grid_for
 from ..gpu.kernel import KernelLauncher
 from ..gpu.memory import DeviceArray
 from .config import SampleSortConfig
-from .histogram_kernel import compute_tile_buckets
-from .splitters import SplitterBuffers
+from .histogram_kernel import compute_tile_buckets, compute_tile_buckets_batched
+from .splitters import BatchedSplitterBuffers, SplitterBuffers
 
 
 def local_bucket_ranks(bucket: np.ndarray) -> np.ndarray:
@@ -130,4 +130,89 @@ def run_phase4(
     )
 
 
-__all__ = ["local_bucket_ranks", "run_phase4"]
+def _phase4_batched_kernel(
+    ctx: BlockContext,
+    in_keys: DeviceArray,
+    in_values: Optional[DeviceArray],
+    out_keys: DeviceArray,
+    out_values: Optional[DeviceArray],
+    splitter_bufs: BatchedSplitterBuffers,
+    offsets: DeviceArray,
+    bucket_store: Optional[DeviceArray],
+    block_map: BlockMap,
+    seg_starts: np.ndarray,
+    seg_sizes: np.ndarray,
+    hist_base: np.ndarray,
+    seg_scan_base: np.ndarray,
+    config: SampleSortConfig,
+) -> None:
+    if config.recompute_bucket_indices or bucket_store is None:
+        segment, tile_start, tile, bucket = compute_tile_buckets_batched(
+            ctx, in_keys, splitter_bufs, block_map, seg_starts, seg_sizes
+        )
+        if tile.size == 0:
+            return
+    else:
+        # Ablation variant: reload the bucket indices Phase 2 stored.
+        segment, tile_start, tile_end = block_map.tile_bounds(
+            ctx.block_id, seg_sizes
+        )
+        if tile_end <= tile_start:
+            return
+        count = tile_end - tile_start
+        tile = ctx.read_range(in_keys, int(seg_starts[segment]) + tile_start, count)
+        bucket = ctx.read_range(
+            bucket_store, int(block_map.elem_base[segment]) + tile_start, count
+        ).astype(np.int64)
+
+    ranks = local_bucket_ranks(bucket)
+    ctx.charge_per_element(tile.size, 4.0)  # local offset bookkeeping
+
+    # Per-(bucket, tile) base offsets from the level's scanned slab; the slab
+    # base is subtracted to recover segment-local positions.
+    p_seg = int(block_map.blocks_per_segment[segment])
+    tile_id = int(block_map.tile_ids[ctx.block_id])
+    offset_idx = int(hist_base[segment]) + bucket * p_seg + tile_id
+    base = ctx.load(offsets, offset_idx) - int(seg_scan_base[segment])
+    positions = int(seg_starts[segment]) + base + ranks
+
+    seg_read_start = int(seg_starts[segment]) + tile_start
+    ctx.store(out_keys, positions, tile)
+    if in_values is not None and out_values is not None:
+        vals = ctx.read_range(in_values, seg_read_start, tile.size)
+        ctx.store(out_values, positions, vals)
+
+
+def run_phase4_batched(
+    launcher: KernelLauncher,
+    in_keys: DeviceArray,
+    in_values: Optional[DeviceArray],
+    out_keys: DeviceArray,
+    out_values: Optional[DeviceArray],
+    splitter_bufs: BatchedSplitterBuffers,
+    offsets: DeviceArray,
+    block_map: BlockMap,
+    seg_starts: np.ndarray,
+    seg_sizes: np.ndarray,
+    hist_base: np.ndarray,
+    seg_scan_base: np.ndarray,
+    config: SampleSortConfig,
+    bucket_store: Optional[DeviceArray] = None,
+) -> None:
+    """Run Phase 4 once over every segment of a level (one fused launch).
+
+    Reuses the exact launch geometry Phase 2 built the histogram with
+    (``block_map.launch``) so the two passes can never disagree on tiling.
+    """
+    seg_starts = np.asarray(seg_starts, dtype=np.int64)
+    seg_sizes = np.asarray(seg_sizes, dtype=np.int64)
+    launcher.launch(
+        _phase4_batched_kernel, block_map.launch, in_keys, in_values, out_keys,
+        out_values, splitter_bufs, offsets, bucket_store, block_map,
+        seg_starts, seg_sizes, hist_base, seg_scan_base, config,
+        problem_size=int(seg_sizes.sum()),
+        phase="phase4_scatter", name="phase4_scatter_batched",
+    )
+
+
+__all__ = ["local_bucket_ranks", "run_phase4", "run_phase4_batched"]

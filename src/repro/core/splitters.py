@@ -49,6 +49,39 @@ class SplitterBuffers:
     splitter_set: SplitterSet
 
 
+@dataclass
+class BatchedSplitterBuffers:
+    """Device-resident splitter slabs for all segments of one recursion level.
+
+    Segment ``s`` owns ``tree[s*k : (s+1)*k]``, ``splitters[s*(k-1) : ...]``
+    and ``eq_flags[s*(k-1) : ...]`` — one contiguous slab per quantity so a
+    single batched Phase-1 launch writes every segment's search tree.
+    """
+
+    tree: DeviceArray
+    splitters: DeviceArray
+    eq_flags: DeviceArray
+    splitter_sets: list[SplitterSet]
+    k: int
+
+    @property
+    def num_segments(self) -> int:
+        return len(self.splitter_sets)
+
+
+def segment_seed(base: Optional[int], depth: int, start: int) -> Optional[int]:
+    """Deterministic per-segment sampling seed.
+
+    A pure function of the segment's identity (recursion depth and offset) so
+    that the per-segment and level-batched engines — which visit segments in
+    different orders — draw identical samples and therefore produce identical
+    recursion trees, bucket boundaries and output bytes.
+    """
+    if base is None:
+        return None
+    return (base + 0x9E3779B1 * (depth + 1) + 2 * start + 1) & 0xFFFFFFFF
+
+
 def select_splitters_from_sample(sample_sorted: np.ndarray, k: int,
                                  oversampling: int) -> np.ndarray:
     """Pick ``k - 1`` splitters from an already sorted sample of ``a * k`` keys.
@@ -72,19 +105,15 @@ def select_splitters_from_sample(sample_sorted: np.ndarray, k: int,
     return sample_sorted[positions]
 
 
-def _phase1_kernel(
+def _sample_and_select(
     ctx: BlockContext,
     keys: DeviceArray,
-    tree_buf: DeviceArray,
-    splitter_buf: DeviceArray,
-    flag_buf: DeviceArray,
     segment_start: int,
     segment_size: int,
     config: SampleSortConfig,
     seed: Optional[int],
-    out: dict,
-) -> None:
-    """Single-block Phase-1 kernel: sample, sort, select, lay out the tree."""
+) -> SplitterSet:
+    """The Phase-1 body of one block: sample, sort, select splitters."""
     k = config.k
     a = config.oversampling_for(keys.dtype)
     sample_count = min(a * k, segment_size)
@@ -105,11 +134,55 @@ def _phase1_kernel(
     splitters = select_splitters_from_sample(sorted_sample, k, a)
     splitter_set = make_splitter_set(splitters.astype(keys.dtype), k)
     ctx.charge_instructions(4 * k)  # tree layout + flag computation
+    return splitter_set
 
-    ctx.store(tree_buf, np.arange(k), splitter_set.tree)
-    ctx.store(splitter_buf, np.arange(k - 1), splitter_set.splitters)
-    ctx.store(flag_buf, np.arange(k - 1), splitter_set.eq_flags.astype(np.uint8))
+
+def _phase1_kernel(
+    ctx: BlockContext,
+    keys: DeviceArray,
+    tree_buf: DeviceArray,
+    splitter_buf: DeviceArray,
+    flag_buf: DeviceArray,
+    segment_start: int,
+    segment_size: int,
+    config: SampleSortConfig,
+    seed: Optional[int],
+    out: dict,
+) -> None:
+    """Single-block Phase-1 kernel: sample, sort, select, lay out the tree."""
+    splitter_set = _sample_and_select(
+        ctx, keys, segment_start, segment_size, config, seed
+    )
+    k = config.k
+    ctx.write_range(tree_buf, 0, splitter_set.tree)
+    ctx.write_range(splitter_buf, 0, splitter_set.splitters)
+    ctx.write_range(flag_buf, 0, splitter_set.eq_flags.astype(np.uint8))
     out["splitter_set"] = splitter_set
+
+
+def _phase1_batched_kernel(
+    ctx: BlockContext,
+    keys: DeviceArray,
+    tree_buf: DeviceArray,
+    splitter_buf: DeviceArray,
+    flag_buf: DeviceArray,
+    seg_starts: np.ndarray,
+    seg_sizes: np.ndarray,
+    seeds: list,
+    config: SampleSortConfig,
+    out: dict,
+) -> None:
+    """Batched Phase-1 kernel: block ``b`` selects segment ``b``'s splitters."""
+    b = ctx.block_id
+    splitter_set = _sample_and_select(
+        ctx, keys, int(seg_starts[b]), int(seg_sizes[b]), config, seeds[b]
+    )
+    k = config.k
+    ctx.write_range(tree_buf, b * k, splitter_set.tree)
+    ctx.write_range(splitter_buf, b * (k - 1), splitter_set.splitters)
+    ctx.write_range(flag_buf, b * (k - 1),
+                    splitter_set.eq_flags.astype(np.uint8))
+    out["splitter_sets"][b] = splitter_set
 
 
 def run_phase1(
@@ -147,6 +220,56 @@ def run_phase1(
     )
 
 
+def run_phase1_batched(
+    launcher: KernelLauncher,
+    keys: DeviceArray,
+    seg_starts: np.ndarray,
+    seg_sizes: np.ndarray,
+    config: SampleSortConfig,
+    seeds: list,
+) -> BatchedSplitterBuffers:
+    """Run Phase 1 once for *all* segments of a level (one block per segment).
+
+    Returns slab buffers where segment ``s`` occupies the ``s``-th ``k``-wide
+    (resp. ``k-1``-wide) stripe.
+    """
+    num_segments = int(len(seg_sizes))
+    if num_segments == 0:
+        raise ValueError("run_phase1_batched needs at least one segment")
+    k = config.k
+    for size in seg_sizes:
+        if int(size) < k:
+            raise ValueError(
+                f"segment of {int(size)} elements is too small for a k={k} "
+                f"distribution pass; it should have been handed to the "
+                f"small-case sorter"
+            )
+    tree_buf = launcher.gmem.alloc(num_segments * k, keys.dtype,
+                                   name="splitter_tree_slab")
+    splitter_buf = launcher.gmem.alloc(num_segments * (k - 1), keys.dtype,
+                                       name="splitters_slab")
+    flag_buf = launcher.gmem.alloc(num_segments * (k - 1), np.uint8,
+                                   name="splitter_flags_slab")
+
+    out: dict = {"splitter_sets": [None] * num_segments}
+    launch_cfg = LaunchConfig(grid_dim=num_segments, block_dim=config.block_threads,
+                              elements_per_thread=1)
+    launcher.launch(
+        _phase1_batched_kernel, launch_cfg, keys, tree_buf, splitter_buf,
+        flag_buf, np.asarray(seg_starts, dtype=np.int64),
+        np.asarray(seg_sizes, dtype=np.int64), seeds, config, out,
+        problem_size=int(np.sum(seg_sizes)),
+        phase="phase1_splitters", name="phase1_splitters_batched",
+    )
+    return BatchedSplitterBuffers(
+        tree=tree_buf,
+        splitters=splitter_buf,
+        eq_flags=flag_buf,
+        splitter_sets=out["splitter_sets"],
+        k=k,
+    )
+
+
 def splitter_balance(splitter_set: SplitterSet, keys: np.ndarray) -> float:
     """Largest bucket divided by the ideal bucket size (diagnostics / tests).
 
@@ -166,7 +289,10 @@ def splitter_balance(splitter_set: SplitterSet, keys: np.ndarray) -> float:
 
 __all__ = [
     "SplitterBuffers",
+    "BatchedSplitterBuffers",
+    "segment_seed",
     "select_splitters_from_sample",
     "run_phase1",
+    "run_phase1_batched",
     "splitter_balance",
 ]

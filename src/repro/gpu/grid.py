@@ -5,11 +5,21 @@ blocks, each with ``t = 256`` threads processing ``ell = 8`` elements per
 thread, i.e. a tile of ``t * ell = 2048`` elements per block. This module holds
 the small amount of arithmetic needed to derive tile boundaries from an input
 size and to validate a launch against the device limits.
+
+For level-synchronous execution the distribution kernels are launched once per
+recursion *level* over every same-depth segment at once. :class:`BlockMap`
+captures the block -> (segment, tile) decomposition of such a fused grid: the
+first ``ceil(size_0 / tile)`` blocks cover segment 0, the next ones segment 1,
+and so on — the same flattening the CUDA implementation performs when it
+processes "all buckets of a level" with a single kernel launch.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from .device import DeviceSpec
 from .errors import LaunchConfigError
@@ -91,4 +101,93 @@ def grid_for(n: int, block_dim: int, elements_per_thread: int = 1,
     )
 
 
-__all__ = ["LaunchConfig", "grid_for"]
+@dataclass(frozen=True)
+class BlockMap:
+    """Block -> (segment, tile) mapping of one fused multi-segment launch.
+
+    ``segment_ids[b]`` is the segment block ``b`` works on and ``tile_ids[b]``
+    is the block's tile index *within* that segment. ``block_base[s]`` is the
+    first block of segment ``s`` and ``blocks_per_segment[s]`` how many blocks
+    cover it, so ``block_base[s] + t`` is tile ``t`` of segment ``s``.
+    ``elem_base[s]`` is the number of elements in all earlier segments (the
+    segment's offset inside any per-element slab of the level), and ``launch``
+    is the fused grid itself — every phase of a level launches with the same
+    geometry, so it lives on the map rather than being re-derived per phase.
+    """
+
+    segment_ids: np.ndarray
+    tile_ids: np.ndarray
+    blocks_per_segment: np.ndarray
+    block_base: np.ndarray
+    elem_base: np.ndarray
+    tile_size: int
+    launch: LaunchConfig
+
+    @property
+    def num_blocks(self) -> int:
+        return int(self.segment_ids.size)
+
+    @property
+    def num_segments(self) -> int:
+        return int(self.blocks_per_segment.size)
+
+    def tile_bounds(self, block_id: int, sizes: Sequence[int]) -> tuple[int, int, int]:
+        """``(segment, start, end)`` of the tile owned by ``block_id``.
+
+        ``start``/``end`` are element offsets *within* the segment; the final
+        tile of a segment may be partial.
+        """
+        segment = int(self.segment_ids[block_id])
+        tile = int(self.tile_ids[block_id])
+        start = tile * self.tile_size
+        end = min(int(sizes[segment]), start + self.tile_size)
+        return segment, start, max(start, end)
+
+
+def batched_grid_for(
+    sizes: Sequence[int],
+    block_dim: int,
+    elements_per_thread: int = 1,
+    shared_mem_bytes: int = 0,
+) -> tuple[LaunchConfig, BlockMap]:
+    """Launch geometry covering several segments with one fused grid.
+
+    Each segment ``s`` receives ``ceil(sizes[s] / (t * ell))`` consecutive
+    blocks (at least one, so empty segments still own a block and the mapping
+    stays invertible). Returns the fused :class:`LaunchConfig` together with
+    the :class:`BlockMap` that kernels use to locate their tile.
+    """
+    sizes = np.asarray(list(sizes), dtype=np.int64)
+    if sizes.size == 0:
+        raise LaunchConfigError("batched_grid_for requires at least one segment")
+    if np.any(sizes < 0):
+        raise LaunchConfigError(f"segment sizes must be non-negative, got {sizes}")
+    tile = block_dim * elements_per_thread
+    blocks_per_segment = np.maximum(1, -(-sizes // tile))
+    block_base = np.zeros(sizes.size, dtype=np.int64)
+    np.cumsum(blocks_per_segment[:-1], out=block_base[1:])
+    elem_base = np.zeros(sizes.size, dtype=np.int64)
+    np.cumsum(sizes[:-1], out=elem_base[1:])
+    total_blocks = int(blocks_per_segment.sum())
+    segment_ids = np.repeat(np.arange(sizes.size, dtype=np.int64),
+                            blocks_per_segment)
+    tile_ids = np.arange(total_blocks, dtype=np.int64) - block_base[segment_ids]
+    config = LaunchConfig(
+        grid_dim=total_blocks,
+        block_dim=block_dim,
+        elements_per_thread=elements_per_thread,
+        shared_mem_bytes=shared_mem_bytes,
+    )
+    block_map = BlockMap(
+        segment_ids=segment_ids,
+        tile_ids=tile_ids,
+        blocks_per_segment=blocks_per_segment,
+        block_base=block_base,
+        elem_base=elem_base,
+        tile_size=tile,
+        launch=config,
+    )
+    return config, block_map
+
+
+__all__ = ["LaunchConfig", "grid_for", "BlockMap", "batched_grid_for"]

@@ -114,4 +114,33 @@ def chip_utilisation(device: DeviceSpec, launch: LaunchConfig,
                busy_sm_waves / total_sm_waves)
 
 
-__all__ = ["Occupancy", "occupancy_for", "chip_utilisation"]
+def per_segment_utilisation(device: DeviceSpec, segment_sizes, block_dim: int,
+                            elements_per_thread: int = 1,
+                            regs_per_thread: int = 16) -> float:
+    """Mean chip utilisation had every segment been launched on its own.
+
+    A level-batched launch covers all same-depth segments with one grid, so a
+    level with many small buckets still fills the chip — unlike one launch per
+    segment, where each tiny grid leaves most SMs idle. The engine records
+    :func:`chip_utilisation` of the fused grid next to this number per level;
+    their gap quantifies the batching win the paper's single-kernel-per-phase
+    structure buys.
+    """
+    from .grid import grid_for
+
+    sizes = [int(s) for s in segment_sizes if int(s) > 0]
+    if not sizes:
+        return 0.0
+    total = 0.0
+    for size in sizes:
+        launch = grid_for(size, block_dim, elements_per_thread)
+        total += chip_utilisation(device, launch, regs_per_thread)
+    return total / len(sizes)
+
+
+__all__ = [
+    "Occupancy",
+    "occupancy_for",
+    "chip_utilisation",
+    "per_segment_utilisation",
+]

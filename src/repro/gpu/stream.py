@@ -89,6 +89,17 @@ class KernelTrace:
         """Mapping phase label -> total predicted microseconds."""
         return {phase: self.phase_time_us(phase) for phase in self.phases()}
 
+    def launches_by_phase(self) -> dict[str, int]:
+        """Mapping phase label -> number of kernel launches.
+
+        For the level-batched engine this is the quantity that must scale with
+        O(levels), not O(segments) — the tests assert exactly that.
+        """
+        counts: dict[str, int] = {}
+        for record in self.records:
+            counts[record.phase] = counts.get(record.phase, 0) + 1
+        return counts
+
     def filter(self, phases: Iterable[str]) -> "KernelTrace":
         """A sub-trace containing only the given phases."""
         wanted = set(phases)

@@ -15,6 +15,7 @@ from .report import (
     format_claims,
     format_device_comparison,
     format_experiment,
+    format_launch_summary,
     format_paper_comparison,
     format_series_table,
 )
@@ -46,6 +47,7 @@ __all__ = [
     "format_claims",
     "format_device_comparison",
     "format_experiment",
+    "format_launch_summary",
     "format_paper_comparison",
     "format_series_table",
     "ExperimentResult",

@@ -120,6 +120,34 @@ def format_claims(result: ExperimentResult, device: Optional[str] = None) -> str
     return "\n".join(lines)
 
 
+def format_launch_summary(sort_result, title: Optional[str] = None) -> str:
+    """Kernel-launch accounting of one sort: totals, per phase, per level.
+
+    The level table only exists for the level-batched engine (the per-segment
+    engine has no level structure to report); the per-phase table works for
+    both and is what the O(levels) vs O(segments) comparison prints.
+    """
+    stats = sort_result.stats
+    lines = [title or f"kernel launches — {sort_result.algorithm} "
+             f"(mode={stats.get('execution_mode', 'n/a')})"]
+    lines.append(f"{'phase':<24}{'launches':>10}")
+    for phase, count in sort_result.trace.launches_by_phase().items():
+        lines.append(f"{phase:<24}{count:>10}")
+    lines.append(f"{'total':<24}{stats.get('kernel_launches', sort_result.trace.kernel_count):>10}")
+    level_launches = stats.get("level_launches")
+    if level_launches:
+        lines.append("")
+        lines.append(f"{'level':>6}{'segments':>10}{'elements':>12}"
+                     f"{'launches':>10}{'fused util':>12}{'solo util':>11}")
+        for info in level_launches:
+            lines.append(
+                f"{info['level']:>6}{info['segments']:>10}{info['elements']:>12}"
+                f"{info['launches']:>10}{info['fused_utilisation']:>12.2f}"
+                f"{info['per_segment_utilisation']:>11.2f}"
+            )
+    return "\n".join(lines)
+
+
 def format_device_comparison(result: ExperimentResult, distribution: str = "uniform") -> str:
     """The Figure-6 improvement table (device B rate / device A rate - 1)."""
     devices = [d.name for d in result.spec.devices]
@@ -143,5 +171,6 @@ __all__ = [
     "format_experiment",
     "format_paper_comparison",
     "format_claims",
+    "format_launch_summary",
     "format_device_comparison",
 ]

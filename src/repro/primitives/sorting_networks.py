@@ -26,6 +26,7 @@ them through :class:`~repro.gpu.block.BlockContext`.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Optional
 
@@ -66,11 +67,15 @@ class NetworkStats:
         return self.comparators * INSTR_PER_COMPARE_EXCHANGE
 
 
-def odd_even_merge_network_pairs(n: int) -> list[tuple[np.ndarray, np.ndarray]]:
+@functools.lru_cache(maxsize=None)
+def odd_even_merge_network_pairs(n: int) -> tuple[tuple[np.ndarray, np.ndarray], ...]:
     """Comparator pairs of Batcher's odd-even merge sort for a power-of-two n.
 
-    Returns a list of stages; each stage is a pair of index arrays (lo, hi)
-    that can be compare-exchanged in parallel.
+    Returns a tuple of stages; each stage is a pair of read-only index arrays
+    (lo, hi) that can be compare-exchanged in parallel. The pattern is a pure
+    function of ``n`` (a fixed wiring, just like the unrolled device code), so
+    it is memoised — regenerating it per block was the simulator's single
+    hottest path.
     """
     if n & (n - 1):
         raise ValueError(f"odd-even merge network needs a power-of-two size, got {n}")
@@ -89,14 +94,25 @@ def odd_even_merge_network_pairs(n: int) -> list[tuple[np.ndarray, np.ndarray]]:
                         lo_list.append(a)
                         hi_list.append(b)
             if lo_list:
-                stages.append((np.array(lo_list), np.array(hi_list)))
+                stages.append(_frozen_stage(np.array(lo_list), np.array(hi_list)))
             k //= 2
         p *= 2
-    return stages
+    return tuple(stages)
 
 
-def bitonic_network_pairs(n: int) -> list[tuple[np.ndarray, np.ndarray]]:
-    """Comparator pairs of a bitonic sorting network for a power-of-two n."""
+def _frozen_stage(lo: np.ndarray, hi: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Mark a cached stage's index arrays read-only so no caller can mutate it."""
+    lo.setflags(write=False)
+    hi.setflags(write=False)
+    return lo, hi
+
+
+@functools.lru_cache(maxsize=None)
+def bitonic_network_pairs(n: int) -> tuple[tuple[np.ndarray, np.ndarray], ...]:
+    """Comparator pairs of a bitonic sorting network for a power-of-two n.
+
+    Memoised like :func:`odd_even_merge_network_pairs`; stages are read-only.
+    """
     if n & (n - 1):
         raise ValueError(f"bitonic network needs a power-of-two size, got {n}")
     stages: list[tuple[np.ndarray, np.ndarray]] = []
@@ -113,16 +129,16 @@ def bitonic_network_pairs(n: int) -> list[tuple[np.ndarray, np.ndarray]]:
             # encode direction by swapping endpoints for descending comparators
             lo = np.where(ascending, a, b)
             hi = np.where(ascending, b, a)
-            stages.append((lo, hi))
+            stages.append(_frozen_stage(lo, hi))
             j //= 2
         k *= 2
-    return stages
+    return tuple(stages)
 
 
 def _apply_network(
     keys: np.ndarray,
     values: Optional[np.ndarray],
-    stages: list[tuple[np.ndarray, np.ndarray]],
+    stages: tuple[tuple[np.ndarray, np.ndarray], ...],
 ) -> int:
     """Apply compare-exchange stages in place; returns the comparator count."""
     comparators = 0

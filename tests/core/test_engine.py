@@ -1,0 +1,202 @@
+"""Tests for the level-synchronous distribution engine.
+
+The acceptance criterion of the engine refactor: for a seeded multi-level
+sort, ``execution_mode="level_batched"`` records one launch per phase per
+*level* (plus the final bucket-sort launch and the O(1) scan launches of each
+level), while ``"per_segment"`` records one full set of phase launches per
+*segment* — and both modes return byte-identical sorted keys and values.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SampleSortConfig
+from repro.core.sample_sort import SampleSorter
+from repro.datagen import make_input
+from repro.gpu.errors import UnsupportedInputError
+from repro.gpu.grid import batched_grid_for
+from repro.harness.report import format_launch_summary
+
+
+def _two_level_config(mode):
+    """k=16, M=512: a 20k-element input needs exactly two distribution levels."""
+    return SampleSortConfig.small().with_(
+        k=16, bucket_threshold=512, execution_mode=mode, seed=11
+    )
+
+
+@pytest.fixture
+def workload():
+    return make_input("uniform", 20_000, "uint32", with_values=True, seed=4)
+
+
+class TestLaunchCounts:
+    def test_two_level_sort_meets_launch_budget(self, workload):
+        """The issue's acceptance criterion, verbatim."""
+        results = {}
+        for mode in ("per_segment", "level_batched"):
+            sorter = SampleSorter(config=_two_level_config(mode))
+            results[mode] = sorter.sort(workload.keys, workload.values)
+        batched = results["level_batched"]
+        per_segment = results["per_segment"]
+
+        # both modes return byte-identical sorted keys and values
+        assert batched.keys.tobytes() == per_segment.keys.tobytes()
+        assert batched.values.tobytes() == per_segment.values.tobytes()
+
+        levels = batched.stats["levels"]
+        segments = batched.stats["segments_distributed"]
+        assert levels == 2
+        assert segments > levels  # the batching must actually fuse something
+
+        by_phase = batched.stats["launches_by_phase"]
+        # one launch per phase per level for the three distribution kernels
+        assert by_phase["phase1_splitters"] == levels
+        assert by_phase["phase2_histogram"] == levels
+        assert by_phase["phase4_scatter"] == levels
+        assert by_phase["bucket_sort"] == 1
+        # the scan is O(1) launches per level (at most 3: scan, recurse, add)
+        assert by_phase["phase3_scan"] <= 3 * levels
+        assert batched.stats["kernel_launches"] <= 6 * levels + 1
+
+        # the per-segment engine records one set of launches per segment
+        seg_phase = per_segment.stats["launches_by_phase"]
+        assert seg_phase["phase1_splitters"] == segments
+        assert seg_phase["phase2_histogram"] == segments
+        assert seg_phase["phase4_scatter"] == segments
+        assert per_segment.stats["kernel_launches"] > batched.stats["kernel_launches"]
+
+    def test_kernel_launches_matches_trace(self, workload):
+        result = SampleSorter(config=_two_level_config("level_batched")).sort(
+            workload.keys
+        )
+        assert result.stats["kernel_launches"] == result.trace.kernel_count
+        assert sum(result.stats["launches_by_phase"].values()) == \
+            result.trace.kernel_count
+        assert result.trace.launches_by_phase() == result.stats["launches_by_phase"]
+
+    def test_level_launch_reporting(self, workload):
+        result = SampleSorter(config=_two_level_config("level_batched")).sort(
+            workload.keys
+        )
+        levels = result.stats["level_launches"]
+        assert len(levels) == result.stats["levels"]
+        assert [info["level"] for info in levels] == list(range(len(levels)))
+        assert sum(info["segments"] for info in levels) == \
+            result.stats["segments_distributed"]
+        for info in levels:
+            assert info["launches"] >= 4  # phases 1, 2, 4 plus at least one scan
+            assert 0.0 < info["fused_utilisation"] <= 1.0
+            assert 0.0 < info["per_segment_utilisation"] <= 1.0
+
+    def test_launch_summary_report(self, workload):
+        result = SampleSorter(config=_two_level_config("level_batched")).sort(
+            workload.keys
+        )
+        text = format_launch_summary(result)
+        assert "phase2_histogram" in text
+        assert "level" in text
+        assert "mode=level_batched" in text
+
+
+class TestConfig:
+    def test_invalid_execution_mode_rejected(self):
+        with pytest.raises(ValueError):
+            SampleSortConfig.small().with_(execution_mode="warp_batched")
+
+    def test_default_mode_is_level_batched(self):
+        assert SampleSortConfig.paper().execution_mode == "level_batched"
+
+
+class TestBatchedGrid:
+    def test_block_map_covers_every_segment(self):
+        sizes = [5000, 1, 0, 2048, 300]
+        launch, block_map = batched_grid_for(sizes, 256, 8)
+        assert launch.grid_dim == block_map.num_blocks
+        # ceil(5000/2048)=3, 1, 1 (empty segments still own a block), 1, 1
+        assert list(block_map.blocks_per_segment) == [3, 1, 1, 1, 1]
+        covered = {seg: 0 for seg in range(len(sizes))}
+        for block in range(block_map.num_blocks):
+            seg, start, end = block_map.tile_bounds(block, sizes)
+            covered[seg] += end - start
+        assert covered == {0: 5000, 1: 1, 2: 0, 3: 2048, 4: 300}
+
+    def test_tile_ids_restart_per_segment(self):
+        _, block_map = batched_grid_for([4096, 4096], 256, 8)
+        assert list(block_map.segment_ids) == [0, 0, 1, 1]
+        assert list(block_map.tile_ids) == [0, 1, 0, 1]
+
+    def test_empty_segment_list_rejected(self):
+        with pytest.raises(Exception):
+            batched_grid_for([], 256, 8)
+
+
+class TestSortMany:
+    def test_batch_results_match_individual_sorts(self):
+        config = _two_level_config("level_batched")
+        sorter = SampleSorter(config=config)
+        rng = np.random.default_rng(9)
+        batch = [rng.integers(0, 2**32, n, dtype=np.uint64).astype(np.uint32)
+                 for n in (3000, 11_000, 700, 1)]
+        results = sorter.sort_many(batch)
+        assert len(results) == len(batch)
+        for keys, result in zip(batch, results):
+            assert np.array_equal(result.keys, np.sort(keys))
+            assert result.stats["batch_size"] == len(batch)
+
+    def test_batch_key_value_pairs_stay_paired(self):
+        sorter = SampleSorter(config=_two_level_config("level_batched"))
+        rng = np.random.default_rng(10)
+        batch_keys = [rng.integers(0, 500, n, dtype=np.uint64).astype(np.uint32)
+                      for n in (4000, 2500)]
+        batch_values = [np.arange(k.size, dtype=np.uint32) for k in batch_keys]
+        results = sorter.sort_many(batch_keys, batch_values)
+        for keys, result in zip(batch_keys, results):
+            assert np.array_equal(result.keys, np.sort(keys))
+            assert np.array_equal(keys[result.values], result.keys)
+
+    def test_batch_amortises_kernel_launches(self):
+        """One batched engine run beats one-sort-at-a-time on launch count."""
+        config = _two_level_config("level_batched")
+        rng = np.random.default_rng(11)
+        batch = [rng.integers(0, 2**32, 6000, dtype=np.uint64).astype(np.uint32)
+                 for _ in range(6)]
+        batch_results = SampleSorter(config=config).sort_many(batch)
+        batched_launches = batch_results[0].stats["kernel_launches"]
+        individual_launches = sum(
+            SampleSorter(config=config).sort(keys).stats["kernel_launches"]
+            for keys in batch
+        )
+        assert batched_launches < individual_launches
+
+    def test_batch_works_in_per_segment_mode(self):
+        sorter = SampleSorter(config=_two_level_config("per_segment"))
+        rng = np.random.default_rng(12)
+        batch = [rng.integers(0, 1000, 2000, dtype=np.uint64).astype(np.uint32)
+                 for _ in range(3)]
+        for keys, result in zip(batch, sorter.sort_many(batch)):
+            assert np.array_equal(result.keys, np.sort(keys))
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(UnsupportedInputError):
+            SampleSorter().sort_many([])
+
+    def test_mixed_dtypes_rejected(self):
+        with pytest.raises(UnsupportedInputError):
+            SampleSorter().sort_many([
+                np.zeros(10, dtype=np.uint32), np.zeros(10, dtype=np.uint64)
+            ])
+
+    def test_mismatched_values_rejected(self):
+        with pytest.raises(UnsupportedInputError):
+            SampleSorter().sort_many(
+                [np.zeros(10, dtype=np.uint32)],
+                [np.zeros(9, dtype=np.uint32)],
+            )
+
+    def test_value_count_mismatch_rejected(self):
+        with pytest.raises(UnsupportedInputError):
+            SampleSorter().sort_many(
+                [np.zeros(10, dtype=np.uint32)] * 2,
+                [np.zeros(10, dtype=np.uint32)],
+            )
