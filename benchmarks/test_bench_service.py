@@ -1,0 +1,152 @@
+"""A3 — Sort service: throughput / latency across shard counts.
+
+Runs one deterministic open-loop request stream — many small key-value
+requests plus one oversized request that triggers the splitter-scatter
+sharding path — through 1-, 2- and 4-shard service configurations, and
+archives per-configuration throughput, batch occupancy and latency
+percentiles in ``BENCH_service.json``. This opens the throughput/latency
+scenario axis the figure benchmarks (pure sorting-rate) never measured.
+
+``SERVICE_BENCH_SCALE=tiny`` shrinks the workload for CI smoke runs.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import print_block
+from repro.core.config import SampleSortConfig
+from repro.core.sample_sort import SampleSorter
+from repro.harness.report import format_service_report
+from repro.service import ServiceConfig, SortService
+
+TINY = os.environ.get("SERVICE_BENCH_SCALE", "").lower() == "tiny"
+NUM_REQUESTS = 4 if TINY else 20
+REQUEST_N = (1 << 10) if TINY else (1 << 12)
+OVERSIZED_N = (1 << 13) if TINY else (1 << 15)
+MEAN_GAP_US = 40.0
+SORTER_CONFIG = SampleSortConfig.paper().with_(
+    k=8, oversampling=8, bucket_threshold=1 << 10, seed=7
+)
+SHARD_COUNTS = (1, 2, 4)
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+
+def _request_stream():
+    """Deterministic arrivals: jittered sizes/keys, one oversized request."""
+    rng = np.random.default_rng(2026)
+    stream = []
+    now = 0.0
+    for i in range(NUM_REQUESTS):
+        n = int(REQUEST_N * rng.uniform(0.6, 1.4))
+        keys = rng.integers(0, n // 2, n).astype(np.uint32)
+        values = rng.permutation(n).astype(np.uint32)
+        stream.append((keys, values, now))
+        now += float(rng.exponential(MEAN_GAP_US))
+        if i == NUM_REQUESTS // 2:
+            big_keys = rng.integers(0, OVERSIZED_N // 2,
+                                    OVERSIZED_N).astype(np.uint32)
+            big_values = rng.permutation(OVERSIZED_N).astype(np.uint32)
+            stream.append((big_keys, big_values, now))
+    return stream
+
+
+def _service(num_shards):
+    return SortService(ServiceConfig(
+        num_shards=num_shards,
+        sorter=SORTER_CONFIG,
+        queue_capacity=2 * len(_STREAM) + 2,
+        max_request_elements=4 * OVERSIZED_N,
+        max_batch_requests=8,
+        max_batch_elements=4 * REQUEST_N,
+        max_wait_us=120.0,
+        shard_threshold=2 * REQUEST_N,
+    ))
+
+
+_STREAM = _request_stream()
+
+
+def test_bench_service_shard_scaling(benchmark):
+    solo = SampleSorter(config=SORTER_CONFIG)
+    expected = {i: solo.sort(keys, values)
+                for i, (keys, values, _) in enumerate(_STREAM)}
+
+    def run():
+        outcome = {}
+        for num_shards in SHARD_COUNTS:
+            service = _service(num_shards)
+            ids = {}
+            for i, (keys, values, arrival_us) in enumerate(_STREAM):
+                ids[service.submit(keys, values, arrival_us=arrival_us)] = i
+            wall_start = time.perf_counter()
+            results = service.drain()
+            wall_s = time.perf_counter() - wall_start
+            outcome[num_shards] = (service, results, ids, wall_s)
+        return outcome
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    record = {
+        "benchmark": "service_shard_scaling",
+        "requests": len(_STREAM),
+        "request_n": REQUEST_N,
+        "oversized_n": OVERSIZED_N,
+        "tiny": TINY,
+        "config": {"k": SORTER_CONFIG.k,
+                   "bucket_threshold": SORTER_CONFIG.bucket_threshold,
+                   "max_wait_us": 120.0},
+        "shard_configs": {},
+    }
+    blocks = []
+    for num_shards, (service, results, ids, wall_s) in outcome.items():
+        # every request byte-identical to its solo sort, sharded included
+        for request_id, stream_index in ids.items():
+            assert results[request_id].keys.tobytes() == \
+                expected[stream_index].keys.tobytes()
+            assert results[request_id].values.tobytes() == \
+                expected[stream_index].values.tobytes()
+        stats = service.stats()
+        if num_shards >= 2:
+            assert stats["counts"]["sharded_requests"] == 1
+        assert stats["latency_us"]["p50"] <= stats["latency_us"]["p95"]
+        record["shard_configs"][str(num_shards)] = {
+            "wall_s": round(wall_s, 4),
+            "throughput_elements_per_us": round(
+                stats["throughput"]["elements_per_us"], 3),
+            "requests_per_ms": round(
+                stats["throughput"]["requests_per_ms"], 3),
+            "makespan_us": round(stats["throughput"]["makespan_us"], 1),
+            "latency_p50_us": round(stats["latency_us"]["p50"], 1),
+            "latency_p95_us": round(stats["latency_us"]["p95"], 1),
+            "batch_occupancy_requests": round(
+                stats["batch_occupancy"]["mean_requests"], 2),
+            "batch_occupancy_fill": round(
+                stats["batch_occupancy"]["mean_element_fill"], 3),
+            "batches": stats["batches"],
+            "sharded_requests": stats["counts"]["sharded_requests"],
+            "queue_depth_peak": stats["queue_depth_peak"],
+        }
+        blocks.append(format_service_report(
+            stats, title=f"--- {num_shards} shard(s) ---"))
+
+    # more shards must not slow the same stream down (work-conserving pool)
+    makespans = {s: record["shard_configs"][str(s)]["makespan_us"]
+                 for s in SHARD_COUNTS}
+    assert makespans[4] <= makespans[1] * 1.001
+
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    summary = "\n".join(
+        f"{s} shard(s): {c['throughput_elements_per_us']:>7.2f} elem/us, "
+        f"p50 {c['latency_p50_us']:>8.1f} us, p95 {c['latency_p95_us']:>8.1f} us, "
+        f"occupancy {c['batch_occupancy_requests']:.2f} req/batch"
+        for s, c in ((s, record["shard_configs"][str(s)])
+                     for s in SHARD_COUNTS)
+    )
+    print_block(
+        "Sort service: shard scaling on one open-loop request stream",
+        summary + f"\n(archived in {RESULT_PATH.name})\n\n" + "\n\n".join(blocks),
+    )

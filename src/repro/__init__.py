@@ -19,6 +19,8 @@ Layer map (see DESIGN.md for the full inventory):
 * :mod:`repro.perfmodel` — closed-form operation counts and the calibrated
   analytic time model.
 * :mod:`repro.harness` — the paper's figures as runnable experiments.
+* :mod:`repro.service` — the async sharded sort service (request queue,
+  micro-batching scheduler, device shards, per-request telemetry).
 * :mod:`repro.analysis` — output validation and comparison metrics.
 
 Quick start::
@@ -52,6 +54,7 @@ from .core import (
 from .datagen import make_input
 from .gpu import GTX_285, TESLA_C1060, DeviceSpec, get_device
 from .harness import EXPERIMENTS, get_experiment, run_experiment
+from .service import ServiceConfig, SortService
 from .perfmodel import AnalyticTimeModel, rate_series
 
 __version__ = "1.0.0"
@@ -80,6 +83,8 @@ __all__ = [
     "EXPERIMENTS",
     "get_experiment",
     "run_experiment",
+    "ServiceConfig",
+    "SortService",
     "AnalyticTimeModel",
     "rate_series",
 ]

@@ -25,6 +25,7 @@ segments of *all* requests with a single set of phase launches.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Optional
 
@@ -34,7 +35,6 @@ from ..gpu.device import DeviceSpec
 from ..gpu.kernel import KernelLauncher
 from ..gpu.memory import DeviceArray
 from ..gpu.scheduler import chip_utilisation, per_segment_utilisation
-from ..gpu.stream import KernelTrace
 from .bucket_sorter import BucketTask, run_bucket_sort
 from .config import SampleSortConfig
 from .histogram_kernel import run_phase2, run_phase2_batched
@@ -53,6 +53,65 @@ class SegmentDescriptor:
     buffer: str
     depth: int
     constant: bool = False
+    #: Offset subtracted from ``start`` when deriving the sampling seed.
+    #: A solo sort uses ``base=0``; :meth:`SampleSorter.sort_many` sets each
+    #: request's base to its offset in the concatenated batch buffer, so every
+    #: request's recursion draws the *same* splitter samples it would have
+    #: drawn in a solo sort — making batched results byte-identical to solo
+    #: results even for key-value inputs with duplicate keys (the small-case
+    #: sorting network is not stable, so the tie permutation is reproducible
+    #: only if the recursion tree is).
+    base: int = 0
+
+
+class RequestAttribution:
+    """Pro-rates a shared batch trace over the requests that produced it.
+
+    A batched engine run serves many requests with shared kernel launches, so
+    exact per-request costs do not exist; the serving layer still needs an
+    attribution that (a) sums to the batch totals and (b) weighs each request
+    by the work it contributed. Every trace region (one distribution level, or
+    the bucket-sort launch) is split by the number of elements each request had
+    in that region — launches become fractional, which is the honest reading
+    of "your request rode along on one fused launch".
+    """
+
+    def __init__(self, bounds: list[tuple[int, int]]):
+        self._starts = [lo for lo, _ in bounds]
+        self.entries = [
+            {
+                "elements": hi - lo,
+                "time_us": 0.0,
+                "kernel_launches": 0.0,
+                "launches_by_phase": {},
+            }
+            for lo, hi in bounds
+        ]
+
+    def request_of(self, start: int) -> int:
+        """Index of the request whose range contains element ``start``."""
+        return bisect_right(self._starts, start) - 1
+
+    def add_records(self, records, weights: dict[int, float]) -> None:
+        """Attribute trace ``records`` to requests with the given shares."""
+        for record in records:
+            for request, share in weights.items():
+                entry = self.entries[request]
+                entry["time_us"] += record.time_us * share
+                entry["kernel_launches"] += share
+                by_phase = entry["launches_by_phase"]
+                by_phase[record.phase] = by_phase.get(record.phase, 0.0) + share
+
+    def segment_weights(self, segments) -> dict[int, float]:
+        """Element-share per request over ``segments`` (descriptor or task)."""
+        elements: dict[int, int] = {}
+        for segment in segments:
+            request = self.request_of(segment.start)
+            elements[request] = elements.get(request, 0) + segment.size
+        total = sum(elements.values())
+        if total == 0:
+            return {request: 0.0 for request in elements}
+        return {request: count / total for request, count in elements.items()}
 
 
 class DistributionEngine:
@@ -71,11 +130,17 @@ class DistributionEngine:
         aux_keys: DeviceArray,
         aux_values: Optional[DeviceArray],
         roots: list[SegmentDescriptor],
+        request_bounds: Optional[list[tuple[int, int]]] = None,
     ) -> dict:
         """Distribute every root down to leaf buckets, then sort the buckets.
 
         Returns the statistics dict for the whole run, including kernel-launch
-        accounting (total, per phase, and per recursion level).
+        accounting (total, per phase, and per recursion level). When
+        ``request_bounds`` (one contiguous ``[lo, hi)`` range per request of a
+        batched run) is given, the stats additionally carry
+        ``"request_attribution"``: per-request time / launch shares pro-rated
+        from the shared trace by each request's element count per trace region
+        (see :class:`RequestAttribution`); the shares sum to the run totals.
         """
         trace_start = len(launcher.trace)
         stats: dict = {
@@ -84,16 +149,19 @@ class DistributionEngine:
             "max_depth": 0,
             "execution_mode": self.config.execution_mode,
         }
+        attribution = (
+            RequestAttribution(request_bounds) if request_bounds else None
+        )
 
         if self.config.execution_mode == "level_batched":
             leaves = self._run_level_batched(
                 launcher, primary_keys, primary_values, aux_keys, aux_values,
-                roots, stats,
+                roots, stats, attribution,
             )
         else:
             leaves = self._run_per_segment(
                 launcher, primary_keys, primary_values, aux_keys, aux_values,
-                roots, stats,
+                roots, stats, attribution,
             )
 
         tasks = [
@@ -102,20 +170,29 @@ class DistributionEngine:
             for segment in leaves
             if segment.size > 0
         ]
+        bucket_trace_start = len(launcher.trace)
         bucket_stats = run_bucket_sort(
             launcher, primary_keys, primary_values, aux_keys, aux_values,
             tasks, self.config,
         )
         stats.update(bucket_stats)
         stats["num_leaf_buckets"] = len(tasks)
+        if attribution is not None and tasks:
+            attribution.add_records(
+                launcher.trace.records[bucket_trace_start:],
+                attribution.segment_weights(tasks),
+            )
 
-        run_trace = KernelTrace(records=launcher.trace.records[trace_start:])
+        run_trace = launcher.trace.slice_from(trace_start)
         stats["kernel_launches"] = run_trace.kernel_count
         stats["launches_by_phase"] = run_trace.launches_by_phase()
+        stats["predicted_us"] = run_trace.total_time_us
+        if attribution is not None:
+            stats["request_attribution"] = attribution.entries
         return stats
 
     # ------------------------------------------------------------- scheduling
-    def _is_leaf(self, segment: SegmentDescriptor) -> bool:
+    def is_leaf(self, segment: SegmentDescriptor) -> bool:
         config = self.config
         return (
             segment.constant
@@ -133,6 +210,7 @@ class DistributionEngine:
         aux_values: Optional[DeviceArray],
         roots: list[SegmentDescriptor],
         stats: dict,
+        attribution: Optional[RequestAttribution] = None,
     ) -> list[SegmentDescriptor]:
         """Original scheduling: one full set of phase launches per segment."""
         pending = list(roots)
@@ -140,13 +218,21 @@ class DistributionEngine:
         while pending:
             segment = pending.pop()
             stats["max_depth"] = max(stats["max_depth"], segment.depth)
-            if self._is_leaf(segment):
+            if self.is_leaf(segment):
                 leaves.append(segment)
                 continue
+            trace_before = len(launcher.trace)
             children = self._distribution_pass(
                 launcher, segment, primary_keys, primary_values,
                 aux_keys, aux_values,
             )
+            if attribution is not None:
+                # A segment never spans request bounds, so its launches are
+                # attributed in full to its request.
+                attribution.add_records(
+                    launcher.trace.records[trace_before:],
+                    {attribution.request_of(segment.start): 1.0},
+                )
             stats["distribution_passes"] += 1
             stats["segments_distributed"] += 1
             pending.extend(children)
@@ -162,6 +248,7 @@ class DistributionEngine:
         aux_values: Optional[DeviceArray],
         roots: list[SegmentDescriptor],
         stats: dict,
+        attribution: Optional[RequestAttribution] = None,
     ) -> list[SegmentDescriptor]:
         """Level-synchronous scheduling: one launch per phase per level."""
         frontier = list(roots)
@@ -171,7 +258,7 @@ class DistributionEngine:
             active: list[SegmentDescriptor] = []
             for segment in frontier:
                 stats["max_depth"] = max(stats["max_depth"], segment.depth)
-                if self._is_leaf(segment):
+                if self.is_leaf(segment):
                     leaves.append(segment)
                 else:
                     active.append(segment)
@@ -189,6 +276,11 @@ class DistributionEngine:
             )
             level_info["launches"] = len(launcher.trace) - trace_before
             level_launches.append(level_info)
+            if attribution is not None:
+                attribution.add_records(
+                    launcher.trace.records[trace_before:],
+                    attribution.segment_weights(active),
+                )
             stats["distribution_passes"] += len(active)
             stats["segments_distributed"] += len(active)
             frontier = children
@@ -229,7 +321,8 @@ class DistributionEngine:
             self._buffer_direction(segment.buffer, primary_keys, primary_values,
                                    aux_keys, aux_values)
 
-        seed = segment_seed(config.seed, segment.depth, segment.start)
+        seed = segment_seed(config.seed, segment.depth,
+                            segment.start - segment.base)
         splitter_bufs = run_phase1(
             launcher, in_keys, segment.start, segment.size, config, seed=seed
         )
@@ -284,7 +377,8 @@ class DistributionEngine:
 
         seg_starts = np.array([s.start for s in active], dtype=np.int64)
         seg_sizes = np.array([s.size for s in active], dtype=np.int64)
-        seeds = [segment_seed(config.seed, s.depth, s.start) for s in active]
+        seeds = [segment_seed(config.seed, s.depth, s.start - s.base)
+                 for s in active]
 
         splitter_bufs = run_phase1_batched(
             launcher, in_keys, seg_starts, seg_sizes, config, seeds
@@ -359,9 +453,36 @@ class DistributionEngine:
                     buffer=out_buffer,
                     depth=segment.depth + 1,
                     constant=is_equality_bucket and detect_constant,
+                    base=segment.base,
                 )
             )
         return children
 
+    # -------------------------------------------------------------- single level
+    def run_single_level(
+        self,
+        launcher: KernelLauncher,
+        segments: list[SegmentDescriptor],
+        primary_keys: DeviceArray,
+        primary_values: Optional[DeviceArray],
+        aux_keys: DeviceArray,
+        aux_values: Optional[DeviceArray],
+    ) -> tuple[list[SegmentDescriptor], dict]:
+        """Run one batched distribution pass and stop: ``(children, level_info)``.
 
-__all__ = ["SegmentDescriptor", "DistributionEngine"]
+        The service layer's splitter-based scatter uses this to reproduce the
+        exact level-0 pass a solo sort would run, then ships whole child
+        subtrees to different device shards. Because the sampling seed is a
+        pure function of ``(depth, start - base)``, each shard's recursion over
+        its subtrees is byte-identical to the corresponding part of the solo
+        sort — including the tie permutation of key-value payloads.
+        """
+        if not segments:
+            raise ValueError("run_single_level needs at least one segment")
+        return self._level_pass(
+            launcher, segments, primary_keys, primary_values,
+            aux_keys, aux_values,
+        )
+
+
+__all__ = ["SegmentDescriptor", "RequestAttribution", "DistributionEngine"]

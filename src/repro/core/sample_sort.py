@@ -45,6 +45,7 @@ import numpy as np
 from ..gpu.device import DeviceSpec, TESLA_C1060
 from ..gpu.errors import UnsupportedInputError
 from ..gpu.kernel import KernelLauncher
+from ..gpu.stream import KernelTrace
 from .base import GpuSorter, SortResult
 from .config import SampleSortConfig
 from .engine import DistributionEngine, SegmentDescriptor
@@ -63,8 +64,8 @@ class SampleSorter(GpuSorter):
         self.config = config if config is not None else SampleSortConfig.paper()
 
     # --------------------------------------------------------------- internals
-    def _effective_config(self, keys: np.ndarray,
-                          values: Optional[np.ndarray]) -> SampleSortConfig:
+    def effective_config(self, keys: np.ndarray,
+                         values: Optional[np.ndarray] = None) -> SampleSortConfig:
         """Validate the configuration and clamp the shared-sort threshold."""
         config = self.config
         config.validate_for_device(self.device, key_itemsize=keys.dtype.itemsize)
@@ -80,7 +81,7 @@ class SampleSorter(GpuSorter):
 
     # ------------------------------------------------------------------ sort
     def _sort_impl(self, keys: np.ndarray, values: Optional[np.ndarray]) -> SortResult:
-        config = self._effective_config(keys, values)
+        config = self.effective_config(keys, values)
         launcher = KernelLauncher(self.device)
         n = int(keys.size)
 
@@ -111,6 +112,7 @@ class SampleSorter(GpuSorter):
         self,
         batch_keys: Sequence[np.ndarray],
         batch_values: Optional[Sequence[np.ndarray]] = None,
+        trace: Optional[KernelTrace] = None,
     ) -> list[SortResult]:
         """Sort many independent inputs with one engine run.
 
@@ -124,9 +126,23 @@ class SampleSorter(GpuSorter):
         Requirements: at least one request, all key arrays one-dimensional and
         of the same dtype; ``batch_values`` is all-or-nothing and each value
         array must match its key array's shape. Returns one
-        :class:`SortResult` per request, in order. The trace (and the launch /
-        time accounting derived from it) is shared by the whole batch; each
-        result's ``stats`` records its ``batch_index`` and request size.
+        :class:`SortResult` per request, in order.
+
+        Guarantees made for the serving layer on top of this method:
+
+        * every request's output is **byte-identical** to a solo
+          :meth:`sort` of the same input (each root segment carries its batch
+          offset as the sampling-seed base, so each request replays exactly
+          the recursion tree of its solo sort);
+        * each result's ``stats`` carries per-request attribution pro-rated
+          from the shared trace (``request_time_us``, ``request_launches``,
+          ``request_launches_by_phase``) which sums to the batch totals
+          across requests, next to the shared batch accounting.
+
+        ``trace`` optionally supplies an existing :class:`KernelTrace` to
+        append to — a device shard reuses one trace across the batches it
+        serves, the simulator's equivalent of enqueueing work on a persistent
+        CUDA stream.
         """
         if len(batch_keys) == 0:
             raise UnsupportedInputError("sort_many needs at least one input")
@@ -166,9 +182,10 @@ class SampleSorter(GpuSorter):
 
         all_keys = np.concatenate(keys_list)
         all_values = np.concatenate(values_list) if values_list is not None else None
-        config = self._effective_config(all_keys, all_values)
+        config = self.effective_config(all_keys, all_values)
 
-        launcher = KernelLauncher(self.device)
+        launcher = KernelLauncher(self.device, trace=trace)
+        trace_start = len(launcher.trace)
         total = int(all_keys.size)
         primary_keys = launcher.gmem.from_host(all_keys, name="keys_primary")
         aux_keys = launcher.gmem.alloc(total, all_keys.dtype, name="keys_aux")
@@ -185,18 +202,25 @@ class SampleSorter(GpuSorter):
             bounds.append((offset, offset + int(keys.size)))
             if keys.size > 0:
                 roots.append(SegmentDescriptor(
-                    start=offset, size=int(keys.size), buffer="primary", depth=0
+                    start=offset, size=int(keys.size), buffer="primary", depth=0,
+                    base=offset,
                 ))
             offset += int(keys.size)
 
         engine = DistributionEngine(self.device, config)
         stats = engine.run(
-            launcher, primary_keys, primary_values, aux_keys, aux_values, roots
+            launcher, primary_keys, primary_values, aux_keys, aux_values, roots,
+            request_bounds=bounds,
         )
         stats["batch_size"] = len(keys_list)
+        attribution = stats.pop("request_attribution")
 
         sorted_keys = primary_keys.to_host()
         sorted_values = None if primary_values is None else primary_values.to_host()
+        # Results carry only this run's records: when the caller supplies a
+        # persistent stream trace, earlier batches on it must not leak into
+        # this batch's accounting.
+        run_trace = launcher.trace.slice_from(trace_start)
         results: list[SortResult] = []
         for index, (lo, hi) in enumerate(bounds):
             # Deep copy: the batch shares one engine run, but each result's
@@ -204,10 +228,16 @@ class SampleSorter(GpuSorter):
             request_stats = copy.deepcopy(stats)
             request_stats["batch_index"] = index
             request_stats["batch_request_n"] = hi - lo
+            share = attribution[index]
+            request_stats["request_time_us"] = share["time_us"]
+            request_stats["request_launches"] = share["kernel_launches"]
+            request_stats["request_launches_by_phase"] = dict(
+                share["launches_by_phase"]
+            )
             results.append(SortResult(
                 keys=sorted_keys[lo:hi].copy(),
                 values=None if sorted_values is None else sorted_values[lo:hi].copy(),
-                trace=launcher.trace,
+                trace=run_trace,
                 algorithm=self.name,
                 device=self.device,
                 stats=request_stats,

@@ -51,7 +51,7 @@ from .kernel import KernelLauncher, kernel, launch
 from .memory import DeviceArray, GlobalMemory
 from .scheduler import Occupancy, chip_utilisation, occupancy_for
 from .shared import SharedMemory
-from .stream import KernelRecord, KernelTrace
+from .stream import DeviceStream, KernelRecord, KernelTrace
 from .timing import DeviceTimeModel, KernelTime
 from .warp import WarpExecutor
 
@@ -89,6 +89,7 @@ __all__ = [
     "SharedMemory",
     "KernelRecord",
     "KernelTrace",
+    "DeviceStream",
     "DeviceTimeModel",
     "KernelTime",
     "WarpExecutor",

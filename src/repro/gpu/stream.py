@@ -105,6 +105,15 @@ class KernelTrace:
         wanted = set(phases)
         return KernelTrace([r for r in self.records if r.phase in wanted])
 
+    def slice_from(self, start: int) -> "KernelTrace":
+        """Sub-trace of the records appended at index ``start`` and later.
+
+        A persistent stream accumulates launches across many operations; a
+        caller that wants the accounting of just its own operation snapshots
+        ``len(trace)`` before dispatching and slices afterwards.
+        """
+        return KernelTrace(records=self.records[start:])
+
     def format_breakdown(self, title: Optional[str] = None) -> str:
         """Human-readable per-phase table (used by examples and reports)."""
         lines = []
@@ -121,4 +130,45 @@ class KernelTrace:
         return "\n".join(lines)
 
 
-__all__ = ["KernelRecord", "KernelTrace"]
+@dataclass
+class DeviceStream:
+    """An in-order work queue on one simulated device.
+
+    A CUDA stream executes the operations enqueued on it in order, each
+    starting no earlier than both its enqueue time and the completion of its
+    predecessor. The serving layer gives every device shard one persistent
+    stream: the shard's batches append their launches to the stream's single
+    accumulated :class:`KernelTrace` (stream *reuse* — no per-batch stream
+    setup), and :meth:`enqueue` advances the stream's busy horizon, which is
+    what multi-shard scheduling and per-request completion times are computed
+    from.
+    """
+
+    name: str = "stream0"
+    trace: KernelTrace = field(default_factory=KernelTrace)
+    #: Simulated time at which the last enqueued operation completes.
+    busy_until_us: float = 0.0
+    #: Number of operations enqueued so far.
+    operations: int = 0
+
+    def available_at(self, now_us: float) -> float:
+        """Earliest time an operation enqueued at ``now_us`` could start."""
+        return max(now_us, self.busy_until_us)
+
+    def enqueue(self, duration_us: float, now_us: float) -> tuple[float, float]:
+        """Enqueue an operation of ``duration_us``; returns ``(start, end)``."""
+        if duration_us < 0:
+            raise ValueError(f"operation duration must be >= 0, got {duration_us}")
+        start = self.available_at(now_us)
+        end = start + duration_us
+        self.busy_until_us = end
+        self.operations += 1
+        return start, end
+
+    @property
+    def busy_us(self) -> float:
+        """Total predicted device time of every launch on this stream."""
+        return self.trace.total_time_us
+
+
+__all__ = ["KernelRecord", "KernelTrace", "DeviceStream"]

@@ -18,6 +18,7 @@ from .report import (
     format_launch_summary,
     format_paper_comparison,
     format_series_table,
+    format_service_report,
 )
 from .runner import (
     ExperimentResult,
@@ -50,6 +51,7 @@ __all__ = [
     "format_launch_summary",
     "format_paper_comparison",
     "format_series_table",
+    "format_service_report",
     "ExperimentResult",
     "SeriesResult",
     "run_experiment",

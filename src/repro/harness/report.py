@@ -148,6 +148,65 @@ def format_launch_summary(sort_result, title: Optional[str] = None) -> str:
     return "\n".join(lines)
 
 
+def format_service_report(snapshot: dict, title: Optional[str] = None) -> str:
+    """Render a :meth:`repro.service.SortService.stats` snapshot as text.
+
+    Sections: admission counts, batching occupancy, latency percentiles,
+    throughput and the per-shard stream accounting — the serving-side
+    counterpart of :func:`format_launch_summary`.
+    """
+    counts = snapshot.get("counts", {})
+    lines = [title or f"sort service — {snapshot.get('num_shards', '?')} shard(s), "
+             f"{snapshot.get('batches', 0)} batches"]
+    lines.append(
+        f"requests: {counts.get('submitted', 0)} submitted, "
+        f"{counts.get('completed', 0)} completed, "
+        f"{counts.get('sharded_requests', 0)} sharded, "
+        f"{counts.get('rejected_queue_full', 0)} rejected (queue full), "
+        f"{counts.get('rejected_oversize', 0)} rejected (oversize), "
+        f"{counts.get('rejected_invalid', 0)} rejected (invalid)"
+    )
+    lines.append(f"queue depth peak: {snapshot.get('queue_depth_peak', 0)}")
+    occupancy = snapshot.get("batch_occupancy")
+    if occupancy:
+        lines.append(
+            f"batch occupancy: {occupancy['mean_requests']:.2f} requests/batch "
+            f"(max {occupancy['max_requests']}), "
+            f"{occupancy['mean_element_fill'] * 100:.1f}% element fill"
+        )
+    latency = snapshot.get("latency_us")
+    if latency:
+        lines.append(
+            f"latency [us]: p50 {latency['p50']:.1f}, p95 {latency['p95']:.1f}, "
+            f"mean {latency['mean']:.1f}, max {latency['max']:.1f}"
+        )
+    throughput = snapshot.get("throughput")
+    if throughput:
+        lines.append(
+            f"throughput: {throughput['elements_per_us']:.2f} elements/us, "
+            f"{throughput['requests_per_ms']:.2f} requests/ms "
+            f"over a {throughput['makespan_us']:.1f} us makespan"
+        )
+    shards = snapshot.get("shards")
+    if shards:
+        lines.append(f"{'shard':>6}{'ops':>6}{'launches':>10}"
+                     f"{'stream us':>12}{'busy until':>12}")
+        for shard in shards:
+            lines.append(
+                f"{shard['shard_id']:>6}{shard['operations']:>6}"
+                f"{shard['stream_launches']:>10}"
+                f"{shard['stream_time_us']:>12.1f}"
+                f"{shard['busy_until_us']:>12.1f}"
+            )
+    scatter = snapshot.get("scatter_stream")
+    if scatter:
+        lines.append(
+            f"scatter stream: {scatter['operations']} pass(es), "
+            f"{scatter['stream_time_us']:.1f} us"
+        )
+    return "\n".join(lines)
+
+
 def format_device_comparison(result: ExperimentResult, distribution: str = "uniform") -> str:
     """The Figure-6 improvement table (device B rate / device A rate - 1)."""
     devices = [d.name for d in result.spec.devices]
@@ -173,4 +232,5 @@ __all__ = [
     "format_claims",
     "format_launch_summary",
     "format_device_comparison",
+    "format_service_report",
 ]

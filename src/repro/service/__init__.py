@@ -1,0 +1,47 @@
+"""Async sharded sort service built on the batched distribution engine.
+
+The paper amortises kernel-launch overhead by processing many buckets per
+launch; :meth:`~repro.core.sample_sort.SampleSorter.sort_many` extends that to
+many *requests* per launch. This subpackage turns the batched sorter into a
+serving system — the ROADMAP's scale-out direction:
+
+* :mod:`repro.service.queue` — bounded request queue with admission control
+  (backpressure when full, oversize rejection),
+* :mod:`repro.service.batcher` — micro-batching scheduler that coalesces
+  compatible requests (same key/value dtype) under a latency/size budget,
+* :mod:`repro.service.shards` — a pool of simulated devices, one persistent
+  stream per shard, plus splitter-based scatter / k-way merge of a single
+  oversized request across shards,
+* :mod:`repro.service.service` — :class:`SortService`, the event loop tying
+  them together, with per-request attribution and service-level telemetry.
+
+Quick start::
+
+    from repro.service import ServiceConfig, SortService
+
+    service = SortService(ServiceConfig(num_shards=2))
+    ids = [service.submit(keys) for keys in requests]
+    results = service.drain()
+    print(service.stats()["latency_us"])
+"""
+
+from .batcher import BatchPolicy, MicroBatch, MicroBatcher
+from .queue import OversizeRequestError, QueueFullError, RequestQueue, SortRequest
+from .service import ServiceConfig, ServiceResult, SortService
+from .shards import DeviceShard, ShardPool, merge_shard_outputs
+
+__all__ = [
+    "BatchPolicy",
+    "MicroBatch",
+    "MicroBatcher",
+    "QueueFullError",
+    "OversizeRequestError",
+    "RequestQueue",
+    "SortRequest",
+    "ServiceConfig",
+    "ServiceResult",
+    "SortService",
+    "DeviceShard",
+    "ShardPool",
+    "merge_shard_outputs",
+]

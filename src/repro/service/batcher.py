@@ -1,0 +1,108 @@
+"""Micro-batching scheduler: when is a batch worth dispatching?
+
+The trade-off is the classic serving one: dispatching immediately minimises
+latency for the head request but wastes the launch-amortisation that
+:meth:`~repro.core.sample_sort.SampleSorter.sort_many` exists to provide;
+waiting fills the batch but charges the wait to every queued request's
+latency. :class:`MicroBatcher` resolves it with a budget policy:
+
+* dispatch as soon as the candidate batch is *full* (request count or element
+  budget reached),
+* otherwise wait for more compatible arrivals, but never longer than
+  ``max_wait_us`` past the head request's arrival,
+* and never wait at all when no further arrivals are pending (the scheduler is
+  work-conserving: an idle service with a non-empty queue always dispatches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .queue import RequestQueue, SortRequest
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Latency/size budget of the micro-batcher."""
+
+    #: Most requests coalesced into one engine run.
+    max_requests: int = 8
+    #: Most elements coalesced into one engine run (ping-pong buffer budget).
+    max_elements: int = 1 << 18
+    #: Longest a head request may wait for companions, in simulated us.
+    max_wait_us: float = 500.0
+
+    def __post_init__(self) -> None:
+        if self.max_requests < 1:
+            raise ValueError(f"max_requests must be >= 1, got {self.max_requests}")
+        if self.max_elements < 1:
+            raise ValueError(f"max_elements must be >= 1, got {self.max_elements}")
+        if self.max_wait_us < 0:
+            raise ValueError(f"max_wait_us must be >= 0, got {self.max_wait_us}")
+
+
+@dataclass
+class MicroBatch:
+    """A dispatchable group of batching-compatible requests."""
+
+    batch_id: int
+    requests: list[SortRequest]
+    formed_us: float
+
+    @property
+    def elements(self) -> int:
+        return sum(r.n for r in self.requests)
+
+
+@dataclass
+class MicroBatcher:
+    """Forms :class:`MicroBatch` es from a :class:`RequestQueue`."""
+
+    policy: BatchPolicy = field(default_factory=BatchPolicy)
+    #: Requests larger than this never join a batch as companions (the
+    #: service's sharded path handles them when they reach the queue head).
+    companion_limit: int | None = None
+    _next_batch_id: int = 0
+
+    def candidate(self, queue: RequestQueue) -> list[SortRequest]:
+        """The batch that would be dispatched right now (may be unripe)."""
+        return self.candidate_state(queue)[0]
+
+    def candidate_state(self, queue: RequestQueue
+                        ) -> tuple[list[SortRequest], bool]:
+        """``(candidate, closed)`` — closed candidates can never grow."""
+        return queue.gather_group_state(self.policy.max_requests,
+                                        self.policy.max_elements,
+                                        companion_limit=self.companion_limit)
+
+    def is_full(self, candidate: list[SortRequest]) -> bool:
+        """A full candidate is dispatched immediately, no waiting."""
+        if len(candidate) >= self.policy.max_requests:
+            return True
+        return sum(r.n for r in candidate) >= self.policy.max_elements
+
+    def deadline_us(self, queue: RequestQueue) -> float:
+        """Latest dispatch time the head request's latency budget allows."""
+        return queue.peek().arrival_us + self.policy.max_wait_us
+
+    def take(self, queue: RequestQueue, now_us: float,
+             requests: list[SortRequest] | None = None) -> MicroBatch:
+        """Remove the current candidate from the queue and seal it as a batch.
+
+        ``requests`` lets a caller that already gathered the candidate (for a
+        dispatch-readiness check) hand it over instead of re-scanning the
+        queue.
+        """
+        if requests is None:
+            requests = self.candidate(queue)
+        if not requests:
+            raise ValueError("cannot form a batch from an empty queue")
+        queue.remove(requests)
+        batch = MicroBatch(
+            batch_id=self._next_batch_id, requests=requests, formed_us=now_us
+        )
+        self._next_batch_id += 1
+        return batch
+
+
+__all__ = ["BatchPolicy", "MicroBatch", "MicroBatcher"]

@@ -1,0 +1,198 @@
+"""Bounded request queue with admission control.
+
+Requests enter the service through :class:`RequestQueue`. The queue is the
+backpressure point: it holds at most ``capacity`` requests, and a request
+larger than the admission limit is rejected outright — both rejections reuse
+the simulator's existing error hierarchy (:class:`~repro.gpu.errors.SorterError`
+subclasses) so callers handle them like any other sorter failure.
+
+Batching compatibility: :meth:`~repro.core.sample_sort.SampleSorter.sort_many`
+requires one key dtype (and one value dtype, all-or-nothing) per batch, so each
+request carries a *group key* and the queue knows how to gather a same-group
+run of requests for the micro-batcher.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..gpu.errors import SorterError, UnsupportedInputError
+
+
+class QueueFullError(SorterError):
+    """Raised when a request arrives at a queue that is at capacity.
+
+    This is the service's backpressure signal: the caller should retry later
+    (or shed load) rather than let an unbounded backlog build up.
+    """
+
+
+class OversizeRequestError(UnsupportedInputError):
+    """Raised when a single request exceeds the service's admission limit."""
+
+
+@dataclass
+class SortRequest:
+    """One sort request travelling through the service."""
+
+    request_id: int
+    keys: np.ndarray
+    values: Optional[np.ndarray] = None
+    #: Simulated arrival time in microseconds (service timeline).
+    arrival_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.keys = np.asarray(self.keys)
+        if self.keys.ndim != 1:
+            raise UnsupportedInputError(
+                f"sort requests need one-dimensional keys, got shape "
+                f"{self.keys.shape}"
+            )
+        if self.keys.dtype.kind not in "uif":
+            # Admission is the last place to catch this: a bad dtype inside a
+            # dispatched batch would otherwise fail mid-drain.
+            raise UnsupportedInputError(
+                f"sort requests need integer or float keys, got dtype "
+                f"{self.keys.dtype}"
+            )
+        if self.values is not None:
+            self.values = np.asarray(self.values)
+            if self.values.shape != self.keys.shape:
+                raise UnsupportedInputError(
+                    f"values shape {self.values.shape} does not match keys "
+                    f"shape {self.keys.shape}"
+                )
+
+    @property
+    def n(self) -> int:
+        return int(self.keys.size)
+
+    @property
+    def group(self) -> tuple:
+        """Batching-compatibility key: requests in one micro-batch share it."""
+        value_dtype = None if self.values is None else str(self.values.dtype)
+        return (str(self.keys.dtype), value_dtype)
+
+
+def companion_verdict(head_group: tuple, elements: int, request: SortRequest,
+                      max_elements: int,
+                      companion_limit: Optional[int]) -> str:
+    """The single batching-eligibility rule: ``"join"``, ``"skip"`` or
+    ``"close"``.
+
+    Shared by the queue's gatherer and the service's wait-or-dispatch
+    decision so the two can never disagree about which requests a batch of
+    ``elements`` elements (headed by ``head_group``) could still absorb:
+    a different dtype group or an over-``companion_limit`` request is skipped
+    (it keeps its place for a later batch / the sharded path), while a
+    same-group request that busts the element budget closes the batch.
+    """
+    if request.group != head_group:
+        return "skip"
+    if companion_limit is not None and request.n > companion_limit:
+        return "skip"
+    if elements + request.n > max_elements:
+        return "close"
+    return "join"
+
+
+@dataclass
+class RequestQueue:
+    """FIFO queue of admitted requests, bounded by ``capacity``."""
+
+    capacity: int
+    _items: deque = field(default_factory=deque)
+    #: High-water mark of the queue depth, for service telemetry.
+    depth_peak: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {self.capacity}")
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def push(self, request: SortRequest) -> None:
+        if len(self._items) >= self.capacity:
+            raise QueueFullError(
+                f"request queue is full ({self.capacity} requests); "
+                f"retry after the backlog drains"
+            )
+        self._items.append(request)
+        self.depth_peak = max(self.depth_peak, len(self._items))
+
+    def peek(self) -> SortRequest:
+        if not self._items:
+            raise IndexError("peek on an empty request queue")
+        return self._items[0]
+
+    def gather_group(self, max_requests: int, max_elements: int,
+                     companion_limit: Optional[int] = None) -> list[SortRequest]:
+        """The head request plus later same-group requests, within budgets.
+
+        See :meth:`gather_group_state`; this drops the ``closed`` flag.
+        """
+        return self.gather_group_state(max_requests, max_elements,
+                                       companion_limit)[0]
+
+    def gather_group_state(
+        self, max_requests: int, max_elements: int,
+        companion_limit: Optional[int] = None,
+    ) -> tuple[list[SortRequest], bool]:
+        """``(batch candidate, closed)`` for the head request's group.
+
+        Scans in FIFO order and *skips* requests of other groups (they keep
+        their place for a later batch), so one incompatible request does not
+        stall coalescing behind it. Requests larger than ``companion_limit``
+        are also skipped — the service routes those through the sharded path
+        once they reach the head, so they must not ride along in somebody
+        else's batch. The gathered requests are not removed; call
+        :meth:`remove` once the batch is actually dispatched. The head request
+        is always included, even if it alone exceeds ``max_elements`` —
+        admission control, not batching, bounds single requests.
+
+        ``closed`` reports that the scan ended at a budget boundary (request
+        cap, or a same-group request that busts the element budget) rather
+        than by running out of queued requests: a closed candidate can never
+        grow, so a scheduler should dispatch it instead of waiting for
+        companions.
+        """
+        if not self._items:
+            return [], False
+        head = self._items[0]
+        gathered = [head]
+        elements = head.n
+        closed = False
+        for request in list(self._items)[1:]:
+            if len(gathered) >= max_requests:
+                closed = True
+                break
+            verdict = companion_verdict(head.group, elements, request,
+                                        max_elements, companion_limit)
+            if verdict == "skip":
+                continue
+            if verdict == "close":
+                closed = True
+                break
+            gathered.append(request)
+            elements += request.n
+        return gathered, closed
+
+    def remove(self, requests: list[SortRequest]) -> None:
+        """Remove dispatched requests (by identity) from the queue."""
+        dispatched = {id(r) for r in requests}
+        self._items = deque(r for r in self._items if id(r) not in dispatched)
+
+    def pop_all(self) -> list[SortRequest]:
+        """Remove and return every queued request (drain handoff)."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+
+__all__ = ["QueueFullError", "OversizeRequestError", "SortRequest",
+           "RequestQueue", "companion_verdict"]

@@ -1,0 +1,466 @@
+"""The sort service: queue -> micro-batcher -> shard pool -> merge.
+
+:class:`SortService` is a discrete-event simulation of an async serving
+system. Callers :meth:`~SortService.submit` requests (optionally with a
+simulated ``arrival_us`` timestamp); :meth:`~SortService.drain` replays the
+arrivals against the shard pool and returns a :class:`ServiceResult` per
+request with full attribution:
+
+* latency split into queue wait and execution,
+* the request's pro-rated share of its batch's predicted device time and
+  kernel launches (shares sum to the batch totals),
+* which batch and shard served it.
+
+Scheduling rules (all deterministic):
+
+* requests are admitted at submit time — a full queue raises
+  :class:`~repro.service.queue.QueueFullError` (backpressure), an oversized
+  request raises :class:`~repro.service.queue.OversizeRequestError`;
+* the micro-batcher coalesces same-dtype requests until the batch is full,
+  the head request's ``max_wait_us`` budget expires, or no further arrivals
+  are pending (work-conserving);
+* a batch is dispatched to the shard whose stream frees up first;
+* a request larger than the sharding threshold takes the whole pool: a
+  splitter-based scatter fans its buckets out to every shard and a k-way
+  merge reassembles the output, byte-identical to a solo sort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..core.config import SampleSortConfig
+from ..core.engine import DistributionEngine, SegmentDescriptor
+from ..gpu.device import DeviceSpec, TESLA_C1060
+from ..gpu.errors import GpuSimError, UnsupportedInputError
+from .batcher import BatchPolicy, MicroBatcher
+from .queue import (
+    OversizeRequestError,
+    QueueFullError,
+    RequestQueue,
+    SortRequest,
+    companion_verdict,
+)
+from .shards import ShardPool, run_sharded
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything a :class:`SortService` needs to know at construction."""
+
+    #: Number of simulated devices in the shard pool.
+    num_shards: int = 2
+    #: Device preset every shard uses.
+    device: DeviceSpec = TESLA_C1060
+    #: Sorter configuration shared by every shard.
+    sorter: SampleSortConfig = field(default_factory=SampleSortConfig.paper)
+    #: Admission control: most requests waiting at once (backpressure bound).
+    queue_capacity: int = 64
+    #: Admission control: largest single request the service accepts.
+    max_request_elements: int = 1 << 22
+    #: Micro-batching budgets (see :class:`BatchPolicy`).
+    max_batch_requests: int = 8
+    max_batch_elements: int = 1 << 18
+    max_wait_us: float = 500.0
+    #: Requests larger than this are sharded across the whole pool instead of
+    #: riding in a micro-batch. ``None`` defaults to ``max_batch_elements``.
+    #: Sharding needs >= 2 shards; with one shard the request is a solo batch.
+    shard_threshold: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {self.num_shards}")
+        if self.max_request_elements < 1:
+            raise ValueError("max_request_elements must be >= 1")
+
+    @property
+    def effective_shard_threshold(self) -> int:
+        return (self.max_batch_elements if self.shard_threshold is None
+                else self.shard_threshold)
+
+    def batch_policy(self) -> BatchPolicy:
+        return BatchPolicy(
+            max_requests=self.max_batch_requests,
+            max_elements=self.max_batch_elements,
+            max_wait_us=self.max_wait_us,
+        )
+
+
+@dataclass
+class ServiceResult:
+    """One request's output plus its attribution and timeline."""
+
+    request_id: int
+    keys: np.ndarray
+    values: Optional[np.ndarray]
+    n: int
+    arrival_us: float
+    dispatch_us: float
+    completion_us: float
+    #: Which micro-batch served the request (None for sharded requests).
+    batch_id: Optional[int]
+    #: How many requests shared the batch (1 for sharded requests).
+    batch_requests: int
+    #: Shard ids that executed the request (several for sharded requests).
+    shard_ids: tuple[int, ...]
+    #: This request's pro-rated share of predicted device time, in us.
+    predicted_us: float
+    #: Pro-rated (fractional) kernel launches; sums to batch totals.
+    kernel_launches: float
+    launches_by_phase: dict
+    #: Host wall seconds of the functional simulation, pro-rated by elements.
+    wall_s: float
+    sharded: bool = False
+
+    @property
+    def latency_us(self) -> float:
+        return self.completion_us - self.arrival_us
+
+    @property
+    def queue_wait_us(self) -> float:
+        return self.dispatch_us - self.arrival_us
+
+
+class SortService:
+    """Async sharded sort service over the batched distribution engine."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.config = config if config is not None else ServiceConfig()
+        self.pool = ShardPool(
+            self.config.num_shards, self.config.device, self.config.sorter
+        )
+        self.batcher = MicroBatcher(
+            policy=self.config.batch_policy(),
+            companion_limit=(self.config.effective_shard_threshold
+                             if self.config.num_shards >= 2 else None),
+        )
+        #: The backlog IS the bounded queue — its push is the single
+        #: admission-control implementation (QueueFullError backpressure).
+        self._backlog = RequestQueue(capacity=self.config.queue_capacity)
+        self._config_cache: dict[tuple, SampleSortConfig] = {}
+        self._next_request_id = 0
+        self._results: dict[int, ServiceResult] = {}
+        self._batches: list[dict] = []
+        self._queue_depth_peak = 0
+        self._counts = {
+            "submitted": 0,
+            "completed": 0,
+            "rejected_queue_full": 0,
+            "rejected_oversize": 0,
+            "rejected_invalid": 0,
+            "sharded_requests": 0,
+        }
+        self._wall_s = 0.0
+
+    # ------------------------------------------------------------- submission
+    def submit(self, keys: np.ndarray, values: Optional[np.ndarray] = None,
+               arrival_us: float = 0.0) -> int:
+        """Admit one request; returns its id or raises an admission error.
+
+        ``arrival_us`` places the request on the simulated timeline (defaults
+        to time zero, i.e. "already waiting when the service starts").
+        Admission is checked immediately: a backlog at ``queue_capacity``
+        raises :class:`QueueFullError`, a request larger than
+        ``max_request_elements`` raises :class:`OversizeRequestError`.
+        """
+        self._counts["submitted"] += 1
+        try:
+            request = SortRequest(
+                request_id=self._next_request_id, keys=keys, values=values,
+                arrival_us=float(arrival_us),
+            )
+        except UnsupportedInputError:
+            self._counts["rejected_invalid"] += 1
+            raise
+        if request.n > self.config.max_request_elements:
+            self._counts["rejected_oversize"] += 1
+            raise OversizeRequestError(
+                f"request of {request.n} elements exceeds the admission limit "
+                f"of {self.config.max_request_elements}"
+            )
+        try:
+            # Validates the sorter config against the device for this dtype
+            # group now — a request that can only fail at dispatch would
+            # otherwise poison the backlog (drain requeues failures).
+            self._group_config(request)
+        except GpuSimError:
+            self._counts["rejected_invalid"] += 1
+            raise
+        try:
+            self._backlog.push(request)
+        except QueueFullError:
+            self._counts["rejected_queue_full"] += 1
+            raise
+        self._next_request_id += 1
+        return request.request_id
+
+    def _group_config(self, request: SortRequest) -> SampleSortConfig:
+        """Effective (device-validated) sorter config for the request's dtypes.
+
+        Memoised per batching group: the result depends only on the key/value
+        dtypes, and the event loop re-asks for the head's config on every
+        wait iteration.
+        """
+        config = self._config_cache.get(request.group)
+        if config is None:
+            sorter = self.pool.shards[0].sorter
+            config = sorter.effective_config(request.keys, request.values)
+            self._config_cache[request.group] = config
+        return config
+
+    # ------------------------------------------------------------ event loop
+    def drain(self) -> dict[int, ServiceResult]:
+        """Serve every pending request; returns ``{request_id: result}``.
+
+        Failure safety: results are committed to :meth:`results` /
+        :meth:`stats` accounting as each batch finishes, and if a dispatch
+        raises, every not-yet-dispatched request is returned to the backlog —
+        already-completed work survives and a later :meth:`drain` retries the
+        rest.
+        """
+        arrivals = sorted(self._backlog.pop_all(),
+                          key=lambda r: (r.arrival_us, r.request_id))
+        queue = RequestQueue(capacity=max(1, len(arrivals)))
+        drained: dict[int, ServiceResult] = {}
+        now = 0.0
+        index = 0
+
+        def enqueue_due(now_us: float) -> int:
+            nonlocal index
+            while index < len(arrivals) and arrivals[index].arrival_us <= now_us:
+                queue.push(arrivals[index])
+                index += 1
+            return index
+
+        try:
+            while index < len(arrivals) or len(queue):
+                if not len(queue):
+                    now = max(now, arrivals[index].arrival_us)
+                enqueue_due(now)
+
+                head = queue.peek()
+                if self._should_shard(head):
+                    queue.remove([head])
+                    try:
+                        result = self._dispatch_sharded(head, now)
+                    except Exception:
+                        queue.push(head)  # keep the request for a retry drain
+                        raise
+                    drained[head.request_id] = result
+                    self._results[head.request_id] = result
+                    continue
+
+                candidate, closed = self.batcher.candidate_state(queue)
+                if (not closed and not self.batcher.is_full(candidate)
+                        and index < len(arrivals)):
+                    joinable = self._next_joinable_arrival(
+                        head, candidate, arrivals, index,
+                        self.batcher.deadline_us(queue),
+                    )
+                    if joinable is not None:
+                        # Worth waiting: a compatible companion arrives
+                        # inside the head request's latency budget.
+                        now = max(now, joinable)
+                        continue
+                    # No future arrival could join this batch before the
+                    # deadline: dispatch right away (work-conserving).
+                batch = self.batcher.take(queue, now, requests=candidate)
+                try:
+                    for request, result in self._dispatch_batch(batch, now):
+                        drained[request.request_id] = result
+                        self._results[request.request_id] = result
+                except Exception:
+                    for request in batch.requests:
+                        if request.request_id not in drained:
+                            queue.push(request)
+                    raise
+        finally:
+            # Leftovers fit: they are a subset of what the backlog just held.
+            for request in queue.pop_all() + arrivals[index:]:
+                self._backlog.push(request)
+            self._queue_depth_peak = max(self._queue_depth_peak,
+                                         queue.depth_peak,
+                                         self._backlog.depth_peak)
+        return drained
+
+    def _next_joinable_arrival(self, head: SortRequest,
+                               candidate: list[SortRequest],
+                               arrivals: list[SortRequest], index: int,
+                               deadline_us: float) -> Optional[float]:
+        """Arrival time of the first future request that could actually join
+        the head's batch before its deadline, or ``None``.
+
+        Waiting is only worthwhile for an arrival that is batching-compatible
+        (same dtype group), below the companion limit and within the element
+        budget; an incompatible arrival stream must not stall the head until
+        its deadline. Eligibility is decided by the same
+        :func:`companion_verdict` rule the queue's gatherer applies, so the
+        scheduler never waits for an arrival the gatherer would not batch —
+        including treating a same-group arrival that busts the element budget
+        as the end of the batch.
+        """
+        elements = sum(r.n for r in candidate)
+        for request in arrivals[index:]:
+            if request.arrival_us >= deadline_us:
+                return None
+            verdict = companion_verdict(
+                head.group, elements, request,
+                self.batcher.policy.max_elements, self.batcher.companion_limit,
+            )
+            if verdict == "skip":
+                continue
+            if verdict == "close":
+                return None
+            return request.arrival_us
+        return None
+
+    # -------------------------------------------------------------- dispatch
+    def _should_shard(self, request: SortRequest) -> bool:
+        if len(self.pool) < 2:
+            return False
+        if request.n <= self.config.effective_shard_threshold:
+            return False
+        # Sharding only helps when the engine would actually distribute.
+        config = self._group_config(request)
+        root = SegmentDescriptor(start=0, size=request.n, buffer="primary",
+                                 depth=0)
+        return not DistributionEngine(self.pool.device, config).is_leaf(root)
+
+    def _dispatch_batch(self, batch, now_us: float):
+        shard = self.pool.least_loaded(now_us)
+        batch_keys = [r.keys for r in batch.requests]
+        batch_values = ([r.values for r in batch.requests]
+                        if batch.requests[0].values is not None else None)
+        results, start_us, end_us, wall_s = shard.run_batch(
+            batch_keys, batch_values, now_us
+        )
+        self._wall_s += wall_s
+        elements = batch.elements
+        self._batches.append({
+            "batch_id": batch.batch_id,
+            "shard_id": shard.shard_id,
+            "requests": len(batch.requests),
+            "elements": elements,
+            # A head request above the element budget still ships alone, so a
+            # batch can hold more than max_elements; it is simply full.
+            "occupancy": min(1.0, elements / self.batcher.policy.max_elements),
+            "start_us": start_us,
+            "end_us": end_us,
+            "predicted_us": end_us - start_us,
+        })
+        for request, result in zip(batch.requests, results):
+            share = request.n / elements if elements else 0.0
+            self._counts["completed"] += 1
+            yield request, ServiceResult(
+                request_id=request.request_id,
+                keys=result.keys,
+                values=result.values,
+                n=request.n,
+                arrival_us=request.arrival_us,
+                dispatch_us=start_us,
+                completion_us=end_us,
+                batch_id=batch.batch_id,
+                batch_requests=len(batch.requests),
+                shard_ids=(shard.shard_id,),
+                predicted_us=result.stats["request_time_us"],
+                kernel_launches=result.stats["request_launches"],
+                launches_by_phase=result.stats["request_launches_by_phase"],
+                wall_s=wall_s * share,
+            )
+
+    def _dispatch_sharded(self, request: SortRequest,
+                          now_us: float) -> ServiceResult:
+        start_us = self.pool.all_available_at(now_us)
+        outcome = run_sharded(self.pool, request.keys, request.values, start_us)
+        self._wall_s += outcome["wall_s"]
+        self._counts["completed"] += 1
+        self._counts["sharded_requests"] += 1
+        return ServiceResult(
+            request_id=request.request_id,
+            keys=outcome["keys"],
+            values=outcome["values"],
+            n=request.n,
+            arrival_us=request.arrival_us,
+            dispatch_us=outcome["start_us"],
+            completion_us=outcome["completion_us"],
+            batch_id=None,
+            batch_requests=1,
+            shard_ids=tuple(d["shard_id"] for d in outcome["shards"]),
+            predicted_us=outcome["predicted_us"],
+            kernel_launches=float(outcome["kernel_launches"]),
+            launches_by_phase=outcome["launches_by_phase"],
+            wall_s=outcome["wall_s"],
+            sharded=True,
+        )
+
+    # ------------------------------------------------------------- telemetry
+    def results(self) -> dict[int, ServiceResult]:
+        """Every completed request so far — survives a failed :meth:`drain`."""
+        return dict(self._results)
+
+    def stats(self) -> dict:
+        """Service-level statistics over everything drained so far."""
+        results = list(self._results.values())
+        latencies = np.array([r.latency_us for r in results]) if results else None
+        snapshot: dict = {
+            "counts": dict(self._counts),
+            "num_shards": len(self.pool),
+            # the backlog's own high-water mark makes backpressure visible
+            # between drains, not just after one
+            "queue_depth_peak": max(self._queue_depth_peak,
+                                    self._backlog.depth_peak),
+            "batches": len(self._batches),
+            "wall_s": self._wall_s,
+        }
+        if self._batches:
+            snapshot["batch_occupancy"] = {
+                "mean_requests": float(np.mean(
+                    [b["requests"] for b in self._batches])),
+                "mean_element_fill": float(np.mean(
+                    [b["occupancy"] for b in self._batches])),
+                "max_requests": max(b["requests"] for b in self._batches),
+            }
+        if results:
+            makespan_us = (max(r.completion_us for r in results)
+                           - min(r.arrival_us for r in results))
+            total_elements = sum(r.n for r in results)
+            snapshot["latency_us"] = {
+                "p50": float(np.percentile(latencies, 50)),
+                "p95": float(np.percentile(latencies, 95)),
+                "mean": float(np.mean(latencies)),
+                "max": float(np.max(latencies)),
+            }
+            snapshot["queue_wait_us"] = {
+                "p50": float(np.percentile(
+                    [r.queue_wait_us for r in results], 50)),
+                "max": float(max(r.queue_wait_us for r in results)),
+            }
+            snapshot["throughput"] = {
+                "makespan_us": makespan_us,
+                "elements_per_us": (total_elements / makespan_us
+                                    if makespan_us > 0 else float("inf")),
+                "requests_per_ms": (1e3 * len(results) / makespan_us
+                                    if makespan_us > 0 else float("inf")),
+            }
+        snapshot["shards"] = [
+            {
+                "shard_id": shard.shard_id,
+                "operations": shard.stream.operations,
+                "busy_until_us": shard.stream.busy_until_us,
+                "stream_launches": shard.stream.trace.kernel_count,
+                "stream_time_us": shard.stream.busy_us,
+            }
+            for shard in self.pool.shards
+        ]
+        if self.pool.scatter_stream.operations:
+            snapshot["scatter_stream"] = {
+                "operations": self.pool.scatter_stream.operations,
+                "stream_time_us": self.pool.scatter_stream.busy_us,
+            }
+        return snapshot
+
+
+__all__ = ["ServiceConfig", "ServiceResult", "SortService"]

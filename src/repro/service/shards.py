@@ -1,0 +1,346 @@
+"""Device shards: a pool of simulated GPUs serving batches and split requests.
+
+Each :class:`DeviceShard` owns one :class:`~repro.core.sample_sort.SampleSorter`
+and one persistent :class:`~repro.gpu.stream.DeviceStream`; every batch the
+shard serves appends its launches to that stream (stream reuse) and advances
+the stream's busy horizon, which is what the service's multi-device scheduling
+reads.
+
+A single request too large for one micro-batch can be *sharded* across the
+whole pool:
+
+1. **splitter-based scatter** — run exactly the level-0 distribution pass a
+   solo sort would run (same sampling seed, same splitters), producing the
+   2k level-1 buckets;
+2. **subtree assignment** — split the bucket list into one contiguous,
+   element-balanced group per shard;
+3. **shard sort** — each shard runs the distribution engine over its group of
+   buckets. The sampling seed is a pure function of ``(depth, start)``, so the
+   shard reproduces, bucket for bucket, the recursion the solo sort would have
+   performed on those subtrees — the merged output is byte-identical to a solo
+   sort, key-value tie permutations included;
+4. **k-way merge** — the shard outputs are ordered, disjoint key ranges
+   (bucket boundaries are splitter boundaries), so the merge gathers them in
+   bucket order while checking the range boundaries really are ordered.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+import numpy as np
+
+from ..core.config import SampleSortConfig
+from ..core.engine import DistributionEngine, SegmentDescriptor
+from ..core.sample_sort import SampleSorter
+from ..gpu.device import DeviceSpec, TESLA_C1060
+from ..gpu.kernel import KernelLauncher
+from ..gpu.stream import DeviceStream
+
+
+class _StreamSnapshot:
+    """Undo point for persistent streams: a failed dispatch is retried by the
+    service, so its partial trace records and busy time must not survive —
+    otherwise every retry double-books launches and shard availability."""
+
+    def __init__(self, streams: list[DeviceStream]):
+        self._saved = [
+            (s, len(s.trace.records), s.busy_until_us, s.operations)
+            for s in streams
+        ]
+
+    def rollback(self) -> None:
+        for stream, cursor, busy_until_us, operations in self._saved:
+            del stream.trace.records[cursor:]
+            stream.busy_until_us = busy_until_us
+            stream.operations = operations
+
+
+@dataclass
+class DeviceShard:
+    """One simulated device with a persistent sorter and stream."""
+
+    shard_id: int
+    device: DeviceSpec
+    config: SampleSortConfig
+    sorter: SampleSorter = field(init=False)
+    stream: DeviceStream = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.sorter = SampleSorter(device=self.device, config=self.config)
+        self.stream = DeviceStream(name=f"shard{self.shard_id}")
+
+    def run_batch(self, batch_keys, batch_values, now_us: float):
+        """Serve one micro-batch on this shard's stream.
+
+        Returns ``(results, start_us, end_us, wall_s)``: the per-request
+        :class:`~repro.core.base.SortResult` list, the simulated execution
+        window on this shard's stream, and the host wall time the functional
+        simulation cost.
+        """
+        snapshot = _StreamSnapshot([self.stream])
+        try:
+            wall_start = time.perf_counter()
+            results = self.sorter.sort_many(
+                batch_keys, batch_values, trace=self.stream.trace
+            )
+            wall_s = time.perf_counter() - wall_start
+            predicted_us = results[0].stats["predicted_us"]
+            start_us, end_us = self.stream.enqueue(predicted_us, now_us)
+        except Exception:
+            snapshot.rollback()
+            raise
+        return results, start_us, end_us, wall_s
+
+
+class ShardPool:
+    """A fixed pool of identical device shards plus a scatter stream."""
+
+    def __init__(self, num_shards: int, device: DeviceSpec = TESLA_C1060,
+                 config: Optional[SampleSortConfig] = None):
+        if num_shards < 1:
+            raise ValueError(f"a shard pool needs >= 1 shard, got {num_shards}")
+        config = config if config is not None else SampleSortConfig.paper()
+        self.device = device
+        self.config = config
+        self.shards = [
+            DeviceShard(shard_id=i, device=device, config=config)
+            for i in range(num_shards)
+        ]
+        #: Stream for the level-0 scatter pass of sharded requests (the
+        #: coordinating device's work before the pool fans out).
+        self.scatter_stream = DeviceStream(name="scatter")
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def least_loaded(self, now_us: float) -> DeviceShard:
+        """The shard that could start new work earliest."""
+        return min(self.shards, key=lambda s: (s.stream.available_at(now_us),
+                                               s.shard_id))
+
+    def all_available_at(self, now_us: float) -> float:
+        """Earliest time every shard is free — the barrier a sharded request needs."""
+        return max(s.stream.available_at(now_us) for s in self.shards)
+
+
+def plan_shard_assignment(
+    children: list[SegmentDescriptor], num_shards: int
+) -> list[list[SegmentDescriptor]]:
+    """Split level-1 buckets into contiguous, element-balanced shard groups.
+
+    Buckets stay in start order (so each group is one contiguous range of the
+    output) and groups are cut greedily at the running-total boundaries of
+    ``total / num_shards`` elements. Returns only non-empty groups, so fewer
+    buckets than shards simply leaves some shards out of this request.
+    """
+    total = sum(c.size for c in children)
+    if total == 0 or not children:
+        return [children] if children else []
+    target = total / num_shards
+    groups: list[list[SegmentDescriptor]] = []
+    current: list[SegmentDescriptor] = []
+    consumed = 0
+    for child in children:
+        current.append(child)
+        consumed += child.size
+        if consumed >= target * (len(groups) + 1) and len(groups) < num_shards - 1:
+            groups.append(current)
+            current = []
+    if current:
+        groups.append(current)
+    return groups
+
+
+def merge_shard_outputs(
+    n: int,
+    groups: list[list[SegmentDescriptor]],
+    shard_keys: list[np.ndarray],
+    shard_values: list[Optional[np.ndarray]],
+    out_keys: np.ndarray,
+    out_values: Optional[np.ndarray],
+) -> None:
+    """K-way merge of the shard outputs into the final arrays.
+
+    Each shard produced one sorted, contiguous range of the output (as a
+    group-local slice of length ``hi - lo``); because the scatter was
+    splitter-based, the ranges are disjoint and ordered, so the merge is a
+    gather in group order — verified by checking that every group covers
+    exactly the span between its first and last bucket and that the spans
+    tile ``[0, n)`` without gaps.
+    """
+    cursor = 0
+    for group, keys, values in zip(groups, shard_keys, shard_values):
+        lo = group[0].start
+        hi = group[-1].start + group[-1].size
+        if lo != cursor:
+            raise AssertionError(
+                f"shard outputs do not tile the result: expected range to "
+                f"start at {cursor}, got {lo}"
+            )
+        if sum(c.size for c in group) != hi - lo:
+            raise AssertionError("shard group is not contiguous")
+        if keys.size != hi - lo:
+            raise AssertionError(
+                f"shard output of {keys.size} elements does not match its "
+                f"group span of {hi - lo}"
+            )
+        out_keys[lo:hi] = keys
+        if out_values is not None and values is not None:
+            out_values[lo:hi] = values
+        cursor = hi
+    if cursor != n:
+        raise AssertionError(
+            f"shard outputs cover [0, {cursor}) but the request has {n} elements"
+        )
+
+
+def run_sharded(pool: ShardPool, keys: np.ndarray,
+                values: Optional[np.ndarray], start_us: float) -> dict:
+    """Scatter one oversized request across the pool, sort, merge.
+
+    ``start_us`` is the simulated time the request gets the whole pool (the
+    service waits for every shard: the scatter output feeds all of them).
+    Returns a dict with the merged ``keys`` / ``values``, the simulated
+    ``completion_us`` (scatter + slowest shard, shards run concurrently), the
+    total-work attribution (``predicted_us`` = scatter + *sum* of shards,
+    ``kernel_launches``, ``launches_by_phase``) and per-shard details.
+
+    On failure every stream the run touched is rolled back to its pre-call
+    state, so a retry does not double-book launches or shard busy time.
+    """
+    snapshot = _StreamSnapshot(
+        [pool.scatter_stream] + [shard.stream for shard in pool.shards]
+    )
+    try:
+        return _run_sharded_impl(pool, keys, values, start_us)
+    except Exception:
+        snapshot.rollback()
+        raise
+
+
+def _run_sharded_impl(pool: ShardPool, keys: np.ndarray,
+                      values: Optional[np.ndarray], start_us: float) -> dict:
+    n = int(keys.size)
+    sorter = pool.shards[0].sorter
+    config = sorter.effective_config(keys, values)
+    engine = DistributionEngine(pool.device, config)
+    root = SegmentDescriptor(start=0, size=n, buffer="primary", depth=0)
+    if engine.is_leaf(root):
+        raise ValueError(
+            f"request of {n} elements would not be distributed at all; "
+            f"sharding it buys nothing — dispatch it as a plain batch instead"
+        )
+
+    wall_start = time.perf_counter()
+
+    # 1. Splitter-based scatter: exactly the solo sort's level-0 pass.
+    scatter_trace_start = len(pool.scatter_stream.trace)
+    launcher = KernelLauncher(pool.device, trace=pool.scatter_stream.trace)
+    primary_keys = launcher.gmem.from_host(keys, name="keys_primary")
+    aux_keys = launcher.gmem.alloc(n, keys.dtype, name="keys_aux")
+    primary_values = aux_values = None
+    if values is not None:
+        primary_values = launcher.gmem.from_host(values, name="values_primary")
+        aux_values = launcher.gmem.alloc(n, values.dtype, name="values_aux")
+    children, level_info = engine.run_single_level(
+        launcher, [root], primary_keys, primary_values, aux_keys, aux_values
+    )
+    scatter_slice = pool.scatter_stream.trace.slice_from(scatter_trace_start)
+    scatter_us = scatter_slice.total_time_us
+    scattered_keys = aux_keys.to_host()
+    scattered_values = None if aux_values is None else aux_values.to_host()
+
+    # 2. Contiguous, balanced subtree groups — one per shard.
+    groups = plan_shard_assignment(children, len(pool))
+    scatter_start_us, fan_out_us = pool.scatter_stream.enqueue(
+        scatter_us, start_us
+    )
+
+    # 3. Each shard sorts its subtrees; seeds depend only on (depth, start),
+    #    so every subtree recursion matches the solo sort's byte for byte.
+    out_keys = np.empty(n, dtype=keys.dtype)
+    out_values = None if values is None else np.empty(n, dtype=values.dtype)
+    shard_keys: list[np.ndarray] = []
+    shard_values: list[Optional[np.ndarray]] = []
+    shard_details: list[dict] = []
+    launches = scatter_slice.kernel_count
+    launches_by_phase = dict(scatter_slice.launches_by_phase())
+    total_work_us = scatter_us
+    completion_us = fan_out_us
+    for group, shard in zip(groups, pool.shards):
+        # The shard only needs its group's span [lo, hi). Descriptors are
+        # rebased to span-local coordinates; shifting `base` by the same
+        # amount keeps the sampling seed a function of the *absolute* offset,
+        # so the shard's recursion still matches the solo sort's.
+        lo = group[0].start
+        hi = group[-1].start + group[-1].size
+        roots = [replace(c, start=c.start - lo, base=c.base - lo)
+                 for c in group]
+        trace_start = len(shard.stream.trace)
+        shard_launcher = KernelLauncher(shard.device, trace=shard.stream.trace)
+        s_primary = shard_launcher.gmem.alloc(hi - lo, keys.dtype,
+                                              name="keys_primary")
+        s_aux = shard_launcher.gmem.from_host(scattered_keys[lo:hi],
+                                              name="keys_aux")
+        s_primary_values = s_aux_values = None
+        if scattered_values is not None:
+            s_primary_values = shard_launcher.gmem.alloc(
+                hi - lo, values.dtype, name="values_primary"
+            )
+            s_aux_values = shard_launcher.gmem.from_host(
+                scattered_values[lo:hi], name="values_aux"
+            )
+        stats = engine.run(
+            shard_launcher, s_primary, s_primary_values, s_aux, s_aux_values,
+            roots=roots,
+        )
+        shard_slice = shard.stream.trace.slice_from(trace_start)
+        shard_us = stats["predicted_us"]
+        _, end_us = shard.stream.enqueue(shard_us, fan_out_us)
+        completion_us = max(completion_us, end_us)
+        total_work_us += shard_us
+        launches += shard_slice.kernel_count
+        for phase, count in shard_slice.launches_by_phase().items():
+            launches_by_phase[phase] = launches_by_phase.get(phase, 0) + count
+        shard_keys.append(s_primary.to_host())
+        shard_values.append(
+            None if s_primary_values is None else s_primary_values.to_host()
+        )
+        shard_details.append({
+            "shard_id": shard.shard_id,
+            "elements": sum(c.size for c in group),
+            "buckets": len(group),
+            "predicted_us": shard_us,
+            "kernel_launches": shard_slice.kernel_count,
+        })
+
+    # 4. K-way merge of the ordered, disjoint shard ranges.
+    merge_shard_outputs(n, groups, shard_keys, shard_values, out_keys, out_values)
+    wall_s = time.perf_counter() - wall_start
+
+    return {
+        "keys": out_keys,
+        "values": out_values,
+        "start_us": scatter_start_us,
+        "completion_us": completion_us,
+        "scatter_us": scatter_us,
+        "critical_path_us": completion_us - scatter_start_us,
+        "predicted_us": total_work_us,
+        "kernel_launches": launches,
+        "launches_by_phase": launches_by_phase,
+        "shards": shard_details,
+        "scatter_utilisation": level_info.get("fused_utilisation"),
+        "wall_s": wall_s,
+    }
+
+
+__all__ = [
+    "DeviceShard",
+    "ShardPool",
+    "plan_shard_assignment",
+    "merge_shard_outputs",
+    "run_sharded",
+]

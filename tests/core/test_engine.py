@@ -187,6 +187,52 @@ class TestSortMany:
                 np.zeros(10, dtype=np.uint32), np.zeros(10, dtype=np.uint64)
             ])
 
+    def test_mixed_value_dtypes_rejected(self):
+        with pytest.raises(UnsupportedInputError):
+            SampleSorter().sort_many(
+                [np.zeros(10, dtype=np.uint32)] * 2,
+                [np.zeros(10, dtype=np.uint32), np.zeros(10, dtype=np.float32)],
+            )
+
+    def test_multidimensional_keys_rejected(self):
+        with pytest.raises(UnsupportedInputError):
+            SampleSorter().sort_many([np.zeros((4, 4), dtype=np.uint32)])
+
+    def test_batch_results_byte_identical_to_solo_sorts(self):
+        """The serving guarantee: batching never changes a request's bytes.
+
+        Duplicate-heavy key-value inputs are the adversarial case — the
+        small-case network is unstable, so this only holds because each root
+        segment seeds its recursion from its batch offset (`base`).
+        """
+        config = _two_level_config("level_batched")
+        sorter = SampleSorter(config=config)
+        rng = np.random.default_rng(13)
+        batch_keys, batch_values = [], []
+        for n in (5000, 2000, 7000):
+            batch_keys.append(rng.integers(0, n // 4, n).astype(np.uint32))
+            batch_values.append(rng.permutation(n).astype(np.uint32))
+        results = sorter.sort_many(batch_keys, batch_values)
+        for keys, values, result in zip(batch_keys, batch_values, results):
+            solo = SampleSorter(config=config).sort(keys, values)
+            assert result.keys.tobytes() == solo.keys.tobytes()
+            assert result.values.tobytes() == solo.values.tobytes()
+
+    def test_per_request_attribution_sums_to_batch_totals(self):
+        config = _two_level_config("level_batched")
+        rng = np.random.default_rng(14)
+        batch = [rng.integers(0, 2**20, n).astype(np.uint32)
+                 for n in (6000, 1500, 3000)]
+        results = SampleSorter(config=config).sort_many(batch)
+        trace = results[0].trace
+        assert sum(r.stats["request_time_us"] for r in results) == \
+            pytest.approx(trace.total_time_us)
+        assert sum(r.stats["request_launches"] for r in results) == \
+            pytest.approx(trace.kernel_count)
+        for phase, total in trace.launches_by_phase().items():
+            assert sum(r.stats["request_launches_by_phase"].get(phase, 0.0)
+                       for r in results) == pytest.approx(total)
+
     def test_mismatched_values_rejected(self):
         with pytest.raises(UnsupportedInputError):
             SampleSorter().sort_many(

@@ -10,7 +10,7 @@ from repro.gpu.errors import KernelExecutionError, LaunchConfigError
 from repro.gpu.grid import LaunchConfig, grid_for
 from repro.gpu.kernel import KernelLauncher, kernel, launch
 from repro.gpu.memory import GlobalMemory
-from repro.gpu.stream import KernelRecord, KernelTrace
+from repro.gpu.stream import DeviceStream, KernelRecord, KernelTrace
 from repro.gpu.timing import DeviceTimeModel, KernelTime
 
 
@@ -186,3 +186,41 @@ class TestKernelTrace:
         text = a.format_breakdown(title="demo")
         assert "demo" in text
         assert "x" in text and "y" in text and "total" in text
+
+
+class TestDeviceStream:
+    def _record(self, phase, us):
+        return KernelRecord(
+            name=phase, phase=phase,
+            launch=LaunchConfig(grid_dim=1, block_dim=32),
+            counters=KernelCounters(kernel_launches=1),
+            time=KernelTime(memory_us=us, compute_us=0, overhead_us=0, overlap=1.0),
+        )
+
+    def test_enqueue_orders_operations(self):
+        stream = DeviceStream(name="s0")
+        start, end = stream.enqueue(100.0, now_us=10.0)
+        assert (start, end) == (10.0, 110.0)
+        # the next op cannot start before its predecessor finishes
+        start, end = stream.enqueue(50.0, now_us=20.0)
+        assert (start, end) == (110.0, 160.0)
+        # ... but an op enqueued after the stream drained starts on time
+        start, end = stream.enqueue(5.0, now_us=500.0)
+        assert (start, end) == (500.0, 505.0)
+        assert stream.operations == 3
+        assert stream.available_at(0.0) == 505.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceStream().enqueue(-1.0, now_us=0.0)
+
+    def test_trace_reuse_and_slicing(self):
+        stream = DeviceStream()
+        stream.trace.append(self._record("op1", 10))
+        cursor = len(stream.trace)
+        stream.trace.append(self._record("op2", 30))
+        stream.trace.append(self._record("op2", 5))
+        assert stream.busy_us == pytest.approx(45)
+        own = stream.trace.slice_from(cursor)
+        assert own.kernel_count == 2
+        assert own.total_time_us == pytest.approx(35)

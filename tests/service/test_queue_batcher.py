@@ -1,0 +1,149 @@
+"""Tests for the request queue (admission control) and the micro-batcher."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.errors import SorterError, UnsupportedInputError
+from repro.service.batcher import BatchPolicy, MicroBatcher
+from repro.service.queue import (
+    OversizeRequestError,
+    QueueFullError,
+    RequestQueue,
+    SortRequest,
+)
+
+
+def _request(request_id, n, dtype=np.uint32, with_values=False, arrival_us=0.0):
+    keys = np.arange(n, dtype=dtype)
+    values = np.arange(n, dtype=np.uint32) if with_values else None
+    return SortRequest(request_id=request_id, keys=keys, values=values,
+                       arrival_us=arrival_us)
+
+
+class TestRequestQueue:
+    def test_fifo_order(self):
+        queue = RequestQueue(capacity=4)
+        for i in range(3):
+            queue.push(_request(i, 10))
+        assert queue.peek().request_id == 0
+        assert len(queue) == 3
+
+    def test_queue_full_raises_and_is_a_sorter_error(self):
+        queue = RequestQueue(capacity=2)
+        queue.push(_request(0, 10))
+        queue.push(_request(1, 10))
+        with pytest.raises(QueueFullError):
+            queue.push(_request(2, 10))
+        # backpressure reuses the existing error hierarchy
+        assert issubclass(QueueFullError, SorterError)
+        assert issubclass(OversizeRequestError, UnsupportedInputError)
+
+    def test_depth_peak_tracked(self):
+        queue = RequestQueue(capacity=8)
+        for i in range(5):
+            queue.push(_request(i, 10))
+        queue.remove([queue.peek()])
+        assert queue.depth_peak == 5
+
+    def test_gather_group_skips_incompatible_dtypes(self):
+        queue = RequestQueue(capacity=8)
+        queue.push(_request(0, 10, dtype=np.uint32))
+        queue.push(_request(1, 10, dtype=np.uint64))  # different group
+        queue.push(_request(2, 10, dtype=np.uint32))
+        gathered = queue.gather_group(max_requests=8, max_elements=1000)
+        assert [r.request_id for r in gathered] == [0, 2]
+
+    def test_gather_group_separates_key_only_from_key_value(self):
+        queue = RequestQueue(capacity=8)
+        queue.push(_request(0, 10))
+        queue.push(_request(1, 10, with_values=True))
+        gathered = queue.gather_group(max_requests=8, max_elements=1000)
+        assert [r.request_id for r in gathered] == [0]
+
+    def test_gather_group_respects_element_budget(self):
+        queue = RequestQueue(capacity=8)
+        for i in range(4):
+            queue.push(_request(i, 100))
+        gathered = queue.gather_group(max_requests=8, max_elements=250)
+        assert [r.request_id for r in gathered] == [0, 1]
+
+    def test_gather_group_head_always_included(self):
+        queue = RequestQueue(capacity=8)
+        queue.push(_request(0, 1000))
+        gathered = queue.gather_group(max_requests=8, max_elements=10)
+        assert [r.request_id for r in gathered] == [0]
+
+    def test_gather_group_companion_limit_skips_oversized(self):
+        queue = RequestQueue(capacity=8)
+        queue.push(_request(0, 100))
+        queue.push(_request(1, 5000))  # must wait for the sharded path
+        queue.push(_request(2, 100))
+        gathered = queue.gather_group(max_requests=8, max_elements=10_000,
+                                      companion_limit=1000)
+        assert [r.request_id for r in gathered] == [0, 2]
+
+    def test_remove_preserves_other_requests(self):
+        queue = RequestQueue(capacity=8)
+        requests = [_request(i, 10) for i in range(4)]
+        for request in requests:
+            queue.push(request)
+        queue.remove([requests[0], requests[2]])
+        assert [r.request_id for r in queue._items] == [1, 3]
+
+    def test_mismatched_values_rejected_at_request_construction(self):
+        with pytest.raises(UnsupportedInputError):
+            SortRequest(request_id=0, keys=np.arange(10, dtype=np.uint32),
+                        values=np.arange(9, dtype=np.uint32))
+
+
+class TestMicroBatcher:
+    def test_full_by_request_count(self):
+        queue = RequestQueue(capacity=8)
+        for i in range(4):
+            queue.push(_request(i, 10))
+        batcher = MicroBatcher(policy=BatchPolicy(max_requests=3,
+                                                  max_elements=10_000))
+        candidate = batcher.candidate(queue)
+        assert len(candidate) == 3
+        assert batcher.is_full(candidate)
+
+    def test_full_by_element_budget(self):
+        queue = RequestQueue(capacity=8)
+        queue.push(_request(0, 600))
+        queue.push(_request(1, 600))
+        batcher = MicroBatcher(policy=BatchPolicy(max_requests=8,
+                                                  max_elements=1000))
+        candidate = batcher.candidate(queue)
+        # 600 + 600 would exceed the budget, so the candidate is the head only
+        assert len(candidate) == 1
+        assert not batcher.is_full(candidate)
+        # ... but a head at/above the budget on its own is full
+        queue2 = RequestQueue(capacity=8)
+        queue2.push(_request(0, 1000))
+        assert batcher.is_full(batcher.candidate(queue2))
+
+    def test_deadline_follows_head_arrival(self):
+        queue = RequestQueue(capacity=8)
+        queue.push(_request(0, 10, arrival_us=120.0))
+        batcher = MicroBatcher(policy=BatchPolicy(max_wait_us=80.0))
+        assert batcher.deadline_us(queue) == pytest.approx(200.0)
+
+    def test_take_removes_requests_and_numbers_batches(self):
+        queue = RequestQueue(capacity=8)
+        for i in range(4):
+            queue.push(_request(i, 10))
+        batcher = MicroBatcher(policy=BatchPolicy(max_requests=2,
+                                                  max_elements=10_000))
+        first = batcher.take(queue, now_us=5.0)
+        second = batcher.take(queue, now_us=9.0)
+        assert [r.request_id for r in first.requests] == [0, 1]
+        assert [r.request_id for r in second.requests] == [2, 3]
+        assert (first.batch_id, second.batch_id) == (0, 1)
+        assert first.formed_us == 5.0
+        assert len(queue) == 0
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            BatchPolicy(max_requests=0)
+        with pytest.raises(ValueError):
+            BatchPolicy(max_wait_us=-1.0)

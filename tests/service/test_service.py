@@ -1,0 +1,477 @@
+"""Service-level tests: byte-identity, attribution, admission, telemetry.
+
+The acceptance property of the service subsystem: every request's output is
+byte-identical to a direct solo :meth:`SampleSorter.sort` of the same input —
+whether the request rode in a micro-batch or was sharded across devices — and
+the per-request launch/time attribution sums to the batch totals. Like the
+engine parity suite this is a seeded sweep (the workload generators cover the
+adversarial distributions; seeds make failures reproducible).
+"""
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.core.config import SampleSortConfig
+from repro.core.sample_sort import SampleSorter
+from repro.datagen import make_input
+from repro.gpu.errors import SorterError
+from repro.harness.report import format_service_report
+from repro.service import (
+    OversizeRequestError,
+    QueueFullError,
+    ServiceConfig,
+    SortService,
+)
+from repro.service.shards import ShardPool, plan_shard_assignment, run_sharded
+
+SORTER_CONFIG = SampleSortConfig.small(seed=5)
+
+
+def _service_config(num_shards=2, **overrides):
+    defaults = dict(
+        num_shards=num_shards,
+        sorter=SORTER_CONFIG,
+        queue_capacity=32,
+        max_request_elements=1 << 16,
+        max_batch_requests=4,
+        max_batch_elements=1 << 14,
+        max_wait_us=300.0,
+        shard_threshold=5000,
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+def _duplicate_heavy(n, seed, dtype=np.uint32):
+    """Keys with many ties — the adversarial case for value byte-identity."""
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, max(2, n // 8), n).astype(dtype)
+    values = rng.permutation(n).astype(np.uint32)
+    return keys, values
+
+
+class TestByteIdentity:
+    """The acceptance criterion: service output == solo sort output."""
+
+    @pytest.mark.parametrize("distribution", ["uniform", "dduplicates",
+                                              "sorted", "staggered"])
+    def test_batched_requests_match_solo_sort(self, distribution):
+        service = SortService(_service_config(num_shards=2))
+        inputs = []
+        for i in range(6):
+            seed = zlib.crc32(f"{distribution}/{i}".encode()) % 1000
+            workload = make_input(distribution, 1500 + 700 * i, "uint32",
+                                  with_values=True, seed=seed)
+            inputs.append((workload.keys, workload.values))
+            service.submit(workload.keys, workload.values,
+                           arrival_us=40.0 * i)
+        results = service.drain()
+
+        solo = SampleSorter(config=SORTER_CONFIG)
+        assert len(results) == len(inputs)
+        for request_id, (keys, values) in enumerate(inputs):
+            expected = solo.sort(keys, values)
+            got = results[request_id]
+            assert got.keys.tobytes() == expected.keys.tobytes()
+            assert got.values.tobytes() == expected.values.tobytes()
+
+    def test_sharded_request_matches_solo_sort(self):
+        """An oversized key-value request split across >= 2 devices."""
+        for num_shards in (2, 4):
+            service = SortService(_service_config(num_shards=num_shards))
+            keys, values = _duplicate_heavy(12_000, seed=num_shards)
+            request_id = service.submit(keys, values)
+            result = service.drain()[request_id]
+
+            assert result.sharded
+            assert len(result.shard_ids) >= 2
+            expected = SampleSorter(config=SORTER_CONFIG).sort(keys, values)
+            assert result.keys.tobytes() == expected.keys.tobytes()
+            assert result.values.tobytes() == expected.values.tobytes()
+
+    def test_mixed_traffic_all_byte_identical(self):
+        """Small batched requests and one sharded giant, interleaved."""
+        service = SortService(_service_config(num_shards=3))
+        inputs = {}
+        now = 0.0
+        for i in range(5):
+            keys, values = _duplicate_heavy(900 + 400 * i, seed=10 + i)
+            inputs[service.submit(keys, values, arrival_us=now)] = (keys, values)
+            now += 70.0
+        big_keys, big_values = _duplicate_heavy(11_000, seed=99)
+        inputs[service.submit(big_keys, big_values, arrival_us=150.0)] = (
+            big_keys, big_values)
+        results = service.drain()
+
+        solo = SampleSorter(config=SORTER_CONFIG)
+        sharded = [r for r in results.values() if r.sharded]
+        assert len(sharded) == 1
+        for request_id, (keys, values) in inputs.items():
+            expected = solo.sort(keys, values)
+            assert results[request_id].keys.tobytes() == expected.keys.tobytes()
+            assert results[request_id].values.tobytes() == \
+                expected.values.tobytes()
+
+    def test_key_only_requests(self):
+        service = SortService(_service_config(num_shards=2))
+        rng = np.random.default_rng(3)
+        inputs = {}
+        for _ in range(4):
+            keys = rng.integers(0, 2**32, 2000, dtype=np.uint64).astype(np.uint32)
+            inputs[service.submit(keys)] = keys
+        results = service.drain()
+        for request_id, keys in inputs.items():
+            assert np.array_equal(results[request_id].keys, np.sort(keys))
+            assert results[request_id].values is None
+
+
+class TestAttribution:
+    def test_batch_attribution_sums_to_batch_totals(self):
+        sorter = SampleSorter(config=SORTER_CONFIG)
+        rng = np.random.default_rng(17)
+        batch = [rng.integers(0, 4000, n).astype(np.uint32)
+                 for n in (3000, 5000, 800, 2200)]
+        results = sorter.sort_many(batch)
+        trace = results[0].trace
+        assert sum(r.stats["request_time_us"] for r in results) == \
+            pytest.approx(trace.total_time_us)
+        assert sum(r.stats["request_launches"] for r in results) == \
+            pytest.approx(trace.kernel_count)
+        by_phase_totals = trace.launches_by_phase()
+        for phase, total in by_phase_totals.items():
+            summed = sum(r.stats["request_launches_by_phase"].get(phase, 0.0)
+                         for r in results)
+            assert summed == pytest.approx(total), phase
+
+    def test_attribution_scales_with_request_size(self):
+        sorter = SampleSorter(config=SORTER_CONFIG)
+        rng = np.random.default_rng(18)
+        small = rng.integers(0, 2**20, 1000).astype(np.uint32)
+        large = rng.integers(0, 2**20, 9000).astype(np.uint32)
+        small_result, large_result = sorter.sort_many([small, large])
+        assert large_result.stats["request_time_us"] > \
+            small_result.stats["request_time_us"]
+        assert large_result.stats["request_launches"] > \
+            small_result.stats["request_launches"]
+
+    def test_attribution_in_per_segment_mode(self):
+        config = SORTER_CONFIG.with_(execution_mode="per_segment")
+        sorter = SampleSorter(config=config)
+        rng = np.random.default_rng(19)
+        batch = [rng.integers(0, 2**20, n).astype(np.uint32)
+                 for n in (2500, 4000)]
+        results = sorter.sort_many(batch)
+        trace = results[0].trace
+        assert sum(r.stats["request_time_us"] for r in results) == \
+            pytest.approx(trace.total_time_us)
+        assert sum(r.stats["request_launches"] for r in results) == \
+            pytest.approx(trace.kernel_count)
+
+    def test_service_results_carry_attribution(self):
+        service = SortService(_service_config(num_shards=2))
+        rng = np.random.default_rng(20)
+        for i in range(4):
+            service.submit(rng.integers(0, 2**16, 2000).astype(np.uint32),
+                           arrival_us=10.0 * i)
+        results = service.drain()
+        for result in results.values():
+            assert result.predicted_us > 0
+            assert result.kernel_launches > 0
+            assert result.latency_us >= result.queue_wait_us >= 0
+            assert sum(result.launches_by_phase.values()) == \
+                pytest.approx(result.kernel_launches)
+
+
+class TestAdmissionControl:
+    def test_queue_full_backpressure(self):
+        service = SortService(_service_config(queue_capacity=3))
+        keys = np.arange(100, dtype=np.uint32)
+        for _ in range(3):
+            service.submit(keys)
+        with pytest.raises(QueueFullError):
+            service.submit(keys)
+        # draining frees capacity again
+        service.drain()
+        service.submit(keys)
+        assert service.stats()["counts"]["rejected_queue_full"] == 1
+
+    def test_oversize_rejection(self):
+        service = SortService(_service_config(max_request_elements=1000))
+        with pytest.raises(OversizeRequestError):
+            service.submit(np.arange(1001, dtype=np.uint32))
+        assert service.stats()["counts"]["rejected_oversize"] == 1
+        # admission errors are sorter errors — callers need one except clause
+        with pytest.raises(SorterError):
+            service.submit(np.arange(2000, dtype=np.uint32))
+
+    def test_unsortable_dtype_rejected_at_admission(self):
+        service = SortService(_service_config())
+        with pytest.raises(SorterError):
+            service.submit(np.array(["a", "b", "c"], dtype=object))
+        with pytest.raises(SorterError):
+            service.submit(np.array([b"x", b"y"]))
+
+    def test_device_invalid_config_rejected_at_submit(self):
+        """A dtype group whose config cannot run on the device is rejected at
+        admission instead of poisoning the backlog at dispatch time."""
+        from repro.gpu.errors import SharedMemoryError
+
+        # 128 * 40 * 8 bytes of 64-bit splitter sample exceeds 16 KB shared
+        bad = SampleSortConfig.paper().with_(oversampling_64bit=40)
+        service = SortService(_service_config(sorter=bad,
+                                              max_request_elements=1 << 20))
+        service.submit(np.arange(1000, dtype=np.uint32))  # 32-bit group is fine
+        with pytest.raises(SharedMemoryError):
+            service.submit(np.arange(1000, dtype=np.uint64))
+        assert service.stats()["counts"]["rejected_invalid"] == 1
+        assert len(service.drain()) == 1  # the valid request still drains
+
+    def test_failed_dispatch_rolls_back_shard_stream_state(self):
+        """Partial launches of a failed dispatch must not pollute telemetry."""
+        from repro.service.shards import DeviceShard
+        from repro.gpu.device import TESLA_C1060
+
+        shard = DeviceShard(0, TESLA_C1060, SORTER_CONFIG)
+        rng = np.random.default_rng(80)
+        shard.run_batch([rng.integers(0, 2**16, 1500).astype(np.uint32)],
+                        None, 0.0)
+        launches = shard.stream.trace.kernel_count
+        busy = shard.stream.busy_until_us
+        operations = shard.stream.operations
+        with pytest.raises(Exception):
+            # second request of the batch fails validation inside sort_many
+            # after nothing has launched; a mid-run kernel failure takes the
+            # same rollback path
+            shard.run_batch(
+                [rng.integers(0, 2**16, 100).astype(np.uint32),
+                 np.zeros(100, dtype=np.uint64)], None, 0.0)
+        assert shard.stream.trace.kernel_count == launches
+        assert shard.stream.busy_until_us == busy
+        assert shard.stream.operations == operations
+
+    def test_failed_dispatch_keeps_completed_and_pending_requests(self):
+        """A mid-drain failure must not lose other requests' work."""
+        service = SortService(_service_config(num_shards=1,
+                                              max_batch_requests=1,
+                                              max_wait_us=0.0))
+        rng = np.random.default_rng(70)
+        ok_id = service.submit(rng.integers(0, 2**16, 500).astype(np.uint32),
+                               arrival_us=0.0)
+        bad_id = service.submit(np.arange(500, dtype=np.uint32),
+                                arrival_us=10.0)
+        later_id = service.submit(rng.integers(0, 2**16, 500).astype(np.uint32),
+                                  arrival_us=20.0)
+
+        boom = RuntimeError("injected dispatch failure")
+        original = service.pool.shards[0].run_batch
+
+        def failing_run_batch(batch_keys, batch_values, now_us):
+            if batch_keys[0].size == 500 and np.array_equal(
+                    batch_keys[0], np.arange(500, dtype=np.uint32)):
+                raise boom
+            return original(batch_keys, batch_values, now_us)
+
+        service.pool.shards[0].run_batch = failing_run_batch
+        with pytest.raises(RuntimeError):
+            service.drain()
+        # the request completed before the failure is retrievable ...
+        assert ok_id in service.results()
+        # ... and the failed + undispatched requests are back in the backlog
+        service.pool.shards[0].run_batch = original
+        retried = service.drain()
+        assert set(retried) == {bad_id, later_id}
+
+    def test_rejected_requests_do_not_reach_the_pool(self):
+        service = SortService(_service_config(max_request_elements=1000,
+                                              queue_capacity=2))
+        with pytest.raises(OversizeRequestError):
+            service.submit(np.arange(5000, dtype=np.uint32))
+        assert service.drain() == {}
+        assert all(s["operations"] == 0 for s in service.stats()["shards"])
+
+
+class TestSchedulingAndTelemetry:
+    def test_batches_respect_micro_batch_budgets(self):
+        service = SortService(_service_config(max_batch_requests=2))
+        rng = np.random.default_rng(30)
+        for _ in range(6):
+            service.submit(rng.integers(0, 2**16, 1000).astype(np.uint32))
+        results = service.drain()
+        assert all(r.batch_requests <= 2 for r in results.values())
+        assert service.stats()["batch_occupancy"]["max_requests"] <= 2
+
+    def test_max_wait_bounds_queue_wait_under_open_loop_arrivals(self):
+        service = SortService(_service_config(num_shards=4, max_wait_us=100.0))
+        rng = np.random.default_rng(31)
+        # Arrivals spaced wider than max_wait: nobody should wait past the
+        # deadline for companions (shard contention is impossible with 4
+        # idle shards and spaced arrivals).
+        for i in range(5):
+            service.submit(rng.integers(0, 2**16, 1500).astype(np.uint32),
+                           arrival_us=400.0 * i)
+        service.drain()
+        assert service.stats()["queue_wait_us"]["max"] <= 100.0 + 1e-9
+
+    def test_sparse_arrivals_dispatch_without_deadline_wait(self):
+        """Work-conserving: if no arrival can beat the head's deadline,
+        the head dispatches immediately instead of idling to the deadline."""
+        service = SortService(_service_config(num_shards=4, max_wait_us=100.0))
+        rng = np.random.default_rng(34)
+        for i in range(3):
+            service.submit(rng.integers(0, 2**16, 1500).astype(np.uint32),
+                           arrival_us=400.0 * i)
+        results = service.drain()
+        for result in results.values():
+            assert result.queue_wait_us == pytest.approx(0.0)
+
+    def test_incompatible_arrivals_do_not_stall_the_head(self):
+        """Only arrivals that could actually join a batch are worth waiting
+        for; an incompatible-dtype arrival stream must not hold the head to
+        its deadline."""
+        service = SortService(_service_config(num_shards=4, max_wait_us=500.0))
+        rng = np.random.default_rng(35)
+        for i in range(6):
+            dtype = np.uint32 if i % 2 == 0 else np.uint64
+            keys = rng.integers(0, 2**16, 1500).astype(dtype)
+            service.submit(keys, arrival_us=10.0 * i)
+        service.drain()
+        # heads dispatch as soon as no compatible arrival is pending, far
+        # below the 500us deadline
+        assert service.stats()["latency_us"]["max"] < 300.0
+
+    def test_over_budget_same_group_arrival_ends_the_wait(self):
+        """The wait predicate mirrors gather_group: a same-group arrival that
+        busts the element budget ends the batch, so the head must not idle
+        waiting for a later companion the gatherer would never reach."""
+        service = SortService(_service_config(num_shards=4,
+                                              max_batch_elements=4096,
+                                              max_wait_us=500.0,
+                                              shard_threshold=None))
+        rng = np.random.default_rng(36)
+        def keys(n):
+            return rng.integers(0, 2**16, n).astype(np.uint32)
+        head = service.submit(keys(1000), arrival_us=0.0)
+        service.submit(keys(3500), arrival_us=50.0)   # over budget with head
+        service.submit(keys(500), arrival_us=100.0)   # unreachable companion
+        results = service.drain()
+        assert results[head].queue_wait_us == pytest.approx(0.0)
+        assert results[head].batch_requests == 1
+
+    def test_queued_over_budget_request_closes_the_batch(self):
+        """Same mismatch, queued variant: a budget-busting same-group request
+        already behind the head means gather_group can never extend the batch
+        past it, so the head must dispatch instead of waiting for a future
+        arrival the gatherer would never reach."""
+        service = SortService(_service_config(num_shards=4,
+                                              max_batch_elements=4096,
+                                              max_wait_us=500.0,
+                                              shard_threshold=None))
+        rng = np.random.default_rng(37)
+        def keys(n):
+            return rng.integers(0, 2**16, n).astype(np.uint32)
+        head = service.submit(keys(1000), arrival_us=0.0)
+        service.submit(keys(3500), arrival_us=0.0)   # queued, busts budget
+        service.submit(keys(500), arrival_us=50.0)   # unreachable companion
+        results = service.drain()
+        assert results[head].queue_wait_us == pytest.approx(0.0)
+        assert results[head].batch_requests == 1
+
+    def test_invalid_request_shape_counted_as_rejected(self):
+        service = SortService(_service_config())
+        with pytest.raises(SorterError):
+            service.submit(np.zeros((2, 2), dtype=np.uint32))
+        counts = service.stats()["counts"]
+        assert counts["submitted"] == 1
+        assert counts["rejected_invalid"] == 1
+
+    def test_queue_depth_peak_visible_before_drain(self):
+        service = SortService(_service_config())
+        keys = np.arange(100, dtype=np.uint32)
+        for _ in range(5):
+            service.submit(keys)
+        assert service.stats()["queue_depth_peak"] == 5
+        service.drain()
+        assert service.stats()["queue_depth_peak"] == 5
+
+    def test_multiple_shards_share_clustered_load(self):
+        service = SortService(_service_config(num_shards=2, max_batch_requests=1,
+                                              max_wait_us=0.0))
+        rng = np.random.default_rng(32)
+        for _ in range(6):
+            service.submit(rng.integers(0, 2**16, 4000).astype(np.uint32),
+                           arrival_us=0.0)
+        service.drain()
+        operations = [s["operations"] for s in service.stats()["shards"]]
+        assert all(op > 0 for op in operations)
+
+    def test_stats_snapshot_and_report(self):
+        service = SortService(_service_config(num_shards=2))
+        keys, values = _duplicate_heavy(11_000, seed=7)
+        service.submit(keys, values, arrival_us=0.0)
+        rng = np.random.default_rng(33)
+        for i in range(4):
+            service.submit(rng.integers(0, 2**16, 1200).astype(np.uint32),
+                           arrival_us=25.0 * i)
+        service.drain()
+        stats = service.stats()
+        assert stats["counts"]["completed"] == 5
+        assert stats["counts"]["sharded_requests"] == 1
+        assert stats["latency_us"]["p50"] <= stats["latency_us"]["p95"]
+        assert stats["throughput"]["elements_per_us"] > 0
+        assert 0 < stats["batch_occupancy"]["mean_element_fill"] <= 1.0
+        report = format_service_report(stats)
+        for fragment in ("requests:", "latency [us]", "throughput:", "shard"):
+            assert fragment in report
+
+    def test_deterministic_replay(self):
+        """Same submissions => identical timeline and bytes (simulation)."""
+        def run():
+            service = SortService(_service_config(num_shards=2))
+            rng = np.random.default_rng(40)
+            for i in range(5):
+                service.submit(rng.integers(0, 2**14, 2000).astype(np.uint32),
+                               arrival_us=30.0 * i)
+            results = service.drain()
+            return [(r.request_id, r.completion_us, r.keys.tobytes())
+                    for r in results.values()]
+
+        assert run() == run()
+
+
+class TestShardPoolPieces:
+    def test_plan_shard_assignment_balances_and_stays_contiguous(self):
+        from repro.core.engine import SegmentDescriptor
+
+        children = []
+        start = 0
+        rng = np.random.default_rng(50)
+        for _ in range(16):
+            size = int(rng.integers(100, 900))
+            children.append(SegmentDescriptor(start=start, size=size,
+                                              buffer="aux", depth=1))
+            start += size
+        groups = plan_shard_assignment(children, 4)
+        assert 2 <= len(groups) <= 4
+        flattened = [c for group in groups for c in group]
+        assert flattened == children  # contiguous, order-preserving
+        total = sum(c.size for c in children)
+        largest = max(sum(c.size for c in g) for g in groups)
+        assert largest < total  # every shard group got strictly less than all
+
+    def test_run_sharded_rejects_undistributable_request(self):
+        pool = ShardPool(2, config=SORTER_CONFIG)
+        keys = np.arange(64, dtype=np.uint32)  # below bucket_threshold
+        with pytest.raises(ValueError):
+            run_sharded(pool, keys, None, start_us=0.0)
+
+    def test_single_shard_service_never_shards(self):
+        service = SortService(_service_config(num_shards=1))
+        keys, values = _duplicate_heavy(9000, seed=60)
+        request_id = service.submit(keys, values)
+        result = service.drain()[request_id]
+        assert not result.sharded
+        expected = SampleSorter(config=SORTER_CONFIG).sort(keys, values)
+        assert result.keys.tobytes() == expected.keys.tobytes()
+        assert result.values.tobytes() == expected.values.tobytes()
