@@ -1,17 +1,20 @@
-"""A2 — Level-batched vs per-segment distribution engine.
+"""A2 — Engine ablations: scheduling modes and kernel execution modes.
 
-The paper's CUDA implementation launches each distribution phase once per
-recursion *level*; the historical simulator scheduling launched one set of
-phase kernels per *segment*. This benchmark runs the same workload through
-both execution modes and records
+Two ablation axes of the distribution engine are benchmarked and archived:
 
-* host wall-clock time of the functional simulation (the Python overhead the
-  batching removes),
-* kernel-launch counts, total and per phase (O(levels) vs O(segments)),
-* the predicted device time (identical work => near-identical prediction).
+* **execution_mode** — the paper's one-launch-per-phase-per-*level*
+  scheduling (``level_batched``) against the historical
+  one-launch-set-per-*segment* scheduling (``per_segment``): launch counts,
+  wall time and predicted device time.
+* **kernel_mode** — the block-vectorised simulator execution
+  (``vectorized``: each fused launch runs once over all blocks as stacked
+  NumPy operations) against the scalar per-block Python loop
+  (``per_block``). The two must agree on every byte, launch count and
+  predicted time; only host wall-clock differs.
 
-Results are archived in ``BENCH_engine.json`` at the repository root so the
-performance trajectory of the engine is tracked from PR to PR.
+Results are archived in ``BENCH_engine.json`` at the repository root (one
+top-level entry per benchmark) so the performance trajectory of the engine is
+tracked from PR to PR.
 """
 
 import json
@@ -33,7 +36,27 @@ N = 1 << 17
 BASE_CONFIG = SampleSortConfig.paper().with_(
     k=8, oversampling=8, bucket_threshold=256, seed=7
 )
+#: k=16 / M=512 for the kernel-mode ablation: a two-level recursion whose
+#: wall time is dominated by the fused distribution and bucket-sort launches
+#: the vectorised path collapses.
+KERNEL_MODE_CONFIG = SampleSortConfig.paper().with_(
+    k=16, oversampling=8, bucket_threshold=512, seed=7
+)
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def _archive(entry_name: str, record: dict) -> None:
+    """Merge one benchmark's record into the shared BENCH_engine.json."""
+    merged = {}
+    if RESULT_PATH.exists():
+        try:
+            existing = json.loads(RESULT_PATH.read_text())
+            if isinstance(existing, dict) and "benchmark" not in existing:
+                merged = existing
+        except json.JSONDecodeError:
+            pass
+    merged[entry_name] = record
+    RESULT_PATH.write_text(json.dumps(merged, indent=2) + "\n")
 
 
 def _run_mode(mode, workload):
@@ -88,7 +111,7 @@ def test_bench_engine_execution_modes(benchmark):
             "launches_by_phase": result.stats["launches_by_phase"],
         }
     record["wall_speedup"] = round(seg_wall / batch_wall, 3) if batch_wall else None
-    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    _archive("engine_execution_modes", record)
 
     print_block(
         "Engine ablation: per-segment vs level-batched scheduling",
@@ -100,6 +123,91 @@ def test_bench_engine_execution_modes(benchmark):
         f"wall speedup : {record['wall_speedup']}x "
         f"(archived in {RESULT_PATH.name})\n\n"
         + format_launch_summary(batched),
+    )
+
+
+def test_bench_engine_kernel_modes(benchmark):
+    """Block-vectorised vs per-block simulator execution at n = 2^17.
+
+    The contract: identical output bytes, identical kernel launches (total
+    and per phase) and identical simulated-time predictions — the vectorised
+    path only removes the per-block Python loop, which shows up as a
+    wall-clock speedup archived in ``BENCH_engine.json``.
+    """
+    workload = make_input("uniform", N, "uint32", with_values=True, seed=21)
+
+    def run_mode(kernel_mode):
+        sorter = SampleSorter(
+            device=TESLA_C1060,
+            config=KERNEL_MODE_CONFIG.with_(kernel_mode=kernel_mode),
+        )
+        # Warm shared memoisation (network patterns, seeded samples) once so
+        # both modes are measured steady-state, then take the best of three.
+        sorter.sort(workload.keys.copy(), workload.values.copy())
+        result, best = None, float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            result = sorter.sort(workload.keys.copy(), workload.values.copy())
+            best = min(best, time.perf_counter() - start)
+        return result, best
+
+    outcome = benchmark.pedantic(
+        lambda: {mode: run_mode(mode) for mode in ("per_block", "vectorized")},
+        rounds=1, iterations=1,
+    )
+    per_block, scalar_wall = outcome["per_block"]
+    vectorized, vector_wall = outcome["vectorized"]
+
+    # the parity contract, byte for byte and launch for launch
+    assert vectorized.keys.tobytes() == per_block.keys.tobytes()
+    assert vectorized.values.tobytes() == per_block.values.tobytes()
+    assert np.array_equal(vectorized.keys, np.sort(workload.keys))
+    assert vectorized.stats["kernel_launches"] == \
+        per_block.stats["kernel_launches"]
+    assert vectorized.stats["launches_by_phase"] == \
+        per_block.stats["launches_by_phase"]
+    assert vectorized.stats["predicted_us"] == per_block.stats["predicted_us"]
+    assert vectorized.counters().as_dict() == per_block.counters().as_dict()
+
+    # Wall-clock is machine-dependent (shared CI runners stall unpredictably),
+    # so the speedup is archived for the record rather than asserted; the
+    # parity assertions above are the deterministic contract.
+    speedup = scalar_wall / vector_wall if vector_wall else None
+
+    record = {
+        "benchmark": "engine_kernel_modes",
+        "n": N,
+        "key_type": "uint32+values",
+        "distribution": "uniform",
+        "config": {"k": KERNEL_MODE_CONFIG.k,
+                   "bucket_threshold": KERNEL_MODE_CONFIG.bucket_threshold,
+                   "oversampling": KERNEL_MODE_CONFIG.oversampling,
+                   "seed": KERNEL_MODE_CONFIG.seed},
+        "identical_outputs": True,
+        "modes": {
+            mode: {
+                "wall_s": round(wall, 4),
+                "simulated_us": round(result.time_us, 1),
+                "kernel_launches": result.stats["kernel_launches"],
+                "launches_by_phase": result.stats["launches_by_phase"],
+            }
+            for mode, (result, wall) in outcome.items()
+        },
+        "wall_speedup": round(speedup, 3) if speedup else None,
+    }
+    _archive("engine_kernel_modes", record)
+
+    print_block(
+        "Engine ablation: per-block vs block-vectorised kernel execution",
+        f"per_block : {scalar_wall:6.3f} s wall, "
+        f"{per_block.time_us:9.1f} us simulated, "
+        f"{per_block.stats['kernel_launches']} launches\n"
+        f"vectorized: {vector_wall:6.3f} s wall, "
+        f"{vectorized.time_us:9.1f} us simulated, "
+        f"{vectorized.stats['kernel_launches']} launches\n"
+        f"wall speedup: {record['wall_speedup']}x, byte-identical output, "
+        f"identical launches and predictions "
+        f"(archived in {RESULT_PATH.name})",
     )
 
 

@@ -114,13 +114,24 @@ class GpuSorter(abc.ABC):
             )
 
     def _trivial_result(self, keys: np.ndarray, values: Optional[np.ndarray]) -> SortResult:
+        """Result for inputs of at most one element: no kernels run.
+
+        The stats carry explicitly zeroed launch accounting so that callers
+        aggregating over mixed batches (the serving layer, the benchmarks)
+        can treat trivial and non-trivial results uniformly.
+        """
         return SortResult(
             keys=keys.copy(),
             values=None if values is None else values.copy(),
             trace=KernelTrace(),
             algorithm=self.name,
             device=self.device,
-            stats={"trivial": True},
+            stats={
+                "trivial": True,
+                "kernel_launches": 0,
+                "launches_by_phase": {},
+                "predicted_us": 0.0,
+            },
         )
 
     # --------------------------------------------------------------- algorithm

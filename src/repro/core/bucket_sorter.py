@@ -30,7 +30,8 @@ from ..gpu.block import BlockContext
 from ..gpu.grid import LaunchConfig
 from ..gpu.kernel import KernelLauncher
 from ..gpu.memory import DeviceArray
-from ..primitives.sorting_networks import odd_even_merge_sort
+from ..gpu.vector import VectorContext
+from ..primitives.sorting_networks import network_sort_rows, odd_even_merge_sort
 from .config import SampleSortConfig
 
 
@@ -183,6 +184,118 @@ def _bucket_sort_kernel(
     stats_out["sorted_buckets"] = stats_out.get("sorted_buckets", 0) + 1
 
 
+def _bucket_sort_kernel_vec(
+    ctx: VectorContext,
+    primary_keys: DeviceArray,
+    primary_values: Optional[DeviceArray],
+    aux_keys: Optional[DeviceArray],
+    aux_values: Optional[DeviceArray],
+    starts: np.ndarray,
+    sizes: np.ndarray,
+    from_aux: np.ndarray,
+    constant_flags: np.ndarray,
+    config: SampleSortConfig,
+    stats_out: dict,
+) -> None:
+    """Block-vectorised bucket sorting.
+
+    Three routes, mirroring the scalar kernel block by block:
+
+    * constant buckets are copies (vectorised bulk move when they live in the
+      aux buffer);
+    * buckets that fit the shared-memory threshold — the overwhelmingly common
+      case — are sorted as *stacked* odd-even merge networks, grouped by
+      padded size, after a vectorised aux->primary move;
+    * oversized buckets (larger than ``shared_sort_threshold``) fall back to
+      the data-dependent in-block quicksort, run scalar per block on a
+      :class:`~repro.gpu.block.BlockContext` wired to the same counters.
+    """
+    threshold = config.shared_sort_threshold
+    positive = sizes > 0
+    constant = constant_flags & positive
+    network = ~constant_flags & positive & (sizes <= threshold)
+    oversized = ~constant_flags & positive & (sizes > threshold)
+
+    def bulk_copy(mask: np.ndarray) -> None:
+        """aux -> primary move of the selected buckets (keys and values)."""
+        move = mask & from_aux
+        if not move.any() or aux_keys is None:
+            return
+        rows_starts, rows_lengths = starts[move], sizes[move]
+        ctx.write_ranges(primary_keys, rows_starts,
+                         ctx.read_ranges(aux_keys, rows_starts, rows_lengths),
+                         rows_lengths)
+        if aux_values is not None and primary_values is not None:
+            ctx.write_ranges(
+                primary_values, rows_starts,
+                ctx.read_ranges(aux_values, rows_starts, rows_lengths),
+                rows_lengths,
+            )
+
+    # ---- constant buckets: presence in the primary buffer is all they need.
+    if constant.any():
+        bulk_copy(constant)
+        stats_out["constant_buckets"] = (
+            stats_out.get("constant_buckets", 0) + int(np.count_nonzero(constant))
+        )
+        stats_out["constant_elements"] = (
+            stats_out.get("constant_elements", 0) + int(sizes[constant].sum())
+        )
+
+    # ---- network buckets: stage, sort as stacked networks, write back.
+    if network.any():
+        bulk_copy(network)
+        sortable = network & (sizes > 1)
+        if sortable.any():
+            rows_starts, rows_lengths = starts[sortable], sizes[sortable]
+            key_rows = np.split(
+                ctx.read_ranges(primary_keys, rows_starts, rows_lengths),
+                np.cumsum(rows_lengths)[:-1],
+            )
+            value_rows = None
+            if primary_values is not None:
+                value_rows = np.split(
+                    ctx.read_ranges(primary_values, rows_starts, rows_lengths),
+                    np.cumsum(rows_lengths)[:-1],
+                )
+            # Shared staging of the unpadded sequences (the network itself
+            # charges its padded working set).
+            record_bytes = primary_keys.itemsize + (
+                primary_values.itemsize if primary_values is not None else 0
+            )
+            ctx.counters.shared_bytes_accessed += int(rows_lengths.sum()) * record_bytes
+            sorted_keys, sorted_values = network_sort_rows(
+                key_rows, value_rows, counters=ctx.counters
+            )
+            ctx.write_ranges(primary_keys, rows_starts,
+                             np.concatenate(sorted_keys), rows_lengths)
+            if primary_values is not None:
+                ctx.write_ranges(primary_values, rows_starts,
+                                 np.concatenate(sorted_values), rows_lengths)
+            stats_out["network_sorts"] = (
+                stats_out.get("network_sorts", 0)
+                + int(np.count_nonzero(sortable))
+            )
+        for key in ("partition_passes", "quicksort_max_depth"):
+            stats_out.setdefault(key, 0)
+        stats_out["network_sorts"] = stats_out.get("network_sorts", 0)
+        stats_out["sorted_buckets"] = (
+            stats_out.get("sorted_buckets", 0) + int(np.count_nonzero(network))
+        )
+
+    # ---- oversized buckets: the scalar quicksort route, block by block.
+    for block_id in np.flatnonzero(oversized):
+        block_ctx = BlockContext(
+            device=ctx.device, gmem=ctx.gmem, launch=ctx.launch,
+            block_id=int(block_id), counters=ctx.counters,
+            problem_size=ctx.problem_size,
+        )
+        _bucket_sort_kernel(
+            block_ctx, primary_keys, primary_values, aux_keys, aux_values,
+            starts, sizes, from_aux, constant_flags, config, stats_out,
+        )
+
+
 def run_bucket_sort(
     launcher: KernelLauncher,
     primary_keys: DeviceArray,
@@ -195,7 +308,8 @@ def run_bucket_sort(
     """Sort all pending buckets, one thread block per bucket.
 
     Buckets are scheduled by decreasing size (the paper's load-balancing rule).
-    Returns aggregated statistics from all blocks.
+    Returns aggregated statistics from all blocks. ``config.kernel_mode``
+    selects the scalar per-block loop or the block-vectorised execution.
     """
     if not tasks:
         return {}
@@ -213,8 +327,12 @@ def run_bucket_sort(
             1, -(-int(sizes.max()) // config.block_threads)
         ),
     )
-    launcher.launch(
-        _bucket_sort_kernel, launch_cfg, primary_keys, primary_values,
+    if config.kernel_mode == "vectorized":
+        launch_fn, kernel = launcher.launch_vectorized, _bucket_sort_kernel_vec
+    else:
+        launch_fn, kernel = launcher.launch, _bucket_sort_kernel
+    launch_fn(
+        kernel, launch_cfg, primary_keys, primary_values,
         aux_keys, aux_values, starts, sizes, from_aux, constant_flags, config,
         stats_out,
         problem_size=int(sizes.sum()), phase="bucket_sort", name="bucket_sort",

@@ -21,12 +21,18 @@ behaviour is exercised with small inputs.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, replace
 
 import numpy as np
 
 from ..gpu.device import DeviceSpec
 from ..gpu.errors import LaunchConfigError, SharedMemoryError
+
+#: Default simulator kernel execution strategy. ``REPRO_KERNEL_MODE`` lets the
+#: CI ablation matrix run the whole suite under the scalar per-block path
+#: without touching any call site.
+DEFAULT_KERNEL_MODE = os.environ.get("REPRO_KERNEL_MODE", "vectorized")
 
 
 @dataclass(frozen=True)
@@ -66,6 +72,14 @@ class SampleSortConfig:
     #: structure, O(levels * phases) launches); ``"per_segment"`` launches a
     #: full set of phase kernels for every segment (O(segments) launches).
     execution_mode: str = "level_batched"
+    #: How the simulator executes the blocks of one launch:
+    #: ``"vectorized"`` (default) runs a fused launch's kernel body once over
+    #: *all* blocks as stacked NumPy operations
+    #: (:func:`repro.gpu.kernel.launch_vectorized`); ``"per_block"`` keeps the
+    #: scalar one-Python-iteration-per-block loop for ablation. The two modes
+    #: are byte-identical in output and identical in every counter, launch
+    #: count and predicted time — only host wall time differs.
+    kernel_mode: str = DEFAULT_KERNEL_MODE
     #: Seed for splitter sampling (None = nondeterministic).
     seed: int | None = 0
 
@@ -95,6 +109,11 @@ class SampleSortConfig:
             raise ValueError(
                 f"execution_mode must be 'per_segment' or 'level_batched', "
                 f"got {self.execution_mode!r}"
+            )
+        if self.kernel_mode not in ("per_block", "vectorized"):
+            raise ValueError(
+                f"kernel_mode must be 'per_block' or 'vectorized', "
+                f"got {self.kernel_mode!r}"
             )
 
     # --------------------------------------------------------------- derived

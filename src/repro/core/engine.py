@@ -148,6 +148,7 @@ class DistributionEngine:
             "segments_distributed": 0,
             "max_depth": 0,
             "execution_mode": self.config.execution_mode,
+            "kernel_mode": self.config.kernel_mode,
         }
         attribution = (
             RequestAttribution(request_bounds) if request_bounds else None
@@ -395,7 +396,8 @@ class DistributionEngine:
         )
         num_buckets = 2 * config.k
         offsets, seg_scan_base, starts_per_seg, sizes_per_seg = run_phase3_batched(
-            launcher, hist, num_buckets, block_map.blocks_per_segment, hist_base
+            launcher, hist, num_buckets, block_map.blocks_per_segment, hist_base,
+            kernel_mode=config.kernel_mode,
         )
         run_phase4_batched(
             launcher, in_keys, in_values, out_keys, out_values, splitter_bufs,

@@ -33,6 +33,7 @@ from ..gpu.block import BlockContext
 from ..gpu.grid import BlockMap, batched_grid_for, grid_for
 from ..gpu.kernel import KernelLauncher
 from ..gpu.memory import DeviceArray
+from ..gpu.vector import VectorContext, concat_aranges
 from ..primitives.histogram import block_histogram
 from .config import SampleSortConfig
 from .search_tree import SplitterSet, traverse
@@ -158,6 +159,73 @@ def compute_tile_buckets_batched(
     return segment, start, tile, bucket
 
 
+def stage_splitters_vec(
+    ctx: VectorContext,
+    splitter_bufs: BatchedSplitterBuffers,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Block-vectorised :func:`load_splitters_shared` for a whole fused grid.
+
+    Every block stages its segment's search-tree / splitter / flag stripes into
+    its own shared memory, so the per-block global reads, the shared footprint
+    and the staging barrier are charged once per block; the returned values are
+    per-*segment* slab views ``(trees, splitters, flags, staged_bytes)`` that
+    the bucket-assignment step indexes by each element's segment.
+    """
+    k = splitter_bufs.k
+    ctx.charge_contiguous_reads(splitter_bufs.tree, k)
+    ctx.charge_contiguous_reads(splitter_bufs.splitters, k - 1)
+    ctx.charge_contiguous_reads(splitter_bufs.eq_flags, k - 1)
+    staged_bytes = (
+        k * splitter_bufs.tree.itemsize
+        + max(k - 1, 1) * splitter_bufs.splitters.itemsize
+        + max(k - 1, 1)
+    )
+    ctx.check_shared_fit(staged_bytes)
+    ctx.syncthreads()
+    trees = splitter_bufs.tree.data.reshape(-1, k)
+    splitters = splitter_bufs.splitters.data.reshape(-1, k - 1)
+    flags = splitter_bufs.eq_flags.data.reshape(-1, k - 1)
+    return trees, splitters, flags, staged_bytes
+
+
+def assign_buckets_rows(
+    ctx: VectorContext,
+    tile: np.ndarray,
+    seg_of_element: np.ndarray,
+    trees: np.ndarray,
+    splitters: np.ndarray,
+    flags: np.ndarray,
+    k: int,
+    splitter_set: SplitterSet,
+    key_itemsize: int,
+) -> np.ndarray:
+    """Branch-free bucket assignment across *all* tiles of a fused launch.
+
+    The same ``log2(k)`` predicated traversal as :func:`assign_buckets`, but
+    every element looks up its own segment's tree row — one stacked pass over
+    the whole level instead of one call per block.
+    """
+    levels = int(np.log2(k))
+    flat_trees = trees.reshape(-1)
+    row_offset = seg_of_element * k
+    j = np.ones(tile.shape, dtype=np.int64)
+    for _ in range(levels):
+        j = 2 * j + (tile > flat_trees[row_offset + j])
+    regular = j - k
+    bucket = 2 * regular
+    if k > 1:
+        in_range = regular < (k - 1)
+        safe = np.minimum(regular, k - 2)
+        equal = in_range & flags[seg_of_element, safe].astype(bool) \
+            & (tile == splitters[seg_of_element, safe])
+        bucket = bucket + equal.astype(np.int64)
+    ctx.charge_predicated_rows(
+        tile.size, splitter_set.traversal_instructions_per_element()
+    )
+    ctx.counters.shared_bytes_accessed += int(tile.size) * levels * key_itemsize
+    return bucket
+
+
 def _phase2_kernel(
     ctx: BlockContext,
     keys: DeviceArray,
@@ -250,6 +318,71 @@ def _phase2_batched_kernel(
                         bucket.astype(bucket_store.dtype))
 
 
+def _phase2_batched_kernel_vec(
+    ctx: VectorContext,
+    keys: DeviceArray,
+    splitter_bufs: BatchedSplitterBuffers,
+    hist: DeviceArray,
+    bucket_store: Optional[DeviceArray],
+    block_map: BlockMap,
+    seg_starts: np.ndarray,
+    seg_sizes: np.ndarray,
+    hist_base: np.ndarray,
+    config: SampleSortConfig,
+) -> None:
+    """Block-vectorised :func:`_phase2_batched_kernel`: one pass over the level."""
+    num_buckets = 2 * config.k
+    num_blocks = ctx.num_blocks
+    seg_of_block = block_map.segment_ids
+    tile_starts = block_map.tile_starts()
+    lengths = block_map.tile_lengths(seg_sizes)
+
+    trees, splitters, flags, staged_bytes = stage_splitters_vec(
+        ctx, splitter_bufs
+    )
+
+    element_block = np.repeat(np.arange(num_blocks, dtype=np.int64), lengths)
+    seg_of_element = seg_of_block[element_block]
+    tile = ctx.read_ranges(keys, seg_starts[seg_of_block] + tile_starts, lengths)
+    bucket = assign_buckets_rows(
+        ctx, tile, seg_of_element, trees, splitters, flags, splitter_bufs.k,
+        splitter_bufs.splitter_sets[0], keys.itemsize,
+    )
+    if tile.size and (bucket.min() < 0 or bucket.max() >= num_buckets):
+        raise ValueError("bucket index out of range")
+
+    # Shared-memory histogram: `counter_groups` counter arrays per block, the
+    # contention replayed per block, the group reduction charged per block.
+    nonempty = int(np.count_nonzero(lengths))
+    ctx.check_shared_fit(staged_bytes + config.counter_groups * num_buckets * 4)
+    if ctx.device.supports_shared_atomics:
+        element_thread = concat_aranges(lengths) % ctx.num_threads
+        flat = (element_thread % config.counter_groups) * num_buckets + bucket
+        ctx.atomic_add_rows(flat, lengths)
+    else:
+        ctx.charge_instructions(2 * int(tile.size))
+        ctx.counters.shared_bytes_accessed += int(tile.size) * 4
+    ctx.charge_instructions(nonempty * config.counter_groups * num_buckets)
+    ctx.syncthreads(blocks=nonempty)
+    counts = np.bincount(element_block * num_buckets + bucket,
+                         minlength=num_blocks * num_buckets
+                         ).reshape(num_blocks, num_buckets)
+
+    # Column-major store within each segment's slab, one row of indices per
+    # block — the same scattered store pattern the scalar kernel issues.
+    p_seg = block_map.blocks_per_segment[seg_of_block]
+    out_idx = (hist_base[seg_of_block][:, None]
+               + np.arange(num_buckets, dtype=np.int64)[None, :] * p_seg[:, None]
+               + block_map.tile_ids[:, None])
+    ctx.scatter_rows(hist, out_idx.ravel(), counts.ravel(),
+                     np.full(num_blocks, num_buckets, dtype=np.int64))
+
+    if bucket_store is not None and tile.size:
+        ctx.write_ranges(bucket_store,
+                         block_map.elem_base[seg_of_block] + tile_starts,
+                         bucket.astype(bucket_store.dtype), lengths)
+
+
 def run_phase2_batched(
     launcher: KernelLauncher,
     keys: DeviceArray,
@@ -264,7 +397,8 @@ def run_phase2_batched(
     One fused launch covers all segments; each segment's block-column histogram
     occupies a contiguous slab of ``2k * p_seg`` entries. Returns
     ``(histogram_slab, block_map, hist_base)`` where ``hist_base[s]`` is the
-    slab offset of segment ``s``.
+    slab offset of segment ``s``. ``config.kernel_mode`` selects whether the
+    launch executes block by block or as one block-vectorised pass.
     """
     seg_starts = np.asarray(seg_starts, dtype=np.int64)
     seg_sizes = np.asarray(seg_sizes, dtype=np.int64)
@@ -277,8 +411,12 @@ def run_phase2_batched(
     np.cumsum(slab_sizes[:-1], out=hist_base[1:])
     hist = launcher.gmem.alloc(int(slab_sizes.sum()), np.int64,
                                name="bucket_histogram_slab")
-    launcher.launch(
-        _phase2_batched_kernel, launch_cfg, keys, splitter_bufs, hist,
+    if config.kernel_mode == "vectorized":
+        launch_fn, kernel = launcher.launch_vectorized, _phase2_batched_kernel_vec
+    else:
+        launch_fn, kernel = launcher.launch, _phase2_batched_kernel
+    launch_fn(
+        kernel, launch_cfg, keys, splitter_bufs, hist,
         bucket_store, block_map, seg_starts, seg_sizes, hist_base,
         config, problem_size=int(seg_sizes.sum()),
         phase="phase2_histogram", name="phase2_histogram_batched",
@@ -289,6 +427,8 @@ def run_phase2_batched(
 __all__ = [
     "load_splitters_shared",
     "assign_buckets",
+    "assign_buckets_rows",
+    "stage_splitters_vec",
     "compute_tile_buckets",
     "compute_tile_buckets_batched",
     "run_phase2",

@@ -59,13 +59,15 @@ def run_phase3_batched(
     num_buckets: int,
     blocks_per_segment: np.ndarray,
     hist_base: np.ndarray,
+    kernel_mode: str = "per_block",
 ) -> tuple[DeviceArray, np.ndarray, list[np.ndarray], list[np.ndarray]]:
     """Scan the concatenated histogram slabs of a whole level at once.
 
     A single flat exclusive scan over the level's slab is enough: restricted to
     one segment's slab it equals the segment-local scan plus the scan value at
     the slab base, so Phase 4 recovers segment-local offsets by subtracting
-    ``seg_scan_base[s] = scanned[hist_base[s]]``.
+    ``seg_scan_base[s] = scanned[hist_base[s]]``. ``kernel_mode`` selects the
+    scalar or block-vectorised execution of the scan kernels.
 
     Returns ``(offsets_slab, seg_scan_base, bucket_starts, bucket_sizes)`` with
     one ``bucket_starts``/``bucket_sizes`` array (length ``num_buckets``, in
@@ -78,7 +80,8 @@ def run_phase3_batched(
         raise ValueError(
             f"histogram slab has {hist.size} entries but the level needs {total}"
         )
-    offsets = device_exclusive_scan(launcher, hist, total, phase="phase3_scan")
+    offsets = device_exclusive_scan(launcher, hist, total, phase="phase3_scan",
+                                    kernel_mode=kernel_mode)
 
     seg_scan_base = np.zeros(len(blocks_per_segment), dtype=np.int64)
     bucket_starts: list[np.ndarray] = []

@@ -123,10 +123,13 @@ class SampleSorter(GpuSorter):
         toward serving many concurrent sort requests without paying per-request
         launch overhead.
 
-        Requirements: at least one request, all key arrays one-dimensional and
-        of the same dtype; ``batch_values`` is all-or-nothing and each value
-        array must match its key array's shape. Returns one
-        :class:`SortResult` per request, in order.
+        Requirements: all key arrays one-dimensional and of the same dtype;
+        ``batch_values`` is all-or-nothing and each value array must match its
+        key array's shape. Returns one :class:`SortResult` per request, in
+        order. An empty batch returns an empty list, and zero-length requests
+        inside a batch are served like any other (empty output, zeroed
+        per-request attribution) — consistent with a solo :meth:`sort` of an
+        empty array.
 
         Guarantees made for the serving layer on top of this method:
 
@@ -145,7 +148,7 @@ class SampleSorter(GpuSorter):
         CUDA stream.
         """
         if len(batch_keys) == 0:
-            raise UnsupportedInputError("sort_many needs at least one input")
+            return []
         keys_list = [np.asarray(keys) for keys in batch_keys]
         for keys in keys_list:
             if keys.ndim != 1:

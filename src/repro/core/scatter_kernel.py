@@ -30,8 +30,14 @@ from ..gpu.block import BlockContext
 from ..gpu.grid import BlockMap, grid_for
 from ..gpu.kernel import KernelLauncher
 from ..gpu.memory import DeviceArray
+from ..gpu.vector import VectorContext
 from .config import SampleSortConfig
-from .histogram_kernel import compute_tile_buckets, compute_tile_buckets_batched
+from .histogram_kernel import (
+    assign_buckets_rows,
+    compute_tile_buckets,
+    compute_tile_buckets_batched,
+    stage_splitters_vec,
+)
 from .splitters import BatchedSplitterBuffers, SplitterBuffers
 
 
@@ -183,6 +189,66 @@ def _phase4_batched_kernel(
         ctx.store(out_values, positions, vals)
 
 
+def _phase4_batched_kernel_vec(
+    ctx: VectorContext,
+    in_keys: DeviceArray,
+    in_values: Optional[DeviceArray],
+    out_keys: DeviceArray,
+    out_values: Optional[DeviceArray],
+    splitter_bufs: BatchedSplitterBuffers,
+    offsets: DeviceArray,
+    bucket_store: Optional[DeviceArray],
+    block_map: BlockMap,
+    seg_starts: np.ndarray,
+    seg_sizes: np.ndarray,
+    hist_base: np.ndarray,
+    seg_scan_base: np.ndarray,
+    config: SampleSortConfig,
+) -> None:
+    """Block-vectorised :func:`_phase4_batched_kernel`: one pass over the level."""
+    num_buckets = 2 * config.k
+    num_blocks = ctx.num_blocks
+    seg_of_block = block_map.segment_ids
+    tile_starts = block_map.tile_starts()
+    lengths = block_map.tile_lengths(seg_sizes)
+    global_starts = seg_starts[seg_of_block] + tile_starts
+    element_block = np.repeat(np.arange(num_blocks, dtype=np.int64), lengths)
+    seg_of_element = seg_of_block[element_block]
+
+    if config.recompute_bucket_indices or bucket_store is None:
+        trees, splitters, flags, _ = stage_splitters_vec(ctx, splitter_bufs)
+        tile = ctx.read_ranges(in_keys, global_starts, lengths)
+        bucket = assign_buckets_rows(
+            ctx, tile, seg_of_element, trees, splitters, flags,
+            splitter_bufs.k, splitter_bufs.splitter_sets[0], in_keys.itemsize,
+        )
+    else:
+        # Ablation variant: reload the bucket indices Phase 2 stored.
+        tile = ctx.read_ranges(in_keys, global_starts, lengths)
+        bucket = ctx.read_ranges(
+            bucket_store, block_map.elem_base[seg_of_block] + tile_starts,
+            lengths,
+        ).astype(np.int64)
+
+    # Within-(block, bucket) ranks in tile order: block ids are strictly
+    # increasing along the concatenation, so ranking the combined key is the
+    # per-block local ranking.
+    ranks = local_bucket_ranks(element_block * num_buckets + bucket)
+    ctx.charge_per_element_rows(lengths, 4.0)  # local offset bookkeeping
+
+    p_seg = block_map.blocks_per_segment[seg_of_element]
+    offset_idx = (hist_base[seg_of_element] + bucket * p_seg
+                  + block_map.tile_ids[element_block])
+    base = ctx.gather_rows(offsets, offset_idx, lengths) \
+        - seg_scan_base[seg_of_element]
+    positions = seg_starts[seg_of_element] + base + ranks
+
+    ctx.scatter_rows(out_keys, positions, tile, lengths)
+    if in_values is not None and out_values is not None:
+        vals = ctx.read_ranges(in_values, global_starts, lengths)
+        ctx.scatter_rows(out_values, positions, vals, lengths)
+
+
 def run_phase4_batched(
     launcher: KernelLauncher,
     in_keys: DeviceArray,
@@ -203,11 +269,16 @@ def run_phase4_batched(
 
     Reuses the exact launch geometry Phase 2 built the histogram with
     (``block_map.launch``) so the two passes can never disagree on tiling.
+    ``config.kernel_mode`` selects the scalar or block-vectorised execution.
     """
     seg_starts = np.asarray(seg_starts, dtype=np.int64)
     seg_sizes = np.asarray(seg_sizes, dtype=np.int64)
-    launcher.launch(
-        _phase4_batched_kernel, block_map.launch, in_keys, in_values, out_keys,
+    if config.kernel_mode == "vectorized":
+        launch_fn, kernel = launcher.launch_vectorized, _phase4_batched_kernel_vec
+    else:
+        launch_fn, kernel = launcher.launch, _phase4_batched_kernel
+    launch_fn(
+        kernel, block_map.launch, in_keys, in_values, out_keys,
         out_values, splitter_bufs, offsets, bucket_store, block_map,
         seg_starts, seg_sizes, hist_base, seg_scan_base, config,
         problem_size=int(seg_sizes.sum()),

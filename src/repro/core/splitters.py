@@ -33,8 +33,9 @@ from ..gpu.block import BlockContext
 from ..gpu.grid import LaunchConfig
 from ..gpu.kernel import KernelLauncher
 from ..gpu.memory import DeviceArray
+from ..gpu.vector import VectorContext
 from ..primitives.rng import sample_indices
-from ..primitives.sorting_networks import odd_even_merge_sort
+from ..primitives.sorting_networks import network_sort_rows, odd_even_merge_sort
 from .config import SampleSortConfig
 from .search_tree import SplitterSet, make_splitter_set
 
@@ -185,6 +186,66 @@ def _phase1_batched_kernel(
     out["splitter_sets"][b] = splitter_set
 
 
+def _phase1_batched_kernel_vec(
+    ctx: VectorContext,
+    keys: DeviceArray,
+    tree_buf: DeviceArray,
+    splitter_buf: DeviceArray,
+    flag_buf: DeviceArray,
+    seg_starts: np.ndarray,
+    seg_sizes: np.ndarray,
+    seeds: list,
+    config: SampleSortConfig,
+    out: dict,
+) -> None:
+    """Block-vectorised Phase-1 kernel: all segments' samples in one pass.
+
+    The per-segment LCG seeding stays a (cheap) host loop — each segment's
+    sample positions are a function of its own seed — but the expensive parts
+    (the sample gather and the shared-memory sorting networks) run stacked
+    across all blocks, with per-block accounting identical to the scalar path.
+    """
+    k = config.k
+    a = config.oversampling_for(keys.dtype)
+    num_blocks = ctx.num_blocks
+    seg_sizes = np.asarray(seg_sizes, dtype=np.int64)
+    sample_counts = np.minimum(a * k, seg_sizes)
+
+    positions = [
+        sample_indices(int(seg_sizes[b]), int(sample_counts[b]), seed=seeds[b])
+        for b in range(num_blocks)
+    ]
+    ctx.charge_per_element_rows(sample_counts, 4.0)  # LCG update + scaling
+
+    gather_idx = np.concatenate(
+        [int(seg_starts[b]) + positions[b] for b in range(num_blocks)]
+    )
+    samples = ctx.gather_rows(keys, gather_idx, sample_counts)
+    ctx.check_shared_fit(int(sample_counts.max()) * keys.itemsize)
+    sample_rows = np.split(samples, np.cumsum(sample_counts)[:-1])
+    sorted_rows, _ = network_sort_rows(sample_rows, counters=ctx.counters)
+
+    trees = np.empty((num_blocks, k), dtype=keys.dtype)
+    splitter_rows = np.empty((num_blocks, k - 1), dtype=keys.dtype)
+    flag_rows = np.empty((num_blocks, k - 1), dtype=np.uint8)
+    for b in range(num_blocks):
+        splitters = select_splitters_from_sample(sorted_rows[b], k, a)
+        splitter_set = make_splitter_set(splitters.astype(keys.dtype), k)
+        ctx.charge_instructions(4 * k)  # tree layout + flag computation
+        trees[b] = splitter_set.tree
+        splitter_rows[b] = splitter_set.splitters
+        flag_rows[b] = splitter_set.eq_flags.astype(np.uint8)
+        out["splitter_sets"][b] = splitter_set
+
+    block_ids = ctx.block_ids()
+    ctx.write_ranges(tree_buf, block_ids * k, trees.ravel(),
+                     np.full(num_blocks, k, dtype=np.int64))
+    ctx.write_ranges(splitter_buf, block_ids * (k - 1), splitter_rows.ravel(),
+                     np.full(num_blocks, k - 1, dtype=np.int64))
+    ctx.write_ranges(flag_buf, block_ids * (k - 1), flag_rows.ravel(),
+                     np.full(num_blocks, k - 1, dtype=np.int64))
+
+
 def run_phase1(
     launcher: KernelLauncher,
     keys: DeviceArray,
@@ -254,8 +315,12 @@ def run_phase1_batched(
     out: dict = {"splitter_sets": [None] * num_segments}
     launch_cfg = LaunchConfig(grid_dim=num_segments, block_dim=config.block_threads,
                               elements_per_thread=1)
-    launcher.launch(
-        _phase1_batched_kernel, launch_cfg, keys, tree_buf, splitter_buf,
+    if config.kernel_mode == "vectorized":
+        launch_fn, kernel = launcher.launch_vectorized, _phase1_batched_kernel_vec
+    else:
+        launch_fn, kernel = launcher.launch, _phase1_batched_kernel
+    launch_fn(
+        kernel, launch_cfg, keys, tree_buf, splitter_buf,
         flag_buf, np.asarray(seg_starts, dtype=np.int64),
         np.asarray(seg_sizes, dtype=np.int64), seeds, config, out,
         problem_size=int(np.sum(seg_sizes)),

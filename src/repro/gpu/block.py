@@ -19,6 +19,12 @@ The :class:`BlockContext` exposes everything a CUDA block would have access to:
 
 All counting flows into one :class:`~repro.gpu.counters.KernelCounters` owned by
 the launch, which the timing model later converts to device time.
+
+:class:`~repro.gpu.vector.VectorContext` is this class's block-vectorised twin:
+it covers *all* blocks of a fused launch at once and must charge the same
+counters the per-block loop would. A kernel with both a scalar and a vectorised
+body (selected by ``SampleSortConfig.kernel_mode``) uses this context as the
+executable specification the vectorised body is tested against.
 """
 
 from __future__ import annotations

@@ -143,6 +143,21 @@ class BlockMap:
         end = min(int(sizes[segment]), start + self.tile_size)
         return segment, start, max(start, end)
 
+    def tile_starts(self) -> np.ndarray:
+        """Per-block tile start offsets *within* each block's segment."""
+        return self.tile_ids * self.tile_size
+
+    def tile_lengths(self, sizes: Sequence[int]) -> np.ndarray:
+        """Per-block tile lengths for the given segment sizes.
+
+        The vectorised twin of :meth:`tile_bounds`: one call yields every
+        block's (possibly ragged) tile length, which the block-vectorised
+        kernels use to mask partial tiles.
+        """
+        sizes = np.asarray(sizes, dtype=np.int64)
+        starts = self.tile_starts()
+        return np.clip(sizes[self.segment_ids] - starts, 0, self.tile_size)
+
 
 def batched_grid_for(
     sizes: Sequence[int],

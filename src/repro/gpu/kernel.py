@@ -6,10 +6,18 @@ per thread block, aggregates the per-block event counters, asks the timing model
 for a predicted execution time and (optionally) appends the launch to a
 :class:`~repro.gpu.stream.KernelTrace`.
 
-Blocks are executed sequentially in Python — the *data* parallelism of a block
-is expressed inside the kernel body with vectorised NumPy operations, which is
-both the fast way to simulate and a faithful rendering of SIMT: one NumPy
-expression over "one lane per thread" is one SIMT instruction stream.
+Two execution strategies share that accounting tail:
+
+* :func:`launch` runs a scalar kernel body once per thread block in a Python
+  loop — the *data* parallelism of a block is expressed inside the body with
+  vectorised NumPy operations over "one lane per thread".
+* :func:`launch_vectorized` runs a *block-vectorised* body exactly once over a
+  :class:`~repro.gpu.vector.VectorContext` covering the whole grid, so the
+  per-block Python loop disappears and the launch executes as stacked NumPy
+  operations across all blocks. The body is contractually required to produce
+  byte-identical data and identical counters to the scalar loop; both paths
+  therefore emit indistinguishable :class:`~repro.gpu.stream.KernelRecord`
+  entries (same name, phase, geometry, counters and predicted time).
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ from .grid import LaunchConfig
 from .memory import GlobalMemory
 from .stream import KernelRecord, KernelTrace
 from .timing import DeviceTimeModel, KernelTime
+from .vector import VectorContext
 
 KernelFn = Callable[..., None]
 
@@ -54,6 +63,42 @@ def kernel(name: Optional[str] = None, phase: str = "kernel",
     return wrap
 
 
+def _kernel_metadata(fn: KernelFn, phase: Optional[str], name: Optional[str],
+                     regs_per_thread: Optional[int]) -> tuple[str, str, int]:
+    kernel_name = name or getattr(fn, "__kernel_name__", fn.__name__)
+    kernel_phase = phase or getattr(fn, "__kernel_phase__", "kernel")
+    regs = regs_per_thread if regs_per_thread is not None else getattr(
+        fn, "__kernel_regs__", 16
+    )
+    return kernel_name, kernel_phase, regs
+
+
+def _record_launch(
+    counters: KernelCounters,
+    launch_config: LaunchConfig,
+    device: DeviceSpec,
+    kernel_name: str,
+    kernel_phase: str,
+    regs: int,
+    trace: Optional[KernelTrace],
+    time_model: Optional[DeviceTimeModel],
+) -> tuple[KernelCounters, KernelTime]:
+    """Shared tail of both launch strategies: predict time, append the record."""
+    model = time_model or DeviceTimeModel(device)
+    time = model.kernel_time(counters, launch_config, regs)
+    if trace is not None:
+        trace.append(
+            KernelRecord(
+                name=kernel_name,
+                phase=kernel_phase,
+                launch=launch_config,
+                counters=counters,
+                time=time,
+            )
+        )
+    return counters, time
+
+
 def launch(
     fn: KernelFn,
     launch_config: LaunchConfig,
@@ -76,11 +121,8 @@ def launch(
     launch_config.validate(device)
     counters = KernelCounters()
     counters.kernel_launches = 1
-
-    kernel_name = name or getattr(fn, "__kernel_name__", fn.__name__)
-    kernel_phase = phase or getattr(fn, "__kernel_phase__", "kernel")
-    regs = regs_per_thread if regs_per_thread is not None else getattr(
-        fn, "__kernel_regs__", 16
+    kernel_name, kernel_phase, regs = _kernel_metadata(
+        fn, phase, name, regs_per_thread
     )
 
     for block_id in range(launch_config.grid_dim):
@@ -99,20 +141,56 @@ def launch(
         except Exception as exc:  # noqa: BLE001 - wrap with launch context
             raise KernelExecutionError(kernel_name, block_id, exc) from exc
 
-    model = time_model or DeviceTimeModel(device)
-    time = model.kernel_time(counters, launch_config, regs)
+    return _record_launch(counters, launch_config, device, kernel_name,
+                          kernel_phase, regs, trace, time_model)
 
-    if trace is not None:
-        trace.append(
-            KernelRecord(
-                name=kernel_name,
-                phase=kernel_phase,
-                launch=launch_config,
-                counters=counters,
-                time=time,
-            )
-        )
-    return counters, time
+
+def launch_vectorized(
+    fn: KernelFn,
+    launch_config: LaunchConfig,
+    device: DeviceSpec,
+    gmem: GlobalMemory,
+    *args,
+    problem_size: Optional[int] = None,
+    trace: Optional[KernelTrace] = None,
+    phase: Optional[str] = None,
+    name: Optional[str] = None,
+    regs_per_thread: Optional[int] = None,
+    time_model: Optional[DeviceTimeModel] = None,
+    **kwargs,
+) -> tuple[KernelCounters, KernelTime]:
+    """Run a block-vectorised body once over *all* blocks of the grid.
+
+    ``fn`` receives a :class:`~repro.gpu.vector.VectorContext` instead of a
+    per-block :class:`~repro.gpu.block.BlockContext` and must perform the whole
+    grid's work as stacked NumPy operations, charging counters per block. The
+    launch accounting (one :class:`KernelRecord`, one predicted time, one
+    ``kernel_launches`` increment) is identical to :func:`launch`, so traces
+    from the two strategies are directly comparable.
+    """
+    launch_config.validate(device)
+    counters = KernelCounters()
+    counters.kernel_launches = 1
+    kernel_name, kernel_phase, regs = _kernel_metadata(
+        fn, phase, name, regs_per_thread
+    )
+
+    ctx = VectorContext(
+        device=device,
+        gmem=gmem,
+        launch=launch_config,
+        counters=counters,
+        problem_size=problem_size,
+    )
+    try:
+        fn(ctx, *args, **kwargs)
+    except KernelExecutionError:
+        raise
+    except Exception as exc:  # noqa: BLE001 - wrap with launch context
+        raise KernelExecutionError(kernel_name, -1, exc) from exc
+
+    return _record_launch(counters, launch_config, device, kernel_name,
+                          kernel_phase, regs, trace, time_model)
 
 
 class KernelLauncher:
@@ -140,9 +218,16 @@ class KernelLauncher:
         kwargs.setdefault("time_model", self.time_model)
         return launch(fn, launch_config, self.device, self.gmem, *args, **kwargs)
 
+    def launch_vectorized(self, fn: KernelFn, launch_config: LaunchConfig,
+                          *args, **kwargs) -> tuple[KernelCounters, KernelTime]:
+        kwargs.setdefault("trace", self.trace)
+        kwargs.setdefault("time_model", self.time_model)
+        return launch_vectorized(fn, launch_config, self.device, self.gmem,
+                                 *args, **kwargs)
+
     @property
     def total_time_us(self) -> float:
         return self.trace.total_time_us
 
 
-__all__ = ["kernel", "launch", "KernelLauncher"]
+__all__ = ["kernel", "launch", "launch_vectorized", "KernelLauncher"]

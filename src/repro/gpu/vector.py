@@ -1,0 +1,344 @@
+"""Block-vectorised execution context for fused kernel launches.
+
+:func:`repro.gpu.kernel.launch` runs a kernel body once per thread block in a
+Python loop. That loop is pure simulator overhead: the blocks of one launch are
+independent, so their work can be expressed as *stacked* NumPy operations over
+all blocks at once — the same observation the paper makes about expressing a
+distribution phase as one wide data-parallel pass. :class:`VectorContext` is
+the batched counterpart of :class:`~repro.gpu.block.BlockContext`: a kernel
+body written against it executes every block of the grid in one call.
+
+The contract with the scalar path is strict: a vectorised kernel must produce
+**byte-identical data** and **identical aggregated counters** to running the
+scalar body once per block. All accounting therefore remains *per block*:
+
+* contiguous tile loads/stores charge the per-block ideal transaction count of
+  each tile, not one fused transfer (blocks never share warps);
+* gathers/scatters replay the warp-coalescing analysis per block row
+  (:func:`blocked_warp_segment_count` groups rows of equal length and analyses
+  them as a stack, which is arithmetically identical to the per-block loop);
+* atomic contention is replayed per block row (:func:`blocked_conflict_cost`);
+* barriers and fixed per-block instruction charges are multiplied by the
+  number of participating blocks.
+
+Ragged final tiles are handled by grouping block rows by length — a fused
+launch has very few distinct tile lengths (the full tile plus one partial tile
+per segment), so the grouping stays cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .counters import KernelCounters
+from .device import DeviceSpec
+from .errors import GlobalMemoryError, SharedMemoryError
+from .grid import LaunchConfig
+from .memory import DeviceArray, GlobalMemory, _ideal_segments
+
+
+# --------------------------------------------------------------------- helpers
+def concat_aranges(lengths: np.ndarray) -> np.ndarray:
+    """``[0..l0), [0..l1), ...`` concatenated — element offsets within rows."""
+    lengths = np.asarray(lengths, dtype=np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    row_ids = np.repeat(np.arange(lengths.size, dtype=np.int64), lengths)
+    row_starts = np.zeros(lengths.size, dtype=np.int64)
+    np.cumsum(lengths[:-1], out=row_starts[1:])
+    return np.arange(total, dtype=np.int64) - row_starts[row_ids]
+
+
+def _rows_by_length(row_lengths: np.ndarray):
+    """Yield ``(length, row_offsets)`` groups for a ragged row layout."""
+    row_lengths = np.asarray(row_lengths, dtype=np.int64)
+    offsets = np.zeros(row_lengths.size, dtype=np.int64)
+    np.cumsum(row_lengths[:-1], out=offsets[1:])
+    for length in np.unique(row_lengths):
+        if length == 0:
+            continue
+        yield int(length), offsets[row_lengths == length]
+
+
+def blocked_ideal_segments(row_lengths: np.ndarray, itemsize: int,
+                           warp_size: int, segment_bytes: int) -> int:
+    """Sum of per-row :func:`~repro.gpu.memory._ideal_segments` counts."""
+    row_lengths = np.asarray(row_lengths, dtype=np.int64)
+    lengths, counts = np.unique(row_lengths, return_counts=True)
+    return int(sum(
+        int(c) * _ideal_segments(int(n), itemsize, warp_size, segment_bytes)
+        for n, c in zip(lengths, counts)
+    ))
+
+
+def _stack_ragged(values: np.ndarray, row_lengths: np.ndarray,
+                  padded_cols: int, fill) -> np.ndarray:
+    """Place concatenated ragged rows into a ``(rows, padded_cols)`` matrix.
+
+    The fill can be a scalar or a per-column vector (broadcast down the rows);
+    real entries overwrite it row-major, matching the concatenation order.
+    """
+    row_lengths = np.asarray(row_lengths, dtype=np.int64)
+    mask = np.arange(padded_cols)[None, :] < row_lengths[:, None]
+    matrix = np.broadcast_to(fill, (row_lengths.size, padded_cols)).astype(
+        np.int64, copy=True
+    )
+    matrix[mask] = values
+    return matrix
+
+
+def blocked_warp_segment_count(byte_addresses: np.ndarray,
+                               row_lengths: np.ndarray,
+                               warp_size: int, segment_bytes: int) -> int:
+    """Sum of per-row :func:`~repro.gpu.memory._count_warp_segments` counts.
+
+    ``byte_addresses`` is the concatenation of every row's per-thread byte
+    addresses; each row is one block's access and is analysed independently
+    (blocks never share warps — warp boundaries restart at each row). All rows
+    are stacked into one matrix padded with a shared ``-1`` sentinel and
+    analysed with a single sort; the sentinel contributions (one extra
+    distinct value in a row's partially-filled warp, one per fully-padded
+    warp) are then subtracted per row, reproducing the scalar helper's
+    per-call correction exactly.
+    """
+    addresses = np.asarray(byte_addresses, dtype=np.int64)
+    row_lengths = np.asarray(row_lengths, dtype=np.int64)
+    if addresses.size == 0:
+        return 0
+    max_len = int(row_lengths.max())
+    padded = max_len + (-max_len) % warp_size
+    segments = _stack_ragged(addresses // segment_bytes, row_lengths, padded, -1)
+    per_warp = np.sort(segments.reshape(row_lengths.size, -1, warp_size), axis=2)
+    distinct = 1 + (np.diff(per_warp, axis=2) != 0).sum(axis=2)
+    real_warps = -(-row_lengths // warp_size)
+    phantom_warps = padded // warp_size - real_warps
+    boundary = (row_lengths % warp_size != 0).astype(np.int64)
+    return int(distinct.sum() - (phantom_warps + boundary).sum())
+
+
+def blocked_conflict_cost(indices: np.ndarray, row_lengths: np.ndarray,
+                          warp_size: int) -> int:
+    """Sum of per-row :func:`repro.gpu.atomics._conflict_cost` replays.
+
+    Padding uses one distinct negative sentinel per column: a warp's replay
+    cost ``accesses - distinct`` is unaffected by such padding (every sentinel
+    is its own never-colliding address), so fully-padded warps contribute zero
+    and partially-padded warps count only their real lanes — identical to the
+    scalar helper's unique-sentinel correction.
+    """
+    all_indices = np.asarray(indices, dtype=np.int64)
+    row_lengths = np.asarray(row_lengths, dtype=np.int64)
+    if all_indices.size == 0:
+        return 0
+    max_len = int(row_lengths.max())
+    padded = max_len + (-max_len) % warp_size
+    sentinels = -np.arange(1, padded + 1, dtype=np.int64)
+    matrix = _stack_ragged(all_indices, row_lengths, padded, sentinels)
+    per_warp = np.sort(matrix.reshape(row_lengths.size, -1, warp_size), axis=2)
+    distinct = 1 + (np.diff(per_warp, axis=2) != 0).sum(axis=2)
+    return int((warp_size - distinct).sum())
+
+
+# --------------------------------------------------------------------- context
+class VectorContext:
+    """Execution context covering *all* blocks of one fused launch.
+
+    The vectorised twin of :class:`~repro.gpu.block.BlockContext`. Data access
+    helpers take per-row (= per-block) index/length vectors and perform the
+    whole grid's traffic in one NumPy operation while charging the counters
+    exactly as the scalar per-block loop would.
+    """
+
+    def __init__(
+        self,
+        device: DeviceSpec,
+        gmem: GlobalMemory,
+        launch: LaunchConfig,
+        counters: KernelCounters,
+        problem_size: Optional[int] = None,
+    ):
+        self.device = device
+        self.gmem = gmem
+        self.launch = launch
+        self.counters = counters
+        self.problem_size = problem_size
+
+    # ---------------------------------------------------------------- geometry
+    @property
+    def num_blocks(self) -> int:
+        return self.launch.grid_dim
+
+    @property
+    def num_threads(self) -> int:
+        return self.launch.block_dim
+
+    @property
+    def tile_size(self) -> int:
+        return self.launch.tile_size
+
+    def block_ids(self) -> np.ndarray:
+        return np.arange(self.num_blocks, dtype=np.int64)
+
+    def tile_geometry(self, n: Optional[int] = None) -> tuple[np.ndarray, np.ndarray]:
+        """Per-block ``(starts, lengths)`` of a contiguous n-element tiling."""
+        if n is None:
+            n = self.problem_size
+        if n is None:
+            raise ValueError("tile_geometry requires the problem size")
+        starts = self.block_ids() * self.tile_size
+        lengths = np.clip(int(n) - starts, 0, self.tile_size)
+        return starts, lengths
+
+    # -------------------------------------------------------------- accounting
+    def charge_instructions(self, count: float) -> None:
+        self.counters.instructions += int(count)
+
+    def charge_per_element_rows(self, row_lengths: np.ndarray,
+                                instructions_per_element: float) -> None:
+        """Per-row ``charge_per_element`` (the rounding happens per block)."""
+        for length, offsets in _rows_by_length(row_lengths):
+            self.counters.instructions += offsets.size * int(
+                round(length * instructions_per_element)
+            )
+
+    def charge_predicated_rows(self, total_items: int,
+                               instructions_per_item: float) -> None:
+        """Vector twin of ``WarpExecutor.predicated`` summed over blocks."""
+        self.counters.instructions += int(total_items) * int(instructions_per_item)
+
+    def syncthreads(self, blocks: Optional[int] = None) -> None:
+        """One barrier per participating block."""
+        self.counters.barriers += int(self.num_blocks if blocks is None else blocks)
+
+    def check_shared_fit(self, bytes_per_block: int) -> None:
+        """Per-block shared-memory capacity check (all blocks allocate alike)."""
+        if bytes_per_block > self.device.shared_mem_per_sm:
+            raise SharedMemoryError(
+                f"shared memory exhausted: requested {bytes_per_block} bytes "
+                f"per block of {self.device.shared_mem_per_sm}"
+            )
+
+    def charge_contiguous_reads(self, handle: DeviceArray, count: int,
+                                blocks: Optional[int] = None) -> None:
+        """Charge ``blocks`` identical per-block coalesced reads of ``count``
+        elements without moving data (used when every block stages the same
+        slab stripe length, e.g. the splitter search tree)."""
+        b = int(self.num_blocks if blocks is None else blocks)
+        if count <= 0 or b <= 0:
+            return
+        itemsize = handle.itemsize
+        tx = b * _ideal_segments(count, itemsize, self.device.warp_size,
+                                 self.device.mem_transaction_bytes)
+        self.counters.global_bytes_read += b * count * itemsize
+        self.counters.global_read_transactions += tx
+        self.counters.ideal_read_transactions += tx
+
+    # ------------------------------------------------------------- data access
+    def _check_bounds(self, handle: DeviceArray, idx: np.ndarray) -> None:
+        if idx.size == 0:
+            return
+        lo = int(idx.min())
+        hi = int(idx.max())
+        if lo < 0 or hi >= handle.size:
+            raise GlobalMemoryError(
+                f"index out of bounds for {handle.name!r}: range [{lo}, {hi}] "
+                f"but size is {handle.size}"
+            )
+
+    def read_ranges(self, handle: DeviceArray, starts: np.ndarray,
+                    lengths: np.ndarray) -> np.ndarray:
+        """Per-block contiguous reads, concatenated (the coalesced fast path)."""
+        starts = np.asarray(starts, dtype=np.int64)
+        lengths = np.asarray(lengths, dtype=np.int64)
+        flat = np.repeat(starts, lengths) + concat_aranges(lengths)
+        self._check_bounds(handle, flat)
+        itemsize = handle.itemsize
+        tx = blocked_ideal_segments(lengths, itemsize, self.device.warp_size,
+                                    self.device.mem_transaction_bytes)
+        self.counters.global_bytes_read += int(lengths.sum()) * itemsize
+        self.counters.global_read_transactions += tx
+        self.counters.ideal_read_transactions += tx
+        return handle.data[flat]
+
+    def write_ranges(self, handle: DeviceArray, starts: np.ndarray,
+                     values: np.ndarray, lengths: np.ndarray) -> None:
+        """Per-block contiguous writes of concatenated ``values``."""
+        starts = np.asarray(starts, dtype=np.int64)
+        lengths = np.asarray(lengths, dtype=np.int64)
+        values = np.asarray(values)
+        if values.size != int(lengths.sum()):
+            raise GlobalMemoryError(
+                f"write_ranges size mismatch: rows hold {int(lengths.sum())} "
+                f"elements, got {values.size}"
+            )
+        flat = np.repeat(starts, lengths) + concat_aranges(lengths)
+        self._check_bounds(handle, flat)
+        itemsize = handle.itemsize
+        tx = blocked_ideal_segments(lengths, itemsize, self.device.warp_size,
+                                    self.device.mem_transaction_bytes)
+        self.counters.global_bytes_written += int(lengths.sum()) * itemsize
+        self.counters.global_write_transactions += tx
+        self.counters.ideal_write_transactions += tx
+        handle.data[flat] = values.astype(handle.dtype, copy=False)
+
+    def gather_rows(self, handle: DeviceArray, indices: np.ndarray,
+                    row_lengths: np.ndarray) -> np.ndarray:
+        """Per-block gathers with the per-block coalescing analysis."""
+        idx = np.asarray(indices, dtype=np.int64)
+        self._check_bounds(handle, idx)
+        itemsize = handle.itemsize
+        self.counters.global_bytes_read += int(idx.size) * itemsize
+        self.counters.global_read_transactions += blocked_warp_segment_count(
+            idx * itemsize, row_lengths, self.device.warp_size,
+            self.device.mem_transaction_bytes,
+        )
+        self.counters.ideal_read_transactions += blocked_ideal_segments(
+            row_lengths, itemsize, self.device.warp_size,
+            self.device.mem_transaction_bytes,
+        )
+        return handle.data[idx]
+
+    def scatter_rows(self, handle: DeviceArray, indices: np.ndarray,
+                     values: np.ndarray, row_lengths: np.ndarray) -> None:
+        """Per-block scatters (indices must be disjoint across the grid, which
+        holds for every distribution kernel: each element owns one output slot)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        values = np.asarray(values)
+        if idx.shape != values.shape:
+            raise GlobalMemoryError(
+                f"scatter shape mismatch: indices {idx.shape} vs values "
+                f"{values.shape}"
+            )
+        self._check_bounds(handle, idx)
+        itemsize = handle.itemsize
+        self.counters.global_bytes_written += int(idx.size) * itemsize
+        self.counters.global_write_transactions += blocked_warp_segment_count(
+            idx * itemsize, row_lengths, self.device.warp_size,
+            self.device.mem_transaction_bytes,
+        )
+        self.counters.ideal_write_transactions += blocked_ideal_segments(
+            row_lengths, itemsize, self.device.warp_size,
+            self.device.mem_transaction_bytes,
+        )
+        handle.data[idx] = values.astype(handle.dtype, copy=False)
+
+    def atomic_add_rows(self, indices: np.ndarray, row_lengths: np.ndarray) -> None:
+        """Charge per-block shared-memory atomic increments (no data movement —
+        the vectorised histogram computes the counts with ``bincount``)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        self.counters.atomic_operations += int(idx.size)
+        self.counters.atomic_conflicts += blocked_conflict_cost(
+            idx, row_lengths, self.device.warp_size
+        )
+
+
+__all__ = [
+    "VectorContext",
+    "concat_aranges",
+    "blocked_ideal_segments",
+    "blocked_warp_segment_count",
+    "blocked_conflict_cost",
+]

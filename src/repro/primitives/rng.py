@@ -15,6 +15,7 @@ m=2^32), the same generator family the original CUDA code used.
 
 from __future__ import annotations
 
+import functools
 from typing import Optional
 
 import numpy as np
@@ -64,6 +65,21 @@ class GpuLcg:
         return self.next_uint32().astype(np.float64) / 2.0**32
 
 
+@functools.lru_cache(maxsize=4096)
+def _seeded_sample_positions(n: int, count: int, seed: int) -> np.ndarray:
+    """Memoised seeded draws: a pure function of ``(n, count, seed)``.
+
+    Seeding a Mersenne Twister per segment is the single most expensive host
+    operation of Phase 1; identical segments (same size, same deterministic
+    seed) recur across sorts, ablation runs and service batches, so the
+    positions are cached read-only.
+    """
+    lcg = GpuLcg(count, seed=seed)
+    positions = lcg.next_below(n)
+    positions.setflags(write=False)
+    return positions
+
+
 def sample_indices(n: int, count: int, seed: Optional[int] = None,
                    twister: Optional[np.random.Generator] = None) -> np.ndarray:
     """Draw ``count`` sample positions in ``[0, n)`` the way Phase 1 does.
@@ -71,11 +87,15 @@ def sample_indices(n: int, count: int, seed: Optional[int] = None,
     One LCG stream per sample position (as if one thread drew each sample).
     Sampling is *with replacement*, matching the original implementation; the
     oversampling factor makes occasional repeats statistically harmless.
+    Seeded draws (no explicit twister) are memoised; the returned array is
+    then read-only and shared between callers.
     """
     if n <= 0:
         raise ValueError(f"cannot sample from an empty input (n={n})")
     if count <= 0:
         raise ValueError(f"sample count must be positive, got {count}")
+    if twister is None and seed is not None:
+        return _seeded_sample_positions(int(n), int(count), int(seed))
     lcg = GpuLcg(count, seed=seed, twister=twister)
     return lcg.next_below(n)
 

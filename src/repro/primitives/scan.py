@@ -24,6 +24,7 @@ from ..gpu.block import BlockContext
 from ..gpu.grid import grid_for
 from ..gpu.kernel import KernelLauncher
 from ..gpu.memory import DeviceArray
+from ..gpu.vector import VectorContext
 
 #: Default geometry of scan kernels: 256 threads, 4 elements per thread.
 SCAN_BLOCK_THREADS = 256
@@ -106,6 +107,68 @@ def _add_offsets_kernel(ctx: BlockContext, dst: DeviceArray,
     ctx.write_range(dst, start, tile + offset)
 
 
+def _scan_blocks_kernel_vec(ctx: VectorContext, src: DeviceArray,
+                            dst: DeviceArray, block_sums: DeviceArray,
+                            n: int) -> None:
+    """Block-vectorised :func:`_scan_blocks_kernel`: all tiles in one pass."""
+    starts, lengths = ctx.tile_geometry(n)
+    num_blocks = ctx.num_blocks
+    nonempty = lengths > 0
+
+    values = ctx.read_ranges(src, starts, lengths)
+    # Per-tile exclusive scan via one global cumulative sum: subtracting the
+    # running total at each tile's start restores the tile-local scan.
+    inclusive = np.cumsum(values)
+    exclusive = inclusive - values
+    row_starts = np.zeros(num_blocks, dtype=np.int64)
+    np.cumsum(lengths[:-1], out=row_starts[1:])
+    row_base = np.zeros(num_blocks, dtype=values.dtype if values.size else np.int64)
+    if values.size:
+        row_base[nonempty] = exclusive[row_starts[nonempty]]
+    scanned = exclusive - np.repeat(row_base, lengths)
+    totals = np.zeros(num_blocks, dtype=np.int64)
+    if values.size:
+        row_ends = row_starts + lengths
+        totals[nonempty] = (inclusive[row_ends[nonempty] - 1]
+                            - row_base[nonempty]).astype(np.int64)
+
+    # Per-block charges of the work-efficient block scan.
+    itemsize = src.itemsize
+    if int(lengths.max(initial=0)) > 0:
+        ctx.check_shared_fit(int(lengths.max()) * itemsize)
+    ctx.counters.shared_bytes_accessed += 2 * int(lengths.sum()) * itemsize
+    for length in np.unique(lengths):
+        if length == 0:
+            continue
+        count = int(np.count_nonzero(lengths == length))
+        levels = max(1, int(np.ceil(np.log2(max(int(length), 2)))))
+        ctx.charge_instructions(
+            count * int(round(int(length) * _SCAN_INSTR_PER_ELEMENT * levels))
+        )
+    ctx.syncthreads(blocks=int(np.count_nonzero(nonempty)))
+
+    ctx.write_ranges(dst, starts, scanned, lengths)
+    ctx.scatter_rows(block_sums, ctx.block_ids(), totals,
+                     np.ones(num_blocks, dtype=np.int64))
+
+
+def _add_offsets_kernel_vec(ctx: VectorContext, dst: DeviceArray,
+                            block_offsets: DeviceArray, n: int) -> None:
+    """Block-vectorised :func:`_add_offsets_kernel`."""
+    starts, lengths = ctx.tile_geometry(n)
+    nonempty = lengths > 0
+    active = ctx.block_ids()[nonempty]
+    if active.size == 0:
+        return
+    offsets = ctx.gather_rows(block_offsets, active,
+                              np.ones(active.size, dtype=np.int64))
+    tiles = ctx.read_ranges(dst, starts[nonempty], lengths[nonempty])
+    ctx.charge_per_element_rows(lengths[nonempty], 1.0)
+    ctx.write_ranges(dst, starts[nonempty],
+                     tiles + np.repeat(offsets, lengths[nonempty]),
+                     lengths[nonempty])
+
+
 def device_exclusive_scan(
     launcher: KernelLauncher,
     src: DeviceArray,
@@ -114,12 +177,14 @@ def device_exclusive_scan(
     block_threads: int = SCAN_BLOCK_THREADS,
     elements_per_thread: int = SCAN_ELEMENTS_PER_THREAD,
     out: Optional[DeviceArray] = None,
+    kernel_mode: str = "per_block",
 ) -> DeviceArray:
     """Device-wide exclusive scan of ``src`` (first ``n`` elements).
 
     Returns a device array holding the scanned values. The number of kernel
     launches is ``O(log_tile(n))`` levels times three, which for every input the
-    paper considers is at most two levels.
+    paper considers is at most two levels. ``kernel_mode="vectorized"`` runs
+    each launch as one block-vectorised pass with identical traces.
     """
     n = int(src.size if n is None else n)
     dst = out if out is not None else launcher.gmem.alloc(src.size, src.dtype,
@@ -127,11 +192,14 @@ def device_exclusive_scan(
     if n == 0:
         return dst
 
+    vectorized = kernel_mode == "vectorized"
+    launch_fn = launcher.launch_vectorized if vectorized else launcher.launch
     launch_cfg = grid_for(n, block_threads, elements_per_thread)
     block_sums = launcher.gmem.alloc(launch_cfg.grid_dim, np.int64,
                                      name=f"{src.name}_blocksums")
-    launcher.launch(
-        _scan_blocks_kernel, launch_cfg, src, dst, block_sums,
+    launch_fn(
+        _scan_blocks_kernel_vec if vectorized else _scan_blocks_kernel,
+        launch_cfg, src, dst, block_sums,
         n, problem_size=n, phase=phase, name="scan_blocks",
     )
 
@@ -143,9 +211,11 @@ def device_exclusive_scan(
     scanned_sums = device_exclusive_scan(
         launcher, block_sums, launch_cfg.grid_dim, phase=phase,
         block_threads=block_threads, elements_per_thread=elements_per_thread,
+        kernel_mode=kernel_mode,
     )
-    launcher.launch(
-        _add_offsets_kernel, launch_cfg, dst, scanned_sums,
+    launch_fn(
+        _add_offsets_kernel_vec if vectorized else _add_offsets_kernel,
+        launch_cfg, dst, scanned_sums,
         n, problem_size=n, phase=phase, name="scan_add_offsets",
     )
     launcher.gmem.free(block_sums)

@@ -402,7 +402,16 @@ class SortService:
         return dict(self._results)
 
     def stats(self) -> dict:
-        """Service-level statistics over everything drained so far."""
+        """Service-level statistics over everything drained so far.
+
+        Throughput is reported over the makespan (first arrival to last
+        completion). A degenerate makespan of zero — a single request whose
+        batch predicted no device time, or several requests completing at one
+        timestamp — reports ``elements_per_us`` / ``requests_per_ms`` of
+        ``0.0`` rather than ``inf``: no time window was observed, so no rate
+        claim is made, and downstream aggregation (means over runs, JSON
+        serialisation) stays finite.
+        """
         results = list(self._results.values())
         latencies = np.array([r.latency_us for r in results]) if results else None
         snapshot: dict = {
@@ -440,10 +449,11 @@ class SortService:
             }
             snapshot["throughput"] = {
                 "makespan_us": makespan_us,
+                # 0.0 on a zero makespan: no observed window, no rate claim.
                 "elements_per_us": (total_elements / makespan_us
-                                    if makespan_us > 0 else float("inf")),
+                                    if makespan_us > 0 else 0.0),
                 "requests_per_ms": (1e3 * len(results) / makespan_us
-                                    if makespan_us > 0 else float("inf")),
+                                    if makespan_us > 0 else 0.0),
             }
         snapshot["shards"] = [
             {

@@ -1,0 +1,119 @@
+"""Dtype edge-case parity: extreme keys through every serving path.
+
+The serving layer's guarantee — batched (`sort_many`) and sharded
+(`run_sharded`) outputs are byte-identical to a solo ``sort()`` — must hold
+on the inputs most likely to break it:
+
+* all-equal keys (every element hits the equality-bucket path),
+* already-sorted keys (degenerate splitter balance),
+* keys at the dtype maximum (they collide with the sorting networks'
+  ``+inf`` / ``iinfo.max`` padding sentinels),
+* denormal float32 keys (subnormal comparisons).
+
+The sentinel collision also gets a direct regression test: max-valued pad
+sentinels start in the padded tail and a compare-exchange network only moves
+larger keys rightward, so sentinels can never displace a real record — every
+(key, value) pair of the input must survive into the output.
+"""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core.config import SampleSortConfig
+from repro.core.sample_sort import SampleSorter
+from repro.gpu.device import TESLA_C1060
+from repro.primitives.sorting_networks import odd_even_merge_sort
+from repro.service.shards import ShardPool, run_sharded
+
+CONFIG = SampleSortConfig.small(seed=5)
+
+
+def _edge_workload(case: str, n: int, rng: np.random.Generator):
+    """Extreme-key workloads; returns ``(keys, values)``."""
+    values = rng.permutation(n).astype(np.uint32)
+    if case == "all_equal_uint32":
+        return np.full(n, 123456789, dtype=np.uint32), values
+    if case == "already_sorted_uint32":
+        return np.sort(rng.integers(0, 1 << 30, n).astype(np.uint32)), values
+    if case == "uint32_max_heavy":
+        keys = rng.integers(0, 1 << 16, n).astype(np.uint32)
+        keys[rng.random(n) < 0.3] = np.iinfo(np.uint32).max
+        return keys, values
+    if case == "all_uint32_max":
+        return np.full(n, np.iinfo(np.uint32).max, dtype=np.uint32), values
+    if case == "denormal_float32":
+        tiny = np.float32(1e-45)  # smallest positive subnormal
+        keys = (rng.integers(1, 200, n).astype(np.float32) * tiny)
+        keys[rng.random(n) < 0.2] = np.float32(0.0)
+        return keys.astype(np.float32), values
+    raise AssertionError(case)
+
+
+EDGE_CASES = ["all_equal_uint32", "already_sorted_uint32", "uint32_max_heavy",
+              "all_uint32_max", "denormal_float32"]
+
+
+@pytest.mark.parametrize("case", EDGE_CASES)
+class TestEdgeKeyParity:
+    def test_sort_many_is_byte_identical_to_solo(self, case):
+        rng = np.random.default_rng(hash(case) % 2**32)
+        batch = [_edge_workload(case, n, rng) for n in (4000, 900, 2500)]
+        sorter = SampleSorter(config=CONFIG)
+        results = sorter.sort_many([k for k, _ in batch],
+                                   [v for _, v in batch])
+        for (keys, values), result in zip(batch, results):
+            solo = SampleSorter(config=CONFIG).sort(keys, values)
+            assert result.keys.tobytes() == solo.keys.tobytes()
+            assert result.values.tobytes() == solo.values.tobytes()
+            assert np.array_equal(result.keys, np.sort(keys))
+            # pairs survive: same multiset of (key, value) records
+            assert Counter(zip(keys.tolist(), values.tolist())) == \
+                Counter(zip(result.keys.tolist(), result.values.tolist()))
+
+    def test_sharded_scatter_merge_is_byte_identical_to_solo(self, case):
+        rng = np.random.default_rng(hash(case) % 2**32 + 1)
+        keys, values = _edge_workload(case, 6000, rng)
+        pool = ShardPool(3, TESLA_C1060, CONFIG)
+        outcome = run_sharded(pool, keys, values, start_us=0.0)
+        solo = SampleSorter(config=CONFIG).sort(keys, values)
+        assert outcome["keys"].tobytes() == solo.keys.tobytes()
+        assert outcome["values"].tobytes() == solo.values.tobytes()
+
+
+@pytest.mark.parametrize("kernel_mode", ["per_block", "vectorized"])
+def test_edge_keys_agree_across_kernel_modes(kernel_mode):
+    rng = np.random.default_rng(77)
+    keys, values = _edge_workload("uint32_max_heavy", 5000, rng)
+    result = SampleSorter(
+        config=CONFIG.with_(kernel_mode=kernel_mode)
+    ).sort(keys, values)
+    reference = SampleSorter(
+        config=CONFIG.with_(kernel_mode="per_block")
+    ).sort(keys, values)
+    assert result.keys.tobytes() == reference.keys.tobytes()
+    assert result.values.tobytes() == reference.values.tobytes()
+
+
+class TestNetworkSentinelSafety:
+    """Max-valued keys never lose their payload to the padding sentinels."""
+
+    @pytest.mark.parametrize("n", [3, 5, 13, 100, 255])
+    def test_padded_network_preserves_max_key_records(self, n):
+        rng = np.random.default_rng(n)
+        keys = rng.integers(0, 4, n).astype(np.uint32)
+        keys[rng.random(n) < 0.5] = np.iinfo(np.uint32).max
+        values = np.arange(n, dtype=np.uint32)
+        sorted_keys, sorted_values, _ = odd_even_merge_sort(keys, values)
+        assert np.array_equal(sorted_keys, np.sort(keys))
+        assert Counter(zip(keys.tolist(), values.tolist())) == \
+            Counter(zip(sorted_keys.tolist(), sorted_values.tolist()))
+
+    def test_padded_network_preserves_inf_records(self):
+        keys = np.array([1.5, np.inf, 0.25, np.inf, 2.0], dtype=np.float32)
+        values = np.arange(keys.size, dtype=np.uint32)
+        sorted_keys, sorted_values, _ = odd_even_merge_sort(keys, values)
+        assert np.array_equal(sorted_keys, np.sort(keys))
+        assert Counter(zip(keys.tolist(), values.tolist())) == \
+            Counter(zip(sorted_keys.tolist(), sorted_values.tolist()))

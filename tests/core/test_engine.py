@@ -177,9 +177,43 @@ class TestSortMany:
         for keys, result in zip(batch, sorter.sort_many(batch)):
             assert np.array_equal(result.keys, np.sort(keys))
 
-    def test_empty_batch_rejected(self):
-        with pytest.raises(UnsupportedInputError):
-            SampleSorter().sort_many([])
+    def test_empty_batch_returns_no_results(self):
+        assert SampleSorter().sort_many([]) == []
+
+    def test_zero_length_request_in_batch(self):
+        """An empty request rides along: empty output, zeroed attribution."""
+        config = _two_level_config("level_batched")
+        rng = np.random.default_rng(15)
+        batch = [rng.integers(0, 2**20, 5000).astype(np.uint32),
+                 np.array([], dtype=np.uint32),
+                 rng.integers(0, 2**20, 3000).astype(np.uint32)]
+        results = SampleSorter(config=config).sort_many(batch)
+        assert len(results) == 3
+        empty = results[1]
+        assert empty.keys.size == 0
+        assert empty.stats["request_launches"] == 0.0
+        assert empty.stats["request_time_us"] == 0.0
+        for keys, result in zip(batch, results):
+            assert np.array_equal(result.keys, np.sort(keys))
+            solo = SampleSorter(config=config).sort(keys)
+            assert result.keys.tobytes() == solo.keys.tobytes()
+
+    def test_all_empty_batch_runs_no_kernels(self):
+        results = SampleSorter(config=_two_level_config("level_batched")) \
+            .sort_many([np.array([], dtype=np.uint32)] * 2)
+        assert len(results) == 2
+        for result in results:
+            assert result.keys.size == 0
+            assert result.stats["kernel_launches"] == 0
+            assert result.stats["launches_by_phase"] == {}
+
+    def test_empty_solo_sort_has_zeroed_stats(self):
+        result = SampleSorter().sort(np.array([], dtype=np.uint32))
+        assert result.keys.size == 0
+        assert result.stats["kernel_launches"] == 0
+        assert result.stats["launches_by_phase"] == {}
+        assert result.stats["predicted_us"] == 0.0
+        assert result.time_us == 0.0
 
     def test_mixed_dtypes_rejected(self):
         with pytest.raises(UnsupportedInputError):

@@ -1,0 +1,128 @@
+"""Parity property test: per-block and block-vectorised kernels are equivalent.
+
+``kernel_mode`` only changes *how the simulator executes* a launch — once per
+block in a Python loop, or once over all blocks as stacked NumPy operations —
+never what the launch does. The contract is therefore stronger than the
+execution-mode parity: not just byte-identical output, but identical launch
+counts, identical aggregated hardware counters and identical predicted device
+times, for every (execution_mode, dtype, distribution) combination.
+
+Like the engine parity suite this is a seeded sweep rather than a hypothesis
+strategy: the workload generators already cover the paper's adversarial
+distributions and the seeds make failures reproducible.
+"""
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.core.config import SampleSortConfig
+from repro.core.sample_sort import SampleSorter
+from repro.datagen import make_input
+
+DISTRIBUTIONS = ["uniform", "sorted", "dduplicates", "zero", "staggered"]
+KEY_TYPES = ["uint32", "uint64", "float32"]
+EXECUTION_MODES = ["level_batched", "per_segment"]
+
+
+def _config(execution_mode, kernel_mode):
+    return SampleSortConfig.small().with_(
+        k=8, bucket_threshold=256, execution_mode=execution_mode,
+        kernel_mode=kernel_mode, seed=3,
+    )
+
+
+def _sort(keys, values, execution_mode, kernel_mode):
+    sorter = SampleSorter(config=_config(execution_mode, kernel_mode))
+    return sorter.sort(keys, values)
+
+
+@pytest.mark.parametrize("key_type", KEY_TYPES)
+@pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+@pytest.mark.parametrize("execution_mode", EXECUTION_MODES)
+def test_kernel_modes_are_indistinguishable(execution_mode, distribution,
+                                            key_type):
+    seed = zlib.crc32(f"{distribution}/{key_type}".encode()) % 1000
+    workload = make_input(distribution, 4000, key_type, with_values=True,
+                          seed=seed)
+    per_block = _sort(workload.keys, workload.values, execution_mode,
+                      "per_block")
+    vectorized = _sort(workload.keys, workload.values, execution_mode,
+                       "vectorized")
+
+    # byte-identical sorted bytes, keys and values
+    assert per_block.keys.tobytes() == vectorized.keys.tobytes()
+    assert per_block.values.tobytes() == vectorized.values.tobytes()
+    assert np.array_equal(vectorized.keys, np.sort(workload.keys))
+
+    # identical launch structure (total and per phase)
+    assert per_block.stats["kernel_launches"] == \
+        vectorized.stats["kernel_launches"]
+    assert per_block.stats["launches_by_phase"] == \
+        vectorized.stats["launches_by_phase"]
+
+    # identical aggregated hardware counters and predicted times
+    assert per_block.counters().as_dict() == vectorized.counters().as_dict()
+    assert per_block.stats["predicted_us"] == vectorized.stats["predicted_us"]
+    assert per_block.time_us == vectorized.time_us
+
+
+@pytest.mark.parametrize("kernel_mode", ["per_block", "vectorized"])
+def test_kernel_mode_recorded_in_stats(kernel_mode):
+    workload = make_input("uniform", 3000, "uint32", seed=9)
+    result = _sort(workload.keys, None, "level_batched", kernel_mode)
+    assert result.stats["kernel_mode"] == kernel_mode
+
+
+def test_per_record_trace_parity_key_value():
+    """Stronger than aggregate equality: the traces match record by record."""
+    workload = make_input("gaussian", 6000, "uint32", with_values=True, seed=6)
+    per_block = _sort(workload.keys, workload.values, "level_batched",
+                      "per_block")
+    vectorized = _sort(workload.keys, workload.values, "level_batched",
+                       "vectorized")
+    assert len(per_block.trace) == len(vectorized.trace)
+    for scalar_rec, vector_rec in zip(per_block.trace, vectorized.trace):
+        assert scalar_rec.name == vector_rec.name
+        assert scalar_rec.phase == vector_rec.phase
+        assert scalar_rec.launch == vector_rec.launch
+        assert scalar_rec.counters.as_dict() == vector_rec.counters.as_dict()
+        assert scalar_rec.time_us == vector_rec.time_us
+
+
+def test_kernel_modes_agree_on_store_reload_ablation():
+    """The bucket-index store/reload ablation is vectorised too."""
+    workload = make_input("uniform", 6000, "uint32", with_values=True, seed=17)
+    results = {}
+    for kernel_mode in ("per_block", "vectorized"):
+        config = _config("level_batched", kernel_mode).with_(
+            recompute_bucket_indices=False
+        )
+        results[kernel_mode] = SampleSorter(config=config).sort(
+            workload.keys, workload.values
+        )
+    assert results["per_block"].keys.tobytes() == \
+        results["vectorized"].keys.tobytes()
+    assert results["per_block"].values.tobytes() == \
+        results["vectorized"].values.tobytes()
+    assert results["per_block"].counters().as_dict() == \
+        results["vectorized"].counters().as_dict()
+
+
+def test_kernel_modes_agree_on_batched_requests():
+    """sort_many under both kernel modes: same bytes, same attribution."""
+    rng = np.random.default_rng(23)
+    batch = [rng.integers(0, 1 << 20, n).astype(np.uint32)
+             for n in (3000, 800, 4500)]
+    outcomes = {}
+    for kernel_mode in ("per_block", "vectorized"):
+        sorter = SampleSorter(config=_config("level_batched", kernel_mode))
+        outcomes[kernel_mode] = sorter.sort_many([k.copy() for k in batch])
+    for scalar_res, vector_res in zip(outcomes["per_block"],
+                                      outcomes["vectorized"]):
+        assert scalar_res.keys.tobytes() == vector_res.keys.tobytes()
+        assert scalar_res.stats["request_launches"] == \
+            vector_res.stats["request_launches"]
+        assert scalar_res.stats["request_time_us"] == \
+            vector_res.stats["request_time_us"]

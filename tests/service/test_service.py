@@ -475,3 +475,71 @@ class TestShardPoolPieces:
         expected = SampleSorter(config=SORTER_CONFIG).sort(keys, values)
         assert result.keys.tobytes() == expected.keys.tobytes()
         assert result.values.tobytes() == expected.values.tobytes()
+
+
+class TestDegenerateTelemetry:
+    """Zero-makespan and single-request edge cases report finite numbers."""
+
+    def test_zero_length_request_reports_finite_throughput(self):
+        """An empty request completes instantly: makespan 0 must not yield inf."""
+        service = SortService(_service_config(num_shards=1))
+        request_id = service.submit(np.array([], dtype=np.uint32))
+        result = service.drain()[request_id]
+        assert result.keys.size == 0
+        assert result.latency_us == 0.0
+        stats = service.stats()
+        throughput = stats["throughput"]
+        assert throughput["makespan_us"] == 0.0
+        assert throughput["elements_per_us"] == 0.0
+        assert throughput["requests_per_ms"] == 0.0
+        assert np.isfinite(throughput["elements_per_us"])
+        assert np.isfinite(throughput["requests_per_ms"])
+
+    def test_single_request_attribution_covers_whole_batch(self):
+        """With exactly one completed request the pro-rated shares are totals."""
+        service = SortService(_service_config(num_shards=1))
+        keys = np.random.default_rng(71).integers(0, 1 << 20, 4000) \
+            .astype(np.uint32)
+        request_id = service.submit(keys)
+        result = service.drain()[request_id]
+        stats = service.stats()
+        assert stats["counts"]["completed"] == 1
+        # one request: its share IS the batch total (and both are finite)
+        batch = stats["batches"]
+        assert batch == 1
+        assert result.kernel_launches == pytest.approx(
+            service.pool.shards[0].stream.trace.kernel_count
+        )
+        throughput = stats["throughput"]
+        assert throughput["makespan_us"] > 0.0
+        assert np.isfinite(throughput["elements_per_us"])
+        assert throughput["elements_per_us"] > 0.0
+
+    def test_simultaneous_completions_share_one_timestamp(self):
+        """Requests coalesced into one batch share a completion time; the
+        latency percentiles and throughput stay finite."""
+        service = SortService(_service_config(num_shards=1))
+        rng = np.random.default_rng(72)
+        ids = [service.submit(rng.integers(0, 1 << 16, 2000).astype(np.uint32))
+               for _ in range(3)]
+        results = service.drain()
+        completions = {results[i].completion_us for i in ids}
+        assert len(completions) == 1  # one micro-batch, one timestamp
+        stats = service.stats()
+        assert np.isfinite(stats["throughput"]["elements_per_us"])
+        assert stats["throughput"]["elements_per_us"] > 0.0
+
+    def test_empty_request_batch_accounting(self):
+        """Empty requests ride micro-batches without poisoning occupancy."""
+        service = SortService(_service_config(num_shards=1))
+        rng = np.random.default_rng(73)
+        full_id = service.submit(rng.integers(0, 1 << 16, 3000)
+                                 .astype(np.uint32))
+        empty_id = service.submit(np.array([], dtype=np.uint32))
+        results = service.drain()
+        assert results[empty_id].keys.size == 0
+        assert results[empty_id].kernel_launches == 0.0
+        assert results[full_id].keys.size == 3000
+        stats = service.stats()
+        assert stats["counts"]["completed"] == 2
+        assert np.isfinite(stats["throughput"]["elements_per_us"])
