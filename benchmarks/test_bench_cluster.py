@@ -1,0 +1,266 @@
+"""A4 — Sort cluster: replica scaling and cache hit-rate sweeps.
+
+Two cluster-level measurements on deterministic open-loop request streams:
+
+* **replica scaling** — the same multi-tenant stream through 1-, 2- and
+  4-replica clusters: more replicas must not slow the stream down, and the
+  cluster stats must cross-check against the per-replica totals;
+* **cache sweep** — streams with 0% / 50% / 90% repeated traffic through one
+  cluster shape: the content-addressed cache (stored hits + in-flight
+  coalescing) must turn repetition into throughput, with 90% repeated
+  traffic strictly beating 0% on elements/us.
+
+Everything is archived in ``BENCH_cluster.json``.
+``CLUSTER_BENCH_SCALE=tiny`` shrinks the workload for CI smoke runs.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import print_block
+from repro.core.config import SampleSortConfig
+from repro.core.sample_sort import SampleSorter
+from repro.cluster import ClusterConfig, SortCluster, TenantSpec
+from repro.harness.report import format_cluster_report
+from repro.service import ServiceConfig
+
+TINY = os.environ.get("CLUSTER_BENCH_SCALE", "").lower() == "tiny"
+NUM_REQUESTS = 6 if TINY else 24
+REQUEST_N = (1 << 10) if TINY else (1 << 12)
+MEAN_GAP_US = 8.0  # bursty arrivals: the cluster, not the timeline, is the bottleneck
+SORTER_CONFIG = SampleSortConfig.paper().with_(
+    k=8, oversampling=8, bucket_threshold=1 << 10, seed=7
+)
+REPLICA_COUNTS = (1, 2, 4)
+REPEAT_FRACTIONS = (0.0, 0.5, 0.9)
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_cluster.json"
+
+TENANTS = (TenantSpec("interactive", weight=3.0, priority=0),
+           TenantSpec("analytics", weight=1.0, priority=1))
+
+
+def _service_config():
+    return ServiceConfig(
+        num_shards=2,
+        sorter=SORTER_CONFIG,
+        queue_capacity=2 * NUM_REQUESTS + 2,
+        max_request_elements=1 << 20,
+        max_batch_requests=8,
+        max_batch_elements=4 * REQUEST_N,
+        max_wait_us=100.0,
+    )
+
+
+def _cluster(num_replicas):
+    return SortCluster(ClusterConfig(
+        num_replicas=num_replicas,
+        service=_service_config(),
+        policy="least_outstanding",
+        cache_capacity_bytes=32 << 20,
+        tenants=TENANTS,
+    ))
+
+
+def _base_stream(tag):
+    """One deterministic open-loop timeline: sizes, arrivals, tenants."""
+    rng = np.random.default_rng(4000 + len(tag))
+    entries = []
+    now = 0.0
+    for i in range(NUM_REQUESTS):
+        n = int(REQUEST_N * rng.uniform(0.7, 1.3))
+        keys = rng.integers(0, n // 2, n).astype(np.uint32)
+        tenant = "interactive" if i % 2 == 0 else "analytics"
+        entries.append((keys, now, tenant))
+        now += float(rng.exponential(MEAN_GAP_US))
+    return entries
+
+
+def _request_stream(repeat_fraction, tag):
+    """The base timeline with ``repeat_fraction`` of the slots replaced by
+    hot payloads — arrivals, tenants and cold sizes are identical across
+    fractions, so throughput differences are the cache's doing, not the
+    timeline's."""
+    base = _base_stream(tag)
+    rng = np.random.default_rng(77)
+    hot = [rng.integers(0, REQUEST_N // 2, REQUEST_N).astype(np.uint32)
+           for _ in range(2)]
+    stream = []
+    for i, (keys, now, tenant) in enumerate(base):
+        if (i % 10) < repeat_fraction * 10:  # deterministic repeat slots
+            keys = hot[i % len(hot)].copy()
+        stream.append((keys, now, tenant))
+    return stream
+
+
+def _run_stream(cluster, stream):
+    ids = {}
+    for i, (keys, arrival_us, tenant) in enumerate(stream):
+        ids[cluster.submit(keys, arrival_us=arrival_us, tenant=tenant)] = i
+    wall_start = time.perf_counter()
+    results = cluster.drain()
+    wall_s = time.perf_counter() - wall_start
+    return results, ids, wall_s
+
+
+def _assert_byte_identity(stream, results, ids):
+    solo = SampleSorter(config=SORTER_CONFIG)
+    expected_cache = {}
+    for request_id, stream_index in ids.items():
+        keys = stream[stream_index][0]
+        digest = keys.tobytes()
+        if digest not in expected_cache:
+            expected_cache[digest] = solo.sort(keys).keys.tobytes()
+        assert results[request_id].keys.tobytes() == expected_cache[digest]
+
+
+def _assert_cross_check(stats):
+    counts = stats["counts"]
+    assert counts["completed"] == (counts["replica_served"]
+                                   + counts["cache_hits"]
+                                   + counts["coalesced_hits"])
+    assert counts["replica_served"] == sum(r["completed"]
+                                           for r in stats["replicas"])
+    assert stats["balancer"]["dispatched"] == counts["replica_served"]
+
+
+def test_bench_cluster_replica_scaling(benchmark):
+    stream = _request_stream(repeat_fraction=0.2, tag="scaling")
+
+    def run():
+        outcome = {}
+        for num_replicas in REPLICA_COUNTS:
+            cluster = _cluster(num_replicas)
+            results, ids, wall_s = _run_stream(cluster, stream)
+            outcome[num_replicas] = (cluster, results, ids, wall_s)
+        return outcome
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    record = {
+        "benchmark": "cluster_replica_scaling",
+        "requests": NUM_REQUESTS,
+        "request_n": REQUEST_N,
+        "tiny": TINY,
+        "policy": "least_outstanding",
+        "replica_configs": {},
+    }
+    blocks = []
+    for num_replicas, (cluster, results, ids, wall_s) in outcome.items():
+        _assert_byte_identity(stream, results, ids)
+        stats = cluster.stats()
+        _assert_cross_check(stats)
+        record["replica_configs"][str(num_replicas)] = {
+            "wall_s": round(wall_s, 4),
+            "throughput_elements_per_us": round(
+                stats["throughput"]["elements_per_us"], 3),
+            "requests_per_ms": round(
+                stats["throughput"]["requests_per_ms"], 3),
+            "makespan_us": round(stats["throughput"]["makespan_us"], 1),
+            "latency_p50_us": round(stats["latency_us"]["p50"], 1),
+            "latency_p95_us": round(stats["latency_us"]["p95"], 1),
+            "cache_hit_rate": round(stats["cache_hit_rate"], 3),
+            "spilled_requests": stats["spill_count"],
+            "forced_flushes": stats["counts"]["forced_flushes"],
+            "per_replica_completed": [r["completed"]
+                                      for r in stats["replicas"]],
+            "per_replica_occupancy": [round(r["occupancy"], 3)
+                                      for r in stats["replicas"]],
+        }
+        blocks.append(format_cluster_report(
+            stats, title=f"--- {num_replicas} replica(s) ---"))
+
+    # more replicas must not slow the same stream down
+    makespans = {n: record["replica_configs"][str(n)]["makespan_us"]
+                 for n in REPLICA_COUNTS}
+    assert makespans[4] <= makespans[1] * 1.001
+    record["scaling_makespans_us"] = makespans
+
+    existing = (json.loads(RESULT_PATH.read_text())
+                if RESULT_PATH.exists() else {})
+    existing["cluster_replica_scaling"] = record
+    RESULT_PATH.write_text(json.dumps(existing, indent=2) + "\n")
+
+    summary = "\n".join(
+        f"{n} replica(s): {c['throughput_elements_per_us']:>7.2f} elem/us, "
+        f"p50 {c['latency_p50_us']:>8.1f} us, p95 {c['latency_p95_us']:>8.1f} us"
+        for n, c in ((n, record["replica_configs"][str(n)])
+                     for n in REPLICA_COUNTS)
+    )
+    print_block(
+        "Sort cluster: replica scaling on one multi-tenant request stream",
+        summary + f"\n(archived in {RESULT_PATH.name})\n\n"
+        + "\n\n".join(blocks),
+    )
+
+
+def test_bench_cluster_cache_sweep(benchmark):
+    streams = {fraction: _request_stream(fraction, tag="cache")
+               for fraction in REPEAT_FRACTIONS}
+
+    def run():
+        outcome = {}
+        for fraction, stream in streams.items():
+            cluster = _cluster(num_replicas=2)
+            results, ids, wall_s = _run_stream(cluster, stream)
+            outcome[fraction] = (cluster, results, ids, wall_s)
+        return outcome
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    record = {
+        "benchmark": "cluster_cache_sweep",
+        "requests": NUM_REQUESTS,
+        "request_n": REQUEST_N,
+        "tiny": TINY,
+        "replicas": 2,
+        "sweep": {},
+    }
+    blocks = []
+    for fraction, (cluster, results, ids, wall_s) in outcome.items():
+        _assert_byte_identity(streams[fraction], results, ids)
+        stats = cluster.stats()
+        _assert_cross_check(stats)
+        counts = stats["counts"]
+        record["sweep"][f"{fraction:.1f}"] = {
+            "wall_s": round(wall_s, 4),
+            "throughput_elements_per_us": round(
+                stats["throughput"]["elements_per_us"], 3),
+            "makespan_us": round(stats["throughput"]["makespan_us"], 1),
+            "latency_p50_us": round(stats["latency_us"]["p50"], 1),
+            "cache_hit_rate": round(stats["cache_hit_rate"], 3),
+            "cache_hits": counts["cache_hits"],
+            "coalesced_hits": counts["coalesced_hits"],
+            "replica_served": counts["replica_served"],
+        }
+        blocks.append(format_cluster_report(
+            stats, title=f"--- {fraction * 100:.0f}% repeated traffic ---"))
+
+    by_fraction = {fraction: record["sweep"][f"{fraction:.1f}"]
+                   for fraction in REPEAT_FRACTIONS}
+    # the headline claim: heavy repetition must beat cold traffic on rate
+    assert by_fraction[0.9]["throughput_elements_per_us"] > \
+        by_fraction[0.0]["throughput_elements_per_us"]
+    assert by_fraction[0.9]["cache_hit_rate"] > by_fraction[0.0]["cache_hit_rate"]
+    assert by_fraction[0.0]["cache_hit_rate"] == 0.0
+
+    existing = (json.loads(RESULT_PATH.read_text())
+                if RESULT_PATH.exists() else {})
+    existing["cluster_cache_sweep"] = record
+    RESULT_PATH.write_text(json.dumps(existing, indent=2) + "\n")
+
+    summary = "\n".join(
+        f"{fraction * 100:>3.0f}% repeats: "
+        f"{c['throughput_elements_per_us']:>7.2f} elem/us, "
+        f"hit rate {c['cache_hit_rate'] * 100:>5.1f}%, "
+        f"p50 {c['latency_p50_us']:>8.1f} us"
+        for fraction, c in by_fraction.items()
+    )
+    print_block(
+        "Sort cluster: cache sweep over repeated-traffic fractions",
+        summary + f"\n(archived in {RESULT_PATH.name})\n\n"
+        + "\n\n".join(blocks),
+    )

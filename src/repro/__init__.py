@@ -21,6 +21,8 @@ Layer map (see DESIGN.md for the full inventory):
 * :mod:`repro.harness` — the paper's figures as runnable experiments.
 * :mod:`repro.service` — the async sharded sort service (request queue,
   micro-batching scheduler, device shards, per-request telemetry).
+* :mod:`repro.cluster` — the replicated sort cluster (front-end load
+  balancer, content-addressed result cache, multi-tenant fair scheduling).
 * :mod:`repro.analysis` — output validation and comparison metrics.
 
 Quick start::
@@ -55,6 +57,7 @@ from .datagen import make_input
 from .gpu import GTX_285, TESLA_C1060, DeviceSpec, get_device
 from .harness import EXPERIMENTS, get_experiment, run_experiment
 from .service import ServiceConfig, SortService
+from .cluster import ClusterConfig, SortCluster, TenantSpec
 from .perfmodel import AnalyticTimeModel, rate_series
 
 __version__ = "1.0.0"
@@ -85,6 +88,9 @@ __all__ = [
     "run_experiment",
     "ServiceConfig",
     "SortService",
+    "ClusterConfig",
+    "SortCluster",
+    "TenantSpec",
     "AnalyticTimeModel",
     "rate_series",
 ]

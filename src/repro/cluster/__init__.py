@@ -1,0 +1,56 @@
+"""Replicated sort cluster — the scale-out layer above the sort service.
+
+One :class:`~repro.service.SortService` is a single serving stack (queue,
+micro-batcher, shard pool). This subpackage replicates that stack behind a
+front end, the way distributed directory services scale by replicating and
+summarising hot lookup traffic in front of the backing store:
+
+* :mod:`repro.cluster.replica` — :class:`ServiceReplica`, one independent
+  service instance (own shard pool, own simulated clock) plus the load
+  signals the balancer routes on,
+* :mod:`repro.cluster.router` — :class:`LoadBalancer` with pluggable
+  policies (round-robin, least-outstanding-elements, join-shortest-queue)
+  that spills to a sibling replica on backpressure instead of rejecting,
+* :mod:`repro.cluster.cache` — :class:`SortCache`, a content-addressed LRU
+  result cache (digest of key bytes + dtype + config under a byte budget):
+  repeated sorts are served without touching a shard, byte-identical to a
+  cold run,
+* :mod:`repro.cluster.tenants` — per-tenant priority classes and
+  weighted-fair-queueing credit accounting applied before replica dispatch,
+* :mod:`repro.cluster.cluster` — :class:`SortCluster`, the facade running
+  the discrete-event loop and merging per-replica telemetry.
+
+Quick start::
+
+    from repro.cluster import ClusterConfig, SortCluster, TenantSpec
+
+    cluster = SortCluster(ClusterConfig(
+        num_replicas=2,
+        policy="least_outstanding",
+        tenants=(TenantSpec("analytics", weight=1.0, priority=1),
+                 TenantSpec("interactive", weight=4.0, priority=0)),
+    ))
+    ids = [cluster.submit(keys, tenant="interactive") for keys in requests]
+    results = cluster.drain()
+    print(cluster.stats()["cache_hit_rate"])
+"""
+
+from .cache import SortCache, request_digest
+from .cluster import ClusterConfig, ClusterResult, SortCluster
+from .replica import ServiceReplica
+from .router import POLICIES, LoadBalancer
+from .tenants import ScheduleTag, TenantScheduler, TenantSpec
+
+__all__ = [
+    "SortCache",
+    "request_digest",
+    "ClusterConfig",
+    "ClusterResult",
+    "SortCluster",
+    "ServiceReplica",
+    "LoadBalancer",
+    "POLICIES",
+    "ScheduleTag",
+    "TenantScheduler",
+    "TenantSpec",
+]

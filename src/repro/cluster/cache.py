@@ -1,0 +1,150 @@
+"""Content-addressed result cache for repeated sort requests.
+
+A sort is a pure function of ``(key bytes, key dtype, value bytes, value
+dtype, sorter configuration)``; :class:`SortCache` addresses results by a
+SHA-256 digest of exactly that tuple, so two requests hit the same entry iff a
+cold run would produce byte-identical output for both. The cache stores the
+*sorted* arrays (private copies) under an LRU policy bounded by a byte budget,
+and :meth:`get` hands back fresh copies — a caller mutating a served result
+can never corrupt later hits, which is what makes the byte-identity guarantee
+("a cache hit equals a cold run") unconditional.
+
+Telemetry (:meth:`stats`): hits, misses, insertions, evictions, rejections of
+entries larger than the whole budget, current/capacity bytes and the hit rate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.config import SampleSortConfig
+
+
+def request_digest(keys: np.ndarray, values: Optional[np.ndarray],
+                   config: SampleSortConfig) -> str:
+    """Content address of one sort request.
+
+    Covers the key bytes *and* dtype (the same bytes as uint32 and float32
+    sort differently), the optional value payload, and the full sorter
+    configuration (different splitter seeds or thresholds produce different
+    tie permutations, so they must not share an entry).
+    """
+    hasher = hashlib.sha256()
+    hasher.update(str(keys.dtype).encode())
+    hasher.update(str(keys.size).encode())
+    hasher.update(np.ascontiguousarray(keys).tobytes())
+    if values is None:
+        hasher.update(b"|no-values")
+    else:
+        hasher.update(b"|values:" + str(values.dtype).encode())
+        hasher.update(np.ascontiguousarray(values).tobytes())
+    hasher.update(b"|config:" + repr(config).encode())
+    return hasher.hexdigest()
+
+
+@dataclass
+class _CacheEntry:
+    keys: np.ndarray
+    values: Optional[np.ndarray]
+
+    @property
+    def nbytes(self) -> int:
+        return self.keys.nbytes + (0 if self.values is None
+                                   else self.values.nbytes)
+
+
+class SortCache:
+    """LRU cache of sorted outputs under a byte budget."""
+
+    def __init__(self, capacity_bytes: int = 64 << 20):
+        if capacity_bytes < 1:
+            raise ValueError(
+                f"cache capacity must be >= 1 byte, got {capacity_bytes} "
+                f"(disable the cache at the cluster level instead)"
+            )
+        self.capacity_bytes = int(capacity_bytes)
+        self._entries: "OrderedDict[str, _CacheEntry]" = OrderedDict()
+        self._bytes = 0
+        self._counts = {
+            "hits": 0,
+            "misses": 0,
+            "insertions": 0,
+            "evictions": 0,
+            "oversize_rejected": 0,
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._entries
+
+    @property
+    def current_bytes(self) -> int:
+        return self._bytes
+
+    # ------------------------------------------------------------------ ops
+    def get(self, digest: str
+            ) -> Optional[tuple[np.ndarray, Optional[np.ndarray]]]:
+        """Sorted ``(keys, values)`` copies for ``digest``, or ``None``.
+
+        A hit refreshes the entry's LRU position and is counted; so is a miss.
+        """
+        entry = self._entries.get(digest)
+        if entry is None:
+            self._counts["misses"] += 1
+            return None
+        self._entries.move_to_end(digest)
+        self._counts["hits"] += 1
+        values = None if entry.values is None else entry.values.copy()
+        return entry.keys.copy(), values
+
+    def put(self, digest: str, keys: np.ndarray,
+            values: Optional[np.ndarray]) -> bool:
+        """Insert one sorted result; returns whether it was cached.
+
+        The arrays are copied in (the caller keeps handing its arrays to the
+        requester). An entry larger than the whole budget is rejected — before
+        any copying — rather than evicting everything for a result that would
+        be evicted next. A re-insert under an existing digest refreshes the
+        entry.
+        """
+        nbytes = keys.nbytes + (0 if values is None else values.nbytes)
+        if nbytes > self.capacity_bytes:
+            self._counts["oversize_rejected"] += 1
+            return False
+        entry = _CacheEntry(
+            keys=np.ascontiguousarray(keys).copy(),
+            values=None if values is None
+            else np.ascontiguousarray(values).copy(),
+        )
+        previous = self._entries.pop(digest, None)
+        if previous is not None:
+            self._bytes -= previous.nbytes
+        while self._bytes + entry.nbytes > self.capacity_bytes:
+            _, evicted = self._entries.popitem(last=False)
+            self._bytes -= evicted.nbytes
+            self._counts["evictions"] += 1
+        self._entries[digest] = entry
+        self._bytes += entry.nbytes
+        self._counts["insertions"] += 1
+        return True
+
+    # ------------------------------------------------------------ telemetry
+    def stats(self) -> dict:
+        lookups = self._counts["hits"] + self._counts["misses"]
+        return {
+            **self._counts,
+            "entries": len(self._entries),
+            "current_bytes": self._bytes,
+            "capacity_bytes": self.capacity_bytes,
+            "hit_rate": (self._counts["hits"] / lookups) if lookups else 0.0,
+        }
+
+
+__all__ = ["SortCache", "request_digest"]

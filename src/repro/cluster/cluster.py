@@ -1,0 +1,474 @@
+"""The replicated sort cluster: tenant scheduler → cache → balancer → replicas.
+
+:class:`SortCluster` is the front end over N :class:`ServiceReplica` s. Its
+:meth:`drain` runs one discrete-event loop that keeps every replica's clock
+coherent with the cluster timeline:
+
+1. pending requests are admitted to the *ready set* in arrival order;
+2. among ready requests the :class:`TenantScheduler` picks the next one
+   (strict priority classes, weighted fair queueing within a class);
+3. the request is looked up in the content-addressed :class:`SortCache` —
+   a hit is served without touching any replica, and a request whose digest
+   is already in flight in this drain *coalesces* onto the earlier miss;
+4. a miss is dispatched through the :class:`LoadBalancer`, which spills to
+   the next replica on :class:`QueueFullError`; if every queue is full the
+   cluster flushes the replicas (drains their backlogs, advancing their
+   clocks) and retries instead of rejecting;
+5. after routing, every replica drains, results are collected, misses are
+   inserted into the cache, and coalesced requests are resolved against the
+   primary's output.
+
+Because replicas share one configuration and the sorter's sampling seed is a
+pure function of the request bytes, the output of any request — any routing
+policy, cache hit or miss, any tenant weights — is byte-identical to a solo
+:meth:`SampleSorter.sort`.
+
+Cluster telemetry (:meth:`stats`) merges the per-replica ``stats()`` into
+cluster totals: per-tenant latency percentiles, per-replica occupancy over the
+cluster makespan, cache hit rate, spill and flush counts — with the invariant
+that replica-served + cache-served request counts sum to cluster completions.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..core.config import SampleSortConfig
+from ..gpu.errors import GpuSimError
+from ..service.queue import (
+    OversizeRequestError,
+    QueueFullError,
+    SortRequest,
+)
+from ..service.service import ServiceConfig
+from .cache import SortCache, request_digest
+from .replica import ServiceReplica
+from .router import LoadBalancer
+from .tenants import ScheduleTag, TenantScheduler, TenantSpec
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Everything a :class:`SortCluster` needs at construction."""
+
+    #: Number of independent service replicas behind the front end.
+    num_replicas: int = 2
+    #: Configuration every replica is built from (shared — this is what
+    #: makes results independent of routing).
+    service: ServiceConfig = field(default_factory=ServiceConfig)
+    #: Balancing policy, one of :data:`repro.cluster.router.POLICIES`.
+    policy: str = "least_outstanding"
+    #: Byte budget of the content-addressed result cache; 0 disables it.
+    cache_capacity_bytes: int = 64 << 20
+    #: Simulated cost of one front-end cache lookup/serve, in microseconds.
+    cache_lookup_us: float = 0.5
+    #: Tenant contracts; unknown tenants get weight 1.0, priority 0.
+    tenants: tuple[TenantSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.num_replicas < 1:
+            raise ValueError(
+                f"num_replicas must be >= 1, got {self.num_replicas}"
+            )
+        if self.cache_capacity_bytes < 0:
+            raise ValueError("cache_capacity_bytes must be >= 0")
+        if self.cache_lookup_us < 0:
+            raise ValueError("cache_lookup_us must be >= 0")
+
+
+@dataclass
+class _ClusterRequest:
+    """Front-end bookkeeping for one admitted request."""
+
+    request_id: int
+    tenant: str
+    keys: np.ndarray
+    values: Optional[np.ndarray]
+    arrival_us: float
+    tag: ScheduleTag
+
+    @property
+    def n(self) -> int:
+        return int(self.keys.size)
+
+
+@dataclass
+class ClusterResult:
+    """One request's output plus its cluster-level timeline and provenance."""
+
+    request_id: int
+    tenant: str
+    keys: np.ndarray
+    values: Optional[np.ndarray]
+    n: int
+    arrival_us: float
+    dispatch_us: float
+    completion_us: float
+    #: ``"replica"`` (cold run), ``"cache"`` (stored hit) or ``"coalesced"``
+    #: (deduplicated onto an identical in-flight request).
+    source: str
+    #: Which replica ran the sort (None for cache/coalesced hits).
+    replica_id: Optional[int]
+    #: The replica-local request id (None for cache/coalesced hits).
+    service_request_id: Optional[int]
+    #: Full replica queues skipped before admission (spill count).
+    spill_rejections: int = 0
+
+    @property
+    def latency_us(self) -> float:
+        return self.completion_us - self.arrival_us
+
+    @property
+    def cache_hit(self) -> bool:
+        return self.source in ("cache", "coalesced")
+
+
+class SortCluster:
+    """Replicated sort service with caching, fair queueing and spill routing."""
+
+    def __init__(self, config: Optional[ClusterConfig] = None):
+        self.config = config if config is not None else ClusterConfig()
+        self.replicas = [
+            ServiceReplica(replica_id=i, config=self.config.service)
+            for i in range(self.config.num_replicas)
+        ]
+        self.balancer = LoadBalancer(self.config.policy)
+        self.cache = (SortCache(self.config.cache_capacity_bytes)
+                      if self.config.cache_capacity_bytes > 0 else None)
+        self.scheduler = TenantScheduler(self.config.tenants)
+        self._pending: list[_ClusterRequest] = []
+        self._next_request_id = 0
+        self._results: dict[int, ClusterResult] = {}
+        #: Requests routed to a replica but not yet collected into results —
+        #: survives a failed drain so a retry can finish the work.
+        self._routed: dict[tuple[int, int], tuple] = {}
+        #: Coalesced twins waiting for their primary's output, same story.
+        self._coalesced: list[tuple[_ClusterRequest, int, float]] = []
+        self._counts = {
+            "submitted": 0,
+            "completed": 0,
+            "replica_served": 0,
+            "cache_hits": 0,
+            "coalesced_hits": 0,
+            "rejected_invalid": 0,
+            "rejected_oversize": 0,
+            "forced_flushes": 0,
+        }
+
+    @property
+    def sorter_config(self) -> SampleSortConfig:
+        return self.config.service.sorter
+
+    # ------------------------------------------------------------ submission
+    def submit(self, keys: np.ndarray, values: Optional[np.ndarray] = None,
+               arrival_us: float = 0.0, tenant: str = "default") -> int:
+        """Admit one request to the front end; returns its cluster id.
+
+        Validation happens here, once, with the same rules every replica
+        applies (shape, dtype, layout, size) — an invalid request must fail at
+        the front door, not mid-drain inside a replica.
+        """
+        self._counts["submitted"] += 1
+        try:
+            validated = SortRequest(request_id=-1, keys=keys, values=values,
+                                    arrival_us=float(arrival_us))
+            if validated.n > self.config.service.max_request_elements:
+                self._counts["rejected_oversize"] += 1
+                raise OversizeRequestError(
+                    f"request of {validated.n} elements exceeds the admission "
+                    f"limit of {self.config.service.max_request_elements}"
+                )
+            # The same device validation every replica would apply at its own
+            # submit(): a dtype group whose sorter config cannot run on the
+            # device must fail at the front door, not mid-drain in a replica.
+            # Replicas share one config, so any replica's verdict is the
+            # cluster's (and the service memoises it per dtype group).
+            self.replicas[0].service._group_config(validated)
+        except OversizeRequestError:
+            raise
+        except GpuSimError:
+            self._counts["rejected_invalid"] += 1
+            raise
+        request = _ClusterRequest(
+            request_id=self._next_request_id,
+            tenant=tenant,
+            keys=validated.keys,
+            values=validated.values,
+            arrival_us=float(arrival_us),
+            tag=self.scheduler.admit(tenant, validated.n),
+        )
+        self._pending.append(request)
+        self._next_request_id += 1
+        return request.request_id
+
+    # ------------------------------------------------------------ event loop
+    def drain(self) -> dict[int, ClusterResult]:
+        """Serve every pending request; returns ``{cluster id: result}``.
+
+        Failure safety mirrors :meth:`SortService.drain`: if routing raises,
+        every not-yet-routed request returns to the front-end backlog, and
+        requests already routed to a replica stay tracked in the cluster's
+        routed map — a later :meth:`drain` collects their results instead of
+        losing them.
+        """
+        pending = sorted(self._pending,
+                         key=lambda r: (r.arrival_us, r.tag.seq))
+        self._pending = []
+
+        ready: list[tuple[tuple, _ClusterRequest]] = []
+        drained_ids: list[int] = []  # cache hits committed this drain
+        inflight: dict[str, int] = {}  # digest -> primary cluster request id
+        index = 0
+        now = 0.0
+        request: Optional[_ClusterRequest] = None
+
+        try:
+            while index < len(pending) or ready:
+                if not ready:
+                    now = max(now, pending[index].arrival_us)
+                while (index < len(pending)
+                       and pending[index].arrival_us <= now):
+                    heapq.heappush(ready, (pending[index].tag.key,
+                                           pending[index]))
+                    index += 1
+
+                _, request = heapq.heappop(ready)
+
+                digest = None
+                if self.cache is not None:
+                    digest = request_digest(request.keys, request.values,
+                                            self.sorter_config)
+                    if digest in inflight:
+                        # An identical request is already on its way to a
+                        # replica: coalesce instead of sorting the bytes
+                        # twice.
+                        self._coalesced.append((request, inflight[digest],
+                                                now))
+                        self.scheduler.on_dispatch(request.tenant,
+                                                   request.tag, request.n)
+                        request = None
+                        continue
+                    cached = self.cache.get(digest)
+                    if cached is not None:
+                        completion = now + self.config.cache_lookup_us
+                        self.scheduler.on_dispatch(request.tenant,
+                                                   request.tag, request.n)
+                        self._commit(ClusterResult(
+                            request_id=request.request_id,
+                            tenant=request.tenant,
+                            keys=cached[0], values=cached[1], n=request.n,
+                            arrival_us=request.arrival_us,
+                            dispatch_us=now, completion_us=completion,
+                            source="cache", replica_id=None,
+                            service_request_id=None,
+                        ))
+                        drained_ids.append(request.request_id)
+                        request = None
+                        continue
+
+                replica, service_id, spills = self._dispatch(request, now)
+                self.scheduler.on_dispatch(request.tenant, request.tag,
+                                           request.n)
+                self._routed[(replica.replica_id, service_id)] = (
+                    request, now, spills, digest
+                )
+                if digest is not None:
+                    inflight[digest] = request.request_id
+                request = None
+        except BaseException:
+            # Unrouted work returns to the backlog for a retry drain; the
+            # tags are kept, so the schedule resumes where it stopped.
+            leftovers = [entry for _, entry in ready] + pending[index:]
+            if request is not None:
+                leftovers.append(request)
+            self._pending = leftovers + self._pending
+            raise
+
+        # Every request is routed; let the replicas serve their backlogs.
+        for replica in self.replicas:
+            replica.drain()
+
+        # Collect replica outputs (flush drains mid-loop and survivors of a
+        # previously failed drain landed in results() too), fill the cache,
+        # then resolve coalesced requests against their primaries.
+        for key in list(self._routed):
+            replica_id, service_id = key
+            service_result = self.replicas[replica_id].result(service_id)
+            if service_result is None:
+                continue  # still stuck in the replica; a later drain retries
+            request, dispatch_us, spills, digest = self._routed.pop(key)
+            self._commit(ClusterResult(
+                request_id=request.request_id,
+                tenant=request.tenant,
+                keys=service_result.keys,
+                values=service_result.values,
+                n=request.n,
+                arrival_us=request.arrival_us,
+                dispatch_us=dispatch_us,
+                completion_us=service_result.completion_us,
+                source="replica",
+                replica_id=replica_id,
+                service_request_id=service_id,
+                spill_rejections=spills,
+            ))
+            drained_ids.append(request.request_id)
+            if digest is not None:
+                self.cache.put(digest, service_result.keys,
+                               service_result.values)
+
+        unresolved: list[tuple[_ClusterRequest, int, float]] = []
+        for request, primary_id, routed_at in self._coalesced:
+            primary = self._results.get(primary_id)
+            if primary is None:
+                unresolved.append((request, primary_id, routed_at))
+                continue
+            completion = (max(routed_at, primary.completion_us)
+                          + self.config.cache_lookup_us)
+            values = (None if primary.values is None
+                      else primary.values.copy())
+            self._commit(ClusterResult(
+                request_id=request.request_id,
+                tenant=request.tenant,
+                keys=primary.keys.copy(), values=values, n=request.n,
+                arrival_us=request.arrival_us,
+                dispatch_us=routed_at, completion_us=completion,
+                source="coalesced", replica_id=None,
+                service_request_id=None,
+            ))
+            drained_ids.append(request.request_id)
+        self._coalesced = unresolved
+
+        return {request_id: self._results[request_id]
+                for request_id in sorted(drained_ids)}
+
+    def _dispatch(self, request: _ClusterRequest, now: float
+                  ) -> tuple[ServiceReplica, int, int]:
+        """Balance the request across replicas, flushing instead of rejecting.
+
+        When every replica queue is full, the cluster drains the replicas
+        (their backlogs become results, their clocks advance) and retries —
+        the front end converts backpressure into latency, not errors.
+        """
+        try:
+            return self.balancer.dispatch(self.replicas, request.keys,
+                                          request.values, arrival_us=now)
+        except QueueFullError:
+            self._counts["forced_flushes"] += 1
+            for replica in self.replicas:
+                replica.drain()
+            replica, service_id, retry_spills = self.balancer.dispatch(
+                self.replicas, request.keys, request.values, arrival_us=now
+            )
+            # the first attempt bounced off every queue; the result's spill
+            # count must say so even though the retry landed cleanly
+            return replica, service_id, retry_spills + len(self.replicas)
+
+    def _commit(self, result: ClusterResult) -> None:
+        self._results[result.request_id] = result
+        self._counts["completed"] += 1
+        self._counts[{
+            "replica": "replica_served",
+            "cache": "cache_hits",
+            "coalesced": "coalesced_hits",
+        }[result.source]] += 1
+
+    # ------------------------------------------------------------- telemetry
+    def results(self) -> dict[int, ClusterResult]:
+        """Every completed request so far, across drains."""
+        return dict(self._results)
+
+    def stats(self) -> dict:
+        """Cluster-level telemetry merged from every replica's ``stats()``.
+
+        Invariants the tests pin down: ``counts.completed`` equals
+        ``replica_served + cache_hits + coalesced_hits``, and
+        ``replica_served`` equals the sum of per-replica completed counts.
+        """
+        results = list(self._results.values())
+        replica_stats = [replica.stats() for replica in self.replicas]
+        snapshot: dict = {
+            "counts": dict(self._counts),
+            "num_replicas": len(self.replicas),
+            "balancer": self.balancer.stats(),
+            "cache": None if self.cache is None else self.cache.stats(),
+            "cache_hit_rate": (
+                (self._counts["cache_hits"] + self._counts["coalesced_hits"])
+                / self._counts["completed"]
+                if self._counts["completed"] else 0.0
+            ),
+            "spill_count": self.balancer.stats()["spilled_requests"],
+        }
+
+        if results:
+            makespan_us = (max(r.completion_us for r in results)
+                           - min(r.arrival_us for r in results))
+            latencies = np.array([r.latency_us for r in results])
+            total_elements = sum(r.n for r in results)
+            snapshot["latency_us"] = {
+                "p50": float(np.percentile(latencies, 50)),
+                "p95": float(np.percentile(latencies, 95)),
+                "mean": float(np.mean(latencies)),
+                "max": float(np.max(latencies)),
+            }
+            snapshot["throughput"] = {
+                "makespan_us": makespan_us,
+                "elements_per_us": (total_elements / makespan_us
+                                    if makespan_us > 0 else 0.0),
+                "requests_per_ms": (1e3 * len(results) / makespan_us
+                                    if makespan_us > 0 else 0.0),
+            }
+        else:
+            makespan_us = 0.0
+            snapshot["latency_us"] = {"p50": 0.0, "p95": 0.0,
+                                      "mean": 0.0, "max": 0.0}
+            snapshot["throughput"] = {"makespan_us": 0.0,
+                                      "elements_per_us": 0.0,
+                                      "requests_per_ms": 0.0}
+
+        # Per-tenant: scheduler credit accounting + completed latencies.
+        tenants = self.scheduler.stats()["tenants"]
+        by_tenant: dict[str, list[float]] = {}
+        served: dict[str, int] = {}
+        for result in results:
+            by_tenant.setdefault(result.tenant, []).append(result.latency_us)
+            served[result.tenant] = served.get(result.tenant, 0) + 1
+        for name, entry in tenants.items():
+            latencies = by_tenant.get(name)
+            entry["completed"] = served.get(name, 0)
+            if latencies:
+                entry["latency_us"] = {
+                    "p50": float(np.percentile(latencies, 50)),
+                    "p95": float(np.percentile(latencies, 95)),
+                }
+            else:
+                entry["latency_us"] = {"p50": 0.0, "p95": 0.0}
+        snapshot["tenants"] = tenants
+
+        # Per-replica: served counts plus device occupancy over the cluster
+        # makespan (sum of stream busy time / (shards * makespan)).
+        replicas = []
+        for stats in replica_stats:
+            stream_us = sum(s["stream_time_us"] for s in stats["shards"])
+            replicas.append({
+                "replica_id": stats["replica_id"],
+                "routed_requests": stats["routed_requests"],
+                "completed": stats["counts"]["completed"],
+                "sharded_requests": stats["counts"]["sharded_requests"],
+                "batches": stats["batches"],
+                "queue_depth_peak": stats["queue_depth_peak"],
+                "stream_time_us": stream_us,
+                "busy_until_us": max(s["busy_until_us"]
+                                     for s in stats["shards"]),
+                "occupancy": (stream_us
+                              / (stats["num_shards"] * makespan_us)
+                              if makespan_us > 0 else 0.0),
+            })
+        snapshot["replicas"] = replicas
+        return snapshot
+
+
+__all__ = ["ClusterConfig", "ClusterResult", "SortCluster"]

@@ -1,0 +1,80 @@
+"""Service replicas: independent :class:`SortService` instances behind one front end.
+
+A :class:`ServiceReplica` is one complete serving stack — its own bounded
+queue, micro-batcher, :class:`~repro.service.shards.ShardPool` and simulated
+clock (the per-shard stream horizons). Replicas share nothing but their
+configuration, which is exactly what keeps routing irrelevant to results:
+every replica is built from the *same* :class:`ServiceConfig`, so the sorter
+seed — and with it the sampled splitters, the recursion tree and every tie
+permutation — is a pure function of the request bytes, never of the replica
+that happened to serve it. Any replica's answer is byte-identical to a solo
+:meth:`SampleSorter.sort` of the same input.
+
+The replica exposes the load signals the front-end balancer routes on
+(:attr:`pending_requests`, :attr:`pending_elements`) and forwards admission
+errors (:class:`QueueFullError`) unchanged so the router can spill to a
+sibling.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..service.service import ServiceConfig, ServiceResult, SortService
+
+
+class ServiceReplica:
+    """One :class:`SortService` with an identity and front-end load hooks."""
+
+    def __init__(self, replica_id: int, config: Optional[ServiceConfig] = None):
+        self.replica_id = replica_id
+        self.service = SortService(config)
+        #: Requests routed here by the front end (includes spilled-in ones).
+        self.routed_requests = 0
+
+    # ------------------------------------------------------------- serving
+    def submit(self, keys: np.ndarray, values: Optional[np.ndarray] = None,
+               arrival_us: float = 0.0) -> int:
+        """Admit one request; returns the replica-local request id.
+
+        Raises the service's admission errors unchanged — the front end
+        treats :class:`QueueFullError` as a spill signal.
+        """
+        request_id = self.service.submit(keys, values, arrival_us=arrival_us)
+        self.routed_requests += 1
+        return request_id
+
+    def drain(self) -> dict[int, ServiceResult]:
+        """Serve everything pending, advancing this replica's clock."""
+        return self.service.drain()
+
+    def results(self) -> dict[int, ServiceResult]:
+        return self.service.results()
+
+    def result(self, request_id: int) -> Optional[ServiceResult]:
+        return self.service.result(request_id)
+
+    # --------------------------------------------------------- load signals
+    @property
+    def pending_requests(self) -> int:
+        return self.service.pending_requests
+
+    @property
+    def pending_elements(self) -> int:
+        return self.service.pending_elements
+
+    @property
+    def queue_capacity(self) -> int:
+        return self.service.queue_capacity
+
+    # ------------------------------------------------------------ telemetry
+    def stats(self) -> dict:
+        snapshot = self.service.stats()
+        snapshot["replica_id"] = self.replica_id
+        snapshot["routed_requests"] = self.routed_requests
+        return snapshot
+
+
+__all__ = ["ServiceReplica"]

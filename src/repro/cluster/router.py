@@ -1,0 +1,124 @@
+"""Front-end load balancer: pick a replica, spill on backpressure.
+
+The :class:`LoadBalancer` turns a request plus a replica set into a
+*preference order* and dispatches to the first replica that admits the
+request. A replica whose queue is full (:class:`QueueFullError`) is not a
+failure — the request **spills** to the next replica in the order, and the
+balancer counts the spill; only when *every* replica is saturated does the
+error propagate, and the cluster's event loop reacts by flushing a replica
+rather than rejecting the request.
+
+Policies (``LoadBalancer.POLICIES``):
+
+* ``"round_robin"`` — rotate through replicas regardless of load; the
+  baseline every serving textbook starts from.
+* ``"least_outstanding"`` — prefer the replica with the fewest outstanding
+  *elements* (undrained backlog work), the right signal when request sizes
+  vary by orders of magnitude.
+* ``"join_shortest_queue"`` — prefer the replica with the fewest outstanding
+  *requests*, the classic JSQ policy; near-optimal when requests are
+  similar-sized and cheap to count.
+
+Ties always break on the lowest replica id, so routing is deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..service.queue import QueueFullError
+from .replica import ServiceReplica
+
+POLICIES = ("round_robin", "least_outstanding", "join_shortest_queue")
+
+
+class LoadBalancer:
+    """Routes requests across :class:`ServiceReplica` s with spill-on-full."""
+
+    POLICIES = POLICIES
+
+    def __init__(self, policy: str = "least_outstanding"):
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown balancing policy {policy!r}; pick one of {POLICIES}"
+            )
+        self.policy = policy
+        self._rr_cursor = 0
+        self._counts = {
+            "dispatched": 0,
+            "spilled_requests": 0,  # requests that missed their first choice
+            "spill_attempts": 0,    # individual full-queue rejections seen
+            "exhausted": 0,         # dispatches that found every queue full
+        }
+        self._per_replica: dict[int, int] = {}
+
+    # ------------------------------------------------------------- routing
+    def preference_order(self, replicas: Sequence[ServiceReplica]
+                         ) -> list[ServiceReplica]:
+        """Replicas in the order this policy would try them right now."""
+        if not replicas:
+            raise ValueError("cannot balance over zero replicas")
+        if self.policy == "round_robin":
+            start = self._rr_cursor % len(replicas)
+            return list(replicas[start:]) + list(replicas[:start])
+        if self.policy == "least_outstanding":
+            return sorted(replicas, key=lambda r: (r.pending_elements,
+                                                   r.pending_requests,
+                                                   r.replica_id))
+        return sorted(replicas, key=lambda r: (r.pending_requests,
+                                               r.pending_elements,
+                                               r.replica_id))
+
+    def dispatch(self, replicas: Sequence[ServiceReplica],
+                 keys: np.ndarray, values: Optional[np.ndarray],
+                 arrival_us: float) -> tuple[ServiceReplica, int, int]:
+        """Admit the request at the most-preferred replica with room.
+
+        Returns ``(replica, replica-local request id, rejections)`` where
+        ``rejections`` counts the full queues skipped before admission (0 =
+        first choice took it). Spills down the preference order on
+        :class:`QueueFullError`; raises it only when every replica is full
+        (``exhausted``), leaving the caller to flush and retry. Other
+        admission errors (invalid input, oversize) propagate from the first
+        replica untouched — they would fail everywhere identically.
+        """
+        order = self.preference_order(replicas)
+        rejections = 0
+        for replica in order:
+            try:
+                request_id = replica.submit(keys, values,
+                                            arrival_us=arrival_us)
+            except QueueFullError:
+                rejections += 1
+                self._counts["spill_attempts"] += 1
+                continue
+            if self.policy == "round_robin":
+                # advance only on success: an exhausted attempt retried
+                # after a flush must see the same rotation, not skip a
+                # replica
+                self._rr_cursor = (self._rr_cursor + 1) % len(replicas)
+            if rejections:
+                self._counts["spilled_requests"] += 1
+            self._counts["dispatched"] += 1
+            self._per_replica[replica.replica_id] = (
+                self._per_replica.get(replica.replica_id, 0) + 1
+            )
+            return replica, request_id, rejections
+        self._counts["exhausted"] += 1
+        raise QueueFullError(
+            f"all {len(order)} replica queues are full; flush a replica "
+            f"before retrying"
+        )
+
+    # ------------------------------------------------------------ telemetry
+    def stats(self) -> dict:
+        return {
+            "policy": self.policy,
+            **self._counts,
+            "per_replica_dispatches": dict(sorted(self._per_replica.items())),
+        }
+
+
+__all__ = ["LoadBalancer", "POLICIES"]

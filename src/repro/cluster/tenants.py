@@ -1,0 +1,141 @@
+"""Multi-tenant scheduling: priority classes + weighted fair queueing.
+
+The cluster front end orders ready requests *before* replica dispatch with a
+two-level rule:
+
+1. **priority class** — strict: a class-0 (most urgent) request always
+   dispatches before a class-1 request that is ready at the same instant;
+2. **weighted fair queueing** within a class — start-time fair queueing over
+   element counts: each tenant accumulates a virtual *finish* time that grows
+   by ``elements / weight`` per request, and requests dispatch in order of
+   their virtual **start** tags. A tenant with weight 3 therefore gets three
+   elements of service for every element a weight-1 competitor gets whenever
+   both have work ready, while an idle tenant's tag snaps forward to the
+   global virtual time on its next request (no credit hoarding: you cannot
+   bank service you never asked for).
+
+Ties (same class, same tag) break on submission order, so the schedule is
+deterministic.
+
+The scheduler also keeps per-tenant credit accounting — elements requested,
+elements dispatched, and the virtual clock positions — which the cluster's
+telemetry merges with per-tenant latency percentiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's scheduling contract."""
+
+    name: str
+    #: WFQ weight: relative share of service among tenants of the same
+    #: priority class with work ready. Must be positive.
+    weight: float = 1.0
+    #: Priority class, lower is more urgent; classes are strict (class 0
+    #: drains before class 1 regardless of weights).
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if not (self.weight > 0):
+            raise ValueError(
+                f"tenant weight must be > 0, got {self.weight} for "
+                f"{self.name!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ScheduleTag:
+    """Dispatch-ordering key of one admitted request (smaller first)."""
+
+    priority: int
+    virtual_start: float
+    seq: int
+
+    @property
+    def key(self) -> tuple:
+        return (self.priority, self.virtual_start, self.seq)
+
+
+class TenantScheduler:
+    """Assigns :class:`ScheduleTag` s and keeps WFQ credit accounting."""
+
+    DEFAULT_TENANT = "default"
+
+    def __init__(self, tenants: Iterable[TenantSpec] = (),
+                 default_spec: Optional[TenantSpec] = None):
+        self._specs: dict[str, TenantSpec] = {}
+        self._default = default_spec or TenantSpec(self.DEFAULT_TENANT)
+        for spec in tenants:
+            self.register(spec)
+        #: Global virtual time: advances to the virtual start of each
+        #: dispatched request (monotone because dispatch follows tag order
+        #: within a class).
+        self._virtual_time = 0.0
+        self._finish: dict[str, float] = {}
+        self._seq = 0
+        self._accounts: dict[str, dict] = {}
+
+    def register(self, spec: TenantSpec) -> None:
+        self._specs[spec.name] = spec
+
+    def spec(self, name: str) -> TenantSpec:
+        """The tenant's spec; unknown tenants get the default contract."""
+        existing = self._specs.get(name)
+        if existing is not None:
+            return existing
+        spec = TenantSpec(name=name, weight=self._default.weight,
+                          priority=self._default.priority)
+        self._specs[name] = spec
+        return spec
+
+    # ---------------------------------------------------------- scheduling
+    def admit(self, tenant: str, elements: int) -> ScheduleTag:
+        """Tag one request of ``elements`` elements for tenant ``tenant``.
+
+        Must be called in submission order; the tag is the request's
+        dispatch-ordering key for the cluster's event loop.
+        """
+        spec = self.spec(tenant)
+        account = self._accounts.setdefault(tenant, {
+            "requests": 0, "elements": 0,
+            "dispatched_requests": 0, "dispatched_elements": 0,
+        })
+        start = max(self._virtual_time, self._finish.get(tenant, 0.0))
+        self._finish[tenant] = start + elements / spec.weight
+        tag = ScheduleTag(priority=spec.priority, virtual_start=start,
+                          seq=self._seq)
+        self._seq += 1
+        account["requests"] += 1
+        account["elements"] += elements
+        return tag
+
+    def on_dispatch(self, tenant: str, tag: ScheduleTag,
+                    elements: int) -> None:
+        """Advance the virtual clock and the tenant's served credit."""
+        self._virtual_time = max(self._virtual_time, tag.virtual_start)
+        account = self._accounts[tenant]
+        account["dispatched_requests"] += 1
+        account["dispatched_elements"] += elements
+
+    # ------------------------------------------------------------ telemetry
+    def stats(self) -> dict:
+        tenants = {}
+        for name, account in sorted(self._accounts.items()):
+            spec = self.spec(name)
+            tenants[name] = {
+                "weight": spec.weight,
+                "priority": spec.priority,
+                "virtual_finish": self._finish.get(name, 0.0),
+                **account,
+            }
+        return {"virtual_time": self._virtual_time, "tenants": tenants}
+
+
+__all__ = ["TenantSpec", "ScheduleTag", "TenantScheduler"]

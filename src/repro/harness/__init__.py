@@ -13,6 +13,7 @@ from .paperdata import (
 )
 from .report import (
     format_claims,
+    format_cluster_report,
     format_device_comparison,
     format_experiment,
     format_launch_summary,
@@ -52,6 +53,7 @@ __all__ = [
     "format_paper_comparison",
     "format_series_table",
     "format_service_report",
+    "format_cluster_report",
     "ExperimentResult",
     "SeriesResult",
     "run_experiment",

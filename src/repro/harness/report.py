@@ -174,19 +174,24 @@ def format_service_report(snapshot: dict, title: Optional[str] = None) -> str:
             f"(max {occupancy['max_requests']}), "
             f"{occupancy['mean_element_fill'] * 100:.1f}% element fill"
         )
-    latency = snapshot.get("latency_us")
-    if latency:
-        lines.append(
-            f"latency [us]: p50 {latency['p50']:.1f}, p95 {latency['p95']:.1f}, "
-            f"mean {latency['mean']:.1f}, max {latency['max']:.1f}"
-        )
-    throughput = snapshot.get("throughput")
-    if throughput:
-        lines.append(
-            f"throughput: {throughput['elements_per_us']:.2f} elements/us, "
-            f"{throughput['requests_per_ms']:.2f} requests/ms "
-            f"over a {throughput['makespan_us']:.1f} us makespan"
-        )
+    if counts.get("completed", 0) == 0:
+        # Zero-drain snapshot: the latency/throughput sections are all zeros
+        # by construction, so one honest line replaces them.
+        lines.append("no requests completed — no latency/throughput to report")
+    else:
+        latency = snapshot.get("latency_us")
+        if latency:
+            lines.append(
+                f"latency [us]: p50 {latency['p50']:.1f}, p95 {latency['p95']:.1f}, "
+                f"mean {latency['mean']:.1f}, max {latency['max']:.1f}"
+            )
+        throughput = snapshot.get("throughput")
+        if throughput:
+            lines.append(
+                f"throughput: {throughput['elements_per_us']:.2f} elements/us, "
+                f"{throughput['requests_per_ms']:.2f} requests/ms "
+                f"over a {throughput['makespan_us']:.1f} us makespan"
+            )
     shards = snapshot.get("shards")
     if shards:
         lines.append(f"{'shard':>6}{'ops':>6}{'launches':>10}"
@@ -204,6 +209,87 @@ def format_service_report(snapshot: dict, title: Optional[str] = None) -> str:
             f"scatter stream: {scatter['operations']} pass(es), "
             f"{scatter['stream_time_us']:.1f} us"
         )
+    return "\n".join(lines)
+
+
+def format_cluster_report(snapshot: dict, title: Optional[str] = None) -> str:
+    """Render a :meth:`repro.cluster.SortCluster.stats` snapshot as text.
+
+    Sections: cluster counts (with the cache/replica split), balancer and
+    spill accounting, cache telemetry, cluster latency/throughput, per-tenant
+    credit + latency table and the per-replica occupancy table — the
+    cluster-level counterpart of :func:`format_service_report`.
+    """
+    counts = snapshot.get("counts", {})
+    balancer = snapshot.get("balancer", {})
+    lines = [title or f"sort cluster — {snapshot.get('num_replicas', '?')} "
+             f"replica(s), policy {balancer.get('policy', '?')}"]
+    lines.append(
+        f"requests: {counts.get('submitted', 0)} submitted, "
+        f"{counts.get('completed', 0)} completed "
+        f"({counts.get('replica_served', 0)} replica-served, "
+        f"{counts.get('cache_hits', 0)} cache hits, "
+        f"{counts.get('coalesced_hits', 0)} coalesced), "
+        f"{counts.get('rejected_invalid', 0) + counts.get('rejected_oversize', 0)}"
+        f" rejected"
+    )
+    lines.append(
+        f"routing: {balancer.get('dispatched', 0)} dispatched, "
+        f"{balancer.get('spilled_requests', 0)} spilled "
+        f"({balancer.get('spill_attempts', 0)} full-queue rejections), "
+        f"{counts.get('forced_flushes', 0)} forced flushes"
+    )
+    cache = snapshot.get("cache")
+    if cache:
+        lines.append(
+            f"cache: {cache['hits']} hits / {cache['misses']} misses "
+            f"(store), cluster hit rate "
+            f"{snapshot.get('cache_hit_rate', 0.0) * 100:.1f}%, "
+            f"{cache['entries']} entries, "
+            f"{cache['current_bytes']}/{cache['capacity_bytes']} bytes, "
+            f"{cache['evictions']} evictions"
+        )
+    else:
+        lines.append("cache: disabled")
+    if counts.get("completed", 0) == 0:
+        lines.append("no requests completed — no latency/throughput to report")
+    else:
+        latency = snapshot.get("latency_us", {})
+        throughput = snapshot.get("throughput", {})
+        lines.append(
+            f"latency [us]: p50 {latency.get('p50', 0.0):.1f}, "
+            f"p95 {latency.get('p95', 0.0):.1f}, "
+            f"mean {latency.get('mean', 0.0):.1f}, "
+            f"max {latency.get('max', 0.0):.1f}"
+        )
+        lines.append(
+            f"throughput: {throughput.get('elements_per_us', 0.0):.2f} "
+            f"elements/us, {throughput.get('requests_per_ms', 0.0):.2f} "
+            f"requests/ms over a {throughput.get('makespan_us', 0.0):.1f} us "
+            f"makespan"
+        )
+    tenants = snapshot.get("tenants")
+    if tenants:
+        lines.append(f"{'tenant':<14}{'prio':>5}{'weight':>8}{'reqs':>6}"
+                     f"{'elements':>10}{'p50 us':>9}{'p95 us':>9}")
+        for name, entry in tenants.items():
+            lines.append(
+                f"{name:<14}{entry['priority']:>5}{entry['weight']:>8.1f}"
+                f"{entry['completed']:>6}{entry['dispatched_elements']:>10}"
+                f"{entry['latency_us']['p50']:>9.1f}"
+                f"{entry['latency_us']['p95']:>9.1f}"
+            )
+    replicas = snapshot.get("replicas")
+    if replicas:
+        lines.append(f"{'replica':>8}{'routed':>8}{'done':>6}{'batches':>9}"
+                     f"{'stream us':>12}{'occupancy':>11}")
+        for replica in replicas:
+            lines.append(
+                f"{replica['replica_id']:>8}{replica['routed_requests']:>8}"
+                f"{replica['completed']:>6}{replica['batches']:>9}"
+                f"{replica['stream_time_us']:>12.1f}"
+                f"{replica['occupancy'] * 100:>10.1f}%"
+            )
     return "\n".join(lines)
 
 
@@ -233,4 +319,5 @@ __all__ = [
     "format_launch_summary",
     "format_device_comparison",
     "format_service_report",
+    "format_cluster_report",
 ]

@@ -35,6 +35,26 @@ class OversizeRequestError(UnsupportedInputError):
     """Raised when a single request exceeds the service's admission limit."""
 
 
+def _check_layout(array: np.ndarray, role: str) -> None:
+    """Reject array layouts the engine's device-buffer copy cannot take.
+
+    Broadcast (zero-stride) arrays alias one element many times and sliced
+    views are non-contiguous; both would only surface as shape/size confusion
+    deep inside the engine, so admission rejects them with the actual reason.
+    """
+    if array.size > 1 and 0 in array.strides:
+        raise UnsupportedInputError(
+            f"sort request {role} are a zero-stride (broadcast) view; "
+            f"materialise the array (np.ascontiguousarray) before submitting"
+        )
+    if not array.flags.c_contiguous:
+        raise UnsupportedInputError(
+            f"sort request {role} are non-contiguous (strides "
+            f"{array.strides}); submit a contiguous array "
+            f"(np.ascontiguousarray) instead of a strided view"
+        )
+
+
 @dataclass
 class SortRequest:
     """One sort request travelling through the service."""
@@ -59,6 +79,7 @@ class SortRequest:
                 f"sort requests need integer or float keys, got dtype "
                 f"{self.keys.dtype}"
             )
+        _check_layout(self.keys, "keys")
         if self.values is not None:
             self.values = np.asarray(self.values)
             if self.values.shape != self.keys.shape:
@@ -66,6 +87,7 @@ class SortRequest:
                     f"values shape {self.values.shape} does not match keys "
                     f"shape {self.keys.shape}"
                 )
+            _check_layout(self.values, "values")
 
     @property
     def n(self) -> int:
@@ -108,6 +130,8 @@ class RequestQueue:
     _items: deque = field(default_factory=deque)
     #: High-water mark of the queue depth, for service telemetry.
     depth_peak: int = 0
+    #: Running total of queued elements — O(1) load reads for the balancer.
+    _elements: int = 0
 
     def __post_init__(self) -> None:
         if self.capacity < 1:
@@ -116,6 +140,15 @@ class RequestQueue:
     def __len__(self) -> int:
         return len(self._items)
 
+    def __iter__(self):
+        """Iterate the queued requests in FIFO order (load inspection)."""
+        return iter(self._items)
+
+    @property
+    def elements(self) -> int:
+        """Total elements queued right now (outstanding-work load signal)."""
+        return self._elements
+
     def push(self, request: SortRequest) -> None:
         if len(self._items) >= self.capacity:
             raise QueueFullError(
@@ -123,6 +156,7 @@ class RequestQueue:
                 f"retry after the backlog drains"
             )
         self._items.append(request)
+        self._elements += request.n
         self.depth_peak = max(self.depth_peak, len(self._items))
 
     def peek(self) -> SortRequest:
@@ -185,12 +219,19 @@ class RequestQueue:
     def remove(self, requests: list[SortRequest]) -> None:
         """Remove dispatched requests (by identity) from the queue."""
         dispatched = {id(r) for r in requests}
-        self._items = deque(r for r in self._items if id(r) not in dispatched)
+        kept = deque()
+        for request in self._items:
+            if id(request) in dispatched:
+                self._elements -= request.n
+            else:
+                kept.append(request)
+        self._items = kept
 
     def pop_all(self) -> list[SortRequest]:
         """Remove and return every queued request (drain handoff)."""
         items = list(self._items)
         self._items.clear()
+        self._elements = 0
         return items
 
 

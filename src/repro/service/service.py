@@ -396,10 +396,36 @@ class SortService:
             sharded=True,
         )
 
+    # ----------------------------------------------------- load inspection
+    # Hooks for a front-end (the cluster's load balancer) that must compare
+    # replica load *before* any drain has run: the undrained backlog is the
+    # outstanding work.
+    @property
+    def pending_requests(self) -> int:
+        """Number of admitted, not-yet-drained requests."""
+        return len(self._backlog)
+
+    @property
+    def pending_elements(self) -> int:
+        """Total elements admitted but not yet drained (O(1) read)."""
+        return self._backlog.elements
+
+    @property
+    def queue_capacity(self) -> int:
+        return self.config.queue_capacity
+
     # ------------------------------------------------------------- telemetry
     def results(self) -> dict[int, ServiceResult]:
         """Every completed request so far — survives a failed :meth:`drain`."""
         return dict(self._results)
+
+    def result(self, request_id: int) -> Optional[ServiceResult]:
+        """One completed request's result, or ``None`` if not (yet) served.
+
+        O(1), no snapshot copy — the lookup a front end uses to collect the
+        requests it routed here without copying the whole history.
+        """
+        return self._results.get(request_id)
 
     def stats(self) -> dict:
         """Service-level statistics over everything drained so far.
@@ -455,6 +481,17 @@ class SortService:
                 "requests_per_ms": (1e3 * len(results) / makespan_us
                                     if makespan_us > 0 else 0.0),
             }
+        else:
+            # Zero completed requests (nothing submitted, or every drain so
+            # far served nothing): percentiles over an empty array would be
+            # NaN / IndexError, so the sections exist but report zeros — the
+            # report renderer shows a "no requests" line instead.
+            snapshot["latency_us"] = {"p50": 0.0, "p95": 0.0,
+                                      "mean": 0.0, "max": 0.0}
+            snapshot["queue_wait_us"] = {"p50": 0.0, "max": 0.0}
+            snapshot["throughput"] = {"makespan_us": 0.0,
+                                      "elements_per_us": 0.0,
+                                      "requests_per_ms": 0.0}
         snapshot["shards"] = [
             {
                 "shard_id": shard.shard_id,

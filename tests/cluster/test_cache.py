@@ -1,0 +1,155 @@
+"""Unit tests for the content-addressed sort cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SampleSortConfig
+from repro.cluster.cache import SortCache, request_digest
+
+CONFIG = SampleSortConfig.small(seed=5)
+
+
+def _sorted_pair(n, seed=0):
+    rng = np.random.default_rng(seed)
+    keys = np.sort(rng.integers(0, 1 << 16, n).astype(np.uint32))
+    values = rng.permutation(n).astype(np.uint32)
+    return keys, values
+
+
+class TestRequestDigest:
+    def test_deterministic(self):
+        keys = np.arange(100, dtype=np.uint32)
+        assert request_digest(keys, None, CONFIG) == \
+            request_digest(keys.copy(), None, CONFIG)
+
+    def test_sensitive_to_key_bytes(self):
+        a = np.arange(100, dtype=np.uint32)
+        b = a.copy()
+        b[50] += 1
+        assert request_digest(a, None, CONFIG) != request_digest(b, None, CONFIG)
+
+    def test_sensitive_to_dtype(self):
+        """Same bytes, different dtype => different sort => different address."""
+        a = np.arange(64, dtype=np.uint32)
+        b = a.view(np.float32)
+        assert a.tobytes() == b.tobytes()
+        assert request_digest(a, None, CONFIG) != request_digest(b, None, CONFIG)
+
+    def test_sensitive_to_values_presence_and_bytes(self):
+        keys = np.arange(64, dtype=np.uint32)
+        values = np.arange(64, dtype=np.uint32)
+        without = request_digest(keys, None, CONFIG)
+        with_values = request_digest(keys, values, CONFIG)
+        assert without != with_values
+        assert with_values != request_digest(keys, values[::-1].copy(), CONFIG)
+
+    def test_sensitive_to_sorter_config(self):
+        """A different seed permutes ties differently — no entry sharing."""
+        keys = np.arange(64, dtype=np.uint32)
+        assert request_digest(keys, None, CONFIG) != \
+            request_digest(keys, None, CONFIG.with_(seed=6))
+
+    def test_key_value_boundary_is_unambiguous(self):
+        """Moving bytes across the keys/values boundary changes the digest."""
+        keys = np.arange(8, dtype=np.uint32)
+        values = np.arange(4, 12, dtype=np.uint32)
+        # same concatenated payload, different split
+        keys2 = np.arange(8, dtype=np.uint32)
+        assert request_digest(keys, values, CONFIG) != \
+            request_digest(np.concatenate([keys2, values[:0]]), None, CONFIG)
+
+
+class TestSortCache:
+    def test_hit_returns_equal_bytes(self):
+        cache = SortCache(capacity_bytes=1 << 20)
+        keys, values = _sorted_pair(500)
+        digest = request_digest(keys, values, CONFIG)
+        assert cache.put(digest, keys, values)
+        got = cache.get(digest)
+        assert got is not None
+        assert got[0].tobytes() == keys.tobytes()
+        assert got[1].tobytes() == values.tobytes()
+
+    def test_hit_returns_copies(self):
+        """Mutating a served result must not corrupt later hits."""
+        cache = SortCache(capacity_bytes=1 << 20)
+        keys, values = _sorted_pair(100)
+        digest = request_digest(keys, values, CONFIG)
+        cache.put(digest, keys, values)
+        first_keys, first_values = cache.get(digest)
+        first_keys[:] = 0
+        first_values[:] = 0
+        again_keys, again_values = cache.get(digest)
+        assert again_keys.tobytes() == keys.tobytes()
+        assert again_values.tobytes() == values.tobytes()
+
+    def test_put_copies_in(self):
+        """Mutating the producer's array after put must not change the entry."""
+        cache = SortCache(capacity_bytes=1 << 20)
+        keys, _ = _sorted_pair(100)
+        original = keys.copy()
+        digest = "d"
+        cache.put(digest, keys, None)
+        keys[:] = 0
+        got_keys, got_values = cache.get(digest)
+        assert got_keys.tobytes() == original.tobytes()
+        assert got_values is None
+
+    def test_lru_eviction_under_byte_budget(self):
+        entry_bytes = 100 * 4
+        cache = SortCache(capacity_bytes=3 * entry_bytes)
+        arrays = {f"d{i}": np.full(100, i, dtype=np.uint32) for i in range(4)}
+        for digest, keys in arrays.items():
+            cache.put(digest, keys, None)
+        # capacity holds 3 entries: the oldest (d0) was evicted
+        assert "d0" not in cache
+        assert all(f"d{i}" in cache for i in (1, 2, 3))
+        assert cache.stats()["evictions"] == 1
+        assert cache.current_bytes == 3 * entry_bytes
+
+    def test_get_refreshes_lru_position(self):
+        entry_bytes = 100 * 4
+        cache = SortCache(capacity_bytes=2 * entry_bytes)
+        cache.put("a", np.zeros(100, dtype=np.uint32), None)
+        cache.put("b", np.ones(100, dtype=np.uint32), None)
+        assert cache.get("a") is not None  # refresh a => b is now LRU
+        cache.put("c", np.full(100, 2, dtype=np.uint32), None)
+        assert "a" in cache and "c" in cache and "b" not in cache
+
+    def test_oversize_entry_rejected_not_cached(self):
+        cache = SortCache(capacity_bytes=100)
+        cache.put("small", np.zeros(10, dtype=np.uint32), None)
+        assert not cache.put("big", np.zeros(1000, dtype=np.uint32), None)
+        # the oversized insert evicted nothing
+        assert "small" in cache
+        assert cache.stats()["oversize_rejected"] == 1
+        assert cache.stats()["evictions"] == 0
+
+    def test_reinsert_same_digest_replaces_without_double_counting(self):
+        cache = SortCache(capacity_bytes=1 << 20)
+        cache.put("d", np.zeros(100, dtype=np.uint32), None)
+        cache.put("d", np.zeros(200, dtype=np.uint32), None)
+        assert len(cache) == 1
+        assert cache.current_bytes == 200 * 4
+
+    def test_hit_miss_telemetry(self):
+        cache = SortCache(capacity_bytes=1 << 20)
+        assert cache.get("missing") is None
+        cache.put("d", np.zeros(10, dtype=np.uint32), None)
+        cache.get("d")
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == pytest.approx(0.5)
+        assert stats["insertions"] == 1
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SortCache(capacity_bytes=0)
+
+    def test_empty_arrays_cacheable(self):
+        cache = SortCache(capacity_bytes=1 << 10)
+        cache.put("empty", np.array([], dtype=np.uint32), None)
+        got = cache.get("empty")
+        assert got is not None
+        assert got[0].size == 0

@@ -1,0 +1,208 @@
+"""Unit tests for the load balancer policies and the tenant scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SampleSortConfig
+from repro.cluster.replica import ServiceReplica
+from repro.cluster.router import POLICIES, LoadBalancer
+from repro.cluster.tenants import TenantScheduler, TenantSpec
+from repro.service import QueueFullError, ServiceConfig
+
+SORTER_CONFIG = SampleSortConfig.small(seed=5)
+
+
+def _replicas(count, queue_capacity=4):
+    config = ServiceConfig(
+        num_shards=1, sorter=SORTER_CONFIG, queue_capacity=queue_capacity,
+        max_request_elements=1 << 16, max_batch_requests=4,
+        max_batch_elements=1 << 14, max_wait_us=0.0,
+    )
+    return [ServiceReplica(replica_id=i, config=config) for i in range(count)]
+
+
+def _keys(n, seed=0):
+    return np.random.default_rng(seed).integers(0, 1 << 16, n) \
+        .astype(np.uint32)
+
+
+class TestLoadBalancerPolicies:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            LoadBalancer("fastest_first")
+
+    def test_round_robin_rotates(self):
+        replicas = _replicas(3)
+        balancer = LoadBalancer("round_robin")
+        picks = []
+        for i in range(6):
+            replica, _, _ = balancer.dispatch(replicas, _keys(100, i), None, 0.0)
+            picks.append(replica.replica_id)
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_least_outstanding_prefers_fewest_pending_elements(self):
+        replicas = _replicas(2)
+        balancer = LoadBalancer("least_outstanding")
+        # preload replica 0 with one big request
+        replicas[0].submit(_keys(5000, 1))
+        replica, _, _ = balancer.dispatch(replicas, _keys(100, 2), None, 0.0)
+        assert replica.replica_id == 1
+        # now replica 1 holds fewer elements than replica 0 still => 1 again
+        replica, _, _ = balancer.dispatch(replicas, _keys(100, 3), None, 0.0)
+        assert replica.replica_id == 1
+
+    def test_join_shortest_queue_prefers_fewest_pending_requests(self):
+        replicas = _replicas(2)
+        balancer = LoadBalancer("join_shortest_queue")
+        # replica 0: many tiny requests; replica 1: one huge request
+        for i in range(3):
+            replicas[0].submit(_keys(10, i))
+        replicas[1].submit(_keys(10_000, 9))
+        replica, _, _ = balancer.dispatch(replicas, _keys(100, 4), None, 0.0)
+        # JSQ counts requests, not elements
+        assert replica.replica_id == 1
+
+    def test_ties_break_on_lowest_replica_id(self):
+        replicas = _replicas(3)
+        for policy in ("least_outstanding", "join_shortest_queue"):
+            balancer = LoadBalancer(policy)
+            replica, _, _ = balancer.dispatch(replicas, _keys(10), None, 0.0)
+            assert replica.replica_id == 0
+            # reset load for the next policy
+            for r in replicas:
+                r.drain()
+
+    def test_spill_on_queue_full(self):
+        replicas = _replicas(2, queue_capacity=1)
+        balancer = LoadBalancer("round_robin")
+        replicas[0].submit(_keys(10, 0))  # replica 0 full, cursor still at 0
+        replica, _, rejections = balancer.dispatch(replicas, _keys(10, 1),
+                                                   None, 0.0)
+        # first choice (replica 0) is full: the request spills to replica 1
+        assert replica.replica_id == 1
+        assert rejections == 1
+        stats = balancer.stats()
+        assert stats["spilled_requests"] == 1
+        assert stats["spill_attempts"] == 1
+        assert stats["exhausted"] == 0
+
+    def test_exhausted_raises_queue_full(self):
+        replicas = _replicas(2, queue_capacity=1)
+        balancer = LoadBalancer("least_outstanding")
+        balancer.dispatch(replicas, _keys(10, 0), None, 0.0)
+        balancer.dispatch(replicas, _keys(10, 1), None, 0.0)
+        with pytest.raises(QueueFullError):
+            balancer.dispatch(replicas, _keys(10, 2), None, 0.0)
+        stats = balancer.stats()
+        assert stats["exhausted"] == 1
+        assert stats["spill_attempts"] >= 2
+
+    def test_least_outstanding_spills_off_full_first_choice(self):
+        replicas = _replicas(2, queue_capacity=2)
+        balancer = LoadBalancer("least_outstanding")
+        # replica 0: full (2 slots) but few elements; replica 1: one slot
+        # free but more elements — LO prefers 0, must spill to 1
+        replicas[0].submit(_keys(10, 0))
+        replicas[0].submit(_keys(10, 1))
+        replicas[1].submit(_keys(1000, 2))
+        replica, _, rejections = balancer.dispatch(replicas, _keys(10, 3),
+                                                   None, 0.0)
+        assert replica.replica_id == 1
+        assert rejections == 1
+        assert balancer.stats()["spilled_requests"] == 1
+
+    def test_per_replica_dispatch_counts(self):
+        replicas = _replicas(2)
+        balancer = LoadBalancer("round_robin")
+        for i in range(4):
+            balancer.dispatch(replicas, _keys(10, i), None, 0.0)
+        assert balancer.stats()["per_replica_dispatches"] == {0: 2, 1: 2}
+
+
+class TestTenantSpec:
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(ValueError):
+            TenantSpec("t", weight=0.0)
+        with pytest.raises(ValueError):
+            TenantSpec("t", weight=-1.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            TenantSpec("")
+
+
+class TestTenantScheduler:
+    def test_unknown_tenant_gets_default_contract(self):
+        scheduler = TenantScheduler()
+        tag = scheduler.admit("newcomer", 100)
+        assert tag.priority == 0
+        spec = scheduler.spec("newcomer")
+        assert spec.weight == 1.0
+
+    def test_wfq_interleaves_by_weight(self):
+        """A weight-2 tenant gets twice the service of a weight-1 tenant:
+        its virtual start tags advance half as fast per element."""
+        scheduler = TenantScheduler((TenantSpec("heavy", weight=2.0),
+                                     TenantSpec("light", weight=1.0)))
+        tags = {}
+        for i in range(4):
+            tags[("heavy", i)] = scheduler.admit("heavy", 100)
+        for i in range(4):
+            tags[("light", i)] = scheduler.admit("light", 100)
+        order = sorted(tags, key=lambda k: tags[k].key)
+        # dispatch order by virtual start: heavy0/light0 tie at 0 (heavy first
+        # by seq), then heavy1 (50) before light1 (100), heavy2 (100) ties
+        # light1... overall heavy finishes its 4th before light's 3rd starts.
+        heavy_positions = [order.index(("heavy", i)) for i in range(4)]
+        light_positions = [order.index(("light", i)) for i in range(4)]
+        assert max(heavy_positions[:2]) < light_positions[1]
+        assert sum(heavy_positions) < sum(light_positions)
+
+    def test_equal_weights_alternate(self):
+        scheduler = TenantScheduler()
+        tags = {}
+        for i in range(3):
+            tags[("a", i)] = scheduler.admit("a", 100)
+            tags[("b", i)] = scheduler.admit("b", 100)
+        order = [name for (name, _) in
+                 sorted(tags, key=lambda k: tags[k].key)]
+        assert order == ["a", "b", "a", "b", "a", "b"]
+
+    def test_priority_class_is_strict(self):
+        """Class 0 requests all order before class 1, whatever the weights."""
+        scheduler = TenantScheduler((
+            TenantSpec("urgent", weight=0.001, priority=0),
+            TenantSpec("bulk", weight=1000.0, priority=1),
+        ))
+        bulk_tags = [scheduler.admit("bulk", 10) for _ in range(3)]
+        urgent_tags = [scheduler.admit("urgent", 10_000) for _ in range(3)]
+        assert max(t.key for t in urgent_tags) < min(t.key for t in bulk_tags)
+
+    def test_idle_tenant_does_not_hoard_credit(self):
+        """A tenant idle while others were served starts at the current
+        virtual time, not at its stale finish tag."""
+        scheduler = TenantScheduler()
+        busy_tags = [scheduler.admit("busy", 100) for _ in range(5)]
+        for tag in busy_tags:
+            scheduler.on_dispatch("busy", tag, 100)
+        late = scheduler.admit("latecomer", 100)
+        next_busy = scheduler.admit("busy", 100)
+        # the latecomer is not infinitely ahead: it competes from now on
+        assert late.virtual_start == pytest.approx(
+            busy_tags[-1].virtual_start)
+        assert late.key < next_busy.key  # but does win the next slot
+
+    def test_credit_accounting_sums(self):
+        scheduler = TenantScheduler()
+        tag_a = scheduler.admit("a", 100)
+        tag_b = scheduler.admit("b", 300)
+        scheduler.on_dispatch("a", tag_a, 100)
+        scheduler.on_dispatch("b", tag_b, 300)
+        stats = scheduler.stats()
+        assert stats["tenants"]["a"]["dispatched_elements"] == 100
+        assert stats["tenants"]["b"]["dispatched_elements"] == 300
+        assert stats["tenants"]["a"]["requests"] == 1
+
+    def test_policies_constant_matches(self):
+        assert set(POLICIES) == {"round_robin", "least_outstanding",
+                                 "join_shortest_queue"}

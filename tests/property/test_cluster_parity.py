@@ -1,0 +1,133 @@
+"""Acceptance property of the cluster layer: routing is invisible in the bytes.
+
+For any request, the cluster-served result — any balancing policy, cache
+enabled or disabled (hits, coalesced duplicates and cold runs alike), any
+tenant weights and priority classes — must equal the solo
+:meth:`SampleSorter.sort` output byte for byte, values and tie permutations
+included. The sweep crosses policy x cache x tenant shape over a mixed
+workload (duplicate-heavy key-value payloads, repeated hot requests, one
+oversized request that the replica's sharded path splits) so every serving
+path is exercised in one stream.
+
+Like the engine parity suite this is a seeded sweep, not a hypothesis
+strategy: the workload generators cover the adversarial distributions and
+seeds make failures reproducible.
+"""
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.core.config import SampleSortConfig
+from repro.core.sample_sort import SampleSorter
+from repro.cluster import ClusterConfig, SortCluster, TenantSpec
+from repro.cluster.router import POLICIES
+from repro.datagen import make_input
+from repro.service import ServiceConfig
+
+SORTER_CONFIG = SampleSortConfig.small(seed=5)
+
+TENANT_SHAPES = {
+    "single": (),
+    "weighted": (TenantSpec("alpha", weight=3.0, priority=0),
+                 TenantSpec("beta", weight=1.0, priority=1)),
+}
+
+
+def _stream(tag):
+    """A mixed request stream: adversarial distributions, repeats, one giant."""
+    requests = []
+    hot = make_input("dduplicates", 1800, "uint32", with_values=True,
+                     seed=zlib.crc32(f"hot/{tag}".encode()) % 1000)
+    now = 0.0
+    for i, distribution in enumerate(["uniform", "dduplicates", "sorted",
+                                      "staggered", "uniform", "zero"]):
+        if i % 3 == 2:
+            keys, values = hot.keys.copy(), hot.values.copy()
+        else:
+            workload = make_input(
+                distribution, 1200 + 400 * i, "uint32", with_values=True,
+                seed=zlib.crc32(f"{tag}/{i}".encode()) % 1000,
+            )
+            keys, values = workload.keys, workload.values
+        requests.append((keys, values, now, "alpha" if i % 2 == 0 else "beta"))
+        now += 35.0
+    big = make_input("dduplicates", 11_000, "uint32", with_values=True,
+                     seed=zlib.crc32(f"big/{tag}".encode()) % 1000)
+    requests.append((big.keys, big.values, now, "alpha"))
+    return requests
+
+
+@pytest.mark.parametrize("tenant_shape", sorted(TENANT_SHAPES))
+@pytest.mark.parametrize("cache_bytes", [0, 16 << 20])
+@pytest.mark.parametrize("policy", POLICIES)
+def test_cluster_results_equal_solo_sort(policy, cache_bytes, tenant_shape):
+    cluster = SortCluster(ClusterConfig(
+        num_replicas=2,
+        policy=policy,
+        cache_capacity_bytes=cache_bytes,
+        tenants=TENANT_SHAPES[tenant_shape],
+        service=ServiceConfig(
+            num_shards=2, sorter=SORTER_CONFIG, queue_capacity=16,
+            max_request_elements=1 << 16, max_batch_requests=4,
+            max_batch_elements=1 << 14, max_wait_us=100.0,
+            shard_threshold=5000,
+        ),
+    ))
+    stream = _stream(f"{policy}/{cache_bytes}/{tenant_shape}")
+    ids = {}
+    for keys, values, arrival_us, tenant in stream:
+        request_id = cluster.submit(keys, values, arrival_us=arrival_us,
+                                    tenant=tenant)
+        ids[request_id] = (keys, values)
+    results = cluster.drain()
+
+    solo = SampleSorter(config=SORTER_CONFIG)
+    assert len(results) == len(stream)
+    for request_id, (keys, values) in ids.items():
+        expected = solo.sort(keys, values)
+        got = results[request_id]
+        assert got.keys.tobytes() == expected.keys.tobytes(), \
+            (policy, cache_bytes, tenant_shape, request_id)
+        assert got.values.tobytes() == expected.values.tobytes(), \
+            (policy, cache_bytes, tenant_shape, request_id)
+
+    stats = cluster.stats()
+    counts = stats["counts"]
+    # telemetry invariant rides along: the split sums to completions, and
+    # with the cache on the repeated hot payload was deduplicated
+    assert counts["completed"] == (counts["replica_served"]
+                                   + counts["cache_hits"]
+                                   + counts["coalesced_hits"])
+    assert counts["replica_served"] == sum(r["completed"]
+                                           for r in stats["replicas"])
+    if cache_bytes:
+        assert counts["cache_hits"] + counts["coalesced_hits"] >= 1
+    else:
+        assert counts["cache_hits"] == 0
+        assert counts["coalesced_hits"] == 0
+
+
+def test_cache_hit_across_drains_equals_cold_run_for_every_dtype():
+    """The cache guarantee per dtype group: hit bytes == cold-run bytes."""
+    solo = SampleSorter(config=SORTER_CONFIG)
+    for key_type in ("uint32", "uint64", "float32"):
+        cluster = SortCluster(ClusterConfig(
+            num_replicas=1,
+            service=ServiceConfig(
+                num_shards=1, sorter=SORTER_CONFIG, queue_capacity=8,
+                max_request_elements=1 << 16, max_batch_requests=4,
+                max_batch_elements=1 << 14, max_wait_us=0.0,
+            ),
+        ))
+        workload = make_input("dduplicates", 2200, key_type, with_values=True,
+                              seed=zlib.crc32(key_type.encode()) % 1000)
+        cold_id = cluster.submit(workload.keys, workload.values)
+        cluster.drain()
+        hit_id = cluster.submit(workload.keys.copy(), workload.values.copy())
+        hit = cluster.drain()[hit_id]
+        assert hit.source == "cache"
+        expected = solo.sort(workload.keys, workload.values)
+        assert hit.keys.tobytes() == expected.keys.tobytes(), key_type
+        assert hit.values.tobytes() == expected.values.tobytes(), key_type

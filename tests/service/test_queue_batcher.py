@@ -90,6 +90,17 @@ class TestRequestQueue:
         queue.remove([requests[0], requests[2]])
         assert [r.request_id for r in queue._items] == [1, 3]
 
+    def test_element_counter_tracks_push_remove_pop(self):
+        queue = RequestQueue(capacity=8)
+        requests = [_request(i, 100 * (i + 1)) for i in range(3)]
+        for request in requests:
+            queue.push(request)
+        assert queue.elements == 600
+        queue.remove([requests[1]])
+        assert queue.elements == 400
+        queue.pop_all()
+        assert queue.elements == 0
+
     def test_mismatched_values_rejected_at_request_construction(self):
         with pytest.raises(UnsupportedInputError):
             SortRequest(request_id=0, keys=np.arange(10, dtype=np.uint32),
@@ -147,3 +158,70 @@ class TestMicroBatcher:
             BatchPolicy(max_requests=0)
         with pytest.raises(ValueError):
             BatchPolicy(max_wait_us=-1.0)
+
+
+class TestLatencyBudgetEdges:
+    """Satellite coverage: the micro-batcher's latency-budget boundaries."""
+
+    def test_zero_latency_budget_deadline_is_the_arrival(self):
+        """max_wait_us=0: the head's deadline IS its arrival — the scheduler
+        can never justify waiting for companions."""
+        queue = RequestQueue(capacity=8)
+        queue.push(_request(0, 10, arrival_us=50.0))
+        batcher = MicroBatcher(policy=BatchPolicy(max_wait_us=0.0))
+        assert batcher.deadline_us(queue) == pytest.approx(50.0)
+
+    def test_exactly_on_element_budget_is_full(self):
+        """A candidate landing exactly on max_elements flushes without
+        waiting — the boundary is inclusive, not 'one more element'."""
+        queue = RequestQueue(capacity=8)
+        queue.push(_request(0, 600))
+        queue.push(_request(1, 400))  # 600 + 400 == budget exactly
+        batcher = MicroBatcher(policy=BatchPolicy(max_requests=8,
+                                                  max_elements=1000))
+        candidate = batcher.candidate(queue)
+        assert [r.request_id for r in candidate] == [0, 1]
+        assert batcher.is_full(candidate)
+
+    def test_exactly_on_request_budget_is_full(self):
+        queue = RequestQueue(capacity=8)
+        for i in range(3):
+            queue.push(_request(i, 10))
+        batcher = MicroBatcher(policy=BatchPolicy(max_requests=3,
+                                                  max_elements=10_000))
+        candidate = batcher.candidate(queue)
+        assert len(candidate) == 3
+        assert batcher.is_full(candidate)
+
+    def test_one_element_below_budget_is_not_full(self):
+        queue = RequestQueue(capacity=8)
+        queue.push(_request(0, 999))
+        batcher = MicroBatcher(policy=BatchPolicy(max_requests=8,
+                                                  max_elements=1000))
+        assert not batcher.is_full(batcher.candidate(queue))
+
+    def test_deadline_ties_between_groups_drain_deterministically(self):
+        """Two dtype groups whose heads share one arrival (and therefore one
+        deadline) always drain in the same order: FIFO by request id."""
+        def build_queue():
+            queue = RequestQueue(capacity=8)
+            queue.push(_request(0, 10, dtype=np.uint32, arrival_us=5.0))
+            queue.push(_request(1, 10, dtype=np.uint64, arrival_us=5.0))
+            queue.push(_request(2, 10, dtype=np.uint32, arrival_us=5.0))
+            queue.push(_request(3, 10, dtype=np.uint64, arrival_us=5.0))
+            return queue
+
+        def drain_order():
+            queue = build_queue()
+            batcher = MicroBatcher(policy=BatchPolicy(max_requests=8,
+                                                      max_elements=10_000,
+                                                      max_wait_us=80.0))
+            order = []
+            while len(queue):
+                assert batcher.deadline_us(queue) == pytest.approx(85.0)
+                batch = batcher.take(queue, now_us=5.0)
+                order.append([r.request_id for r in batch.requests])
+            return order
+
+        first, second = drain_order(), drain_order()
+        assert first == second == [[0, 2], [1, 3]]

@@ -477,6 +477,148 @@ class TestShardPoolPieces:
         assert result.values.tobytes() == expected.values.tobytes()
 
 
+class TestLatencyBudgetEdgesInService:
+    """Satellite coverage, service level: budget edges drive dispatch."""
+
+    def test_zero_latency_budget_flushes_immediately(self):
+        """max_wait_us=0: the head never waits for a compatible future
+        arrival, even one a microsecond away."""
+        service = SortService(_service_config(num_shards=2, max_wait_us=0.0))
+        rng = np.random.default_rng(90)
+        head = service.submit(rng.integers(0, 2**16, 1000).astype(np.uint32),
+                              arrival_us=0.0)
+        service.submit(rng.integers(0, 2**16, 1000).astype(np.uint32),
+                       arrival_us=1.0)
+        results = service.drain()
+        assert results[head].queue_wait_us == pytest.approx(0.0)
+        assert results[head].batch_requests == 1
+
+    def test_exact_element_budget_batch_flushes_without_waiting(self):
+        """Queued requests summing exactly to max_batch_elements dispatch at
+        once instead of idling toward the deadline for more companions."""
+        service = SortService(_service_config(
+            num_shards=2, max_batch_elements=4000, max_wait_us=500.0))
+        rng = np.random.default_rng(91)
+        ids = [service.submit(rng.integers(0, 2**16, 2000).astype(np.uint32),
+                              arrival_us=0.0) for _ in range(2)]
+        # a compatible companion arrives well before the 500us deadline, but
+        # the batch is already full at exactly 4000 elements
+        service.submit(rng.integers(0, 2**16, 500).astype(np.uint32),
+                       arrival_us=100.0)
+        results = service.drain()
+        for request_id in ids:
+            assert results[request_id].queue_wait_us == pytest.approx(0.0)
+            assert results[request_id].batch_requests == 2
+
+    def test_same_arrival_groups_drain_deterministically(self):
+        """Deadline-tied dtype groups: byte-identical replay, FIFO order."""
+        def run():
+            service = SortService(_service_config(num_shards=1))
+            rng = np.random.default_rng(92)
+            for i in range(4):
+                dtype = np.uint32 if i % 2 == 0 else np.uint64
+                service.submit(rng.integers(0, 2**16, 1000).astype(dtype),
+                               arrival_us=10.0)
+            results = service.drain()
+            return [(r.request_id, r.batch_id, r.dispatch_us,
+                     r.keys.tobytes()) for r in results.values()]
+
+        first, second = run(), run()
+        assert first == second
+        # the uint32 group (head's group) dispatched before the uint64 group
+        batches = {r[0]: r[1] for r in first}
+        assert batches[0] == batches[2]
+        assert batches[1] == batches[3]
+        assert batches[0] < batches[1]
+
+
+class TestInputLayoutValidation:
+    """Satellite coverage: hostile array layouts rejected at submit()."""
+
+    def test_two_dimensional_keys_rejected(self):
+        service = SortService(_service_config())
+        with pytest.raises(SorterError):
+            service.submit(np.zeros((4, 4), dtype=np.uint32))
+
+    def test_non_contiguous_keys_rejected(self):
+        service = SortService(_service_config())
+        strided = np.arange(100, dtype=np.uint32)[::2]
+        assert not strided.flags.c_contiguous
+        with pytest.raises(SorterError, match="non-contiguous"):
+            service.submit(strided)
+        assert service.stats()["counts"]["rejected_invalid"] == 1
+
+    def test_zero_stride_keys_rejected(self):
+        service = SortService(_service_config())
+        broadcast = np.broadcast_to(np.uint32(9), (128,))
+        assert broadcast.strides == (0,)
+        with pytest.raises(SorterError, match="zero-stride"):
+            service.submit(broadcast)
+        assert service.stats()["counts"]["rejected_invalid"] == 1
+
+    def test_non_contiguous_values_rejected(self):
+        service = SortService(_service_config())
+        keys = np.arange(50, dtype=np.uint32)
+        values = np.arange(100, dtype=np.uint32)[::2]
+        with pytest.raises(SorterError, match="non-contiguous"):
+            service.submit(keys, values)
+
+    def test_contiguous_copy_of_strided_view_is_accepted(self):
+        service = SortService(_service_config())
+        strided = np.arange(100, dtype=np.uint32)[::2]
+        request_id = service.submit(np.ascontiguousarray(strided))
+        result = service.drain()[request_id]
+        assert np.array_equal(result.keys, np.sort(strided))
+
+    def test_reversed_view_rejected_then_copy_sorts_identically(self):
+        """The error message's advice actually works."""
+        service = SortService(_service_config())
+        reversed_view = np.arange(200, dtype=np.uint32)[::-1]
+        with pytest.raises(SorterError):
+            service.submit(reversed_view)
+        request_id = service.submit(np.ascontiguousarray(reversed_view))
+        result = service.drain()[request_id]
+        assert np.array_equal(result.keys, np.arange(200, dtype=np.uint32))
+
+
+class TestZeroDrainTelemetry:
+    """Satellite coverage: stats()/report with zero completed requests."""
+
+    def test_fresh_service_stats_are_finite_zeros(self):
+        service = SortService(_service_config())
+        stats = service.stats()
+        assert stats["counts"]["completed"] == 0
+        assert stats["latency_us"] == {"p50": 0.0, "p95": 0.0,
+                                       "mean": 0.0, "max": 0.0}
+        assert stats["queue_wait_us"] == {"p50": 0.0, "max": 0.0}
+        assert stats["throughput"]["elements_per_us"] == 0.0
+        for section in ("latency_us", "queue_wait_us", "throughput"):
+            assert all(np.isfinite(v) for v in stats[section].values())
+
+    def test_drain_of_empty_backlog_completes_zero_requests(self):
+        service = SortService(_service_config())
+        assert service.drain() == {}
+        stats = service.stats()
+        assert stats["counts"]["completed"] == 0
+        assert stats["throughput"]["makespan_us"] == 0.0
+
+    def test_report_prints_no_requests_line(self):
+        service = SortService(_service_config())
+        service.drain()
+        report = format_service_report(service.stats())
+        assert "no requests completed" in report
+        assert "latency [us]" not in report
+        assert "throughput:" not in report
+
+    def test_report_after_only_rejections(self):
+        service = SortService(_service_config(max_request_elements=100))
+        with pytest.raises(SorterError):
+            service.submit(np.arange(500, dtype=np.uint32))
+        report = format_service_report(service.stats())
+        assert "no requests completed" in report
+        assert "1 rejected (oversize)" in report
+
+
 class TestDegenerateTelemetry:
     """Zero-makespan and single-request edge cases report finite numbers."""
 
