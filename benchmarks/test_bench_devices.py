@@ -1,0 +1,189 @@
+"""A5 — Heterogeneous device pools: the Figure-6 device axis under load.
+
+Figure 6 of the paper compares sorting rates on the Tesla C1060 and the
+GTX 285 one sort at a time. This benchmark replays that comparison at the
+*serving* layer: one deterministic open-loop request stream (small key-value
+requests plus one oversized request that exercises the throughput-weighted
+splitter-scatter path) through
+
+* a homogeneous Tesla C1060 pool,
+* a homogeneous GTX 285 pool, and
+* a mixed C1060/GTX-285 pool (alternating shards),
+
+each at 1, 2 and 4 shards. Every configuration must stay byte-identical to
+the solo sorter; the archived record (``BENCH_devices.json``) keeps, per
+shard, the device name, the simulator's traced time ("actual") and the
+cost model's prediction ("model") — the accuracy check of the
+:class:`~repro.perfmodel.costmodel.DeviceCostModel` that drives all
+device-aware scheduling.
+
+``DEVICE_BENCH_SCALE=tiny`` shrinks the workload for CI smoke runs.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import print_block
+from repro.core.config import SampleSortConfig
+from repro.core.sample_sort import SampleSorter
+from repro.gpu.device import GTX_285, TESLA_C1060
+from repro.harness.report import format_service_report
+from repro.service import ServiceConfig, SortService
+
+TINY = os.environ.get("DEVICE_BENCH_SCALE", "").lower() == "tiny"
+NUM_REQUESTS = 4 if TINY else 16
+REQUEST_N = (1 << 10) if TINY else (1 << 12)
+OVERSIZED_N = (1 << 13) if TINY else (1 << 15)
+MEAN_GAP_US = 40.0
+SORTER_CONFIG = SampleSortConfig.paper().with_(
+    k=8, oversampling=8, bucket_threshold=1 << 10, seed=7
+)
+SHARD_COUNTS = (1, 2, 4)
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_devices.json"
+
+
+def _pools(num_shards):
+    """The three device-pool shapes of one shard count."""
+    mixed = tuple(TESLA_C1060 if i % 2 == 0 else GTX_285
+                  for i in range(num_shards))
+    return {
+        "c1060": (TESLA_C1060,) * num_shards,
+        "gtx285": (GTX_285,) * num_shards,
+        "mixed": mixed,
+    }
+
+
+def _request_stream():
+    """Deterministic arrivals: jittered sizes/keys, one oversized request."""
+    rng = np.random.default_rng(1212)
+    stream = []
+    now = 0.0
+    for i in range(NUM_REQUESTS):
+        n = int(REQUEST_N * rng.uniform(0.6, 1.4))
+        keys = rng.integers(0, n // 2, n).astype(np.uint32)
+        values = rng.permutation(n).astype(np.uint32)
+        stream.append((keys, values, now))
+        now += float(rng.exponential(MEAN_GAP_US))
+        if i == NUM_REQUESTS // 2:
+            big_keys = rng.integers(0, OVERSIZED_N // 2,
+                                    OVERSIZED_N).astype(np.uint32)
+            big_values = rng.permutation(OVERSIZED_N).astype(np.uint32)
+            stream.append((big_keys, big_values, now))
+    return stream
+
+
+def _service(devices):
+    return SortService(ServiceConfig(
+        devices=devices,
+        sorter=SORTER_CONFIG,
+        queue_capacity=2 * len(_STREAM) + 2,
+        max_request_elements=4 * OVERSIZED_N,
+        max_batch_requests=8,
+        max_batch_elements=4 * REQUEST_N,
+        max_wait_us=120.0,
+        shard_threshold=2 * REQUEST_N,
+    ))
+
+
+_STREAM = _request_stream()
+
+
+def test_bench_device_pools(benchmark):
+    solo = SampleSorter(config=SORTER_CONFIG)
+    expected = {i: solo.sort(keys, values)
+                for i, (keys, values, _) in enumerate(_STREAM)}
+
+    def run():
+        outcome = {}
+        for num_shards in SHARD_COUNTS:
+            for pool_name, devices in _pools(num_shards).items():
+                service = _service(devices)
+                ids = {}
+                for i, (keys, values, arrival_us) in enumerate(_STREAM):
+                    ids[service.submit(keys, values,
+                                       arrival_us=arrival_us)] = i
+                wall_start = time.perf_counter()
+                results = service.drain()
+                wall_s = time.perf_counter() - wall_start
+                outcome[(num_shards, pool_name)] = (service, results, ids,
+                                                    wall_s)
+        return outcome
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    record = {
+        "benchmark": "device_pool_scaling",
+        "requests": len(_STREAM),
+        "request_n": REQUEST_N,
+        "oversized_n": OVERSIZED_N,
+        "tiny": TINY,
+        "config": {"k": SORTER_CONFIG.k,
+                   "bucket_threshold": SORTER_CONFIG.bucket_threshold,
+                   "max_wait_us": 120.0},
+        "pools": {},
+    }
+    blocks = []
+    for (num_shards, pool_name), (service, results, ids, wall_s) \
+            in outcome.items():
+        # every request byte-identical to its solo sort, whatever the pool
+        for request_id, stream_index in ids.items():
+            assert results[request_id].keys.tobytes() == \
+                expected[stream_index].keys.tobytes(), (num_shards, pool_name)
+            assert results[request_id].values.tobytes() == \
+                expected[stream_index].values.tobytes(), (num_shards,
+                                                          pool_name)
+        stats = service.stats()
+        if num_shards >= 2:
+            assert stats["counts"]["sharded_requests"] == 1
+        assert stats["heterogeneous_pool"] == (
+            pool_name == "mixed" and num_shards >= 2)
+        record["pools"][f"{pool_name}/{num_shards}"] = {
+            "devices": stats["devices"],
+            "wall_s": round(wall_s, 4),
+            "throughput_elements_per_us": round(
+                stats["throughput"]["elements_per_us"], 3),
+            "makespan_us": round(stats["throughput"]["makespan_us"], 1),
+            "latency_p50_us": round(stats["latency_us"]["p50"], 1),
+            "latency_p95_us": round(stats["latency_us"]["p95"], 1),
+            "shards": [
+                {
+                    "shard_id": shard["shard_id"],
+                    "device": shard["device"],
+                    "actual_us": round(shard["stream_time_us"], 1),
+                    "model_us": round(shard["model_us"], 1),
+                    "model_ratio": round(shard["model_ratio"], 3),
+                }
+                for shard in stats["shards"]
+            ],
+        }
+        blocks.append(format_service_report(
+            stats,
+            title=f"--- {pool_name} pool, {num_shards} shard(s) ---"))
+
+    makespans = {key: entry["makespan_us"]
+                 for key, entry in record["pools"].items()}
+    for num_shards in SHARD_COUNTS:
+        # the faster device must not produce a slower service ...
+        assert makespans[f"gtx285/{num_shards}"] <= \
+            makespans[f"c1060/{num_shards}"] * 1.001
+        # ... and adding GTX-285 shards to a C1060 pool must not slow it
+        if num_shards >= 2:
+            assert makespans[f"mixed/{num_shards}"] <= \
+                makespans[f"c1060/{num_shards}"] * 1.001
+
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    summary = "\n".join(
+        f"{key:>10}: {entry['throughput_elements_per_us']:>7.2f} elem/us, "
+        f"makespan {entry['makespan_us']:>9.1f} us, "
+        f"p95 {entry['latency_p95_us']:>8.1f} us"
+        for key, entry in record["pools"].items()
+    )
+    print_block(
+        "Heterogeneous device pools: homogeneous vs mixed shard scaling",
+        summary + f"\n(archived in {RESULT_PATH.name})\n\n"
+        + "\n\n".join(blocks),
+    )

@@ -32,13 +32,14 @@ that replica-served + cache-served request counts sum to cluster completions.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 import numpy as np
 
 from ..core.config import SampleSortConfig
-from ..gpu.errors import GpuSimError
+from ..gpu.device import DeviceSpec
+from ..gpu.errors import DeviceConfigError, GpuSimError
 from ..service.queue import (
     OversizeRequestError,
     QueueFullError,
@@ -68,6 +69,19 @@ class ClusterConfig:
     cache_lookup_us: float = 0.5
     #: Tenant contracts; unknown tenants get weight 1.0, priority 0.
     tenants: tuple[TenantSpec, ...] = ()
+    #: Optional per-replica shard-device lists — replica ``i`` wraps a
+    #: service whose pool runs ``replica_devices[i]`` (e.g. one C1060 pool
+    #: and one GTX-285 pool behind the same front end). ``None`` keeps every
+    #: replica on the shared :attr:`service` pool. Every device across every
+    #: replica must share one functional fingerprint, so the bytes stay
+    #: routing-independent.
+    replica_devices: Optional[tuple[tuple[DeviceSpec, ...], ...]] = None
+    #: Simulated front-end time to route one request, in microseconds. The
+    #: front end is a single serialised server: with a non-zero cost,
+    #: back-to-back arrivals queue *at the balancer itself* before any
+    #: replica sees them — the knob that lets the front end saturate.
+    #: Default 0 keeps every pre-existing timeline unchanged.
+    routing_cost_us: float = 0.0
 
     def __post_init__(self) -> None:
         if self.num_replicas < 1:
@@ -78,6 +92,30 @@ class ClusterConfig:
             raise ValueError("cache_capacity_bytes must be >= 0")
         if self.cache_lookup_us < 0:
             raise ValueError("cache_lookup_us must be >= 0")
+        if self.routing_cost_us < 0:
+            raise ValueError("routing_cost_us must be >= 0")
+        if self.replica_devices is not None:
+            object.__setattr__(
+                self, "replica_devices",
+                tuple(tuple(pool) for pool in self.replica_devices),
+            )
+            if len(self.replica_devices) != self.num_replicas:
+                raise ValueError(
+                    f"replica_devices names {len(self.replica_devices)} "
+                    f"pools for {self.num_replicas} replicas"
+                )
+
+    def replica_service_config(self, replica_id: int) -> ServiceConfig:
+        """The :class:`ServiceConfig` replica ``replica_id`` is built from.
+
+        Only the pool's device list may vary per replica; everything else —
+        the sorter config above all — is shared, which is what keeps results
+        byte-identical however the balancer routes.
+        """
+        if self.replica_devices is None:
+            return self.service
+        return replace(self.service,
+                       devices=self.replica_devices[replica_id])
 
 
 @dataclass
@@ -90,6 +128,8 @@ class _ClusterRequest:
     values: Optional[np.ndarray]
     arrival_us: float
     tag: ScheduleTag
+    #: WFQ charge: predicted device microseconds on the reference device.
+    cost_us: float = 0.0
 
     @property
     def n(self) -> int:
@@ -133,9 +173,31 @@ class SortCluster:
     def __init__(self, config: Optional[ClusterConfig] = None):
         self.config = config if config is not None else ClusterConfig()
         self.replicas = [
-            ServiceReplica(replica_id=i, config=self.config.service)
+            ServiceReplica(replica_id=i,
+                           config=self.config.replica_service_config(i))
             for i in range(self.config.num_replicas)
         ]
+        fingerprints = {
+            replica.service.pool.device.functional_fingerprint
+            for replica in self.replicas
+        }
+        if len(fingerprints) > 1:
+            # Each pool already enforces one geometry internally; replicas
+            # must agree with each other too, or routing could change bytes.
+            raise DeviceConfigError(
+                "replica pools must share one functional fingerprint "
+                "(execution geometry) so results stay routing-independent"
+            )
+        #: The WFQ pricing oracle: requests are charged predicted device
+        #: microseconds on the cluster's reference device at admission — a
+        #: routing-independent charge (which replica ends up serving is
+        #: unknown, and must not matter, when the tag is assigned).
+        self.cost_model = self.replicas[0].service.pool.cost_model
+        self._reference_device = self.replicas[0].service.pool.device
+        #: When the last front-end routing slot frees up (only advanced for a
+        #: non-zero ``routing_cost_us``).
+        self._frontend_busy_until = 0.0
+        self._frontend_routing_us = 0.0
         self.balancer = LoadBalancer(self.config.policy)
         self.cache = (SortCache(self.config.cache_capacity_bytes)
                       if self.config.cache_capacity_bytes > 0 else None)
@@ -193,13 +255,19 @@ class SortCluster:
         except GpuSimError:
             self._counts["rejected_invalid"] += 1
             raise
+        cost_us = self.cost_model.predict_sort_us(
+            validated.n, validated.keys.dtype.itemsize,
+            0 if validated.values is None else validated.values.dtype.itemsize,
+            self._reference_device, self.sorter_config,
+        )
         request = _ClusterRequest(
             request_id=self._next_request_id,
             tenant=tenant,
             keys=validated.keys,
             values=validated.values,
             arrival_us=float(arrival_us),
-            tag=self.scheduler.admit(tenant, validated.n),
+            tag=self.scheduler.admit(tenant, validated.n, cost=cost_us),
+            cost_us=cost_us,
         )
         self._pending.append(request)
         self._next_request_id += 1
@@ -238,6 +306,24 @@ class SortCluster:
 
                 _, request = heapq.heappop(ready)
 
+                # The front end itself takes routing_cost_us to handle each
+                # request (single serialised server): back-to-back arrivals
+                # queue at the balancer before any replica sees them. The
+                # guard keeps a zero cost byte-for-byte on the old timeline
+                # (the busy horizon is never consulted, never advanced).
+                # ``frontend_undo`` is the rollback point: if this request's
+                # dispatch fails, the except path reverts its charge so a
+                # retry drain does not double-book the routing slot.
+                frontend_undo = (self._frontend_busy_until,
+                                 self._frontend_routing_us)
+                if self.config.routing_cost_us > 0:
+                    routed_us = (max(now, self._frontend_busy_until)
+                                 + self.config.routing_cost_us)
+                    self._frontend_busy_until = routed_us
+                    self._frontend_routing_us += self.config.routing_cost_us
+                else:
+                    routed_us = now
+
                 digest = None
                 if self.cache is not None:
                     digest = request_digest(request.keys, request.values,
@@ -247,22 +333,24 @@ class SortCluster:
                         # replica: coalesce instead of sorting the bytes
                         # twice.
                         self._coalesced.append((request, inflight[digest],
-                                                now))
+                                                routed_us))
                         self.scheduler.on_dispatch(request.tenant,
-                                                   request.tag, request.n)
+                                                   request.tag, request.n,
+                                                   request.cost_us)
                         request = None
                         continue
                     cached = self.cache.get(digest)
                     if cached is not None:
-                        completion = now + self.config.cache_lookup_us
+                        completion = routed_us + self.config.cache_lookup_us
                         self.scheduler.on_dispatch(request.tenant,
-                                                   request.tag, request.n)
+                                                   request.tag, request.n,
+                                                   request.cost_us)
                         self._commit(ClusterResult(
                             request_id=request.request_id,
                             tenant=request.tenant,
                             keys=cached[0], values=cached[1], n=request.n,
                             arrival_us=request.arrival_us,
-                            dispatch_us=now, completion_us=completion,
+                            dispatch_us=routed_us, completion_us=completion,
                             source="cache", replica_id=None,
                             service_request_id=None,
                         ))
@@ -270,11 +358,12 @@ class SortCluster:
                         request = None
                         continue
 
-                replica, service_id, spills = self._dispatch(request, now)
+                replica, service_id, spills = self._dispatch(request,
+                                                             routed_us)
                 self.scheduler.on_dispatch(request.tenant, request.tag,
-                                           request.n)
+                                           request.n, request.cost_us)
                 self._routed[(replica.replica_id, service_id)] = (
-                    request, now, spills, digest
+                    request, routed_us, spills, digest
                 )
                 if digest is not None:
                     inflight[digest] = request.request_id
@@ -285,6 +374,10 @@ class SortCluster:
             leftovers = [entry for _, entry in ready] + pending[index:]
             if request is not None:
                 leftovers.append(request)
+                # The failed request's routing charge is reverted with it —
+                # the retry will route (and charge) it again.
+                (self._frontend_busy_until,
+                 self._frontend_routing_us) = frontend_undo
             self._pending = leftovers + self._pending
             raise
 
@@ -401,6 +494,11 @@ class SortCluster:
                 if self._counts["completed"] else 0.0
             ),
             "spill_count": self.balancer.stats()["spilled_requests"],
+            "frontend": {
+                "routing_cost_us": self.config.routing_cost_us,
+                "routing_us_total": self._frontend_routing_us,
+                "busy_until_us": self._frontend_busy_until,
+            },
         }
 
         if results:
@@ -455,6 +553,8 @@ class SortCluster:
             stream_us = sum(s["stream_time_us"] for s in stats["shards"])
             replicas.append({
                 "replica_id": stats["replica_id"],
+                "devices": stats["devices"],
+                "heterogeneous_pool": stats["heterogeneous_pool"],
                 "routed_requests": stats["routed_requests"],
                 "completed": stats["counts"]["completed"],
                 "sharded_requests": stats["counts"]["sharded_requests"],

@@ -66,8 +66,24 @@ class ServiceReplica:
         return self.service.pending_elements
 
     @property
+    def pending_predicted_us(self) -> float:
+        """Predicted time for this replica's pool to drain its backlog.
+
+        The device-aware routing signal: two replicas holding the same
+        elements quote different drains when their pools differ (a GTX-285
+        pool drains faster than a C1060 pool), which is what the balancer's
+        predicted-drain ranking consumes.
+        """
+        return self.service.pending_predicted_us
+
+    @property
     def queue_capacity(self) -> int:
         return self.service.queue_capacity
+
+    @property
+    def device_names(self) -> list[str]:
+        """The replica pool's device names, in shard order."""
+        return [d.name for d in self.service.pool.devices]
 
     # ------------------------------------------------------------ telemetry
     def stats(self) -> dict:

@@ -12,12 +12,18 @@ Policies (``LoadBalancer.POLICIES``):
 
 * ``"round_robin"`` — rotate through replicas regardless of load; the
   baseline every serving textbook starts from.
-* ``"least_outstanding"`` — prefer the replica with the fewest outstanding
-  *elements* (undrained backlog work), the right signal when request sizes
-  vary by orders of magnitude.
+* ``"least_outstanding"`` — prefer the replica with the shortest predicted
+  *drain time* (the backlog priced per request by the replica pool's
+  device-cost model), the right signal when request sizes — or pool devices
+  — vary by orders of magnitude. On identical pools this approximates the
+  classic fewest-elements rule but is not identical to it: per-request
+  pricing includes per-request overheads and size-dependent utilisation, so
+  a backlog of many small requests can rank behind slightly more elements
+  held as one request. Outstanding elements and requests break exact ties.
 * ``"join_shortest_queue"`` — prefer the replica with the fewest outstanding
   *requests*, the classic JSQ policy; near-optimal when requests are
-  similar-sized and cheap to count.
+  similar-sized and cheap to count. Predicted drain time breaks count ties,
+  so a GTX-285 replica wins an even split against a C1060 replica.
 
 Ties always break on the lowest replica id, so routing is deterministic.
 """
@@ -64,10 +70,12 @@ class LoadBalancer:
             start = self._rr_cursor % len(replicas)
             return list(replicas[start:]) + list(replicas[:start])
         if self.policy == "least_outstanding":
-            return sorted(replicas, key=lambda r: (r.pending_elements,
+            return sorted(replicas, key=lambda r: (r.pending_predicted_us,
+                                                   r.pending_elements,
                                                    r.pending_requests,
                                                    r.replica_id))
         return sorted(replicas, key=lambda r: (r.pending_requests,
+                                               r.pending_predicted_us,
                                                r.pending_elements,
                                                r.replica_id))
 

@@ -6,13 +6,16 @@ two-level rule:
 1. **priority class** — strict: a class-0 (most urgent) request always
    dispatches before a class-1 request that is ready at the same instant;
 2. **weighted fair queueing** within a class — start-time fair queueing over
-   element counts: each tenant accumulates a virtual *finish* time that grows
-   by ``elements / weight`` per request, and requests dispatch in order of
-   their virtual **start** tags. A tenant with weight 3 therefore gets three
-   elements of service for every element a weight-1 competitor gets whenever
-   both have work ready, while an idle tenant's tag snaps forward to the
-   global virtual time on its next request (no credit hoarding: you cannot
-   bank service you never asked for).
+   a service *cost*: each tenant accumulates a virtual *finish* time that
+   grows by ``cost / weight`` per request, and requests dispatch in order of
+   their virtual **start** tags. The cost defaults to the element count (the
+   historical currency) but the cluster charges **predicted device
+   microseconds** from the shared cost model, so a tenant burning slow
+   devices or expensive dtypes pays what it actually consumes. A tenant with
+   weight 3 gets three microseconds of device time for every microsecond a
+   weight-1 competitor gets whenever both have work ready, while an idle
+   tenant's tag snaps forward to the global virtual time on its next request
+   (no credit hoarding: you cannot bank service you never asked for).
 
 Ties (same class, same tag) break on submission order, so the schedule is
 deterministic.
@@ -96,33 +99,43 @@ class TenantScheduler:
         return spec
 
     # ---------------------------------------------------------- scheduling
-    def admit(self, tenant: str, elements: int) -> ScheduleTag:
+    def admit(self, tenant: str, elements: int,
+              cost: Optional[float] = None) -> ScheduleTag:
         """Tag one request of ``elements`` elements for tenant ``tenant``.
 
+        ``cost`` is the WFQ service charge the virtual clock advances by —
+        predicted device microseconds when the cluster prices requests
+        through its cost model, or simply the element count when omitted.
         Must be called in submission order; the tag is the request's
         dispatch-ordering key for the cluster's event loop.
         """
         spec = self.spec(tenant)
+        charge = float(elements if cost is None else cost)
+        if charge < 0:
+            raise ValueError(f"WFQ cost must be >= 0, got {charge}")
         account = self._accounts.setdefault(tenant, {
-            "requests": 0, "elements": 0,
+            "requests": 0, "elements": 0, "cost": 0.0,
             "dispatched_requests": 0, "dispatched_elements": 0,
+            "dispatched_cost": 0.0,
         })
         start = max(self._virtual_time, self._finish.get(tenant, 0.0))
-        self._finish[tenant] = start + elements / spec.weight
+        self._finish[tenant] = start + charge / spec.weight
         tag = ScheduleTag(priority=spec.priority, virtual_start=start,
                           seq=self._seq)
         self._seq += 1
         account["requests"] += 1
         account["elements"] += elements
+        account["cost"] += charge
         return tag
 
-    def on_dispatch(self, tenant: str, tag: ScheduleTag,
-                    elements: int) -> None:
+    def on_dispatch(self, tenant: str, tag: ScheduleTag, elements: int,
+                    cost: Optional[float] = None) -> None:
         """Advance the virtual clock and the tenant's served credit."""
         self._virtual_time = max(self._virtual_time, tag.virtual_start)
         account = self._accounts[tenant]
         account["dispatched_requests"] += 1
         account["dispatched_elements"] += elements
+        account["dispatched_cost"] += float(elements if cost is None else cost)
 
     # ------------------------------------------------------------ telemetry
     def stats(self) -> dict:

@@ -107,6 +107,33 @@ class DeviceSpec:
     def max_warps_per_sm(self) -> int:
         return self.max_threads_per_sm // self.warp_size
 
+    @property
+    def functional_fingerprint(self) -> tuple:
+        """The fields that can influence *what* a sort computes, not how fast.
+
+        Output bytes depend on the device only through the execution geometry
+        (the shared-memory clamp of the small-case sorter threshold, launch
+        validation, warp/bank shapes); clock, bandwidth, memory capacity,
+        latency and launch overhead only move predicted times. Two devices
+        with equal fingerprints are *functionally interchangeable*: a sorter
+        produces byte-identical output on either. The paper's pair — Tesla
+        C1060 and GTX 285 — share one fingerprint (same GT200 geometry,
+        different clock/bandwidth), which is what makes mixed pools safe.
+        """
+        return (
+            self.sm_count,
+            self.sps_per_sm,
+            self.shared_mem_per_sm,
+            self.registers_per_sm,
+            self.max_threads_per_sm,
+            self.max_blocks_per_sm,
+            self.max_threads_per_block,
+            self.warp_size,
+            self.mem_transaction_bytes,
+            self.shared_mem_banks,
+            self.supports_shared_atomics,
+        )
+
     def with_(self, **kwargs) -> "DeviceSpec":
         """Return a copy of this spec with selected fields replaced.
 

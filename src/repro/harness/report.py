@@ -9,6 +9,7 @@ and can be pasted into EXPERIMENTS.md.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Optional, Sequence
 
 import numpy as np
@@ -22,6 +23,14 @@ def _fmt_rate(rate: float) -> str:
     if not np.isfinite(rate):
         return "DNF"
     return f"{rate:.1f}"
+
+
+def _fmt_devices(names) -> str:
+    """Compress a shard-device name list: ``2x Tesla C1060 + Zotac GTX 285``."""
+    if not names:
+        return "?"
+    return " + ".join(f"{count}x {name}" if count > 1 else name
+                      for name, count in Counter(names).items())
 
 
 def _fmt_size(n: int) -> str:
@@ -194,13 +203,15 @@ def format_service_report(snapshot: dict, title: Optional[str] = None) -> str:
             )
     shards = snapshot.get("shards")
     if shards:
-        lines.append(f"{'shard':>6}{'ops':>6}{'launches':>10}"
-                     f"{'stream us':>12}{'busy until':>12}")
+        lines.append(f"{'shard':>6}  {'device':<16}{'ops':>6}{'launches':>10}"
+                     f"{'stream us':>12}{'model us':>12}{'busy until':>12}")
         for shard in shards:
             lines.append(
-                f"{shard['shard_id']:>6}{shard['operations']:>6}"
+                f"{shard['shard_id']:>6}  {shard.get('device', '?'):<16}"
+                f"{shard['operations']:>6}"
                 f"{shard['stream_launches']:>10}"
                 f"{shard['stream_time_us']:>12.1f}"
+                f"{shard.get('model_us', 0.0):>12.1f}"
                 f"{shard['busy_until_us']:>12.1f}"
             )
     scatter = snapshot.get("scatter_stream")
@@ -239,6 +250,13 @@ def format_cluster_report(snapshot: dict, title: Optional[str] = None) -> str:
         f"({balancer.get('spill_attempts', 0)} full-queue rejections), "
         f"{counts.get('forced_flushes', 0)} forced flushes"
     )
+    frontend = snapshot.get("frontend")
+    if frontend and frontend.get("routing_cost_us", 0.0) > 0:
+        lines.append(
+            f"front end: {frontend['routing_cost_us']:.2f} us/request "
+            f"routing cost, {frontend['routing_us_total']:.1f} us total, "
+            f"busy until {frontend['busy_until_us']:.1f} us"
+        )
     cache = snapshot.get("cache")
     if cache:
         lines.append(
@@ -282,13 +300,14 @@ def format_cluster_report(snapshot: dict, title: Optional[str] = None) -> str:
     replicas = snapshot.get("replicas")
     if replicas:
         lines.append(f"{'replica':>8}{'routed':>8}{'done':>6}{'batches':>9}"
-                     f"{'stream us':>12}{'occupancy':>11}")
+                     f"{'stream us':>12}{'occupancy':>11}  {'devices'}")
         for replica in replicas:
             lines.append(
                 f"{replica['replica_id']:>8}{replica['routed_requests']:>8}"
                 f"{replica['completed']:>6}{replica['batches']:>9}"
                 f"{replica['stream_time_us']:>12.1f}"
-                f"{replica['occupancy'] * 100:>10.1f}%"
+                f"{replica['occupancy'] * 100:>10.1f}%  "
+                f"{_fmt_devices(replica.get('devices'))}"
             )
     return "\n".join(lines)
 

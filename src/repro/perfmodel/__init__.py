@@ -2,6 +2,12 @@
 calibration and sorting-rate prediction over the paper's full size range."""
 
 from .calibration import Calibration, DEFAULT_CALIBRATION
+from .costmodel import (
+    AnalyticCostModel,
+    DeviceCostModel,
+    assignment_weights,
+    pool_parallel_us,
+)
 from .model import AnalyticTimeModel, PredictedTime, device_pair_comparison
 from .operations import (
     WORK_FUNCTIONS,
@@ -25,6 +31,10 @@ from .rates import (
 __all__ = [
     "Calibration",
     "DEFAULT_CALIBRATION",
+    "AnalyticCostModel",
+    "DeviceCostModel",
+    "assignment_weights",
+    "pool_parallel_us",
     "AnalyticTimeModel",
     "PredictedTime",
     "device_pair_comparison",

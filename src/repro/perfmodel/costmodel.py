@@ -1,0 +1,164 @@
+"""The shared device-cost interface every scheduling layer consults.
+
+Before this module existed, each layer of the serving stack priced work in
+its own currency: the shard pool counted stream horizons, the request
+splitter counted elements, and the cluster's fair queueing charged element
+counts. None of those currencies know that a GTX 285 moves bytes 1.7x faster
+than a Tesla C1060 — the paper's whole Figure-6 axis. :class:`DeviceCostModel`
+is the one interface that converts *(n, dtype, config, device)* into predicted
+microseconds, so that
+
+* :meth:`~repro.service.shards.ShardPool.least_loaded` can rank shards by
+  predicted **completion time** instead of bare availability,
+* :func:`~repro.service.shards.plan_shard_assignment` can split an oversized
+  request proportionally to predicted device **throughput**,
+* the cluster router can rank replicas by predicted **drain time**, and
+* the tenant scheduler can charge predicted device **microseconds** instead of
+  elements.
+
+:class:`AnalyticCostModel` is the default implementation, backed by the
+existing :class:`~repro.perfmodel.model.AnalyticTimeModel` (the closed-form
+sample-sort work counts plus the shared effective-throughput calibration), so
+scheduling predictions and the figure-regeneration pipeline can never drift
+apart. Predictions guide *placement only*: execution time on a shard is still
+the functional simulator's traced time, which is what makes the per-shard
+"model vs simulated" telemetry an honest accuracy check of this model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Sequence, runtime_checkable
+
+from ..core.config import SampleSortConfig
+from ..gpu.device import DeviceSpec
+from .calibration import Calibration, DEFAULT_CALIBRATION
+from .model import AnalyticTimeModel
+
+
+@runtime_checkable
+class DeviceCostModel(Protocol):
+    """Predicts the device time of one sort — the scheduling currency.
+
+    Any object with this method can drive the pool, router and tenant
+    scheduler; :class:`AnalyticCostModel` is the production implementation
+    and the tests substitute constant models to pin scheduling decisions.
+    """
+
+    def predict_sort_us(self, n: int, key_bytes: int, value_bytes: int,
+                        device: DeviceSpec,
+                        config: Optional[SampleSortConfig] = None) -> float:
+        """Predicted microseconds to sort ``n`` records on ``device``."""
+        ...
+
+
+class AnalyticCostModel:
+    """:class:`DeviceCostModel` backed by the analytic sample-sort model.
+
+    One instance serves any number of devices: the per-device
+    :class:`AnalyticTimeModel` and every *(n, dtype, config, device)* query
+    are memoised, because the service's event loop re-asks for the same
+    prediction on every scheduling decision. The memo is opportunistic (a
+    prediction is cheap closed-form arithmetic) and bounded: once it holds
+    :data:`CACHE_LIMIT` entries it resets, so a long-lived service fed
+    unique request sizes cannot grow it without bound.
+    """
+
+    #: Memo entries kept before the cache resets (bounded memory for
+    #: long-lived services; each entry is one float keyed by workload).
+    CACHE_LIMIT = 65536
+
+    def __init__(self, calibration: Calibration = DEFAULT_CALIBRATION,
+                 algorithm: str = "sample"):
+        self.calibration = calibration
+        self.algorithm = algorithm
+        self._models: dict[DeviceSpec, AnalyticTimeModel] = {}
+        self._cache: dict[tuple, float] = {}
+
+    def _model(self, device: DeviceSpec) -> AnalyticTimeModel:
+        model = self._models.get(device)
+        if model is None:
+            model = AnalyticTimeModel(device, self.calibration)
+            self._models[device] = model
+        return model
+
+    # ------------------------------------------------------------ predictions
+    def predict_sort_us(self, n: int, key_bytes: int, value_bytes: int,
+                        device: DeviceSpec,
+                        config: Optional[SampleSortConfig] = None) -> float:
+        """Predicted microseconds to sort ``n`` records on ``device``."""
+        if n <= 0:
+            return 0.0
+        key = (int(n), int(key_bytes), int(value_bytes), device, config)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        predicted = self._model(device).predict(
+            self.algorithm, int(n), int(key_bytes), int(value_bytes),
+            config=config,
+        ).total_us
+        if len(self._cache) >= self.CACHE_LIMIT:
+            self._cache.clear()
+        self._cache[key] = predicted
+        return predicted
+
+    def throughput(self, n: int, key_bytes: int, value_bytes: int,
+                   device: DeviceSpec,
+                   config: Optional[SampleSortConfig] = None) -> float:
+        """Predicted sorting rate in elements per microsecond."""
+        t = self.predict_sort_us(n, key_bytes, value_bytes, device, config)
+        return n / t if t > 0 else 0.0
+
+
+def assignment_weights(cost_model: "AnalyticCostModel | DeviceCostModel",
+                       n: int, key_bytes: int, value_bytes: int,
+                       devices: Sequence[DeviceSpec],
+                       config: Optional[SampleSortConfig] = None
+                       ) -> list[float]:
+    """Relative predicted throughput of each device for an ``n``-record sort.
+
+    This is the split rule for scattering one oversized request across a
+    mixed pool: give each shard work proportional to its predicted rate, so
+    every shard finishes at (predicted) the same instant. Weights are
+    normalised to sum to ``len(devices)``, making the homogeneous case the
+    all-ones vector — i.e. exactly the element-balanced split the pool used
+    before it was device-aware.
+    """
+    times = [cost_model.predict_sort_us(n, key_bytes, value_bytes, device,
+                                        config)
+             for device in devices]
+    if any(t <= 0 for t in times):
+        return [1.0] * len(devices)
+    rates = [1.0 / t for t in times]
+    total = sum(rates)
+    return [len(devices) * rate / total for rate in rates]
+
+
+def pool_parallel_us(cost_model: "AnalyticCostModel | DeviceCostModel",
+                     n: int, key_bytes: int, value_bytes: int,
+                     devices: Sequence[DeviceSpec],
+                     config: Optional[SampleSortConfig] = None) -> float:
+    """Predicted time to drain ``n`` records spread across a whole pool.
+
+    With work split proportionally to throughput every device finishes
+    together, so the pool behaves like one device whose rate is the sum of
+    the members' rates: ``t = n / sum_i(n / t_i)``. This is the drain-time
+    estimate the cluster router ranks replicas by — a replica backed by a
+    GTX-285 pool quotes a shorter drain than a C1060 pool holding the same
+    backlog.
+    """
+    if n <= 0 or not devices:
+        return 0.0
+    rates = [n / t for device in devices
+             if (t := cost_model.predict_sort_us(n, key_bytes, value_bytes,
+                                                 device, config)) > 0]
+    if not rates:
+        return 0.0
+    return n / sum(rates)
+
+
+__all__ = [
+    "DeviceCostModel",
+    "AnalyticCostModel",
+    "assignment_weights",
+    "pool_parallel_us",
+]

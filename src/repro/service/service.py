@@ -55,6 +55,11 @@ class ServiceConfig:
     num_shards: int = 2
     #: Device preset every shard uses.
     device: DeviceSpec = TESLA_C1060
+    #: Optional per-shard device list for heterogeneous pools (e.g. a mixed
+    #: C1060/GTX-285 pool). Takes precedence over ``num_shards``/``device``
+    #: when given; every entry must share one functional fingerprint (see
+    #: :class:`~repro.service.shards.ShardPool`).
+    devices: Optional[tuple[DeviceSpec, ...]] = None
     #: Sorter configuration shared by every shard.
     sorter: SampleSortConfig = field(default_factory=SampleSortConfig.paper)
     #: Admission control: most requests waiting at once (backpressure bound).
@@ -75,6 +80,21 @@ class ServiceConfig:
             raise ValueError(f"num_shards must be >= 1, got {self.num_shards}")
         if self.max_request_elements < 1:
             raise ValueError("max_request_elements must be >= 1")
+        if self.devices is not None:
+            object.__setattr__(self, "devices", tuple(self.devices))
+            if not self.devices:
+                raise ValueError("devices must name >= 1 shard device")
+
+    @property
+    def shard_devices(self) -> tuple[DeviceSpec, ...]:
+        """The per-shard device list the pool is built from."""
+        if self.devices is not None:
+            return self.devices
+        return (self.device,) * self.num_shards
+
+    @property
+    def effective_num_shards(self) -> int:
+        return len(self.shard_devices)
 
     @property
     def effective_shard_threshold(self) -> int:
@@ -130,17 +150,22 @@ class SortService:
     def __init__(self, config: Optional[ServiceConfig] = None):
         self.config = config if config is not None else ServiceConfig()
         self.pool = ShardPool(
-            self.config.num_shards, self.config.device, self.config.sorter
+            devices=self.config.shard_devices, config=self.config.sorter
         )
         self.batcher = MicroBatcher(
             policy=self.config.batch_policy(),
             companion_limit=(self.config.effective_shard_threshold
-                             if self.config.num_shards >= 2 else None),
+                             if self.config.effective_num_shards >= 2
+                             else None),
         )
         #: The backlog IS the bounded queue — its push is the single
         #: admission-control implementation (QueueFullError backpressure).
         self._backlog = RequestQueue(capacity=self.config.queue_capacity)
         self._config_cache: dict[tuple, SampleSortConfig] = {}
+        #: Running predicted drain time of the backlog — kept in lockstep
+        #: with the backlog (O(1) reads for the balancer, like
+        #: ``RequestQueue.elements``).
+        self._pending_predicted_us = 0.0
         self._next_request_id = 0
         self._results: dict[int, ServiceResult] = {}
         self._batches: list[dict] = []
@@ -194,8 +219,16 @@ class SortService:
         except QueueFullError:
             self._counts["rejected_queue_full"] += 1
             raise
+        self._pending_predicted_us += self._request_predicted_us(request)
         self._next_request_id += 1
         return request.request_id
+
+    def _request_predicted_us(self, request: SortRequest) -> float:
+        """Predicted pool drain time of one request (memoised cost model)."""
+        return self.pool.predict_request_us(
+            request.n, request.keys.dtype.itemsize,
+            0 if request.values is None else request.values.dtype.itemsize,
+        )
 
     def _group_config(self, request: SortRequest) -> SampleSortConfig:
         """Effective (device-validated) sorter config for the request's dtypes.
@@ -223,6 +256,7 @@ class SortService:
         """
         arrivals = sorted(self._backlog.pop_all(),
                           key=lambda r: (r.arrival_us, r.request_id))
+        self._pending_predicted_us = 0.0
         queue = RequestQueue(capacity=max(1, len(arrivals)))
         drained: dict[int, ServiceResult] = {}
         now = 0.0
@@ -281,6 +315,8 @@ class SortService:
             # Leftovers fit: they are a subset of what the backlog just held.
             for request in queue.pop_all() + arrivals[index:]:
                 self._backlog.push(request)
+                self._pending_predicted_us += \
+                    self._request_predicted_us(request)
             self._queue_depth_peak = max(self._queue_depth_peak,
                                          queue.depth_peak,
                                          self._backlog.depth_peak)
@@ -330,7 +366,13 @@ class SortService:
         return not DistributionEngine(self.pool.device, config).is_leaf(root)
 
     def _dispatch_batch(self, batch, now_us: float):
-        shard = self.pool.least_loaded(now_us)
+        elements = batch.elements
+        key_bytes = batch.requests[0].keys.dtype.itemsize
+        value_bytes = (0 if batch.requests[0].values is None
+                       else batch.requests[0].values.dtype.itemsize)
+        shard = self.pool.least_loaded(now_us, elements=elements,
+                                       key_bytes=key_bytes,
+                                       value_bytes=value_bytes)
         batch_keys = [r.keys for r in batch.requests]
         batch_values = ([r.values for r in batch.requests]
                         if batch.requests[0].values is not None else None)
@@ -338,10 +380,15 @@ class SortService:
             batch_keys, batch_values, now_us
         )
         self._wall_s += wall_s
-        elements = batch.elements
+        # Book the cost-model prediction only after the dispatch succeeded —
+        # a failed run_batch rolled its stream back, so the model ledger must
+        # match.
+        shard.model_us += self.pool.predict_us(elements, key_bytes,
+                                               value_bytes, shard.device)
         self._batches.append({
             "batch_id": batch.batch_id,
             "shard_id": shard.shard_id,
+            "device": shard.device.name,
             "requests": len(batch.requests),
             "elements": elements,
             # A head request above the element budget still ships alone, so a
@@ -411,6 +458,18 @@ class SortService:
         return self._backlog.elements
 
     @property
+    def pending_predicted_us(self) -> float:
+        """Predicted device time to drain the backlog across this pool.
+
+        The device-aware load signal: each pending request is priced by the
+        pool's cost model (its size, its dtypes, this pool's devices), so a
+        front end comparing replicas sees that a GTX-285 pool drains the same
+        backlog faster than a C1060 pool. O(1): the total is maintained in
+        lockstep with the backlog, like :attr:`pending_elements`.
+        """
+        return self._pending_predicted_us
+
+    @property
     def queue_capacity(self) -> int:
         return self.config.queue_capacity
 
@@ -443,6 +502,8 @@ class SortService:
         snapshot: dict = {
             "counts": dict(self._counts),
             "num_shards": len(self.pool),
+            "devices": [d.name for d in self.pool.devices],
+            "heterogeneous_pool": self.pool.heterogeneous,
             # the backlog's own high-water mark makes backpressure visible
             # between drains, not just after one
             "queue_depth_peak": max(self._queue_depth_peak,
@@ -495,10 +556,16 @@ class SortService:
         snapshot["shards"] = [
             {
                 "shard_id": shard.shard_id,
+                "device": shard.device.name,
                 "operations": shard.stream.operations,
                 "busy_until_us": shard.stream.busy_until_us,
                 "stream_launches": shard.stream.trace.kernel_count,
                 "stream_time_us": shard.stream.busy_us,
+                # cost-model prediction vs the simulator's traced time for
+                # the same dispatched work — the per-device accuracy check
+                "model_us": shard.model_us,
+                "model_ratio": (shard.model_us / shard.stream.busy_us
+                                if shard.stream.busy_us > 0 else 0.0),
             }
             for shard in self.pool.shards
         ]

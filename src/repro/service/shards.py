@@ -6,6 +6,17 @@ shard serves appends its launches to that stream (stream reuse) and advances
 the stream's busy horizon, which is what the service's multi-device scheduling
 reads.
 
+Pools may be **heterogeneous**: each shard can wrap a different
+:class:`~repro.gpu.device.DeviceSpec` (the paper's Tesla C1060 / GTX 285
+pair), as long as every device shares one *functional fingerprint* — the
+geometry fields that influence output bytes. Clock and bandwidth may differ
+freely; they only move time. Scheduling then happens in predicted
+microseconds via the shared :class:`~repro.perfmodel.costmodel.DeviceCostModel`:
+:meth:`ShardPool.least_loaded` ranks shards by predicted *completion* time
+(a free GTX 285 beats a free C1060), and :func:`plan_shard_assignment` splits
+an oversized request proportionally to predicted device throughput so every
+shard finishes together.
+
 A single request too large for one micro-batch can be *sharded* across the
 whole pool:
 
@@ -28,7 +39,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -36,8 +47,15 @@ from ..core.config import SampleSortConfig
 from ..core.engine import DistributionEngine, SegmentDescriptor
 from ..core.sample_sort import SampleSorter
 from ..gpu.device import DeviceSpec, TESLA_C1060
+from ..gpu.errors import DeviceConfigError
 from ..gpu.kernel import KernelLauncher
 from ..gpu.stream import DeviceStream
+from ..perfmodel.costmodel import (
+    AnalyticCostModel,
+    DeviceCostModel,
+    assignment_weights,
+    pool_parallel_us,
+)
 
 
 class _StreamSnapshot:
@@ -67,6 +85,10 @@ class DeviceShard:
     config: SampleSortConfig
     sorter: SampleSorter = field(init=False)
     stream: DeviceStream = field(init=False)
+    #: Cost-model prediction of every operation dispatched to this shard, in
+    #: us — compared against the stream's simulated time in ``stats()`` as
+    #: the per-device "model vs simulated" accuracy check.
+    model_us: float = field(init=False, default=0.0)
 
     def __post_init__(self) -> None:
         self.sorter = SampleSorter(device=self.device, config=self.config)
@@ -96,18 +118,59 @@ class DeviceShard:
 
 
 class ShardPool:
-    """A fixed pool of identical device shards plus a scatter stream."""
+    """A fixed pool of device shards (possibly mixed) plus a scatter stream.
 
-    def __init__(self, num_shards: int, device: DeviceSpec = TESLA_C1060,
-                 config: Optional[SampleSortConfig] = None):
-        if num_shards < 1:
-            raise ValueError(f"a shard pool needs >= 1 shard, got {num_shards}")
+    Homogeneous construction (``ShardPool(4)``) is unchanged; a heterogeneous
+    pool passes ``devices=[TESLA_C1060, GTX_285, ...]`` instead. Mixed pools
+    must agree on :attr:`~repro.gpu.device.DeviceSpec.functional_fingerprint`
+    — the geometry that influences output bytes — so any shard's result stays
+    byte-identical to a solo sort; clock and bandwidth are free to differ,
+    and the ``cost_model`` prices that difference for every scheduling
+    decision.
+    """
+
+    def __init__(self, num_shards: Optional[int] = None,
+                 device: DeviceSpec = TESLA_C1060,
+                 config: Optional[SampleSortConfig] = None, *,
+                 devices: Optional[Sequence[DeviceSpec]] = None,
+                 cost_model: Optional[DeviceCostModel] = None):
+        if devices is not None:
+            devices = tuple(devices)
+            if not devices:
+                raise ValueError("a shard pool needs >= 1 device")
+            if num_shards is not None and num_shards != len(devices):
+                raise ValueError(
+                    f"num_shards={num_shards} contradicts the explicit device "
+                    f"list of {len(devices)}"
+                )
+        else:
+            if num_shards is None:
+                raise ValueError("give a shard pool num_shards or devices")
+            if num_shards < 1:
+                raise ValueError(
+                    f"a shard pool needs >= 1 shard, got {num_shards}"
+                )
+            devices = (device,) * num_shards
+        fingerprints = {d.functional_fingerprint for d in devices}
+        if len(fingerprints) > 1:
+            raise DeviceConfigError(
+                f"mixed pool devices must share one functional fingerprint "
+                f"(execution geometry) so results stay byte-identical to a "
+                f"solo sort; got {sorted(d.name for d in devices)} with "
+                f"{len(fingerprints)} distinct geometries"
+            )
         config = config if config is not None else SampleSortConfig.paper()
-        self.device = device
+        #: The coordinating/reference device: sharded requests run their
+        #: level-0 scatter here, and admission-time engine decisions use it.
+        self.device = devices[0]
+        self.devices = devices
         self.config = config
+        self.cost_model: DeviceCostModel = (
+            cost_model if cost_model is not None else AnalyticCostModel()
+        )
         self.shards = [
-            DeviceShard(shard_id=i, device=device, config=config)
-            for i in range(num_shards)
+            DeviceShard(shard_id=i, device=shard_device, config=config)
+            for i, shard_device in enumerate(devices)
         ]
         #: Stream for the level-0 scatter pass of sharded requests (the
         #: coordinating device's work before the pool fans out).
@@ -116,10 +179,76 @@ class ShardPool:
     def __len__(self) -> int:
         return len(self.shards)
 
-    def least_loaded(self, now_us: float) -> DeviceShard:
-        """The shard that could start new work earliest."""
-        return min(self.shards, key=lambda s: (s.stream.available_at(now_us),
-                                               s.shard_id))
+    @property
+    def heterogeneous(self) -> bool:
+        """Whether the pool mixes device presets (by name)."""
+        return len({d.name for d in self.devices}) > 1
+
+    def predict_us(self, n: int, key_bytes: int, value_bytes: int,
+                   device: DeviceSpec) -> float:
+        """Cost-model prediction for one operation on one pool device."""
+        return self.cost_model.predict_sort_us(n, key_bytes, value_bytes,
+                                               device, self.config)
+
+    def predict_request_us(self, n: int, key_bytes: int,
+                           value_bytes: int = 0) -> float:
+        """Predicted drain time of ``n`` records spread across the pool.
+
+        The load signal a front end ranks replicas by: the whole pool acting
+        as one device whose rate is the sum of the members' predicted rates.
+        """
+        return pool_parallel_us(self.cost_model, n, key_bytes, value_bytes,
+                                self.devices, self.config)
+
+    def model_calibration(self) -> float:
+        """Observed simulated-us per model-us over everything served so far.
+
+        The analytic model's *relative* device ranking is trustworthy (it is
+        the Figure-6 model) but its absolute scale is calibrated for
+        full-size workloads; at service batch sizes it can overshoot by a
+        constant factor. Completion-time ranking adds a model prediction to
+        a stream horizon measured in simulated microseconds, so the
+        prediction is rescaled by this observed ratio — otherwise an
+        overshooting model overweights device speed against queueing delay
+        and parks requests behind a busy fast device. Deterministic: a pure
+        function of the work dispatched so far; 1.0 until there is history.
+        """
+        model = sum(s.model_us for s in self.shards)
+        actual = sum(s.stream.busy_us for s in self.shards)
+        if model <= 0 or actual <= 0:
+            return 1.0
+        return actual / model
+
+    def least_loaded(self, now_us: float, elements: Optional[int] = None,
+                     key_bytes: int = 4, value_bytes: int = 0) -> DeviceShard:
+        """The shard predicted to *finish* new work earliest.
+
+        With ``elements`` the ranking key is predicted completion time —
+        stream availability plus the (calibrated) cost-model prediction for
+        this shard's device — so a faster device wins even from a slightly
+        busier stream, but not from an arbitrarily busier one. Without it
+        (legacy callers) the key degrades to bare availability. Ties always
+        break on the stable shard id, so dispatch order is deterministic
+        whatever the ranking produces.
+        """
+        if elements is None:
+            return min(self.shards,
+                       key=lambda s: (s.stream.available_at(now_us),
+                                      s.shard_id))
+        calibration = self.model_calibration()
+        return min(
+            self.shards,
+            key=lambda s: (s.stream.available_at(now_us)
+                           + calibration * self.predict_us(
+                               elements, key_bytes, value_bytes, s.device),
+                           s.shard_id),
+        )
+
+    def assignment_weights(self, n: int, key_bytes: int,
+                           value_bytes: int = 0) -> list[float]:
+        """Per-shard split weights proportional to predicted throughput."""
+        return assignment_weights(self.cost_model, n, key_bytes, value_bytes,
+                                  [s.device for s in self.shards], self.config)
 
     def all_available_at(self, now_us: float) -> float:
         """Earliest time every shard is free — the barrier a sharded request needs."""
@@ -127,26 +256,49 @@ class ShardPool:
 
 
 def plan_shard_assignment(
-    children: list[SegmentDescriptor], num_shards: int
+    children: list[SegmentDescriptor], num_shards: int,
+    weights: Optional[Sequence[float]] = None,
 ) -> list[list[SegmentDescriptor]]:
-    """Split level-1 buckets into contiguous, element-balanced shard groups.
+    """Split level-1 buckets into contiguous, throughput-balanced shard groups.
 
     Buckets stay in start order (so each group is one contiguous range of the
-    output) and groups are cut greedily at the running-total boundaries of
-    ``total / num_shards`` elements. Returns only non-empty groups, so fewer
-    buckets than shards simply leaves some shards out of this request.
+    output) and groups are cut greedily at the running-total boundaries of the
+    cumulative weight fractions: shard ``i`` targets
+    ``total * weights[i] / sum(weights)`` elements. ``weights=None`` (or all
+    equal) is the element-balanced split of a homogeneous pool; a mixed pool
+    passes predicted device throughputs so every shard is expected to finish
+    at the same instant. Returns only non-empty groups, so fewer buckets than
+    shards simply leaves some shards out of this request.
+
+    The split only moves *where* contiguous subtree groups run — never the
+    buckets themselves — so the merged output is byte-identical whatever the
+    weights.
     """
     total = sum(c.size for c in children)
     if total == 0 or not children:
         return [children] if children else []
-    target = total / num_shards
+    if weights is None:
+        weights = [1.0] * num_shards
+    if len(weights) != num_shards:
+        raise ValueError(
+            f"got {len(weights)} weights for {num_shards} shards"
+        )
+    if any(w <= 0 for w in weights):
+        raise ValueError(f"assignment weights must be positive, got {weights}")
+    weight_sum = sum(weights)
+    cumulative = 0.0
+    thresholds = []
+    for weight in weights:
+        cumulative += weight
+        thresholds.append(total * cumulative / weight_sum)
     groups: list[list[SegmentDescriptor]] = []
     current: list[SegmentDescriptor] = []
     consumed = 0
     for child in children:
         current.append(child)
         consumed += child.size
-        if consumed >= target * (len(groups) + 1) and len(groups) < num_shards - 1:
+        if (len(groups) < num_shards - 1
+                and consumed >= thresholds[len(groups)]):
             groups.append(current)
             current = []
     if current:
@@ -253,8 +405,13 @@ def _run_sharded_impl(pool: ShardPool, keys: np.ndarray,
     scattered_keys = aux_keys.to_host()
     scattered_values = None if aux_values is None else aux_values.to_host()
 
-    # 2. Contiguous, balanced subtree groups — one per shard.
-    groups = plan_shard_assignment(children, len(pool))
+    # 2. Contiguous subtree groups — one per shard, sized proportionally to
+    #    each shard device's predicted throughput (equal split when the pool
+    #    is homogeneous).
+    key_bytes = keys.dtype.itemsize
+    value_bytes = 0 if values is None else values.dtype.itemsize
+    weights = pool.assignment_weights(n, key_bytes, value_bytes)
+    groups = plan_shard_assignment(children, len(pool), weights)
     scatter_start_us, fan_out_us = pool.scatter_stream.enqueue(
         scatter_us, start_us
     )
@@ -270,6 +427,7 @@ def _run_sharded_impl(pool: ShardPool, keys: np.ndarray,
     launches_by_phase = dict(scatter_slice.launches_by_phase())
     total_work_us = scatter_us
     completion_us = fan_out_us
+    model_bookings: list[tuple[DeviceShard, float]] = []
     for group, shard in zip(groups, pool.shards):
         # The shard only needs its group's span [lo, hi). Descriptors are
         # rebased to span-local coordinates; shifting `base` by the same
@@ -293,7 +451,10 @@ def _run_sharded_impl(pool: ShardPool, keys: np.ndarray,
             s_aux_values = shard_launcher.gmem.from_host(
                 scattered_values[lo:hi], name="values_aux"
             )
-        stats = engine.run(
+        # The shard's own engine: identical recursion (the fingerprint check
+        # pins the geometry) but this device's clock/bandwidth in the timing.
+        shard_engine = DistributionEngine(shard.device, config)
+        stats = shard_engine.run(
             shard_launcher, s_primary, s_primary_values, s_aux, s_aux_values,
             roots=roots,
         )
@@ -309,16 +470,26 @@ def _run_sharded_impl(pool: ShardPool, keys: np.ndarray,
         shard_values.append(
             None if s_primary_values is None else s_primary_values.to_host()
         )
+        group_elements = sum(c.size for c in group)
+        group_model_us = pool.predict_us(group_elements, key_bytes,
+                                         value_bytes, shard.device)
+        model_bookings.append((shard, group_model_us))
         shard_details.append({
             "shard_id": shard.shard_id,
-            "elements": sum(c.size for c in group),
+            "device": shard.device.name,
+            "elements": group_elements,
             "buckets": len(group),
             "predicted_us": shard_us,
+            "model_us": group_model_us,
             "kernel_launches": shard_slice.kernel_count,
         })
 
     # 4. K-way merge of the ordered, disjoint shard ranges.
     merge_shard_outputs(n, groups, shard_keys, shard_values, out_keys, out_values)
+    # Commit the cost-model bookings only now: a failure above rolled the
+    # streams back, and the model ledger must not double-book a retry.
+    for shard, group_model_us in model_bookings:
+        shard.model_us += group_model_us
     wall_s = time.perf_counter() - wall_start
 
     return {

@@ -420,3 +420,141 @@ class TestDrainFailureSafety:
         assert set(retried) == {request_id}
         assert retried[request_id].keys.tobytes() == \
             solo.sort(keys).keys.tobytes()
+
+
+class TestFrontEndRoutingCost:
+    """The front end as a single serialised server (routing_cost_us)."""
+
+    def test_default_zero_cost_leaves_the_timeline_unchanged(self):
+        stream = [(_keys(1200 + 200 * i, seed=200 + i), 15.0 * i)
+                  for i in range(5)]
+        baseline = SortCluster(_cluster_config())
+        explicit = SortCluster(_cluster_config(routing_cost_us=0.0))
+        timelines = []
+        for cluster in (baseline, explicit):
+            ids = [cluster.submit(keys, arrival_us=at) for keys, at in stream]
+            results = cluster.drain()
+            timelines.append([(results[i].dispatch_us,
+                               results[i].completion_us) for i in ids])
+        assert timelines[0] == timelines[1]
+        assert explicit.stats()["frontend"]["routing_us_total"] == 0.0
+
+    def test_positive_cost_serialises_simultaneous_arrivals(self):
+        """Requests ready at one instant leave the front end one routing
+        slot apart — the balancer itself becomes the queue."""
+        cost = 4.0
+        cluster = SortCluster(_cluster_config(num_replicas=2,
+                                              routing_cost_us=cost,
+                                              cache_capacity_bytes=0))
+        ids = [cluster.submit(_keys(1000, seed=210 + i), arrival_us=0.0)
+               for i in range(4)]
+        results = cluster.drain()
+        dispatches = sorted(results[i].dispatch_us for i in ids)
+        for rank, dispatch_us in enumerate(dispatches):
+            assert dispatch_us == pytest.approx(cost * (rank + 1))
+        frontend = cluster.stats()["frontend"]
+        assert frontend["routing_us_total"] == pytest.approx(cost * 4)
+        assert frontend["busy_until_us"] == pytest.approx(cost * 4)
+
+    def test_cache_hits_pay_the_routing_cost_too(self):
+        cost = 3.0
+        cluster = SortCluster(_cluster_config(routing_cost_us=cost))
+        keys = _keys(1500, seed=220)
+        cluster.submit(keys)
+        cluster.drain()
+        hit_id = cluster.submit(keys.copy(), arrival_us=100.0)
+        hit = cluster.drain()[hit_id]
+        assert hit.source == "cache"
+        # dispatch = routing done; completion adds the cache lookup
+        assert hit.dispatch_us >= 100.0 + cost
+        assert hit.completion_us == pytest.approx(
+            hit.dispatch_us + cluster.config.cache_lookup_us)
+
+    def test_byte_identity_survives_a_routing_cost(self):
+        solo = SampleSorter(config=SORTER_CONFIG)
+        cluster = SortCluster(_cluster_config(routing_cost_us=7.5))
+        inputs = {}
+        for i in range(4):
+            keys = _keys(1400, seed=230 + i)
+            inputs[cluster.submit(keys, arrival_us=5.0 * i)] = keys
+        results = cluster.drain()
+        for request_id, keys in inputs.items():
+            assert results[request_id].keys.tobytes() == \
+                solo.sort(keys).keys.tobytes()
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            _cluster_config(routing_cost_us=-1.0)
+
+
+class TestReplicaDevicePools:
+    """Per-replica device lists (heterogeneous clusters)."""
+
+    def test_replica_devices_build_distinct_pools(self):
+        from repro.gpu.device import GTX_285, TESLA_C1060
+
+        cluster = SortCluster(_cluster_config(
+            num_replicas=2,
+            replica_devices=((TESLA_C1060, TESLA_C1060),
+                             (GTX_285, GTX_285)),
+        ))
+        assert cluster.replicas[0].device_names == ["Tesla C1060"] * 2
+        assert cluster.replicas[1].device_names == ["Zotac GTX 285"] * 2
+        replicas = cluster.stats()["replicas"]
+        assert replicas[0]["devices"] == ["Tesla C1060"] * 2
+        assert replicas[1]["devices"] == ["Zotac GTX 285"] * 2
+
+    def test_replica_count_mismatch_rejected(self):
+        from repro.gpu.device import TESLA_C1060
+
+        with pytest.raises(ValueError):
+            _cluster_config(num_replicas=2,
+                            replica_devices=((TESLA_C1060,),))
+
+    def test_geometry_mismatch_across_replicas_rejected(self):
+        from repro.gpu.device import TESLA_C1060, TINY_TEST_DEVICE
+        from repro.gpu.errors import DeviceConfigError
+
+        with pytest.raises(DeviceConfigError):
+            SortCluster(_cluster_config(
+                num_replicas=2,
+                replica_devices=((TESLA_C1060,), (TINY_TEST_DEVICE,)),
+            ))
+
+    def test_wfq_charges_predicted_device_microseconds(self):
+        cluster = SortCluster(_cluster_config())
+        request_id = cluster.submit(_keys(2000, seed=240))
+        cluster.drain()
+        entry = cluster.stats()["tenants"]["default"]
+        expected = cluster.cost_model.predict_sort_us(
+            2000, 4, 0, cluster._reference_device, SORTER_CONFIG)
+        assert entry["dispatched_cost"] == pytest.approx(expected)
+        assert entry["dispatched_elements"] == 2000
+
+    def test_failed_dispatch_does_not_double_charge_routing(self):
+        """Regression: a mid-drain routing failure returns the request to
+        the backlog AND reverts its front-end charge, so the retry drain
+        charges each routed request exactly once."""
+        cost = 5.0
+        cluster = SortCluster(_cluster_config(num_replicas=1,
+                                              routing_cost_us=cost,
+                                              cache_capacity_bytes=0))
+        for i in range(3):
+            cluster.submit(_keys(1000, seed=260 + i), arrival_us=0.0)
+
+        original = cluster.balancer.dispatch
+        calls = {"n": 0}
+
+        def failing_dispatch(replicas, keys, values, arrival_us):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise RuntimeError("injected routing failure")
+            return original(replicas, keys, values, arrival_us)
+
+        cluster.balancer.dispatch = failing_dispatch
+        with pytest.raises(RuntimeError):
+            cluster.drain()
+        cluster.balancer.dispatch = original
+        cluster.drain()
+        frontend = cluster.stats()["frontend"]
+        assert frontend["routing_us_total"] == pytest.approx(cost * 3)

@@ -206,3 +206,90 @@ class TestTenantScheduler:
     def test_policies_constant_matches(self):
         assert set(POLICIES) == {"round_robin", "least_outstanding",
                                  "join_shortest_queue"}
+
+
+class TestDeviceAwareRouting:
+    def _replica(self, replica_id, devices):
+        config = ServiceConfig(
+            devices=devices, sorter=SORTER_CONFIG, queue_capacity=8,
+            max_request_elements=1 << 16, max_batch_requests=4,
+            max_batch_elements=1 << 14, max_wait_us=0.0,
+        )
+        return ServiceReplica(replica_id=replica_id, config=config)
+
+    def test_equal_backlogs_prefer_the_faster_pool(self):
+        """Two replicas holding identical backlogs: the GTX-285 pool quotes
+        the shorter predicted drain, so both drain-ranking policies prefer
+        it even though its replica id loses the tie-break."""
+        from repro.gpu.device import GTX_285, TESLA_C1060
+
+        slow = self._replica(0, (TESLA_C1060,))
+        fast = self._replica(1, (GTX_285,))
+        for replica in (slow, fast):
+            replica.submit(_keys(4000, seed=1))
+        assert fast.pending_predicted_us < slow.pending_predicted_us
+        for policy in ("least_outstanding", "join_shortest_queue"):
+            order = LoadBalancer(policy).preference_order([slow, fast])
+            assert order[0].replica_id == 1, policy
+
+    def test_identical_pools_fall_back_to_replica_id(self):
+        from repro.gpu.device import TESLA_C1060
+
+        replicas = [self._replica(i, (TESLA_C1060,)) for i in range(3)]
+        for replica in replicas:
+            replica.submit(_keys(1000, seed=2))
+        for policy in ("least_outstanding", "join_shortest_queue"):
+            order = LoadBalancer(policy).preference_order(replicas)
+            assert [r.replica_id for r in order] == [0, 1, 2], policy
+
+    def test_predicted_drain_beats_raw_elements(self):
+        """A GTX replica holding slightly MORE elements still wins when its
+        predicted drain is shorter — the device-aware part of the ranking."""
+        from repro.gpu.device import GTX_285, TESLA_C1060
+
+        slow = self._replica(0, (TESLA_C1060,))
+        fast = self._replica(1, (GTX_285,))
+        slow.submit(_keys(4000, seed=3))
+        fast.submit(_keys(4200, seed=4))
+        assert fast.pending_predicted_us < slow.pending_predicted_us
+        order = LoadBalancer("least_outstanding").preference_order(
+            [slow, fast])
+        assert order[0].replica_id == 1
+
+
+class TestTenantSchedulerCostCharging:
+    def test_cost_defaults_to_elements(self):
+        scheduler = TenantScheduler()
+        tag = scheduler.admit("t", 100)
+        scheduler.on_dispatch("t", tag, 100)
+        account = scheduler.stats()["tenants"]["t"]
+        assert account["cost"] == 100.0
+        assert account["dispatched_cost"] == 100.0
+
+    def test_explicit_cost_drives_the_virtual_clock(self):
+        """Equal weights, equal costs: requests alternate even when their
+        element counts are wildly different — microseconds, not elements,
+        are the currency."""
+        scheduler = TenantScheduler()
+        tags = {}
+        for i in range(3):
+            tags[("huge", i)] = scheduler.admit("huge", 100_000, cost=50.0)
+            tags[("tiny", i)] = scheduler.admit("tiny", 10, cost=50.0)
+        order = [name for (name, _) in
+                 sorted(tags, key=lambda k: tags[k].key)]
+        assert order == ["huge", "tiny", "huge", "tiny", "huge", "tiny"]
+
+    def test_cost_accounting_tracks_both_currencies(self):
+        scheduler = TenantScheduler()
+        tag = scheduler.admit("t", 5000, cost=123.5)
+        scheduler.on_dispatch("t", tag, 5000, cost=123.5)
+        account = scheduler.stats()["tenants"]["t"]
+        assert account["elements"] == 5000
+        assert account["cost"] == pytest.approx(123.5)
+        assert account["dispatched_elements"] == 5000
+        assert account["dispatched_cost"] == pytest.approx(123.5)
+
+    def test_negative_cost_rejected(self):
+        scheduler = TenantScheduler()
+        with pytest.raises(ValueError):
+            scheduler.admit("t", 100, cost=-1.0)

@@ -1,0 +1,110 @@
+"""Unit tests for the shared device-cost interface (DeviceCostModel)."""
+
+import pytest
+
+from repro.core.config import SampleSortConfig
+from repro.gpu.device import GTX_285, TESLA_C1060, TINY_TEST_DEVICE
+from repro.perfmodel import (
+    AnalyticCostModel,
+    DeviceCostModel,
+    assignment_weights,
+    pool_parallel_us,
+)
+
+
+class TestAnalyticCostModel:
+    def test_implements_the_protocol(self):
+        assert isinstance(AnalyticCostModel(), DeviceCostModel)
+
+    def test_prediction_is_positive_and_monotone_in_n(self):
+        model = AnalyticCostModel()
+        previous = 0.0
+        for n in (1 << 10, 1 << 14, 1 << 18, 1 << 22):
+            t = model.predict_sort_us(n, 4, 4, TESLA_C1060)
+            assert t > previous
+            previous = t
+
+    def test_zero_and_negative_n_cost_nothing(self):
+        model = AnalyticCostModel()
+        assert model.predict_sort_us(0, 4, 0, TESLA_C1060) == 0.0
+        assert model.predict_sort_us(-5, 4, 0, TESLA_C1060) == 0.0
+
+    def test_gtx285_beats_c1060_the_figure6_direction(self):
+        """The faster-memory part must predict faster sorts at every size."""
+        model = AnalyticCostModel()
+        for n in (1 << 12, 1 << 16, 1 << 20):
+            slow = model.predict_sort_us(n, 4, 4, TESLA_C1060)
+            fast = model.predict_sort_us(n, 4, 4, GTX_285)
+            assert fast < slow
+        # sample sort is compute-bound: the improvement stays moderate
+        # (the paper reports ~18 %, not the +70 % bandwidth delta)
+        big = 1 << 22
+        improvement = (model.predict_sort_us(big, 4, 4, TESLA_C1060)
+                       / model.predict_sort_us(big, 4, 4, GTX_285)) - 1.0
+        assert 0.05 < improvement < 0.5
+
+    def test_sorter_config_moves_the_prediction(self):
+        model = AnalyticCostModel()
+        base = model.predict_sort_us(1 << 16, 4, 0, TESLA_C1060,
+                                     SampleSortConfig.paper())
+        small_k = model.predict_sort_us(
+            1 << 16, 4, 0, TESLA_C1060,
+            SampleSortConfig.paper().with_(k=8, bucket_threshold=1 << 10),
+        )
+        assert small_k != base
+
+    def test_memoisation_is_stable(self):
+        model = AnalyticCostModel()
+        first = model.predict_sort_us(12345, 4, 4, TESLA_C1060)
+        assert model.predict_sort_us(12345, 4, 4, TESLA_C1060) == first
+
+    def test_throughput_is_rate(self):
+        model = AnalyticCostModel()
+        n = 1 << 18
+        t = model.predict_sort_us(n, 4, 0, TESLA_C1060)
+        assert model.throughput(n, 4, 0, TESLA_C1060) == pytest.approx(n / t)
+
+
+class TestPoolHelpers:
+    def test_homogeneous_weights_are_all_ones(self):
+        model = AnalyticCostModel()
+        weights = assignment_weights(model, 1 << 16, 4, 0,
+                                     [TESLA_C1060] * 4)
+        assert weights == pytest.approx([1.0] * 4)
+
+    def test_mixed_weights_favour_the_faster_device_and_normalise(self):
+        model = AnalyticCostModel()
+        weights = assignment_weights(model, 1 << 16, 4, 0,
+                                     [TESLA_C1060, GTX_285])
+        assert weights[1] > weights[0]
+        assert sum(weights) == pytest.approx(2.0)
+
+    def test_pool_parallel_time_beats_any_single_member(self):
+        model = AnalyticCostModel()
+        n = 1 << 18
+        solo_slow = model.predict_sort_us(n, 4, 0, TESLA_C1060)
+        solo_fast = model.predict_sort_us(n, 4, 0, GTX_285)
+        pooled = pool_parallel_us(model, n, 4, 0, [TESLA_C1060, GTX_285])
+        assert pooled < solo_fast < solo_slow
+        # homogeneous pool of k devices is exactly t / k under this model
+        assert pool_parallel_us(model, n, 4, 0, [TESLA_C1060] * 4) \
+            == pytest.approx(solo_slow / 4)
+
+    def test_degenerate_inputs(self):
+        model = AnalyticCostModel()
+        assert pool_parallel_us(model, 0, 4, 0, [TESLA_C1060]) == 0.0
+        assert pool_parallel_us(model, 100, 4, 0, []) == 0.0
+
+    def test_constant_model_substitutes_through_the_protocol(self):
+        class Constant:
+            def predict_sort_us(self, n, key_bytes, value_bytes, device,
+                                config=None):
+                return 10.0 if n > 0 else 0.0
+
+        assert isinstance(Constant(), DeviceCostModel)
+        weights = assignment_weights(Constant(), 1000, 4, 0,
+                                     [TESLA_C1060, TINY_TEST_DEVICE])
+        assert weights == pytest.approx([1.0, 1.0])
+        assert pool_parallel_us(Constant(), 1000, 4, 0,
+                                [TESLA_C1060, TINY_TEST_DEVICE]) \
+            == pytest.approx(5.0)

@@ -24,6 +24,7 @@ from repro.core.sample_sort import SampleSorter
 from repro.cluster import ClusterConfig, SortCluster, TenantSpec
 from repro.cluster.router import POLICIES
 from repro.datagen import make_input
+from repro.gpu.device import GTX_285, TESLA_C1060
 from repro.service import ServiceConfig
 
 SORTER_CONFIG = SampleSortConfig.small(seed=5)
@@ -32,6 +33,15 @@ TENANT_SHAPES = {
     "single": (),
     "weighted": (TenantSpec("alpha", weight=3.0, priority=0),
                  TenantSpec("beta", weight=1.0, priority=1)),
+}
+
+#: The device-pool axis: replicas over homogeneous, shard-mixed and
+#: replica-split C1060/GTX-285 pools. Routing and device speed may move
+#: *where* work runs and *when* it finishes — never the bytes.
+DEVICE_POOLS = {
+    "homogeneous": None,
+    "mixed_shards": ((TESLA_C1060, GTX_285), (GTX_285, TESLA_C1060)),
+    "split_replicas": ((TESLA_C1060, TESLA_C1060), (GTX_285, GTX_285)),
 }
 
 
@@ -107,6 +117,56 @@ def test_cluster_results_equal_solo_sort(policy, cache_bytes, tenant_shape):
     else:
         assert counts["cache_hits"] == 0
         assert counts["coalesced_hits"] == 0
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@pytest.mark.parametrize("device_pool", sorted(DEVICE_POOLS))
+def test_device_pools_are_invisible_in_the_bytes(device_pool, policy):
+    """The device axis of the acceptance property: mixed C1060/GTX-285
+    pools — inside one replica or split across replicas — plus device-aware
+    WFQ charging must leave every result byte-identical to the solo sort."""
+    cluster = SortCluster(ClusterConfig(
+        num_replicas=2,
+        policy=policy,
+        cache_capacity_bytes=16 << 20,
+        tenants=TENANT_SHAPES["weighted"],
+        replica_devices=DEVICE_POOLS[device_pool],
+        service=ServiceConfig(
+            num_shards=2, sorter=SORTER_CONFIG, queue_capacity=16,
+            max_request_elements=1 << 16, max_batch_requests=4,
+            max_batch_elements=1 << 14, max_wait_us=100.0,
+            shard_threshold=5000,
+        ),
+    ))
+    stream = _stream(f"devices/{device_pool}/{policy}")
+    ids = {}
+    for keys, values, arrival_us, tenant in stream:
+        request_id = cluster.submit(keys, values, arrival_us=arrival_us,
+                                    tenant=tenant)
+        ids[request_id] = (keys, values)
+    results = cluster.drain()
+
+    solo = SampleSorter(config=SORTER_CONFIG)
+    assert len(results) == len(stream)
+    for request_id, (keys, values) in ids.items():
+        expected = solo.sort(keys, values)
+        got = results[request_id]
+        assert got.keys.tobytes() == expected.keys.tobytes(), \
+            (device_pool, policy, request_id)
+        assert got.values.tobytes() == expected.values.tobytes(), \
+            (device_pool, policy, request_id)
+
+    stats = cluster.stats()
+    counts = stats["counts"]
+    assert counts["completed"] == (counts["replica_served"]
+                                   + counts["cache_hits"]
+                                   + counts["coalesced_hits"])
+    # WFQ charged predicted device microseconds for every dispatched request
+    for entry in stats["tenants"].values():
+        assert entry["dispatched_cost"] > 0
+    if device_pool == "split_replicas":
+        devices = {tuple(r["devices"]) for r in stats["replicas"]}
+        assert devices == {("Tesla C1060",) * 2, ("Zotac GTX 285",) * 2}
 
 
 def test_cache_hit_across_drains_equals_cold_run_for_every_dtype():

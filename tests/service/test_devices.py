@@ -1,0 +1,231 @@
+"""Heterogeneous device pools: construction, scheduling and byte identity.
+
+The device axis of the serving layer: mixed C1060/GTX-285 pools must be
+(a) constructible only when the devices are functionally interchangeable,
+(b) scheduled by predicted completion time with deterministic tie-breaking,
+(c) split proportionally to predicted throughput for sharded requests, and
+(d) byte-identical to the solo sorter on every serving path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SampleSortConfig
+from repro.core.engine import SegmentDescriptor
+from repro.core.sample_sort import SampleSorter
+from repro.gpu.device import GTX_285, TESLA_C1060, TINY_TEST_DEVICE
+from repro.gpu.errors import DeviceConfigError
+from repro.service import ServiceConfig, SortService
+from repro.service.shards import ShardPool, plan_shard_assignment
+
+SORTER_CONFIG = SampleSortConfig.small(seed=5)
+
+
+def _children(sizes):
+    descriptors = []
+    start = 0
+    for size in sizes:
+        descriptors.append(SegmentDescriptor(start=start, size=size,
+                                             buffer="aux", depth=1))
+        start += size
+    return descriptors
+
+
+class TestPoolConstruction:
+    def test_devices_list_builds_a_mixed_pool(self):
+        pool = ShardPool(devices=[TESLA_C1060, GTX_285],
+                         config=SORTER_CONFIG)
+        assert len(pool) == 2
+        assert pool.heterogeneous
+        assert [s.device.name for s in pool.shards] == \
+            ["Tesla C1060", "Zotac GTX 285"]
+        # the first device coordinates (scatter passes, admission decisions)
+        assert pool.device is TESLA_C1060
+
+    def test_homogeneous_construction_is_unchanged(self):
+        pool = ShardPool(3, TESLA_C1060, SORTER_CONFIG)
+        assert len(pool) == 3
+        assert not pool.heterogeneous
+        assert pool.devices == (TESLA_C1060,) * 3
+
+    def test_num_shards_contradicting_devices_rejected(self):
+        with pytest.raises(ValueError):
+            ShardPool(3, devices=[TESLA_C1060, GTX_285])
+
+    def test_neither_num_shards_nor_devices_rejected(self):
+        with pytest.raises(ValueError):
+            ShardPool()
+        with pytest.raises(ValueError):
+            ShardPool(devices=[])
+
+    def test_mixed_functional_geometry_rejected(self):
+        """Devices whose geometry could change output bytes cannot share a
+        pool — the byte-identity guarantee would silently break."""
+        with pytest.raises(DeviceConfigError):
+            ShardPool(devices=[TESLA_C1060, TINY_TEST_DEVICE])
+
+    def test_c1060_and_gtx285_share_a_fingerprint(self):
+        """The paper's pair differs only in clock/bandwidth/capacity — the
+        precondition for mixing them."""
+        assert TESLA_C1060.functional_fingerprint == \
+            GTX_285.functional_fingerprint
+        assert TESLA_C1060.functional_fingerprint != \
+            TINY_TEST_DEVICE.functional_fingerprint
+
+    def test_service_config_devices_take_precedence(self):
+        config = ServiceConfig(devices=(TESLA_C1060, GTX_285, GTX_285),
+                               sorter=SORTER_CONFIG)
+        assert config.effective_num_shards == 3
+        assert config.shard_devices == (TESLA_C1060, GTX_285, GTX_285)
+        service = SortService(config)
+        assert [s.device.name for s in service.pool.shards] == \
+            ["Tesla C1060", "Zotac GTX 285", "Zotac GTX 285"]
+
+
+class TestLeastLoadedRanking:
+    def test_tie_break_is_stable_shard_id_order(self):
+        """Regression: equal predicted completion must resolve to the lowest
+        shard id, every time — heterogeneous ranking must not introduce
+        order-dependent flakiness."""
+        pool = ShardPool(4, TESLA_C1060, SORTER_CONFIG)
+        for _ in range(5):
+            assert pool.least_loaded(0.0).shard_id == 0
+            assert pool.least_loaded(0.0, elements=1000).shard_id == 0
+        # load shard 0: the next pick must move to shard 1, deterministically
+        pool.shards[0].stream.enqueue(100.0, 0.0)
+        for _ in range(5):
+            assert pool.least_loaded(0.0, elements=1000).shard_id == 1
+
+    def test_constant_cost_model_degrades_to_availability_order(self):
+        class Constant:
+            def predict_sort_us(self, n, key_bytes, value_bytes, device,
+                                config=None):
+                return 10.0 if n > 0 else 0.0
+
+        pool = ShardPool(devices=[TESLA_C1060, GTX_285],
+                         config=SORTER_CONFIG, cost_model=Constant())
+        assert pool.least_loaded(0.0, elements=500).shard_id == 0
+        pool.shards[0].stream.enqueue(50.0, 0.0)
+        assert pool.least_loaded(0.0, elements=500).shard_id == 1
+
+    def test_free_faster_device_wins_over_free_slower_device(self):
+        pool = ShardPool(devices=[TESLA_C1060, GTX_285],
+                         config=SORTER_CONFIG)
+        # both idle: predicted completion is lower on the GTX 285 even
+        # though its shard id loses the tie-break
+        assert pool.least_loaded(0.0, elements=4000).shard_id == 1
+
+    def test_busy_fast_device_loses_to_idle_slow_device(self):
+        pool = ShardPool(devices=[TESLA_C1060, GTX_285],
+                         config=SORTER_CONFIG)
+        # give the pool history so the model's scale is calibrated, then
+        # park a long operation on the GTX shard
+        pool.shards[0].model_us += 100.0
+        pool.shards[0].stream.enqueue(100.0, 0.0)
+        pool.shards[1].model_us += 90.0
+        pool.shards[1].stream.enqueue(90.0, 0.0)
+        pool.shards[1].stream.enqueue(500.0, 0.0)
+        assert pool.least_loaded(200.0, elements=4000).shard_id == 0
+
+    def test_model_calibration_defaults_to_one(self):
+        pool = ShardPool(2, TESLA_C1060, SORTER_CONFIG)
+        assert pool.model_calibration() == 1.0
+
+
+class TestWeightedAssignment:
+    def test_none_weights_match_equal_weights(self):
+        children = _children([300, 500, 200, 400, 350, 250, 450, 300])
+        assert plan_shard_assignment(children, 3) == \
+            plan_shard_assignment(children, 3, [1.0, 1.0, 1.0])
+
+    def test_skewed_weights_move_the_cut(self):
+        children = _children([100] * 12)  # 1200 elements in even buckets
+        groups = plan_shard_assignment(children, 2, [3.0, 1.0])
+        sizes = [sum(c.size for c in g) for g in groups]
+        assert sizes == [900, 300]
+        even = plan_shard_assignment(children, 2)
+        assert [sum(c.size for c in g) for g in even] == [600, 600]
+
+    def test_weighted_groups_stay_contiguous_and_cover_everything(self):
+        rng = np.random.default_rng(9)
+        children = _children([int(rng.integers(50, 600)) for _ in range(20)])
+        groups = plan_shard_assignment(children, 4, [1.0, 2.5, 0.5, 1.5])
+        flattened = [c for group in groups for c in group]
+        assert flattened == children
+
+    def test_invalid_weights_rejected(self):
+        children = _children([100, 100])
+        with pytest.raises(ValueError):
+            plan_shard_assignment(children, 2, [1.0])
+        with pytest.raises(ValueError):
+            plan_shard_assignment(children, 2, [1.0, 0.0])
+
+
+class TestMixedPoolByteIdentity:
+    def _stream(self):
+        rng = np.random.default_rng(33)
+        stream = []
+        now = 0.0
+        for i in range(5):
+            n = 1400 + 600 * i
+            keys = rng.integers(0, n // 3, n).astype(np.uint32)
+            values = rng.permutation(n).astype(np.uint32)
+            stream.append((keys, values, now))
+            now += 30.0
+        big = 11_000
+        stream.append((rng.integers(0, big // 3, big).astype(np.uint32),
+                       rng.permutation(big).astype(np.uint32), now))
+        return stream
+
+    @pytest.mark.parametrize("devices", [
+        (TESLA_C1060, GTX_285),
+        (GTX_285, TESLA_C1060, GTX_285),
+        (GTX_285, GTX_285),
+    ], ids=["mixed-2", "mixed-3", "gtx-2"])
+    def test_service_over_any_pool_matches_solo_sort(self, devices):
+        service = SortService(ServiceConfig(
+            devices=devices, sorter=SORTER_CONFIG, queue_capacity=16,
+            max_request_elements=1 << 16, max_batch_requests=4,
+            max_batch_elements=1 << 14, max_wait_us=50.0,
+            shard_threshold=5000,
+        ))
+        solo = SampleSorter(config=SORTER_CONFIG)
+        ids = {}
+        for keys, values, arrival_us in self._stream():
+            ids[service.submit(keys, values, arrival_us=arrival_us)] = \
+                (keys, values)
+        results = service.drain()
+        for request_id, (keys, values) in ids.items():
+            expected = solo.sort(keys, values)
+            assert results[request_id].keys.tobytes() == \
+                expected.keys.tobytes(), devices
+            assert results[request_id].values.tobytes() == \
+                expected.values.tobytes(), devices
+        stats = service.stats()
+        assert stats["counts"]["sharded_requests"] == 1
+        assert stats["devices"] == [d.name for d in devices]
+        # every shard that served work has a model-vs-simulated reading
+        for shard in stats["shards"]:
+            if shard["stream_time_us"] > 0:
+                assert shard["model_us"] > 0
+                assert shard["model_ratio"] > 0
+
+    def test_sharded_split_is_throughput_weighted(self):
+        """On a mixed pool the oversized request's shard details carry the
+        device names, and the GTX shard gets at least as many elements."""
+        service = SortService(ServiceConfig(
+            devices=(TESLA_C1060, GTX_285), sorter=SORTER_CONFIG,
+            queue_capacity=4, max_request_elements=1 << 16,
+            max_batch_requests=4, max_batch_elements=1 << 14,
+            max_wait_us=0.0, shard_threshold=5000,
+        ))
+        rng = np.random.default_rng(7)
+        n = 12_000
+        keys = rng.integers(0, n // 4, n).astype(np.uint32)
+        request_id = service.submit(keys)
+        result = service.drain()[request_id]
+        assert result.sharded
+        expected = SampleSorter(config=SORTER_CONFIG).sort(keys)
+        assert result.keys.tobytes() == expected.keys.tobytes()
+        weights = service.pool.assignment_weights(n, 4, 0)
+        assert weights[1] > weights[0]
