@@ -28,7 +28,7 @@ from repro.core.config import SampleSortConfig
 from repro.core.sample_sort import SampleSorter
 from repro.datagen import make_input
 from repro.gpu.device import TESLA_C1060
-from repro.harness.report import format_launch_summary
+from repro.harness.report import format_launch_summary, format_utilization
 
 N = 1 << 17
 #: k=8 / M=256 drives a 3-level recursion with hundreds of segments — the
@@ -60,8 +60,12 @@ def _archive(entry_name: str, record: dict) -> None:
 
 
 def _run_mode(mode, workload):
+    # launch_mode is pinned to the barriered ablation here: this benchmark
+    # measures the *serialized* launch structure (O(levels) vs O(segments));
+    # slot packing has its own benchmark below.
     sorter = SampleSorter(
-        device=TESLA_C1060, config=BASE_CONFIG.with_(execution_mode=mode)
+        device=TESLA_C1060,
+        config=BASE_CONFIG.with_(execution_mode=mode, launch_mode="barriered"),
     )
     start = time.perf_counter()
     result = sorter.sort(workload.keys.copy(), workload.values.copy())
@@ -208,6 +212,86 @@ def test_bench_engine_kernel_modes(benchmark):
         f"wall speedup: {record['wall_speedup']}x, byte-identical output, "
         f"identical launches and predictions "
         f"(archived in {RESULT_PATH.name})",
+    )
+
+
+def test_bench_engine_launch_modes(benchmark):
+    """Slot-packed pipelining vs the barriered launch ablation at n = 2^17.
+
+    The contract: byte-identical output, and the pipelined engine's simulated
+    makespan beats the barriered ablation's by at least 15% on the deep
+    k=8 / M=256 recursion (the acceptance bar for the launch scheduler).
+    """
+    workload = make_input("uniform", N, "uint32", with_values=True, seed=21)
+
+    def run_mode(launch_mode):
+        sorter = SampleSorter(
+            device=TESLA_C1060,
+            config=BASE_CONFIG.with_(launch_mode=launch_mode),
+        )
+        start = time.perf_counter()
+        result = sorter.sort(workload.keys.copy(), workload.values.copy())
+        return result, time.perf_counter() - start
+
+    outcome = benchmark.pedantic(
+        lambda: {mode: run_mode(mode) for mode in ("barriered", "pipelined")},
+        rounds=1, iterations=1,
+    )
+    barriered, barriered_wall = outcome["barriered"]
+    pipelined, pipelined_wall = outcome["pipelined"]
+
+    # packing order never changes bytes
+    assert pipelined.keys.tobytes() == barriered.keys.tobytes()
+    assert pipelined.values.tobytes() == barriered.values.tobytes()
+    assert np.array_equal(pipelined.keys, np.sort(workload.keys))
+
+    # the acceptance bar: >= 15% simulated-makespan win from slot packing
+    barriered_makespan = barriered.stats["makespan_us"]
+    pipelined_makespan = pipelined.stats["makespan_us"]
+    assert barriered_makespan == barriered.stats["predicted_us"]
+    assert pipelined.stats["launch_slots"] == \
+        TESLA_C1060.concurrent_launch_slots
+    assert pipelined_makespan <= 0.85 * barriered_makespan
+    assert pipelined.stats["critical_path_us"] <= pipelined_makespan
+
+    record = {
+        "benchmark": "engine_launch_modes",
+        "n": N,
+        "key_type": "uint32+values",
+        "distribution": "uniform",
+        "config": {"k": BASE_CONFIG.k,
+                   "bucket_threshold": BASE_CONFIG.bucket_threshold,
+                   "oversampling": BASE_CONFIG.oversampling,
+                   "seed": BASE_CONFIG.seed},
+        "launch_slots": TESLA_C1060.concurrent_launch_slots,
+        "identical_outputs": True,
+        "modes": {
+            mode: {
+                "wall_s": round(wall, 4),
+                "makespan_us": round(result.stats["makespan_us"], 1),
+                "serialized_us": round(result.stats["predicted_us"], 1),
+                "critical_path_us": round(result.stats["critical_path_us"], 1),
+                "kernel_launches": result.stats["kernel_launches"],
+            }
+            for mode, (result, wall) in outcome.items()
+        },
+        "makespan_speedup": round(barriered_makespan / pipelined_makespan, 3),
+        "makespan_reduction_pct": round(
+            (1 - pipelined_makespan / barriered_makespan) * 100, 1),
+    }
+    _archive("engine_launch_modes", record)
+
+    print_block(
+        "Engine ablation: pipelined slot packing vs barriered launches",
+        f"barriered: {barriered_makespan:9.1f} us makespan "
+        f"(= serialized), {barriered.stats['kernel_launches']} launches\n"
+        f"pipelined: {pipelined_makespan:9.1f} us makespan, "
+        f"{pipelined.stats['kernel_launches']} launches over "
+        f"{pipelined.stats['launch_slots']} slots, critical path "
+        f"{pipelined.stats['critical_path_us']:9.1f} us\n"
+        f"makespan reduction: {record['makespan_reduction_pct']}% "
+        f"(archived in {RESULT_PATH.name})\n\n"
+        + format_utilization(pipelined.stats["utilization"]),
     )
 
 

@@ -70,6 +70,20 @@ def _service(num_shards):
 _STREAM = _request_stream()
 
 
+def _archive(entry_name: str, record: dict) -> None:
+    """Merge one benchmark's record into the shared BENCH_service.json."""
+    merged = {}
+    if RESULT_PATH.exists():
+        try:
+            existing = json.loads(RESULT_PATH.read_text())
+            if isinstance(existing, dict) and "benchmark" not in existing:
+                merged = existing
+        except json.JSONDecodeError:
+            pass
+    merged[entry_name] = record
+    RESULT_PATH.write_text(json.dumps(merged, indent=2) + "\n")
+
+
 def test_bench_service_shard_scaling(benchmark):
     solo = SampleSorter(config=SORTER_CONFIG)
     expected = {i: solo.sort(keys, values)
@@ -138,7 +152,7 @@ def test_bench_service_shard_scaling(benchmark):
                  for s in SHARD_COUNTS}
     assert makespans[4] <= makespans[1] * 1.001
 
-    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    _archive("service_shard_scaling", record)
     summary = "\n".join(
         f"{s} shard(s): {c['throughput_elements_per_us']:>7.2f} elem/us, "
         f"p50 {c['latency_p50_us']:>8.1f} us, p95 {c['latency_p95_us']:>8.1f} us, "
@@ -149,4 +163,92 @@ def test_bench_service_shard_scaling(benchmark):
     print_block(
         "Sort service: shard scaling on one open-loop request stream",
         summary + f"\n(archived in {RESULT_PATH.name})\n\n" + "\n\n".join(blocks),
+    )
+
+
+def test_bench_service_launch_modes(benchmark):
+    """Pipelined (no pool barrier, slot-packed streams) vs barriered serving.
+
+    Same request stream, same 4-shard pool, only ``launch_mode`` differs.
+    The contract: byte-identical responses and a strictly smaller service
+    makespan — launches pack into stream slots inside every dispatch, and an
+    oversized request's scatter no longer waits for the whole pool to
+    quiesce.
+    """
+    def run():
+        outcome = {}
+        for launch_mode in ("barriered", "pipelined"):
+            service = SortService(ServiceConfig(
+                num_shards=4,
+                sorter=SORTER_CONFIG.with_(launch_mode=launch_mode),
+                queue_capacity=2 * len(_STREAM) + 2,
+                max_request_elements=4 * OVERSIZED_N,
+                max_batch_requests=8,
+                max_batch_elements=4 * REQUEST_N,
+                max_wait_us=120.0,
+                shard_threshold=2 * REQUEST_N,
+            ))
+            ids = {}
+            for i, (keys, values, arrival_us) in enumerate(_STREAM):
+                ids[service.submit(keys, values, arrival_us=arrival_us)] = i
+            wall_start = time.perf_counter()
+            results = service.drain()
+            wall_s = time.perf_counter() - wall_start
+            outcome[launch_mode] = (service, results, ids, wall_s)
+        return outcome
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    _, p_results, ids, _ = outcome["pipelined"]
+    _, b_results, b_ids, _ = outcome["barriered"]
+    assert ids == b_ids
+    for request_id in ids:
+        assert p_results[request_id].keys.tobytes() == \
+            b_results[request_id].keys.tobytes()
+        assert p_results[request_id].values.tobytes() == \
+            b_results[request_id].values.tobytes()
+
+    record = {
+        "benchmark": "service_launch_modes",
+        "requests": len(_STREAM),
+        "request_n": REQUEST_N,
+        "oversized_n": OVERSIZED_N,
+        "num_shards": 4,
+        "tiny": TINY,
+        "identical_outputs": True,
+        "modes": {},
+    }
+    for launch_mode, (service, _, _, wall_s) in outcome.items():
+        stats = service.stats()
+        entry = {
+            "wall_s": round(wall_s, 4),
+            "makespan_us": round(stats["throughput"]["makespan_us"], 1),
+            "throughput_elements_per_us": round(
+                stats["throughput"]["elements_per_us"], 3),
+            "latency_p50_us": round(stats["latency_us"]["p50"], 1),
+            "latency_p95_us": round(stats["latency_us"]["p95"], 1),
+            "sharded_requests": stats["counts"]["sharded_requests"],
+        }
+        util = stats.get("utilization")
+        if util:
+            entry["launch_slots"] = util["num_slots"]
+            entry["slot_speedup"] = round(util["speedup"], 3)
+        record["modes"][launch_mode] = entry
+
+    p_makespan = record["modes"]["pipelined"]["makespan_us"]
+    b_makespan = record["modes"]["barriered"]["makespan_us"]
+    assert p_makespan < b_makespan
+    record["makespan_reduction_pct"] = round(
+        (1 - p_makespan / b_makespan) * 100, 1)
+    _archive("service_launch_modes", record)
+
+    p_stats = outcome["pipelined"][0].stats()
+    print_block(
+        "Sort service: pipelined vs barriered launch scheduling (4 shards)",
+        f"barriered: {b_makespan:9.1f} us makespan, "
+        f"p95 {record['modes']['barriered']['latency_p95_us']:.1f} us\n"
+        f"pipelined: {p_makespan:9.1f} us makespan, "
+        f"p95 {record['modes']['pipelined']['latency_p95_us']:.1f} us\n"
+        f"makespan reduction: {record['makespan_reduction_pct']}% "
+        f"(archived in {RESULT_PATH.name})\n\n"
+        + format_service_report(p_stats, title="--- pipelined (default) ---"),
     )

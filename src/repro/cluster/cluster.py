@@ -38,6 +38,7 @@ from typing import Optional
 import numpy as np
 
 from ..core.config import SampleSortConfig
+from ..core.launch_plan import merge_utilization
 from ..gpu.device import DeviceSpec
 from ..gpu.errors import DeviceConfigError, GpuSimError
 from ..service.queue import (
@@ -568,6 +569,13 @@ class SortCluster:
                               if makespan_us > 0 else 0.0),
             })
         snapshot["replicas"] = replicas
+        replica_utils = [s.get("utilization") for s in replica_stats]
+        replica_utils = [u for u in replica_utils if u]
+        if replica_utils:
+            # Replicas are distinct devices, so their slots genuinely add up
+            # (the default merge); busy/idle/saturated slot-cycles and the
+            # per-phase tables sum across the whole fleet.
+            snapshot["utilization"] = merge_utilization(replica_utils)
         return snapshot
 
 

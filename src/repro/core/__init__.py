@@ -14,6 +14,15 @@ from .base import GpuSorter, SortResult
 from .bucket_sorter import BucketTask, quicksort_in_block, run_bucket_sort
 from .config import SampleSortConfig
 from .engine import DistributionEngine, SegmentDescriptor
+from .launch_plan import (
+    BufferInterval,
+    LaunchOp,
+    LaunchPlan,
+    LaunchScheduler,
+    ScheduleResult,
+    SlotRecord,
+    merge_utilization,
+)
 from .cpu_reference import (
     SerialSortStats,
     expected_distribution_levels,
@@ -33,6 +42,13 @@ __all__ = [
     "SampleSortConfig",
     "DistributionEngine",
     "SegmentDescriptor",
+    "BufferInterval",
+    "LaunchOp",
+    "LaunchPlan",
+    "LaunchScheduler",
+    "ScheduleResult",
+    "SlotRecord",
+    "merge_utilization",
     "SerialSortStats",
     "expected_distribution_levels",
     "serial_sample_sort",

@@ -283,17 +283,143 @@ def _bucket_sort_kernel_vec(
             stats_out.get("sorted_buckets", 0) + int(np.count_nonzero(network))
         )
 
-    # ---- oversized buckets: the scalar quicksort route, block by block.
-    for block_id in np.flatnonzero(oversized):
-        block_ctx = BlockContext(
-            device=ctx.device, gmem=ctx.gmem, launch=ctx.launch,
-            block_id=int(block_id), counters=ctx.counters,
-            problem_size=ctx.problem_size,
+    # ---- oversized buckets: quicksort with frontier-batched partition passes.
+    if oversized.any():
+        bulk_copy(oversized)
+        _quicksort_frontier(
+            ctx, primary_keys, primary_values, starts, sizes,
+            np.flatnonzero(oversized), config, stats_out,
         )
-        _bucket_sort_kernel(
-            block_ctx, primary_keys, primary_values, aux_keys, aux_values,
-            starts, sizes, from_aux, constant_flags, config, stats_out,
-        )
+
+
+def _quicksort_frontier(
+    ctx: VectorContext,
+    dst_keys: DeviceArray,
+    dst_values: Optional[DeviceArray],
+    starts: np.ndarray,
+    sizes: np.ndarray,
+    block_ids: np.ndarray,
+    config: SampleSortConfig,
+    stats_out: dict,
+) -> None:
+    """In-block quicksort over all oversized buckets, one wave per depth.
+
+    Instead of recursing bucket by bucket, all buckets' same-depth
+    subsequences form one frontier *wave*: each wave issues a single batched
+    read, partitions every oversized subsequence, writes every partition back
+    in one batched write, and finishes every shared-memory-sized subsequence
+    with one stacked network sort. Charges and per-block statistics replicate
+    :func:`quicksort_in_block` exactly — the recursion tree is data-dependent
+    but identical, only the grouping of the memory traffic changes.
+    """
+    threshold = config.shared_sort_threshold
+    wave = [(int(b), int(starts[b]), int(sizes[b])) for b in block_ids]
+    block_max_depth = {int(b): 0 for b in block_ids}
+    partition_passes = 0
+    network_sorts = 0
+    depth = 0
+    while wave:
+        # The scalar loop updates the depth watermark for every popped entry,
+        # before discarding trivial (<= 1 element) subsequences.
+        for block, _, _ in wave:
+            block_max_depth[block] = max(block_max_depth[block], depth)
+        live = [entry for entry in wave if entry[2] > 1]
+        small = [entry for entry in live if entry[2] <= threshold]
+        large = [entry for entry in live if entry[2] > threshold]
+
+        if small:
+            rows_starts = np.array([s for _, s, _ in small], dtype=np.int64)
+            rows_lengths = np.array([z for _, _, z in small], dtype=np.int64)
+            key_rows = np.split(
+                ctx.read_ranges(dst_keys, rows_starts, rows_lengths),
+                np.cumsum(rows_lengths)[:-1],
+            )
+            value_rows = None
+            if dst_values is not None:
+                value_rows = np.split(
+                    ctx.read_ranges(dst_values, rows_starts, rows_lengths),
+                    np.cumsum(rows_lengths)[:-1],
+                )
+            record_bytes = dst_keys.itemsize + (
+                dst_values.itemsize if dst_values is not None else 0
+            )
+            ctx.counters.shared_bytes_accessed += (
+                int(rows_lengths.sum()) * record_bytes
+            )
+            sorted_keys, sorted_values = network_sort_rows(
+                key_rows, value_rows, counters=ctx.counters
+            )
+            ctx.write_ranges(dst_keys, rows_starts,
+                             np.concatenate(sorted_keys), rows_lengths)
+            if dst_values is not None:
+                ctx.write_ranges(dst_values, rows_starts,
+                                 np.concatenate(sorted_values), rows_lengths)
+            network_sorts += len(small)
+
+        next_wave: list[tuple[int, int, int]] = []
+        if large:
+            rows_starts = np.array([s for _, s, _ in large], dtype=np.int64)
+            rows_lengths = np.array([z for _, _, z in large], dtype=np.int64)
+            key_rows = np.split(
+                ctx.read_ranges(dst_keys, rows_starts, rows_lengths),
+                np.cumsum(rows_lengths)[:-1],
+            )
+            value_rows = [None] * len(large)
+            if dst_values is not None:
+                value_rows = np.split(
+                    ctx.read_ranges(dst_values, rows_starts, rows_lengths),
+                    np.cumsum(rows_lengths)[:-1],
+                )
+            ctx.charge_per_element_rows(rows_lengths, 2.0)  # min/max reduction
+            part_starts: list[int] = []
+            part_lengths: list[int] = []
+            part_keys: list[np.ndarray] = []
+            part_values: list[np.ndarray] = []
+            for (block, seg_start, seg_size), keys, vals in zip(
+                    large, key_rows, value_rows):
+                lo = keys.min()
+                hi = keys.max()
+                if lo == hi:
+                    # Constant subsequence: already sorted, write-back not needed.
+                    continue
+                pivot = _midpoint_pivot(lo, hi, keys.dtype)
+                mask = keys <= pivot
+                left_keys = keys[mask]
+                right_keys = keys[~mask]
+                part_starts.append(seg_start)
+                part_lengths.append(seg_size)
+                part_keys.append(np.concatenate([left_keys, right_keys]))
+                if vals is not None:
+                    part_values.append(np.concatenate([vals[mask], vals[~mask]]))
+                partition_passes += 1
+                left_size = int(left_keys.size)
+                next_wave.append((block, seg_start, left_size))
+                next_wave.append((block, seg_start + left_size,
+                                  seg_size - left_size))
+            if part_starts:
+                lengths = np.array(part_lengths, dtype=np.int64)
+                ctx.charge_per_element_rows(lengths, 4.0)  # compare + offsets
+                starts_arr = np.array(part_starts, dtype=np.int64)
+                ctx.write_ranges(dst_keys, starts_arr,
+                                 np.concatenate(part_keys), lengths)
+                if dst_values is not None:
+                    ctx.write_ranges(dst_values, starts_arr,
+                                     np.concatenate(part_values), lengths)
+        wave = next_wave
+        depth += 1
+
+    stats_out["partition_passes"] = (
+        stats_out.get("partition_passes", 0) + partition_passes
+    )
+    stats_out["network_sorts"] = stats_out.get("network_sorts", 0) + network_sorts
+    # The scalar kernel accumulates each block's own max depth into the shared
+    # stats dict; summing the per-block watermarks matches that exactly.
+    stats_out["quicksort_max_depth"] = (
+        stats_out.get("quicksort_max_depth", 0) + sum(block_max_depth.values())
+    )
+    stats_out["sorted_buckets"] = (
+        stats_out.get("sorted_buckets", 0) + len(block_ids)
+    )
 
 
 def run_bucket_sort(

@@ -34,6 +34,11 @@ from ..gpu.errors import LaunchConfigError, SharedMemoryError
 #: without touching any call site.
 DEFAULT_KERNEL_MODE = os.environ.get("REPRO_KERNEL_MODE", "vectorized")
 
+#: Default launch-scheduling strategy. ``REPRO_LAUNCH_MODE`` lets the CI
+#: ablation matrix run the whole suite under the barriered (one-slot,
+#: program-order) schedule without touching any call site.
+DEFAULT_LAUNCH_MODE = os.environ.get("REPRO_LAUNCH_MODE", "pipelined")
+
 
 @dataclass(frozen=True)
 class SampleSortConfig:
@@ -80,6 +85,19 @@ class SampleSortConfig:
     #: are byte-identical in output and identical in every counter, launch
     #: count and predicted time — only host wall time differs.
     kernel_mode: str = DEFAULT_KERNEL_MODE
+    #: How pending launches are packed onto the device's concurrent stream
+    #: slots: ``"pipelined"`` (default) splits each level into independent
+    #: cohorts, sorts finished leaves while deeper levels distribute, and
+    #: packs every launch whose dependencies have retired into
+    #: :attr:`~repro.gpu.device.DeviceSpec.concurrent_launch_slots` slots;
+    #: ``"barriered"`` serialises everything on one slot in program order
+    #: (the ablation). Output bytes are identical — the mode only moves the
+    #: simulated makespan and the launch structure.
+    launch_mode: str = DEFAULT_LAUNCH_MODE
+    #: Seed for randomising the launch scheduler's ready-queue tie-breaks
+    #: (None = deterministic FIFO order). Any seed yields a legal packing;
+    #: the property suite sweeps this to prove bytes never depend on it.
+    launch_tie_break: int | None = None
     #: Seed for splitter sampling (None = nondeterministic).
     seed: int | None = 0
 
@@ -114,6 +132,11 @@ class SampleSortConfig:
             raise ValueError(
                 f"kernel_mode must be 'per_block' or 'vectorized', "
                 f"got {self.kernel_mode!r}"
+            )
+        if self.launch_mode not in ("pipelined", "barriered"):
+            raise ValueError(
+                f"launch_mode must be 'pipelined' or 'barriered', "
+                f"got {self.launch_mode!r}"
             )
 
     # --------------------------------------------------------------- derived

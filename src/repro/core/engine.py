@@ -37,10 +37,12 @@ from ..gpu.memory import DeviceArray
 from ..gpu.scheduler import chip_utilisation, per_segment_utilisation
 from .bucket_sorter import BucketTask, run_bucket_sort
 from .config import SampleSortConfig
-from .histogram_kernel import run_phase2, run_phase2_batched
-from .prefix_kernel import run_phase3, run_phase3_batched
-from .scatter_kernel import run_phase4, run_phase4_batched
-from .splitters import run_phase1, run_phase1_batched, segment_seed
+from .histogram_kernel import run_phase2_batched
+from .launch_plan import (BufferInterval, LaunchPlan, LaunchScheduler,
+                          token_interval)
+from .prefix_kernel import run_phase3_batched
+from .scatter_kernel import run_phase4_batched
+from .splitters import run_phase1_batched, segment_seed
 
 
 @dataclass
@@ -114,6 +116,72 @@ class RequestAttribution:
         return {request: count / total for request, count in elements.items()}
 
 
+def _merged_intervals(buffer: str, ranges) -> list[BufferInterval]:
+    """Exact footprint of ``(start, size)`` ranges as few merged intervals.
+
+    Only *touching* or overlapping ranges are merged — a gap between two
+    segments (a finished leaf sitting between them) is never swallowed, so the
+    footprint stays exact and the launch plan derives no false conflicts with
+    the leaf's bucket-sort launches.
+    """
+    spans = sorted((int(start), int(start) + int(size))
+                   for start, size in ranges if size > 0)
+    merged: list[list[int]] = []
+    for lo, hi in spans:
+        if merged and lo <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], hi)
+        else:
+            merged.append([lo, hi])
+    return [BufferInterval(buffer, lo, hi) for lo, hi in merged]
+
+
+def _split_balanced(items: list, sizes: list[int], max_parts: int) -> list[list]:
+    """Split ``items`` into at most ``max_parts`` contiguous size-balanced runs.
+
+    Contiguity is what keeps cohort footprints disjoint (frontier segments are
+    sorted by start) and the concatenated children in frontier order — the
+    byte-identity contract with the barriered schedule.
+    """
+    if max_parts <= 1 or len(items) <= 1:
+        return [items]
+    total = sum(sizes)
+    parts: list[list] = []
+    current: list = []
+    acc = 0
+    remaining = total
+    for item, size in zip(items, sizes):
+        slots_left = max_parts - len(parts)
+        if current and slots_left > 1 and acc + size / 2 >= remaining / slots_left:
+            parts.append(current)
+            remaining -= acc
+            current, acc = [], 0
+        current.append(item)
+        acc += size
+    parts.append(current)
+    return parts
+
+
+def _merge_bucket_stats(stats: dict, bucket_stats: dict) -> None:
+    """Accumulate one bucket-sort launch's stats; all keys are additive."""
+    for key, value in bucket_stats.items():
+        stats[key] = stats.get(key, 0) + value
+
+
+def _plan_add(plan: Optional[LaunchPlan], launcher: KernelLauncher, mark: int,
+              reads, writes) -> None:
+    """Register the launches recorded since ``mark`` as ops of the plan.
+
+    A multi-record phase (the scan's recurse/add-offsets launches) shares one
+    footprint; its records chain on the write token (write-after-write), which
+    preserves their program order in every schedule.
+    """
+    if plan is None:
+        return
+    for record in launcher.trace.records[mark:]:
+        plan.add(record.name, record.phase, record.time_us,
+                 reads=reads, writes=writes)
+
+
 class DistributionEngine:
     """Schedules the four distribution phases over a frontier of segments."""
 
@@ -143,51 +211,59 @@ class DistributionEngine:
         (see :class:`RequestAttribution`); the shares sum to the run totals.
         """
         trace_start = len(launcher.trace)
+        pipelined = self.config.launch_mode == "pipelined"
+        num_slots = self.device.concurrent_launch_slots if pipelined else 1
         stats: dict = {
             "distribution_passes": 0,
             "segments_distributed": 0,
             "max_depth": 0,
+            "num_leaf_buckets": 0,
             "execution_mode": self.config.execution_mode,
             "kernel_mode": self.config.kernel_mode,
+            "launch_mode": self.config.launch_mode,
+            "launch_slots": num_slots,
         }
         attribution = (
             RequestAttribution(request_bounds) if request_bounds else None
         )
+        plan = LaunchPlan()
 
         if self.config.execution_mode == "level_batched":
             leaves = self._run_level_batched(
                 launcher, primary_keys, primary_values, aux_keys, aux_values,
-                roots, stats, attribution,
+                roots, stats, attribution, plan,
             )
         else:
             leaves = self._run_per_segment(
                 launcher, primary_keys, primary_values, aux_keys, aux_values,
-                roots, stats, attribution,
+                roots, stats, attribution, plan,
             )
 
-        tasks = [
-            BucketTask(start=segment.start, size=segment.size,
-                       source=segment.buffer, constant=segment.constant)
-            for segment in leaves
-            if segment.size > 0
-        ]
-        bucket_trace_start = len(launcher.trace)
-        bucket_stats = run_bucket_sort(
-            launcher, primary_keys, primary_values, aux_keys, aux_values,
-            tasks, self.config,
+        # Leaves still pending after distribution (all of them in barriered
+        # level_batched and in per_segment mode; none in the pipelined
+        # level-batched schedule, which sorted each level's leaves as they
+        # went leaf) are sorted with one final launch.
+        self._sort_leaf_chunks(
+            launcher, leaves, primary_keys, primary_values, aux_keys,
+            aux_values, stats, attribution, plan, max_chunks=1,
         )
-        stats.update(bucket_stats)
-        stats["num_leaf_buckets"] = len(tasks)
-        if attribution is not None and tasks:
-            attribution.add_records(
-                launcher.trace.records[bucket_trace_start:],
-                attribution.segment_weights(tasks),
-            )
 
         run_trace = launcher.trace.slice_from(trace_start)
+        if len(plan) != run_trace.kernel_count:
+            raise AssertionError(
+                f"launch plan covers {len(plan)} of {run_trace.kernel_count} "
+                f"recorded launches"
+            )
+        schedule = LaunchScheduler(
+            num_slots, tie_break_seed=self.config.launch_tie_break
+        ).schedule(plan)
+        launcher.trace.add_slot_records(schedule.records)
         stats["kernel_launches"] = run_trace.kernel_count
         stats["launches_by_phase"] = run_trace.launches_by_phase()
         stats["predicted_us"] = run_trace.total_time_us
+        stats["makespan_us"] = schedule.makespan_us
+        stats["critical_path_us"] = schedule.critical_path_us
+        stats["utilization"] = schedule.utilization()
         if attribution is not None:
             stats["request_attribution"] = attribution.entries
         return stats
@@ -202,6 +278,65 @@ class DistributionEngine:
             or segment.size < config.k
         )
 
+    def _sort_leaf_chunks(
+        self,
+        launcher: KernelLauncher,
+        leaves: list[SegmentDescriptor],
+        primary_keys: DeviceArray,
+        primary_values: Optional[DeviceArray],
+        aux_keys: DeviceArray,
+        aux_values: Optional[DeviceArray],
+        stats: dict,
+        attribution: Optional[RequestAttribution],
+        plan: Optional[LaunchPlan],
+        max_chunks: int,
+    ) -> None:
+        """Issue bucket-sort launches for ``leaves``, in up to ``max_chunks``.
+
+        The pipelined schedule calls this per level with ``max_chunks`` equal
+        to the slot count, so a level's finished leaves become independent
+        launches that pack around the deeper levels' distribution chains; the
+        barriered schedule calls it once at the end with a single chunk — the
+        historical one-launch structure. Chunks are contiguous in frontier
+        order and the bucket ranges are disjoint, so the grouping never
+        changes output bytes or aggregate counters.
+        """
+        tasks = [
+            BucketTask(start=segment.start, size=segment.size,
+                       source=segment.buffer, constant=segment.constant)
+            for segment in leaves
+            if segment.size > 0
+        ]
+        if not tasks:
+            return
+        chunks = _split_balanced(tasks, [t.size for t in tasks], max_chunks)
+        for chunk in chunks:
+            mark = len(launcher.trace)
+            bucket_stats = run_bucket_sort(
+                launcher, primary_keys, primary_values, aux_keys, aux_values,
+                chunk, self.config,
+            )
+            if plan is not None:
+                by_source: dict[str, list] = {}
+                for task in chunk:
+                    by_source.setdefault(task.source, []).append(
+                        (task.start, task.size))
+                reads = [
+                    interval
+                    for source, ranges in sorted(by_source.items())
+                    for interval in _merged_intervals(source, ranges)
+                ]
+                writes = _merged_intervals(
+                    "primary", ((t.start, t.size) for t in chunk))
+                _plan_add(plan, launcher, mark, reads, writes)
+            _merge_bucket_stats(stats, bucket_stats)
+            stats["num_leaf_buckets"] += len(chunk)
+            if attribution is not None:
+                attribution.add_records(
+                    launcher.trace.records[mark:],
+                    attribution.segment_weights(chunk),
+                )
+
     def _run_per_segment(
         self,
         launcher: KernelLauncher,
@@ -212,8 +347,15 @@ class DistributionEngine:
         roots: list[SegmentDescriptor],
         stats: dict,
         attribution: Optional[RequestAttribution] = None,
+        plan: Optional[LaunchPlan] = None,
     ) -> list[SegmentDescriptor]:
-        """Original scheduling: one full set of phase launches per segment."""
+        """Original scheduling: one full set of phase launches per segment.
+
+        Each segment's pass now runs through the same batched (and therefore
+        block-vectorised) phase kernels as the level-batched engine, with a
+        single-segment batch — the ablation keeps its O(segments) launch
+        structure without paying the scalar per-block simulator loop.
+        """
         pending = list(roots)
         leaves: list[SegmentDescriptor] = []
         while pending:
@@ -223,9 +365,9 @@ class DistributionEngine:
                 leaves.append(segment)
                 continue
             trace_before = len(launcher.trace)
-            children = self._distribution_pass(
-                launcher, segment, primary_keys, primary_values,
-                aux_keys, aux_values,
+            children, _ = self._level_pass(
+                launcher, [segment], primary_keys, primary_values,
+                aux_keys, aux_values, plan=plan,
             )
             if attribution is not None:
                 # A segment never spans request bounds, so its launches are
@@ -250,19 +392,44 @@ class DistributionEngine:
         roots: list[SegmentDescriptor],
         stats: dict,
         attribution: Optional[RequestAttribution] = None,
+        plan: Optional[LaunchPlan] = None,
     ) -> list[SegmentDescriptor]:
-        """Level-synchronous scheduling: one launch per phase per level."""
+        """Level-synchronous scheduling: one launch set per phase per level.
+
+        Barriered, a level is one fused launch per phase and every leaf waits
+        for the level loop to end. Pipelined, a level's segments split into up
+        to ``concurrent_launch_slots`` contiguous, element-balanced cohorts —
+        each with its own Phase 1-4 chain, independent by construction — and
+        the leaves discovered at each level are issued for bucket sorting
+        immediately (the async frontier), so leaf sorting and the deeper
+        levels' distribution pack into slots together. Children are collected
+        in cohort order, which is frontier order: the recursion tree, and
+        therefore every output byte, is identical in both modes.
+        """
+        pipelined = self.config.launch_mode == "pipelined"
+        num_slots = self.device.concurrent_launch_slots if pipelined else 1
         frontier = list(roots)
         leaves: list[SegmentDescriptor] = []
         level_launches: list[dict] = []
         while frontier:
             active: list[SegmentDescriptor] = []
+            level_leaves: list[SegmentDescriptor] = []
             for segment in frontier:
                 stats["max_depth"] = max(stats["max_depth"], segment.depth)
                 if self.is_leaf(segment):
-                    leaves.append(segment)
+                    level_leaves.append(segment)
                 else:
                     active.append(segment)
+            if pipelined:
+                # Async frontier: these buckets are finished — issue their
+                # sorts now so they overlap the deeper levels' distribution.
+                self._sort_leaf_chunks(
+                    launcher, level_leaves, primary_keys, primary_values,
+                    aux_keys, aux_values, stats, attribution, plan,
+                    max_chunks=num_slots,
+                )
+            else:
+                leaves.extend(level_leaves)
             if not active:
                 break
             buffers = {segment.buffer for segment in active}
@@ -270,18 +437,40 @@ class DistributionEngine:
                 raise AssertionError(
                     f"a level's segments must share one buffer, got {buffers}"
                 )
-            trace_before = len(launcher.trace)
-            children, level_info = self._level_pass(
-                launcher, active, primary_keys, primary_values,
-                aux_keys, aux_values,
+            cohorts = _split_balanced(
+                active, [segment.size for segment in active], num_slots
             )
-            level_info["launches"] = len(launcher.trace) - trace_before
-            level_launches.append(level_info)
-            if attribution is not None:
-                attribution.add_records(
-                    launcher.trace.records[trace_before:],
-                    attribution.segment_weights(active),
+            level_info: dict = {
+                "level": active[0].depth,
+                "segments": len(active),
+                "elements": 0,
+                "cohorts": len(cohorts),
+                "launches": 0,
+                "fused_utilisation": 0.0,
+                "per_segment_utilisation": 0.0,
+            }
+            children: list[SegmentDescriptor] = []
+            for cohort in cohorts:
+                trace_before = len(launcher.trace)
+                cohort_children, cohort_info = self._level_pass(
+                    launcher, cohort, primary_keys, primary_values,
+                    aux_keys, aux_values, plan=plan,
                 )
+                children.extend(cohort_children)
+                if attribution is not None:
+                    attribution.add_records(
+                        launcher.trace.records[trace_before:],
+                        attribution.segment_weights(cohort),
+                    )
+                # Element-weighted aggregation over the level's cohorts.
+                elements = cohort_info["elements"]
+                level_info["elements"] += elements
+                level_info["launches"] += len(launcher.trace) - trace_before
+                for key in ("fused_utilisation", "per_segment_utilisation"):
+                    level_info[key] += cohort_info[key] * elements
+            for key in ("fused_utilisation", "per_segment_utilisation"):
+                level_info[key] /= max(level_info["elements"], 1)
+            level_launches.append(level_info)
             stats["distribution_passes"] += len(active)
             stats["segments_distributed"] += len(active)
             frontier = children
@@ -306,59 +495,6 @@ class DistributionEngine:
             return primary_keys, primary_values, aux_keys, aux_values, "aux"
         return aux_keys, aux_values, primary_keys, primary_values, "primary"
 
-    # --------------------------------------------------------- per-segment pass
-    def _distribution_pass(
-        self,
-        launcher: KernelLauncher,
-        segment: SegmentDescriptor,
-        primary_keys: DeviceArray,
-        primary_values: Optional[DeviceArray],
-        aux_keys: DeviceArray,
-        aux_values: Optional[DeviceArray],
-    ) -> list[SegmentDescriptor]:
-        """One k-way distribution pass over ``segment``; returns the children."""
-        config = self.config
-        in_keys, in_values, out_keys, out_values, out_buffer = \
-            self._buffer_direction(segment.buffer, primary_keys, primary_values,
-                                   aux_keys, aux_values)
-
-        seed = segment_seed(config.seed, segment.depth,
-                            segment.start - segment.base)
-        splitter_bufs = run_phase1(
-            launcher, in_keys, segment.start, segment.size, config, seed=seed
-        )
-
-        bucket_store = None
-        if not config.recompute_bucket_indices:
-            bucket_store = launcher.gmem.alloc(segment.size, np.int32,
-                                               name="bucket_indices")
-
-        hist, num_blocks = run_phase2(
-            launcher, in_keys, splitter_bufs, segment.start, segment.size, config,
-            bucket_store=bucket_store,
-        )
-        num_buckets = 2 * config.k
-        offsets, bucket_starts, bucket_sizes = run_phase3(
-            launcher, hist, num_buckets, num_blocks
-        )
-        run_phase4(
-            launcher, in_keys, in_values, out_keys, out_values, splitter_bufs,
-            offsets, segment.start, segment.size, num_blocks, config,
-            bucket_store=bucket_store,
-        )
-
-        # Release the pass's temporaries (keeps the footprint close to the
-        # real implementation's: two data buffers plus small metadata).
-        launcher.gmem.free(hist)
-        launcher.gmem.free(offsets)
-        launcher.gmem.free(splitter_bufs.tree)
-        launcher.gmem.free(splitter_bufs.splitters)
-        launcher.gmem.free(splitter_bufs.eq_flags)
-        if bucket_store is not None:
-            launcher.gmem.free(bucket_store)
-
-        return self._children_of(segment, out_buffer, bucket_starts, bucket_sizes)
-
     # ---------------------------------------------------------- batched level
     def _level_pass(
         self,
@@ -368,12 +504,21 @@ class DistributionEngine:
         primary_values: Optional[DeviceArray],
         aux_keys: DeviceArray,
         aux_values: Optional[DeviceArray],
+        plan: Optional[LaunchPlan] = None,
     ) -> tuple[list[SegmentDescriptor], dict]:
-        """Run Phases 1-4 once across all segments of one level."""
+        """Run Phases 1-4 once across all segments of one level (or cohort).
+
+        With a :class:`LaunchPlan`, every launch is registered with its exact
+        data footprint: the segments' element ranges in the ping-pong buffers
+        plus unique tokens for the pass's temporaries (splitter tree,
+        histogram, offsets), so two cohorts' chains conflict nowhere and the
+        scheduler may interleave them freely.
+        """
         config = self.config
         depth = active[0].depth
+        in_buffer = active[0].buffer
         in_keys, in_values, out_keys, out_values, out_buffer = \
-            self._buffer_direction(active[0].buffer, primary_keys, primary_values,
+            self._buffer_direction(in_buffer, primary_keys, primary_values,
                                    aux_keys, aux_values)
 
         seg_starts = np.array([s.start for s in active], dtype=np.int64)
@@ -381,29 +526,60 @@ class DistributionEngine:
         seeds = [segment_seed(config.seed, s.depth, s.start - s.base)
                  for s in active]
 
+        seg_ranges = [(s.start, s.size) for s in active]
+        in_reads = _merged_intervals(in_buffer, seg_ranges)
+        out_writes = _merged_intervals(out_buffer, seg_ranges)
+        splitters_tok = hist_tok = offsets_tok = store_tok = None
+        if plan is not None:
+            splitters_tok = token_interval(plan.new_token("splitters"))
+            hist_tok = token_interval(plan.new_token("hist"))
+            offsets_tok = token_interval(plan.new_token("offsets"))
+
+        mark = len(launcher.trace)
         splitter_bufs = run_phase1_batched(
             launcher, in_keys, seg_starts, seg_sizes, config, seeds
         )
+        _plan_add(plan, launcher, mark, reads=in_reads,
+                  writes=[splitters_tok] if plan is not None else [])
 
         bucket_store = None
         if not config.recompute_bucket_indices:
             bucket_store = launcher.gmem.alloc(int(seg_sizes.sum()), np.int32,
                                                name="bucket_indices_slab")
+            if plan is not None:
+                store_tok = token_interval(plan.new_token("bucket_store"))
 
+        mark = len(launcher.trace)
         hist, block_map, hist_base = run_phase2_batched(
             launcher, in_keys, splitter_bufs, seg_starts, seg_sizes, config,
             bucket_store=bucket_store,
         )
+        if plan is not None:
+            _plan_add(plan, launcher, mark,
+                      reads=in_reads + [splitters_tok],
+                      writes=[hist_tok] + ([store_tok] if store_tok else []))
+
         num_buckets = 2 * config.k
+        mark = len(launcher.trace)
         offsets, seg_scan_base, starts_per_seg, sizes_per_seg = run_phase3_batched(
             launcher, hist, num_buckets, block_map.blocks_per_segment, hist_base,
             kernel_mode=config.kernel_mode,
         )
+        if plan is not None:
+            _plan_add(plan, launcher, mark,
+                      reads=[hist_tok], writes=[offsets_tok])
+
+        mark = len(launcher.trace)
         run_phase4_batched(
             launcher, in_keys, in_values, out_keys, out_values, splitter_bufs,
             offsets, block_map, seg_starts, seg_sizes, hist_base, seg_scan_base,
             config, bucket_store=bucket_store,
         )
+        if plan is not None:
+            reads = in_reads + [splitters_tok, offsets_tok]
+            if store_tok is not None:
+                reads = reads + [store_tok]
+            _plan_add(plan, launcher, mark, reads=reads, writes=out_writes)
 
         launcher.gmem.free(hist)
         launcher.gmem.free(offsets)

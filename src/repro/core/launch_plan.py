@@ -1,0 +1,387 @@
+"""Dependency-aware launch scheduling: slot packing for pending kernel launches.
+
+A CUDA application can expose far more concurrency than "one launch after the
+other": launches that touch disjoint data may run in different streams and the
+hardware packs them onto the chip together. The reproduction models that layer
+explicitly, in the style of a VLIW slot packer: every pending kernel launch
+becomes a :class:`LaunchOp` with explicit read/write buffer sets, the
+:class:`LaunchPlan` derives the dependency graph from interval overlaps
+(read-after-write, write-after-read, write-after-write), and the greedy
+:class:`LaunchScheduler` issues any op whose dependencies have retired into one
+of the device's concurrent stream slots
+(:attr:`~repro.gpu.device.DeviceSpec.concurrent_launch_slots`).
+
+The schedule is *timing accounting only*: kernels still execute host-side in
+dependency-valid program order, so output bytes are identical under every
+packing order — randomised tie-breaks (``tie_break_seed``) only move the
+simulated start times, never the data. What the schedule adds is an achieved
+**makespan** (the wall the device would show with slot packing) next to the
+serialized launch total, plus the per-phase saturated-vs-idle slot-cycle
+analysis rendered by :func:`repro.harness.report.format_utilization`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+
+@dataclass(frozen=True)
+class BufferInterval:
+    """A half-open element range ``[lo, hi)`` of one named buffer."""
+
+    buffer: str
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.hi <= self.lo:
+            raise ValueError(
+                f"interval [{self.lo}, {self.hi}) of {self.buffer!r} is empty"
+            )
+
+    def overlaps(self, other: "BufferInterval") -> bool:
+        return (self.buffer == other.buffer
+                and self.lo < other.hi and other.lo < self.hi)
+
+
+def token_interval(name: str) -> BufferInterval:
+    """A whole-object interval for a temporary (splitter tree, histogram, ...).
+
+    Temporaries have no element addressing that matters to the scheduler; a
+    unit interval on a unique buffer name gives them all-or-nothing conflict
+    semantics.
+    """
+    return BufferInterval(buffer=name, lo=0, hi=1)
+
+
+@dataclass(frozen=True)
+class LaunchOp:
+    """One pending kernel launch with its data footprint."""
+
+    op_id: int
+    name: str
+    phase: str
+    duration_us: float
+    reads: tuple[BufferInterval, ...] = ()
+    writes: tuple[BufferInterval, ...] = ()
+
+    def conflicts_with(self, other: "LaunchOp") -> bool:
+        """True if the two ops cannot be reordered (RAW, WAR or WAW hazard)."""
+        for write in self.writes:
+            for other_write in other.writes:      # WAW
+                if write.overlaps(other_write):
+                    return True
+            for other_read in other.reads:        # RAW / WAR
+                if write.overlaps(other_read):
+                    return True
+        for read in self.reads:
+            for other_write in other.writes:      # RAW / WAR
+                if read.overlaps(other_write):
+                    return True
+        return False
+
+
+class LaunchPlan:
+    """Program-ordered list of :class:`LaunchOp` plus the derived dependencies.
+
+    Dependencies are exact data hazards: op ``j`` depends on every earlier op
+    ``i`` whose footprint conflicts with it. Program order is the order the
+    host issued the launches in, which is always dependency-valid — the
+    scheduler may only *tighten* it, never contradict it.
+    """
+
+    def __init__(self) -> None:
+        self.ops: list[LaunchOp] = []
+        #: ``deps[op_id]`` — ids of earlier ops this op must wait for.
+        self.deps: list[list[int]] = []
+        self._tokens = 0
+        # Per-buffer history of (op_id, interval, is_write) used to derive
+        # hazards without scanning every earlier op's full footprint.
+        self._history: dict[str, list[tuple[int, BufferInterval, bool]]] = {}
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def new_token(self, label: str = "tmp") -> str:
+        """A unique temporary-buffer name (one per allocation site/pass)."""
+        self._tokens += 1
+        return f"{label}#{self._tokens}"
+
+    def add(self, name: str, phase: str, duration_us: float,
+            reads: Sequence[BufferInterval] = (),
+            writes: Sequence[BufferInterval] = ()) -> LaunchOp:
+        """Append one op in program order; returns it with deps computed."""
+        op = LaunchOp(op_id=len(self.ops), name=name, phase=phase,
+                      duration_us=float(duration_us),
+                      reads=tuple(reads), writes=tuple(writes))
+        deps: set[int] = set()
+        for interval in op.reads:                 # RAW: earlier writes
+            for other_id, other, other_writes in \
+                    self._history.get(interval.buffer, ()):
+                if other_writes and interval.overlaps(other):
+                    deps.add(other_id)
+        for interval in op.writes:                # WAW + WAR: earlier anything
+            for other_id, other, _ in self._history.get(interval.buffer, ()):
+                if interval.overlaps(other):
+                    deps.add(other_id)
+        self.ops.append(op)
+        self.deps.append(sorted(deps))
+        for interval in op.reads:
+            self._history.setdefault(interval.buffer, []).append(
+                (op.op_id, interval, False))
+        for interval in op.writes:
+            self._history.setdefault(interval.buffer, []).append(
+                (op.op_id, interval, True))
+        return op
+
+    def critical_path_us(self) -> float:
+        """Longest dependency chain in microseconds (the packing lower bound)."""
+        finish: list[float] = []
+        for op in self.ops:
+            ready = max((finish[d] for d in self.deps[op.op_id]), default=0.0)
+            finish.append(ready + op.duration_us)
+        return max(finish, default=0.0)
+
+    def serialized_us(self) -> float:
+        """Total launch time with no packing at all (one slot, program order)."""
+        return sum(op.duration_us for op in self.ops)
+
+
+@dataclass(frozen=True)
+class SlotRecord:
+    """One scheduled op: which slot ran it and when."""
+
+    op_id: int
+    name: str
+    phase: str
+    slot: int
+    start_us: float
+    end_us: float
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of packing one :class:`LaunchPlan` into stream slots."""
+
+    num_slots: int
+    records: list[SlotRecord]
+    makespan_us: float
+    critical_path_us: float
+    serialized_us: float
+
+    def utilization(self) -> dict:
+        """Slot-cycle accounting: saturated vs idle time, per phase and total.
+
+        ``busy_slot_us + idle_slot_us == num_slots * makespan_us`` by
+        construction; ``saturated_us`` is the span during which *every* slot
+        was busy (the device had no free stream slot), ``phases`` breaks the
+        busy slot-cycles down by phase tag with each phase's wall span and
+        achieved packing concurrency.
+        """
+        makespan = self.makespan_us
+        busy = sum(r.duration_us for r in self.records)
+        idle = max(0.0, self.num_slots * makespan - busy)
+        saturated = _time_at_concurrency(self.records, self.num_slots)
+        phases: dict[str, dict] = {}
+        for record in self.records:
+            entry = phases.setdefault(record.phase, {"ops": 0, "busy_us": 0.0})
+            entry["ops"] += 1
+            entry["busy_us"] += record.duration_us
+        for phase, entry in phases.items():
+            phase_records = [r for r in self.records if r.phase == phase]
+            span = _covered_us(phase_records)
+            entry["span_us"] = span
+            entry["concurrency"] = (entry["busy_us"] / span) if span > 0 else 0.0
+            entry["saturated_us"] = _time_at_concurrency(
+                self.records, self.num_slots, within=phase_records)
+        return {
+            "num_slots": self.num_slots,
+            "ops": len(self.records),
+            "makespan_us": makespan,
+            "critical_path_us": self.critical_path_us,
+            "serialized_us": self.serialized_us,
+            "speedup": (self.serialized_us / makespan) if makespan > 0 else 1.0,
+            "busy_slot_us": busy,
+            "idle_slot_us": idle,
+            "saturated_us": saturated,
+            "phases": phases,
+        }
+
+
+def _covered_us(records: Sequence[SlotRecord]) -> float:
+    """Length of the union of the records' ``[start, end)`` intervals."""
+    spans = sorted((r.start_us, r.end_us) for r in records)
+    covered = 0.0
+    cursor = float("-inf")
+    for start, end in spans:
+        if end <= cursor:
+            continue
+        covered += end - max(start, cursor)
+        cursor = end
+    return covered
+
+
+def _time_at_concurrency(records: Sequence[SlotRecord], level: int,
+                         within: Optional[Sequence[SlotRecord]] = None) -> float:
+    """Total time during which >= ``level`` records run concurrently.
+
+    With ``within`` given, only the part of that saturated time that overlaps
+    the union of the ``within`` records' spans is counted (per-phase
+    saturation).
+    """
+    events: list[tuple[float, int]] = []
+    for record in records:
+        if record.end_us > record.start_us:
+            events.append((record.start_us, 1))
+            events.append((record.end_us, -1))
+    if not events:
+        return 0.0
+    window = None
+    if within is not None:
+        window = sorted((r.start_us, r.end_us) for r in within)
+    events.sort()
+    active = 0
+    total = 0.0
+    prev = events[0][0]
+    for at, delta in events:
+        if at > prev and active >= level:
+            lo, hi = prev, at
+            if window is None:
+                total += hi - lo
+            else:
+                for w_lo, w_hi in window:
+                    overlap = min(hi, w_hi) - max(lo, w_lo)
+                    if overlap > 0:
+                        total += overlap
+        active += delta
+        prev = at
+    return total
+
+
+class LaunchScheduler:
+    """Greedy ready-queue packer over per-device stream slots.
+
+    Classic list scheduling: an op becomes *ready* once all its dependencies
+    have been issued; the scheduler repeatedly takes a ready op (first in
+    program order, or uniformly at random with ``tie_break_seed`` — the knob
+    the packing-order property sweep turns), places it on the slot where it
+    can start earliest, and starts it no earlier than its dependencies'
+    retirement. Every iteration issues exactly one op, so no op waits forever
+    behind an unrelated stream (starvation freedom), and with one slot the
+    schedule degenerates to the serialized program order (the barriered
+    ablation).
+    """
+
+    def __init__(self, num_slots: int,
+                 tie_break_seed: Optional[int] = None) -> None:
+        if num_slots < 1:
+            raise ValueError(f"need >= 1 stream slot, got {num_slots}")
+        self.num_slots = num_slots
+        self.tie_break_seed = tie_break_seed
+
+    def schedule(self, plan: LaunchPlan) -> ScheduleResult:
+        ops = plan.ops
+        indegree = [len(plan.deps[i]) for i in range(len(ops))]
+        dependents: list[list[int]] = [[] for _ in ops]
+        for op_id, deps in enumerate(plan.deps):
+            for dep in deps:
+                dependents[dep].append(op_id)
+        ready = [op.op_id for op in ops if indegree[op.op_id] == 0]
+        rng = (random.Random(self.tie_break_seed)
+               if self.tie_break_seed is not None else None)
+        slot_free = [0.0] * self.num_slots
+        end_us = [0.0] * len(ops)
+        records: list[SlotRecord] = []
+        while ready:
+            if rng is None:
+                op_id = ready.pop(0)          # FIFO: earliest program order
+            else:
+                op_id = ready.pop(rng.randrange(len(ready)))
+            op = ops[op_id]
+            ready_at = max((end_us[d] for d in plan.deps[op_id]), default=0.0)
+            slot = min(range(self.num_slots), key=lambda s: (slot_free[s], s))
+            start = max(slot_free[slot], ready_at)
+            end = start + op.duration_us
+            slot_free[slot] = end
+            end_us[op_id] = end
+            records.append(SlotRecord(
+                op_id=op_id, name=op.name, phase=op.phase, slot=slot,
+                start_us=start, end_us=end,
+            ))
+            for dependent in dependents[op_id]:
+                indegree[dependent] -= 1
+                if indegree[dependent] == 0:
+                    ready.append(dependent)
+        if len(records) != len(ops):
+            raise AssertionError(
+                f"scheduler issued {len(records)} of {len(ops)} ops — "
+                f"the dependency graph has a cycle, which program order forbids"
+            )
+        return ScheduleResult(
+            num_slots=self.num_slots,
+            records=records,
+            makespan_us=max((r.end_us for r in records), default=0.0),
+            critical_path_us=plan.critical_path_us(),
+            serialized_us=plan.serialized_us(),
+        )
+
+
+def merge_utilization(parts: Sequence[dict], *,
+                      makespan_us: Optional[float] = None,
+                      num_slots: Optional[int] = None) -> dict:
+    """Aggregate utilisation dicts from several runs into one report.
+
+    Slot-cycle quantities (busy, idle, saturated, serialized, per-phase
+    tables) are additive across runs. Makespans are summed too — the honest
+    reading for runs that execute back to back on one device — unless the
+    caller knows better (e.g. shards running concurrently) and passes an
+    explicit ``makespan_us``. ``num_slots`` defaults to the sum of the parts'
+    slots (a pool of devices is a pool of slots).
+    """
+    parts = [p for p in parts if p]
+    merged: dict = {
+        "num_slots": (num_slots if num_slots is not None
+                      else sum(p.get("num_slots", 1) for p in parts)),
+        "ops": sum(p.get("ops", 0) for p in parts),
+        "makespan_us": (makespan_us if makespan_us is not None
+                        else sum(p.get("makespan_us", 0.0) for p in parts)),
+        "critical_path_us": sum(p.get("critical_path_us", 0.0) for p in parts),
+        "serialized_us": sum(p.get("serialized_us", 0.0) for p in parts),
+        "busy_slot_us": sum(p.get("busy_slot_us", 0.0) for p in parts),
+        "idle_slot_us": sum(p.get("idle_slot_us", 0.0) for p in parts),
+        "saturated_us": sum(p.get("saturated_us", 0.0) for p in parts),
+        "phases": {},
+    }
+    merged["speedup"] = (merged["serialized_us"] / merged["makespan_us"]
+                         if merged["makespan_us"] > 0 else 1.0)
+    for part in parts:
+        for phase, entry in part.get("phases", {}).items():
+            target = merged["phases"].setdefault(
+                phase, {"ops": 0, "busy_us": 0.0, "span_us": 0.0,
+                        "saturated_us": 0.0})
+            target["ops"] += entry.get("ops", 0)
+            target["busy_us"] += entry.get("busy_us", 0.0)
+            target["span_us"] += entry.get("span_us", 0.0)
+            target["saturated_us"] += entry.get("saturated_us", 0.0)
+    for entry in merged["phases"].values():
+        entry["concurrency"] = (entry["busy_us"] / entry["span_us"]
+                                if entry["span_us"] > 0 else 0.0)
+    return merged
+
+
+__all__ = [
+    "BufferInterval",
+    "token_interval",
+    "LaunchOp",
+    "LaunchPlan",
+    "SlotRecord",
+    "ScheduleResult",
+    "LaunchScheduler",
+    "merge_utilization",
+]

@@ -189,6 +189,7 @@ class SampleSorter(GpuSorter):
 
         launcher = KernelLauncher(self.device, trace=trace)
         trace_start = len(launcher.trace)
+        slot_start = len(launcher.trace.slot_records)
         total = int(all_keys.size)
         primary_keys = launcher.gmem.from_host(all_keys, name="keys_primary")
         aux_keys = launcher.gmem.alloc(total, all_keys.dtype, name="keys_aux")
@@ -223,7 +224,7 @@ class SampleSorter(GpuSorter):
         # Results carry only this run's records: when the caller supplies a
         # persistent stream trace, earlier batches on it must not leak into
         # this batch's accounting.
-        run_trace = launcher.trace.slice_from(trace_start)
+        run_trace = launcher.trace.slice_from(trace_start, slot_start)
         results: list[SortResult] = []
         for index, (lo, hi) in enumerate(bounds):
             # Deep copy: the batch shares one engine run, but each result's

@@ -108,6 +108,19 @@ class DeviceSpec:
         return self.max_threads_per_sm // self.warp_size
 
     @property
+    def concurrent_launch_slots(self) -> int:
+        """Stream slots the launch scheduler may pack concurrently.
+
+        Scaled with chip width: roughly one slot per ten SMs, never fewer
+        than two (even the tiny test device can overlap a pair of small
+        launches). GT200-class parts (30 SMs) expose three slots. This is a
+        *timing* property only — it shapes the simulated makespan, never the
+        output bytes — so it deliberately stays out of
+        :attr:`functional_fingerprint`.
+        """
+        return max(2, self.sm_count // 10)
+
+    @property
     def functional_fingerprint(self) -> tuple:
         """The fields that can influence *what* a sort computes, not how fast.
 

@@ -39,12 +39,22 @@ class KernelTrace:
     """Ordered sequence of kernel launches for a complete operation."""
 
     records: list[KernelRecord] = field(default_factory=list)
+    #: Slot-occupancy records produced by the launch scheduler (one
+    #: ``repro.core.launch_plan.SlotRecord`` per scheduled launch: which
+    #: stream slot ran it and when). Purely an accounting annex — no kernel
+    #: semantics depend on it.
+    slot_records: list = field(default_factory=list)
 
     def append(self, record: KernelRecord) -> None:
         self.records.append(record)
 
     def extend(self, other: "KernelTrace") -> None:
         self.records.extend(other.records)
+        self.slot_records.extend(other.slot_records)
+
+    def add_slot_records(self, records) -> None:
+        """Attach the scheduler's slot-occupancy records for a finished run."""
+        self.slot_records.extend(records)
 
     def __len__(self) -> int:
         return len(self.records)
@@ -105,14 +115,18 @@ class KernelTrace:
         wanted = set(phases)
         return KernelTrace([r for r in self.records if r.phase in wanted])
 
-    def slice_from(self, start: int) -> "KernelTrace":
+    def slice_from(self, start: int,
+                   slot_start: Optional[int] = None) -> "KernelTrace":
         """Sub-trace of the records appended at index ``start`` and later.
 
         A persistent stream accumulates launches across many operations; a
         caller that wants the accounting of just its own operation snapshots
-        ``len(trace)`` before dispatching and slices afterwards.
+        ``len(trace)`` before dispatching and slices afterwards. The slot
+        annex is sliced from ``slot_start`` when given (snapshot
+        ``len(trace.slot_records)`` the same way), otherwise left empty.
         """
-        return KernelTrace(records=self.records[start:])
+        slots = [] if slot_start is None else self.slot_records[slot_start:]
+        return KernelTrace(records=self.records[start:], slot_records=slots)
 
     def format_breakdown(self, title: Optional[str] = None) -> str:
         """Human-readable per-phase table (used by examples and reports)."""

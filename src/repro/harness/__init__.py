@@ -20,6 +20,7 @@ from .report import (
     format_paper_comparison,
     format_series_table,
     format_service_report,
+    format_utilization,
 )
 from .runner import (
     ExperimentResult,
@@ -53,6 +54,7 @@ __all__ = [
     "format_paper_comparison",
     "format_series_table",
     "format_service_report",
+    "format_utilization",
     "format_cluster_report",
     "ExperimentResult",
     "SeriesResult",

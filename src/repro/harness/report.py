@@ -157,6 +157,51 @@ def format_launch_summary(sort_result, title: Optional[str] = None) -> str:
     return "\n".join(lines)
 
 
+def format_utilization(util: dict, title: Optional[str] = None) -> str:
+    """Render a launch-slot utilisation dict as a per-phase table.
+
+    Accepts the ``utilization`` section produced by
+    :meth:`~repro.core.launch_plan.ScheduleResult.utilization` (a single
+    engine run's stats) or by
+    :func:`~repro.core.launch_plan.merge_utilization` (a service or cluster
+    aggregate). Three headline lines — achieved makespan vs the dependency
+    critical path vs the fully serialized launch total, then the slot-cycle
+    split into busy/idle and the saturated window — followed by one row per
+    phase with its achieved packing concurrency.
+    """
+    lines = [title or (f"launch-slot utilisation — "
+                       f"{util.get('num_slots', '?')} slot(s), "
+                       f"{util.get('ops', 0)} launches")]
+    lines.append(
+        f"makespan {util.get('makespan_us', 0.0):.1f} us "
+        f"(critical path {util.get('critical_path_us', 0.0):.1f} us, "
+        f"serialized {util.get('serialized_us', 0.0):.1f} us, "
+        f"speedup {util.get('speedup', 1.0):.2f}x)"
+    )
+    busy = util.get("busy_slot_us", 0.0)
+    idle = util.get("idle_slot_us", 0.0)
+    cycles = busy + idle
+    occupancy = (busy / cycles * 100.0) if cycles > 0 else 0.0
+    lines.append(
+        f"slot-cycles: {busy:.1f} us busy / {idle:.1f} us idle "
+        f"({occupancy:.1f}% occupied), all slots saturated for "
+        f"{util.get('saturated_us', 0.0):.1f} us"
+    )
+    phases = util.get("phases")
+    if phases:
+        lines.append(f"{'phase':<24}{'ops':>6}{'busy us':>10}{'span us':>10}"
+                     f"{'conc':>7}{'sat us':>9}")
+        for phase, entry in phases.items():
+            lines.append(
+                f"{phase:<24}{entry.get('ops', 0):>6}"
+                f"{entry.get('busy_us', 0.0):>10.1f}"
+                f"{entry.get('span_us', 0.0):>10.1f}"
+                f"{entry.get('concurrency', 0.0):>7.2f}"
+                f"{entry.get('saturated_us', 0.0):>9.1f}"
+            )
+    return "\n".join(lines)
+
+
 def format_service_report(snapshot: dict, title: Optional[str] = None) -> str:
     """Render a :meth:`repro.service.SortService.stats` snapshot as text.
 
@@ -220,6 +265,9 @@ def format_service_report(snapshot: dict, title: Optional[str] = None) -> str:
             f"scatter stream: {scatter['operations']} pass(es), "
             f"{scatter['stream_time_us']:.1f} us"
         )
+    utilization = snapshot.get("utilization")
+    if utilization:
+        lines.append(format_utilization(utilization))
     return "\n".join(lines)
 
 
@@ -309,6 +357,9 @@ def format_cluster_report(snapshot: dict, title: Optional[str] = None) -> str:
                 f"{replica['occupancy'] * 100:>10.1f}%  "
                 f"{_fmt_devices(replica.get('devices'))}"
             )
+    utilization = snapshot.get("utilization")
+    if utilization:
+        lines.append(format_utilization(utilization))
     return "\n".join(lines)
 
 
@@ -336,6 +387,7 @@ __all__ = [
     "format_paper_comparison",
     "format_claims",
     "format_launch_summary",
+    "format_utilization",
     "format_device_comparison",
     "format_service_report",
     "format_cluster_report",

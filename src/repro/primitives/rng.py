@@ -26,9 +26,27 @@ LCG_MOD_BITS = 32
 LCG_MASK = np.uint64((1 << LCG_MOD_BITS) - 1)
 
 
+@functools.lru_cache(maxsize=4096)
+def _twister_state(seed: int) -> dict:
+    """Memoised initial MT19937 state for one seed.
+
+    Initialising the Mersenne Twister (624-word key schedule) dominates the
+    host cost of repeated seeded sampling; the same (seed, segment) pairs
+    recur across ``sort_many`` batches and service runs, so the freshly
+    seeded state is computed once and copied into new bit generators.
+    """
+    return np.random.MT19937(seed).state
+
+
 def host_twister(seed: Optional[int] = None) -> np.random.Generator:
     """The host-side Mersenne Twister used to seed the device LCGs."""
-    return np.random.Generator(np.random.MT19937(seed))
+    if seed is None:
+        return np.random.Generator(np.random.MT19937(None))
+    bitgen = np.random.MT19937()
+    # The state setter copies the cached dict into the generator's C state,
+    # so cached entries are never mutated by drawing from the generator.
+    bitgen.state = _twister_state(int(seed))
+    return np.random.Generator(bitgen)
 
 
 class GpuLcg:

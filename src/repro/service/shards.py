@@ -45,6 +45,7 @@ import numpy as np
 
 from ..core.config import SampleSortConfig
 from ..core.engine import DistributionEngine, SegmentDescriptor
+from ..core.launch_plan import merge_utilization
 from ..core.sample_sort import SampleSorter
 from ..gpu.device import DeviceSpec, TESLA_C1060
 from ..gpu.errors import DeviceConfigError
@@ -65,13 +66,16 @@ class _StreamSnapshot:
 
     def __init__(self, streams: list[DeviceStream]):
         self._saved = [
-            (s, len(s.trace.records), s.busy_until_us, s.operations)
+            (s, len(s.trace.records), len(s.trace.slot_records),
+             s.busy_until_us, s.operations)
             for s in streams
         ]
 
     def rollback(self) -> None:
-        for stream, cursor, busy_until_us, operations in self._saved:
+        for stream, cursor, slot_cursor, busy_until_us, operations in \
+                self._saved:
             del stream.trace.records[cursor:]
+            del stream.trace.slot_records[slot_cursor:]
             stream.busy_until_us = busy_until_us
             stream.operations = operations
 
@@ -109,8 +113,12 @@ class DeviceShard:
                 batch_keys, batch_values, trace=self.stream.trace
             )
             wall_s = time.perf_counter() - wall_start
+            # The stream is busy for the *packed* makespan (slot-scheduled
+            # launches overlap), not the serialized launch total; the
+            # serialized total stays in the stats as the work attribution.
             predicted_us = results[0].stats["predicted_us"]
-            start_us, end_us = self.stream.enqueue(predicted_us, now_us)
+            duration_us = results[0].stats.get("makespan_us", predicted_us)
+            start_us, end_us = self.stream.enqueue(duration_us, now_us)
         except Exception:
             snapshot.rollback()
             raise
@@ -353,8 +361,13 @@ def run_sharded(pool: ShardPool, keys: np.ndarray,
                 values: Optional[np.ndarray], start_us: float) -> dict:
     """Scatter one oversized request across the pool, sort, merge.
 
-    ``start_us`` is the simulated time the request gets the whole pool (the
-    service waits for every shard: the scatter output feeds all of them).
+    ``start_us`` is the simulated time the request is released to the pool.
+    There is **no whole-pool barrier here**: the scatter starts as soon as
+    the scatter stream is free, and each shard's subtree sort starts at the
+    later of the scatter fan-out and *that shard's* own tail retiring — a
+    shard still draining an in-flight batch delays only itself. (The
+    ``launch_mode="barriered"`` ablation restores the old behaviour by
+    passing a ``start_us`` at which every shard has quiesced.)
     Returns a dict with the merged ``keys`` / ``values``, the simulated
     ``completion_us`` (scatter + slowest shard, shards run concurrently), the
     total-work attribution (``predicted_us`` = scatter + *sum* of shards,
@@ -428,6 +441,8 @@ def _run_sharded_impl(pool: ShardPool, keys: np.ndarray,
     total_work_us = scatter_us
     completion_us = fan_out_us
     model_bookings: list[tuple[DeviceShard, float]] = []
+    shard_utils: list[dict] = []
+    shard_critical_us = 0.0
     for group, shard in zip(groups, pool.shards):
         # The shard only needs its group's span [lo, hi). Descriptors are
         # rebased to span-local coordinates; shifting `base` by the same
@@ -460,9 +475,17 @@ def _run_sharded_impl(pool: ShardPool, keys: np.ndarray,
         )
         shard_slice = shard.stream.trace.slice_from(trace_start)
         shard_us = stats["predicted_us"]
-        _, end_us = shard.stream.enqueue(shard_us, fan_out_us)
+        # The shard stream is occupied for the slot-packed makespan; the
+        # serialized total still counts as the request's work attribution.
+        _, end_us = shard.stream.enqueue(
+            stats.get("makespan_us", shard_us), fan_out_us
+        )
         completion_us = max(completion_us, end_us)
         total_work_us += shard_us
+        if stats.get("utilization"):
+            shard_utils.append(stats["utilization"])
+            shard_critical_us = max(shard_critical_us,
+                                    stats.get("critical_path_us", 0.0))
         launches += shard_slice.kernel_count
         for phase, count in shard_slice.launches_by_phase().items():
             launches_by_phase[phase] = launches_by_phase.get(phase, 0) + count
@@ -492,6 +515,35 @@ def _run_sharded_impl(pool: ShardPool, keys: np.ndarray,
         shard.model_us += group_model_us
     wall_s = time.perf_counter() - wall_start
 
+    # Pool-level slot accounting: the scatter is one serialized single-slot
+    # pass on the coordinating device, then the shard schedules run
+    # concurrently — so the merged makespan is the achieved wall window
+    # (scatter start to last shard completion), not the sum of the parts.
+    scatter_util = {
+        "num_slots": 1,
+        "ops": scatter_slice.kernel_count,
+        "makespan_us": scatter_us,
+        "critical_path_us": scatter_us,
+        "serialized_us": scatter_us,
+        "speedup": 1.0,
+        "busy_slot_us": scatter_us,
+        "idle_slot_us": 0.0,
+        "saturated_us": scatter_us,
+        "phases": {
+            phase: {"ops": scatter_slice.launches_by_phase()[phase],
+                    "busy_us": time_us, "span_us": time_us,
+                    "concurrency": 1.0, "saturated_us": time_us}
+            for phase, time_us in scatter_slice.phase_breakdown().items()
+        },
+    }
+    utilization = merge_utilization(
+        [scatter_util] + shard_utils,
+        makespan_us=completion_us - scatter_start_us,
+    )
+    # Shards run in parallel: the pool's dependency lower bound is the
+    # scatter plus the longest shard chain, not the sum of all chains.
+    utilization["critical_path_us"] = scatter_us + shard_critical_us
+
     return {
         "keys": out_keys,
         "values": out_values,
@@ -504,6 +556,7 @@ def _run_sharded_impl(pool: ShardPool, keys: np.ndarray,
         "launches_by_phase": launches_by_phase,
         "shards": shard_details,
         "scatter_utilisation": level_info.get("fused_utilisation"),
+        "utilization": utilization,
         "wall_s": wall_s,
     }
 

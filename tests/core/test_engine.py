@@ -18,10 +18,17 @@ from repro.gpu.grid import batched_grid_for
 from repro.harness.report import format_launch_summary
 
 
-def _two_level_config(mode):
-    """k=16, M=512: a 20k-element input needs exactly two distribution levels."""
+def _two_level_config(mode, launch_mode="barriered"):
+    """k=16, M=512: a 20k-element input needs exactly two distribution levels.
+
+    The launch-budget assertions below pin the *barriered* launch structure
+    (one fused launch set per phase per level, one final bucket sort); the
+    pipelined default splits levels into per-slot cohorts and is covered by
+    :class:`TestPipelinedLaunches`.
+    """
     return SampleSortConfig.small().with_(
-        k=16, bucket_threshold=512, execution_mode=mode, seed=11
+        k=16, bucket_threshold=512, execution_mode=mode, seed=11,
+        launch_mode=launch_mode,
     )
 
 
@@ -97,6 +104,61 @@ class TestLaunchCounts:
         assert "phase2_histogram" in text
         assert "level" in text
         assert "mode=level_batched" in text
+
+
+class TestPipelinedLaunches:
+    def test_pipelined_packs_below_serialized_time(self, workload):
+        results = {}
+        for launch_mode in ("barriered", "pipelined"):
+            config = _two_level_config("level_batched", launch_mode)
+            results[launch_mode] = SampleSorter(config=config).sort(
+                workload.keys, workload.values
+            )
+        pipelined = results["pipelined"]
+        barriered = results["barriered"]
+        # launch packing never changes a single output byte
+        assert pipelined.keys.tobytes() == barriered.keys.tobytes()
+        assert pipelined.values.tobytes() == barriered.values.tobytes()
+        # the barriered schedule is its own serialization ...
+        assert barriered.stats["makespan_us"] == \
+            pytest.approx(barriered.stats["predicted_us"])
+        # ... while the pipelined schedule achieves a real overlap
+        assert pipelined.stats["launch_slots"] > 1
+        assert pipelined.stats["makespan_us"] < pipelined.stats["predicted_us"]
+        assert pipelined.stats["makespan_us"] < barriered.stats["makespan_us"]
+        assert pipelined.stats["critical_path_us"] <= \
+            pipelined.stats["makespan_us"] + 1e-9
+
+    def test_pipelined_chunks_leaf_sorting(self, workload):
+        config = _two_level_config("level_batched", "pipelined")
+        result = SampleSorter(config=config).sort(workload.keys)
+        # the async frontier issues several bucket-sort launches, not one
+        assert result.stats["launches_by_phase"]["bucket_sort"] > 1
+        # leaf accounting is unchanged by the chunking
+        barriered = SampleSorter(
+            config=_two_level_config("level_batched")).sort(workload.keys)
+        assert result.stats["num_leaf_buckets"] == \
+            barriered.stats["num_leaf_buckets"]
+
+    def test_slot_records_cover_every_launch(self, workload):
+        config = _two_level_config("level_batched", "pipelined")
+        result = SampleSorter(config=config).sort(workload.keys)
+        records = result.trace.slot_records
+        assert len(records) == result.stats["kernel_launches"]
+        assert {r.slot for r in records} <= \
+            set(range(result.stats["launch_slots"]))
+        assert max(r.end_us for r in records) == \
+            pytest.approx(result.stats["makespan_us"])
+
+    def test_utilization_stat_is_consistent(self, workload):
+        config = _two_level_config("level_batched", "pipelined")
+        result = SampleSorter(config=config).sort(workload.keys)
+        util = result.stats["utilization"]
+        assert util["ops"] == result.stats["kernel_launches"]
+        assert util["busy_slot_us"] + util["idle_slot_us"] == \
+            pytest.approx(util["num_slots"] * util["makespan_us"])
+        assert util["saturated_us"] <= util["makespan_us"] + 1e-9
+        assert set(util["phases"]) == set(result.stats["launches_by_phase"])
 
 
 class TestConfig:

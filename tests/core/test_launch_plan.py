@@ -1,0 +1,256 @@
+"""Unit tests for the dependency-aware launch scheduler.
+
+Covers the three layers of ``repro.core.launch_plan``: footprint/conflict
+detection on :class:`BufferInterval` / :class:`LaunchOp`, hazard derivation in
+:class:`LaunchPlan`, and the greedy slot packing of :class:`LaunchScheduler`
+(validity, degeneration to serial order with one slot, starvation freedom,
+randomised tie-breaks) plus the utilisation accounting and its renderer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.launch_plan import (
+    BufferInterval,
+    LaunchOp,
+    LaunchPlan,
+    LaunchScheduler,
+    merge_utilization,
+    token_interval,
+)
+from repro.harness.report import format_utilization
+
+
+def _iv(buffer, lo, hi):
+    return BufferInterval(buffer=buffer, lo=lo, hi=hi)
+
+
+def _op(op_id, reads=(), writes=(), duration=1.0, phase="p", name="k"):
+    return LaunchOp(op_id=op_id, name=name, phase=phase, duration_us=duration,
+                    reads=tuple(reads), writes=tuple(writes))
+
+
+class TestBufferInterval:
+    def test_overlap_requires_same_buffer(self):
+        assert _iv("a", 0, 10).overlaps(_iv("a", 5, 15))
+        assert not _iv("a", 0, 10).overlaps(_iv("b", 5, 15))
+
+    def test_touching_intervals_do_not_overlap(self):
+        # half-open ranges: [0, 10) and [10, 20) share no element
+        assert not _iv("a", 0, 10).overlaps(_iv("a", 10, 20))
+        assert not _iv("a", 10, 20).overlaps(_iv("a", 0, 10))
+
+    def test_containment_overlaps(self):
+        assert _iv("a", 0, 100).overlaps(_iv("a", 40, 60))
+        assert _iv("a", 40, 60).overlaps(_iv("a", 0, 100))
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            _iv("a", 5, 5)
+        with pytest.raises(ValueError):
+            _iv("a", 7, 3)
+
+    def test_token_interval_is_all_or_nothing(self):
+        assert token_interval("tok").overlaps(token_interval("tok"))
+        assert not token_interval("tok").overlaps(token_interval("other"))
+
+
+class TestLaunchOpConflicts:
+    def test_raw_conflict(self):
+        writer = _op(0, writes=[_iv("a", 0, 10)])
+        reader = _op(1, reads=[_iv("a", 5, 8)])
+        assert writer.conflicts_with(reader)
+        assert reader.conflicts_with(writer)  # symmetric: WAR the other way
+
+    def test_waw_conflict(self):
+        first = _op(0, writes=[_iv("a", 0, 10)])
+        second = _op(1, writes=[_iv("a", 9, 20)])
+        assert first.conflicts_with(second)
+
+    def test_read_read_never_conflicts(self):
+        a = _op(0, reads=[_iv("a", 0, 10)])
+        b = _op(1, reads=[_iv("a", 0, 10)])
+        assert not a.conflicts_with(b)
+
+    def test_disjoint_ranges_never_conflict(self):
+        left = _op(0, writes=[_iv("a", 0, 10)])
+        right = _op(1, reads=[_iv("a", 10, 20)], writes=[_iv("a", 30, 40)])
+        assert not left.conflicts_with(right)
+
+
+class TestLaunchPlanHazards:
+    def test_phase_chain_dependencies(self):
+        """A phase1→2→3→4 chain over tokens reproduces the engine's graph."""
+        plan = LaunchPlan()
+        data = _iv("primary", 0, 100)
+        out = _iv("aux", 0, 100)
+        splitters = token_interval(plan.new_token("splitters"))
+        hist = token_interval(plan.new_token("hist"))
+        offsets = token_interval(plan.new_token("offsets"))
+        plan.add("p1", "phase1", 1.0, reads=[data], writes=[splitters])
+        plan.add("p2", "phase2", 1.0, reads=[data, splitters], writes=[hist])
+        plan.add("p3", "phase3", 1.0, reads=[hist], writes=[offsets])
+        plan.add("p4", "phase4", 1.0, reads=[data, splitters, offsets],
+                 writes=[out])
+        assert plan.deps == [[], [0], [1], [0, 2]]
+        assert plan.critical_path_us() == pytest.approx(4.0)
+        assert plan.serialized_us() == pytest.approx(4.0)
+
+    def test_independent_segments_have_no_deps(self):
+        plan = LaunchPlan()
+        plan.add("a", "p", 1.0, writes=[_iv("buf", 0, 50)])
+        plan.add("b", "p", 1.0, writes=[_iv("buf", 50, 100)])
+        plan.add("c", "p", 1.0, writes=[_iv("other", 0, 50)])
+        assert plan.deps == [[], [], []]
+        assert plan.critical_path_us() == pytest.approx(1.0)
+        assert plan.serialized_us() == pytest.approx(3.0)
+
+    def test_waw_chains_multi_record_phases(self):
+        """Two writers of one token serialize (the engine's phase-3 chain)."""
+        plan = LaunchPlan()
+        tok = token_interval(plan.new_token("offsets"))
+        plan.add("scan_a", "phase3", 1.0, writes=[tok])
+        plan.add("scan_b", "phase3", 1.0, writes=[tok])
+        assert plan.deps == [[], [0]]
+
+
+def _assert_valid_schedule(plan, schedule):
+    """Deps retire before dependents start; slots never double-book."""
+    end_by_op = {r.op_id: r.end_us for r in schedule.records}
+    start_by_op = {r.op_id: r.start_us for r in schedule.records}
+    for op in plan.ops:
+        for dep in plan.deps[op.op_id]:
+            assert end_by_op[dep] <= start_by_op[op.op_id] + 1e-9
+    by_slot = {}
+    for record in schedule.records:
+        by_slot.setdefault(record.slot, []).append(record)
+    for records in by_slot.values():
+        records.sort(key=lambda r: r.start_us)
+        for earlier, later in zip(records, records[1:]):
+            assert earlier.end_us <= later.start_us + 1e-9
+    assert schedule.critical_path_us <= schedule.makespan_us + 1e-9
+    assert schedule.makespan_us <= schedule.serialized_us + 1e-9
+
+
+def _diamond_plan():
+    """Fork/join over one buffer plus an unrelated long chain."""
+    plan = LaunchPlan()
+    src = _iv("in", 0, 100)
+    plan.add("root", "scatter", 2.0, reads=[src], writes=[_iv("mid", 0, 100)])
+    plan.add("left", "work", 3.0, reads=[_iv("mid", 0, 50)],
+             writes=[_iv("out", 0, 50)])
+    plan.add("right", "work", 5.0, reads=[_iv("mid", 50, 100)],
+             writes=[_iv("out", 50, 100)])
+    plan.add("join", "merge", 1.0, reads=[_iv("out", 0, 100)],
+             writes=[_iv("final", 0, 100)])
+    plan.add("lone", "other", 0.5, writes=[_iv("elsewhere", 0, 10)])
+    return plan
+
+
+class TestLaunchScheduler:
+    def test_single_slot_is_serialized_program_order(self):
+        plan = _diamond_plan()
+        schedule = LaunchScheduler(num_slots=1).schedule(plan)
+        _assert_valid_schedule(plan, schedule)
+        assert schedule.makespan_us == pytest.approx(plan.serialized_us())
+        # one slot leaves no gaps: every op starts when its predecessor ends
+        records = sorted(schedule.records, key=lambda r: r.start_us)
+        cursor = 0.0
+        for record in records:
+            assert record.start_us == pytest.approx(cursor)
+            cursor = record.end_us
+
+    def test_two_slots_pack_the_diamond(self):
+        plan = _diamond_plan()
+        schedule = LaunchScheduler(num_slots=2).schedule(plan)
+        _assert_valid_schedule(plan, schedule)
+        # left/right run concurrently: 2 + 5 + 1 = 8 on the critical path,
+        # with the lone op absorbed into idle slot time.
+        assert schedule.makespan_us == pytest.approx(8.0)
+        assert schedule.makespan_us < plan.serialized_us()
+
+    def test_no_starvation_behind_unrelated_chain(self):
+        """A short independent op must not wait for a long foreign chain."""
+        plan = LaunchPlan()
+        tok = token_interval(plan.new_token("chain"))
+        for _ in range(10):
+            plan.add("link", "chain", 4.0, writes=[tok])
+        plan.add("quick", "other", 1.0, writes=[_iv("free", 0, 10)])
+        schedule = LaunchScheduler(num_slots=2).schedule(plan)
+        _assert_valid_schedule(plan, schedule)
+        quick = next(r for r in schedule.records if r.name == "quick")
+        # ready at time 0 and a second slot is free: it runs immediately
+        assert quick.start_us == pytest.approx(0.0)
+        assert schedule.makespan_us == pytest.approx(40.0)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_tie_breaks_stay_valid(self, seed):
+        plan = _diamond_plan()
+        schedule = LaunchScheduler(num_slots=3,
+                                   tie_break_seed=seed).schedule(plan)
+        _assert_valid_schedule(plan, schedule)
+        assert len(schedule.records) == len(plan)
+
+    def test_rejects_zero_slots(self):
+        with pytest.raises(ValueError):
+            LaunchScheduler(num_slots=0)
+
+
+class TestUtilization:
+    def test_slot_cycle_accounting_balances(self):
+        plan = _diamond_plan()
+        schedule = LaunchScheduler(num_slots=2).schedule(plan)
+        util = schedule.utilization()
+        assert util["busy_slot_us"] + util["idle_slot_us"] == pytest.approx(
+            util["num_slots"] * util["makespan_us"])
+        assert util["saturated_us"] <= util["makespan_us"] + 1e-9
+        assert util["ops"] == len(plan)
+        assert set(util["phases"]) == {"scatter", "work", "merge", "other"}
+        work = util["phases"]["work"]
+        # left (3us) and right (5us) overlap entirely over a 5us span
+        assert work["busy_us"] == pytest.approx(8.0)
+        assert work["span_us"] == pytest.approx(5.0)
+        assert work["concurrency"] == pytest.approx(1.6)
+
+    def test_merge_sums_parts_and_recomputes_speedup(self):
+        plan = _diamond_plan()
+        util = LaunchScheduler(num_slots=2).schedule(plan).utilization()
+        merged = merge_utilization([util, util])
+        assert merged["ops"] == 2 * util["ops"]
+        assert merged["makespan_us"] == pytest.approx(2 * util["makespan_us"])
+        assert merged["serialized_us"] == pytest.approx(
+            2 * util["serialized_us"])
+        assert merged["speedup"] == pytest.approx(util["speedup"])
+        assert merged["phases"]["work"]["ops"] == 2 * util["phases"]["work"]["ops"]
+
+    def test_merge_accepts_overrides(self):
+        plan = _diamond_plan()
+        util = LaunchScheduler(num_slots=2).schedule(plan).utilization()
+        merged = merge_utilization([util, util], makespan_us=util["makespan_us"],
+                                   num_slots=4)
+        assert merged["makespan_us"] == pytest.approx(util["makespan_us"])
+        assert merged["num_slots"] == 4
+        assert merged["speedup"] == pytest.approx(2 * util["speedup"])
+
+    def test_format_utilization_renders_every_phase(self):
+        plan = _diamond_plan()
+        util = LaunchScheduler(num_slots=2).schedule(plan).utilization()
+        text = format_utilization(util)
+        assert "launch-slot utilisation" in text
+        assert "makespan" in text and "critical path" in text
+        for phase in ("scatter", "work", "merge", "other"):
+            assert phase in text
+
+    def test_format_utilization_on_engine_stats(self):
+        """The renderer works on a real sort's utilization section."""
+        from repro.core.config import SampleSortConfig
+        from repro.core.sample_sort import SampleSorter
+
+        rng = np.random.default_rng(11)
+        keys = rng.integers(0, 1 << 30, size=9000, dtype=np.uint32)
+        config = SampleSortConfig.small().with_(
+            k=8, bucket_threshold=256, seed=5, launch_mode="pipelined")
+        result = SampleSorter(config=config).sort(keys)
+        text = format_utilization(result.stats["utilization"])
+        assert "phase4_scatter" in text
+        assert "bucket_sort" in text
