@@ -1,0 +1,113 @@
+"""A5 — Trace-timeline export: overhead, schema validity, reconciliation.
+
+Runs one deterministic service workload twice — tracing off, tracing on —
+and records what the observability layer costs and guarantees:
+
+* **identical simulation** — the traced run's simulated stats match the
+  untraced run byte-for-byte (tracing never moves a timestamp);
+* **schema-valid export** — the Chrome-trace-event JSON passes
+  :func:`repro.obs.validate_chrome_trace`, the same check CI applies to the
+  archived artifact;
+* **exact reconciliation** — per-phase busy time summed from launch spans
+  equals every engine run's ``utilization()`` busy time ±0.
+
+The timeline (events included) is archived in ``BENCH_trace_timeline.json``
+next to the other ``BENCH_*.json`` records so the CI artifact upload carries
+a ready-to-open Perfetto trace.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import print_block
+from repro.core.config import SampleSortConfig
+from repro.harness.report import format_service_report, format_trace_summary
+from repro.obs import chrome_trace, validate_chrome_trace
+from repro.service import ServiceConfig, SortService
+
+NUM_REQUESTS = 8
+REQUEST_N = 1 << 11
+SHARDED_N = 3 << 12
+RESULT_PATH = Path(__file__).resolve().parent.parent / \
+    "BENCH_trace_timeline.json"
+
+
+def _service(trace_mode):
+    sorter = SampleSortConfig.paper().with_(
+        k=8, oversampling=8, bucket_threshold=1 << 10, seed=7,
+        trace_mode=trace_mode)
+    return SortService(ServiceConfig(
+        num_shards=2, sorter=sorter, max_batch_elements=4 * REQUEST_N,
+        max_wait_us=100.0, shard_threshold=1 << 13))
+
+
+def _run(service):
+    rng = np.random.default_rng(2026)
+    now = 0.0
+    for _ in range(NUM_REQUESTS):
+        n = int(REQUEST_N * rng.uniform(0.7, 1.3))
+        service.submit(rng.integers(0, n, n).astype(np.uint32),
+                       arrival_us=now)
+        now += float(rng.exponential(20.0))
+    big_id = service.submit(
+        rng.integers(0, SHARDED_N, SHARDED_N).astype(np.uint32),
+        arrival_us=now + 50.0)
+    service.drain()
+    return big_id
+
+
+def test_bench_trace_timeline(benchmark):
+    def run():
+        t0 = time.perf_counter()
+        untraced = _service("off")
+        _run(untraced)
+        off_s = time.perf_counter() - t0
+        t1 = time.perf_counter()
+        traced = _service("spans")
+        big_id = _run(traced)
+        on_s = time.perf_counter() - t1
+        return untraced, traced, big_id, off_s, on_s
+
+    untraced, traced, big_id, off_s, on_s = \
+        benchmark.pedantic(run, rounds=1, iterations=1)
+
+    stats_off, stats_on = untraced.stats(), traced.stats()
+    stats_off.pop("wall_s"), stats_on.pop("wall_s")
+    assert stats_off == stats_on  # tracing never moves a simulated number
+
+    trace = chrome_trace(traced.tracer)
+    errors = validate_chrome_trace(trace)
+    assert errors == [], errors
+
+    # Exact reconciliation: launch-span durations vs utilization() accounting.
+    for engine in traced.tracer.find(name="engine.run", layer="engine"):
+        attrs = engine.attributes
+        launches = [s for s in traced.tracer.subtree(engine)
+                    if s.layer == "launch"]
+        launches.sort(key=lambda s: s.attributes["seq"])
+        assert sum(s.duration_us for s in launches) == attrs["busy_slot_us"]
+        assert engine.duration_us == attrs["makespan_us"]
+
+    events = sum(1 for e in trace["traceEvents"] if e["ph"] == "X")
+    summary = format_trace_summary(traced.tracer,
+                                   traced.request_span(big_id),
+                                   title=f"sharded request {big_id}")
+    assert "MISMATCH" not in summary and "WARNING" not in summary
+    print_block("Service stats (traced run)",
+                format_service_report(stats_on))
+    print_block(f"Trace timeline — {len(traced.tracer)} spans, "
+                f"{events} events",
+                summary + f"\n\nwall: untraced {off_s * 1e3:.1f} ms, "
+                          f"traced {on_s * 1e3:.1f} ms")
+
+    RESULT_PATH.write_text(json.dumps({
+        "spans": len(traced.tracer),
+        "events": events,
+        "schema_errors": errors,
+        "wall_untraced_s": off_s,
+        "wall_traced_s": on_s,
+        "trace": trace,
+    }, indent=2) + "\n")

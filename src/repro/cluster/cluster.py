@@ -41,6 +41,7 @@ from ..core.config import SampleSortConfig
 from ..core.launch_plan import merge_utilization
 from ..gpu.device import DeviceSpec
 from ..gpu.errors import DeviceConfigError, GpuSimError
+from ..obs import MetricsRegistry, Tracer
 from ..service.queue import (
     OversizeRequestError,
     QueueFullError,
@@ -169,13 +170,34 @@ class ClusterResult:
 
 
 class SortCluster:
-    """Replicated sort service with caching, fair queueing and spill routing."""
+    """Replicated sort service with caching, fair queueing and spill routing.
+
+    Telemetry lives in a :class:`repro.obs.MetricsRegistry`
+    (``self.metrics``); with ``trace_mode == "spans"`` the cluster owns one
+    shared :class:`repro.obs.Tracer` that every replica records into, so a
+    request's spans — frontend wait, routing, cache lookups, the replica's
+    queue/batch/engine subtree — land in a single exportable timeline
+    (:meth:`request_span` returns the per-request root).
+    """
+
+    #: ``stats()["counts"]`` keys, in their historical render order.
+    _COUNT_EVENTS = ("submitted", "completed", "replica_served", "cache_hits",
+                     "coalesced_hits", "rejected_invalid",
+                     "rejected_oversize", "forced_flushes")
 
     def __init__(self, config: Optional[ClusterConfig] = None):
         self.config = config if config is not None else ClusterConfig()
+        self.metrics = MetricsRegistry()
+        for event in self._COUNT_EVENTS:
+            self.metrics.counter("requests", event=event)
+        self.tracer = (Tracer()
+                       if self.config.service.sorter.trace_mode == "spans"
+                       else None)
+        self._request_spans: dict[int, object] = {}
         self.replicas = [
             ServiceReplica(replica_id=i,
-                           config=self.config.replica_service_config(i))
+                           config=self.config.replica_service_config(i),
+                           tracer=self.tracer)
             for i in range(self.config.num_replicas)
         ]
         fingerprints = {
@@ -211,16 +233,9 @@ class SortCluster:
         self._routed: dict[tuple[int, int], tuple] = {}
         #: Coalesced twins waiting for their primary's output, same story.
         self._coalesced: list[tuple[_ClusterRequest, int, float]] = []
-        self._counts = {
-            "submitted": 0,
-            "completed": 0,
-            "replica_served": 0,
-            "cache_hits": 0,
-            "coalesced_hits": 0,
-            "rejected_invalid": 0,
-            "rejected_oversize": 0,
-            "forced_flushes": 0,
-        }
+
+    def _count(self, event: str) -> None:
+        self.metrics.counter("requests", event=event).inc()
 
     @property
     def sorter_config(self) -> SampleSortConfig:
@@ -235,12 +250,12 @@ class SortCluster:
         applies (shape, dtype, layout, size) — an invalid request must fail at
         the front door, not mid-drain inside a replica.
         """
-        self._counts["submitted"] += 1
+        self._count("submitted")
         try:
             validated = SortRequest(request_id=-1, keys=keys, values=values,
                                     arrival_us=float(arrival_us))
             if validated.n > self.config.service.max_request_elements:
-                self._counts["rejected_oversize"] += 1
+                self._count("rejected_oversize")
                 raise OversizeRequestError(
                     f"request of {validated.n} elements exceeds the admission "
                     f"limit of {self.config.service.max_request_elements}"
@@ -254,7 +269,7 @@ class SortCluster:
         except OversizeRequestError:
             raise
         except GpuSimError:
-            self._counts["rejected_invalid"] += 1
+            self._count("rejected_invalid")
             raise
         cost_us = self.cost_model.predict_sort_us(
             validated.n, validated.keys.dtype.itemsize,
@@ -451,7 +466,7 @@ class SortCluster:
             return self.balancer.dispatch(self.replicas, request.keys,
                                           request.values, arrival_us=now)
         except QueueFullError:
-            self._counts["forced_flushes"] += 1
+            self._count("forced_flushes")
             for replica in self.replicas:
                 replica.drain()
             replica, service_id, retry_spills = self.balancer.dispatch(
@@ -463,12 +478,69 @@ class SortCluster:
 
     def _commit(self, result: ClusterResult) -> None:
         self._results[result.request_id] = result
-        self._counts["completed"] += 1
-        self._counts[{
+        self._count("completed")
+        self._count({
             "replica": "replica_served",
             "cache": "cache_hits",
             "coalesced": "coalesced_hits",
-        }[result.source]] += 1
+        }[result.source])
+        self.metrics.histogram("latency_us").observe(result.latency_us)
+        self.metrics.histogram("tenant_latency_us",
+                               tenant=result.tenant).observe(result.latency_us)
+        if self.tracer is not None:
+            self._emit_request_spans(result)
+
+    def _emit_request_spans(self, result: ClusterResult) -> None:
+        """Record the cluster-level span tree of one committed request.
+
+        The ``request`` root (frontend process lane) is tiled by
+        ``frontend_wait`` → ``route`` segments up to the routing decision at
+        ``dispatch_us``; from there a replica-served request adopts the
+        service's own ``request`` span as its execution segment, while cache
+        and coalesced hits close with a front-end-only segment.
+        """
+        tracer = self.tracer
+        root = tracer.span(
+            "request", layer="cluster",
+            start_us=result.arrival_us, end_us=result.completion_us,
+            request_id=result.request_id, tenant=result.tenant, n=result.n,
+            source=result.source,
+            lane=f"request {result.request_id}", pid_label="frontend",
+        )
+        routed_us = result.dispatch_us
+        # The route segment is the front-end service time; with a zero
+        # routing cost it collapses to a zero-width marker at dispatch.
+        picked_us = min(routed_us,
+                        max(result.arrival_us,
+                            routed_us - self.config.routing_cost_us))
+        tracer.span("frontend_wait", layer="cluster",
+                    start_us=result.arrival_us, end_us=picked_us,
+                    parent=root, kind="segment")
+        tracer.span("route", layer="cluster",
+                    start_us=picked_us, end_us=routed_us,
+                    parent=root, kind="segment",
+                    routing_cost_us=self.config.routing_cost_us)
+        if result.source == "cache":
+            tracer.span("cache_lookup", layer="cluster",
+                        start_us=routed_us, end_us=result.completion_us,
+                        parent=root, kind="segment",
+                        cache_lookup_us=self.config.cache_lookup_us)
+        elif result.source == "coalesced":
+            tracer.span("coalesced_wait", layer="cluster",
+                        start_us=routed_us, end_us=result.completion_us,
+                        parent=root, kind="segment",
+                        cache_lookup_us=self.config.cache_lookup_us)
+        else:
+            service_span = self.replicas[result.replica_id].service \
+                .request_span(result.service_request_id)
+            if service_span is not None:
+                tracer.adopt(service_span, root, kind="segment")
+        self._request_spans[result.request_id] = root
+
+    def request_span(self, request_id: int):
+        """The cluster-level ``request`` root span of one completed request,
+        or ``None`` (not completed, or tracing off)."""
+        return self._request_spans.get(request_id)
 
     # ------------------------------------------------------------- telemetry
     def results(self) -> dict[int, ClusterResult]:
@@ -484,15 +556,17 @@ class SortCluster:
         """
         results = list(self._results.values())
         replica_stats = [replica.stats() for replica in self.replicas]
+        counts = {event: self.metrics.counter("requests", event=event).value
+                  for event in self._COUNT_EVENTS}
         snapshot: dict = {
-            "counts": dict(self._counts),
+            "counts": counts,
             "num_replicas": len(self.replicas),
             "balancer": self.balancer.stats(),
             "cache": None if self.cache is None else self.cache.stats(),
             "cache_hit_rate": (
-                (self._counts["cache_hits"] + self._counts["coalesced_hits"])
-                / self._counts["completed"]
-                if self._counts["completed"] else 0.0
+                (counts["cache_hits"] + counts["coalesced_hits"])
+                / counts["completed"]
+                if counts["completed"] else 0.0
             ),
             "spill_count": self.balancer.stats()["spilled_requests"],
             "frontend": {
@@ -505,13 +579,18 @@ class SortCluster:
         if results:
             makespan_us = (max(r.completion_us for r in results)
                            - min(r.arrival_us for r in results))
-            latencies = np.array([r.latency_us for r in results])
             total_elements = sum(r.n for r in results)
+            # The cluster latency histogram is observed at _commit, in
+            # results-insertion order — the same floats, in the same order,
+            # the ad-hoc array math historically percentiled.
+            latency = self.metrics.histogram("latency_us").snapshot(
+                percentiles=(50, 95, 99))
             snapshot["latency_us"] = {
-                "p50": float(np.percentile(latencies, 50)),
-                "p95": float(np.percentile(latencies, 95)),
-                "mean": float(np.mean(latencies)),
-                "max": float(np.max(latencies)),
+                "p50": latency["p50"],
+                "p95": latency["p95"],
+                "p99": latency["p99"],
+                "mean": latency["mean"],
+                "max": latency["max"],
             }
             snapshot["throughput"] = {
                 "makespan_us": makespan_us,
@@ -522,29 +601,28 @@ class SortCluster:
             }
         else:
             makespan_us = 0.0
-            snapshot["latency_us"] = {"p50": 0.0, "p95": 0.0,
+            snapshot["latency_us"] = {"p50": 0.0, "p95": 0.0, "p99": 0.0,
                                       "mean": 0.0, "max": 0.0}
             snapshot["throughput"] = {"makespan_us": 0.0,
                                       "elements_per_us": 0.0,
                                       "requests_per_ms": 0.0}
 
-        # Per-tenant: scheduler credit accounting + completed latencies.
+        # Per-tenant: scheduler credit accounting + completed latencies from
+        # the per-tenant histograms (observed at _commit, in commit order).
         tenants = self.scheduler.stats()["tenants"]
-        by_tenant: dict[str, list[float]] = {}
-        served: dict[str, int] = {}
-        for result in results:
-            by_tenant.setdefault(result.tenant, []).append(result.latency_us)
-            served[result.tenant] = served.get(result.tenant, 0) + 1
         for name, entry in tenants.items():
-            latencies = by_tenant.get(name)
-            entry["completed"] = served.get(name, 0)
-            if latencies:
-                entry["latency_us"] = {
-                    "p50": float(np.percentile(latencies, 50)),
-                    "p95": float(np.percentile(latencies, 95)),
-                }
-            else:
-                entry["latency_us"] = {"p50": 0.0, "p95": 0.0}
+            hist = self.metrics.get("tenant_latency_us", tenant=name)
+            summary = (hist.snapshot(percentiles=(50, 95, 99))
+                       if hist is not None
+                       else {"count": 0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+                             "max": 0.0})
+            entry["completed"] = summary["count"]
+            entry["latency_us"] = {
+                "p50": summary["p50"],
+                "p95": summary["p95"],
+                "p99": summary["p99"],
+                "max": summary["max"],
+            }
         snapshot["tenants"] = tenants
 
         # Per-replica: served counts plus device occupancy over the cluster

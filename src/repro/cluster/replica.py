@@ -26,11 +26,19 @@ from ..service.service import ServiceConfig, ServiceResult, SortService
 
 
 class ServiceReplica:
-    """One :class:`SortService` with an identity and front-end load hooks."""
+    """One :class:`SortService` with an identity and front-end load hooks.
 
-    def __init__(self, replica_id: int, config: Optional[ServiceConfig] = None):
+    ``tracer`` optionally hands the replica's service a shared
+    :class:`repro.obs.Tracer` (the cluster passes one tracer to every replica
+    so request spans land in a single timeline); the replica labels its spans'
+    Perfetto process lane ``"replica N"``.
+    """
+
+    def __init__(self, replica_id: int, config: Optional[ServiceConfig] = None,
+                 tracer=None):
         self.replica_id = replica_id
-        self.service = SortService(config)
+        self.service = SortService(config, tracer=tracer,
+                                   pid_label=f"replica {replica_id}")
         #: Requests routed here by the front end (includes spilled-in ones).
         self.routed_requests = 0
 

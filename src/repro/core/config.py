@@ -39,6 +39,13 @@ DEFAULT_KERNEL_MODE = os.environ.get("REPRO_KERNEL_MODE", "vectorized")
 #: program-order) schedule without touching any call site.
 DEFAULT_LAUNCH_MODE = os.environ.get("REPRO_LAUNCH_MODE", "pipelined")
 
+#: Default observability mode. ``REPRO_TRACE=spans`` makes every service /
+#: cluster construct a :class:`repro.obs.Tracer` and record request-scoped
+#: spans (see :mod:`repro.obs`); ``"off"`` records nothing. Tracing never
+#: moves a simulated timestamp, so the CI matrix can run the whole suite
+#: under ``spans`` without touching any call site.
+DEFAULT_TRACE_MODE = os.environ.get("REPRO_TRACE", "off")
+
 
 @dataclass(frozen=True)
 class SampleSortConfig:
@@ -98,6 +105,12 @@ class SampleSortConfig:
     #: (None = deterministic FIFO order). Any seed yields a legal packing;
     #: the property suite sweeps this to prove bytes never depend on it.
     launch_tie_break: int | None = None
+    #: Observability: ``"spans"`` makes services and clusters record
+    #: request-scoped :class:`repro.obs.Tracer` spans down to individual
+    #: launch-slot executions; ``"off"`` (default) records nothing and is
+    #: byte-identical to the pre-tracing behaviour — spans only read timing
+    #: the simulation computed anyway, they never move it.
+    trace_mode: str = DEFAULT_TRACE_MODE
     #: Seed for splitter sampling (None = nondeterministic).
     seed: int | None = 0
 
@@ -137,6 +150,10 @@ class SampleSortConfig:
             raise ValueError(
                 f"launch_mode must be 'pipelined' or 'barriered', "
                 f"got {self.launch_mode!r}"
+            )
+        if self.trace_mode not in ("off", "spans"):
+            raise ValueError(
+                f"trace_mode must be 'off' or 'spans', got {self.trace_mode!r}"
             )
 
     # --------------------------------------------------------------- derived

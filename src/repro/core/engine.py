@@ -188,6 +188,10 @@ class DistributionEngine:
     def __init__(self, device: DeviceSpec, config: SampleSortConfig):
         self.device = device
         self.config = config
+        #: ``op_id -> (kind, level)`` tags recorded while building the launch
+        #: plan, so span emission can group slot records by recursion level.
+        #: ``None`` (no tracer) keeps the tagging entirely off the hot path.
+        self._op_tags: Optional[dict[int, tuple[str, int]]] = None
 
     # ------------------------------------------------------------------ public
     def run(
@@ -199,6 +203,8 @@ class DistributionEngine:
         aux_values: Optional[DeviceArray],
         roots: list[SegmentDescriptor],
         request_bounds: Optional[list[tuple[int, int]]] = None,
+        tracer=None,
+        trace_parent=None,
     ) -> dict:
         """Distribute every root down to leaf buckets, then sort the buckets.
 
@@ -209,8 +215,17 @@ class DistributionEngine:
         ``"request_attribution"``: per-request time / launch shares pro-rated
         from the shared trace by each request's element count per trace region
         (see :class:`RequestAttribution`); the shares sum to the run totals.
+
+        With a :class:`repro.obs.Tracer`, the run additionally emits a span
+        tree on a run-local clock starting at zero — an ``"engine.run"`` root
+        (optionally under ``trace_parent``) over per-level group spans over
+        one ``layer="launch"`` span per scheduled :class:`SlotRecord` — and
+        stores the root's id under ``stats["trace_root"]``. The caller is
+        expected to :meth:`~repro.obs.Tracer.rebase` the subtree onto the
+        stream window the dispatch actually occupied.
         """
         trace_start = len(launcher.trace)
+        self._op_tags = {} if tracer is not None else None
         pipelined = self.config.launch_mode == "pipelined"
         num_slots = self.device.concurrent_launch_slots if pipelined else 1
         stats: dict = {
@@ -243,10 +258,12 @@ class DistributionEngine:
         # level_batched and in per_segment mode; none in the pipelined
         # level-batched schedule, which sorted each level's leaves as they
         # went leaf) are sorted with one final launch.
+        mark_ops = len(plan.ops)
         self._sort_leaf_chunks(
             launcher, leaves, primary_keys, primary_values, aux_keys,
             aux_values, stats, attribution, plan, max_chunks=1,
         )
+        self._tag_ops(plan, mark_ops, "leaf_sort", -1)
 
         run_trace = launcher.trace.slice_from(trace_start)
         if len(plan) != run_trace.kernel_count:
@@ -266,7 +283,75 @@ class DistributionEngine:
         stats["utilization"] = schedule.utilization()
         if attribution is not None:
             stats["request_attribution"] = attribution.entries
+        if tracer is not None:
+            stats["trace_root"] = self._emit_spans(
+                tracer, trace_parent, schedule, stats
+            )
         return stats
+
+    # ------------------------------------------------------------ observability
+    def _tag_ops(self, plan: Optional[LaunchPlan], mark: int,
+                 kind: str, level: int) -> None:
+        """Tag plan ops added since ``mark`` with their recursion level."""
+        if self._op_tags is None or plan is None:
+            return
+        for op_id in range(mark, len(plan.ops)):
+            self._op_tags[op_id] = (kind, level)
+
+    def _emit_spans(self, tracer, trace_parent, schedule, stats: dict) -> int:
+        """Emit the run's span tree on a run-local clock; returns the root id.
+
+        Structure: one ``"engine.run"`` root spanning ``[0, makespan_us]``,
+        one group span per (kind, recursion level) covering that group's slot
+        records, and one ``layer="launch"`` child per
+        :class:`~repro.core.launch_plan.SlotRecord`. Every launch span carries
+        its schedule-order index as ``seq``, so summing durations in ``seq``
+        order reproduces :meth:`ScheduleResult.utilization` busy slot-cycles
+        bit-for-bit (same floats, same order); the root's ``phase_busy_us``
+        attribute carries those exact totals for the reconciliation check.
+        """
+        util = stats["utilization"]
+        root = tracer.span(
+            "engine.run", layer="engine",
+            start_us=0.0, end_us=schedule.makespan_us,
+            parent=trace_parent,
+            makespan_us=schedule.makespan_us,
+            critical_path_us=schedule.critical_path_us,
+            serialized_us=schedule.serialized_us,
+            num_slots=schedule.num_slots,
+            busy_slot_us=util["busy_slot_us"],
+            phase_busy_us={phase: entry["busy_us"]
+                           for phase, entry in util["phases"].items()},
+            execution_mode=self.config.execution_mode,
+            launch_mode=self.config.launch_mode,
+            kernel_launches=stats["kernel_launches"],
+        )
+        groups: dict[tuple[str, int], list] = {}
+        for seq, record in enumerate(schedule.records):
+            tag = self._op_tags.get(record.op_id, ("leaf_sort", -1))
+            groups.setdefault(tag, []).append((seq, record))
+        for (kind, level), records in groups.items():
+            if kind == "distribute":
+                name = f"distribute level {level}"
+            elif level < 0:
+                name = "leaf sort (final)"
+            else:
+                name = f"leaf sort @ level {level}"
+            group = tracer.span(
+                name, layer="engine",
+                start_us=min(r.start_us for _, r in records),
+                end_us=max(r.end_us for _, r in records),
+                parent=root, kind=kind, level=level, ops=len(records),
+                busy_us=sum(r.duration_us for _, r in records),
+            )
+            for seq, record in records:
+                tracer.span(
+                    record.name, layer="launch",
+                    start_us=record.start_us, end_us=record.end_us,
+                    parent=group, phase=record.phase, slot=record.slot,
+                    op_id=record.op_id, seq=seq,
+                )
+        return root.span_id
 
     # ------------------------------------------------------------- scheduling
     def is_leaf(self, segment: SegmentDescriptor) -> bool:
@@ -365,10 +450,12 @@ class DistributionEngine:
                 leaves.append(segment)
                 continue
             trace_before = len(launcher.trace)
+            mark_ops = len(plan.ops) if plan is not None else 0
             children, _ = self._level_pass(
                 launcher, [segment], primary_keys, primary_values,
                 aux_keys, aux_values, plan=plan,
             )
+            self._tag_ops(plan, mark_ops, "distribute", segment.depth)
             if attribution is not None:
                 # A segment never spans request bounds, so its launches are
                 # attributed in full to its request.
@@ -423,11 +510,14 @@ class DistributionEngine:
             if pipelined:
                 # Async frontier: these buckets are finished — issue their
                 # sorts now so they overlap the deeper levels' distribution.
+                mark_ops = len(plan.ops) if plan is not None else 0
                 self._sort_leaf_chunks(
                     launcher, level_leaves, primary_keys, primary_values,
                     aux_keys, aux_values, stats, attribution, plan,
                     max_chunks=num_slots,
                 )
+                self._tag_ops(plan, mark_ops, "leaf_sort",
+                              frontier[0].depth)
             else:
                 leaves.extend(level_leaves)
             if not active:
@@ -452,10 +542,12 @@ class DistributionEngine:
             children: list[SegmentDescriptor] = []
             for cohort in cohorts:
                 trace_before = len(launcher.trace)
+                mark_ops = len(plan.ops) if plan is not None else 0
                 cohort_children, cohort_info = self._level_pass(
                     launcher, cohort, primary_keys, primary_values,
                     aux_keys, aux_values, plan=plan,
                 )
+                self._tag_ops(plan, mark_ops, "distribute", active[0].depth)
                 children.extend(cohort_children)
                 if attribution is not None:
                     attribution.add_records(

@@ -183,6 +183,12 @@ class ScheduleResult:
         was busy (the device had no free stream slot), ``phases`` breaks the
         busy slot-cycles down by phase tag with each phase's wall span and
         achieved packing concurrency.
+
+        The same records drive the :mod:`repro.obs` tracing layer: with
+        tracing on, the engine emits one launch span per
+        :class:`SlotRecord` (tagged with its schedule-record index), and the
+        span-derived busy totals reconcile bit-for-bit with this method's
+        sums — see :func:`repro.harness.report.format_trace_summary`.
         """
         makespan = self.makespan_us
         busy = sum(r.duration_us for r in self.records)
@@ -343,6 +349,12 @@ def merge_utilization(parts: Sequence[dict], *,
     caller knows better (e.g. shards running concurrently) and passes an
     explicit ``makespan_us``. ``num_slots`` defaults to the sum of the parts'
     slots (a pool of devices is a pool of slots).
+
+    Degenerate inputs stay finite: empty (or all-falsy) ``parts`` merge to a
+    float-typed all-zero report with ``speedup`` 1.0, and zero-duration /
+    zero-slot parts contribute zeros rather than NaN — the guarantee
+    :func:`repro.harness.report.format_utilization` and the
+    :mod:`repro.obs` span-reconciliation checks rely on.
     """
     parts = [p for p in parts if p]
     merged: dict = {
@@ -350,12 +362,15 @@ def merge_utilization(parts: Sequence[dict], *,
                       else sum(p.get("num_slots", 1) for p in parts)),
         "ops": sum(p.get("ops", 0) for p in parts),
         "makespan_us": (makespan_us if makespan_us is not None
-                        else sum(p.get("makespan_us", 0.0) for p in parts)),
-        "critical_path_us": sum(p.get("critical_path_us", 0.0) for p in parts),
-        "serialized_us": sum(p.get("serialized_us", 0.0) for p in parts),
-        "busy_slot_us": sum(p.get("busy_slot_us", 0.0) for p in parts),
-        "idle_slot_us": sum(p.get("idle_slot_us", 0.0) for p in parts),
-        "saturated_us": sum(p.get("saturated_us", 0.0) for p in parts),
+                        else float(sum(p.get("makespan_us", 0.0)
+                                       for p in parts))),
+        "critical_path_us": float(sum(p.get("critical_path_us", 0.0)
+                                      for p in parts)),
+        "serialized_us": float(sum(p.get("serialized_us", 0.0)
+                                   for p in parts)),
+        "busy_slot_us": float(sum(p.get("busy_slot_us", 0.0) for p in parts)),
+        "idle_slot_us": float(sum(p.get("idle_slot_us", 0.0) for p in parts)),
+        "saturated_us": float(sum(p.get("saturated_us", 0.0) for p in parts)),
         "phases": {},
     }
     merged["speedup"] = (merged["serialized_us"] / merged["makespan_us"]

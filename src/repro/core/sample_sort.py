@@ -113,6 +113,8 @@ class SampleSorter(GpuSorter):
         batch_keys: Sequence[np.ndarray],
         batch_values: Optional[Sequence[np.ndarray]] = None,
         trace: Optional[KernelTrace] = None,
+        tracer=None,
+        trace_parent=None,
     ) -> list[SortResult]:
         """Sort many independent inputs with one engine run.
 
@@ -145,7 +147,10 @@ class SampleSorter(GpuSorter):
         ``trace`` optionally supplies an existing :class:`KernelTrace` to
         append to — a device shard reuses one trace across the batches it
         serves, the simulator's equivalent of enqueueing work on a persistent
-        CUDA stream.
+        CUDA stream. ``tracer`` / ``trace_parent`` optionally forward a
+        :class:`repro.obs.Tracer` into the engine run, which then records its
+        span tree (on a run-local clock) and notes the root id under every
+        result's ``stats["trace_root"]``.
         """
         if len(batch_keys) == 0:
             return []
@@ -214,7 +219,7 @@ class SampleSorter(GpuSorter):
         engine = DistributionEngine(self.device, config)
         stats = engine.run(
             launcher, primary_keys, primary_values, aux_keys, aux_values, roots,
-            request_bounds=bounds,
+            request_bounds=bounds, tracer=tracer, trace_parent=trace_parent,
         )
         stats["batch_size"] = len(keys_list)
         attribution = stats.pop("request_attribution")

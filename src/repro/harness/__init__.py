@@ -20,6 +20,7 @@ from .report import (
     format_paper_comparison,
     format_series_table,
     format_service_report,
+    format_trace_summary,
     format_utilization,
 )
 from .runner import (
@@ -54,6 +55,7 @@ __all__ = [
     "format_paper_comparison",
     "format_series_table",
     "format_service_report",
+    "format_trace_summary",
     "format_utilization",
     "format_cluster_report",
     "ExperimentResult",

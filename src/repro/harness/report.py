@@ -5,6 +5,12 @@ algorithm rates per input size per distribution — and, where digitised paper
 values exist, a side-by-side *paper vs. reproduction* table. Everything is
 plain monospace text so it shows up directly in ``pytest -s`` / benchmark logs
 and can be pasted into EXPERIMENTS.md.
+
+The serving-side renderers consume the :mod:`repro.obs` instrumentation:
+:func:`format_service_report` / :func:`format_cluster_report` print the
+histogram-backed latency percentiles, and :func:`format_trace_summary` walks a
+:class:`repro.obs.Tracer` request span tree into the per-request critical-path
+attribution (queue / batch / dispatch / kernel / merge / routing).
 """
 
 from __future__ import annotations
@@ -157,6 +163,19 @@ def format_launch_summary(sort_result, title: Optional[str] = None) -> str:
     return "\n".join(lines)
 
 
+def _finite(value, default: float = 0.0) -> float:
+    """A guaranteed-finite float for rendering (NaN/inf become ``default``).
+
+    Degenerate utilisation inputs — empty merges, zero-slot records, all-idle
+    windows — must render as honest zeros, never as ``nan`` in a report.
+    """
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        return default
+    return value if np.isfinite(value) else default
+
+
 def format_utilization(util: dict, title: Optional[str] = None) -> str:
     """Render a launch-slot utilisation dict as a per-phase table.
 
@@ -167,25 +186,29 @@ def format_utilization(util: dict, title: Optional[str] = None) -> str:
     aggregate). Three headline lines — achieved makespan vs the dependency
     critical path vs the fully serialized launch total, then the slot-cycle
     split into busy/idle and the saturated window — followed by one row per
-    phase with its achieved packing concurrency.
+    phase with its achieved packing concurrency. Every number is rendered
+    through a finiteness guard, so degenerate inputs (empty merges, zero-slot
+    records, all-idle windows) print zeros rather than ``nan``. The same
+    numbers feed the :mod:`repro.obs` span reconciliation — see
+    :func:`format_trace_summary`.
     """
     lines = [title or (f"launch-slot utilisation — "
                        f"{util.get('num_slots', '?')} slot(s), "
                        f"{util.get('ops', 0)} launches")]
     lines.append(
-        f"makespan {util.get('makespan_us', 0.0):.1f} us "
-        f"(critical path {util.get('critical_path_us', 0.0):.1f} us, "
-        f"serialized {util.get('serialized_us', 0.0):.1f} us, "
-        f"speedup {util.get('speedup', 1.0):.2f}x)"
+        f"makespan {_finite(util.get('makespan_us', 0.0)):.1f} us "
+        f"(critical path {_finite(util.get('critical_path_us', 0.0)):.1f} us, "
+        f"serialized {_finite(util.get('serialized_us', 0.0)):.1f} us, "
+        f"speedup {_finite(util.get('speedup', 1.0), 1.0):.2f}x)"
     )
-    busy = util.get("busy_slot_us", 0.0)
-    idle = util.get("idle_slot_us", 0.0)
+    busy = _finite(util.get("busy_slot_us", 0.0))
+    idle = _finite(util.get("idle_slot_us", 0.0))
     cycles = busy + idle
     occupancy = (busy / cycles * 100.0) if cycles > 0 else 0.0
     lines.append(
         f"slot-cycles: {busy:.1f} us busy / {idle:.1f} us idle "
-        f"({occupancy:.1f}% occupied), all slots saturated for "
-        f"{util.get('saturated_us', 0.0):.1f} us"
+        f"({_finite(occupancy):.1f}% occupied), all slots saturated for "
+        f"{_finite(util.get('saturated_us', 0.0)):.1f} us"
     )
     phases = util.get("phases")
     if phases:
@@ -194,10 +217,10 @@ def format_utilization(util: dict, title: Optional[str] = None) -> str:
         for phase, entry in phases.items():
             lines.append(
                 f"{phase:<24}{entry.get('ops', 0):>6}"
-                f"{entry.get('busy_us', 0.0):>10.1f}"
-                f"{entry.get('span_us', 0.0):>10.1f}"
-                f"{entry.get('concurrency', 0.0):>7.2f}"
-                f"{entry.get('saturated_us', 0.0):>9.1f}"
+                f"{_finite(entry.get('busy_us', 0.0)):>10.1f}"
+                f"{_finite(entry.get('span_us', 0.0)):>10.1f}"
+                f"{_finite(entry.get('concurrency', 0.0)):>7.2f}"
+                f"{_finite(entry.get('saturated_us', 0.0)):>9.1f}"
             )
     return "\n".join(lines)
 
@@ -237,6 +260,7 @@ def format_service_report(snapshot: dict, title: Optional[str] = None) -> str:
         if latency:
             lines.append(
                 f"latency [us]: p50 {latency['p50']:.1f}, p95 {latency['p95']:.1f}, "
+                f"p99 {latency.get('p99', latency['p95']):.1f}, "
                 f"mean {latency['mean']:.1f}, max {latency['max']:.1f}"
             )
         throughput = snapshot.get("throughput")
@@ -325,6 +349,7 @@ def format_cluster_report(snapshot: dict, title: Optional[str] = None) -> str:
         lines.append(
             f"latency [us]: p50 {latency.get('p50', 0.0):.1f}, "
             f"p95 {latency.get('p95', 0.0):.1f}, "
+            f"p99 {latency.get('p99', 0.0):.1f}, "
             f"mean {latency.get('mean', 0.0):.1f}, "
             f"max {latency.get('max', 0.0):.1f}"
         )
@@ -337,13 +362,17 @@ def format_cluster_report(snapshot: dict, title: Optional[str] = None) -> str:
     tenants = snapshot.get("tenants")
     if tenants:
         lines.append(f"{'tenant':<14}{'prio':>5}{'weight':>8}{'reqs':>6}"
-                     f"{'elements':>10}{'p50 us':>9}{'p95 us':>9}")
+                     f"{'elements':>10}{'p50 us':>9}{'p95 us':>9}"
+                     f"{'p99 us':>9}{'max us':>9}")
         for name, entry in tenants.items():
+            latency_us = entry["latency_us"]
             lines.append(
                 f"{name:<14}{entry['priority']:>5}{entry['weight']:>8.1f}"
                 f"{entry['completed']:>6}{entry['dispatched_elements']:>10}"
-                f"{entry['latency_us']['p50']:>9.1f}"
-                f"{entry['latency_us']['p95']:>9.1f}"
+                f"{latency_us['p50']:>9.1f}"
+                f"{latency_us['p95']:>9.1f}"
+                f"{latency_us.get('p99', latency_us['p95']):>9.1f}"
+                f"{latency_us.get('max', 0.0):>9.1f}"
             )
     replicas = snapshot.get("replicas")
     if replicas:
@@ -360,6 +389,137 @@ def format_cluster_report(snapshot: dict, title: Optional[str] = None) -> str:
     utilization = snapshot.get("utilization")
     if utilization:
         lines.append(format_utilization(utilization))
+    return "\n".join(lines)
+
+
+def format_trace_summary(tracer, request, title: Optional[str] = None) -> str:
+    """Per-request critical-path attribution from a request's span tree.
+
+    ``tracer`` is the :class:`repro.obs.Tracer` the serving stack recorded
+    into; ``request`` is a request root :class:`repro.obs.Span` (what
+    :meth:`SortService.request_span` / :meth:`SortCluster.request_span`
+    return) or its span id. Renders:
+
+    * the segment table — ``kind="segment"`` children tiling the request
+      window (queue / batch-wait / dispatch / execute at the service;
+      frontend wait / routing / cache lookups above it at the cluster), each
+      with its share of the request latency, nested segments indented;
+    * the decomposition check — segments share boundary timestamps, so the
+      tiling is verified **exactly** (every segment starts where its
+      predecessor ended, the first at arrival, the last at completion);
+    * the kernel attribution — every engine run reachable from the request
+      (through a sharded subtree, or via the ``batch_span`` cross-reference
+      on an ``execute`` segment, since a shared micro-batch's engine run
+      cannot live inside one request's trace), with its span-derived busy
+      slot-cycles reconciled ±0 against the ``utilization()`` numbers the
+      engine stamped on the root span (summed in schedule-record order, so
+      the floats match bit for bit);
+    * scatter / merge rows for sharded requests.
+    """
+    span = request if hasattr(request, "span_id") else tracer.get(request)
+    attrs = span.attributes
+    lines = [title or (
+        f"request {attrs.get('request_id', '?')} trace — layer {span.layer}, "
+        f"{span.duration_us:.1f} us latency "
+        f"({span.start_us:.1f} -> {span.end_us:.1f} us)"
+    )]
+
+    def segments_of(parent):
+        return sorted(
+            (child for child in tracer.children(parent)
+             if child.attributes.get("kind") == "segment"),
+            key=lambda s: (s.start_us, s.span_id),
+        )
+
+    lines.append(f"{'segment':<28}{'start us':>12}{'end us':>12}"
+                 f"{'duration us':>13}{'share':>8}")
+    tiling_ok = True
+
+    def emit(parent, indent):
+        nonlocal tiling_ok
+        segs = segments_of(parent)
+        cursor = parent.start_us
+        for seg in segs:
+            share = (seg.duration_us / span.duration_us * 100.0
+                     if span.duration_us > 0 else 0.0)
+            label = " " * indent + seg.name
+            lines.append(f"{label:<28}{seg.start_us:>12.1f}{seg.end_us:>12.1f}"
+                         f"{seg.duration_us:>13.1f}{share:>7.1f}%")
+            if seg.start_us != cursor:
+                tiling_ok = False
+            cursor = seg.end_us
+            emit(seg, indent + 2)
+        if segs and cursor != parent.end_us:
+            tiling_ok = False
+        return segs
+
+    top = emit(span, 0)
+    if top:
+        lines.append(
+            "segments tile the request window exactly"
+            if tiling_ok else
+            "WARNING: segments do NOT tile the request window"
+        )
+
+    # Engine runs reachable from this request: inside the subtree (sharded
+    # requests adopt their engine runs) or via batch_span cross-references
+    # (batched requests share their engine run with batch siblings).
+    engine_roots: list = []
+    origins: dict[int, str] = {}
+    for node in tracer.subtree(span):
+        if node.layer == "engine" and node.name == "engine.run":
+            engine_roots.append(node)
+            origins[node.span_id] = "sharded subtree"
+        batch_ref = node.attributes.get("batch_span")
+        if node.attributes.get("kind") == "segment" and batch_ref is not None:
+            batch_span = tracer.get(batch_ref)
+            for sub in tracer.subtree(batch_span):
+                if (sub.layer == "engine" and sub.name == "engine.run"
+                        and sub.span_id not in origins):
+                    engine_roots.append(sub)
+                    origins[sub.span_id] = (
+                        f"batch {batch_span.attributes.get('batch_id', '?')} "
+                        f"(shared with "
+                        f"{batch_span.attributes.get('requests', '?')} "
+                        f"request(s))"
+                    )
+    for node in tracer.subtree(span):
+        if node.layer == "shards" and node.name in ("scatter", "merge"):
+            lines.append(
+                f"{node.name}: {node.duration_us:.1f} us "
+                f"[{node.start_us:.1f} -> {node.end_us:.1f}]"
+            )
+    for engine in engine_roots:
+        e_attrs = engine.attributes
+        launches = sorted(
+            (s for s in tracer.subtree(engine) if s.layer == "launch"),
+            key=lambda s: s.attributes.get("seq", 0),
+        )
+        busy = 0.0
+        phase_busy: dict[str, float] = {}
+        for launch in launches:
+            busy += launch.duration_us
+            phase = launch.attributes.get("phase", "?")
+            phase_busy[phase] = phase_busy.get(phase, 0.0) + launch.duration_us
+        expected_busy = e_attrs.get("busy_slot_us")
+        expected_phase = e_attrs.get("phase_busy_us", {})
+        reconciles = (
+            engine.duration_us == e_attrs.get("makespan_us")
+            and (expected_busy is None or busy == expected_busy)
+            and all(phase_busy.get(p, 0.0) == b
+                    for p, b in expected_phase.items())
+        )
+        lines.append(
+            f"engine run via {origins[engine.span_id]}: "
+            f"makespan {engine.duration_us:.1f} us on "
+            f"{e_attrs.get('num_slots', '?')} slot(s), "
+            f"{len(launches)} launches, {busy:.1f} busy slot-us — "
+            + ("reconciles +-0 with utilization()" if reconciles
+               else "MISMATCH vs utilization()")
+        )
+        for phase, amount in phase_busy.items():
+            share = busy and amount / busy * 100.0
+            lines.append(f"  {phase:<24}{amount:>12.1f} us{share:>7.1f}%")
     return "\n".join(lines)
 
 
@@ -388,6 +548,7 @@ __all__ = [
     "format_claims",
     "format_launch_summary",
     "format_utilization",
+    "format_trace_summary",
     "format_device_comparison",
     "format_service_report",
     "format_cluster_report",

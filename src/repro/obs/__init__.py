@@ -1,0 +1,41 @@
+"""Observability: simulated-clock tracing, metrics and timeline export.
+
+The instrumentation layer the serving stack reports through:
+
+* :mod:`repro.obs.spans` — request-scoped nested spans on the simulated
+  microsecond clock, threaded from the cluster front end down to individual
+  launch-slot records;
+* :mod:`repro.obs.metrics` — the labelled counter/gauge/histogram registry
+  the per-layer ``stats()`` dicts are rebuilt on;
+* :mod:`repro.obs.export` — Chrome-trace-event / Perfetto JSON export plus a
+  JSONL span dump and the schema check CI validates artifacts with.
+
+Tracing is opt-in via ``SampleSortConfig.trace_mode`` (``"off"`` default,
+``"spans"`` to record; the ``REPRO_TRACE`` environment variable sets the
+default) and never moves a single simulated timestamp — spans are recorded
+after the fact from timing the simulation computed anyway.
+"""
+
+from .export import (
+    assert_valid_chrome_trace,
+    chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .spans import Span, Tracer
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_spans_jsonl",
+    "validate_chrome_trace",
+    "assert_valid_chrome_trace",
+]

@@ -1,0 +1,243 @@
+"""Chrome-trace-event / Perfetto export of recorded spans.
+
+:func:`chrome_trace` maps a :class:`~repro.obs.spans.Tracer` (or a plain span
+list) onto the `Chrome trace event format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+consumed by ``chrome://tracing`` and https://ui.perfetto.dev: every span
+becomes one complete ``"X"`` event with ``ts``/``dur`` in microseconds (the
+format's native unit, which is also the simulator's), and ``"M"`` metadata
+events name the process/thread lanes.
+
+Lane mapping (the ISSUE's ``pid=replica / tid=slot`` contract):
+
+* **pid** — the nearest self-or-ancestor span carrying a ``pid_label``
+  attribute names the process; the service stamps its spans with
+  ``replica <id>`` (or ``service`` standalone) and the cluster front end
+  stamps its own with ``frontend``, so each replica renders as one process.
+* **tid** — a span's explicit ``lane`` attribute wins (requests, shards and
+  batches get per-entity lanes); ``layer == "launch"`` spans fall back to
+  ``slot <n>``, putting every :class:`~repro.core.launch_plan.SlotRecord`
+  execution on its stream-slot lane; anything else uses its layer name.
+
+:func:`validate_chrome_trace` is the schema check CI runs against exported
+artifacts — pure structural validation with no third-party dependency.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Optional, Union
+
+from .spans import Span, Tracer
+
+TraceSource = Union[Tracer, Iterable[Span]]
+
+
+def _span_list(source: TraceSource) -> list[Span]:
+    return list(source.spans) if isinstance(source, Tracer) else list(source)
+
+
+def _pid_label(span: Span, by_id: dict[int, Span]) -> str:
+    node: Optional[Span] = span
+    while node is not None:
+        label = node.attributes.get("pid_label")
+        if label is not None:
+            return str(label)
+        node = by_id.get(node.parent_id) if node.parent_id is not None else None
+    return "sim"
+
+
+def _tid_label(span: Span) -> str:
+    lane = span.attributes.get("lane")
+    if lane is not None:
+        return str(lane)
+    if span.layer == "launch" and "slot" in span.attributes:
+        return f"slot {span.attributes['slot']}"
+    return span.layer
+
+
+def _json_safe(value):
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return str(value)
+
+
+def chrome_trace(source: TraceSource) -> dict:
+    """Render spans as a Chrome trace-event JSON object.
+
+    Returns ``{"traceEvents": [...], "displayTimeUnit": "ms"}`` with one
+    ``"X"`` (complete) event per span plus ``"M"`` metadata events naming the
+    process and thread lanes. Deterministic: pids and tids are small integers
+    assigned in order of first appearance, so identical tracers export
+    identical JSON.
+    """
+    spans = _span_list(source)
+    by_id = {span.span_id: span for span in spans}
+    pids: dict[str, int] = {}
+    tids: dict[tuple[int, str], int] = {}
+    events: list[dict] = []
+    metadata: list[dict] = []
+    for span in spans:
+        pid_label = _pid_label(span, by_id)
+        pid = pids.get(pid_label)
+        if pid is None:
+            pid = len(pids) + 1
+            pids[pid_label] = pid
+            metadata.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": pid_label},
+            })
+        tid_label = _tid_label(span)
+        tid = tids.get((pid, tid_label))
+        if tid is None:
+            tid = sum(1 for key in tids if key[0] == pid) + 1
+            tids[(pid, tid_label)] = tid
+            metadata.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": tid_label},
+            })
+        args = {
+            key: _json_safe(value)
+            for key, value in span.attributes.items()
+            if key not in ("lane", "pid_label")
+        }
+        args["span_id"] = span.span_id
+        args["trace_id"] = span.trace_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        events.append({
+            "name": span.name,
+            "cat": span.layer,
+            "ph": "X",
+            "ts": span.start_us,
+            "dur": span.duration_us,
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        })
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path, source: TraceSource) -> dict:
+    """Write :func:`chrome_trace` JSON to ``path``; returns the object."""
+    obj = chrome_trace(source)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(obj, handle, indent=1)
+        handle.write("\n")
+    return obj
+
+
+def write_spans_jsonl(path, source: TraceSource) -> int:
+    """Dump raw spans as one JSON object per line; returns the span count.
+
+    The JSONL dump is the lossless companion of the Chrome export: every
+    field of every span, parent links included, for offline analysis.
+    """
+    spans = _span_list(source)
+    with open(path, "w", encoding="utf-8") as handle:
+        for span in spans:
+            handle.write(json.dumps({
+                "span_id": span.span_id,
+                "trace_id": span.trace_id,
+                "parent_id": span.parent_id,
+                "name": span.name,
+                "layer": span.layer,
+                "start_us": span.start_us,
+                "end_us": span.end_us,
+                "duration_us": span.duration_us,
+                "attributes": _json_safe(span.attributes),
+            }))
+            handle.write("\n")
+    return len(spans)
+
+
+_METADATA_NAMES = ("process_name", "thread_name", "process_sort_index",
+                   "thread_sort_index", "process_labels")
+
+
+def validate_chrome_trace(obj) -> list[str]:
+    """Structural schema check of a Chrome trace-event object.
+
+    Returns a list of human-readable problems (empty = valid). Checks the
+    container shape, every event's required fields, the ``"X"`` timing fields
+    (finite, non-negative ``ts``/``dur``) and that every ``pid``/``tid``
+    referenced by an event was introduced by matching metadata events.
+    """
+    errors: list[str] = []
+    if not isinstance(obj, dict):
+        return [f"trace must be a JSON object, got {type(obj).__name__}"]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["trace object has no traceEvents list"]
+    named_pids: set = set()
+    named_tids: set = set()
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: event must be an object")
+            continue
+        phase = event.get("ph")
+        if not isinstance(phase, str) or not phase:
+            errors.append(f"{where}: missing event phase 'ph'")
+            continue
+        if not isinstance(event.get("name"), str):
+            errors.append(f"{where}: missing event 'name'")
+        if not isinstance(event.get("pid"), int):
+            errors.append(f"{where}: 'pid' must be an integer")
+        if phase == "M":
+            if event.get("name") not in _METADATA_NAMES:
+                errors.append(
+                    f"{where}: unknown metadata event {event.get('name')!r}"
+                )
+            elif not isinstance(event.get("args", {}).get("name"), str):
+                errors.append(f"{where}: metadata event needs args.name")
+            elif event["name"] == "process_name":
+                named_pids.add(event.get("pid"))
+            elif event["name"] == "thread_name":
+                named_tids.add((event.get("pid"), event.get("tid")))
+            continue
+        if phase != "X":
+            errors.append(f"{where}: unsupported event phase {phase!r}")
+            continue
+        if not isinstance(event.get("tid"), int):
+            errors.append(f"{where}: 'tid' must be an integer")
+        for field in ("ts", "dur"):
+            value = event.get(field)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                errors.append(f"{where}: '{field}' must be a number")
+            elif value != value or value in (float("inf"), float("-inf")):
+                errors.append(f"{where}: '{field}' must be finite")
+            elif field == "dur" and value < 0:
+                errors.append(f"{where}: negative duration {value}")
+        if isinstance(event.get("pid"), int) \
+                and event["pid"] not in named_pids:
+            errors.append(f"{where}: pid {event['pid']} has no process_name "
+                          f"metadata")
+        if isinstance(event.get("pid"), int) \
+                and isinstance(event.get("tid"), int) \
+                and (event["pid"], event["tid"]) not in named_tids:
+            errors.append(f"{where}: tid {event['tid']} of pid {event['pid']} "
+                          f"has no thread_name metadata")
+    return errors
+
+
+def assert_valid_chrome_trace(obj) -> None:
+    """Raise ``AssertionError`` listing every problem if ``obj`` is invalid."""
+    errors = validate_chrome_trace(obj)
+    if errors:
+        raise AssertionError(
+            "invalid Chrome trace:\n" + "\n".join(f"  - {e}" for e in errors)
+        )
+
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_spans_jsonl",
+    "validate_chrome_trace",
+    "assert_valid_chrome_trace",
+]

@@ -1,0 +1,171 @@
+"""A labelled counter / gauge / histogram registry for the serving stack.
+
+The existing per-layer ``stats()`` dicts are rebuilt on top of this registry
+(single source of truth): admission counts become :class:`Counter` s
+incremented at the exact points the old dict entries were bumped, and latency
+percentiles become :class:`Histogram` snapshots observed at the single commit
+point of each layer. Two properties make the rebuild byte-identical to the
+historical dicts:
+
+* counters hold plain Python ints (``+= 1`` on an int, never a float), so the
+  rebuilt ``counts`` sections serialize identically;
+* histograms store every observation in arrival order and
+  :meth:`Histogram.snapshot` computes **exact** percentiles with
+  :func:`numpy.percentile` over that sequence — the same call, over the same
+  floats, in the same order, as the ad-hoc ``np.percentile`` the stats code
+  used to make, so p50/p95 values do not move.
+
+Exact percentiles over all observations (rather than bucketed approximations)
+are affordable because the simulator serves at most thousands of requests per
+run; production systems would swap the storage for HDR-style buckets without
+changing the snapshot contract.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def _percentile_key(q) -> str:
+    """``50 -> "p50"``, ``99.9 -> "p99.9"``."""
+    return f"p{int(q)}" if float(q).is_integer() else f"p{q}"
+
+
+class Counter:
+    """A monotonically increasing count (plain int arithmetic)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got increment {amount}")
+        self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A value that can move both ways (queue depth, busy horizon, ...)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """All observations, in order, with exact-percentile snapshots."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self) -> None:
+        self._values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self._values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    def values(self) -> list[float]:
+        """The observations in arrival order (a copy)."""
+        return list(self._values)
+
+    def snapshot(self, percentiles: Sequence[float] = (50, 95, 99)) -> dict:
+        """Exact summary: ``{"count", "p<q>"..., "mean", "max"}``.
+
+        Percentiles, mean and max are computed with the same NumPy calls the
+        layer ``stats()`` historically made over its result lists, so a
+        histogram observed in commit order reproduces those values
+        byte-for-byte. An empty histogram reports finite zeros.
+        """
+        out: dict = {"count": len(self._values)}
+        if not self._values:
+            for q in percentiles:
+                out[_percentile_key(q)] = 0.0
+            out["mean"] = 0.0
+            out["max"] = 0.0
+            return out
+        values = np.asarray(self._values)
+        for q in percentiles:
+            out[_percentile_key(q)] = float(np.percentile(values, q))
+        out["mean"] = float(np.mean(values))
+        out["max"] = float(np.max(values))
+        return out
+
+
+class MetricsRegistry:
+    """Get-or-create store of labelled metrics.
+
+    A metric is addressed by ``(name, labels)``; labels are free-form keyword
+    pairs and the key is order-independent (``counter("x", a=1, b=2)`` is
+    ``counter("x", b=2, a=1)``). Asking for the same name with a different
+    metric kind is an error — one name, one kind.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple, object] = {}
+        self._kinds: dict[str, type] = {}
+
+    # --------------------------------------------------------------- creation
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get_or_create(Histogram, name, labels)
+
+    def _get_or_create(self, kind: type, name: str, labels: dict):
+        known = self._kinds.setdefault(name, kind)
+        if known is not kind:
+            raise ValueError(
+                f"metric {name!r} is a {known.__name__}, not a {kind.__name__}"
+            )
+        key = (name, tuple(sorted(labels.items())))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = kind()
+            self._metrics[key] = metric
+        return metric
+
+    # ------------------------------------------------------------- inspection
+    def get(self, name: str, **labels):
+        """The existing metric under ``(name, labels)``, or ``None``."""
+        return self._metrics.get((name, tuple(sorted(labels.items()))))
+
+    def labels_of(self, name: str) -> list[dict]:
+        """Every label set registered under ``name``, in creation order."""
+        return [dict(label_items) for metric_name, label_items in self._metrics
+                if metric_name == name]
+
+    def collect(self) -> dict:
+        """Flat dump ``{"name{k=v,...}": value-or-snapshot}`` of every metric."""
+        out: dict = {}
+        for (name, label_items), metric in self._metrics.items():
+            labels = ",".join(f"{k}={v}" for k, v in label_items)
+            key = f"{name}{{{labels}}}" if labels else name
+            if isinstance(metric, Histogram):
+                out[key] = metric.snapshot()
+            else:
+                out[key] = metric.value
+        return out
+
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]

@@ -1,0 +1,182 @@
+"""Simulated-clock tracing: nested spans over the discrete-event timeline.
+
+The serving stack runs entirely on a simulated microsecond clock, so tracing
+cannot use wall time: every :class:`Span` is recorded *after the fact* with
+explicit ``start_us`` / ``end_us`` taken from the simulation (arrival
+timestamps, stream enqueue windows, launch-slot records). A :class:`Tracer`
+is therefore an append-only log of completed spans plus the parent/child
+index over them — there is no "current span" context and nothing to enter or
+exit, which keeps the instrumentation free of any effect on the timing model.
+
+Two operations exist because layers build their timelines independently and
+are stitched together afterwards:
+
+* :meth:`Tracer.rebase` shifts a subtree by a constant offset — the engine
+  emits its schedule on a run-local clock starting at zero, and the service
+  shifts it to the stream window the dispatch actually occupied;
+* :meth:`Tracer.adopt` re-parents a subtree and propagates the new parent's
+  ``trace_id`` through it — the cluster adopts the replica-local request
+  span under its own request root, giving one request-scoped trace id from
+  the front end down to individual launch-slot records.
+
+Rebasing preserves each span's :attr:`Span.duration_us` *exactly* (the field
+is fixed at creation and never recomputed from the shifted endpoints), which
+is what lets span-derived busy time reconcile ±0 with
+:meth:`repro.core.launch_plan.ScheduleResult.utilization` after any number of
+clock shifts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+
+@dataclass
+class Span:
+    """One completed, named time interval on the simulated clock."""
+
+    span_id: int
+    #: Id shared by every span of one request's tree (defaults to the root's
+    #: own ``span_id``); :meth:`Tracer.adopt` propagates it into subtrees.
+    trace_id: int
+    parent_id: Optional[int]
+    name: str
+    #: Which layer of the stack emitted the span: ``"cluster"``,
+    #: ``"service"``, ``"shards"``, ``"engine"`` or ``"launch"``.
+    layer: str
+    start_us: float
+    end_us: float
+    #: Extent of the span, fixed at creation; :meth:`Tracer.rebase` shifts
+    #: ``start_us`` / ``end_us`` but never this field, so durations survive
+    #: clock shifts bit-for-bit.
+    duration_us: float
+    attributes: dict = field(default_factory=dict)
+
+
+SpanRef = Union[Span, int]
+
+
+class Tracer:
+    """Append-only recorder of completed :class:`Span` s.
+
+    Span ids are assigned sequentially, so a span's id doubles as its index
+    into :attr:`spans`; every accessor takes either a :class:`Span` or its id.
+    """
+
+    def __init__(self) -> None:
+        self._spans: list[Span] = []
+        self._children: dict[int, list[int]] = {}
+
+    # -------------------------------------------------------------- recording
+    def span(self, name: str, layer: str, start_us: float, end_us: float,
+             parent: Optional[SpanRef] = None,
+             trace_id: Optional[int] = None, **attributes) -> Span:
+        """Record one completed span; returns it.
+
+        With a ``parent``, the span joins the parent's trace (unless an
+        explicit ``trace_id`` overrides it); a parentless span starts a new
+        trace whose id is the span's own id.
+        """
+        start_us = float(start_us)
+        end_us = float(end_us)
+        if end_us < start_us:
+            raise ValueError(
+                f"span {name!r} ends ({end_us}) before it starts ({start_us})"
+            )
+        parent_id = self._id_of(parent)
+        span_id = len(self._spans)
+        if trace_id is None:
+            trace_id = (self._spans[parent_id].trace_id
+                        if parent_id is not None else span_id)
+        span = Span(
+            span_id=span_id, trace_id=trace_id, parent_id=parent_id,
+            name=name, layer=layer, start_us=start_us, end_us=end_us,
+            duration_us=end_us - start_us, attributes=dict(attributes),
+        )
+        self._spans.append(span)
+        if parent_id is not None:
+            self._children.setdefault(parent_id, []).append(span_id)
+        return span
+
+    # -------------------------------------------------------------- accessors
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    @property
+    def spans(self) -> list[Span]:
+        """Every recorded span, in creation order (do not mutate the list)."""
+        return self._spans
+
+    def get(self, span: SpanRef) -> Span:
+        return self._spans[self._id_of(span)]
+
+    def children(self, span: SpanRef) -> list[Span]:
+        """Direct children, in creation order."""
+        return [self._spans[i]
+                for i in self._children.get(self._id_of(span), ())]
+
+    def roots(self) -> list[Span]:
+        return [s for s in self._spans if s.parent_id is None]
+
+    def subtree(self, span: SpanRef) -> list[Span]:
+        """The span and every descendant, in depth-first preorder."""
+        root = self.get(span)
+        out: list[Span] = []
+        stack = [root.span_id]
+        while stack:
+            span_id = stack.pop()
+            out.append(self._spans[span_id])
+            stack.extend(reversed(self._children.get(span_id, ())))
+        return out
+
+    def find(self, name: Optional[str] = None, layer: Optional[str] = None,
+             trace_id: Optional[int] = None) -> list[Span]:
+        """All spans matching every given criterion, in creation order."""
+        return [
+            s for s in self._spans
+            if (name is None or s.name == name)
+            and (layer is None or s.layer == layer)
+            and (trace_id is None or s.trace_id == trace_id)
+        ]
+
+    # ------------------------------------------------------------- stitching
+    def rebase(self, span: SpanRef, delta_us: float) -> None:
+        """Shift a whole subtree by ``delta_us`` (durations are untouched)."""
+        delta_us = float(delta_us)
+        if delta_us == 0.0:
+            return
+        for node in self.subtree(span):
+            node.start_us += delta_us
+            node.end_us += delta_us
+
+    def adopt(self, span: SpanRef, parent: SpanRef, **attributes) -> Span:
+        """Re-parent ``span`` under ``parent``; returns the adopted span.
+
+        The parent's ``trace_id`` is propagated through the adopted subtree,
+        and any keyword ``attributes`` are merged into the adopted span — the
+        hook a higher layer uses to mark a lower layer's root as one of its
+        own timeline segments.
+        """
+        node = self.get(span)
+        new_parent = self.get(parent)
+        if node.span_id == new_parent.span_id:
+            raise ValueError(f"span {node.span_id} cannot adopt itself")
+        if node.parent_id is not None:
+            self._children[node.parent_id].remove(node.span_id)
+        node.parent_id = new_parent.span_id
+        self._children.setdefault(new_parent.span_id, []).append(node.span_id)
+        for descendant in self.subtree(node):
+            descendant.trace_id = new_parent.trace_id
+        node.attributes.update(attributes)
+        return node
+
+    # -------------------------------------------------------------- internals
+    @staticmethod
+    def _id_of(span: Optional[SpanRef]) -> Optional[int]:
+        if span is None:
+            return None
+        return span.span_id if isinstance(span, Span) else int(span)
+
+
+__all__ = ["Span", "Tracer"]

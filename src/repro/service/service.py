@@ -37,6 +37,7 @@ from ..core.engine import DistributionEngine, SegmentDescriptor
 from ..core.launch_plan import merge_utilization
 from ..gpu.device import DeviceSpec, TESLA_C1060
 from ..gpu.errors import GpuSimError, UnsupportedInputError
+from ..obs import MetricsRegistry, Tracer
 from .batcher import BatchPolicy, MicroBatcher
 from .queue import (
     OversizeRequestError,
@@ -146,13 +147,37 @@ class ServiceResult:
 
 
 class SortService:
-    """Async sharded sort service over the batched distribution engine."""
+    """Async sharded sort service over the batched distribution engine.
 
-    def __init__(self, config: Optional[ServiceConfig] = None):
+    Telemetry lives in a :class:`repro.obs.MetricsRegistry` (``self.metrics``)
+    — the admission counters and latency histograms :meth:`stats` renders are
+    views over it. With ``config.sorter.trace_mode == "spans"`` (or an
+    explicit ``tracer``), every served request additionally records a
+    request-scoped span tree (queue wait → dispatch wait → execute → engine
+    launches) retrievable via :meth:`request_span`; ``pid_label`` names the
+    Perfetto process lane (a cluster replica passes ``"replica N"``).
+    """
+
+    #: ``stats()["counts"]`` keys, in their historical render order; each is
+    #: backed by a ``requests`` counter labelled with the event name.
+    _COUNT_EVENTS = ("submitted", "completed", "rejected_queue_full",
+                     "rejected_oversize", "rejected_invalid",
+                     "sharded_requests")
+
+    def __init__(self, config: Optional[ServiceConfig] = None, *,
+                 tracer: Optional[Tracer] = None, pid_label: str = "service"):
         self.config = config if config is not None else ServiceConfig()
         self.pool = ShardPool(
             devices=self.config.shard_devices, config=self.config.sorter
         )
+        self.metrics = MetricsRegistry()
+        for event in self._COUNT_EVENTS:
+            self.metrics.counter("requests", event=event)
+        if tracer is None and self.config.sorter.trace_mode == "spans":
+            tracer = Tracer()
+        self.tracer = tracer
+        self._pid_label = pid_label
+        self._request_spans: dict[int, object] = {}
         self.batcher = MicroBatcher(
             policy=self.config.batch_policy(),
             companion_limit=(self.config.effective_shard_threshold
@@ -174,15 +199,15 @@ class SortService:
         #: merged into the ``stats()`` utilization section.
         self._utilizations: list[dict] = []
         self._queue_depth_peak = 0
-        self._counts = {
-            "submitted": 0,
-            "completed": 0,
-            "rejected_queue_full": 0,
-            "rejected_oversize": 0,
-            "rejected_invalid": 0,
-            "sharded_requests": 0,
-        }
         self._wall_s = 0.0
+
+    def _count(self, event: str) -> None:
+        self.metrics.counter("requests", event=event).inc()
+
+    def _observe_result(self, result: "ServiceResult") -> None:
+        """Feed the latency histograms at the single result-commit point."""
+        self.metrics.histogram("latency_us").observe(result.latency_us)
+        self.metrics.histogram("queue_wait_us").observe(result.queue_wait_us)
 
     # ------------------------------------------------------------- submission
     def submit(self, keys: np.ndarray, values: Optional[np.ndarray] = None,
@@ -195,17 +220,17 @@ class SortService:
         raises :class:`QueueFullError`, a request larger than
         ``max_request_elements`` raises :class:`OversizeRequestError`.
         """
-        self._counts["submitted"] += 1
+        self._count("submitted")
         try:
             request = SortRequest(
                 request_id=self._next_request_id, keys=keys, values=values,
                 arrival_us=float(arrival_us),
             )
         except UnsupportedInputError:
-            self._counts["rejected_invalid"] += 1
+            self._count("rejected_invalid")
             raise
         if request.n > self.config.max_request_elements:
-            self._counts["rejected_oversize"] += 1
+            self._count("rejected_oversize")
             raise OversizeRequestError(
                 f"request of {request.n} elements exceeds the admission limit "
                 f"of {self.config.max_request_elements}"
@@ -216,12 +241,12 @@ class SortService:
             # otherwise poison the backlog (drain requeues failures).
             self._group_config(request)
         except GpuSimError:
-            self._counts["rejected_invalid"] += 1
+            self._count("rejected_invalid")
             raise
         try:
             self._backlog.push(request)
         except QueueFullError:
-            self._counts["rejected_queue_full"] += 1
+            self._count("rejected_queue_full")
             raise
         self._pending_predicted_us += self._request_predicted_us(request)
         self._next_request_id += 1
@@ -289,6 +314,7 @@ class SortService:
                         raise
                     drained[head.request_id] = result
                     self._results[head.request_id] = result
+                    self._observe_result(result)
                     continue
 
                 candidate, closed = self.batcher.candidate_state(queue)
@@ -310,6 +336,7 @@ class SortService:
                     for request, result in self._dispatch_batch(batch, now):
                         drained[request.request_id] = result
                         self._results[request.request_id] = result
+                        self._observe_result(result)
                 except Exception:
                     for request in batch.requests:
                         if request.request_id not in drained:
@@ -381,9 +408,22 @@ class SortService:
         batch_values = ([r.values for r in batch.requests]
                         if batch.requests[0].values is not None else None)
         results, start_us, end_us, wall_s = shard.run_batch(
-            batch_keys, batch_values, now_us
+            batch_keys, batch_values, now_us, tracer=self.tracer
         )
         self._wall_s += wall_s
+        batch_span = None
+        if self.tracer is not None:
+            # The batch span is a root of its own: several requests share it,
+            # so it cannot live inside any single request's trace. Request
+            # "execute" segments point at it via the ``batch_span`` attribute.
+            batch_span = self.tracer.span(
+                "batch", layer="service", start_us=start_us, end_us=end_us,
+                batch_id=batch.batch_id, shard_id=shard.shard_id,
+                requests=len(batch.requests), elements=elements,
+                lane=f"shard {shard.shard_id}", pid_label=self._pid_label,
+            )
+            if "trace_root" in results[0].stats:
+                self.tracer.adopt(results[0].stats["trace_root"], batch_span)
         # Book the cost-model prediction only after the dispatch succeeded —
         # a failed run_batch rolled its stream back, so the model ledger must
         # match.
@@ -406,7 +446,12 @@ class SortService:
         })
         for request, result in zip(batch.requests, results):
             share = request.n / elements if elements else 0.0
-            self._counts["completed"] += 1
+            self._count("completed")
+            if self.tracer is not None:
+                self._record_request_spans(
+                    request, formed_us=batch.formed_us, start_us=start_us,
+                    end_us=end_us, batch_span=batch_span,
+                )
             yield request, ServiceResult(
                 request_id=request.request_id,
                 keys=result.keys,
@@ -424,6 +469,51 @@ class SortService:
                 wall_s=wall_s * share,
             )
 
+    def _record_request_spans(self, request: SortRequest, *, formed_us: float,
+                              start_us: float, end_us: float,
+                              batch_span=None, execute_child=None):
+        """Record one served request's span tree: the ``request`` root tiled
+        by ``queue_wait`` / ``dispatch_wait`` / ``execute`` segments.
+
+        The segments share boundary timestamps (arrival → batch-formed →
+        stream-start → stream-end), so the decomposition reconciles with the
+        request latency by construction. ``batch_span`` cross-references the
+        shared batch (several requests ride one batch, so the batch span
+        cannot live inside a single request's trace); ``execute_child`` is a
+        subtree (a sharded run) adopted under the execute segment.
+        """
+        tracer = self.tracer
+        req_span = tracer.span(
+            "request", layer="service",
+            start_us=request.arrival_us, end_us=end_us,
+            request_id=request.request_id, n=request.n,
+            lane=f"request {request.request_id}", pid_label=self._pid_label,
+        )
+        tracer.span("queue_wait", layer="service",
+                    start_us=request.arrival_us, end_us=formed_us,
+                    parent=req_span, kind="segment")
+        tracer.span("dispatch_wait", layer="service",
+                    start_us=formed_us, end_us=start_us,
+                    parent=req_span, kind="segment")
+        execute_attrs = {}
+        if batch_span is not None:
+            execute_attrs = {"batch_span": batch_span.span_id,
+                             "batch_id": batch_span.attributes["batch_id"],
+                             "shard_id": batch_span.attributes["shard_id"]}
+        execute = tracer.span("execute", layer="service",
+                              start_us=start_us, end_us=end_us,
+                              parent=req_span, kind="segment",
+                              **execute_attrs)
+        if execute_child is not None:
+            tracer.adopt(execute_child, execute)
+        self._request_spans[request.request_id] = req_span
+        return req_span
+
+    def request_span(self, request_id: int):
+        """The ``request`` root :class:`repro.obs.Span` recorded for one
+        served request, or ``None`` (request unserved, or tracing off)."""
+        return self._request_spans.get(request_id)
+
     def _dispatch_sharded(self, request: SortRequest,
                           now_us: float) -> ServiceResult:
         if self.pool.config.launch_mode == "barriered":
@@ -435,12 +525,19 @@ class SortService:
             # subtrees the moment its own in-flight tail retires — a busy
             # shard no longer stalls the idle ones.
             start_us = now_us
-        outcome = run_sharded(self.pool, request.keys, request.values, start_us)
+        outcome = run_sharded(self.pool, request.keys, request.values,
+                              start_us, tracer=self.tracer)
         if outcome.get("utilization"):
             self._utilizations.append(outcome["utilization"])
         self._wall_s += outcome["wall_s"]
-        self._counts["completed"] += 1
-        self._counts["sharded_requests"] += 1
+        self._count("completed")
+        self._count("sharded_requests")
+        if self.tracer is not None:
+            self._record_request_spans(
+                request, formed_us=now_us, start_us=outcome["start_us"],
+                end_us=outcome["completion_us"],
+                execute_child=outcome.get("trace_root"),
+            )
         return ServiceResult(
             request_id=request.request_id,
             keys=outcome["keys"],
@@ -514,9 +611,9 @@ class SortService:
         serialisation) stays finite.
         """
         results = list(self._results.values())
-        latencies = np.array([r.latency_us for r in results]) if results else None
         snapshot: dict = {
-            "counts": dict(self._counts),
+            "counts": {event: self.metrics.counter("requests", event=event).value
+                       for event in self._COUNT_EVENTS},
             "num_shards": len(self.pool),
             "devices": [d.name for d in self.pool.devices],
             "heterogeneous_pool": self.pool.heterogeneous,
@@ -539,16 +636,24 @@ class SortService:
             makespan_us = (max(r.completion_us for r in results)
                            - min(r.arrival_us for r in results))
             total_elements = sum(r.n for r in results)
+            # Histograms observed at the result-commit point, in commit order
+            # — np.percentile over the same floats in the same order the
+            # ad-hoc result-list math historically used, so p50/p95 do not
+            # move; p99 rides along from the same snapshot.
+            latency = self.metrics.histogram("latency_us").snapshot(
+                percentiles=(50, 95, 99))
             snapshot["latency_us"] = {
-                "p50": float(np.percentile(latencies, 50)),
-                "p95": float(np.percentile(latencies, 95)),
-                "mean": float(np.mean(latencies)),
-                "max": float(np.max(latencies)),
+                "p50": latency["p50"],
+                "p95": latency["p95"],
+                "p99": latency["p99"],
+                "mean": latency["mean"],
+                "max": latency["max"],
             }
+            queue_wait = self.metrics.histogram("queue_wait_us").snapshot(
+                percentiles=(50,))
             snapshot["queue_wait_us"] = {
-                "p50": float(np.percentile(
-                    [r.queue_wait_us for r in results], 50)),
-                "max": float(max(r.queue_wait_us for r in results)),
+                "p50": queue_wait["p50"],
+                "max": queue_wait["max"],
             }
             snapshot["throughput"] = {
                 "makespan_us": makespan_us,
@@ -563,7 +668,7 @@ class SortService:
             # far served nothing): percentiles over an empty array would be
             # NaN / IndexError, so the sections exist but report zeros — the
             # report renderer shows a "no requests" line instead.
-            snapshot["latency_us"] = {"p50": 0.0, "p95": 0.0,
+            snapshot["latency_us"] = {"p50": 0.0, "p95": 0.0, "p99": 0.0,
                                       "mean": 0.0, "max": 0.0}
             snapshot["queue_wait_us"] = {"p50": 0.0, "max": 0.0}
             snapshot["throughput"] = {"makespan_us": 0.0,

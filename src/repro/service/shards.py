@@ -80,6 +80,20 @@ class _StreamSnapshot:
             stream.operations = operations
 
 
+def _label_launch_lanes(tracer, root, shard_id: int) -> None:
+    """Prefix launch-span lanes with the serving shard.
+
+    Engine runs know their slots but not which shard they ran on; without the
+    prefix, launch spans of different shards in one replica would collapse
+    onto the same ``slot N`` timeline lane in the Perfetto export.
+    """
+    for span in tracer.subtree(root):
+        if span.layer == "launch":
+            span.attributes["lane"] = (
+                f"shard {shard_id} slot {span.attributes.get('slot', 0)}"
+            )
+
+
 @dataclass
 class DeviceShard:
     """One simulated device with a persistent sorter and stream."""
@@ -98,19 +112,23 @@ class DeviceShard:
         self.sorter = SampleSorter(device=self.device, config=self.config)
         self.stream = DeviceStream(name=f"shard{self.shard_id}")
 
-    def run_batch(self, batch_keys, batch_values, now_us: float):
+    def run_batch(self, batch_keys, batch_values, now_us: float, tracer=None):
         """Serve one micro-batch on this shard's stream.
 
         Returns ``(results, start_us, end_us, wall_s)``: the per-request
         :class:`~repro.core.base.SortResult` list, the simulated execution
         window on this shard's stream, and the host wall time the functional
-        simulation cost.
+        simulation cost. With a :class:`repro.obs.Tracer`, the engine's span
+        tree (run-local clock) is rebased onto the stream window and its
+        launch spans are labelled with this shard's slot lanes; the root id
+        stays in ``results[0].stats["trace_root"]`` for the service to adopt.
         """
         snapshot = _StreamSnapshot([self.stream])
         try:
             wall_start = time.perf_counter()
             results = self.sorter.sort_many(
-                batch_keys, batch_values, trace=self.stream.trace
+                batch_keys, batch_values, trace=self.stream.trace,
+                tracer=tracer,
             )
             wall_s = time.perf_counter() - wall_start
             # The stream is busy for the *packed* makespan (slot-scheduled
@@ -119,6 +137,10 @@ class DeviceShard:
             predicted_us = results[0].stats["predicted_us"]
             duration_us = results[0].stats.get("makespan_us", predicted_us)
             start_us, end_us = self.stream.enqueue(duration_us, now_us)
+            if tracer is not None and "trace_root" in results[0].stats:
+                tracer.rebase(results[0].stats["trace_root"], start_us)
+                _label_launch_lanes(tracer, results[0].stats["trace_root"],
+                                    self.shard_id)
         except Exception:
             snapshot.rollback()
             raise
@@ -358,7 +380,8 @@ def merge_shard_outputs(
 
 
 def run_sharded(pool: ShardPool, keys: np.ndarray,
-                values: Optional[np.ndarray], start_us: float) -> dict:
+                values: Optional[np.ndarray], start_us: float,
+                tracer=None) -> dict:
     """Scatter one oversized request across the pool, sort, merge.
 
     ``start_us`` is the simulated time the request is released to the pool.
@@ -371,7 +394,10 @@ def run_sharded(pool: ShardPool, keys: np.ndarray,
     Returns a dict with the merged ``keys`` / ``values``, the simulated
     ``completion_us`` (scatter + slowest shard, shards run concurrently), the
     total-work attribution (``predicted_us`` = scatter + *sum* of shards,
-    ``kernel_launches``, ``launches_by_phase``) and per-shard details.
+    ``kernel_launches``, ``launches_by_phase``) and per-shard details. With a
+    :class:`repro.obs.Tracer`, the dict also carries ``trace_root`` — the id
+    of a ``sharded_sort`` span covering scatter → fan-out → per-shard engine
+    subtrees → merge on the pool clock.
 
     On failure every stream the run touched is rolled back to its pre-call
     state, so a retry does not double-book launches or shard busy time.
@@ -380,14 +406,15 @@ def run_sharded(pool: ShardPool, keys: np.ndarray,
         [pool.scatter_stream] + [shard.stream for shard in pool.shards]
     )
     try:
-        return _run_sharded_impl(pool, keys, values, start_us)
+        return _run_sharded_impl(pool, keys, values, start_us, tracer)
     except Exception:
         snapshot.rollback()
         raise
 
 
 def _run_sharded_impl(pool: ShardPool, keys: np.ndarray,
-                      values: Optional[np.ndarray], start_us: float) -> dict:
+                      values: Optional[np.ndarray], start_us: float,
+                      tracer=None) -> dict:
     n = int(keys.size)
     sorter = pool.shards[0].sorter
     config = sorter.effective_config(keys, values)
@@ -442,6 +469,7 @@ def _run_sharded_impl(pool: ShardPool, keys: np.ndarray,
     completion_us = fan_out_us
     model_bookings: list[tuple[DeviceShard, float]] = []
     shard_utils: list[dict] = []
+    shard_trace_info: list[tuple[int, Optional[int], float, float]] = []
     shard_critical_us = 0.0
     for group, shard in zip(groups, pool.shards):
         # The shard only needs its group's span [lo, hi). Descriptors are
@@ -471,15 +499,20 @@ def _run_sharded_impl(pool: ShardPool, keys: np.ndarray,
         shard_engine = DistributionEngine(shard.device, config)
         stats = shard_engine.run(
             shard_launcher, s_primary, s_primary_values, s_aux, s_aux_values,
-            roots=roots,
+            roots=roots, tracer=tracer,
         )
         shard_slice = shard.stream.trace.slice_from(trace_start)
         shard_us = stats["predicted_us"]
         # The shard stream is occupied for the slot-packed makespan; the
         # serialized total still counts as the request's work attribution.
-        _, end_us = shard.stream.enqueue(
+        shard_start_us, end_us = shard.stream.enqueue(
             stats.get("makespan_us", shard_us), fan_out_us
         )
+        if tracer is not None:
+            shard_trace_info.append(
+                (shard.shard_id, stats.get("trace_root"),
+                 shard_start_us, end_us)
+            )
         completion_us = max(completion_us, end_us)
         total_work_us += shard_us
         if stats.get("utilization"):
@@ -544,7 +577,41 @@ def _run_sharded_impl(pool: ShardPool, keys: np.ndarray,
     # scatter plus the longest shard chain, not the sum of all chains.
     utilization["critical_path_us"] = scatter_us + shard_critical_us
 
+    outcome_trace: dict = {}
+    if tracer is not None:
+        root_span = tracer.span(
+            "sharded_sort", layer="shards",
+            start_us=scatter_start_us, end_us=completion_us,
+            lane="sharded request", n=n, shards=len(shard_details),
+            scatter_us=scatter_us, predicted_us=total_work_us,
+        )
+        tracer.span(
+            "scatter", layer="shards",
+            start_us=scatter_start_us, end_us=fan_out_us,
+            parent=root_span, lane="scatter",
+            kernel_launches=scatter_slice.kernel_count,
+        )
+        for sid, engine_root, s_start, s_end in shard_trace_info:
+            shard_span = tracer.span(
+                "shard_sort", layer="shards",
+                start_us=s_start, end_us=s_end,
+                parent=root_span, shard_id=sid, lane=f"shard {sid}",
+            )
+            if engine_root is not None:
+                tracer.rebase(engine_root, s_start)
+                _label_launch_lanes(tracer, engine_root, sid)
+                tracer.adopt(engine_root, shard_span)
+        # The merge itself is free in the simulator (a host-side gather of
+        # disjoint ranges); the zero-width span still marks where it happens.
+        tracer.span(
+            "merge", layer="shards",
+            start_us=completion_us, end_us=completion_us,
+            parent=root_span, lane="merge", zero_cost=True,
+        )
+        outcome_trace["trace_root"] = root_span.span_id
+
     return {
+        **outcome_trace,
         "keys": out_keys,
         "values": out_values,
         "start_us": scatter_start_us,

@@ -1,0 +1,163 @@
+"""Tests for trace-summary rendering and utilization edge cases."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import ClusterConfig, SortCluster, TenantSpec
+from repro.core.config import SampleSortConfig
+from repro.core.launch_plan import ScheduleResult, SlotRecord, merge_utilization
+from repro.harness import (
+    format_cluster_report,
+    format_service_report,
+    format_trace_summary,
+    format_utilization,
+)
+from repro.service.service import ServiceConfig, SortService
+
+
+def _sorter() -> SampleSortConfig:
+    return SampleSortConfig.small(seed=3).with_(
+        k=8, oversampling=8, bucket_threshold=1 << 9, trace_mode="spans")
+
+
+@pytest.fixture(scope="module")
+def traced_service():
+    service = SortService(ServiceConfig(
+        num_shards=2, sorter=_sorter(), max_batch_elements=1 << 13,
+        max_wait_us=100.0, shard_threshold=1 << 12))
+    rng = np.random.default_rng(5)
+    ids = [service.submit(rng.integers(0, 1 << 30, size=700).astype(np.uint32),
+                          arrival_us=i * 25.0) for i in range(4)]
+    ids.append(service.submit(
+        rng.integers(0, 1 << 30, size=3 << 12).astype(np.uint32),
+        arrival_us=150.0))
+    service.drain()
+    return service, ids
+
+
+class TestFormatTraceSummary:
+    def test_batched_request_attribution(self, traced_service):
+        service, ids = traced_service
+        out = format_trace_summary(service.tracer, service.request_span(ids[0]))
+        assert "segments tile the request window exactly" in out
+        assert "reconciles +-0 with utilization()" in out
+        assert "MISMATCH" not in out and "WARNING" not in out
+        for segment in ("queue_wait", "dispatch_wait", "execute"):
+            assert segment in out
+        assert "shared with" in out  # engine run found via batch cross-ref
+
+    def test_sharded_request_attribution(self, traced_service):
+        service, ids = traced_service
+        out = format_trace_summary(service.tracer,
+                                   service.request_span(ids[-1]))
+        assert "segments tile the request window exactly" in out
+        assert "reconciles +-0 with utilization()" in out
+        assert "MISMATCH" not in out
+        assert "scatter:" in out and "merge:" in out
+        assert "sharded subtree" in out
+
+    def test_accepts_span_id(self, traced_service):
+        service, ids = traced_service
+        span = service.request_span(ids[0])
+        assert format_trace_summary(service.tracer, span.span_id) == \
+            format_trace_summary(service.tracer, span)
+
+    def test_shares_sum_to_whole_window(self, traced_service):
+        service, ids = traced_service
+        out = format_trace_summary(service.tracer, service.request_span(ids[0]))
+        shares = [float(line.rsplit(maxsplit=1)[-1].rstrip("%"))
+                  for line in out.splitlines()
+                  if line.startswith(("queue_wait", "dispatch_wait",
+                                      "execute"))]
+        assert len(shares) == 3
+        assert math.isclose(sum(shares), 100.0, abs_tol=0.11)
+
+    def test_cluster_trace_summary(self):
+        cluster = SortCluster(ClusterConfig(
+            num_replicas=2,
+            service=ServiceConfig(num_shards=2, sorter=_sorter(),
+                                  max_batch_elements=1 << 13,
+                                  max_wait_us=100.0),
+            tenants=(TenantSpec("gold", weight=2.0, priority=1),
+                     TenantSpec("bronze", weight=1.0)),
+            routing_cost_us=0.5))
+        rng = np.random.default_rng(5)
+        ids = []
+        for i in range(6):
+            n = int(rng.integers(1 << 9, 1 << 10))
+            ids.append(cluster.submit(rng.integers(0, n, n).astype(np.uint32),
+                                      tenant="gold" if i % 3 else "bronze",
+                                      arrival_us=i * 20.0))
+        cluster.drain()
+        for request_id in ids:
+            out = format_trace_summary(cluster.tracer,
+                                       cluster.request_span(request_id))
+            assert "segments tile the request window exactly" in out
+            assert "MISMATCH" not in out and "WARNING" not in out
+            assert "route" in out
+
+
+class TestUtilizationEdgeCases:
+    def test_merge_of_nothing_is_float_zeros(self):
+        merged = merge_utilization([])
+        assert merged["num_slots"] == 0 and merged["ops"] == 0
+        for key in ("makespan_us", "critical_path_us", "serialized_us",
+                    "busy_slot_us", "idle_slot_us", "saturated_us"):
+            assert merged[key] == 0.0 and isinstance(merged[key], float)
+        assert merged["speedup"] == 1.0
+        assert merged["phases"] == {}
+        assert "nan" not in format_utilization(merged)
+
+    def test_zero_slot_schedule_renders_finite(self):
+        util = ScheduleResult(num_slots=0, records=[], makespan_us=4.0,
+                              critical_path_us=2.0,
+                              serialized_us=2.0).utilization()
+        out = format_utilization(util)
+        assert "nan" not in out and "inf" not in out
+        assert "0 slot(s), 0 launches" in out
+
+    def test_all_idle_schedule_renders_finite(self):
+        records = [SlotRecord(op_id=0, name="noop", phase="bucket_sort",
+                              slot=0, start_us=1.0, end_us=1.0)]
+        util = ScheduleResult(num_slots=2, records=records, makespan_us=5.0,
+                              critical_path_us=0.0,
+                              serialized_us=0.0).utilization()
+        assert util["busy_slot_us"] == 0.0
+        out = format_utilization(util)
+        assert "nan" not in out and "inf" not in out
+
+    def test_format_utilization_guards_nan_and_inf_inputs(self):
+        poisoned = {"makespan_us": float("nan"), "speedup": float("inf"),
+                    "busy_slot_us": float("nan"),
+                    "idle_slot_us": float("-inf"),
+                    "phases": {"bucket_sort": {"ops": 1,
+                                               "busy_us": float("nan"),
+                                               "saturated_us": 0.0,
+                                               "concurrency": float("nan")}}}
+        out = format_utilization(poisoned)
+        assert "nan" not in out and "inf" not in out
+
+
+class TestReportPercentiles:
+    def test_service_report_shows_p99(self, traced_service):
+        service, _ = traced_service
+        out = format_service_report(service.stats())
+        assert "p99" in out
+
+    def test_cluster_report_shows_tenant_p99_and_max(self):
+        cluster = SortCluster(ClusterConfig(
+            num_replicas=1,
+            service=ServiceConfig(num_shards=1, sorter=_sorter()),
+            tenants=(TenantSpec("gold", weight=1.0),)))
+        rng = np.random.default_rng(5)
+        for i in range(3):
+            cluster.submit(rng.integers(0, 1 << 20, 512).astype(np.uint32),
+                           tenant="gold", arrival_us=i * 10.0)
+        cluster.drain()
+        out = format_cluster_report(cluster.stats())
+        assert "p99" in out
+        assert "p99 us" in out and "max us" in out  # tenant table columns

@@ -1,0 +1,132 @@
+"""Unit tests for :mod:`repro.obs.export` — Chrome-trace export + validator."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Tracer,
+    assert_valid_chrome_trace,
+    chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+
+
+def _sample_tracer() -> Tracer:
+    tracer = Tracer()
+    request = tracer.span("request", layer="cluster", start_us=0.0, end_us=9.0,
+                          pid_label="frontend", lane="request 0")
+    replica = tracer.span("request", layer="service", start_us=0.5, end_us=9.0,
+                          parent=request, pid_label="replica 1",
+                          lane="request 0", kind="segment")
+    engine = tracer.span("engine.run", layer="engine", start_us=1.0,
+                         end_us=8.0, parent=replica)
+    tracer.span("phase2_histogram", layer="launch", start_us=1.0, end_us=4.0,
+                parent=engine, slot=2, phase="phase2_histogram", seq=0)
+    tracer.span("loose", layer="shards", start_us=0.0, end_us=1.0)
+    return tracer
+
+
+def test_chrome_trace_is_valid_and_complete():
+    tracer = _sample_tracer()
+    obj = chrome_trace(tracer)
+    assert_valid_chrome_trace(obj)
+    assert obj["displayTimeUnit"] == "ms"
+    events = [e for e in obj["traceEvents"] if e["ph"] == "X"]
+    assert len(events) == len(tracer)
+    for event in events:
+        span = tracer.get(event["args"]["span_id"])
+        assert event["ts"] == span.start_us
+        assert event["dur"] == span.duration_us
+        assert event["cat"] == span.layer
+
+
+def test_pid_comes_from_nearest_pid_label_ancestor():
+    tracer = _sample_tracer()
+    obj = chrome_trace(tracer)
+    names = {e["pid"]: e["args"]["name"] for e in obj["traceEvents"]
+             if e["ph"] == "M" and e["name"] == "process_name"}
+    by_span = {e["args"]["span_id"]: names[e["pid"]]
+               for e in obj["traceEvents"] if e["ph"] == "X"}
+    assert by_span[0] == "frontend"
+    assert by_span[1] == "replica 1"      # own pid_label wins
+    assert by_span[2] == "replica 1"      # engine inherits the replica's
+    assert by_span[3] == "replica 1"      # launch too
+    assert by_span[4] == "sim"            # no labelled ancestor
+
+
+def test_tid_prefers_lane_then_slot_then_layer():
+    tracer = _sample_tracer()
+    obj = chrome_trace(tracer)
+    tid_names = {(e["pid"], e["tid"]): e["args"]["name"]
+                 for e in obj["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+    by_span = {e["args"]["span_id"]: tid_names[(e["pid"], e["tid"])]
+               for e in obj["traceEvents"] if e["ph"] == "X"}
+    assert by_span[0] == "request 0"      # explicit lane
+    assert by_span[3] == "slot 2"         # launch fallback: its stream slot
+    assert by_span[4] == "shards"         # layer-name fallback
+
+
+def test_export_is_deterministic():
+    a = json.dumps(chrome_trace(_sample_tracer()), sort_keys=True)
+    b = json.dumps(chrome_trace(_sample_tracer()), sort_keys=True)
+    assert a == b
+
+
+def test_write_chrome_trace_round_trips(tmp_path):
+    path = tmp_path / "trace.json"
+    written = write_chrome_trace(path, _sample_tracer())
+    loaded = json.loads(path.read_text())
+    assert loaded == json.loads(json.dumps(written))
+    assert validate_chrome_trace(loaded) == []
+
+
+def test_write_spans_jsonl_is_lossless(tmp_path):
+    tracer = _sample_tracer()
+    path = tmp_path / "spans.jsonl"
+    count = write_spans_jsonl(path, tracer)
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert count == len(lines) == len(tracer)
+    for record, span in zip(lines, tracer.spans):
+        assert record["span_id"] == span.span_id
+        assert record["parent_id"] == span.parent_id
+        assert record["start_us"] == span.start_us
+        assert record["duration_us"] == span.duration_us
+        assert record["attributes"] == {
+            k: v for k, v in span.attributes.items()}
+
+
+@pytest.mark.parametrize("mutate, fragment", [
+    (lambda o: o.pop("traceEvents"), "no traceEvents"),
+    (lambda o: o["traceEvents"][0].pop("ph"), "missing event phase"),
+    (lambda o: o["traceEvents"].__setitem__(0, "nope"), "must be an object"),
+])
+def test_validator_rejects_broken_containers(mutate, fragment):
+    obj = chrome_trace(_sample_tracer())
+    mutate(obj)
+    errors = validate_chrome_trace(obj)
+    assert errors and any(fragment in e for e in errors)
+
+
+def test_validator_rejects_bad_timing_and_unnamed_lanes():
+    obj = chrome_trace(_sample_tracer())
+    events = [e for e in obj["traceEvents"] if e["ph"] == "X"]
+    events[0]["ts"] = float("nan")
+    events[1]["dur"] = -1.0
+    events[2]["pid"] = 999  # never introduced by process_name metadata
+    errors = validate_chrome_trace(obj)
+    assert any("must be finite" in e for e in errors)
+    assert any("negative duration" in e for e in errors)
+    assert any("has no process_name" in e for e in errors)
+    with pytest.raises(AssertionError):
+        assert_valid_chrome_trace(obj)
+
+
+def test_validator_accepts_span_list_source():
+    tracer = _sample_tracer()
+    assert validate_chrome_trace(chrome_trace(tracer.spans)) == []

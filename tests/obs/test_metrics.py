@@ -1,0 +1,106 @@
+"""Unit tests for :mod:`repro.obs.metrics` — the labelled metrics registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def test_counter_is_plain_int():
+    counter = Counter()
+    counter.inc()
+    counter.inc(3)
+    assert counter.value == 4
+    assert type(counter.value) is int  # byte-identity of rebuilt stats dicts
+
+
+def test_counter_rejects_negative_increment():
+    with pytest.raises(ValueError):
+        Counter().inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    gauge = Gauge()
+    gauge.set(5.0)
+    gauge.set(2.5)
+    assert gauge.value == 2.5
+
+
+def test_histogram_snapshot_matches_numpy_exactly():
+    values = [3.25, 1.0, 99.5, 42.0, 7.125, 7.125, 0.5]
+    hist = Histogram()
+    for v in values:
+        hist.observe(v)
+    snap = hist.snapshot(percentiles=(50, 95, 99))
+    arr = np.asarray(values)
+    # Bit-for-bit the same calls stats() historically made, in the same order.
+    assert snap["p50"] == float(np.percentile(arr, 50))
+    assert snap["p95"] == float(np.percentile(arr, 95))
+    assert snap["p99"] == float(np.percentile(arr, 99))
+    assert snap["mean"] == float(np.mean(arr))
+    assert snap["max"] == float(np.max(arr))
+    assert snap["count"] == len(values)
+    assert hist.values() == values  # arrival order preserved
+
+
+def test_histogram_empty_snapshot_is_finite_zeros():
+    snap = Histogram().snapshot(percentiles=(50, 99))
+    assert snap == {"count": 0, "p50": 0.0, "p99": 0.0, "mean": 0.0,
+                    "max": 0.0}
+
+
+def test_histogram_percentile_key_formatting():
+    hist = Histogram()
+    hist.observe(1.0)
+    snap = hist.snapshot(percentiles=(50, 99.9))
+    assert "p50" in snap and "p99.9" in snap
+
+
+def test_registry_get_or_create_identity():
+    registry = MetricsRegistry()
+    a = registry.counter("submitted")
+    b = registry.counter("submitted")
+    assert a is b
+    a.inc()
+    assert registry.get("submitted").value == 1
+
+
+def test_registry_labels_are_order_independent():
+    registry = MetricsRegistry()
+    h1 = registry.histogram("latency_us", tenant="gold", replica=0)
+    h2 = registry.histogram("latency_us", replica=0, tenant="gold")
+    assert h1 is h2
+    assert registry.histogram("latency_us", tenant="bronze", replica=0) \
+        is not h1
+    assert registry.labels_of("latency_us") == [
+        {"tenant": "gold", "replica": 0},
+        {"tenant": "bronze", "replica": 0},
+    ]
+
+
+def test_registry_kind_conflict_raises():
+    registry = MetricsRegistry()
+    registry.counter("submitted")
+    with pytest.raises(ValueError):
+        registry.histogram("submitted")
+
+
+def test_registry_get_returns_none_when_absent():
+    registry = MetricsRegistry()
+    assert registry.get("nope") is None
+    registry.counter("yes", shard=1)
+    assert registry.get("yes") is None  # labels are part of the address
+    assert registry.get("yes", shard=1) is not None
+
+
+def test_registry_collect_flattens_names_and_labels():
+    registry = MetricsRegistry()
+    registry.counter("submitted").inc(2)
+    registry.gauge("queue_depth", shard=0).set(3.0)
+    registry.histogram("latency_us", tenant="gold").observe(10.0)
+    dump = registry.collect()
+    assert dump["submitted"] == 2
+    assert dump["queue_depth{shard=0}"] == 3.0
+    assert dump["latency_us{tenant=gold}"]["count"] == 1

@@ -1,0 +1,297 @@
+"""Span/stats reconciliation: traces must agree ±0 with the timing model.
+
+The contract under test is the ISSUE's acceptance bar: with tracing on,
+per-phase busy time summed from launch spans equals ``utilization()`` busy
+time exactly (not approximately), the engine root span's duration equals the
+run's ``makespan_us``, request spans tile the request window with shared
+boundary timestamps, and turning tracing on or off changes **nothing** about
+the simulated numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import ClusterConfig, SortCluster, TenantSpec
+from repro.core.config import SampleSortConfig
+from repro.core.sample_sort import SampleSorter
+from repro.obs import Tracer, chrome_trace, validate_chrome_trace
+from repro.service.service import ServiceConfig, SortService
+
+MODES = [(launch, kernel)
+         for launch in ("pipelined", "barriered")
+         for kernel in ("vectorized", "per_block")]
+
+
+def _sorter_config(launch_mode: str, kernel_mode: str) -> SampleSortConfig:
+    return SampleSortConfig.small(seed=3).with_(
+        k=8, oversampling=8, bucket_threshold=1 << 9,
+        launch_mode=launch_mode, kernel_mode=kernel_mode,
+        trace_mode="spans")
+
+
+def _segments(tracer: Tracer, span):
+    return sorted(
+        (s for s in tracer.children(span)
+         if s.attributes.get("kind") == "segment"),
+        key=lambda s: (s.start_us, s.span_id),
+    )
+
+
+def _assert_tiles(tracer: Tracer, span) -> None:
+    """Child segments must cover [start, end] with shared boundaries."""
+    segments = _segments(tracer, span)
+    assert segments, f"span {span.name!r} has no segments"
+    cursor = span.start_us
+    for segment in segments:
+        assert segment.start_us == cursor, \
+            f"{segment.name} starts at {segment.start_us}, expected {cursor}"
+        cursor = segment.end_us
+    assert cursor == span.end_us
+
+
+def _assert_engine_reconciles(tracer: Tracer, engine) -> None:
+    attrs = engine.attributes
+    launches = sorted(
+        (s for s in tracer.subtree(engine) if s.layer == "launch"),
+        key=lambda s: s.attributes["seq"],
+    )
+    assert launches
+    busy = 0.0
+    phase_busy: dict[str, float] = {}
+    for launch in launches:
+        busy += launch.duration_us
+        phase = launch.attributes["phase"]
+        phase_busy[phase] = phase_busy.get(phase, 0.0) + launch.duration_us
+    assert engine.duration_us == attrs["makespan_us"]
+    assert busy == attrs["busy_slot_us"]
+    assert phase_busy == attrs["phase_busy_us"]
+
+
+class TestEngineSpans:
+    @pytest.mark.parametrize("launch_mode, kernel_mode", MODES)
+    def test_engine_run_reconciles_with_utilization(self, launch_mode,
+                                                    kernel_mode):
+        config = _sorter_config(launch_mode, kernel_mode)
+        rng = np.random.default_rng(11)
+        tracer = Tracer()
+        sorter = SampleSorter(config=config)
+        results = sorter.sort_many(
+            [rng.integers(0, 1 << 30, size=3000).astype(np.uint32),
+             rng.integers(0, 1 << 30, size=1500).astype(np.uint32)],
+            tracer=tracer)
+        stats = results[0].stats
+        root = tracer.get(stats["trace_root"])
+        assert root.name == "engine.run" and root.layer == "engine"
+        assert (root.start_us, root.end_us) == (0.0, stats["makespan_us"])
+        util = stats["utilization"]
+        launches = [s for s in tracer.subtree(root) if s.layer == "launch"]
+        assert launches and util["phases"]  # non-trivial run
+        _assert_engine_reconciles(tracer, root)
+        # The span attrs ARE the utilization numbers, not close copies.
+        assert root.attributes["busy_slot_us"] == util["busy_slot_us"]
+        assert root.attributes["phase_busy_us"] == {
+            phase: entry["busy_us"] for phase, entry in util["phases"].items()}
+
+    @pytest.mark.parametrize("launch_mode, kernel_mode", MODES)
+    def test_launch_span_count_matches_schedule(self, launch_mode,
+                                                kernel_mode):
+        config = _sorter_config(launch_mode, kernel_mode)
+        rng = np.random.default_rng(11)
+        tracer = Tracer()
+        results = SampleSorter(config=config).sort_many(
+            [rng.integers(0, 1 << 30, size=3000).astype(np.uint32)],
+            tracer=tracer)
+        stats = results[0].stats
+        root = tracer.get(stats["trace_root"])
+        launches = [s for s in tracer.subtree(root) if s.layer == "launch"]
+        assert len(launches) == stats["kernel_launches"]
+        seqs = sorted(s.attributes["seq"] for s in launches)
+        assert seqs == list(range(len(launches)))
+
+    def test_tracing_never_moves_a_timestamp(self):
+        rng = np.random.default_rng(11)
+        keys = rng.integers(0, 1 << 30, size=3000).astype(np.uint32)
+        base = _sorter_config("pipelined", "vectorized")
+        off = SampleSorter(config=base.with_(trace_mode="off")) \
+            .sort_many([keys.copy()])
+        on = SampleSorter(config=base).sort_many([keys.copy()],
+                                                 tracer=Tracer())
+        assert np.array_equal(off[0].keys, on[0].keys)
+        assert off[0].stats["makespan_us"] == on[0].stats["makespan_us"]
+        assert off[0].stats["utilization"] == on[0].stats["utilization"]
+        assert "trace_root" not in off[0].stats
+        assert "trace_root" in on[0].stats
+
+
+def _traced_service(launch_mode="pipelined", kernel_mode="vectorized",
+                    trace_mode="spans") -> SortService:
+    sorter = SampleSortConfig.small(seed=3).with_(
+        k=8, oversampling=8, bucket_threshold=1 << 9,
+        launch_mode=launch_mode, kernel_mode=kernel_mode,
+        trace_mode=trace_mode)
+    return SortService(ServiceConfig(
+        num_shards=2, sorter=sorter, max_batch_elements=1 << 13,
+        max_wait_us=100.0, shard_threshold=1 << 12))
+
+
+def _run_service(service: SortService, *, with_sharded=True):
+    rng = np.random.default_rng(5)
+    ids = []
+    for i in range(5):
+        ids.append(service.submit(
+            rng.integers(0, 1 << 30, size=700).astype(np.uint32),
+            arrival_us=i * 25.0))
+    if with_sharded:
+        ids.append(service.submit(
+            rng.integers(0, 1 << 30, size=3 << 12).astype(np.uint32),
+            arrival_us=150.0))
+    return ids, service.drain()
+
+
+class TestServiceSpans:
+    @pytest.mark.parametrize("launch_mode, kernel_mode", MODES)
+    def test_request_spans_tile_and_engines_reconcile(self, launch_mode,
+                                                      kernel_mode):
+        service = _traced_service(launch_mode, kernel_mode)
+        ids, results = _run_service(service)
+        tracer = service.tracer
+        assert tracer is not None
+        for request_id in ids:
+            span = service.request_span(request_id)
+            result = results[request_id]
+            assert (span.start_us, span.end_us) == \
+                (result.arrival_us, result.completion_us)
+            _assert_tiles(tracer, span)
+        for engine in tracer.find(name="engine.run", layer="engine"):
+            _assert_engine_reconciles(tracer, engine)
+
+    def test_batched_requests_share_one_engine_run(self):
+        service = _traced_service()
+        ids, _ = _run_service(service, with_sharded=False)
+        tracer = service.tracer
+        batch_refs = set()
+        for request_id in ids:
+            execute = [s for s in _segments(tracer,
+                                            service.request_span(request_id))
+                       if s.name == "execute"]
+            assert len(execute) == 1
+            ref = execute[0].attributes.get("batch_span")
+            if ref is not None:
+                batch_refs.add(ref)
+        assert batch_refs  # at least one micro-batch formed
+        for ref in batch_refs:
+            batch = tracer.get(ref)
+            assert batch.name == "batch" and batch.parent_id is None
+            engines = [s for s in tracer.subtree(batch)
+                       if s.name == "engine.run"]
+            assert len(engines) == 1
+
+    def test_sharded_request_adopts_shard_subtree(self):
+        service = _traced_service()
+        ids, _ = _run_service(service)
+        tracer = service.tracer
+        span = service.request_span(ids[-1])
+        subtree = tracer.subtree(span)
+        sharded = [s for s in subtree if s.name == "sharded_sort"]
+        assert len(sharded) == 1
+        assert {s.name for s in subtree if s.layer == "shards"} >= \
+            {"sharded_sort", "scatter", "shard_sort", "merge"}
+        # Launch lanes are disambiguated per shard for the Perfetto export.
+        lanes = {s.attributes["lane"] for s in subtree if s.layer == "launch"}
+        assert all(lane.startswith("shard ") for lane in lanes)
+        assert len({lane.split()[1] for lane in lanes}) == 2  # both shards
+        # Adoption unified the trace id from request root to launches.
+        assert {s.trace_id for s in subtree} == {span.trace_id}
+
+    def test_chrome_export_of_service_trace_validates(self):
+        service = _traced_service()
+        _run_service(service)
+        assert validate_chrome_trace(chrome_trace(service.tracer)) == []
+
+    def test_trace_off_records_nothing_and_matches_traced_stats(self):
+        service_off = _traced_service(trace_mode="off")
+        service_on = _traced_service(trace_mode="spans")
+        _, results_off = _run_service(service_off)
+        _, results_on = _run_service(service_on)
+        assert service_off.tracer is None
+        assert service_off.request_span(0) is None
+        stats_off = service_off.stats()
+        stats_on = service_on.stats()
+        stats_off.pop("wall_s"), stats_on.pop("wall_s")
+        assert stats_off == stats_on
+        for request_id, result in results_off.items():
+            assert np.array_equal(result.keys, results_on[request_id].keys)
+            assert result.completion_us == results_on[request_id].completion_us
+
+
+def _traced_cluster(trace_mode="spans") -> SortCluster:
+    sorter = SampleSortConfig.small(seed=3).with_(
+        k=8, oversampling=8, bucket_threshold=1 << 9, trace_mode=trace_mode)
+    return SortCluster(ClusterConfig(
+        num_replicas=2,
+        service=ServiceConfig(num_shards=2, sorter=sorter,
+                              max_batch_elements=1 << 13, max_wait_us=100.0),
+        tenants=(TenantSpec("gold", weight=2.0, priority=1),
+                 TenantSpec("bronze", weight=1.0)),
+        routing_cost_us=0.5))
+
+
+def _run_cluster(cluster: SortCluster):
+    rng = np.random.default_rng(5)
+    payloads, ids = [], []
+    for i in range(8):
+        n = int(rng.integers(1 << 9, 1 << 10))
+        payloads.append(rng.integers(0, n, n).astype(np.uint32))
+        ids.append(cluster.submit(payloads[-1],
+                                  tenant="gold" if i % 3 else "bronze",
+                                  arrival_us=i * 20.0))
+    ids.append(cluster.submit(payloads[0].copy(), tenant="gold",
+                              arrival_us=400.0))  # cache/coalesce candidate
+    return ids, cluster.drain()
+
+
+class TestClusterSpans:
+    def test_cluster_request_spans_tile_down_to_replicas(self):
+        cluster = _traced_cluster()
+        ids, results = _run_cluster(cluster)
+        tracer = cluster.tracer
+        for request_id in ids:
+            span = cluster.request_span(request_id)
+            result = results[request_id]
+            assert span.layer == "cluster"
+            assert (span.start_us, span.end_us) == \
+                (result.arrival_us, result.completion_us)
+            _assert_tiles(tracer, span)
+            # Replica-served requests nest the replica's own segment tiling.
+            for segment in _segments(tracer, span):
+                if segment.layer == "service":
+                    _assert_tiles(tracer, segment)
+        for engine in tracer.find(name="engine.run", layer="engine"):
+            _assert_engine_reconciles(tracer, engine)
+
+    def test_cluster_export_has_per_replica_processes(self):
+        cluster = _traced_cluster()
+        _run_cluster(cluster)
+        obj = chrome_trace(cluster.tracer)
+        assert validate_chrome_trace(obj) == []
+        processes = {e["args"]["name"] for e in obj["traceEvents"]
+                     if e["ph"] == "M" and e["name"] == "process_name"}
+        assert {"frontend", "replica 0", "replica 1"} <= processes
+
+    def test_trace_off_matches_traced_cluster_stats(self):
+        cluster_off = _traced_cluster(trace_mode="off")
+        cluster_on = _traced_cluster(trace_mode="spans")
+        _, results_off = _run_cluster(cluster_off)
+        _, results_on = _run_cluster(cluster_on)
+        assert cluster_off.tracer is None
+        stats_off, stats_on = cluster_off.stats(), cluster_on.stats()
+        for stats in (stats_off, stats_on):
+            stats.pop("wall_s", None)
+            for replica in stats.get("replicas", []):
+                replica.pop("wall_s", None)
+        assert stats_off == stats_on
+        for request_id, result in results_off.items():
+            assert np.array_equal(result.keys, results_on[request_id].keys)
+            assert result.completion_us == results_on[request_id].completion_us

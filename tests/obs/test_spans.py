@@ -1,0 +1,133 @@
+"""Unit tests for :mod:`repro.obs.spans` — the simulated-clock tracer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Span, Tracer
+
+
+def test_span_records_duration_and_trace_id():
+    tracer = Tracer()
+    root = tracer.span("request", layer="service", start_us=10.0, end_us=35.5)
+    child = tracer.span("execute", layer="service", start_us=12.0, end_us=35.5,
+                        parent=root, kind="segment")
+    assert isinstance(root, Span)
+    assert root.span_id == 0 and child.span_id == 1
+    assert root.parent_id is None and child.parent_id == root.span_id
+    # Parentless spans start a trace named after themselves; children join it.
+    assert root.trace_id == root.span_id
+    assert child.trace_id == root.trace_id
+    assert child.duration_us == 23.5
+    assert child.attributes == {"kind": "segment"}
+
+
+def test_span_rejects_negative_interval():
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        tracer.span("bad", layer="service", start_us=5.0, end_us=4.0)
+
+
+def test_parent_accepts_span_or_id():
+    tracer = Tracer()
+    root = tracer.span("a", layer="service", start_us=0.0, end_us=1.0)
+    by_obj = tracer.span("b", layer="service", start_us=0.0, end_us=1.0,
+                         parent=root)
+    by_id = tracer.span("c", layer="service", start_us=0.0, end_us=1.0,
+                        parent=root.span_id)
+    assert by_obj.parent_id == by_id.parent_id == root.span_id
+    assert [s.name for s in tracer.children(root)] == ["b", "c"]
+
+
+def test_explicit_trace_id_overrides_parent():
+    tracer = Tracer()
+    root = tracer.span("a", layer="service", start_us=0.0, end_us=1.0)
+    odd = tracer.span("b", layer="service", start_us=0.0, end_us=1.0,
+                      parent=root, trace_id=77)
+    assert odd.trace_id == 77
+
+
+def test_subtree_is_depth_first_preorder():
+    tracer = Tracer()
+    root = tracer.span("root", layer="engine", start_us=0.0, end_us=10.0)
+    a = tracer.span("a", layer="engine", start_us=0.0, end_us=4.0, parent=root)
+    tracer.span("a1", layer="launch", start_us=0.0, end_us=2.0, parent=a)
+    tracer.span("a2", layer="launch", start_us=2.0, end_us=4.0, parent=a)
+    b = tracer.span("b", layer="engine", start_us=4.0, end_us=10.0, parent=root)
+    tracer.span("b1", layer="launch", start_us=4.0, end_us=9.0, parent=b)
+    assert [s.name for s in tracer.subtree(root)] == \
+        ["root", "a", "a1", "a2", "b", "b1"]
+    assert [s.name for s in tracer.roots()] == ["root"]
+    assert len(tracer) == 6
+
+
+def test_find_filters_compose():
+    tracer = Tracer()
+    r1 = tracer.span("request", layer="service", start_us=0.0, end_us=1.0)
+    tracer.span("request", layer="cluster", start_us=0.0, end_us=2.0)
+    tracer.span("execute", layer="service", start_us=0.0, end_us=1.0, parent=r1)
+    assert len(tracer.find(name="request")) == 2
+    assert len(tracer.find(name="request", layer="service")) == 1
+    assert [s.name for s in tracer.find(trace_id=r1.trace_id)] == \
+        ["request", "execute"]
+
+
+def test_rebase_shifts_subtree_but_never_duration():
+    tracer = Tracer()
+    root = tracer.span("run", layer="engine", start_us=0.0, end_us=10.0)
+    leaf = tracer.span("op", layer="launch", start_us=1.5, end_us=4.0,
+                       parent=root)
+    other = tracer.span("other", layer="engine", start_us=0.0, end_us=1.0)
+    before = leaf.duration_us
+    tracer.rebase(root, 100.25)
+    assert (root.start_us, root.end_us) == (100.25, 110.25)
+    assert (leaf.start_us, leaf.end_us) == (101.75, 104.25)
+    assert leaf.duration_us == before  # fixed at creation, never recomputed
+    # Spans outside the subtree are untouched.
+    assert (other.start_us, other.end_us) == (0.0, 1.0)
+
+
+def test_rebase_repeated_shifts_keep_duration_exact():
+    tracer = Tracer()
+    span = tracer.span("op", layer="launch", start_us=0.1, end_us=0.30000001)
+    duration = span.duration_us
+    for delta in (13.7, -2.9, 1e6, -1e6 + 0.3):
+        tracer.rebase(span, delta)
+    assert span.duration_us == duration
+
+
+def test_adopt_reparents_and_propagates_trace_id():
+    tracer = Tracer()
+    engine_root = tracer.span("engine.run", layer="engine",
+                              start_us=0.0, end_us=5.0)
+    launch = tracer.span("op", layer="launch", start_us=0.0, end_us=5.0,
+                         parent=engine_root)
+    request = tracer.span("request", layer="service",
+                          start_us=0.0, end_us=9.0)
+    adopted = tracer.adopt(engine_root, request, kind="segment")
+    assert adopted is engine_root
+    assert engine_root.parent_id == request.span_id
+    assert engine_root.attributes["kind"] == "segment"
+    # The whole subtree joins the new parent's trace.
+    assert engine_root.trace_id == request.trace_id
+    assert launch.trace_id == request.trace_id
+    assert [s.name for s in tracer.subtree(request)] == \
+        ["request", "engine.run", "op"]
+
+
+def test_adopt_detaches_from_previous_parent():
+    tracer = Tracer()
+    old = tracer.span("old", layer="service", start_us=0.0, end_us=1.0)
+    child = tracer.span("child", layer="service", start_us=0.0, end_us=1.0,
+                        parent=old)
+    new = tracer.span("new", layer="service", start_us=0.0, end_us=1.0)
+    tracer.adopt(child, new)
+    assert tracer.children(old) == []
+    assert [s.name for s in tracer.children(new)] == ["child"]
+
+
+def test_adopt_self_raises():
+    tracer = Tracer()
+    span = tracer.span("a", layer="service", start_us=0.0, end_us=1.0)
+    with pytest.raises(ValueError):
+        tracer.adopt(span, span)

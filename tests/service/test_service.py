@@ -267,11 +267,11 @@ class TestAdmissionControl:
         boom = RuntimeError("injected dispatch failure")
         original = service.pool.shards[0].run_batch
 
-        def failing_run_batch(batch_keys, batch_values, now_us):
+        def failing_run_batch(batch_keys, batch_values, now_us, **kwargs):
             if batch_keys[0].size == 500 and np.array_equal(
                     batch_keys[0], np.arange(500, dtype=np.uint32)):
                 raise boom
-            return original(batch_keys, batch_values, now_us)
+            return original(batch_keys, batch_values, now_us, **kwargs)
 
         service.pool.shards[0].run_batch = failing_run_batch
         with pytest.raises(RuntimeError):
@@ -588,7 +588,7 @@ class TestZeroDrainTelemetry:
         service = SortService(_service_config())
         stats = service.stats()
         assert stats["counts"]["completed"] == 0
-        assert stats["latency_us"] == {"p50": 0.0, "p95": 0.0,
+        assert stats["latency_us"] == {"p50": 0.0, "p95": 0.0, "p99": 0.0,
                                        "mean": 0.0, "max": 0.0}
         assert stats["queue_wait_us"] == {"p50": 0.0, "max": 0.0}
         assert stats["throughput"]["elements_per_us"] == 0.0
