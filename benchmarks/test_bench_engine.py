@@ -330,3 +330,84 @@ def test_bench_sort_many_amortisation(benchmark):
         f"one engine run : {batch_launches:>5} launches, {batch_wall:6.3f} s wall\n"
         f"one run each   : {solo_launches:>5} launches, {solo_wall:6.3f} s wall",
     )
+
+
+def test_bench_engine_backends(benchmark):
+    """Execution backends at n = 2^17: numpy vs simulated (vs torch).
+
+    The backend axis is contractually unobservable — identical output bytes,
+    launch counts, aggregated counters and predicted times for every
+    registered backend — so this benchmark asserts the parity contract and
+    archives only the host wall-clock per backend. The torch leg joins the
+    table automatically when PyTorch is installed (the optional-backend CI
+    job); on a bare container the archive records the two built-ins.
+    """
+    from repro.backend.torch_backend import TORCH_AVAILABLE
+
+    backends = ["numpy", "simulated"] + (["torch"] if TORCH_AVAILABLE else [])
+    workload = make_input("uniform", N, "uint32", with_values=True, seed=21)
+
+    def run_backend(backend):
+        sorter = SampleSorter(
+            device=TESLA_C1060,
+            config=KERNEL_MODE_CONFIG.with_(backend=backend),
+        )
+        # Warm shared memoisation once, then take the best of three.
+        sorter.sort(workload.keys.copy(), workload.values.copy())
+        result, best = None, float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            result = sorter.sort(workload.keys.copy(), workload.values.copy())
+            best = min(best, time.perf_counter() - start)
+        return result, best
+
+    outcome = benchmark.pedantic(
+        lambda: {backend: run_backend(backend) for backend in backends},
+        rounds=1, iterations=1,
+    )
+    reference, _ = outcome["numpy"]
+    assert np.array_equal(reference.keys, np.sort(workload.keys))
+    for backend, (result, _) in outcome.items():
+        # the parity contract, byte for byte and launch for launch
+        assert result.keys.tobytes() == reference.keys.tobytes()
+        assert result.values.tobytes() == reference.values.tobytes()
+        assert result.stats["kernel_launches"] == \
+            reference.stats["kernel_launches"]
+        assert result.stats["launches_by_phase"] == \
+            reference.stats["launches_by_phase"]
+        assert result.stats["predicted_us"] == reference.stats["predicted_us"]
+        assert result.counters().as_dict() == reference.counters().as_dict()
+        assert result.stats["backend"] == backend
+
+    record = {
+        "benchmark": "engine_backends",
+        "n": N,
+        "key_type": "uint32+values",
+        "distribution": "uniform",
+        "config": {"k": KERNEL_MODE_CONFIG.k,
+                   "bucket_threshold": KERNEL_MODE_CONFIG.bucket_threshold,
+                   "oversampling": KERNEL_MODE_CONFIG.oversampling,
+                   "seed": KERNEL_MODE_CONFIG.seed},
+        "torch_available": TORCH_AVAILABLE,
+        "identical_outputs": True,
+        "backends": {
+            backend: {
+                "wall_s": round(wall, 4),
+                "simulated_us": round(result.time_us, 1),
+                "kernel_launches": result.stats["kernel_launches"],
+                "launches_by_phase": result.stats["launches_by_phase"],
+            }
+            for backend, (result, wall) in outcome.items()
+        },
+    }
+    _archive("engine_backends", record)
+
+    lines = "\n".join(
+        f"{backend:<10}: {wall:6.3f} s wall, {result.time_us:9.1f} us "
+        f"simulated, {result.stats['kernel_launches']} launches"
+        for backend, (result, wall) in outcome.items()
+    )
+    print_block(
+        "Engine ablation: execution backends (byte-identical by contract)",
+        f"{lines}\n(archived in {RESULT_PATH.name})",
+    )

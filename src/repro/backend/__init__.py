@@ -1,0 +1,36 @@
+"""Pluggable execution backends for the vectorised kernels.
+
+This package is the seam between the simulator's bookkeeping and its array
+math (see :mod:`repro.backend.protocol`). The public surface:
+
+* :class:`~repro.backend.protocol.ArrayBackend` — the duck-typed protocol;
+* :func:`~repro.backend.registry.get_backend` — name → instance resolution
+  (``"numpy"`` default, ``"simulated"``, optional ``"torch"``);
+* :class:`~repro.backend.simulated.SimulatedBackend` /
+  :func:`~repro.backend.simulated.ensure_simulated` — the accounting
+  decorator every :class:`~repro.gpu.vector.VectorContext` wraps its math
+  backend in.
+"""
+
+from .numpy_backend import NumpyBackend
+from .protocol import ArrayBackend
+from .registry import (
+    BackendUnavailableError,
+    UnknownBackendError,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from .simulated import SimulatedBackend, ensure_simulated
+
+__all__ = [
+    "ArrayBackend",
+    "NumpyBackend",
+    "SimulatedBackend",
+    "ensure_simulated",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "UnknownBackendError",
+    "BackendUnavailableError",
+]

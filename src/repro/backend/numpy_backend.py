@@ -1,0 +1,127 @@
+"""The reference :class:`ArrayBackend`: the extracted NumPy math.
+
+This is the code the vectorised kernels used to inline — moved behind the
+protocol verbatim, so ``get_backend("numpy")`` is by construction the behaviour
+every other backend must match bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class NumpyBackend:
+    """Pure-NumPy implementation of every protocol primitive (the default)."""
+
+    name = "numpy"
+
+    # ------------------------------------------------------------ data movement
+    def gather(self, data: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        return data[indices]
+
+    def scatter(self, data: np.ndarray, indices: np.ndarray,
+                values: np.ndarray) -> None:
+        data[indices] = values
+
+    # ------------------------------------------------------------ ragged layout
+    def repeat(self, values: np.ndarray, repeats: np.ndarray) -> np.ndarray:
+        return np.repeat(values, repeats)
+
+    def concat_aranges(self, lengths: np.ndarray) -> np.ndarray:
+        lengths = np.asarray(lengths, dtype=np.int64)
+        total = int(lengths.sum())
+        if total == 0:
+            return np.zeros(0, dtype=np.int64)
+        row_ids = np.repeat(np.arange(lengths.size, dtype=np.int64), lengths)
+        row_starts = np.zeros(lengths.size, dtype=np.int64)
+        np.cumsum(lengths[:-1], out=row_starts[1:])
+        return np.arange(total, dtype=np.int64) - row_starts[row_ids]
+
+    def stack_ragged(self, values: np.ndarray, row_lengths: np.ndarray,
+                     padded_cols: int, fill) -> np.ndarray:
+        # The fill can be a scalar or a per-column vector (broadcast down the
+        # rows); real entries overwrite it row-major, matching the
+        # concatenation order.
+        row_lengths = np.asarray(row_lengths, dtype=np.int64)
+        mask = np.arange(padded_cols)[None, :] < row_lengths[:, None]
+        matrix = np.broadcast_to(fill, (row_lengths.size, padded_cols)).astype(
+            np.int64, copy=True
+        )
+        matrix[mask] = values
+        return matrix
+
+    # -------------------------------------------------------- scans, histograms
+    def cumsum(self, values: np.ndarray) -> np.ndarray:
+        return np.cumsum(values)
+
+    def segmented_exclusive_scan(
+        self, values: np.ndarray, lengths: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        # Per-row exclusive scan via one global cumulative sum: subtracting
+        # the running total at each row's start restores the row-local scan.
+        lengths = np.asarray(lengths, dtype=np.int64)
+        num_rows = lengths.size
+        nonempty = lengths > 0
+        inclusive = self.cumsum(values)
+        exclusive = inclusive - values
+        row_starts = np.zeros(num_rows, dtype=np.int64)
+        np.cumsum(lengths[:-1], out=row_starts[1:])
+        row_base = np.zeros(num_rows,
+                            dtype=values.dtype if values.size else np.int64)
+        totals = np.zeros(num_rows, dtype=np.int64)
+        if values.size:
+            row_base[nonempty] = exclusive[row_starts[nonempty]]
+            row_ends = row_starts + lengths
+            totals[nonempty] = (inclusive[row_ends[nonempty] - 1]
+                                - row_base[nonempty]).astype(np.int64)
+        scanned = exclusive - self.repeat(row_base, lengths)
+        return scanned, totals
+
+    def bincount(self, values: np.ndarray, minlength: int) -> np.ndarray:
+        return np.bincount(values, minlength=minlength)
+
+    # ----------------------------------------------------------------- sorting
+    def argsort_stable(self, values: np.ndarray) -> np.ndarray:
+        return np.argsort(values, kind="stable")
+
+    def compare_exchange(self, keys: np.ndarray, lo: np.ndarray,
+                         hi: np.ndarray) -> None:
+        # Key-only compare-exchange is a plain min/max pair.
+        a = keys[lo]
+        b = keys[hi]
+        keys[lo] = np.minimum(a, b)
+        keys[hi] = np.maximum(a, b)
+
+    def compare_exchange_kv(self, keys: np.ndarray, values: np.ndarray,
+                            lo: np.ndarray, hi: np.ndarray) -> None:
+        a = keys[lo]
+        b = keys[hi]
+        swap = a > b
+        if np.any(swap):
+            keys[lo] = np.where(swap, b, a)
+            keys[hi] = np.where(swap, a, b)
+            va = values[lo]
+            vb = values[hi]
+            values[lo] = np.where(swap, vb, va)
+            values[hi] = np.where(swap, va, vb)
+
+    # ------------------------------------------------------------- dtype casts
+    def cast(self, values: np.ndarray, dtype) -> np.ndarray:
+        return np.asarray(values).astype(dtype, copy=False)
+
+    # --------------------------------------------------------- RNG-state replay
+    def sample_positions(self, n: int, count: int, seed: Optional[int] = None,
+                         twister=None) -> np.ndarray:
+        # Pinned to the shared host-side replay (memoised LCG / twister):
+        # splitter sampling decides the recursion tree, so no backend may
+        # substitute its own RNG. Imported lazily — the backend package sits
+        # below gpu/ and primitives/ in the layer diagram, and a module-level
+        # import would close an import cycle through primitives.__init__.
+        from ..primitives.rng import sample_indices
+
+        return sample_indices(n, count, seed=seed, twister=twister)
+
+
+__all__ = ["NumpyBackend"]

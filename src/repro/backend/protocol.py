@@ -1,0 +1,118 @@
+"""The array-operation protocol every execution backend implements.
+
+:class:`ArrayBackend` is the seam between the simulator's *bookkeeping* (what
+the counters and the timing model see) and its *math* (what actually moves and
+transforms array data). Everything the block-vectorised kernels used to call
+directly on NumPy — gathers and scatters, ragged stacking, segmented scans,
+stable ranking, compare-exchange stages, histogram counting, dtype casts and
+the splitter-sampling RNG replay — goes through one of the methods below.
+
+The contract is strict and deliberately simple:
+
+* every method takes NumPy arrays and returns NumPy arrays. Device buffers
+  (:class:`~repro.gpu.memory.DeviceArray`) keep NumPy storage whatever backend
+  runs the math, so byte-identity between backends is checked by comparing the
+  buffers directly;
+* in-place methods (:meth:`scatter`, :meth:`compare_exchange`,
+  :meth:`compare_exchange_kv`) mutate the arrays they are given;
+* results must be **bit-identical** to :class:`~repro.backend.numpy_backend.
+  NumpyBackend` for every dtype the suite exercises. A backend that cannot
+  guarantee exactness for some dtype must fall back to the NumPy math for that
+  dtype rather than return approximately-equal data.
+
+Backends carry no simulator state: coalescing, bank-conflict and instruction
+accounting live in :class:`~repro.backend.simulated.SimulatedBackend`, a
+decorator that wraps any math backend. This keeps the paper's cost model a
+layer *on top of* the math instead of welded into it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+
+@runtime_checkable
+class ArrayBackend(Protocol):
+    """Array primitives of the vectorised kernels (duck-typed protocol)."""
+
+    #: Registry name of the backend (``"numpy"``, ``"torch"``, ...).
+    name: str
+
+    # ------------------------------------------------------------ data movement
+    def gather(self, data: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        """``data[indices]`` — the fused per-block gather of a whole grid."""
+        ...
+
+    def scatter(self, data: np.ndarray, indices: np.ndarray,
+                values: np.ndarray) -> None:
+        """``data[indices] = values`` in place (indices are disjoint)."""
+        ...
+
+    # ------------------------------------------------------------ ragged layout
+    def repeat(self, values: np.ndarray, repeats: np.ndarray) -> np.ndarray:
+        """``np.repeat`` — expand per-row values to per-element rows."""
+        ...
+
+    def concat_aranges(self, lengths: np.ndarray) -> np.ndarray:
+        """``[0..l0), [0..l1), ...`` concatenated — offsets within rows."""
+        ...
+
+    def stack_ragged(self, values: np.ndarray, row_lengths: np.ndarray,
+                     padded_cols: int, fill) -> np.ndarray:
+        """Place concatenated ragged rows into a padded 2-D int64 matrix."""
+        ...
+
+    # -------------------------------------------------------- scans, histograms
+    def cumsum(self, values: np.ndarray) -> np.ndarray:
+        """Inclusive prefix sum along the flat axis, dtype-preserving."""
+        ...
+
+    def segmented_exclusive_scan(
+        self, values: np.ndarray, lengths: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-row exclusive scan of concatenated rows.
+
+        Returns ``(scanned, totals)`` where ``scanned`` matches ``values``'
+        layout and ``totals`` holds each row's int64 sum (0 for empty rows).
+        """
+        ...
+
+    def bincount(self, values: np.ndarray, minlength: int) -> np.ndarray:
+        """Histogram of non-negative integers (``np.bincount``)."""
+        ...
+
+    # ----------------------------------------------------------------- sorting
+    def argsort_stable(self, values: np.ndarray) -> np.ndarray:
+        """Stable argsort — the within-bucket ranking primitive of Phase 4."""
+        ...
+
+    def compare_exchange(self, keys: np.ndarray, lo: np.ndarray,
+                         hi: np.ndarray) -> None:
+        """One key-only sorting-network stage on the leading axis, in place."""
+        ...
+
+    def compare_exchange_kv(self, keys: np.ndarray, values: np.ndarray,
+                            lo: np.ndarray, hi: np.ndarray) -> None:
+        """One key-value sorting-network stage on the leading axis, in place."""
+        ...
+
+    # ------------------------------------------------------------- dtype casts
+    def cast(self, values: np.ndarray, dtype) -> np.ndarray:
+        """``values.astype(dtype, copy=False)`` — the store-side cast."""
+        ...
+
+    # --------------------------------------------------------- RNG-state replay
+    def sample_positions(self, n: int, count: int, seed: Optional[int] = None,
+                         twister=None) -> np.ndarray:
+        """Replay the splitter-sampling RNG state for one segment.
+
+        Every backend must reproduce the host-side LCG/twister replay bit for
+        bit — splitter selection decides the whole recursion tree, so this is
+        pinned to the shared host implementation rather than any device RNG.
+        """
+        ...
+
+
+__all__ = ["ArrayBackend"]

@@ -1,0 +1,92 @@
+"""Backend registry: name → :class:`ArrayBackend` factory.
+
+The registry is how the config axis (``SampleSortConfig.backend`` /
+``REPRO_BACKEND``) resolves to an implementation. Built-in names:
+
+``"numpy"``
+    The extracted reference math (:class:`~repro.backend.numpy_backend.
+    NumpyBackend`). The default.
+``"simulated"``
+    The accounting decorator wrapped around the NumPy math —
+    ``SimulatedBackend(NumpyBackend())`` spelled as a name. Since
+    :class:`~repro.gpu.vector.VectorContext` always applies the accounting
+    layer anyway (see :func:`~repro.backend.simulated.ensure_simulated`),
+    selecting it is observationally identical to ``"numpy"``; the name exists
+    so the decorator composition is itself addressable and testable.
+``"torch"``
+    Optional PyTorch math (:class:`~repro.backend.torch_backend.TorchBackend`).
+    Raises :class:`BackendUnavailableError` when torch is not installed.
+
+Stateless backends are cached: ``get_backend("numpy")`` returns the same
+instance every time, so identity checks in tests are meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .numpy_backend import NumpyBackend
+from .protocol import ArrayBackend
+from .simulated import SimulatedBackend
+
+
+class UnknownBackendError(ValueError):
+    """Raised when :func:`get_backend` is asked for a name never registered."""
+
+
+class BackendUnavailableError(ImportError):
+    """Raised when a registered backend's optional dependency is missing."""
+
+
+def _make_torch():
+    from .torch_backend import TorchBackend
+
+    return TorchBackend()
+
+
+_FACTORIES: Dict[str, Callable[[], ArrayBackend]] = {
+    "numpy": NumpyBackend,
+    "simulated": lambda: SimulatedBackend(NumpyBackend()),
+    "torch": _make_torch,
+}
+
+_INSTANCES: Dict[str, ArrayBackend] = {}
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names (registration order; optional ones included)."""
+    return tuple(_FACTORIES)
+
+
+def register_backend(name: str, factory: Callable[[], ArrayBackend]) -> None:
+    """Register (or replace) a backend factory under ``name``."""
+    _FACTORIES[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+def get_backend(name: str) -> ArrayBackend:
+    """Resolve ``name`` to a (cached) backend instance.
+
+    Raises :class:`UnknownBackendError` for unregistered names and
+    :class:`BackendUnavailableError` when the backend exists but its optional
+    dependency does not.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        known = ", ".join(sorted(_FACTORIES))
+        raise UnknownBackendError(
+            f"unknown backend {name!r}; known backends: {known}"
+        ) from None
+    if name not in _INSTANCES:
+        _INSTANCES[name] = factory()
+    return _INSTANCES[name]
+
+
+__all__ = [
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "UnknownBackendError",
+    "BackendUnavailableError",
+]

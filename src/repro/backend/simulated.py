@@ -1,0 +1,146 @@
+"""The simulated backend: hardware accounting as a decorator over any math.
+
+:class:`SimulatedBackend` wraps an inner :class:`~repro.backend.protocol.
+ArrayBackend` and adds the blocked coalescing / bank-conflict / instruction
+analyses the paper's cost model needs — the accounting that used to be welded
+into :mod:`repro.gpu.vector`. Every protocol method delegates to the inner
+backend unchanged, so wrapping never moves a byte; the extra methods below are
+pure analyses (they read index layouts, they never touch data), so the
+counters a :class:`~repro.gpu.vector.VectorContext` charges are identical
+whatever math backend is wrapped.
+
+Wrapping is idempotent (:func:`ensure_simulated`): the simulator always
+executes on a ``SimulatedBackend`` so the strict counter contract holds under
+``backend="numpy"``, ``backend="simulated"`` and ``backend="torch"`` alike —
+the names select the *math*, the accounting layer is not optional.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu.memory import _ideal_segments
+from .numpy_backend import NumpyBackend
+from .protocol import ArrayBackend
+
+
+class SimulatedBackend:
+    """Accounting decorator: inner-backend math + per-block cost analyses."""
+
+    def __init__(self, inner: ArrayBackend | None = None):
+        self.inner = inner if inner is not None else NumpyBackend()
+        self.name = f"simulated({self.inner.name})"
+
+    # ------------------------------------------------------- delegated math ops
+    def gather(self, data, indices):
+        return self.inner.gather(data, indices)
+
+    def scatter(self, data, indices, values):
+        self.inner.scatter(data, indices, values)
+
+    def repeat(self, values, repeats):
+        return self.inner.repeat(values, repeats)
+
+    def concat_aranges(self, lengths):
+        return self.inner.concat_aranges(lengths)
+
+    def stack_ragged(self, values, row_lengths, padded_cols, fill):
+        return self.inner.stack_ragged(values, row_lengths, padded_cols, fill)
+
+    def cumsum(self, values):
+        return self.inner.cumsum(values)
+
+    def segmented_exclusive_scan(self, values, lengths):
+        return self.inner.segmented_exclusive_scan(values, lengths)
+
+    def bincount(self, values, minlength):
+        return self.inner.bincount(values, minlength)
+
+    def argsort_stable(self, values):
+        return self.inner.argsort_stable(values)
+
+    def compare_exchange(self, keys, lo, hi):
+        self.inner.compare_exchange(keys, lo, hi)
+
+    def compare_exchange_kv(self, keys, values, lo, hi):
+        self.inner.compare_exchange_kv(keys, values, lo, hi)
+
+    def cast(self, values, dtype):
+        return self.inner.cast(values, dtype)
+
+    def sample_positions(self, n, count, seed=None, twister=None):
+        return self.inner.sample_positions(n, count, seed=seed, twister=twister)
+
+    # --------------------------------------------------------- cost accounting
+    def ideal_segments_rows(self, row_lengths: np.ndarray, itemsize: int,
+                            warp_size: int, segment_bytes: int) -> int:
+        """Sum of per-row :func:`~repro.gpu.memory._ideal_segments` counts."""
+        row_lengths = np.asarray(row_lengths, dtype=np.int64)
+        lengths, counts = np.unique(row_lengths, return_counts=True)
+        return int(sum(
+            int(c) * _ideal_segments(int(n), itemsize, warp_size, segment_bytes)
+            for n, c in zip(lengths, counts)
+        ))
+
+    def warp_segment_count_rows(self, byte_addresses: np.ndarray,
+                                row_lengths: np.ndarray,
+                                warp_size: int, segment_bytes: int) -> int:
+        """Sum of per-row :func:`~repro.gpu.memory._count_warp_segments` counts.
+
+        ``byte_addresses`` is the concatenation of every row's per-thread byte
+        addresses; each row is one block's access and is analysed independently
+        (blocks never share warps — warp boundaries restart at each row). All
+        rows are stacked into one matrix padded with a shared ``-1`` sentinel
+        and analysed with a single sort; the sentinel contributions (one extra
+        distinct value in a row's partially-filled warp, one per fully-padded
+        warp) are then subtracted per row, reproducing the scalar helper's
+        per-call correction exactly.
+        """
+        addresses = np.asarray(byte_addresses, dtype=np.int64)
+        row_lengths = np.asarray(row_lengths, dtype=np.int64)
+        if addresses.size == 0:
+            return 0
+        max_len = int(row_lengths.max())
+        padded = max_len + (-max_len) % warp_size
+        segments = self.stack_ragged(addresses // segment_bytes, row_lengths,
+                                     padded, -1)
+        per_warp = np.sort(segments.reshape(row_lengths.size, -1, warp_size),
+                           axis=2)
+        distinct = 1 + (np.diff(per_warp, axis=2) != 0).sum(axis=2)
+        real_warps = -(-row_lengths // warp_size)
+        phantom_warps = padded // warp_size - real_warps
+        boundary = (row_lengths % warp_size != 0).astype(np.int64)
+        return int(distinct.sum() - (phantom_warps + boundary).sum())
+
+    def conflict_cost_rows(self, indices: np.ndarray, row_lengths: np.ndarray,
+                           warp_size: int) -> int:
+        """Sum of per-row :func:`repro.gpu.atomics._conflict_cost` replays.
+
+        Padding uses one distinct negative sentinel per column: a warp's
+        replay cost ``accesses - distinct`` is unaffected by such padding
+        (every sentinel is its own never-colliding address), so fully-padded
+        warps contribute zero and partially-padded warps count only their real
+        lanes — identical to the scalar helper's unique-sentinel correction.
+        """
+        all_indices = np.asarray(indices, dtype=np.int64)
+        row_lengths = np.asarray(row_lengths, dtype=np.int64)
+        if all_indices.size == 0:
+            return 0
+        max_len = int(row_lengths.max())
+        padded = max_len + (-max_len) % warp_size
+        sentinels = -np.arange(1, padded + 1, dtype=np.int64)
+        matrix = self.stack_ragged(all_indices, row_lengths, padded, sentinels)
+        per_warp = np.sort(matrix.reshape(row_lengths.size, -1, warp_size),
+                           axis=2)
+        distinct = 1 + (np.diff(per_warp, axis=2) != 0).sum(axis=2)
+        return int((warp_size - distinct).sum())
+
+
+def ensure_simulated(backend: ArrayBackend) -> SimulatedBackend:
+    """Wrap ``backend`` in the accounting layer (idempotent, never double)."""
+    if isinstance(backend, SimulatedBackend):
+        return backend
+    return SimulatedBackend(backend)
+
+
+__all__ = ["SimulatedBackend", "ensure_simulated"]

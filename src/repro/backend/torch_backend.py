@@ -1,0 +1,156 @@
+"""Optional PyTorch math backend (import-guarded; duck-types the protocol).
+
+The torch backend accelerates the primitives whose torch implementations are
+*provably* bit-identical to NumPy and falls back to the reference math for
+everything else — the protocol's contract is exactness, not coverage:
+
+* pure data movement (:meth:`gather`, :meth:`scatter`, :meth:`repeat`) never
+  interprets values, so unsigned dtypes torch cannot hold are bit-viewed as
+  the same-width signed dtype before the move and viewed back after;
+* order/arithmetic primitives (:meth:`cumsum`, :meth:`bincount`,
+  :meth:`argsort_stable`) run in torch only for dtypes where the result is
+  uniquely determined (int64 arithmetic; stable sorts — the stable permutation
+  is unique — with uint32 keys lifted to int64, which preserves order);
+* everything else (ragged stacking, segmented scans, compare-exchange stages,
+  casts, RNG replay) inherits the NumPy reference implementation.
+
+Tensors are created with ``torch.from_numpy`` where possible, which shares
+memory with the NumPy buffer — in-place scatters mutate the caller's array
+exactly like the reference backend does. All work stays on CPU: device buffers
+are NumPy arrays, and byte-identity across backends is checked on them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .numpy_backend import NumpyBackend
+
+try:  # pragma: no cover - exercised only when torch is installed
+    import torch
+
+    TORCH_AVAILABLE = True
+except Exception:  # pragma: no cover - the import-guarded default path
+    torch = None
+    TORCH_AVAILABLE = False
+
+
+#: Unsigned dtypes torch.from_numpy rejects, bit-viewed for movement ops.
+_SIGNED_VIEW = {
+    "uint16": np.int16,
+    "uint32": np.int32,
+    "uint64": np.int64,
+}
+
+#: Dtypes torch.from_numpy accepts directly on every supported build.
+_NATIVE = {"int8", "int16", "int32", "int64", "uint8",
+           "float32", "float64", "bool"}
+
+
+def _movable(array: np.ndarray):
+    """Return ``(torch_tensor, original_dtype)`` for movement ops, or None.
+
+    Movement never interprets values, so unsigned arrays are viewed as the
+    same-width signed dtype; the caller views the result back. Non-contiguous
+    or otherwise unsupported arrays return None (numpy fallback).
+    """
+    arr = np.ascontiguousarray(array)
+    name = arr.dtype.name
+    if name in _NATIVE:
+        return torch.from_numpy(arr), arr.dtype
+    view = _SIGNED_VIEW.get(name)
+    if view is not None:
+        return torch.from_numpy(arr.view(view)), arr.dtype
+    return None
+
+
+class TorchBackend(NumpyBackend):
+    """PyTorch implementation of the exactness-safe protocol subset."""
+
+    name = "torch"
+
+    def __init__(self):
+        if not TORCH_AVAILABLE:
+            from .registry import BackendUnavailableError
+
+            raise BackendUnavailableError(
+                "backend 'torch' requires PyTorch, which is not installed"
+            )
+
+    # ------------------------------------------------------------ data movement
+    def gather(self, data: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        moved = _movable(data)
+        if moved is None or np.asarray(indices).dtype != np.int64:
+            return super().gather(data, indices)
+        tensor, dtype = moved
+        idx = torch.from_numpy(np.ascontiguousarray(indices))
+        return tensor[idx].numpy().view(dtype)
+
+    def scatter(self, data: np.ndarray, indices: np.ndarray,
+                values: np.ndarray) -> None:
+        if not (data.flags["C_CONTIGUOUS"] and data.flags["WRITEABLE"]):
+            super().scatter(data, indices, values)
+            return
+        moved = _movable(data)
+        if moved is None or np.asarray(indices).dtype != np.int64:
+            super().scatter(data, indices, values)
+            return
+        tensor, dtype = moved
+        # from_numpy shares memory with `data`, so this mutates the caller's
+        # buffer in place just like the reference `data[indices] = values`.
+        vals = np.ascontiguousarray(
+            np.asarray(values).astype(dtype, copy=False)
+        )
+        signed = vals.view(_SIGNED_VIEW[dtype.name]) \
+            if dtype.name in _SIGNED_VIEW else vals
+        idx = torch.from_numpy(np.ascontiguousarray(indices))
+        tensor[idx] = torch.from_numpy(signed)
+
+    def repeat(self, values: np.ndarray, repeats: np.ndarray) -> np.ndarray:
+        moved = _movable(np.asarray(values))
+        reps = np.asarray(repeats)
+        if moved is None or reps.dtype != np.int64:
+            return super().repeat(values, repeats)
+        tensor, dtype = moved
+        out = torch.repeat_interleave(
+            tensor, torch.from_numpy(np.ascontiguousarray(reps))
+        )
+        return out.numpy().view(dtype)
+
+    # -------------------------------------------------------- scans, histograms
+    def cumsum(self, values: np.ndarray) -> np.ndarray:
+        # Only int64 is exactness-safe without dtype gymnastics: torch keeps
+        # int64 arithmetic two's-complement like numpy.
+        arr = np.asarray(values)
+        if arr.dtype != np.int64 or arr.ndim != 1:
+            return super().cumsum(values)
+        return torch.cumsum(
+            torch.from_numpy(np.ascontiguousarray(arr)), dim=0
+        ).numpy()
+
+    def bincount(self, values: np.ndarray, minlength: int) -> np.ndarray:
+        arr = np.asarray(values)
+        if arr.dtype != np.int64 or arr.ndim != 1 or arr.size == 0:
+            return super().bincount(values, minlength)
+        return torch.bincount(
+            torch.from_numpy(np.ascontiguousarray(arr)), minlength=minlength
+        ).numpy()
+
+    # ----------------------------------------------------------------- sorting
+    def argsort_stable(self, values: np.ndarray) -> np.ndarray:
+        # The stable-sort permutation is uniquely determined, so any stable
+        # sort agrees with numpy's. Unsigned keys are lifted to int64, which
+        # preserves their order.
+        arr = np.asarray(values)
+        if arr.ndim != 1:
+            return super().argsort_stable(values)
+        if arr.dtype.kind == "u" and arr.dtype.itemsize < 8:
+            arr = arr.astype(np.int64)
+        if arr.dtype.name not in {"int8", "int16", "int32", "int64", "uint8"}:
+            return super().argsort_stable(values)
+        return torch.argsort(
+            torch.from_numpy(np.ascontiguousarray(arr)), stable=True
+        ).numpy()
+
+
+__all__ = ["TorchBackend", "TORCH_AVAILABLE"]

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Callable, Optional, Union
 
 import numpy as np
 
@@ -82,8 +82,13 @@ class ClusterConfig:
     #: front end is a single serialised server: with a non-zero cost,
     #: back-to-back arrivals queue *at the balancer itself* before any
     #: replica sees them — the knob that lets the front end saturate.
+    #: Either a flat per-request float or a callable
+    #: ``(elements, outcome) -> float`` where ``outcome`` is ``"hit"`` (the
+    #: request will be served by the cache or coalesce onto an in-flight
+    #: twin) or ``"dispatch"`` (it goes to a replica) — a size- and
+    #: path-dependent front end, e.g. hashing cost scaling with the payload.
     #: Default 0 keeps every pre-existing timeline unchanged.
-    routing_cost_us: float = 0.0
+    routing_cost_us: Union[float, Callable[[int, str], float]] = 0.0
 
     def __post_init__(self) -> None:
         if self.num_replicas < 1:
@@ -94,7 +99,7 @@ class ClusterConfig:
             raise ValueError("cache_capacity_bytes must be >= 0")
         if self.cache_lookup_us < 0:
             raise ValueError("cache_lookup_us must be >= 0")
-        if self.routing_cost_us < 0:
+        if not callable(self.routing_cost_us) and self.routing_cost_us < 0:
             raise ValueError("routing_cost_us must be >= 0")
         if self.replica_devices is not None:
             object.__setattr__(
@@ -106,6 +111,24 @@ class ClusterConfig:
                     f"replica_devices names {len(self.replica_devices)} "
                     f"pools for {self.num_replicas} replicas"
                 )
+
+    def routing_cost_for(self, elements: int, outcome: str) -> float:
+        """Resolve the front-end routing cost of one request.
+
+        ``outcome`` is ``"hit"`` (cache hit or coalesced onto an in-flight
+        twin) or ``"dispatch"`` (replica-served). Flat configurations ignore
+        both arguments; callables are invoked per request and must return a
+        non-negative cost.
+        """
+        cost_spec = self.routing_cost_us
+        cost = (float(cost_spec(int(elements), outcome)) if callable(cost_spec)
+                else float(cost_spec))
+        if cost < 0:
+            raise ValueError(
+                f"routing_cost_us callable returned {cost} for "
+                f"({elements}, {outcome!r}); costs must be >= 0"
+            )
+        return cost
 
     def replica_service_config(self, replica_id: int) -> ServiceConfig:
         """The :class:`ServiceConfig` replica ``replica_id`` is built from.
@@ -159,6 +182,9 @@ class ClusterResult:
     service_request_id: Optional[int]
     #: Full replica queues skipped before admission (spill count).
     spill_rejections: int = 0
+    #: Front-end routing time charged to this request, in microseconds (the
+    #: resolved per-request value when ``routing_cost_us`` is a callable).
+    routing_us: float = 0.0
 
     @property
     def latency_us(self) -> float:
@@ -232,7 +258,7 @@ class SortCluster:
         #: survives a failed drain so a retry can finish the work.
         self._routed: dict[tuple[int, int], tuple] = {}
         #: Coalesced twins waiting for their primary's output, same story.
-        self._coalesced: list[tuple[_ClusterRequest, int, float]] = []
+        self._coalesced: list[tuple[_ClusterRequest, int, float, float]] = []
 
     def _count(self, event: str) -> None:
         self.metrics.counter("requests", event=event).inc()
@@ -322,64 +348,79 @@ class SortCluster:
 
                 _, request = heapq.heappop(ready)
 
-                # The front end itself takes routing_cost_us to handle each
-                # request (single serialised server): back-to-back arrivals
-                # queue at the balancer before any replica sees them. The
-                # guard keeps a zero cost byte-for-byte on the old timeline
-                # (the busy horizon is never consulted, never advanced).
-                # ``frontend_undo`` is the rollback point: if this request's
-                # dispatch fails, the except path reverts its charge so a
-                # retry drain does not double-book the routing slot.
+                # ``frontend_undo`` is the rollback point: if anything in
+                # this request's handling fails, the except path reverts its
+                # routing charge so a retry drain does not double-book the
+                # slot. Taken before any per-request work can raise.
                 frontend_undo = (self._frontend_busy_until,
                                  self._frontend_routing_us)
-                if self.config.routing_cost_us > 0:
-                    routed_us = (max(now, self._frontend_busy_until)
-                                 + self.config.routing_cost_us)
-                    self._frontend_busy_until = routed_us
-                    self._frontend_routing_us += self.config.routing_cost_us
-                else:
-                    routed_us = now
 
+                # The cache/coalesce outcome is resolved *before* the routing
+                # charge: a callable ``routing_cost_us`` may price hits and
+                # dispatches differently, so the front end must know which
+                # path the request takes when it books its service time.
+                # (For flat costs this reordering is unobservable — the same
+                # lookups run in the same order, the charge is identical.)
                 digest = None
+                cached = None
+                coalesce_primary: Optional[int] = None
                 if self.cache is not None:
                     digest = request_digest(request.keys, request.values,
                                             self.sorter_config)
                     if digest in inflight:
-                        # An identical request is already on its way to a
-                        # replica: coalesce instead of sorting the bytes
-                        # twice.
-                        self._coalesced.append((request, inflight[digest],
-                                                routed_us))
-                        self.scheduler.on_dispatch(request.tenant,
-                                                   request.tag, request.n,
-                                                   request.cost_us)
-                        request = None
-                        continue
-                    cached = self.cache.get(digest)
-                    if cached is not None:
-                        completion = routed_us + self.config.cache_lookup_us
-                        self.scheduler.on_dispatch(request.tenant,
-                                                   request.tag, request.n,
-                                                   request.cost_us)
-                        self._commit(ClusterResult(
-                            request_id=request.request_id,
-                            tenant=request.tenant,
-                            keys=cached[0], values=cached[1], n=request.n,
-                            arrival_us=request.arrival_us,
-                            dispatch_us=routed_us, completion_us=completion,
-                            source="cache", replica_id=None,
-                            service_request_id=None,
-                        ))
-                        drained_ids.append(request.request_id)
-                        request = None
-                        continue
+                        coalesce_primary = inflight[digest]
+                    else:
+                        cached = self.cache.get(digest)
+                outcome = ("hit" if coalesce_primary is not None
+                           or cached is not None else "dispatch")
+                cost = self.config.routing_cost_for(request.n, outcome)
+
+                # The front end takes ``cost`` microseconds to handle each
+                # request (single serialised server): back-to-back arrivals
+                # queue at the balancer before any replica sees them. The
+                # guard keeps a zero cost byte-for-byte on the old timeline
+                # (the busy horizon is never consulted, never advanced).
+                if cost > 0:
+                    routed_us = max(now, self._frontend_busy_until) + cost
+                    self._frontend_busy_until = routed_us
+                    self._frontend_routing_us += cost
+                else:
+                    routed_us = now
+
+                if coalesce_primary is not None:
+                    # An identical request is already on its way to a
+                    # replica: coalesce instead of sorting the bytes twice.
+                    self._coalesced.append((request, coalesce_primary,
+                                            routed_us, cost))
+                    self.scheduler.on_dispatch(request.tenant,
+                                               request.tag, request.n,
+                                               request.cost_us)
+                    request = None
+                    continue
+                if cached is not None:
+                    completion = routed_us + self.config.cache_lookup_us
+                    self.scheduler.on_dispatch(request.tenant,
+                                               request.tag, request.n,
+                                               request.cost_us)
+                    self._commit(ClusterResult(
+                        request_id=request.request_id,
+                        tenant=request.tenant,
+                        keys=cached[0], values=cached[1], n=request.n,
+                        arrival_us=request.arrival_us,
+                        dispatch_us=routed_us, completion_us=completion,
+                        source="cache", replica_id=None,
+                        service_request_id=None, routing_us=cost,
+                    ))
+                    drained_ids.append(request.request_id)
+                    request = None
+                    continue
 
                 replica, service_id, spills = self._dispatch(request,
                                                              routed_us)
                 self.scheduler.on_dispatch(request.tenant, request.tag,
                                            request.n, request.cost_us)
                 self._routed[(replica.replica_id, service_id)] = (
-                    request, routed_us, spills, digest
+                    request, routed_us, spills, digest, cost
                 )
                 if digest is not None:
                     inflight[digest] = request.request_id
@@ -409,7 +450,8 @@ class SortCluster:
             service_result = self.replicas[replica_id].result(service_id)
             if service_result is None:
                 continue  # still stuck in the replica; a later drain retries
-            request, dispatch_us, spills, digest = self._routed.pop(key)
+            request, dispatch_us, spills, digest, routing_us = \
+                self._routed.pop(key)
             self._commit(ClusterResult(
                 request_id=request.request_id,
                 tenant=request.tenant,
@@ -423,17 +465,18 @@ class SortCluster:
                 replica_id=replica_id,
                 service_request_id=service_id,
                 spill_rejections=spills,
+                routing_us=routing_us,
             ))
             drained_ids.append(request.request_id)
             if digest is not None:
                 self.cache.put(digest, service_result.keys,
                                service_result.values)
 
-        unresolved: list[tuple[_ClusterRequest, int, float]] = []
-        for request, primary_id, routed_at in self._coalesced:
+        unresolved: list[tuple[_ClusterRequest, int, float, float]] = []
+        for request, primary_id, routed_at, routing_us in self._coalesced:
             primary = self._results.get(primary_id)
             if primary is None:
-                unresolved.append((request, primary_id, routed_at))
+                unresolved.append((request, primary_id, routed_at, routing_us))
                 continue
             completion = (max(routed_at, primary.completion_us)
                           + self.config.cache_lookup_us)
@@ -446,7 +489,7 @@ class SortCluster:
                 arrival_us=request.arrival_us,
                 dispatch_us=routed_at, completion_us=completion,
                 source="coalesced", replica_id=None,
-                service_request_id=None,
+                service_request_id=None, routing_us=routing_us,
             ))
             drained_ids.append(request.request_id)
         self._coalesced = unresolved
@@ -508,18 +551,19 @@ class SortCluster:
             lane=f"request {result.request_id}", pid_label="frontend",
         )
         routed_us = result.dispatch_us
-        # The route segment is the front-end service time; with a zero
-        # routing cost it collapses to a zero-width marker at dispatch.
+        # The route segment is this request's resolved front-end service
+        # time; with a zero routing cost it collapses to a zero-width marker
+        # at dispatch.
         picked_us = min(routed_us,
                         max(result.arrival_us,
-                            routed_us - self.config.routing_cost_us))
+                            routed_us - result.routing_us))
         tracer.span("frontend_wait", layer="cluster",
                     start_us=result.arrival_us, end_us=picked_us,
                     parent=root, kind="segment")
         tracer.span("route", layer="cluster",
                     start_us=picked_us, end_us=routed_us,
                     parent=root, kind="segment",
-                    routing_cost_us=self.config.routing_cost_us)
+                    routing_cost_us=result.routing_us)
         if result.source == "cache":
             tracer.span("cache_lookup", layer="cluster",
                         start_us=routed_us, end_us=result.completion_us,
@@ -570,7 +614,18 @@ class SortCluster:
             ),
             "spill_count": self.balancer.stats()["spilled_requests"],
             "frontend": {
-                "routing_cost_us": self.config.routing_cost_us,
+                # Always a float: downstream reports compare it numerically.
+                # For callable pricing, report the observed mean per request.
+                "routing_cost_us": (
+                    self._frontend_routing_us / counts["completed"]
+                    if callable(self.config.routing_cost_us)
+                    and counts["completed"]
+                    else 0.0 if callable(self.config.routing_cost_us)
+                    else float(self.config.routing_cost_us)
+                ),
+                "routing_policy": ("callable"
+                                   if callable(self.config.routing_cost_us)
+                                   else "fixed"),
                 "routing_us_total": self._frontend_routing_us,
                 "busy_until_us": self._frontend_busy_until,
             },

@@ -265,7 +265,8 @@ def _bucket_sort_kernel_vec(
             )
             ctx.counters.shared_bytes_accessed += int(rows_lengths.sum()) * record_bytes
             sorted_keys, sorted_values = network_sort_rows(
-                key_rows, value_rows, counters=ctx.counters
+                key_rows, value_rows, counters=ctx.counters,
+                backend=ctx.backend,
             )
             ctx.write_ranges(primary_keys, rows_starts,
                              np.concatenate(sorted_keys), rows_lengths)
@@ -347,7 +348,8 @@ def _quicksort_frontier(
                 int(rows_lengths.sum()) * record_bytes
             )
             sorted_keys, sorted_values = network_sort_rows(
-                key_rows, value_rows, counters=ctx.counters
+                key_rows, value_rows, counters=ctx.counters,
+                backend=ctx.backend,
             )
             ctx.write_ranges(dst_keys, rows_starts,
                              np.concatenate(sorted_keys), rows_lengths)

@@ -46,6 +46,13 @@ DEFAULT_LAUNCH_MODE = os.environ.get("REPRO_LAUNCH_MODE", "pipelined")
 #: under ``spans`` without touching any call site.
 DEFAULT_TRACE_MODE = os.environ.get("REPRO_TRACE", "off")
 
+#: Default array-math backend for the vectorised kernels (a name registered in
+#: :mod:`repro.backend`). ``REPRO_BACKEND`` lets the CI matrix run the whole
+#: suite on another backend ("simulated", "torch", ...) without touching any
+#: call site; every backend is contractually byte-identical and
+#: counter-identical to "numpy".
+DEFAULT_BACKEND = os.environ.get("REPRO_BACKEND", "numpy")
+
 
 @dataclass(frozen=True)
 class SampleSortConfig:
@@ -111,6 +118,13 @@ class SampleSortConfig:
     #: byte-identical to the pre-tracing behaviour — spans only read timing
     #: the simulation computed anyway, they never move it.
     trace_mode: str = DEFAULT_TRACE_MODE
+    #: Which :class:`~repro.backend.protocol.ArrayBackend` runs the vectorised
+    #: kernels' array math: ``"numpy"`` (default) is the extracted reference
+    #: implementation, ``"simulated"`` addresses the accounting decorator
+    #: explicitly (observationally identical — the accounting layer is always
+    #: applied), ``"torch"`` uses PyTorch when installed. Backends never
+    #: change output bytes, counters, launch counts or predicted times.
+    backend: str = DEFAULT_BACKEND
     #: Seed for splitter sampling (None = nondeterministic).
     seed: int | None = 0
 
@@ -154,6 +168,13 @@ class SampleSortConfig:
         if self.trace_mode not in ("off", "spans"):
             raise ValueError(
                 f"trace_mode must be 'off' or 'spans', got {self.trace_mode!r}"
+            )
+        from ..backend.registry import available_backends
+
+        if self.backend not in available_backends():
+            raise ValueError(
+                f"backend must be one of {sorted(available_backends())}, "
+                f"got {self.backend!r}"
             )
 
     # --------------------------------------------------------------- derived

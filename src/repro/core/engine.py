@@ -237,6 +237,7 @@ class DistributionEngine:
             "kernel_mode": self.config.kernel_mode,
             "launch_mode": self.config.launch_mode,
             "launch_slots": num_slots,
+            "backend": self.config.backend,
         }
         attribution = (
             RequestAttribution(request_bounds) if request_bounds else None

@@ -33,7 +33,7 @@ from ..gpu.block import BlockContext
 from ..gpu.grid import BlockMap, batched_grid_for, grid_for
 from ..gpu.kernel import KernelLauncher
 from ..gpu.memory import DeviceArray
-from ..gpu.vector import VectorContext, concat_aranges
+from ..gpu.vector import VectorContext
 from ..primitives.histogram import block_histogram
 from .config import SampleSortConfig
 from .search_tree import SplitterSet, traverse
@@ -210,7 +210,7 @@ def assign_buckets_rows(
     row_offset = seg_of_element * k
     j = np.ones(tile.shape, dtype=np.int64)
     for _ in range(levels):
-        j = 2 * j + (tile > flat_trees[row_offset + j])
+        j = 2 * j + (tile > ctx.backend.gather(flat_trees, row_offset + j))
     regular = j - k
     bucket = 2 * regular
     if k > 1:
@@ -341,7 +341,8 @@ def _phase2_batched_kernel_vec(
         ctx, splitter_bufs
     )
 
-    element_block = np.repeat(np.arange(num_blocks, dtype=np.int64), lengths)
+    element_block = ctx.backend.repeat(np.arange(num_blocks, dtype=np.int64),
+                                       lengths)
     seg_of_element = seg_of_block[element_block]
     tile = ctx.read_ranges(keys, seg_starts[seg_of_block] + tile_starts, lengths)
     bucket = assign_buckets_rows(
@@ -356,7 +357,7 @@ def _phase2_batched_kernel_vec(
     nonempty = int(np.count_nonzero(lengths))
     ctx.check_shared_fit(staged_bytes + config.counter_groups * num_buckets * 4)
     if ctx.device.supports_shared_atomics:
-        element_thread = concat_aranges(lengths) % ctx.num_threads
+        element_thread = ctx.backend.concat_aranges(lengths) % ctx.num_threads
         flat = (element_thread % config.counter_groups) * num_buckets + bucket
         ctx.atomic_add_rows(flat, lengths)
     else:
@@ -364,9 +365,10 @@ def _phase2_batched_kernel_vec(
         ctx.counters.shared_bytes_accessed += int(tile.size) * 4
     ctx.charge_instructions(nonempty * config.counter_groups * num_buckets)
     ctx.syncthreads(blocks=nonempty)
-    counts = np.bincount(element_block * num_buckets + bucket,
-                         minlength=num_blocks * num_buckets
-                         ).reshape(num_blocks, num_buckets)
+    counts = ctx.backend.bincount(
+        element_block * num_buckets + bucket,
+        minlength=num_blocks * num_buckets,
+    ).reshape(num_blocks, num_buckets)
 
     # Column-major store within each segment's slab, one row of indices per
     # block — the same scattered store pattern the scalar kernel issues.

@@ -82,7 +82,7 @@ class SampleSorter(GpuSorter):
     # ------------------------------------------------------------------ sort
     def _sort_impl(self, keys: np.ndarray, values: Optional[np.ndarray]) -> SortResult:
         config = self.effective_config(keys, values)
-        launcher = KernelLauncher(self.device)
+        launcher = KernelLauncher(self.device, backend=config.backend)
         n = int(keys.size)
 
         primary_keys = launcher.gmem.from_host(keys, name="keys_primary")
@@ -192,7 +192,8 @@ class SampleSorter(GpuSorter):
         all_values = np.concatenate(values_list) if values_list is not None else None
         config = self.effective_config(all_keys, all_values)
 
-        launcher = KernelLauncher(self.device, trace=trace)
+        launcher = KernelLauncher(self.device, trace=trace,
+                                  backend=config.backend)
         trace_start = len(launcher.trace)
         slot_start = len(launcher.trace.slot_records)
         total = int(all_keys.size)

@@ -41,17 +41,19 @@ from .histogram_kernel import (
 from .splitters import BatchedSplitterBuffers, SplitterBuffers
 
 
-def local_bucket_ranks(bucket: np.ndarray) -> np.ndarray:
+def local_bucket_ranks(bucket: np.ndarray, backend=None) -> np.ndarray:
     """Rank of every element among the tile's elements of the same bucket.
 
     The rank is taken in tile order (stable), which is what a per-thread
-    sequential pass over its ``ell`` elements produces on the device.
+    sequential pass over its ``ell`` elements produces on the device. The
+    stable argsort at the core runs on ``backend`` when one is given.
     """
     bucket = np.asarray(bucket, dtype=np.int64)
     n = bucket.size
     if n == 0:
         return np.zeros(0, dtype=np.int64)
-    order = np.argsort(bucket, kind="stable")
+    order = (np.argsort(bucket, kind="stable") if backend is None
+             else backend.argsort_stable(bucket))
     sorted_bucket = bucket[order]
     run_start = np.zeros(n, dtype=np.int64)
     breaks = np.flatnonzero(np.diff(sorted_bucket)) + 1
@@ -212,7 +214,8 @@ def _phase4_batched_kernel_vec(
     tile_starts = block_map.tile_starts()
     lengths = block_map.tile_lengths(seg_sizes)
     global_starts = seg_starts[seg_of_block] + tile_starts
-    element_block = np.repeat(np.arange(num_blocks, dtype=np.int64), lengths)
+    element_block = ctx.backend.repeat(np.arange(num_blocks, dtype=np.int64),
+                                       lengths)
     seg_of_element = seg_of_block[element_block]
 
     if config.recompute_bucket_indices or bucket_store is None:
@@ -233,7 +236,8 @@ def _phase4_batched_kernel_vec(
     # Within-(block, bucket) ranks in tile order: block ids are strictly
     # increasing along the concatenation, so ranking the combined key is the
     # per-block local ranking.
-    ranks = local_bucket_ranks(element_block * num_buckets + bucket)
+    ranks = local_bucket_ranks(element_block * num_buckets + bucket,
+                               backend=ctx.backend)
     ctx.charge_per_element_rows(lengths, 4.0)  # local offset bookkeeping
 
     p_seg = block_map.blocks_per_segment[seg_of_element]

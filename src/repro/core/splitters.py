@@ -212,7 +212,8 @@ def _phase1_batched_kernel_vec(
     sample_counts = np.minimum(a * k, seg_sizes)
 
     positions = [
-        sample_indices(int(seg_sizes[b]), int(sample_counts[b]), seed=seeds[b])
+        ctx.backend.sample_positions(int(seg_sizes[b]), int(sample_counts[b]),
+                                     seed=seeds[b])
         for b in range(num_blocks)
     ]
     ctx.charge_per_element_rows(sample_counts, 4.0)  # LCG update + scaling
@@ -223,7 +224,8 @@ def _phase1_batched_kernel_vec(
     samples = ctx.gather_rows(keys, gather_idx, sample_counts)
     ctx.check_shared_fit(int(sample_counts.max()) * keys.itemsize)
     sample_rows = np.split(samples, np.cumsum(sample_counts)[:-1])
-    sorted_rows, _ = network_sort_rows(sample_rows, counters=ctx.counters)
+    sorted_rows, _ = network_sort_rows(sample_rows, counters=ctx.counters,
+                                       backend=ctx.backend)
 
     trees = np.empty((num_blocks, k), dtype=keys.dtype)
     splitter_rows = np.empty((num_blocks, k - 1), dtype=keys.dtype)

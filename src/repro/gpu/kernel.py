@@ -25,6 +25,8 @@ from __future__ import annotations
 import functools
 from typing import Callable, Optional
 
+from ..backend.protocol import ArrayBackend
+from ..backend.registry import get_backend
 from .block import BlockContext
 from .counters import KernelCounters
 from .device import DeviceSpec
@@ -157,15 +159,18 @@ def launch_vectorized(
     name: Optional[str] = None,
     regs_per_thread: Optional[int] = None,
     time_model: Optional[DeviceTimeModel] = None,
+    backend: Optional[ArrayBackend] = None,
     **kwargs,
 ) -> tuple[KernelCounters, KernelTime]:
     """Run a block-vectorised body once over *all* blocks of the grid.
 
     ``fn`` receives a :class:`~repro.gpu.vector.VectorContext` instead of a
     per-block :class:`~repro.gpu.block.BlockContext` and must perform the whole
-    grid's work as stacked NumPy operations, charging counters per block. The
-    launch accounting (one :class:`KernelRecord`, one predicted time, one
-    ``kernel_launches`` increment) is identical to :func:`launch`, so traces
+    grid's work as stacked array operations, charging counters per block. The
+    ``backend`` selects which :class:`~repro.backend.protocol.ArrayBackend`
+    runs the math (default NumPy); the launch accounting (one
+    :class:`KernelRecord`, one predicted time, one ``kernel_launches``
+    increment) is identical to :func:`launch` under every backend, so traces
     from the two strategies are directly comparable.
     """
     launch_config.validate(device)
@@ -181,6 +186,7 @@ def launch_vectorized(
         launch=launch_config,
         counters=counters,
         problem_size=problem_size,
+        backend=backend,
     )
     try:
         fn(ctx, *args, **kwargs)
@@ -206,11 +212,15 @@ class KernelLauncher:
     """
 
     def __init__(self, device: DeviceSpec, gmem: Optional[GlobalMemory] = None,
-                 trace: Optional[KernelTrace] = None):
+                 trace: Optional[KernelTrace] = None,
+                 backend: Optional[str] = None):
         self.device = device
         self.gmem = gmem if gmem is not None else GlobalMemory(device)
         self.trace = trace if trace is not None else KernelTrace()
         self.time_model = DeviceTimeModel(device)
+        # The backend axis: a registry name (or None for the default NumPy
+        # math). Resolved once so every vectorised launch shares one instance.
+        self.backend = None if backend is None else get_backend(backend)
 
     def launch(self, fn: KernelFn, launch_config: LaunchConfig, *args,
                **kwargs) -> tuple[KernelCounters, KernelTime]:
@@ -222,6 +232,7 @@ class KernelLauncher:
                           *args, **kwargs) -> tuple[KernelCounters, KernelTime]:
         kwargs.setdefault("trace", self.trace)
         kwargs.setdefault("time_model", self.time_model)
+        kwargs.setdefault("backend", self.backend)
         return launch_vectorized(fn, launch_config, self.device, self.gmem,
                                  *args, **kwargs)
 

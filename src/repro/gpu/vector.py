@@ -15,11 +15,21 @@ scalar body once per block. All accounting therefore remains *per block*:
 * contiguous tile loads/stores charge the per-block ideal transaction count of
   each tile, not one fused transfer (blocks never share warps);
 * gathers/scatters replay the warp-coalescing analysis per block row
-  (:func:`blocked_warp_segment_count` groups rows of equal length and analyses
-  them as a stack, which is arithmetically identical to the per-block loop);
-* atomic contention is replayed per block row (:func:`blocked_conflict_cost`);
+  (:meth:`~repro.backend.simulated.SimulatedBackend.warp_segment_count_rows`
+  groups rows of equal length and analyses them as a stack, which is
+  arithmetically identical to the per-block loop);
+* atomic contention is replayed per block row
+  (:meth:`~repro.backend.simulated.SimulatedBackend.conflict_cost_rows`);
 * barriers and fixed per-block instruction charges are multiplied by the
   number of participating blocks.
+
+Both halves of that contract route through :mod:`repro.backend`: the *math*
+(gathers, scatters, ragged layout) goes to the configured
+:class:`~repro.backend.protocol.ArrayBackend`, and the *accounting* lives in
+the :class:`~repro.backend.simulated.SimulatedBackend` decorator the context
+always wraps its math backend in — so the counters are identical whichever
+backend runs the math. The module-level ``blocked_*`` helpers remain as thin
+aliases over the default simulated backend for existing callers.
 
 Ragged final tiles are handled by grouping block rows by length — a fused
 launch has very few distinct tile lengths (the full tile plus one partial tile
@@ -32,6 +42,8 @@ from typing import Optional
 
 import numpy as np
 
+from ..backend.protocol import ArrayBackend
+from ..backend.simulated import SimulatedBackend, ensure_simulated
 from .counters import KernelCounters
 from .device import DeviceSpec
 from .errors import GlobalMemoryError, SharedMemoryError
@@ -40,16 +52,36 @@ from .memory import DeviceArray, GlobalMemory, _ideal_segments
 
 
 # --------------------------------------------------------------------- helpers
+#: Default math+accounting stack, shared by the module-level helper aliases
+#: and by contexts constructed without an explicit backend.
+_DEFAULT_BACKEND = SimulatedBackend()
+
+
 def concat_aranges(lengths: np.ndarray) -> np.ndarray:
     """``[0..l0), [0..l1), ...`` concatenated — element offsets within rows."""
-    lengths = np.asarray(lengths, dtype=np.int64)
-    total = int(lengths.sum())
-    if total == 0:
-        return np.zeros(0, dtype=np.int64)
-    row_ids = np.repeat(np.arange(lengths.size, dtype=np.int64), lengths)
-    row_starts = np.zeros(lengths.size, dtype=np.int64)
-    np.cumsum(lengths[:-1], out=row_starts[1:])
-    return np.arange(total, dtype=np.int64) - row_starts[row_ids]
+    return _DEFAULT_BACKEND.concat_aranges(lengths)
+
+
+def blocked_ideal_segments(row_lengths: np.ndarray, itemsize: int,
+                           warp_size: int, segment_bytes: int) -> int:
+    """Sum of per-row :func:`~repro.gpu.memory._ideal_segments` counts."""
+    return _DEFAULT_BACKEND.ideal_segments_rows(row_lengths, itemsize,
+                                                warp_size, segment_bytes)
+
+
+def blocked_warp_segment_count(byte_addresses: np.ndarray,
+                               row_lengths: np.ndarray,
+                               warp_size: int, segment_bytes: int) -> int:
+    """Sum of per-row :func:`~repro.gpu.memory._count_warp_segments` counts."""
+    return _DEFAULT_BACKEND.warp_segment_count_rows(
+        byte_addresses, row_lengths, warp_size, segment_bytes
+    )
+
+
+def blocked_conflict_cost(indices: np.ndarray, row_lengths: np.ndarray,
+                          warp_size: int) -> int:
+    """Sum of per-row :func:`repro.gpu.atomics._conflict_cost` replays."""
+    return _DEFAULT_BACKEND.conflict_cost_rows(indices, row_lengths, warp_size)
 
 
 def _rows_by_length(row_lengths: np.ndarray):
@@ -63,93 +95,17 @@ def _rows_by_length(row_lengths: np.ndarray):
         yield int(length), offsets[row_lengths == length]
 
 
-def blocked_ideal_segments(row_lengths: np.ndarray, itemsize: int,
-                           warp_size: int, segment_bytes: int) -> int:
-    """Sum of per-row :func:`~repro.gpu.memory._ideal_segments` counts."""
-    row_lengths = np.asarray(row_lengths, dtype=np.int64)
-    lengths, counts = np.unique(row_lengths, return_counts=True)
-    return int(sum(
-        int(c) * _ideal_segments(int(n), itemsize, warp_size, segment_bytes)
-        for n, c in zip(lengths, counts)
-    ))
-
-
-def _stack_ragged(values: np.ndarray, row_lengths: np.ndarray,
-                  padded_cols: int, fill) -> np.ndarray:
-    """Place concatenated ragged rows into a ``(rows, padded_cols)`` matrix.
-
-    The fill can be a scalar or a per-column vector (broadcast down the rows);
-    real entries overwrite it row-major, matching the concatenation order.
-    """
-    row_lengths = np.asarray(row_lengths, dtype=np.int64)
-    mask = np.arange(padded_cols)[None, :] < row_lengths[:, None]
-    matrix = np.broadcast_to(fill, (row_lengths.size, padded_cols)).astype(
-        np.int64, copy=True
-    )
-    matrix[mask] = values
-    return matrix
-
-
-def blocked_warp_segment_count(byte_addresses: np.ndarray,
-                               row_lengths: np.ndarray,
-                               warp_size: int, segment_bytes: int) -> int:
-    """Sum of per-row :func:`~repro.gpu.memory._count_warp_segments` counts.
-
-    ``byte_addresses`` is the concatenation of every row's per-thread byte
-    addresses; each row is one block's access and is analysed independently
-    (blocks never share warps — warp boundaries restart at each row). All rows
-    are stacked into one matrix padded with a shared ``-1`` sentinel and
-    analysed with a single sort; the sentinel contributions (one extra
-    distinct value in a row's partially-filled warp, one per fully-padded
-    warp) are then subtracted per row, reproducing the scalar helper's
-    per-call correction exactly.
-    """
-    addresses = np.asarray(byte_addresses, dtype=np.int64)
-    row_lengths = np.asarray(row_lengths, dtype=np.int64)
-    if addresses.size == 0:
-        return 0
-    max_len = int(row_lengths.max())
-    padded = max_len + (-max_len) % warp_size
-    segments = _stack_ragged(addresses // segment_bytes, row_lengths, padded, -1)
-    per_warp = np.sort(segments.reshape(row_lengths.size, -1, warp_size), axis=2)
-    distinct = 1 + (np.diff(per_warp, axis=2) != 0).sum(axis=2)
-    real_warps = -(-row_lengths // warp_size)
-    phantom_warps = padded // warp_size - real_warps
-    boundary = (row_lengths % warp_size != 0).astype(np.int64)
-    return int(distinct.sum() - (phantom_warps + boundary).sum())
-
-
-def blocked_conflict_cost(indices: np.ndarray, row_lengths: np.ndarray,
-                          warp_size: int) -> int:
-    """Sum of per-row :func:`repro.gpu.atomics._conflict_cost` replays.
-
-    Padding uses one distinct negative sentinel per column: a warp's replay
-    cost ``accesses - distinct`` is unaffected by such padding (every sentinel
-    is its own never-colliding address), so fully-padded warps contribute zero
-    and partially-padded warps count only their real lanes — identical to the
-    scalar helper's unique-sentinel correction.
-    """
-    all_indices = np.asarray(indices, dtype=np.int64)
-    row_lengths = np.asarray(row_lengths, dtype=np.int64)
-    if all_indices.size == 0:
-        return 0
-    max_len = int(row_lengths.max())
-    padded = max_len + (-max_len) % warp_size
-    sentinels = -np.arange(1, padded + 1, dtype=np.int64)
-    matrix = _stack_ragged(all_indices, row_lengths, padded, sentinels)
-    per_warp = np.sort(matrix.reshape(row_lengths.size, -1, warp_size), axis=2)
-    distinct = 1 + (np.diff(per_warp, axis=2) != 0).sum(axis=2)
-    return int((warp_size - distinct).sum())
-
-
 # --------------------------------------------------------------------- context
 class VectorContext:
     """Execution context covering *all* blocks of one fused launch.
 
     The vectorised twin of :class:`~repro.gpu.block.BlockContext`. Data access
     helpers take per-row (= per-block) index/length vectors and perform the
-    whole grid's traffic in one NumPy operation while charging the counters
-    exactly as the scalar per-block loop would.
+    whole grid's traffic in one backend operation while charging the counters
+    exactly as the scalar per-block loop would. The ``backend`` argument picks
+    the math implementation; it is always wrapped in the accounting decorator
+    (:func:`~repro.backend.simulated.ensure_simulated`), so counters never
+    depend on the backend choice.
     """
 
     def __init__(
@@ -159,12 +115,16 @@ class VectorContext:
         launch: LaunchConfig,
         counters: KernelCounters,
         problem_size: Optional[int] = None,
+        backend: Optional[ArrayBackend] = None,
     ):
         self.device = device
         self.gmem = gmem
         self.launch = launch
         self.counters = counters
         self.problem_size = problem_size
+        self.backend: SimulatedBackend = (
+            _DEFAULT_BACKEND if backend is None else ensure_simulated(backend)
+        )
 
     # ---------------------------------------------------------------- geometry
     @property
@@ -248,20 +208,27 @@ class VectorContext:
                 f"but size is {handle.size}"
             )
 
+    def _flat_range_indices(self, starts: np.ndarray,
+                            lengths: np.ndarray) -> np.ndarray:
+        return (self.backend.repeat(starts, lengths)
+                + self.backend.concat_aranges(lengths))
+
     def read_ranges(self, handle: DeviceArray, starts: np.ndarray,
                     lengths: np.ndarray) -> np.ndarray:
         """Per-block contiguous reads, concatenated (the coalesced fast path)."""
         starts = np.asarray(starts, dtype=np.int64)
         lengths = np.asarray(lengths, dtype=np.int64)
-        flat = np.repeat(starts, lengths) + concat_aranges(lengths)
+        flat = self._flat_range_indices(starts, lengths)
         self._check_bounds(handle, flat)
         itemsize = handle.itemsize
-        tx = blocked_ideal_segments(lengths, itemsize, self.device.warp_size,
-                                    self.device.mem_transaction_bytes)
+        tx = self.backend.ideal_segments_rows(
+            lengths, itemsize, self.device.warp_size,
+            self.device.mem_transaction_bytes,
+        )
         self.counters.global_bytes_read += int(lengths.sum()) * itemsize
         self.counters.global_read_transactions += tx
         self.counters.ideal_read_transactions += tx
-        return handle.data[flat]
+        return self.backend.gather(handle.data, flat)
 
     def write_ranges(self, handle: DeviceArray, starts: np.ndarray,
                      values: np.ndarray, lengths: np.ndarray) -> None:
@@ -274,15 +241,18 @@ class VectorContext:
                 f"write_ranges size mismatch: rows hold {int(lengths.sum())} "
                 f"elements, got {values.size}"
             )
-        flat = np.repeat(starts, lengths) + concat_aranges(lengths)
+        flat = self._flat_range_indices(starts, lengths)
         self._check_bounds(handle, flat)
         itemsize = handle.itemsize
-        tx = blocked_ideal_segments(lengths, itemsize, self.device.warp_size,
-                                    self.device.mem_transaction_bytes)
+        tx = self.backend.ideal_segments_rows(
+            lengths, itemsize, self.device.warp_size,
+            self.device.mem_transaction_bytes,
+        )
         self.counters.global_bytes_written += int(lengths.sum()) * itemsize
         self.counters.global_write_transactions += tx
         self.counters.ideal_write_transactions += tx
-        handle.data[flat] = values.astype(handle.dtype, copy=False)
+        self.backend.scatter(handle.data, flat,
+                             self.backend.cast(values, handle.dtype))
 
     def gather_rows(self, handle: DeviceArray, indices: np.ndarray,
                     row_lengths: np.ndarray) -> np.ndarray:
@@ -291,15 +261,17 @@ class VectorContext:
         self._check_bounds(handle, idx)
         itemsize = handle.itemsize
         self.counters.global_bytes_read += int(idx.size) * itemsize
-        self.counters.global_read_transactions += blocked_warp_segment_count(
-            idx * itemsize, row_lengths, self.device.warp_size,
-            self.device.mem_transaction_bytes,
-        )
-        self.counters.ideal_read_transactions += blocked_ideal_segments(
-            row_lengths, itemsize, self.device.warp_size,
-            self.device.mem_transaction_bytes,
-        )
-        return handle.data[idx]
+        self.counters.global_read_transactions += \
+            self.backend.warp_segment_count_rows(
+                idx * itemsize, row_lengths, self.device.warp_size,
+                self.device.mem_transaction_bytes,
+            )
+        self.counters.ideal_read_transactions += \
+            self.backend.ideal_segments_rows(
+                row_lengths, itemsize, self.device.warp_size,
+                self.device.mem_transaction_bytes,
+            )
+        return self.backend.gather(handle.data, idx)
 
     def scatter_rows(self, handle: DeviceArray, indices: np.ndarray,
                      values: np.ndarray, row_lengths: np.ndarray) -> None:
@@ -315,22 +287,25 @@ class VectorContext:
         self._check_bounds(handle, idx)
         itemsize = handle.itemsize
         self.counters.global_bytes_written += int(idx.size) * itemsize
-        self.counters.global_write_transactions += blocked_warp_segment_count(
-            idx * itemsize, row_lengths, self.device.warp_size,
-            self.device.mem_transaction_bytes,
-        )
-        self.counters.ideal_write_transactions += blocked_ideal_segments(
-            row_lengths, itemsize, self.device.warp_size,
-            self.device.mem_transaction_bytes,
-        )
-        handle.data[idx] = values.astype(handle.dtype, copy=False)
+        self.counters.global_write_transactions += \
+            self.backend.warp_segment_count_rows(
+                idx * itemsize, row_lengths, self.device.warp_size,
+                self.device.mem_transaction_bytes,
+            )
+        self.counters.ideal_write_transactions += \
+            self.backend.ideal_segments_rows(
+                row_lengths, itemsize, self.device.warp_size,
+                self.device.mem_transaction_bytes,
+            )
+        self.backend.scatter(handle.data, idx,
+                             self.backend.cast(values, handle.dtype))
 
     def atomic_add_rows(self, indices: np.ndarray, row_lengths: np.ndarray) -> None:
         """Charge per-block shared-memory atomic increments (no data movement —
         the vectorised histogram computes the counts with ``bincount``)."""
         idx = np.asarray(indices, dtype=np.int64)
         self.counters.atomic_operations += int(idx.size)
-        self.counters.atomic_conflicts += blocked_conflict_cost(
+        self.counters.atomic_conflicts += self.backend.conflict_cost_rows(
             idx, row_lengths, self.device.warp_size
         )
 

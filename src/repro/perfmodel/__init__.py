@@ -1,7 +1,7 @@
 """Analytic performance model: closed-form work counts, effective-throughput
 calibration and sorting-rate prediction over the paper's full size range."""
 
-from .calibration import Calibration, DEFAULT_CALIBRATION
+from .calibration import Calibration, CalibrationLedger, DEFAULT_CALIBRATION
 from .costmodel import (
     AnalyticCostModel,
     DeviceCostModel,
@@ -30,6 +30,7 @@ from .rates import (
 
 __all__ = [
     "Calibration",
+    "CalibrationLedger",
     "DEFAULT_CALIBRATION",
     "AnalyticCostModel",
     "DeviceCostModel",

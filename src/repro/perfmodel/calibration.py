@@ -98,4 +98,58 @@ class Calibration:
 DEFAULT_CALIBRATION = Calibration()
 
 
-__all__ = ["Calibration", "DEFAULT_CALIBRATION"]
+class CalibrationLedger:
+    """Observed simulated-us per model-us, kept per device name.
+
+    The analytic model's *relative* ranking between devices is trustworthy,
+    but its absolute scale can drift differently per device class (a GTX-285
+    shard saturates at different batch sizes than a C1060 shard). The ledger
+    records ``(model_us, actual_us)`` pairs keyed by
+    :attr:`~repro.gpu.device.DeviceSpec.name` and answers with the
+    device-specific ratio when that device has history, the pooled global
+    ratio when it does not, and ``1.0`` before any history exists. It is a
+    pure accumulator — deterministic for a given sequence of records — so
+    callers that need rollback safety simply rebuild it from their own
+    authoritative state instead of mutating one long-lived instance.
+    """
+
+    def __init__(self) -> None:
+        self._model_us: dict[str, float] = {}
+        self._actual_us: dict[str, float] = {}
+
+    def record(self, device_name: str, model_us: float,
+               actual_us: float) -> None:
+        """Add one observation of modelled vs simulated time for a device."""
+        self._model_us[device_name] = (
+            self._model_us.get(device_name, 0.0) + float(model_us)
+        )
+        self._actual_us[device_name] = (
+            self._actual_us.get(device_name, 0.0) + float(actual_us)
+        )
+
+    def global_ratio(self) -> float:
+        """Pooled actual/model ratio over every device (1.0 without history)."""
+        model = sum(self._model_us.values())
+        actual = sum(self._actual_us.values())
+        if model <= 0 or actual <= 0:
+            return 1.0
+        return actual / model
+
+    def ratio(self, device_name: str | None = None) -> float:
+        """Calibration ratio for one device, falling back to the global one.
+
+        A device "has samples" only when both its accumulated model and
+        actual time are positive — a shard that was assigned work but has not
+        completed any (or vice versa) cannot yield a meaningful ratio and
+        uses the pooled fallback, exactly like an unseen device.
+        """
+        if device_name is None:
+            return self.global_ratio()
+        model = self._model_us.get(device_name, 0.0)
+        actual = self._actual_us.get(device_name, 0.0)
+        if model <= 0 or actual <= 0:
+            return self.global_ratio()
+        return actual / model
+
+
+__all__ = ["Calibration", "CalibrationLedger", "DEFAULT_CALIBRATION"]

@@ -116,21 +116,10 @@ def _scan_blocks_kernel_vec(ctx: VectorContext, src: DeviceArray,
     nonempty = lengths > 0
 
     values = ctx.read_ranges(src, starts, lengths)
-    # Per-tile exclusive scan via one global cumulative sum: subtracting the
-    # running total at each tile's start restores the tile-local scan.
-    inclusive = np.cumsum(values)
-    exclusive = inclusive - values
-    row_starts = np.zeros(num_blocks, dtype=np.int64)
-    np.cumsum(lengths[:-1], out=row_starts[1:])
-    row_base = np.zeros(num_blocks, dtype=values.dtype if values.size else np.int64)
-    if values.size:
-        row_base[nonempty] = exclusive[row_starts[nonempty]]
-    scanned = exclusive - np.repeat(row_base, lengths)
-    totals = np.zeros(num_blocks, dtype=np.int64)
-    if values.size:
-        row_ends = row_starts + lengths
-        totals[nonempty] = (inclusive[row_ends[nonempty] - 1]
-                            - row_base[nonempty]).astype(np.int64)
+    # Per-tile exclusive scan, delegated to the backend (see
+    # ``ArrayBackend.segmented_exclusive_scan``): one global cumulative sum
+    # whose running total at each tile's start restores the tile-local scan.
+    scanned, totals = ctx.backend.segmented_exclusive_scan(values, lengths)
 
     # Per-block charges of the work-efficient block scan.
     itemsize = src.itemsize
@@ -165,7 +154,7 @@ def _add_offsets_kernel_vec(ctx: VectorContext, dst: DeviceArray,
     tiles = ctx.read_ranges(dst, starts[nonempty], lengths[nonempty])
     ctx.charge_per_element_rows(lengths[nonempty], 1.0)
     ctx.write_ranges(dst, starts[nonempty],
-                     tiles + np.repeat(offsets, lengths[nonempty]),
+                     tiles + ctx.backend.repeat(offsets, lengths[nonempty]),
                      lengths[nonempty])
 
 

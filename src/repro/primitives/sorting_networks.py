@@ -32,6 +32,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..backend.registry import get_backend
 from ..gpu.block import BlockContext
 
 #: Scalar instructions per compare-exchange per element (load, compare, select,
@@ -222,31 +223,25 @@ def _apply_network_columns(
     keys: np.ndarray,
     values: Optional[np.ndarray],
     stages: tuple[tuple[np.ndarray, np.ndarray], ...],
+    backend=None,
 ) -> int:
     """Column-stacked :func:`_apply_network`: one compare-exchange pattern
     applied to every *column* of a ``(padded, sequences)`` array at once.
     Stages index the contiguous leading axis, which keeps each gather a
     whole-row copy. Each column evolves exactly as it would under the scalar
     function (swaps are decided per column), so the result is byte-identical
-    per sequence; returns the per-sequence comparator count."""
+    per sequence; returns the per-sequence comparator count. The
+    compare-exchange itself runs on ``backend`` (the configured
+    :class:`~repro.backend.protocol.ArrayBackend`; default NumPy)."""
+    if backend is None:
+        backend = get_backend("numpy")
     comparators = 0
     for lo, hi in stages:
         comparators += int(lo.size)
-        a = keys[lo]
-        b = keys[hi]
         if values is None:
-            # Key-only compare-exchange is a plain min/max pair.
-            keys[lo] = np.minimum(a, b)
-            keys[hi] = np.maximum(a, b)
-            continue
-        swap = a > b
-        if np.any(swap):
-            keys[lo] = np.where(swap, b, a)
-            keys[hi] = np.where(swap, a, b)
-            va = values[lo]
-            vb = values[hi]
-            values[lo] = np.where(swap, vb, va)
-            values[hi] = np.where(swap, va, vb)
+            backend.compare_exchange(keys, lo, hi)
+        else:
+            backend.compare_exchange_kv(keys, values, lo, hi)
     return comparators
 
 
@@ -255,6 +250,7 @@ def network_sort_rows(
     values_rows: Optional[list] = None,
     kind: str = "odd_even",
     counters=None,
+    backend=None,
 ) -> tuple[list, list]:
     """Sort many independent sequences with stacked sorting networks.
 
@@ -309,7 +305,8 @@ def network_sort_rows(
             if work_values is not None:
                 work_values[:keys.size, slot] = np.asarray(values_rows[row])
 
-        comparators = _apply_network_columns(work_keys, work_values, stages)
+        comparators = _apply_network_columns(work_keys, work_values, stages,
+                                             backend=backend)
         if counters is not None:
             # Per-sequence charges, identical to one scalar call each.
             seq_bytes = padded * key_dtype.itemsize + (

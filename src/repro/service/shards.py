@@ -51,6 +51,7 @@ from ..gpu.device import DeviceSpec, TESLA_C1060
 from ..gpu.errors import DeviceConfigError
 from ..gpu.kernel import KernelLauncher
 from ..gpu.stream import DeviceStream
+from ..perfmodel.calibration import CalibrationLedger
 from ..perfmodel.costmodel import (
     AnalyticCostModel,
     DeviceCostModel,
@@ -230,7 +231,20 @@ class ShardPool:
         return pool_parallel_us(self.cost_model, n, key_bytes, value_bytes,
                                 self.devices, self.config)
 
-    def model_calibration(self) -> float:
+    def calibration_ledger(self) -> CalibrationLedger:
+        """Per-device model-vs-simulated ledger over everything served so far.
+
+        Rebuilt from the shards' own committed state on every call rather
+        than mutated incrementally: stream rollbacks (failed sharded runs)
+        and the late commit of ``model_us`` bookings then keep calibration
+        deterministic for free.
+        """
+        ledger = CalibrationLedger()
+        for s in self.shards:
+            ledger.record(s.device.name, s.model_us, s.stream.busy_us)
+        return ledger
+
+    def model_calibration(self, device_name: Optional[str] = None) -> float:
         """Observed simulated-us per model-us over everything served so far.
 
         The analytic model's *relative* device ranking is trustworthy (it is
@@ -240,14 +254,32 @@ class ShardPool:
         a stream horizon measured in simulated microseconds, so the
         prediction is rescaled by this observed ratio — otherwise an
         overshooting model overweights device speed against queueing delay
-        and parks requests behind a busy fast device. Deterministic: a pure
-        function of the work dispatched so far; 1.0 until there is history.
+        and parks requests behind a busy fast device. With ``device_name``
+        the ratio is that device's own observed scale (different device
+        classes drift differently), falling back to the pooled ratio while
+        the device has no samples. Deterministic: a pure function of the
+        work dispatched so far; 1.0 until there is history.
         """
-        model = sum(s.model_us for s in self.shards)
-        actual = sum(s.stream.busy_us for s in self.shards)
-        if model <= 0 or actual <= 0:
-            return 1.0
-        return actual / model
+        return self.calibration_ledger().ratio(device_name)
+
+    def scatter_device(self, n: int, key_bytes: int,
+                       value_bytes: int = 0) -> DeviceSpec:
+        """The pool device predicted fastest for the level-0 scatter pass.
+
+        Sharded requests used to run their scatter on ``devices[0]``
+        regardless of the pool mix; on a heterogeneous pool that parks the
+        serialized front of every sharded request on whatever device happened
+        to be listed first. The cost model's relative ranking picks the
+        fastest member instead (ties break on pool order, so homogeneous
+        pools behave exactly as before). Output bytes cannot depend on the
+        choice — the fingerprint check pins the execution geometry.
+        """
+        indexed = enumerate(self.devices)
+        return min(
+            indexed,
+            key=lambda pair: (self.predict_us(n, key_bytes, value_bytes,
+                                              pair[1]), pair[0]),
+        )[1]
 
     def least_loaded(self, now_us: float, elements: Optional[int] = None,
                      key_bytes: int = 4, value_bytes: int = 0) -> DeviceShard:
@@ -265,11 +297,11 @@ class ShardPool:
             return min(self.shards,
                        key=lambda s: (s.stream.available_at(now_us),
                                       s.shard_id))
-        calibration = self.model_calibration()
+        ledger = self.calibration_ledger()
         return min(
             self.shards,
             key=lambda s: (s.stream.available_at(now_us)
-                           + calibration * self.predict_us(
+                           + ledger.ratio(s.device.name) * self.predict_us(
                                elements, key_bytes, value_bytes, s.device),
                            s.shard_id),
         )
@@ -418,7 +450,13 @@ def _run_sharded_impl(pool: ShardPool, keys: np.ndarray,
     n = int(keys.size)
     sorter = pool.shards[0].sorter
     config = sorter.effective_config(keys, values)
-    engine = DistributionEngine(pool.device, config)
+    key_bytes = keys.dtype.itemsize
+    value_bytes = 0 if values is None else values.dtype.itemsize
+    # The scatter runs on the pool member the cost model predicts fastest
+    # (pool order was the old, arbitrary choice); bytes are pinned by the
+    # fingerprint check, only the scatter timing reflects the device.
+    scatter_dev = pool.scatter_device(n, key_bytes, value_bytes)
+    engine = DistributionEngine(scatter_dev, config)
     root = SegmentDescriptor(start=0, size=n, buffer="primary", depth=0)
     if engine.is_leaf(root):
         raise ValueError(
@@ -430,7 +468,8 @@ def _run_sharded_impl(pool: ShardPool, keys: np.ndarray,
 
     # 1. Splitter-based scatter: exactly the solo sort's level-0 pass.
     scatter_trace_start = len(pool.scatter_stream.trace)
-    launcher = KernelLauncher(pool.device, trace=pool.scatter_stream.trace)
+    launcher = KernelLauncher(scatter_dev, trace=pool.scatter_stream.trace,
+                              backend=config.backend)
     primary_keys = launcher.gmem.from_host(keys, name="keys_primary")
     aux_keys = launcher.gmem.alloc(n, keys.dtype, name="keys_aux")
     primary_values = aux_values = None
@@ -448,8 +487,6 @@ def _run_sharded_impl(pool: ShardPool, keys: np.ndarray,
     # 2. Contiguous subtree groups — one per shard, sized proportionally to
     #    each shard device's predicted throughput (equal split when the pool
     #    is homogeneous).
-    key_bytes = keys.dtype.itemsize
-    value_bytes = 0 if values is None else values.dtype.itemsize
     weights = pool.assignment_weights(n, key_bytes, value_bytes)
     groups = plan_shard_assignment(children, len(pool), weights)
     scatter_start_us, fan_out_us = pool.scatter_stream.enqueue(
@@ -481,7 +518,8 @@ def _run_sharded_impl(pool: ShardPool, keys: np.ndarray,
         roots = [replace(c, start=c.start - lo, base=c.base - lo)
                  for c in group]
         trace_start = len(shard.stream.trace)
-        shard_launcher = KernelLauncher(shard.device, trace=shard.stream.trace)
+        shard_launcher = KernelLauncher(shard.device, trace=shard.stream.trace,
+                                        backend=config.backend)
         s_primary = shard_launcher.gmem.alloc(hi - lo, keys.dtype,
                                               name="keys_primary")
         s_aux = shard_launcher.gmem.from_host(scattered_keys[lo:hi],
@@ -617,6 +655,7 @@ def _run_sharded_impl(pool: ShardPool, keys: np.ndarray,
         "start_us": scatter_start_us,
         "completion_us": completion_us,
         "scatter_us": scatter_us,
+        "scatter_device": scatter_dev.name,
         "critical_path_us": completion_us - scatter_start_us,
         "predicted_us": total_work_us,
         "kernel_launches": launches,

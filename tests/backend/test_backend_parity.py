@@ -1,0 +1,128 @@
+"""Cross-backend byte-identity property sweep.
+
+The backend axis is contractually *unobservable*: every registered backend
+must produce byte-identical sorted output, identical launch structure,
+identical aggregated hardware counters and identical predicted device times
+— for every (kernel_mode, launch_mode, trace_mode) combination. The numpy
+backend is the reference; the simulated name resolves to the same wrapped
+math the VectorContext always applies, and torch (when installed) only
+substitutes provably bit-exact ops.
+
+This is the acceptance criterion of the backend extraction: if any of these
+assertions moves, a backend leaked observable behaviour into the simulation.
+"""
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.backend.torch_backend import TORCH_AVAILABLE
+from repro.core.config import SampleSortConfig
+from repro.core.sample_sort import SampleSorter
+from repro.datagen import make_input
+
+BACKENDS = [
+    "numpy",
+    "simulated",
+    pytest.param("torch", marks=pytest.mark.skipif(
+        not TORCH_AVAILABLE, reason="PyTorch not installed")),
+]
+KERNEL_MODES = ["per_block", "vectorized"]
+LAUNCH_MODES = ["barriered", "pipelined"]
+DISTRIBUTIONS = ["uniform", "dduplicates", "staggered"]
+KEY_TYPES = ["uint32", "uint64", "float32"]
+
+
+def _config(backend, kernel_mode="vectorized", launch_mode="pipelined",
+            trace_mode="off"):
+    # k=16, M=512 keeps the 20k-element workloads multi-level so the sweep
+    # exercises phases 1-4, the scan hierarchy and the bucket sorter.
+    return SampleSortConfig.small().with_(
+        k=16, bucket_threshold=512, seed=11, backend=backend,
+        kernel_mode=kernel_mode, launch_mode=launch_mode,
+        trace_mode=trace_mode,
+    )
+
+
+def _sort(workload, **config_kwargs):
+    sorter = SampleSorter(config=_config(**config_kwargs))
+    return sorter.sort(workload.keys, workload.values)
+
+
+def _assert_indistinguishable(reference, candidate):
+    """Bytes, launch structure, counters and predicted times all match."""
+    assert candidate.keys.tobytes() == reference.keys.tobytes()
+    assert candidate.values.tobytes() == reference.values.tobytes()
+    assert candidate.stats["kernel_launches"] == \
+        reference.stats["kernel_launches"]
+    assert candidate.stats["launches_by_phase"] == \
+        reference.stats["launches_by_phase"]
+    assert candidate.counters().as_dict() == reference.counters().as_dict()
+    assert candidate.stats["predicted_us"] == reference.stats["predicted_us"]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("kernel_mode", KERNEL_MODES)
+@pytest.mark.parametrize("launch_mode", LAUNCH_MODES)
+def test_backend_is_unobservable_across_modes(backend, kernel_mode,
+                                              launch_mode):
+    workload = make_input("uniform", 20_000, "uint32", with_values=True,
+                          seed=4)
+    reference = _sort(workload, backend="numpy", kernel_mode=kernel_mode,
+                      launch_mode=launch_mode)
+    candidate = _sort(workload, backend=backend, kernel_mode=kernel_mode,
+                      launch_mode=launch_mode)
+    _assert_indistinguishable(reference, candidate)
+    assert candidate.stats["backend"] == backend
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("key_type", KEY_TYPES)
+@pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+def test_backend_parity_across_distributions(backend, distribution, key_type):
+    workload = make_input(distribution, 8000, key_type, with_values=True,
+                          seed=23)
+    reference = _sort(workload, backend="numpy")
+    candidate = _sort(workload, backend=backend)
+    _assert_indistinguishable(reference, candidate)
+    assert np.array_equal(candidate.keys, np.sort(workload.keys))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_trace_mode_does_not_perturb_any_backend(backend):
+    """Span tracing is observability only: per backend, identical results."""
+    workload = make_input("gaussian", 12_000, "uint32", with_values=True,
+                          seed=8)
+    off = _sort(workload, backend=backend, trace_mode="off")
+    spans = _sort(workload, backend=backend, trace_mode="spans")
+    assert spans.keys.tobytes() == off.keys.tobytes()
+    assert spans.values.tobytes() == off.values.tobytes()
+    assert spans.stats["kernel_launches"] == off.stats["kernel_launches"]
+    assert spans.stats["launches_by_phase"] == off.stats["launches_by_phase"]
+    assert spans.counters().as_dict() == off.counters().as_dict()
+    assert spans.stats["predicted_us"] == off.stats["predicted_us"]
+
+
+def test_repro_backend_env_sets_the_default():
+    """``REPRO_BACKEND`` is the config default, resolved at import time."""
+    code = (
+        "from repro.core.config import SampleSortConfig; "
+        "print(SampleSortConfig.small().backend)"
+    )
+    env = dict(os.environ, REPRO_BACKEND="simulated")
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, ["src", env.get("PYTHONPATH", "")]))
+    out = subprocess.run(
+        [sys.executable, "-c", code], env=env, cwd=os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+        capture_output=True, text=True, check=True,
+    )
+    assert out.stdout.strip() == "simulated"
+
+
+def test_invalid_backend_name_is_rejected_by_config():
+    with pytest.raises(ValueError, match="backend"):
+        SampleSortConfig.small().with_(backend="cuda")

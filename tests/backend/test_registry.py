@@ -1,0 +1,238 @@
+"""Unit tests for the backend package: protocol, registry and ops.
+
+The :class:`~repro.backend.protocol.ArrayBackend` protocol is the contract
+every execution backend signs: each op is pure array math with NumPy arrays
+at the boundary, and the registry hands out process-wide singleton
+instances by name. The simulated backend is an *accounting decorator* — it
+must delegate every math op to its inner backend unchanged, so wrapping can
+never alter bytes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    ArrayBackend,
+    BackendUnavailableError,
+    NumpyBackend,
+    SimulatedBackend,
+    UnknownBackendError,
+    available_backends,
+    ensure_simulated,
+    get_backend,
+    register_backend,
+)
+from repro.backend.torch_backend import TORCH_AVAILABLE
+from repro.primitives.rng import sample_indices
+
+
+class TestRegistry:
+    def test_known_backends_are_registered(self):
+        assert {"numpy", "simulated", "torch"} <= set(available_backends())
+
+    def test_numpy_backend_resolves_and_is_cached(self):
+        backend = get_backend("numpy")
+        assert isinstance(backend, NumpyBackend)
+        assert backend.name == "numpy"
+        assert get_backend("numpy") is backend
+
+    def test_simulated_backend_wraps_numpy(self):
+        backend = get_backend("simulated")
+        assert isinstance(backend, SimulatedBackend)
+        assert isinstance(backend.inner, NumpyBackend)
+        assert backend.name == "simulated(numpy)"
+
+    def test_unknown_name_raises_listing_known_names(self):
+        with pytest.raises(UnknownBackendError) as excinfo:
+            get_backend("nope")
+        message = str(excinfo.value)
+        assert "nope" in message
+        for name in ("numpy", "simulated", "torch"):
+            assert name in message
+
+    def test_unknown_backend_error_is_a_value_error(self):
+        # SampleSortConfig validation surfaces registry misses as ValueError.
+        assert issubclass(UnknownBackendError, ValueError)
+
+    def test_torch_raises_unavailable_without_torch(self):
+        if TORCH_AVAILABLE:
+            pytest.skip("torch is installed; unavailability path not testable")
+        with pytest.raises(BackendUnavailableError):
+            get_backend("torch")
+
+    def test_backend_unavailable_error_is_an_import_error(self):
+        assert issubclass(BackendUnavailableError, ImportError)
+
+    def test_register_backend_round_trip(self):
+        class _Custom(NumpyBackend):
+            name = "custom-test"
+
+        register_backend("custom-test", _Custom)
+        try:
+            assert "custom-test" in available_backends()
+            assert isinstance(get_backend("custom-test"), _Custom)
+        finally:
+            from repro.backend import registry
+            registry._FACTORIES.pop("custom-test", None)
+            registry._INSTANCES.pop("custom-test", None)
+
+    def test_registered_backends_satisfy_protocol(self):
+        assert isinstance(get_backend("numpy"), ArrayBackend)
+        assert isinstance(get_backend("simulated"), ArrayBackend)
+
+
+class TestEnsureSimulated:
+    def test_wraps_a_bare_backend(self):
+        wrapped = ensure_simulated(NumpyBackend())
+        assert isinstance(wrapped, SimulatedBackend)
+
+    def test_is_idempotent(self):
+        simulated = SimulatedBackend()
+        assert ensure_simulated(simulated) is simulated
+
+
+class TestNumpyOps:
+    """Each protocol op against its plain-NumPy reference."""
+
+    @pytest.fixture
+    def backend(self):
+        return NumpyBackend()
+
+    @pytest.fixture
+    def rng(self):
+        return np.random.default_rng(77)
+
+    def test_gather(self, backend, rng):
+        data = rng.integers(0, 1 << 32, 100, dtype=np.uint32)
+        idx = rng.integers(0, 100, 40)
+        assert np.array_equal(backend.gather(data, idx), data[idx])
+
+    def test_scatter_is_in_place(self, backend, rng):
+        data = np.zeros(50, dtype=np.uint32)
+        idx = rng.permutation(50)[:20]
+        values = rng.integers(0, 1 << 32, 20, dtype=np.uint32)
+        backend.scatter(data, idx, values)
+        assert np.array_equal(data[idx], values)
+
+    def test_repeat_and_concat_aranges(self, backend):
+        lengths = np.array([3, 0, 2, 1], dtype=np.int64)
+        starts = np.array([10, 20, 30, 40], dtype=np.int64)
+        assert np.array_equal(backend.repeat(starts, lengths),
+                              np.repeat(starts, lengths))
+        assert np.array_equal(backend.concat_aranges(lengths),
+                              np.array([0, 1, 2, 0, 1, 0]))
+
+    def test_stack_ragged_pads_with_fill(self, backend):
+        values = np.array([1, 2, 3, 4, 5, 6], dtype=np.int64)
+        rows = backend.stack_ragged(values, np.array([2, 1, 3]), 4, fill=-7)
+        expected = np.array([[1, 2, -7, -7], [3, -7, -7, -7], [4, 5, 6, -7]])
+        assert np.array_equal(rows, expected)
+
+    def test_cumsum_and_bincount(self, backend, rng):
+        values = rng.integers(0, 9, 64).astype(np.int64)
+        assert np.array_equal(backend.cumsum(values), np.cumsum(values))
+        assert np.array_equal(backend.bincount(values, minlength=16),
+                              np.bincount(values, minlength=16))
+
+    def test_segmented_exclusive_scan(self, backend, rng):
+        lengths = np.array([4, 1, 0, 7, 3], dtype=np.int64)
+        values = rng.integers(0, 100, int(lengths.sum())).astype(np.int64)
+        scanned, totals = backend.segmented_exclusive_scan(values, lengths)
+        offset = 0
+        for row, length in enumerate(lengths):
+            seg = values[offset:offset + length]
+            expect = np.concatenate([[0], np.cumsum(seg)[:-1]]) if length \
+                else np.empty(0, dtype=np.int64)
+            assert np.array_equal(scanned[offset:offset + length], expect)
+            assert totals[row] == seg.sum()
+            offset += length
+
+    def test_argsort_stable(self, backend, rng):
+        values = rng.integers(0, 8, 200, dtype=np.uint32)
+        assert np.array_equal(backend.argsort_stable(values),
+                              np.argsort(values, kind="stable"))
+
+    def test_compare_exchange_rows(self, backend, rng):
+        # Keys are (padded, sequences); lo/hi index the leading padded axis.
+        keys = rng.integers(0, 1 << 16, (8, 5), dtype=np.uint32)
+        reference = keys.copy()
+        lo = np.array([0, 2])
+        hi = np.array([1, 6])
+        swap = reference[lo] > reference[hi]
+        expected = reference.copy()
+        expected[lo] = np.where(swap, reference[hi], reference[lo])
+        expected[hi] = np.where(swap, reference[lo], reference[hi])
+        backend.compare_exchange(keys, lo, hi)
+        assert np.array_equal(keys, expected)
+
+    def test_compare_exchange_kv_moves_values_with_keys(self, backend, rng):
+        keys = rng.integers(0, 4, (4, 6), dtype=np.uint32)
+        values = np.arange(24, dtype=np.uint32).reshape(4, 6)
+        pairs = {tuple(row) for row in
+                 np.stack([keys.ravel(), values.ravel()], axis=1)}
+        backend.compare_exchange_kv(keys, values,
+                                    np.array([0]), np.array([3]))
+        # Per-column swaps: every (key, value) pairing survives intact.
+        assert {tuple(row) for row in
+                np.stack([keys.ravel(), values.ravel()], axis=1)} == pairs
+        assert np.all(keys[0] <= keys[3])
+
+    def test_cast(self, backend):
+        values = np.array([1, 2, 3], dtype=np.int64)
+        assert backend.cast(values, np.uint32).dtype == np.uint32
+        # Same-dtype casts must not copy: kernels rely on aliasing for writes.
+        assert backend.cast(values, np.int64) is values
+
+    def test_sample_positions_matches_rng_primitive(self, backend):
+        assert np.array_equal(backend.sample_positions(1000, 32, seed=5),
+                              sample_indices(1000, 32, seed=5))
+
+
+class TestSimulatedDelegation:
+    """The wrapper must delegate math untouched and add only accounting."""
+
+    @pytest.fixture
+    def pair(self):
+        inner = NumpyBackend()
+        return inner, SimulatedBackend(inner)
+
+    def test_math_ops_delegate_byte_identically(self, pair):
+        inner, wrapped = pair
+        rng = np.random.default_rng(3)
+        data = rng.integers(0, 1 << 32, 256, dtype=np.uint32)
+        idx = rng.integers(0, 256, 100)
+        lengths = np.array([10, 0, 40, 50], dtype=np.int64)
+        values = rng.integers(0, 50, 100).astype(np.int64)
+
+        assert wrapped.gather(data, idx).tobytes() == \
+            inner.gather(data, idx).tobytes()
+        assert wrapped.concat_aranges(lengths).tobytes() == \
+            inner.concat_aranges(lengths).tobytes()
+        w_scan, w_tot = wrapped.segmented_exclusive_scan(values, lengths)
+        i_scan, i_tot = inner.segmented_exclusive_scan(values, lengths)
+        assert w_scan.tobytes() == i_scan.tobytes()
+        assert w_tot.tobytes() == i_tot.tobytes()
+        assert wrapped.argsort_stable(data).tobytes() == \
+            inner.argsort_stable(data).tobytes()
+
+    def test_accounting_matches_vector_module_helpers(self, pair):
+        """The counters the wrapper computes are the pre-refactor formulas."""
+        from repro.gpu.vector import (
+            blocked_conflict_cost,
+            blocked_ideal_segments,
+            blocked_warp_segment_count,
+        )
+        _, wrapped = pair
+        rng = np.random.default_rng(9)
+        row_lengths = np.array([33, 64, 1, 17], dtype=np.int64)
+        total = int(row_lengths.sum())
+        addresses = rng.integers(0, 1 << 20, total).astype(np.int64) * 4
+        indices = rng.integers(0, 64, total).astype(np.int64)
+
+        assert wrapped.ideal_segments_rows(row_lengths, 4, 32, 64) == \
+            blocked_ideal_segments(row_lengths, 4, 32, 64)
+        assert wrapped.warp_segment_count_rows(
+            addresses, row_lengths, 32, 64,
+        ) == blocked_warp_segment_count(addresses, row_lengths, 32, 64)
+        assert wrapped.conflict_cost_rows(indices, row_lengths, 32) == \
+            blocked_conflict_cost(indices, row_lengths, 32)

@@ -1,0 +1,118 @@
+"""Torch backend unit tests — skipped wholesale when PyTorch is absent.
+
+The torch backend only substitutes ops that are provably bit-exact (index
+movement through signed same-width bit views, int64 cumsum/bincount, stable
+argsort whose permutation is uniquely determined), so every test here is an
+exact-equality check against the NumPy reference — never an allclose.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend import NumpyBackend
+from repro.backend.torch_backend import TORCH_AVAILABLE, TorchBackend
+
+pytestmark = pytest.mark.skipif(not TORCH_AVAILABLE,
+                                reason="PyTorch not installed")
+
+MOVABLE_DTYPES = [np.uint16, np.uint32, np.uint64, np.int32, np.int64,
+                  np.float32]
+
+
+@pytest.fixture
+def torch_backend():
+    return TorchBackend()
+
+
+@pytest.fixture
+def numpy_backend():
+    return NumpyBackend()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(123)
+
+
+def _keys(rng, dtype, n=4096):
+    if np.dtype(dtype) == np.float32:
+        return rng.random(n, dtype=np.float32)
+    info = np.iinfo(dtype)
+    raw = rng.integers(0, min(int(info.max), 1 << 62), n, dtype=np.uint64)
+    keys = raw.astype(dtype)
+    # Exercise the extremes the bit-view must round-trip exactly.
+    keys[:4] = [0, 1, info.max, info.max - 1]
+    return keys
+
+
+@pytest.mark.parametrize("dtype", MOVABLE_DTYPES)
+class TestMovementOps:
+    def test_gather(self, torch_backend, numpy_backend, rng, dtype):
+        data = _keys(rng, dtype)
+        idx = rng.integers(0, data.size, 1000)
+        got = torch_backend.gather(data, idx)
+        want = numpy_backend.gather(data, idx)
+        assert got.dtype == want.dtype
+        assert got.tobytes() == want.tobytes()
+
+    def test_scatter_mutates_caller_buffer(self, torch_backend, rng, dtype):
+        data = np.zeros(512, dtype=dtype)
+        mirror = data.copy()
+        idx = rng.permutation(512)[:200]
+        values = _keys(rng, dtype, 200)
+        torch_backend.scatter(data, idx, values)
+        NumpyBackend().scatter(mirror, idx, values)
+        assert data.tobytes() == mirror.tobytes()
+
+    def test_repeat(self, torch_backend, numpy_backend, rng, dtype):
+        values = _keys(rng, dtype, 64)
+        repeats = rng.integers(0, 7, 64)
+        assert torch_backend.repeat(values, repeats).tobytes() == \
+            numpy_backend.repeat(values, repeats).tobytes()
+
+
+class TestExactReductions:
+    def test_cumsum_int64(self, torch_backend, numpy_backend, rng):
+        values = rng.integers(-1000, 1000, 4096).astype(np.int64)
+        got = torch_backend.cumsum(values)
+        assert got.dtype == np.int64
+        assert got.tobytes() == numpy_backend.cumsum(values).tobytes()
+
+    def test_bincount_int64(self, torch_backend, numpy_backend, rng):
+        values = rng.integers(0, 100, 4096).astype(np.int64)
+        assert torch_backend.bincount(values, minlength=128).tobytes() == \
+            numpy_backend.bincount(values, minlength=128).tobytes()
+
+    def test_non_int64_falls_back_to_numpy_path(self, torch_backend,
+                                                numpy_backend, rng):
+        values = rng.integers(0, 100, 256).astype(np.int32)
+        assert np.array_equal(torch_backend.cumsum(values),
+                              numpy_backend.cumsum(values))
+
+
+class TestStableArgsort:
+    @pytest.mark.parametrize("dtype", [np.uint16, np.uint32, np.uint64,
+                                       np.int64])
+    def test_matches_numpy_with_heavy_ties(self, torch_backend, numpy_backend,
+                                           rng, dtype):
+        # Heavy ties: the *stable* permutation is unique, so exact equality
+        # with NumPy's stable argsort is the correctness criterion.
+        values = rng.integers(0, 8, 8192).astype(dtype)
+        got = torch_backend.argsort_stable(values)
+        want = numpy_backend.argsort_stable(values)
+        assert np.array_equal(got, want)
+
+    def test_float_falls_back(self, torch_backend, numpy_backend, rng):
+        values = rng.random(1024, dtype=np.float32)
+        assert np.array_equal(torch_backend.argsort_stable(values),
+                              numpy_backend.argsort_stable(values))
+
+
+class TestInheritedOps:
+    def test_segmented_scan_inherits_numpy_math(self, torch_backend, rng):
+        lengths = np.array([5, 0, 9, 2], dtype=np.int64)
+        values = rng.integers(0, 50, 16).astype(np.int64)
+        got = torch_backend.segmented_exclusive_scan(values, lengths)
+        want = NumpyBackend().segmented_exclusive_scan(values, lengths)
+        assert got[0].tobytes() == want[0].tobytes()
+        assert got[1].tobytes() == want[1].tobytes()

@@ -1,0 +1,143 @@
+"""Callable routing costs: the front end priced per request.
+
+``ClusterConfig.routing_cost_us`` also accepts a callable
+``(elements, outcome) -> float`` where ``outcome`` is ``"hit"`` (cache hit
+or coalesced onto an in-flight twin) or ``"dispatch"`` (replica-served).
+The contract: a callable returning a constant is indistinguishable from the
+flat float configuration, every result records the cost it actually paid in
+``routing_us``, and the stats snapshot keeps ``routing_cost_us`` numeric so
+downstream reports never see a function object.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig, SortCluster
+from repro.core.config import SampleSortConfig
+from repro.harness import format_cluster_report
+from repro.service import ServiceConfig
+
+SORTER_CONFIG = SampleSortConfig.small(seed=5)
+
+
+def _cluster_config(**overrides):
+    service = ServiceConfig(
+        num_shards=2, sorter=SORTER_CONFIG, queue_capacity=16,
+        max_request_elements=1 << 16, max_batch_requests=4,
+        max_batch_elements=1 << 14, max_wait_us=100.0,
+        shard_threshold=5000,
+    )
+    defaults = dict(num_replicas=2, service=service, cache_lookup_us=0.5)
+    defaults.update(overrides)
+    return ClusterConfig(**defaults)
+
+
+def _keys(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, max(2, n // 4), n).astype(np.uint32)
+
+
+def _timeline(cluster, stream):
+    ids = [cluster.submit(keys, arrival_us=at) for keys, at in stream]
+    results = cluster.drain()
+    return [(results[i].dispatch_us, results[i].completion_us,
+             results[i].routing_us) for i in ids]
+
+
+class TestCallableEqualsFlat:
+    def test_constant_callable_matches_float_timeline(self):
+        stream = [(_keys(1000 + 150 * i, seed=300 + i), 10.0 * i)
+                  for i in range(5)]
+        flat = SortCluster(_cluster_config(routing_cost_us=4.0))
+        priced = SortCluster(_cluster_config(
+            routing_cost_us=lambda elements, outcome: 4.0))
+        assert _timeline(flat, stream) == _timeline(priced, stream)
+
+    def test_zero_callable_matches_default_timeline(self):
+        stream = [(_keys(1200, seed=310 + i), 8.0 * i) for i in range(4)]
+        default = SortCluster(_cluster_config())
+        zero = SortCluster(_cluster_config(
+            routing_cost_us=lambda elements, outcome: 0.0))
+        assert _timeline(default, stream) == _timeline(zero, stream)
+
+
+class TestOutcomeAndSizePricing:
+    def test_results_record_the_cost_they_paid(self):
+        cluster = SortCluster(_cluster_config(
+            routing_cost_us=lambda elements, outcome: elements / 1000.0,
+            cache_capacity_bytes=0))
+        sizes = [1000, 2000, 4000]
+        ids = [cluster.submit(_keys(n, seed=320 + n), arrival_us=0.0)
+               for n in sizes]
+        results = cluster.drain()
+        for request_id, n in zip(ids, sizes):
+            assert results[request_id].routing_us == pytest.approx(n / 1000.0)
+
+    def test_hits_and_dispatches_priced_separately(self):
+        prices = {"hit": 1.0, "dispatch": 9.0}
+        cluster = SortCluster(_cluster_config(
+            routing_cost_us=lambda elements, outcome: prices[outcome]))
+        keys = _keys(1500, seed=330)
+        cold_id = cluster.submit(keys)
+        cold = cluster.drain()[cold_id]
+        assert cold.source == "replica"
+        assert cold.routing_us == prices["dispatch"]
+
+        hit_id = cluster.submit(keys.copy(), arrival_us=100.0)
+        hit = cluster.drain()[hit_id]
+        assert hit.source == "cache"
+        assert hit.routing_us == prices["hit"]
+        assert hit.dispatch_us >= 100.0 + prices["hit"]
+
+    def test_coalesced_twins_pay_the_hit_price(self):
+        prices = {"hit": 2.0, "dispatch": 6.0}
+        cluster = SortCluster(_cluster_config(
+            num_replicas=1,
+            routing_cost_us=lambda elements, outcome: prices[outcome]))
+        keys = _keys(2000, seed=340)
+        primary = cluster.submit(keys, arrival_us=0.0)
+        twin = cluster.submit(keys.copy(), arrival_us=1.0)
+        results = cluster.drain()
+        assert results[primary].source == "replica"
+        assert results[primary].routing_us == prices["dispatch"]
+        assert results[twin].source == "coalesced"
+        assert results[twin].routing_us == prices["hit"]
+        assert results[twin].keys.tobytes() == results[primary].keys.tobytes()
+
+    def test_negative_callable_return_is_rejected_at_drain(self):
+        cluster = SortCluster(_cluster_config(
+            routing_cost_us=lambda elements, outcome: -1.0))
+        cluster.submit(_keys(1000, seed=350))
+        with pytest.raises(ValueError, match="routing_cost_us"):
+            cluster.drain()
+
+
+class TestStatsStayNumeric:
+    def test_flat_config_reports_fixed_policy(self):
+        cluster = SortCluster(_cluster_config(routing_cost_us=3.0))
+        cluster.submit(_keys(1000, seed=360))
+        cluster.drain()
+        frontend = cluster.stats()["frontend"]
+        assert frontend["routing_policy"] == "fixed"
+        assert frontend["routing_cost_us"] == 3.0
+
+    def test_callable_config_reports_observed_mean(self):
+        cluster = SortCluster(_cluster_config(
+            routing_cost_us=lambda elements, outcome: elements / 500.0,
+            cache_capacity_bytes=0))
+        for n in (1000, 3000):
+            cluster.submit(_keys(n, seed=370 + n), arrival_us=0.0)
+        cluster.drain()
+        frontend = cluster.stats()["frontend"]
+        assert frontend["routing_policy"] == "callable"
+        # mean of 2.0 and 6.0 us — a float, never the function object
+        assert frontend["routing_cost_us"] == pytest.approx(4.0)
+        assert frontend["routing_us_total"] == pytest.approx(8.0)
+
+    def test_cluster_report_renders_with_a_callable(self):
+        cluster = SortCluster(_cluster_config(
+            routing_cost_us=lambda elements, outcome: 2.5))
+        cluster.submit(_keys(1200, seed=380))
+        cluster.drain()
+        report = format_cluster_report(cluster.stats())
+        assert "front end" in report

@@ -1,0 +1,80 @@
+"""Per-device calibration: the CalibrationLedger contract.
+
+One global model-vs-simulated ratio washes out per-device drift — a
+GTX-285-class shard saturates at different batch sizes than a C1060 shard.
+The ledger keys observations by device name, answers per-device when a
+device has real history, and degrades gracefully: pooled ratio for unseen
+or half-observed devices, 1.0 before any history at all.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SampleSortConfig
+from repro.gpu.device import GTX_285, TESLA_C1060
+from repro.perfmodel import CalibrationLedger
+from repro.service.shards import ShardPool, run_sharded
+
+SORTER_CONFIG = SampleSortConfig.small(seed=5)
+
+
+class TestLedgerRatios:
+    def test_empty_ledger_answers_unity(self):
+        ledger = CalibrationLedger()
+        assert ledger.global_ratio() == 1.0
+        assert ledger.ratio() == 1.0
+        assert ledger.ratio("Tesla C1060") == 1.0
+
+    def test_per_device_ratio_uses_that_devices_history(self):
+        ledger = CalibrationLedger()
+        ledger.record("Tesla C1060", model_us=100.0, actual_us=200.0)
+        ledger.record("Zotac GTX 285", model_us=100.0, actual_us=50.0)
+        assert ledger.ratio("Tesla C1060") == pytest.approx(2.0)
+        assert ledger.ratio("Zotac GTX 285") == pytest.approx(0.5)
+        # pooled: 250 actual over 200 model
+        assert ledger.global_ratio() == pytest.approx(1.25)
+        assert ledger.ratio() == pytest.approx(1.25)
+
+    def test_unseen_device_falls_back_to_the_global_ratio(self):
+        ledger = CalibrationLedger()
+        ledger.record("Tesla C1060", model_us=100.0, actual_us=300.0)
+        assert ledger.ratio("Zotac GTX 285") == pytest.approx(3.0)
+
+    def test_half_observed_device_also_falls_back(self):
+        """Booked model time with no completed work (or vice versa) is not
+        a usable sample — it must behave like an unseen device."""
+        ledger = CalibrationLedger()
+        ledger.record("Tesla C1060", model_us=100.0, actual_us=150.0)
+        ledger.record("Zotac GTX 285", model_us=80.0, actual_us=0.0)
+        assert ledger.ratio("Zotac GTX 285") == ledger.global_ratio()
+
+    def test_record_accumulates(self):
+        ledger = CalibrationLedger()
+        ledger.record("Tesla C1060", model_us=50.0, actual_us=100.0)
+        ledger.record("Tesla C1060", model_us=150.0, actual_us=100.0)
+        assert ledger.ratio("Tesla C1060") == pytest.approx(1.0)
+
+
+class TestPoolIntegration:
+    def test_pool_ledger_tracks_each_shard_by_name(self):
+        pool = ShardPool(devices=[TESLA_C1060, GTX_285],
+                         config=SORTER_CONFIG)
+        rng = np.random.default_rng(13)
+        keys = rng.integers(0, 1 << 20, 12_000).astype(np.uint32)
+        run_sharded(pool, keys, None, start_us=0.0)
+        ledger = pool.calibration_ledger()
+        for shard in pool.shards:
+            assert shard.model_us > 0
+            assert ledger.ratio(shard.device.name) == pytest.approx(
+                shard.stream.busy_us / shard.model_us)
+
+    def test_model_calibration_defaults_to_the_pooled_ratio(self):
+        pool = ShardPool(2, TESLA_C1060, SORTER_CONFIG)
+        assert pool.model_calibration() == 1.0
+        assert pool.model_calibration("Tesla C1060") == 1.0
+        rng = np.random.default_rng(17)
+        keys = rng.integers(0, 1 << 20, 12_000).astype(np.uint32)
+        run_sharded(pool, keys, None, start_us=0.0)
+        assert pool.model_calibration() == pool.calibration_ledger().ratio()
+        assert pool.model_calibration("unseen device") == \
+            pool.model_calibration()

@@ -1,0 +1,82 @@
+"""Scatter placement on heterogeneous pools.
+
+The level-0 scatter of a sharded request used to run on ``devices[0]``
+whatever the pool mix; the pool now asks the cost model which member is
+predicted fastest. On the paper's mixed pair the GTX-285-class shard must
+win (same GT200 geometry, higher clock and bandwidth), homogeneous pools
+must behave exactly as before, and the choice can never change output bytes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SampleSortConfig
+from repro.core.sample_sort import SampleSorter
+from repro.gpu.device import GTX_285, TESLA_C1060
+from repro.service.shards import ShardPool, run_sharded
+
+SORTER_CONFIG = SampleSortConfig.small(seed=5)
+
+
+def _pair(n, seed=0):
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, max(2, n // 8), n).astype(np.uint32)
+    values = rng.permutation(n).astype(np.uint32)
+    return keys, values
+
+
+class TestScatterDeviceSelection:
+    def test_mixed_pool_picks_the_gtx285_shard(self):
+        pool = ShardPool(devices=[TESLA_C1060, GTX_285],
+                         config=SORTER_CONFIG)
+        chosen = pool.scatter_device(100_000, key_bytes=4, value_bytes=4)
+        assert chosen.name == "Zotac GTX 285"
+        # sanity: the regression this guards — pool order no longer decides
+        assert pool.devices[0] is TESLA_C1060
+
+    def test_selection_is_order_independent(self):
+        reversed_pool = ShardPool(devices=[GTX_285, TESLA_C1060],
+                                  config=SORTER_CONFIG)
+        assert reversed_pool.scatter_device(100_000, 4, 4).name == \
+            "Zotac GTX 285"
+
+    def test_choice_tracks_the_cost_model_prediction(self):
+        pool = ShardPool(devices=[TESLA_C1060, GTX_285],
+                         config=SORTER_CONFIG)
+        chosen = pool.scatter_device(50_000, 4, 0)
+        predictions = {d.name: pool.predict_us(50_000, 4, 0, d)
+                       for d in pool.devices}
+        assert predictions[chosen.name] == min(predictions.values())
+
+    def test_homogeneous_pool_ties_break_to_pool_order(self):
+        pool = ShardPool(3, TESLA_C1060, SORTER_CONFIG)
+        assert pool.scatter_device(100_000, 4, 4) is pool.devices[0]
+
+
+class TestShardedRunUsesTheChoice:
+    def test_result_reports_the_scatter_device(self):
+        pool = ShardPool(devices=[TESLA_C1060, GTX_285],
+                         config=SORTER_CONFIG)
+        keys, values = _pair(12_000, seed=7)
+        result = run_sharded(pool, keys, values, start_us=0.0)
+        assert result["scatter_device"] == "Zotac GTX 285"
+
+    def test_bytes_stay_identical_to_solo_whatever_the_placement(self):
+        keys, values = _pair(12_000, seed=9)
+        expected = SampleSorter(config=SORTER_CONFIG).sort(keys, values)
+        for devices in ([TESLA_C1060, GTX_285], [GTX_285, TESLA_C1060],
+                        [TESLA_C1060, TESLA_C1060]):
+            pool = ShardPool(devices=devices, config=SORTER_CONFIG)
+            result = run_sharded(pool, keys, values, start_us=0.0)
+            assert result["keys"].tobytes() == expected.keys.tobytes()
+            assert result["values"].tobytes() == expected.values.tobytes()
+
+    def test_faster_scatter_device_shortens_the_serial_front(self):
+        keys, values = _pair(12_000, seed=11)
+        mixed = ShardPool(devices=[TESLA_C1060, GTX_285],
+                          config=SORTER_CONFIG)
+        uniform = ShardPool(devices=[TESLA_C1060, TESLA_C1060],
+                            config=SORTER_CONFIG)
+        mixed_result = run_sharded(mixed, keys, values, start_us=0.0)
+        uniform_result = run_sharded(uniform, keys, values, start_us=0.0)
+        assert mixed_result["scatter_us"] < uniform_result["scatter_us"]
