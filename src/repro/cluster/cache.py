@@ -10,7 +10,13 @@ can never corrupt later hits, which is what makes the byte-identity guarantee
 ("a cache hit equals a cold run") unconditional.
 
 Telemetry (:meth:`stats`): hits, misses, insertions, evictions, rejections of
-entries larger than the whole budget, current/capacity bytes and the hit rate.
+entries larger than the whole budget, current/capacity bytes, the hit rate,
+and the byte ledger (admitted/evicted/replaced bytes) whose invariant
+``current_bytes == admitted_bytes - evicted_bytes - replaced_bytes`` the
+tests assert. With an :class:`repro.obs.events.EventLog` attached, cache
+churn additionally lands in the structured event stream (``cache_admit`` /
+``cache_evict`` / ``cache_oversize``) at the simulated timestamps the caller
+passes to :meth:`get` / :meth:`put`.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ from typing import Optional
 import numpy as np
 
 from ..core.config import SampleSortConfig
+from ..obs.events import EventLog
 
 
 def request_digest(keys: np.ndarray, values: Optional[np.ndarray],
@@ -59,15 +66,23 @@ class _CacheEntry:
 
 
 class SortCache:
-    """LRU cache of sorted outputs under a byte budget."""
+    """LRU cache of sorted outputs under a byte budget.
 
-    def __init__(self, capacity_bytes: int = 64 << 20):
+    ``events`` is an optional :class:`repro.obs.events.EventLog` the cache
+    reports admissions, evictions and oversize rejections into (the cluster
+    passes its shared, trace-gated log); telemetry in :meth:`stats` is
+    recorded unconditionally either way.
+    """
+
+    def __init__(self, capacity_bytes: int = 64 << 20,
+                 events: Optional[EventLog] = None):
         if capacity_bytes < 1:
             raise ValueError(
                 f"cache capacity must be >= 1 byte, got {capacity_bytes} "
                 f"(disable the cache at the cluster level instead)"
             )
         self.capacity_bytes = int(capacity_bytes)
+        self.events = events
         self._entries: "OrderedDict[str, _CacheEntry]" = OrderedDict()
         self._bytes = 0
         self._counts = {
@@ -76,6 +91,9 @@ class SortCache:
             "insertions": 0,
             "evictions": 0,
             "oversize_rejected": 0,
+            "admitted_bytes": 0,
+            "evicted_bytes": 0,
+            "replaced_bytes": 0,
         }
 
     def __len__(self) -> int:
@@ -89,11 +107,12 @@ class SortCache:
         return self._bytes
 
     # ------------------------------------------------------------------ ops
-    def get(self, digest: str
+    def get(self, digest: str, at_us: float = 0.0
             ) -> Optional[tuple[np.ndarray, Optional[np.ndarray]]]:
         """Sorted ``(keys, values)`` copies for ``digest``, or ``None``.
 
-        A hit refreshes the entry's LRU position and is counted; so is a miss.
+        A hit refreshes the entry's LRU position and is counted; so is a
+        miss. ``at_us`` timestamps any events this lookup emits.
         """
         entry = self._entries.get(digest)
         if entry is None:
@@ -105,18 +124,24 @@ class SortCache:
         return entry.keys.copy(), values
 
     def put(self, digest: str, keys: np.ndarray,
-            values: Optional[np.ndarray]) -> bool:
+            values: Optional[np.ndarray], at_us: float = 0.0) -> bool:
         """Insert one sorted result; returns whether it was cached.
 
         The arrays are copied in (the caller keeps handing its arrays to the
         requester). An entry larger than the whole budget is rejected — before
         any copying — rather than evicting everything for a result that would
         be evicted next. A re-insert under an existing digest refreshes the
-        entry.
+        entry. ``at_us`` timestamps the admit/evict events.
         """
         nbytes = keys.nbytes + (0 if values is None else values.nbytes)
         if nbytes > self.capacity_bytes:
             self._counts["oversize_rejected"] += 1
+            if self.events is not None:
+                self.events.record(
+                    "cache_oversize", at_us=at_us, severity="warning",
+                    layer="cache", digest=digest, nbytes=nbytes,
+                    capacity_bytes=self.capacity_bytes,
+                )
             return False
         entry = _CacheEntry(
             keys=np.ascontiguousarray(keys).copy(),
@@ -126,13 +151,28 @@ class SortCache:
         previous = self._entries.pop(digest, None)
         if previous is not None:
             self._bytes -= previous.nbytes
+            self._counts["replaced_bytes"] += previous.nbytes
         while self._bytes + entry.nbytes > self.capacity_bytes:
-            _, evicted = self._entries.popitem(last=False)
+            evicted_digest, evicted = self._entries.popitem(last=False)
             self._bytes -= evicted.nbytes
             self._counts["evictions"] += 1
+            self._counts["evicted_bytes"] += evicted.nbytes
+            if self.events is not None:
+                self.events.record(
+                    "cache_evict", at_us=at_us, severity="info",
+                    layer="cache", digest=evicted_digest,
+                    nbytes=evicted.nbytes, for_digest=digest,
+                )
         self._entries[digest] = entry
         self._bytes += entry.nbytes
         self._counts["insertions"] += 1
+        self._counts["admitted_bytes"] += entry.nbytes
+        if self.events is not None:
+            self.events.record(
+                "cache_admit", at_us=at_us, severity="info", layer="cache",
+                digest=digest, nbytes=entry.nbytes,
+                current_bytes=self._bytes, replaced=previous is not None,
+            )
         return True
 
     # ------------------------------------------------------------ telemetry

@@ -27,6 +27,18 @@ Cluster telemetry (:meth:`stats`) merges the per-replica ``stats()`` into
 cluster totals: per-tenant latency percentiles, per-replica occupancy over the
 cluster makespan, cache hit rate, spill and flush counts — with the invariant
 that replica-served + cache-served request counts sum to cluster completions.
+
+Health introspection rides on top of that telemetry without touching it:
+``ClusterConfig.slos`` attaches :class:`repro.obs.SLOSpec` promises that a
+:class:`repro.obs.SLOEngine` evaluates at every drain from the registry's
+event-time histograms (see :mod:`repro.obs.sli`), and
+:meth:`SortCluster.health_snapshot` bundles SLO states, error budgets,
+per-replica occupancy and the structured event log for
+:func:`repro.harness.format_health_report`. The event log — spills, forced
+flushes, cache churn, admission rejects, SLO transitions — follows the
+tracing gate (``trace_mode`` / ``REPRO_TRACE``): under ``"off"`` it records
+nothing and every ``stats()`` byte stays identical, while SLO evaluation
+itself is trace-independent because the metrics registry always records.
 """
 
 from __future__ import annotations
@@ -41,7 +53,14 @@ from ..core.config import SampleSortConfig
 from ..core.launch_plan import merge_utilization
 from ..gpu.device import DeviceSpec
 from ..gpu.errors import DeviceConfigError, GpuSimError
-from ..obs import MetricsRegistry, Tracer
+from ..obs import EventLog, MetricsRegistry, SLOEngine, SLOSpec, Tracer
+from ..obs.sli import (
+    REJECTED_US,
+    REQUEST_ELEMENTS,
+    TENANT_ELEMENTS,
+    TENANT_LATENCY_US,
+    TENANT_REJECTED_US,
+)
 from ..service.queue import (
     OversizeRequestError,
     QueueFullError,
@@ -89,8 +108,13 @@ class ClusterConfig:
     #: path-dependent front end, e.g. hashing cost scaling with the payload.
     #: Default 0 keeps every pre-existing timeline unchanged.
     routing_cost_us: Union[float, Callable[[int, str], float]] = 0.0
+    #: Cluster-level objectives (see :class:`repro.obs.SLOSpec`) evaluated at
+    #: each drain over the front-end commit clock; tenant-scoped specs read
+    #: that tenant's labelled histograms. Empty disables the SLO engine.
+    slos: tuple[SLOSpec, ...] = ()
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "slos", tuple(self.slos))
         if self.num_replicas < 1:
             raise ValueError(
                 f"num_replicas must be >= 1, got {self.num_replicas}"
@@ -219,11 +243,18 @@ class SortCluster:
         self.tracer = (Tracer()
                        if self.config.service.sorter.trace_mode == "spans"
                        else None)
+        #: One shared, trace-gated event log for the whole cluster: front-end
+        #: rejects and spills, every replica's admission bounces, cache churn
+        #: and SLO transitions interleave on one sequence.
+        self.events = EventLog(
+            capacity=4096,
+            enabled=self.config.service.sorter.trace_mode == "spans",
+        )
         self._request_spans: dict[int, object] = {}
         self.replicas = [
             ServiceReplica(replica_id=i,
                            config=self.config.replica_service_config(i),
-                           tracer=self.tracer)
+                           tracer=self.tracer, events=self.events)
             for i in range(self.config.num_replicas)
         ]
         fingerprints = {
@@ -248,9 +279,13 @@ class SortCluster:
         self._frontend_busy_until = 0.0
         self._frontend_routing_us = 0.0
         self.balancer = LoadBalancer(self.config.policy)
-        self.cache = (SortCache(self.config.cache_capacity_bytes)
+        self.cache = (SortCache(self.config.cache_capacity_bytes,
+                                events=self.events)
                       if self.config.cache_capacity_bytes > 0 else None)
         self.scheduler = TenantScheduler(self.config.tenants)
+        self.slo_engine = (SLOEngine(self.config.slos, self.metrics,
+                                     events=self.events)
+                           if self.config.slos else None)
         self._pending: list[_ClusterRequest] = []
         self._next_request_id = 0
         self._results: dict[int, ClusterResult] = {}
@@ -262,6 +297,18 @@ class SortCluster:
 
     def _count(self, event: str) -> None:
         self.metrics.counter("requests", event=event).inc()
+
+    def _observe_rejection(self, reason: str, tenant: str, elements: int,
+                           arrival_us: float) -> None:
+        """Feed the rejection histograms + event log at the front door."""
+        self.metrics.histogram(REJECTED_US).observe(float(elements),
+                                                    at_us=arrival_us)
+        self.metrics.histogram(TENANT_REJECTED_US, tenant=tenant).observe(
+            float(elements), at_us=arrival_us)
+        self.events.record("admission_reject", at_us=arrival_us,
+                           severity="warning", layer="cluster",
+                           reason=reason, tenant=tenant,
+                           elements=int(elements))
 
     @property
     def sorter_config(self) -> SampleSortConfig:
@@ -282,6 +329,8 @@ class SortCluster:
                                     arrival_us=float(arrival_us))
             if validated.n > self.config.service.max_request_elements:
                 self._count("rejected_oversize")
+                self._observe_rejection("oversize", tenant, validated.n,
+                                        float(arrival_us))
                 raise OversizeRequestError(
                     f"request of {validated.n} elements exceeds the admission "
                     f"limit of {self.config.service.max_request_elements}"
@@ -296,6 +345,9 @@ class SortCluster:
             raise
         except GpuSimError:
             self._count("rejected_invalid")
+            self._observe_rejection("invalid", tenant,
+                                    int(getattr(keys, "size", 0) or 0),
+                                    float(arrival_us))
             raise
         cost_us = self.cost_model.predict_sort_us(
             validated.n, validated.keys.dtype.itemsize,
@@ -370,7 +422,7 @@ class SortCluster:
                     if digest in inflight:
                         coalesce_primary = inflight[digest]
                     else:
-                        cached = self.cache.get(digest)
+                        cached = self.cache.get(digest, at_us=now)
                 outcome = ("hit" if coalesce_primary is not None
                            or cached is not None else "dispatch")
                 cost = self.config.routing_cost_for(request.n, outcome)
@@ -470,7 +522,8 @@ class SortCluster:
             drained_ids.append(request.request_id)
             if digest is not None:
                 self.cache.put(digest, service_result.keys,
-                               service_result.values)
+                               service_result.values,
+                               at_us=service_result.completion_us)
 
         unresolved: list[tuple[_ClusterRequest, int, float, float]] = []
         for request, primary_id, routed_at, routing_us in self._coalesced:
@@ -494,8 +547,26 @@ class SortCluster:
             drained_ids.append(request.request_id)
         self._coalesced = unresolved
 
+        self._evaluate_slos([self._results[request_id]
+                             for request_id in drained_ids])
         return {request_id: self._results[request_id]
                 for request_id in sorted(drained_ids)}
+
+    def _evaluate_slos(self, results) -> None:
+        """Advance the SLO engine through this drain's completion times.
+
+        Evaluation points are the sorted completion timestamps of the
+        drained results — a pure function of the results themselves, so
+        commit order and launch tie-breaking cannot change which alert
+        transitions fire. Timestamps behind the engine's clock (overlap from
+        an earlier drain) fold into later windows.
+        """
+        if self.slo_engine is None or not results:
+            return
+        floor = self.slo_engine.last_evaluated_us
+        for at_us in sorted({r.completion_us for r in results}):
+            if floor is None or at_us >= floor:
+                self.slo_engine.evaluate(at_us)
 
     def _dispatch(self, request: _ClusterRequest, now: float
                   ) -> tuple[ServiceReplica, int, int]:
@@ -510,6 +581,12 @@ class SortCluster:
                                           request.values, arrival_us=now)
         except QueueFullError:
             self._count("forced_flushes")
+            self.events.record(
+                "forced_flush", at_us=now, severity="critical",
+                layer="cluster", tenant=request.tenant,
+                request_id=request.request_id,
+                replicas=len(self.replicas),
+            )
             for replica in self.replicas:
                 replica.drain()
             replica, service_id, retry_spills = self.balancer.dispatch(
@@ -527,11 +604,31 @@ class SortCluster:
             "cache": "cache_hits",
             "coalesced": "coalesced_hits",
         }[result.source])
-        self.metrics.histogram("latency_us").observe(result.latency_us)
-        self.metrics.histogram("tenant_latency_us",
-                               tenant=result.tenant).observe(result.latency_us)
+        # Latency and element count are observed back to back with the same
+        # completion timestamp (cluster-wide and tenant-scoped), so SLI
+        # windows see them zip-aligned for goodput weighting.
+        at_us = result.completion_us
+        self.metrics.histogram("latency_us").observe(result.latency_us,
+                                                     at_us=at_us)
+        self.metrics.histogram(REQUEST_ELEMENTS).observe(float(result.n),
+                                                         at_us=at_us)
+        self.metrics.histogram(TENANT_LATENCY_US,
+                               tenant=result.tenant).observe(result.latency_us,
+                                                             at_us=at_us)
+        self.metrics.histogram(TENANT_ELEMENTS,
+                               tenant=result.tenant).observe(float(result.n),
+                                                             at_us=at_us)
         if self.tracer is not None:
             self._emit_request_spans(result)
+        if result.spill_rejections:
+            root = self._request_spans.get(result.request_id)
+            self.events.record(
+                "spill", at_us=at_us, severity="warning", layer="cluster",
+                trace_id=None if root is None else root.trace_id,
+                tenant=result.tenant, request_id=result.request_id,
+                rejections=result.spill_rejections,
+                replica_id=result.replica_id,
+            )
 
     def _emit_request_spans(self, result: ClusterResult) -> None:
         """Record the cluster-level span tree of one committed request.
@@ -710,6 +807,49 @@ class SortCluster:
             # per-phase tables sum across the whole fleet.
             snapshot["utilization"] = merge_utilization(replica_utils)
         return snapshot
+
+    def health_snapshot(self) -> dict:
+        """Operator-facing health view: SLO status, budgets, recent trouble.
+
+        A separate method from :meth:`stats` on purpose — the stats dict is
+        pinned byte-identical across trace modes, while this view carries
+        the SLO engine's judgement, the event log's tallies and per-replica
+        occupancy (predicted device time over the wall window, so pipelined
+        launch overlap can push a saturated replica above 1.0). Renders with
+        :func:`repro.harness.format_health_report`.
+        """
+        results = list(self._results.values())
+        now_us = max((r.completion_us for r in results), default=0.0)
+        makespan_us = (now_us - min(r.arrival_us for r in results)
+                       if results else 0.0)
+        occupancy = []
+        for replica in self.replicas:
+            shards = replica.service.pool.shards
+            stream_us = sum(s.stream.busy_us for s in shards)
+            occupancy.append({
+                "id": f"replica {replica.replica_id}",
+                "device": "+".join(replica.device_names),
+                "busy_us": stream_us,
+                "occupancy": (stream_us / (len(shards) * makespan_us)
+                              if makespan_us > 0 else 0.0),
+            })
+        return {
+            "layer": "cluster",
+            "now_us": now_us,
+            "slos": (self.slo_engine.status()
+                     if self.slo_engine is not None else []),
+            "slo_transitions": (self.slo_engine.transitions()
+                                if self.slo_engine is not None else []),
+            "events": self.events.stats(),
+            "recent_events": [e.as_dict() for e in
+                              self.events.recent(8, min_severity="warning")],
+            "counts": {event:
+                       self.metrics.counter("requests", event=event).value
+                       for event in self._COUNT_EVENTS},
+            "pending_requests": len(self._pending),
+            "cache": None if self.cache is None else self.cache.stats(),
+            "occupancy": occupancy,
+        }
 
 
 __all__ = ["ClusterConfig", "ClusterResult", "SortCluster"]

@@ -31,14 +31,17 @@ class ServiceReplica:
     ``tracer`` optionally hands the replica's service a shared
     :class:`repro.obs.Tracer` (the cluster passes one tracer to every replica
     so request spans land in a single timeline); the replica labels its spans'
-    Perfetto process lane ``"replica N"``.
+    Perfetto process lane ``"replica N"``. ``events`` likewise shares the
+    cluster's :class:`repro.obs.EventLog`, so replica-level admission rejects
+    land in the same stream as front-end spills and SLO transitions.
     """
 
     def __init__(self, replica_id: int, config: Optional[ServiceConfig] = None,
-                 tracer=None):
+                 tracer=None, events=None):
         self.replica_id = replica_id
         self.service = SortService(config, tracer=tracer,
-                                   pid_label=f"replica {replica_id}")
+                                   pid_label=f"replica {replica_id}",
+                                   events=events)
         #: Requests routed here by the front end (includes spilled-in ones).
         self.routed_requests = 0
 

@@ -13,6 +13,7 @@ from .paperdata import (
 )
 from .report import (
     format_claims,
+    format_health_report,
     format_cluster_report,
     format_device_comparison,
     format_experiment,
@@ -51,6 +52,7 @@ __all__ = [
     "format_claims",
     "format_device_comparison",
     "format_experiment",
+    "format_health_report",
     "format_launch_summary",
     "format_paper_comparison",
     "format_series_table",

@@ -392,6 +392,100 @@ def format_cluster_report(snapshot: dict, title: Optional[str] = None) -> str:
     return "\n".join(lines)
 
 
+def format_health_report(snapshot: dict, title: Optional[str] = None) -> str:
+    """Render a ``health_snapshot()`` dict as the operator health report.
+
+    ``snapshot`` is what :meth:`repro.service.SortService.health_snapshot` or
+    :meth:`repro.cluster.SortCluster.health_snapshot` returns. Sections: one
+    row per SLO (state, fast/slow burn rates, error budget remaining), the
+    alert-transition history, the occupancy table (per shard at the service,
+    per replica at the cluster), and the structured event log's tallies with
+    the most recent warning/critical events. Under ``trace_mode="off"``
+    (``REPRO_TRACE`` unset) the event sections honestly report the log as
+    disabled — SLO evaluation itself is trace-independent.
+    """
+    layer = snapshot.get("layer", "?")
+    lines = [title or (f"health — {layer} at t={snapshot.get('now_us', 0.0):.1f} us")]
+    counts = snapshot.get("counts", {})
+    rejected = sum(value for key, value in counts.items()
+                   if key.startswith("rejected_"))
+    lines.append(
+        f"requests: {counts.get('submitted', 0)} submitted, "
+        f"{counts.get('completed', 0)} completed, {rejected} rejected, "
+        f"{snapshot.get('pending_requests', 0)} pending"
+    )
+    slos = snapshot.get("slos", [])
+    if slos:
+        lines.append(f"{'slo':<34}{'objective':<14}{'target':>8}{'state':>10}"
+                     f"{'fast burn':>11}{'slow burn':>11}{'budget left':>13}")
+        for status in slos:
+            fast = status.get("fast") or {}
+            slow = status.get("slow") or {}
+            lifetime = status.get("lifetime") or {}
+            name = status["slo"] + (f" [{status['tenant']}]"
+                                    if status.get("tenant") else "")
+            budget = lifetime.get("error_budget_remaining")
+            lines.append(
+                f"{name:<34}{status['objective']:<14}"
+                f"{status['target']:>8.3f}{status['state']:>10}"
+                f"{_finite(fast.get('burn_rate', 0.0)):>11.2f}"
+                f"{_finite(slow.get('burn_rate', 0.0)):>11.2f}"
+                + (f"{_finite(budget) * 100:>12.1f}%" if budget is not None
+                   else f"{'n/a':>13}")
+            )
+    else:
+        lines.append("slos: none configured")
+    transitions = snapshot.get("slo_transitions", [])
+    if transitions:
+        lines.append(f"alert transitions ({len(transitions)}):")
+        for t in transitions:
+            lines.append(
+                f"  t={t['at_us']:.1f} us  {t['slo']}: {t['from_state']} -> "
+                f"{t['to_state']} (burn fast {t['fast_burn']:.2f} / "
+                f"slow {t['slow_burn']:.2f})"
+            )
+    occupancy = snapshot.get("occupancy", [])
+    if occupancy:
+        lines.append(f"{'unit':<14}{'device':<28}{'busy us':>12}{'occupancy':>11}")
+        for entry in occupancy:
+            lines.append(
+                f"{entry['id']:<14}{entry.get('device', '?'):<28}"
+                f"{entry['busy_us']:>12.1f}"
+                f"{entry['occupancy'] * 100:>10.1f}%"
+            )
+    cache = snapshot.get("cache")
+    if cache:
+        lines.append(
+            f"cache: {cache['entries']} entries, "
+            f"{cache['current_bytes']}/{cache['capacity_bytes']} bytes, "
+            f"{cache['admitted_bytes']} B admitted / "
+            f"{cache['evicted_bytes']} B evicted ({cache['evictions']} "
+            f"evictions), hit rate {cache['hit_rate'] * 100:.1f}%"
+        )
+    events = snapshot.get("events", {})
+    if not events.get("enabled", False):
+        lines.append("events: log disabled (trace_mode=off; set REPRO_TRACE"
+                     "=spans to record)")
+    else:
+        severity = events.get("by_severity", {})
+        lines.append(
+            f"events: {events.get('recorded', 0)} recorded "
+            f"({severity.get('critical', 0)} critical, "
+            f"{severity.get('warning', 0)} warning), "
+            f"{events.get('retained', 0)}/{events.get('capacity', 0)} retained"
+        )
+        recent = snapshot.get("recent_events", [])
+        for event in recent:
+            attrs = ", ".join(f"{k}={v}" for k, v in
+                              sorted(event.get("attributes", {}).items()))
+            lines.append(
+                f"  [{event['severity']:<8}] t={event['at_us']:.1f} us "
+                f"{event['kind']} ({event['layer']})"
+                + (f" {attrs}" if attrs else "")
+            )
+    return "\n".join(lines)
+
+
 def format_trace_summary(tracer, request, title: Optional[str] = None) -> str:
     """Per-request critical-path attribution from a request's span tree.
 
@@ -549,6 +643,7 @@ __all__ = [
     "format_launch_summary",
     "format_utilization",
     "format_trace_summary",
+    "format_health_report",
     "format_device_comparison",
     "format_service_report",
     "format_cluster_report",

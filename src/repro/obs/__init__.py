@@ -8,14 +8,26 @@ The instrumentation layer the serving stack reports through:
 * :mod:`repro.obs.metrics` — the labelled counter/gauge/histogram registry
   the per-layer ``stats()`` dicts are rebuilt on;
 * :mod:`repro.obs.export` — Chrome-trace-event / Perfetto JSON export plus a
-  JSONL span dump and the schema check CI validates artifacts with.
+  JSONL span dump and the schema check CI validates artifacts with;
+* :mod:`repro.obs.events` — the structured, severity-tagged event log
+  (admission rejects, spills, cache churn, SLO transitions) with ring-buffer
+  retention and ``trace_id`` linkage into the spans;
+* :mod:`repro.obs.sli` / :mod:`repro.obs.slo` — the signal-consumption half:
+  sliding-window SLIs (availability, latency-vs-deadline, element goodput)
+  computed from the registry's event-time histograms, and declarative
+  :class:`SLOSpec` s with error budgets and multi-window burn-rate alerting;
+* :mod:`repro.obs.regress` — the benchmark regression gate CI runs over the
+  committed ``BENCH_*.json`` baselines.
 
 Tracing is opt-in via ``SampleSortConfig.trace_mode`` (``"off"`` default,
 ``"spans"`` to record; the ``REPRO_TRACE`` environment variable sets the
 default) and never moves a single simulated timestamp — spans are recorded
-after the fact from timing the simulation computed anyway.
+after the fact from timing the simulation computed anyway. The event log
+follows the same gate; the metrics registry (and therefore every SLI/SLO
+evaluation) records identically in both modes.
 """
 
+from .events import Event, EventLog
 from .export import (
     assert_valid_chrome_trace,
     chrome_trace,
@@ -24,6 +36,8 @@ from .export import (
     write_spans_jsonl,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .slo import SLOEngine, SLOSpec
+from .sli import sliding_sli, window_sli
 from .spans import Span, Tracer
 
 __all__ = [
@@ -33,6 +47,12 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "Event",
+    "EventLog",
+    "SLOSpec",
+    "SLOEngine",
+    "window_sli",
+    "sliding_sli",
     "chrome_trace",
     "write_chrome_trace",
     "write_spans_jsonl",

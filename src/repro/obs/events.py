@@ -1,0 +1,188 @@
+"""Structured, append-only event log on the simulated clock.
+
+Where :mod:`repro.obs.spans` answers "where did the time go" and
+:mod:`repro.obs.metrics` answers "how much / how fast", the event log answers
+"what *happened*": discrete, operator-relevant occurrences — admission
+rejections, replica spills, forced flushes, cache admissions/evictions, SLO
+alert transitions — each stamped with its simulated-microsecond timestamp, a
+severity, the layer that emitted it, and (when tracing is on) the
+``trace_id`` linking it into the request's span tree.
+
+Storage is a bounded ring buffer: the log keeps the most recent ``capacity``
+events and drops the oldest beyond that, but the per-kind / per-severity
+*counters* keep counting, so :meth:`EventLog.stats` stays exact however long
+a run gets. Recording is strictly append-order and carries no wall-clock or
+randomness, so identical workloads produce identical logs.
+
+The log follows the tracing gate (``SampleSortConfig.trace_mode`` /
+``REPRO_TRACE``): a log constructed with ``enabled=False`` — what the serving
+layers do under ``trace_mode="off"`` — records nothing and counts nothing,
+which is what keeps the off-mode behaviour byte-identical to a build without
+the event machinery.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Severity levels, in increasing order of operator attention.
+SEVERITIES = ("info", "warning", "critical")
+
+_SEVERITY_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
+
+
+@dataclass(frozen=True)
+class Event:
+    """One recorded occurrence on the simulated timeline."""
+
+    #: Monotonic sequence number (assigned at record time; survives ring
+    #: eviction, so gaps at the front reveal how much history was dropped).
+    seq: int
+    #: Simulated-microsecond timestamp of the occurrence.
+    at_us: float
+    #: What happened: ``"admission_reject"``, ``"spill"``, ``"forced_flush"``,
+    #: ``"cache_admit"``, ``"cache_evict"``, ``"slo_transition"``, ...
+    kind: str
+    #: One of :data:`SEVERITIES`.
+    severity: str
+    #: Which layer of the stack emitted the event (``"cluster"``,
+    #: ``"service"``, ``"cache"``, ``"slo"``, ...).
+    layer: str
+    #: Free-form attributes (request ids, byte counts, burn rates, ...).
+    attributes: dict = field(default_factory=dict)
+    #: Trace id of the request span tree this event belongs to, when known.
+    trace_id: Optional[int] = None
+
+    def as_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "at_us": self.at_us,
+            "kind": self.kind,
+            "severity": self.severity,
+            "layer": self.layer,
+            "trace_id": self.trace_id,
+            "attributes": dict(self.attributes),
+        }
+
+
+class EventLog:
+    """Bounded, severity-tagged, deterministic event recorder.
+
+    ``capacity`` bounds the ring buffer (oldest events are dropped first);
+    ``enabled=False`` turns :meth:`record` into a no-op — the serving layers
+    construct their logs with ``enabled=(trace_mode == "spans")`` so the
+    off-mode records zero events.
+    """
+
+    def __init__(self, capacity: int = 1024, enabled: bool = True):
+        if capacity < 1:
+            raise ValueError(f"event log capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.enabled = bool(enabled)
+        self._ring: deque[Event] = deque(maxlen=self.capacity)
+        self._next_seq = 0
+        self._counts_by_kind: dict[str, int] = {}
+        self._counts_by_severity: dict[str, int] = {name: 0
+                                                    for name in SEVERITIES}
+
+    # --------------------------------------------------------------- recording
+    def record(self, kind: str, at_us: float, severity: str = "info",
+               layer: str = "cluster", trace_id: Optional[int] = None,
+               **attributes) -> Optional[Event]:
+        """Append one event; returns it, or ``None`` when the log is disabled.
+
+        ``severity`` must be one of :data:`SEVERITIES`; unknown severities are
+        an error even on a disabled log so misuse cannot hide behind the
+        trace gate.
+        """
+        if severity not in _SEVERITY_RANK:
+            raise ValueError(
+                f"unknown severity {severity!r}; expected one of {SEVERITIES}"
+            )
+        if not self.enabled:
+            return None
+        event = Event(
+            seq=self._next_seq, at_us=float(at_us), kind=str(kind),
+            severity=severity, layer=str(layer), trace_id=trace_id,
+            attributes=dict(attributes),
+        )
+        self._next_seq += 1
+        self._ring.append(event)
+        self._counts_by_kind[event.kind] = \
+            self._counts_by_kind.get(event.kind, 0) + 1
+        self._counts_by_severity[severity] += 1
+        return event
+
+    # --------------------------------------------------------------- accessors
+    def __len__(self) -> int:
+        """Events currently held in the ring (<= total recorded)."""
+        return len(self._ring)
+
+    @property
+    def total_recorded(self) -> int:
+        """Every event ever recorded, including ones the ring dropped."""
+        return self._next_seq
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the ring by the capacity bound."""
+        return self._next_seq - len(self._ring)
+
+    def events(self, kind: Optional[str] = None,
+               min_severity: str = "info",
+               since_us: Optional[float] = None) -> list[Event]:
+        """Retained events matching every filter, in record order.
+
+        ``min_severity`` keeps events at or above that severity;
+        ``since_us`` keeps events with ``at_us > since_us`` (the same
+        lower-exclusive convention as :meth:`Histogram.window`).
+        """
+        rank = _SEVERITY_RANK.get(min_severity)
+        if rank is None:
+            raise ValueError(
+                f"unknown severity {min_severity!r}; "
+                f"expected one of {SEVERITIES}"
+            )
+        return [
+            event for event in self._ring
+            if (kind is None or event.kind == kind)
+            and _SEVERITY_RANK[event.severity] >= rank
+            and (since_us is None or event.at_us > since_us)
+        ]
+
+    def recent(self, count: int, min_severity: str = "info") -> list[Event]:
+        """The last ``count`` retained events at/above a severity, in order."""
+        matching = self.events(min_severity=min_severity)
+        return matching[-count:] if count > 0 else []
+
+    # --------------------------------------------------------------- telemetry
+    def stats(self) -> dict:
+        return {
+            "recorded": self.total_recorded,
+            "retained": len(self._ring),
+            "dropped": self.dropped,
+            "capacity": self.capacity,
+            "enabled": self.enabled,
+            "by_severity": dict(self._counts_by_severity),
+            "by_kind": dict(sorted(self._counts_by_kind.items())),
+        }
+
+    def write_jsonl(self, path) -> int:
+        """Dump the retained events as one JSON object per line.
+
+        The companion of :func:`repro.obs.export.write_spans_jsonl`: the
+        ``trace_id`` field joins an event line to its request's span tree in
+        the span dump. Returns the number of events written.
+        """
+        events = list(self._ring)
+        with open(path, "w", encoding="utf-8") as handle:
+            for event in events:
+                handle.write(json.dumps(event.as_dict()))
+                handle.write("\n")
+        return len(events)
+
+
+__all__ = ["Event", "EventLog", "SEVERITIES"]

@@ -19,6 +19,15 @@ Exact percentiles over all observations (rather than bucketed approximations)
 are affordable because the simulator serves at most thousands of requests per
 run; production systems would swap the storage for HDR-style buckets without
 changing the snapshot contract.
+
+Observations optionally carry an event-time timestamp (``observe(value,
+at_us=...)`` on the simulated microsecond clock); :meth:`Histogram.window`
+snapshots just the observations inside a ``(start_us, end_us]`` window, which
+is what the sliding-window SLIs in :mod:`repro.obs.sli` — and through them the
+burn-rate alerting in :mod:`repro.obs.slo` — are computed from. The registry
+records identically whether tracing (``SampleSortConfig.trace_mode`` /
+``REPRO_TRACE``) is on or off; only the event log in :mod:`repro.obs.events`
+is trace-gated.
 """
 
 from __future__ import annotations
@@ -29,8 +38,15 @@ import numpy as np
 
 
 def _percentile_key(q) -> str:
-    """``50 -> "p50"``, ``99.9 -> "p99.9"``."""
-    return f"p{int(q)}" if float(q).is_integer() else f"p{q}"
+    """``50 -> "p50"``, ``99.9 -> "p99.9"``.
+
+    Float quantiles are normalised through ``float()`` + ``%g`` so equivalent
+    spellings share one key: ``99.9`` and ``np.float64(99.9)`` both render
+    ``"p99.9"`` (the naive ``f"p{q}"`` leaked full-precision reprs — NumPy
+    scalars, ``100 * 2 / 3 -> "p66.66666666666667"`` — into snapshot keys).
+    """
+    q = float(q)
+    return f"p{int(q)}" if q.is_integer() else f"p{q:g}"
 
 
 class Counter:
@@ -67,16 +83,42 @@ class Gauge:
         return self._value
 
 
-class Histogram:
-    """All observations, in order, with exact-percentile snapshots."""
+def _exact_summary(values: list[float], percentiles: Sequence[float]) -> dict:
+    """The shared snapshot body: exact percentiles/mean/max, finite on empty."""
+    out: dict = {"count": len(values)}
+    if not values:
+        for q in percentiles:
+            out[_percentile_key(q)] = 0.0
+        out["mean"] = 0.0
+        out["max"] = 0.0
+        return out
+    array = np.asarray(values)
+    for q in percentiles:
+        out[_percentile_key(q)] = float(np.percentile(array, q))
+    out["mean"] = float(np.mean(array))
+    out["max"] = float(np.max(array))
+    return out
 
-    __slots__ = ("_values",)
+
+class Histogram:
+    """All observations, in order, with exact-percentile snapshots.
+
+    Each observation optionally carries an event-time timestamp
+    (``observe(value, at_us=...)``); observations recorded without one sit at
+    time ``0.0``. :meth:`window` snapshots the sub-sequence inside a
+    ``(start_us, end_us]`` window — the primitive the sliding-window SLIs in
+    :mod:`repro.obs.sli` slice their availability/goodput windows with.
+    """
+
+    __slots__ = ("_values", "_at_us")
 
     def __init__(self) -> None:
         self._values: list[float] = []
+        self._at_us: list[float] = []
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, at_us: float = 0.0) -> None:
         self._values.append(value)
+        self._at_us.append(float(at_us))
 
     @property
     def count(self) -> int:
@@ -86,6 +128,27 @@ class Histogram:
         """The observations in arrival order (a copy)."""
         return list(self._values)
 
+    def window_values(self, start_us: float, end_us: float) -> list[float]:
+        """Observations with ``start_us < at_us <= end_us``, arrival order.
+
+        Boundary semantics are lower-exclusive / upper-inclusive, the natural
+        fit for a sliding window ending at the current clock edge: an event
+        stamped exactly *now* belongs to the window ending now and to no
+        earlier one, so back-to-back windows partition the timeline with no
+        double counting. Two paired histograms observed at the same commit
+        site (same timestamps, same order — e.g. latency and element count)
+        return aligned lists for any window.
+        """
+        start_us = float(start_us)
+        end_us = float(end_us)
+        return [value for value, at in zip(self._values, self._at_us)
+                if start_us < at <= end_us]
+
+    def window_count(self, start_us: float, end_us: float) -> int:
+        start_us = float(start_us)
+        end_us = float(end_us)
+        return sum(1 for at in self._at_us if start_us < at <= end_us)
+
     def snapshot(self, percentiles: Sequence[float] = (50, 95, 99)) -> dict:
         """Exact summary: ``{"count", "p<q>"..., "mean", "max"}``.
 
@@ -94,19 +157,19 @@ class Histogram:
         histogram observed in commit order reproduces those values
         byte-for-byte. An empty histogram reports finite zeros.
         """
-        out: dict = {"count": len(self._values)}
-        if not self._values:
-            for q in percentiles:
-                out[_percentile_key(q)] = 0.0
-            out["mean"] = 0.0
-            out["max"] = 0.0
-            return out
-        values = np.asarray(self._values)
-        for q in percentiles:
-            out[_percentile_key(q)] = float(np.percentile(values, q))
-        out["mean"] = float(np.mean(values))
-        out["max"] = float(np.max(values))
-        return out
+        return _exact_summary(self._values, percentiles)
+
+    def window(self, start_us: float, end_us: float,
+               percentiles: Sequence[float] = (50, 95, 99)) -> dict:
+        """:meth:`snapshot` restricted to the ``(start_us, end_us]`` window.
+
+        Same shape and exactness contract as :meth:`snapshot`; an empty
+        window reports finite zeros (count 0), and an observation stamped
+        exactly at ``end_us`` is included while one exactly at ``start_us``
+        is not (see :meth:`window_values`).
+        """
+        return _exact_summary(self.window_values(start_us, end_us),
+                              percentiles)
 
 
 class MetricsRegistry:

@@ -1,0 +1,216 @@
+"""Benchmark regression gate over the committed ``BENCH_*.json`` records.
+
+The paper this repo reproduces is a throughput study; its numbers are the
+product. Every benchmark run archives deterministic simulated metrics into
+``BENCH_*.json`` — this module diffs a freshly produced record file against
+the committed baseline and fails when a gated metric regressed by more than
+a threshold, which is what the ``bench-regression`` CI job runs.
+
+Only **simulation-deterministic** metrics are gated: simulated throughput
+and makespan are pure functions of config + workload, so any drift is a real
+behaviour change, not noise. Host wall-clock fields (``wall_s``) vary with
+the runner and are never gated; latency percentiles ride along in the report
+as context but do not gate either (they move with makespan).
+
+Usage (also wired as ``python -m repro.obs.regress``)::
+
+    python -m repro.obs.regress BASELINE.json FRESH.json [MORE PAIRS ...] \
+        [--threshold 0.05] [--report report.txt] [--json verdict.json]
+
+Exit status 1 means at least one gated metric regressed past the threshold
+or disappeared from the fresh records. Baselines and fresh runs must agree
+on each benchmark's ``tiny`` scale flag — diffing a tiny run against a
+full-scale baseline would "regress" by construction, so it is an error, not
+a verdict.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+#: Gated leaf metrics where bigger is better.
+HIGHER_BETTER = frozenset({
+    "throughput_elements_per_us", "elements_per_us", "requests_per_ms",
+})
+#: Gated leaf metrics where smaller is better.
+LOWER_BETTER = frozenset({"makespan_us"})
+#: Ungated context metrics carried into the report when present.
+INFORMATIONAL = frozenset({"latency_p50_us", "latency_p95_us"})
+
+
+def collect_metrics(record, prefix: str = "",
+                    names: Optional[frozenset] = None) -> dict:
+    """Flatten a nested benchmark record into ``{"a/b/metric": value}``.
+
+    Walks every dict level; a leaf is collected when its key is a gated (or,
+    with ``names``, explicitly requested) metric and its value is a number.
+    """
+    if names is None:
+        names = HIGHER_BETTER | LOWER_BETTER
+    out: dict = {}
+    if not isinstance(record, dict):
+        return out
+    for key, value in record.items():
+        path = f"{prefix}/{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            out.update(collect_metrics(value, prefix=path, names=names))
+        elif key in names and isinstance(value, (int, float)) \
+                and not isinstance(value, bool):
+            out[path] = float(value)
+    return out
+
+
+def _check_scale_flags(baseline: dict, fresh: dict) -> None:
+    """Refuse to diff records produced at different benchmark scales."""
+    for name, record in baseline.items():
+        if not isinstance(record, dict) or name not in fresh:
+            continue
+        other = fresh[name]
+        if isinstance(other, dict) and record.get("tiny") != other.get("tiny"):
+            raise ValueError(
+                f"benchmark {name!r}: baseline tiny={record.get('tiny')} vs "
+                f"fresh tiny={other.get('tiny')} — records from different "
+                f"scales cannot be diffed"
+            )
+
+
+def compare_records(baseline: dict, fresh: dict,
+                    threshold: float = 0.05) -> list[dict]:
+    """Diff two record dicts; returns one row per gated baseline metric.
+
+    Each row carries ``{"metric", "direction", "baseline", "fresh",
+    "delta_pct", "status"}`` with status ``"ok"`` / ``"regression"`` /
+    ``"missing"`` (present in the baseline, absent from the fresh run —
+    a silently dropped benchmark must fail the gate, not pass by omission).
+    Metrics new in the fresh run are not judged; they become the baseline
+    once committed.
+    """
+    if threshold <= 0:
+        raise ValueError(f"threshold must be > 0, got {threshold}")
+    _check_scale_flags(baseline, fresh)
+    baseline_metrics = collect_metrics(baseline)
+    fresh_metrics = collect_metrics(fresh)
+    rows = []
+    for path in sorted(baseline_metrics):
+        base_value = baseline_metrics[path]
+        leaf = path.rsplit("/", 1)[-1]
+        direction = "higher" if leaf in HIGHER_BETTER else "lower"
+        row = {
+            "metric": path,
+            "direction": direction,
+            "baseline": base_value,
+            "fresh": None,
+            "delta_pct": None,
+            "status": "missing",
+        }
+        if path in fresh_metrics:
+            fresh_value = fresh_metrics[path]
+            row["fresh"] = fresh_value
+            if base_value != 0:
+                delta = (fresh_value - base_value) / abs(base_value)
+                row["delta_pct"] = 100.0 * delta
+                regressed = (delta < -threshold if direction == "higher"
+                             else delta > threshold)
+            else:
+                # A zero baseline carries no rate claim; judge the fresh
+                # value only for lower-better metrics where any growth from
+                # zero is real.
+                row["delta_pct"] = 0.0 if fresh_value == 0 else None
+                regressed = direction == "lower" and fresh_value > 0
+            row["status"] = "regression" if regressed else "ok"
+        rows.append(row)
+    return rows
+
+
+def verdict(rows: list[dict]) -> str:
+    """``"pass"`` unless any row regressed or went missing."""
+    return ("fail" if any(r["status"] in ("regression", "missing")
+                          for r in rows) else "pass")
+
+
+def format_regression_report(rows: list[dict], threshold: float,
+                             title: str = "bench regression gate") -> str:
+    """Human-readable verdict table (regressions first, then the rest)."""
+    lines = [f"== {title} (threshold {100 * threshold:g}%) =="]
+    bad = [r for r in rows if r["status"] != "ok"]
+    lines.append(
+        f"gated metrics: {len(rows)}  regressed/missing: {len(bad)}  "
+        f"verdict: {verdict(rows).upper()}"
+    )
+    def render(row: dict) -> str:
+        arrow = "^" if row["direction"] == "higher" else "v"
+        fresh = ("(missing)" if row["fresh"] is None
+                 else f"{row['fresh']:.6g}")
+        delta = ("" if row["delta_pct"] is None
+                 else f"  {row['delta_pct']:+.2f}%")
+        return (f"  [{row['status']:<10}] {row['metric']} ({arrow}) "
+                f"{row['baseline']:.6g} -> {fresh}{delta}")
+    for row in bad:
+        lines.append(render(row))
+    for row in rows:
+        if row["status"] == "ok":
+            lines.append(render(row))
+    return "\n".join(lines)
+
+
+def compare_files(pairs: list[tuple[str, str]],
+                  threshold: float = 0.05) -> list[dict]:
+    """Run :func:`compare_records` over (baseline_path, fresh_path) pairs,
+    prefixing each row's metric path with the baseline file name."""
+    rows: list[dict] = []
+    for baseline_path, fresh_path in pairs:
+        with open(baseline_path, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        with open(fresh_path, encoding="utf-8") as handle:
+            fresh = json.load(handle)
+        for row in compare_records(baseline, fresh, threshold=threshold):
+            row["metric"] = f"{baseline_path}:{row['metric']}"
+            rows.append(row)
+    return rows
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.regress",
+        description="Diff fresh BENCH_*.json records against committed "
+                    "baselines; exit 1 on gated-metric regressions.",
+    )
+    parser.add_argument("files", nargs="+", metavar="BASELINE FRESH",
+                        help="alternating baseline/fresh JSON paths")
+    parser.add_argument("--threshold", type=float, default=0.05,
+                        help="relative regression tolerance (default 0.05)")
+    parser.add_argument("--report", default=None,
+                        help="also write the text report to this path")
+    parser.add_argument("--json", dest="json_path", default=None,
+                        help="also write the row-level verdict JSON here")
+    args = parser.parse_args(argv)
+    if len(args.files) % 2 != 0:
+        parser.error("expected alternating BASELINE FRESH path pairs")
+    pairs = list(zip(args.files[0::2], args.files[1::2]))
+    rows = compare_files(pairs, threshold=args.threshold)
+    report = format_regression_report(rows, args.threshold)
+    print(report)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    if args.json_path:
+        payload = {"threshold": args.threshold, "verdict": verdict(rows),
+                   "rows": rows}
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    return 0 if verdict(rows) == "pass" else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
+
+
+__all__ = [
+    "HIGHER_BETTER", "LOWER_BETTER", "INFORMATIONAL",
+    "collect_metrics", "compare_records", "compare_files",
+    "format_regression_report", "verdict", "main",
+]

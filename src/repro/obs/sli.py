@@ -1,0 +1,155 @@
+"""Sliding-window service-level indicators over the metrics registry.
+
+An SLI is a ratio in ``[0, 1]`` computed from what the serving layers already
+record into their :class:`repro.obs.MetricsRegistry` — no extra bookkeeping,
+no second clock. The layers observe three paired histograms at their single
+commit/reject points, each observation stamped with its simulated-µs
+event time:
+
+* :data:`LATENCY_US` — one request latency per completion, ``at_us`` =
+  completion time;
+* :data:`REQUEST_ELEMENTS` — that request's element count, observed at the
+  same site in the same order (zip-aligned with the latencies for any
+  window — see :meth:`repro.obs.metrics.Histogram.window_values`);
+* :data:`REJECTED_US` — one element count per admission rejection,
+  ``at_us`` = the rejected request's arrival time.
+
+Tenant-scoped variants (:data:`TENANT_LATENCY_US` etc., labelled
+``tenant=<name>``) carry the same triplet per tenant.
+
+:func:`window_sli` folds one ``(start_us, end_us]`` window of those
+histograms into the four indicators the SLO engine consumes:
+
+* ``availability`` — completed / (completed + rejected) requests;
+* ``latency_sli`` — fraction of *completed* requests within the deadline;
+* ``request_goodput`` — requests completed within the deadline over all
+  requests including rejected ones;
+* ``goodput`` — the element-weighted version: elements completed within the
+  deadline over all elements including rejected ones (ROADMAP item 4's
+  "goodput under a latency deadline, not just p50/p95").
+
+A window with no traffic is **vacuously good**: every ratio reports 1.0 —
+an idle service has broken no promise, and burn-rate alerts must quench, not
+fire, when traffic stops. Everything here is a pure function of (histogram
+contents, window), so identical workloads produce identical SLIs regardless
+of wall clock, tracing mode, or launch tie-breaking.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .metrics import Histogram, MetricsRegistry
+
+#: Per-completion latency, ``at_us`` = completion time (cluster + service).
+LATENCY_US = "latency_us"
+#: Per-completion element count, observed at the same commit site as
+#: :data:`LATENCY_US` (zip-aligned for goodput weighting).
+REQUEST_ELEMENTS = "request_elements"
+#: Per-rejection element count, ``at_us`` = the rejected arrival time.
+REJECTED_US = "rejected_us"
+#: Tenant-labelled (``tenant=<name>``) variants of the three above.
+TENANT_LATENCY_US = "tenant_latency_us"
+TENANT_ELEMENTS = "tenant_elements"
+TENANT_REJECTED_US = "tenant_rejected_us"
+
+
+def _resolve(registry: MetricsRegistry, tenant: Optional[str],
+             name: str, tenant_name: str) -> Optional[Histogram]:
+    if tenant is None:
+        return registry.get(name)
+    return registry.get(tenant_name, tenant=tenant)
+
+
+def window_sli(registry: MetricsRegistry, start_us: float, end_us: float,
+               deadline_us: float, quantile: float = 99.0,
+               tenant: Optional[str] = None) -> dict:
+    """The SLI snapshot of one ``(start_us, end_us]`` window.
+
+    ``tenant=None`` reads the service/cluster-wide histograms; a tenant name
+    reads that tenant's labelled triplet. ``quantile`` picks which latency
+    percentile the snapshot reports alongside the ratios (informational —
+    the ratios themselves weigh every request against ``deadline_us``).
+
+    Histograms the layer has not created yet (no completions, no rejections)
+    read as empty; if the element histogram is missing or misaligned with
+    the latency histogram, element weights fall back to 1 per request, so
+    ``goodput`` degrades to ``request_goodput`` instead of lying.
+    """
+    if deadline_us <= 0:
+        raise ValueError(f"deadline_us must be > 0, got {deadline_us}")
+    latency_hist = _resolve(registry, tenant, LATENCY_US, TENANT_LATENCY_US)
+    elements_hist = _resolve(registry, tenant, REQUEST_ELEMENTS,
+                             TENANT_ELEMENTS)
+    rejected_hist = _resolve(registry, tenant, REJECTED_US,
+                             TENANT_REJECTED_US)
+
+    latencies = (latency_hist.window_values(start_us, end_us)
+                 if latency_hist is not None else [])
+    elements = (elements_hist.window_values(start_us, end_us)
+                if elements_hist is not None else [])
+    if len(elements) != len(latencies):
+        # The layers observe latency and elements at one commit site, so the
+        # windows align; a registry wired differently still gets honest
+        # request-weighted ratios.
+        elements = [1.0] * len(latencies)
+    rejected = (rejected_hist.window_values(start_us, end_us)
+                if rejected_hist is not None else [])
+
+    completed = len(latencies)
+    rejections = len(rejected)
+    requests = completed + rejections
+    good_requests = sum(1 for lat in latencies if lat <= deadline_us)
+    good_elements = sum(n for lat, n in zip(latencies, elements)
+                        if lat <= deadline_us)
+    completed_elements = sum(elements)
+    total_elements = completed_elements + sum(rejected)
+
+    sli = {
+        "start_us": float(start_us),
+        "end_us": float(end_us),
+        "deadline_us": float(deadline_us),
+        "requests": requests,
+        "completed": completed,
+        "rejected": rejections,
+        "completed_elements": completed_elements,
+        "rejected_elements": sum(rejected),
+        "good_requests": good_requests,
+        "good_elements": good_elements,
+        # Vacuously good on empty denominators: an idle window breaks no
+        # promise, so burn-rate alerts quench rather than fire on silence.
+        "availability": (completed / requests) if requests else 1.0,
+        "latency_sli": (good_requests / completed) if completed else 1.0,
+        "request_goodput": (good_requests / requests) if requests else 1.0,
+        "goodput": ((good_elements / total_elements)
+                    if total_elements else 1.0),
+        "latency_quantile": float(quantile),
+        "latency_quantile_us": (
+            float(np.percentile(np.asarray(latencies), quantile))
+            if latencies else 0.0
+        ),
+    }
+    sli["latency_within_deadline"] = \
+        sli["latency_quantile_us"] <= deadline_us
+    return sli
+
+
+def sliding_sli(registry: MetricsRegistry, now_us: float, window_us: float,
+                deadline_us: float, quantile: float = 99.0,
+                tenant: Optional[str] = None) -> dict:
+    """:func:`window_sli` over the trailing window ``(now - window, now]``."""
+    if window_us <= 0:
+        raise ValueError(f"window_us must be > 0, got {window_us}")
+    sli = window_sli(registry, now_us - window_us, now_us, deadline_us,
+                     quantile=quantile, tenant=tenant)
+    sli["window_us"] = float(window_us)
+    return sli
+
+
+__all__ = [
+    "LATENCY_US", "REQUEST_ELEMENTS", "REJECTED_US",
+    "TENANT_LATENCY_US", "TENANT_ELEMENTS", "TENANT_REJECTED_US",
+    "window_sli", "sliding_sli",
+]

@@ -1,0 +1,256 @@
+"""Declarative SLOs with error budgets and multi-window burn-rate alerting.
+
+An :class:`SLOSpec` states a promise — "99% of this tenant's elements finish
+within their deadline" — and the :class:`SLOEngine` turns the SLIs of
+:mod:`repro.obs.sli` into the operator-facing judgement: how fast is the
+error budget burning, and should anyone be paged.
+
+The machinery is the standard SRE construction, run entirely on the
+simulated event-time clock:
+
+* **error budget** — a target of ``0.99`` tolerates ``1 - 0.99 = 1%``
+  badness; the lifetime budget remaining is ``1 - burn`` where ``burn`` is
+  the lifetime bad fraction over the tolerated fraction;
+* **burn rate** — ``(1 - sli) / (1 - target)`` over a window: 1.0 spends the
+  budget exactly at the promised rate, 10 spends it ten times faster;
+* **multi-window alerting** — a state fires only when *both* a fast window
+  (catches the spike quickly) and a slow window (proves it is sustained)
+  exceed the state's burn threshold. The fast window alone is noisy, the
+  slow alone is sluggish; the AND is what makes alerts both prompt and
+  quench promptly when the burst ends.
+
+The alert state machine is ``ok → warning → critical`` (and back down as the
+windows drain); every transition is appended to the engine's history and —
+when an :class:`repro.obs.events.EventLog` is attached — recorded as an
+``slo_transition`` event at the severity of the state being entered.
+
+:meth:`SLOEngine.evaluate` is a pure function of (histogram contents,
+``now_us``): identical workloads produce identical SLI values, burn rates and
+transition sequences on every run, whatever the wall clock or launch
+tie-breaking did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from .events import EventLog
+from .metrics import MetricsRegistry
+from .sli import sliding_sli, window_sli
+
+#: Alert states, in escalation order.
+ALERT_STATES = ("ok", "warning", "critical")
+
+#: Which SLI ratio each objective reads (see :func:`repro.obs.sli.window_sli`).
+OBJECTIVES = {
+    "goodput": "goodput",
+    "availability": "availability",
+    "latency": "latency_sli",
+}
+
+_STATE_SEVERITY = {"ok": "info", "warning": "warning", "critical": "critical"}
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One promise: an objective, a target, and the windows that police it."""
+
+    #: Display name ("default-goodput", "gold-latency", ...).
+    name: str
+    #: Latency deadline the SLIs judge requests against, simulated µs.
+    deadline_us: float
+    #: Promised good fraction, strictly inside ``(0, 1)``.
+    target: float = 0.99
+    #: Which ratio to police — ``"goodput"`` (element-weighted, includes
+    #: rejections), ``"availability"`` (completed/submitted) or ``"latency"``
+    #: (fraction of completions within deadline).
+    objective: str = "goodput"
+    #: ``None`` polices the whole service/cluster; a tenant name polices that
+    #: tenant's labelled histograms.
+    tenant: Optional[str] = None
+    #: Latency percentile reported alongside the ratios (informational).
+    quantile: float = 99.0
+    #: The prompt window: catches a burn spike quickly.
+    fast_window_us: float = 2_000.0
+    #: The sustained window: proves the spike is not a blip. Must be >= fast.
+    slow_window_us: float = 10_000.0
+    #: Burn-rate thresholds; a state fires when BOTH windows exceed it.
+    warning_burn: float = 2.0
+    critical_burn: float = 10.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"target must be in (0, 1), got {self.target}")
+        if self.deadline_us <= 0:
+            raise ValueError(f"deadline_us must be > 0, got {self.deadline_us}")
+        if self.objective not in OBJECTIVES:
+            raise ValueError(
+                f"unknown objective {self.objective!r}; "
+                f"expected one of {tuple(OBJECTIVES)}"
+            )
+        if self.fast_window_us <= 0:
+            raise ValueError("fast_window_us must be > 0")
+        if self.slow_window_us < self.fast_window_us:
+            raise ValueError(
+                f"slow_window_us ({self.slow_window_us}) must be >= "
+                f"fast_window_us ({self.fast_window_us})"
+            )
+        if not 0.0 < self.warning_burn <= self.critical_burn:
+            raise ValueError(
+                f"need 0 < warning_burn <= critical_burn, got "
+                f"{self.warning_burn} / {self.critical_burn}"
+            )
+
+    @property
+    def error_budget(self) -> float:
+        """The tolerated bad fraction, ``1 - target``."""
+        return 1.0 - self.target
+
+    def burn_rate(self, sli_value: float) -> float:
+        """How many times faster than promised this SLI spends the budget."""
+        return (1.0 - sli_value) / self.error_budget
+
+
+class SLOEngine:
+    """Evaluates a set of :class:`SLOSpec` s against one registry over time.
+
+    ``events`` is the optional :class:`~repro.obs.events.EventLog` alert
+    transitions are recorded into (a disabled log silently records nothing,
+    which is how ``trace_mode="off"`` keeps zero events while the engine
+    still evaluates identically — evaluation never reads the log).
+    """
+
+    def __init__(self, specs: Sequence[SLOSpec], registry: MetricsRegistry,
+                 events: Optional[EventLog] = None):
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO spec names in {names}")
+        self.specs = tuple(specs)
+        self.registry = registry
+        self.events = events
+        self._states = {spec.name: "ok" for spec in self.specs}
+        self._last_eval = {spec.name: None for spec in self.specs}
+        self._transitions: list[dict] = []
+        self._last_now: Optional[float] = None
+
+    # -------------------------------------------------------------- evaluation
+    def evaluate(self, now_us: float) -> list[dict]:
+        """Evaluate every spec at event time ``now_us``; returns the statuses.
+
+        Time must not run backwards: ``now_us`` below a previous evaluation's
+        clock raises, because burn windows anchored at a rewound "now" would
+        re-enter states already exited and the transition log would stop
+        being append-only.
+        """
+        now_us = float(now_us)
+        if self._last_now is not None and now_us < self._last_now:
+            raise ValueError(
+                f"evaluate() time ran backwards: {now_us} < {self._last_now}"
+            )
+        self._last_now = now_us
+        statuses = []
+        for spec in self.specs:
+            status = self._evaluate_spec(spec, now_us)
+            self._last_eval[spec.name] = status
+            statuses.append(status)
+        return statuses
+
+    def _evaluate_spec(self, spec: SLOSpec, now_us: float) -> dict:
+        ratio = OBJECTIVES[spec.objective]
+        fast = sliding_sli(self.registry, now_us, spec.fast_window_us,
+                           spec.deadline_us, quantile=spec.quantile,
+                           tenant=spec.tenant)
+        slow = sliding_sli(self.registry, now_us, spec.slow_window_us,
+                           spec.deadline_us, quantile=spec.quantile,
+                           tenant=spec.tenant)
+        lifetime = window_sli(self.registry, float("-inf"), now_us,
+                              spec.deadline_us, quantile=spec.quantile,
+                              tenant=spec.tenant)
+        fast_burn = spec.burn_rate(fast[ratio])
+        slow_burn = spec.burn_rate(slow[ratio])
+        # Both windows must agree before a state fires: fast alone is a
+        # blip, slow alone is stale history the fast window already drained.
+        if fast_burn >= spec.critical_burn and slow_burn >= spec.critical_burn:
+            state = "critical"
+        elif fast_burn >= spec.warning_burn and slow_burn >= spec.warning_burn:
+            state = "warning"
+        else:
+            state = "ok"
+        previous = self._states[spec.name]
+        if state != previous:
+            self._states[spec.name] = state
+            transition = {
+                "slo": spec.name,
+                "at_us": now_us,
+                "from_state": previous,
+                "to_state": state,
+                "fast_burn": fast_burn,
+                "slow_burn": slow_burn,
+            }
+            self._transitions.append(transition)
+            if self.events is not None:
+                self.events.record(
+                    "slo_transition", at_us=now_us,
+                    severity=_STATE_SEVERITY[state], layer="slo",
+                    slo=spec.name, tenant=spec.tenant,
+                    from_state=previous, to_state=state,
+                    fast_burn=fast_burn, slow_burn=slow_burn,
+                )
+        return {
+            "slo": spec.name,
+            "tenant": spec.tenant,
+            "objective": spec.objective,
+            "target": spec.target,
+            "deadline_us": spec.deadline_us,
+            "at_us": now_us,
+            "state": state,
+            "fast": {"window_us": spec.fast_window_us, "sli": fast[ratio],
+                     "burn_rate": fast_burn, "requests": fast["requests"],
+                     "latency_quantile_us": fast["latency_quantile_us"]},
+            "slow": {"window_us": spec.slow_window_us, "sli": slow[ratio],
+                     "burn_rate": slow_burn, "requests": slow["requests"]},
+            "lifetime": {
+                "sli": lifetime[ratio],
+                "requests": lifetime["requests"],
+                # Fraction of the lifetime error budget still unspent; goes
+                # negative once the promise is lifetime-broken.
+                "error_budget_remaining":
+                    1.0 - spec.burn_rate(lifetime[ratio]),
+            },
+        }
+
+    # --------------------------------------------------------------- accessors
+    @property
+    def last_evaluated_us(self) -> Optional[float]:
+        """The event time of the latest evaluation (``None`` before any)."""
+        return self._last_now
+
+    def state(self, name: str) -> str:
+        """The current alert state of one spec."""
+        return self._states[name]
+
+    def status(self) -> list[dict]:
+        """The most recent evaluation of every spec (never-evaluated specs
+        report their resting ``ok`` state with no window data)."""
+        out = []
+        for spec in self.specs:
+            last = self._last_eval[spec.name]
+            if last is not None:
+                out.append(last)
+            else:
+                out.append({
+                    "slo": spec.name, "tenant": spec.tenant,
+                    "objective": spec.objective, "target": spec.target,
+                    "deadline_us": spec.deadline_us, "at_us": None,
+                    "state": "ok", "fast": None, "slow": None,
+                    "lifetime": None,
+                })
+        return out
+
+    def transitions(self) -> list[dict]:
+        """Every state transition so far, in evaluation order (copies)."""
+        return [dict(t) for t in self._transitions]
+
+
+__all__ = ["ALERT_STATES", "OBJECTIVES", "SLOEngine", "SLOSpec"]

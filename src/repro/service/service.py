@@ -37,7 +37,8 @@ from ..core.engine import DistributionEngine, SegmentDescriptor
 from ..core.launch_plan import merge_utilization
 from ..gpu.device import DeviceSpec, TESLA_C1060
 from ..gpu.errors import GpuSimError, UnsupportedInputError
-from ..obs import MetricsRegistry, Tracer
+from ..obs import EventLog, MetricsRegistry, SLOEngine, SLOSpec, Tracer
+from ..obs.sli import REJECTED_US, REQUEST_ELEMENTS
 from .batcher import BatchPolicy, MicroBatcher
 from .queue import (
     OversizeRequestError,
@@ -76,8 +77,13 @@ class ServiceConfig:
     #: riding in a micro-batch. ``None`` defaults to ``max_batch_elements``.
     #: Sharding needs >= 2 shards; with one shard the request is a solo batch.
     shard_threshold: Optional[int] = None
+    #: Service-level objectives evaluated at each drain (see
+    #: :class:`repro.obs.SLOSpec`); empty means no SLO engine is built and
+    #: :meth:`SortService.health_snapshot` reports signals only.
+    slos: tuple[SLOSpec, ...] = ()
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "slos", tuple(self.slos))
         if self.num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {self.num_shards}")
         if self.max_request_elements < 1:
@@ -165,7 +171,8 @@ class SortService:
                      "sharded_requests")
 
     def __init__(self, config: Optional[ServiceConfig] = None, *,
-                 tracer: Optional[Tracer] = None, pid_label: str = "service"):
+                 tracer: Optional[Tracer] = None, pid_label: str = "service",
+                 events: Optional[EventLog] = None):
         self.config = config if config is not None else ServiceConfig()
         self.pool = ShardPool(
             devices=self.config.shard_devices, config=self.config.sorter
@@ -176,6 +183,16 @@ class SortService:
         if tracer is None and self.config.sorter.trace_mode == "spans":
             tracer = Tracer()
         self.tracer = tracer
+        #: Structured event log (admission rejects, SLO transitions). Shared
+        #: with the front end when a cluster replica passes its own; gated on
+        #: the same switch as tracing, so ``trace_mode="off"`` records zero
+        #: events (the trace-off parity sweep pins this).
+        self.events = (events if events is not None else
+                       EventLog(enabled=self.config.sorter.trace_mode
+                                == "spans"))
+        self.slo_engine = (SLOEngine(self.config.slos, self.metrics,
+                                     events=self.events)
+                           if self.config.slos else None)
         self._pid_label = pid_label
         self._request_spans: dict[int, object] = {}
         self.batcher = MicroBatcher(
@@ -205,9 +222,28 @@ class SortService:
         self.metrics.counter("requests", event=event).inc()
 
     def _observe_result(self, result: "ServiceResult") -> None:
-        """Feed the latency histograms at the single result-commit point."""
-        self.metrics.histogram("latency_us").observe(result.latency_us)
-        self.metrics.histogram("queue_wait_us").observe(result.queue_wait_us)
+        """Feed the latency histograms at the single result-commit point.
+
+        Latency and element count are observed back to back with the same
+        completion timestamp, so any SLI window sees them zip-aligned (the
+        pairing :func:`repro.obs.sli.window_sli` weighs goodput with).
+        """
+        at_us = result.completion_us
+        self.metrics.histogram("latency_us").observe(result.latency_us,
+                                                     at_us=at_us)
+        self.metrics.histogram("queue_wait_us").observe(result.queue_wait_us,
+                                                        at_us=at_us)
+        self.metrics.histogram(REQUEST_ELEMENTS).observe(float(result.n),
+                                                         at_us=at_us)
+
+    def _observe_rejection(self, reason: str, elements: int,
+                           arrival_us: float) -> None:
+        """Feed the rejection histogram + event log at every admission bounce."""
+        self.metrics.histogram(REJECTED_US).observe(float(elements),
+                                                    at_us=arrival_us)
+        self.events.record("admission_reject", at_us=arrival_us,
+                           severity="warning", layer="service",
+                           reason=reason, elements=int(elements))
 
     # ------------------------------------------------------------- submission
     def submit(self, keys: np.ndarray, values: Optional[np.ndarray] = None,
@@ -228,9 +264,13 @@ class SortService:
             )
         except UnsupportedInputError:
             self._count("rejected_invalid")
+            self._observe_rejection("invalid",
+                                    int(getattr(keys, "size", 0) or 0),
+                                    float(arrival_us))
             raise
         if request.n > self.config.max_request_elements:
             self._count("rejected_oversize")
+            self._observe_rejection("oversize", request.n, request.arrival_us)
             raise OversizeRequestError(
                 f"request of {request.n} elements exceeds the admission limit "
                 f"of {self.config.max_request_elements}"
@@ -242,11 +282,14 @@ class SortService:
             self._group_config(request)
         except GpuSimError:
             self._count("rejected_invalid")
+            self._observe_rejection("invalid", request.n, request.arrival_us)
             raise
         try:
             self._backlog.push(request)
         except QueueFullError:
             self._count("rejected_queue_full")
+            self._observe_rejection("queue_full", request.n,
+                                    request.arrival_us)
             raise
         self._pending_predicted_us += self._request_predicted_us(request)
         self._next_request_id += 1
@@ -351,7 +394,25 @@ class SortService:
             self._queue_depth_peak = max(self._queue_depth_peak,
                                          queue.depth_peak,
                                          self._backlog.depth_peak)
+        self._evaluate_slos(drained.values())
         return drained
+
+    def _evaluate_slos(self, results) -> None:
+        """Advance the SLO engine through this drain's completion times.
+
+        Evaluation points are the *sorted* completion timestamps of the
+        drained results — a pure function of the results themselves, so
+        commit order (and launch-slot tie-breaking under ``barriered``
+        ablations) cannot change which transitions fire. Timestamps the
+        engine already moved past (overlapping work from an earlier drain)
+        fold into later windows instead of replaying time backwards.
+        """
+        if self.slo_engine is None or not results:
+            return
+        floor = self.slo_engine.last_evaluated_us
+        for at_us in sorted({r.completion_us for r in results}):
+            if floor is None or at_us >= floor:
+                self.slo_engine.evaluate(at_us)
 
     def _next_joinable_arrival(self, head: SortRequest,
                                candidate: list[SortRequest],
@@ -708,6 +769,46 @@ class SortService:
                               for u in self._utilizations),
             )
         return snapshot
+
+    def health_snapshot(self) -> dict:
+        """Operator-facing health view: SLO status, budgets, recent trouble.
+
+        Deliberately a *separate* method from :meth:`stats` — the stats dict
+        is pinned byte-identical across trace modes and PRs, while this view
+        grows with the SLO/event machinery. Renders with
+        :func:`repro.harness.format_health_report`.
+        """
+        results = list(self._results.values())
+        now_us = max((r.completion_us for r in results), default=0.0)
+        makespan_us = (now_us - min(r.arrival_us for r in results)
+                       if results else 0.0)
+        return {
+            "layer": "service",
+            "now_us": now_us,
+            "slos": (self.slo_engine.status()
+                     if self.slo_engine is not None else []),
+            "slo_transitions": (self.slo_engine.transitions()
+                                if self.slo_engine is not None else []),
+            "events": self.events.stats(),
+            "recent_events": [e.as_dict() for e in
+                              self.events.recent(8, min_severity="warning")],
+            "counts": {event:
+                       self.metrics.counter("requests", event=event).value
+                       for event in self._COUNT_EVENTS},
+            "pending_requests": self.pending_requests,
+            "queue_depth_peak": max(self._queue_depth_peak,
+                                    self._backlog.depth_peak),
+            "occupancy": [
+                {
+                    "id": f"shard {shard.shard_id}",
+                    "device": shard.device.name,
+                    "busy_us": shard.stream.busy_us,
+                    "occupancy": (shard.stream.busy_us / makespan_us
+                                  if makespan_us > 0 else 0.0),
+                }
+                for shard in self.pool.shards
+            ],
+        }
 
 
 __all__ = ["ServiceConfig", "ServiceResult", "SortService"]

@@ -5,6 +5,7 @@ import pytest
 
 from repro.core.config import SampleSortConfig
 from repro.cluster.cache import SortCache, request_digest
+from repro.obs import EventLog
 
 CONFIG = SampleSortConfig.small(seed=5)
 
@@ -153,3 +154,79 @@ class TestSortCache:
         got = cache.get("empty")
         assert got is not None
         assert got[0].size == 0
+
+
+def _assert_byte_ledger(cache):
+    """The budget invariant the byte counters make checkable."""
+    stats = cache.stats()
+    assert stats["current_bytes"] == (stats["admitted_bytes"]
+                                      - stats["evicted_bytes"]
+                                      - stats["replaced_bytes"])
+    assert 0 <= stats["current_bytes"] <= stats["capacity_bytes"]
+
+
+class TestCacheByteLedger:
+    def test_byte_budget_invariant_through_churn(self):
+        entry_bytes = 100 * 4
+        cache = SortCache(capacity_bytes=3 * entry_bytes)
+        rng = np.random.default_rng(3)
+        for step in range(50):
+            digest = f"d{int(rng.integers(0, 8))}"
+            cache.put(digest, np.zeros(int(rng.integers(1, 101)),
+                                       dtype=np.uint32), None)
+            _assert_byte_ledger(cache)
+        stats = cache.stats()
+        assert stats["evictions"] > 0  # the churn actually exercised eviction
+        assert stats["evicted_bytes"] > 0
+
+    def test_eviction_and_replacement_bytes_counted(self):
+        entry_bytes = 100 * 4
+        cache = SortCache(capacity_bytes=2 * entry_bytes)
+        cache.put("a", np.zeros(100, dtype=np.uint32), None)
+        cache.put("a", np.zeros(50, dtype=np.uint32), None)  # replace: -400
+        cache.put("b", np.zeros(100, dtype=np.uint32), None)
+        cache.put("c", np.zeros(100, dtype=np.uint32), None)  # evicts "a"
+        stats = cache.stats()
+        assert stats["admitted_bytes"] == (100 + 50 + 100 + 100) * 4
+        assert stats["replaced_bytes"] == 100 * 4
+        assert stats["evicted_bytes"] == 50 * 4
+        _assert_byte_ledger(cache)
+
+    def test_oversize_rejection_leaves_ledger_untouched(self):
+        cache = SortCache(capacity_bytes=100)
+        assert not cache.put("big", np.zeros(1000, dtype=np.uint32), None)
+        stats = cache.stats()
+        assert stats["admitted_bytes"] == 0
+        assert stats["evicted_bytes"] == 0
+        _assert_byte_ledger(cache)
+
+
+class TestCacheEvents:
+    def test_admit_evict_oversize_events_emitted(self):
+        events = EventLog()
+        entry_bytes = 100 * 4
+        cache = SortCache(capacity_bytes=2 * entry_bytes, events=events)
+        cache.put("a", np.zeros(100, dtype=np.uint32), None, at_us=10.0)
+        cache.put("b", np.zeros(100, dtype=np.uint32), None, at_us=20.0)
+        cache.put("c", np.zeros(100, dtype=np.uint32), None, at_us=30.0)
+        assert not cache.put("big", np.zeros(1000, dtype=np.uint32), None,
+                             at_us=40.0)
+        admits = events.events(kind="cache_admit")
+        evicts = events.events(kind="cache_evict")
+        oversize = events.events(kind="cache_oversize")
+        assert [e.attributes["digest"] for e in admits] == ["a", "b", "c"]
+        assert [e.at_us for e in admits] == [10.0, 20.0, 30.0]
+        assert len(evicts) == 1
+        assert evicts[0].attributes["digest"] == "a"  # LRU victim
+        assert evicts[0].attributes["for_digest"] == "c"
+        assert evicts[0].at_us == 30.0
+        assert len(oversize) == 1
+        assert oversize[0].severity == "warning"
+
+    def test_disabled_log_records_nothing_but_counters_still_move(self):
+        events = EventLog(enabled=False)
+        cache = SortCache(capacity_bytes=1 << 10, events=events)
+        cache.put("a", np.zeros(10, dtype=np.uint32), None, at_us=1.0)
+        assert len(events) == 0
+        assert events.total_recorded == 0
+        assert cache.stats()["admitted_bytes"] == 40  # telemetry ungated

@@ -1,0 +1,113 @@
+"""``health_snapshot()`` structure and its ``format_health_report`` render."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import ClusterConfig, SortCluster, TenantSpec
+from repro.core.config import SampleSortConfig
+from repro.harness import format_health_report
+from repro.obs import SLOSpec
+from repro.service.service import ServiceConfig, SortService
+
+
+def _sorter(trace_mode="spans"):
+    return SampleSortConfig.small(seed=3).with_(
+        k=8, oversampling=8, bucket_threshold=1 << 9, trace_mode=trace_mode)
+
+
+def _cluster(trace_mode="spans") -> SortCluster:
+    return SortCluster(ClusterConfig(
+        num_replicas=2,
+        service=ServiceConfig(num_shards=2, sorter=_sorter(trace_mode),
+                              max_batch_elements=1 << 13, max_wait_us=100.0),
+        tenants=(TenantSpec("gold", weight=2.0, priority=1),
+                 TenantSpec("bronze", weight=1.0)),
+        slos=(SLOSpec("goodput", deadline_us=150.0, target=0.9,
+                      fast_window_us=500.0, slow_window_us=2_000.0),)))
+
+
+def _run(cluster: SortCluster):
+    rng = np.random.default_rng(5)
+    for i in range(10):
+        n = int(rng.integers(1 << 10, 1 << 12))
+        cluster.submit(rng.integers(0, n, n).astype(np.uint32),
+                       tenant="gold" if i % 2 else "bronze",
+                       arrival_us=i * 5.0)
+    return cluster.drain()
+
+
+class TestClusterHealthSnapshot:
+    def test_snapshot_shape_and_slo_judgement(self):
+        cluster = _cluster()
+        results = _run(cluster)
+        snapshot = cluster.health_snapshot()
+        assert snapshot["layer"] == "cluster"
+        assert snapshot["now_us"] == \
+            max(r.completion_us for r in results.values())
+        assert snapshot["pending_requests"] == 0
+        assert snapshot["counts"]["completed"] == 10
+        [slo] = snapshot["slos"]
+        assert slo["slo"] == "goodput"
+        assert slo["state"] in ("ok", "warning", "critical")
+        assert snapshot["events"]["recorded"] == \
+            cluster.events.total_recorded
+        assert snapshot["cache"] == cluster.cache.stats()
+        assert len(snapshot["occupancy"]) == 2
+        for row in snapshot["occupancy"]:
+            assert row["id"].startswith("replica ")
+            # Device time over the wall window: pipelined launches overlap,
+            # so a saturated replica legitimately reads above 1.0.
+            assert row["occupancy"] >= 0.0
+
+    def test_snapshot_exists_under_trace_off(self):
+        cluster = _cluster(trace_mode="off")
+        _run(cluster)
+        snapshot = cluster.health_snapshot()
+        # Health introspection survives the trace gate: SLOs still judged,
+        # the (disabled) event log just reports zero.
+        assert snapshot["slos"][0]["lifetime"]["requests"] == 10
+        assert snapshot["events"]["enabled"] is False
+        assert snapshot["events"]["recorded"] == 0
+        assert snapshot["recent_events"] == []
+
+    def test_service_snapshot_shape(self):
+        service = SortService(ServiceConfig(
+            num_shards=2, sorter=_sorter(),
+            slos=(SLOSpec("svc", deadline_us=150.0, target=0.9),)))
+        rng = np.random.default_rng(5)
+        for i in range(4):
+            service.submit(rng.integers(0, 100, 600).astype(np.uint32),
+                           arrival_us=i * 10.0)
+        service.drain()
+        snapshot = service.health_snapshot()
+        assert snapshot["layer"] == "service"
+        assert snapshot["counts"]["completed"] == 4
+        assert [row["id"] for row in snapshot["occupancy"]] == \
+            ["shard 0", "shard 1"]
+        assert "queue_depth_peak" in snapshot
+
+
+class TestFormatHealthReport:
+    def test_report_renders_the_load_bearing_lines(self):
+        cluster = _cluster()
+        _run(cluster)
+        report = format_health_report(cluster.health_snapshot(),
+                                      title="cluster health")
+        assert "cluster health" in report
+        assert "goodput" in report
+        assert "replica 0" in report and "replica 1" in report
+        assert "budget left" in report
+        assert "cache" in report
+
+    def test_report_notes_the_disabled_event_log(self):
+        cluster = _cluster(trace_mode="off")
+        _run(cluster)
+        report = format_health_report(cluster.health_snapshot())
+        assert "log disabled" in report
+        assert "REPRO_TRACE=spans" in report
+
+    def test_report_handles_an_idle_snapshot(self):
+        report = format_health_report(_cluster().health_snapshot())
+        assert isinstance(report, str) and report

@@ -1,0 +1,118 @@
+"""Unit tests for :mod:`repro.obs.events` — the structured event log."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import Event, EventLog
+
+
+class TestRecording:
+    def test_record_returns_event_with_monotonic_seq(self):
+        log = EventLog()
+        first = log.record("spill", at_us=10.0, tenant="gold")
+        second = log.record("spill", at_us=20.0, tenant="gold")
+        assert isinstance(first, Event)
+        assert (first.seq, second.seq) == (0, 1)
+        assert first.at_us == 10.0
+        assert first.attributes == {"tenant": "gold"}
+
+    def test_defaults(self):
+        event = EventLog().record("cache_admit", at_us=1.0)
+        assert event.severity == "info"
+        assert event.layer == "cluster"
+        assert event.trace_id is None
+        assert event.attributes == {}
+
+    def test_unknown_severity_raises(self):
+        with pytest.raises(ValueError):
+            EventLog().record("spill", at_us=0.0, severity="fatal")
+
+    def test_unknown_severity_raises_even_when_disabled(self):
+        """Misuse cannot hide behind the trace gate."""
+        with pytest.raises(ValueError):
+            EventLog(enabled=False).record("spill", at_us=0.0,
+                                           severity="fatal")
+
+    def test_disabled_log_is_a_no_op(self):
+        log = EventLog(enabled=False)
+        assert log.record("spill", at_us=0.0) is None
+        assert len(log) == 0
+        assert log.total_recorded == 0
+        stats = log.stats()
+        assert stats["recorded"] == 0
+        assert stats["enabled"] is False
+        assert stats["by_kind"] == {}
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+
+class TestRingBuffer:
+    def test_ring_eviction_keeps_newest_and_counts_survive(self):
+        log = EventLog(capacity=3)
+        for i in range(5):
+            log.record("tick", at_us=float(i))
+        assert len(log) == 3
+        assert log.total_recorded == 5
+        assert log.dropped == 2
+        assert [e.seq for e in log.events()] == [2, 3, 4]
+        stats = log.stats()
+        assert stats["by_kind"] == {"tick": 5}  # counter, not ring length
+        assert stats["retained"] == 3
+        assert stats["dropped"] == 2
+
+
+class TestFilters:
+    def _populated(self):
+        log = EventLog()
+        log.record("cache_admit", at_us=10.0, severity="info")
+        log.record("admission_reject", at_us=20.0, severity="warning")
+        log.record("forced_flush", at_us=30.0, severity="critical")
+        log.record("cache_admit", at_us=40.0, severity="info")
+        return log
+
+    def test_kind_filter(self):
+        log = self._populated()
+        assert [e.at_us for e in log.events(kind="cache_admit")] == \
+            [10.0, 40.0]
+
+    def test_min_severity_is_at_or_above(self):
+        log = self._populated()
+        assert [e.kind for e in log.events(min_severity="warning")] == \
+            ["admission_reject", "forced_flush"]
+        assert [e.kind for e in log.events(min_severity="critical")] == \
+            ["forced_flush"]
+
+    def test_since_us_is_lower_exclusive(self):
+        log = self._populated()
+        assert [e.at_us for e in log.events(since_us=20.0)] == [30.0, 40.0]
+
+    def test_unknown_min_severity_raises(self):
+        with pytest.raises(ValueError):
+            self._populated().events(min_severity="loud")
+
+    def test_recent_returns_tail_in_record_order(self):
+        log = self._populated()
+        assert [e.at_us for e in log.recent(2)] == [30.0, 40.0]
+        assert [e.kind for e in log.recent(1, min_severity="warning")] == \
+            ["forced_flush"]
+        assert log.recent(0) == []
+
+
+class TestExport:
+    def test_write_jsonl_round_trip(self, tmp_path):
+        log = EventLog()
+        log.record("spill", at_us=12.5, severity="warning", layer="cluster",
+                   trace_id=7, tenant="gold", rejections=3)
+        log.record("cache_evict", at_us=13.0, layer="cache", digest="d0")
+        path = tmp_path / "events.jsonl"
+        assert log.write_jsonl(path) == 2
+        lines = [json.loads(line) for line in
+                 path.read_text().strip().splitlines()]
+        assert lines == [e.as_dict() for e in log.events()]
+        assert lines[0]["trace_id"] == 7
+        assert lines[0]["attributes"] == {"tenant": "gold", "rejections": 3}

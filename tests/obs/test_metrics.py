@@ -58,6 +58,69 @@ def test_histogram_percentile_key_formatting():
     assert "p50" in snap and "p99.9" in snap
 
 
+def test_histogram_percentile_key_normalises_float_spellings():
+    """``99.9`` and its NumPy/derived spellings share one snapshot key."""
+    hist = Histogram()
+    hist.observe(1.0)
+    snap = hist.snapshot(percentiles=(np.float64(99.9),))
+    assert "p99.9" in snap  # not "p99.90000000000001"-style repr leakage
+    snap = hist.snapshot(percentiles=(np.float64(50),))
+    assert "p50" in snap  # integral floats collapse to the int spelling
+
+
+def test_histogram_window_boundaries_are_lower_exclusive_upper_inclusive():
+    hist = Histogram()
+    for at in (0.0, 10.0, 20.0, 30.0):
+        hist.observe(at + 1000.0, at_us=at)
+    # (10, 30]: the observation AT 10 is excluded, the one AT 30 included.
+    assert hist.window_values(10.0, 30.0) == [1020.0, 1030.0]
+    assert hist.window_count(10.0, 30.0) == 2
+    # Back-to-back windows partition the timeline with no double counting.
+    assert (hist.window_count(-1.0, 10.0) + hist.window_count(10.0, 30.0)
+            == hist.count)
+
+
+def test_histogram_window_snapshot_matches_numpy_on_the_slice():
+    hist = Histogram()
+    values = [5.0, 1.0, 9.0, 3.0, 7.0]
+    for i, v in enumerate(values):
+        hist.observe(v, at_us=10.0 * i)
+    window = hist.window(5.0, 35.0, percentiles=(50, 99.9))
+    sliced = np.asarray(values[1:4])  # at_us 10, 20, 30
+    assert window["count"] == 3
+    assert window["p50"] == float(np.percentile(sliced, 50))
+    assert window["p99.9"] == float(np.percentile(sliced, 99.9))
+    assert window["mean"] == float(np.mean(sliced))
+    assert window["max"] == float(np.max(sliced))
+
+
+def test_histogram_empty_window_is_finite_zeros():
+    hist = Histogram()
+    hist.observe(42.0, at_us=100.0)
+    window = hist.window(200.0, 300.0, percentiles=(50, 95))
+    assert window == {"count": 0, "p50": 0.0, "p95": 0.0, "mean": 0.0,
+                      "max": 0.0}
+
+
+def test_histogram_untimestamped_observations_sit_at_time_zero():
+    hist = Histogram()
+    hist.observe(1.0)  # legacy call sites: at_us defaults to 0.0
+    assert hist.window_count(-1.0, 0.0) == 1
+    assert hist.window_count(0.0, 100.0) == 0  # lower-exclusive start
+
+
+def test_paired_histograms_window_zip_aligned():
+    """Two histograms observed at one commit site slice identically."""
+    latency, elements = Histogram(), Histogram()
+    pairs = [(50.0, 1024.0), (80.0, 2048.0), (20.0, 512.0)]
+    for at, (lat, n) in zip((10.0, 20.0, 30.0), pairs):
+        latency.observe(lat, at_us=at)
+        elements.observe(n, at_us=at)
+    window_lat = latency.window_values(15.0, 30.0)
+    window_n = elements.window_values(15.0, 30.0)
+    assert list(zip(window_lat, window_n)) == pairs[1:]
+
+
 def test_registry_get_or_create_identity():
     registry = MetricsRegistry()
     a = registry.counter("submitted")

@@ -16,7 +16,7 @@ import pytest
 from repro.cluster.cluster import ClusterConfig, SortCluster, TenantSpec
 from repro.core.config import SampleSortConfig
 from repro.core.sample_sort import SampleSorter
-from repro.obs import Tracer, chrome_trace, validate_chrome_trace
+from repro.obs import SLOSpec, Tracer, chrome_trace, validate_chrome_trace
 from repro.service.service import ServiceConfig, SortService
 
 MODES = [(launch, kernel)
@@ -235,6 +235,10 @@ def _traced_cluster(trace_mode="spans") -> SortCluster:
                               max_batch_elements=1 << 13, max_wait_us=100.0),
         tenants=(TenantSpec("gold", weight=2.0, priority=1),
                  TenantSpec("bronze", weight=1.0)),
+        # SLO evaluation and the event log ride the same trace gate; carrying
+        # a spec here proves the off==on stats identity holds with the full
+        # health machinery engaged.
+        slos=(SLOSpec("recon-goodput", deadline_us=500.0, target=0.9),),
         routing_cost_us=0.5))
 
 
@@ -286,6 +290,10 @@ class TestClusterSpans:
         _, results_off = _run_cluster(cluster_off)
         _, results_on = _run_cluster(cluster_on)
         assert cluster_off.tracer is None
+        # The event log follows the trace gate: off records nothing while the
+        # SLO engine still evaluated the identical simulated run.
+        assert cluster_off.events.total_recorded == 0
+        assert cluster_off.slo_engine.status() == cluster_on.slo_engine.status()
         stats_off, stats_on = cluster_off.stats(), cluster_on.stats()
         for stats in (stats_off, stats_on):
             stats.pop("wall_s", None)

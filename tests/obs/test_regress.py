@@ -1,0 +1,187 @@
+"""Unit tests for :mod:`repro.obs.regress` — the bench regression gate.
+
+Includes the ISSUE's acceptance case: a synthetic 20% makespan regression
+against a committed-shaped baseline must fail the gate.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.regress import (
+    HIGHER_BETTER,
+    LOWER_BETTER,
+    collect_metrics,
+    compare_files,
+    compare_records,
+    format_regression_report,
+    main,
+    verdict,
+)
+
+
+def _record(makespan=1000.0, throughput=50.0, tiny=True):
+    """A BENCH_*.json-shaped record: benchmark name -> metrics + scale flag."""
+    return {
+        "sort_one": {
+            "tiny": tiny,
+            "makespan_us": makespan,
+            "throughput_elements_per_us": throughput,
+            "latency_p50_us": 10.0,   # informational: never gated
+            "wall_s": 0.123,          # host noise: never collected
+        },
+        "service": {
+            "tiny": tiny,
+            "pipeline": {"elements_per_us": 40.0, "requests_per_ms": 4.0},
+        },
+    }
+
+
+class TestCollectMetrics:
+    def test_flattens_gated_leaves_only(self):
+        metrics = collect_metrics(_record())
+        assert metrics == {
+            "sort_one/makespan_us": 1000.0,
+            "sort_one/throughput_elements_per_us": 50.0,
+            "service/pipeline/elements_per_us": 40.0,
+            "service/pipeline/requests_per_ms": 4.0,
+        }
+
+    def test_bools_and_non_dicts_are_not_metrics(self):
+        assert collect_metrics({"makespan_us": True}) == {}
+        assert collect_metrics([1, 2, 3]) == {}
+
+    def test_explicit_names_override_the_gate_set(self):
+        metrics = collect_metrics(_record(), names=frozenset({"wall_s"}))
+        assert metrics == {"sort_one/wall_s": 0.123}
+
+    def test_gate_sets_are_disjoint(self):
+        assert not (HIGHER_BETTER & LOWER_BETTER)
+
+
+class TestCompareRecords:
+    def test_identical_records_pass(self):
+        rows = compare_records(_record(), _record())
+        assert rows and all(r["status"] == "ok" for r in rows)
+        assert verdict(rows) == "pass"
+
+    def test_synthetic_20pct_makespan_regression_fails(self):
+        # The acceptance case: makespan_us is lower-better, +20% past a 5%
+        # threshold must flip the verdict.
+        rows = compare_records(_record(), _record(makespan=1200.0),
+                               threshold=0.05)
+        by_metric = {r["metric"]: r for r in rows}
+        row = by_metric["sort_one/makespan_us"]
+        assert row["status"] == "regression"
+        assert row["delta_pct"] == pytest.approx(20.0)
+        assert verdict(rows) == "fail"
+
+    def test_throughput_drop_fails_and_gain_passes(self):
+        rows = compare_records(_record(), _record(throughput=40.0))
+        assert {r["status"] for r in rows
+                if r["metric"] == "sort_one/throughput_elements_per_us"} == \
+            {"regression"}
+        rows = compare_records(_record(), _record(throughput=60.0))
+        assert verdict(rows) == "pass"
+
+    def test_threshold_is_a_strict_boundary(self):
+        # Exactly -5% on a higher-better metric is tolerated; beyond fails.
+        at_edge = compare_records(_record(), _record(throughput=47.5),
+                                  threshold=0.05)
+        assert verdict(at_edge) == "pass"
+        past_edge = compare_records(_record(), _record(throughput=47.4),
+                                    threshold=0.05)
+        assert verdict(past_edge) == "fail"
+
+    def test_missing_benchmark_fails_not_passes(self):
+        fresh = _record()
+        del fresh["service"]
+        rows = compare_records(_record(), fresh)
+        missing = [r for r in rows if r["status"] == "missing"]
+        assert {r["metric"] for r in missing} == \
+            {"service/pipeline/elements_per_us",
+             "service/pipeline/requests_per_ms"}
+        assert all(r["fresh"] is None for r in missing)
+        assert verdict(rows) == "fail"
+
+    def test_new_fresh_metrics_are_not_judged(self):
+        fresh = _record()
+        fresh["brand_new"] = {"tiny": True, "makespan_us": 999999.0}
+        assert verdict(compare_records(_record(), fresh)) == "pass"
+
+    def test_tiny_flag_mismatch_is_an_error_not_a_verdict(self):
+        with pytest.raises(ValueError):
+            compare_records(_record(tiny=True), _record(tiny=False))
+
+    def test_zero_baseline_lower_better_growth_regresses(self):
+        baseline = {"bench": {"makespan_us": 0.0}}
+        assert verdict(compare_records(baseline,
+                                       {"bench": {"makespan_us": 5.0}})) == \
+            "fail"
+        assert verdict(compare_records(baseline,
+                                       {"bench": {"makespan_us": 0.0}})) == \
+            "pass"
+
+    def test_invalid_threshold_raises(self):
+        with pytest.raises(ValueError):
+            compare_records(_record(), _record(), threshold=0.0)
+
+
+class TestReportAndCLI:
+    def _write(self, tmp_path, name, record):
+        path = tmp_path / name
+        path.write_text(json.dumps(record))
+        return str(path)
+
+    def test_report_leads_with_the_bad_rows(self):
+        rows = compare_records(_record(), _record(makespan=1200.0))
+        report = format_regression_report(rows, 0.05)
+        lines = report.splitlines()
+        assert "verdict: FAIL" in lines[1]
+        assert "sort_one/makespan_us" in lines[2]  # regression listed first
+        assert "+20.00%" in lines[2]
+
+    def test_compare_files_prefixes_the_baseline_path(self, tmp_path):
+        base = self._write(tmp_path, "base.json", _record())
+        fresh = self._write(tmp_path, "fresh.json", _record())
+        rows = compare_files([(base, fresh)])
+        assert all(r["metric"].startswith(f"{base}:") for r in rows)
+
+    def test_main_exit_codes_and_artifacts(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", _record())
+        good = self._write(tmp_path, "good.json", _record())
+        bad = self._write(tmp_path, "bad.json", _record(makespan=1200.0))
+        report_path = tmp_path / "report.txt"
+        json_path = tmp_path / "verdict.json"
+
+        assert main([base, good]) == 0
+        assert "verdict: PASS" in capsys.readouterr().out
+
+        assert main([base, bad, "--threshold", "0.05",
+                     "--report", str(report_path),
+                     "--json", str(json_path)]) == 1
+        assert "verdict: FAIL" in capsys.readouterr().out
+        assert "verdict: FAIL" in report_path.read_text()
+        payload = json.loads(json_path.read_text())
+        assert payload["verdict"] == "fail"
+        assert payload["threshold"] == 0.05
+        assert any(r["status"] == "regression" for r in payload["rows"])
+
+    def test_main_rejects_odd_path_count(self, tmp_path):
+        base = self._write(tmp_path, "base.json", _record())
+        with pytest.raises(SystemExit):
+            main([base])
+
+    def test_gate_passes_on_the_committed_baselines(self):
+        # The committed baselines diffed against themselves: the resting
+        # state of the CI job must be green.
+        from pathlib import Path
+        baseline_dir = \
+            Path(__file__).resolve().parents[2] / "benchmarks" / "baselines"
+        baselines = sorted(str(p) for p in baseline_dir.glob("BENCH_*.json"))
+        assert baselines, "committed baselines missing"
+        rows = compare_files([(path, path) for path in baselines])
+        assert rows, "baselines carry no gated metrics"
+        assert verdict(rows) == "pass"

@@ -1,0 +1,432 @@
+"""SLI windows, SLO burn-rate alerting, and their end-to-end determinism.
+
+Three layers of contract:
+
+* :func:`repro.obs.sli.window_sli` on hand-built registries — the ratio
+  arithmetic, the vacuously-good empty window, the element-weight fallback;
+* :class:`repro.obs.SLOEngine` on scripted histograms — the multi-window
+  AND, escalation and quench, the append-only transition log, backwards
+  time rejection;
+* the ISSUE's acceptance bar on real services/clusters — identical
+  config+workload produces identical SLI values, transitions and event logs
+  across repeated runs and (under ``launch_mode="barriered"``) across
+  ``launch_tie_break`` seeds, and ``trace_mode="off"`` records zero events
+  while evaluating the SLOs identically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import ClusterConfig, SortCluster, TenantSpec
+from repro.core.config import SampleSortConfig
+from repro.obs import EventLog, MetricsRegistry, SLOEngine, SLOSpec
+from repro.obs.sli import (
+    LATENCY_US,
+    REJECTED_US,
+    REQUEST_ELEMENTS,
+    TENANT_LATENCY_US,
+    sliding_sli,
+    window_sli,
+)
+from repro.service.queue import OversizeRequestError
+from repro.service.service import ServiceConfig, SortService
+
+
+def _registry_with(completions=(), rejections=(), tenant=None):
+    """Build a registry the way the serving layers do.
+
+    ``completions`` is ``(latency_us, elements, at_us)`` triples observed at
+    one commit site; ``rejections`` is ``(elements, at_us)`` pairs.
+    """
+    registry = MetricsRegistry()
+    latency = registry.histogram(LATENCY_US)
+    elements = registry.histogram(REQUEST_ELEMENTS)
+    rejected = registry.histogram(REJECTED_US)
+    for lat, n, at in completions:
+        latency.observe(lat, at_us=at)
+        elements.observe(n, at_us=at)
+    for n, at in rejections:
+        rejected.observe(n, at_us=at)
+    return registry
+
+
+class TestWindowSLI:
+    def test_ratios_match_hand_arithmetic(self):
+        registry = _registry_with(
+            completions=[(100.0, 1000.0, 10.0),   # good
+                         (500.0, 3000.0, 20.0),   # misses the 400us deadline
+                         (200.0, 2000.0, 30.0)],  # good
+            rejections=[(4000.0, 25.0)],
+        )
+        sli = window_sli(registry, 0.0, 100.0, deadline_us=400.0)
+        assert (sli["requests"], sli["completed"], sli["rejected"]) == (4, 3, 1)
+        assert sli["good_requests"] == 2
+        assert sli["good_elements"] == 3000.0
+        assert sli["availability"] == pytest.approx(3 / 4)
+        assert sli["latency_sli"] == pytest.approx(2 / 3)
+        assert sli["request_goodput"] == pytest.approx(2 / 4)
+        # Element-weighted, rejected elements in the denominator.
+        assert sli["goodput"] == pytest.approx(3000 / 10000)
+        assert sli["completed_elements"] == 6000.0
+        assert sli["rejected_elements"] == 4000.0
+
+    def test_window_bounds_select_observations(self):
+        registry = _registry_with(
+            completions=[(100.0, 1.0, 10.0), (500.0, 1.0, 20.0)])
+        # (10, 20]: the bad completion only.
+        sli = window_sli(registry, 10.0, 20.0, deadline_us=400.0)
+        assert sli["completed"] == 1
+        assert sli["latency_sli"] == 0.0
+
+    def test_empty_window_is_vacuously_good(self):
+        registry = _registry_with(
+            completions=[(9999.0, 1.0, 10.0)])  # outside the window
+        sli = window_sli(registry, 100.0, 200.0, deadline_us=400.0)
+        assert sli["requests"] == 0
+        assert sli["availability"] == 1.0
+        assert sli["latency_sli"] == 1.0
+        assert sli["request_goodput"] == 1.0
+        assert sli["goodput"] == 1.0
+        assert sli["latency_quantile_us"] == 0.0
+        assert sli["latency_within_deadline"] is True
+
+    def test_empty_registry_is_vacuously_good(self):
+        sli = window_sli(MetricsRegistry(), 0.0, 100.0, deadline_us=400.0)
+        assert sli["goodput"] == 1.0 and sli["requests"] == 0
+
+    def test_misaligned_elements_fall_back_to_request_weighting(self):
+        registry = MetricsRegistry()
+        registry.histogram(LATENCY_US).observe(100.0, at_us=10.0)
+        registry.histogram(LATENCY_US).observe(500.0, at_us=20.0)
+        # No REQUEST_ELEMENTS histogram at all: weights fall back to 1.
+        sli = window_sli(registry, 0.0, 100.0, deadline_us=400.0)
+        assert sli["goodput"] == sli["request_goodput"] == pytest.approx(0.5)
+        assert sli["completed_elements"] == 2.0
+
+    def test_tenant_scoped_lookup(self):
+        registry = MetricsRegistry()
+        registry.histogram(TENANT_LATENCY_US, tenant="gold") \
+            .observe(50.0, at_us=10.0)
+        registry.histogram(LATENCY_US).observe(9999.0, at_us=10.0)
+        sli = window_sli(registry, 0.0, 100.0, deadline_us=400.0,
+                         tenant="gold")
+        assert sli["completed"] == 1
+        assert sli["latency_sli"] == 1.0  # read gold, not the global 9999
+
+    def test_quantile_reported(self):
+        registry = _registry_with(
+            completions=[(100.0, 1.0, 10.0), (300.0, 1.0, 20.0)])
+        sli = window_sli(registry, 0.0, 100.0, deadline_us=400.0,
+                         quantile=50.0)
+        assert sli["latency_quantile_us"] == \
+            float(np.percentile([100.0, 300.0], 50.0))
+        assert sli["latency_within_deadline"] is True
+
+    def test_validation(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            window_sli(registry, 0.0, 1.0, deadline_us=0.0)
+        with pytest.raises(ValueError):
+            sliding_sli(registry, 100.0, window_us=0.0, deadline_us=1.0)
+
+    def test_sliding_is_the_trailing_window(self):
+        registry = _registry_with(completions=[(100.0, 1.0, 10.0),
+                                               (100.0, 1.0, 50.0)])
+        sli = sliding_sli(registry, 50.0, window_us=30.0, deadline_us=400.0)
+        assert (sli["start_us"], sli["end_us"]) == (20.0, 50.0)
+        assert sli["window_us"] == 30.0
+        assert sli["completed"] == 1  # the at_us=50 observation (inclusive)
+
+
+class TestSLOSpec:
+    @pytest.mark.parametrize("kwargs", [
+        {"target": 0.0}, {"target": 1.0},
+        {"deadline_us": 0.0},
+        {"objective": "vibes"},
+        {"fast_window_us": 0.0},
+        {"fast_window_us": 2000.0, "slow_window_us": 1000.0},
+        {"warning_burn": 0.0},
+        {"warning_burn": 5.0, "critical_burn": 2.0},
+    ])
+    def test_invalid_specs_raise(self, kwargs):
+        base = {"name": "slo", "deadline_us": 100.0}
+        with pytest.raises(ValueError):
+            SLOSpec(**{**base, **kwargs})
+
+    def test_budget_and_burn_arithmetic(self):
+        spec = SLOSpec("slo", deadline_us=100.0, target=0.9)
+        assert spec.error_budget == pytest.approx(0.1)
+        assert spec.burn_rate(1.0) == 0.0
+        assert spec.burn_rate(0.9) == pytest.approx(1.0)
+        assert spec.burn_rate(0.5) == pytest.approx(5.0)
+
+    def test_duplicate_names_rejected(self):
+        specs = [SLOSpec("same", deadline_us=1.0),
+                 SLOSpec("same", deadline_us=2.0)]
+        with pytest.raises(ValueError):
+            SLOEngine(specs, MetricsRegistry())
+
+
+def _engine(registry, events=None, **spec_kwargs):
+    kwargs = {"deadline_us": 100.0, "target": 0.9, "objective": "latency",
+              "fast_window_us": 1_000.0, "slow_window_us": 4_000.0,
+              "warning_burn": 2.0, "critical_burn": 10.0, **spec_kwargs}
+    return SLOEngine([SLOSpec("slo", **kwargs)], registry, events=events)
+
+
+class TestSLOEngine:
+    def test_both_windows_must_agree_before_firing(self):
+        # 50 good completions of history, then a 2-request spike: the fast
+        # window burns at 10x but the slow window stays well-fed, so the
+        # state holds at ok — the AND is what keeps blips quiet.
+        registry = _registry_with(
+            completions=[(50.0, 1.0, 50.0 * i) for i in range(1, 51)]
+            + [(500.0, 1.0, 5_300.0), (500.0, 1.0, 5_400.0)])
+        engine = _engine(registry, slow_window_us=10_000.0)
+        status = engine.evaluate(5_500.0)[0]
+        assert status["fast"]["burn_rate"] >= 10.0
+        assert status["slow"]["burn_rate"] < 2.0
+        assert status["state"] == "ok"
+        assert engine.transitions() == []
+
+    def test_escalation_and_quench_lifecycle(self):
+        registry = _registry_with()
+        latency = registry.get(LATENCY_US)
+        elements = registry.get(REQUEST_ELEMENTS)
+        events = EventLog()
+        engine = _engine(registry, events=events)
+
+        def observe(lat, at):
+            latency.observe(lat, at_us=at)
+            elements.observe(1.0, at_us=at)
+
+        observe(50.0, 400.0)                       # good
+        assert engine.evaluate(500.0)[0]["state"] == "ok"
+
+        observe(500.0, 1_400.0)                    # one miss
+        status = engine.evaluate(1_500.0)[0]
+        # fast (500, 1500]: all bad, burn 10; slow (-2500, 1500]: half bad,
+        # burn 5 — critical on fast alone is vetoed, warning fires.
+        assert status["fast"]["burn_rate"] == pytest.approx(10.0)
+        assert status["slow"]["burn_rate"] == pytest.approx(5.0)
+        assert status["state"] == "warning"
+
+        observe(500.0, 5_500.0)                    # sustained misses: the
+        observe(500.0, 5_900.0)                    # good history ages out
+        status = engine.evaluate(6_000.0)[0]
+        assert status["state"] == "critical"
+
+        # Silence: both windows drain, vacuously good, straight back to ok.
+        status = engine.evaluate(12_000.0)[0]
+        assert status["state"] == "ok"
+
+        assert [(t["from_state"], t["to_state"], t["at_us"])
+                for t in engine.transitions()] == [
+            ("ok", "warning", 1_500.0),
+            ("warning", "critical", 6_000.0),
+            ("critical", "ok", 12_000.0),
+        ]
+        recorded = events.events(kind="slo_transition")
+        assert [e.severity for e in recorded] == \
+            ["warning", "critical", "info"]
+        assert [e.at_us for e in recorded] == [1_500.0, 6_000.0, 12_000.0]
+        assert all(e.layer == "slo" for e in recorded)
+        assert engine.state("slo") == "ok"
+
+    def test_lifetime_budget_accounting(self):
+        registry = _registry_with(
+            completions=[(500.0, 1.0, 10.0), (500.0, 1.0, 20.0),
+                         (500.0, 1.0, 30.0), (50.0, 1.0, 40.0)])
+        engine = _engine(registry)
+        status = engine.evaluate(100.0)[0]
+        # Lifetime sli 0.25, burn 7.5 against a 0.1 budget: deep overdraft.
+        assert status["lifetime"]["sli"] == pytest.approx(0.25)
+        assert status["lifetime"]["error_budget_remaining"] == \
+            pytest.approx(1.0 - 7.5)
+
+    def test_time_must_not_run_backwards(self):
+        engine = _engine(_registry_with())
+        engine.evaluate(100.0)
+        engine.evaluate(100.0)  # same instant is fine (drain overlap)
+        assert engine.last_evaluated_us == 100.0
+        with pytest.raises(ValueError):
+            engine.evaluate(99.0)
+
+    def test_status_before_any_evaluation_is_resting_ok(self):
+        engine = _engine(_registry_with())
+        [status] = engine.status()
+        assert status["state"] == "ok"
+        assert status["fast"] is None and status["lifetime"] is None
+        assert engine.last_evaluated_us is None
+
+    def test_disabled_event_log_does_not_change_evaluation(self):
+        completions = [(500.0, 1.0, 900.0)]
+        loud = _engine(_registry_with(completions), events=EventLog())
+        quiet = _engine(_registry_with(completions),
+                        events=EventLog(enabled=False))
+        assert loud.evaluate(1_000.0) == quiet.evaluate(1_000.0)
+        assert loud.transitions() == quiet.transitions()
+        assert quiet.events.total_recorded == 0
+
+
+# --------------------------------------------------------------------------
+# End-to-end: SLOs carried by real services and clusters.
+# --------------------------------------------------------------------------
+
+def _slo_specs():
+    return (
+        SLOSpec("cluster-goodput", deadline_us=150.0, target=0.9,
+                objective="goodput", fast_window_us=500.0,
+                slow_window_us=2_000.0, warning_burn=2.0, critical_burn=6.0),
+        SLOSpec("gold-latency", deadline_us=150.0, target=0.95,
+                objective="latency", tenant="gold", fast_window_us=500.0,
+                slow_window_us=2_000.0, warning_burn=2.0, critical_burn=6.0),
+    )
+
+
+def _slo_cluster(trace_mode="spans", launch_mode="pipelined",
+                 tie_break=None) -> SortCluster:
+    sorter = SampleSortConfig.small(seed=3).with_(
+        k=8, oversampling=8, bucket_threshold=1 << 9,
+        launch_mode=launch_mode, launch_tie_break=tie_break,
+        trace_mode=trace_mode)
+    return SortCluster(ClusterConfig(
+        num_replicas=2,
+        service=ServiceConfig(num_shards=2, sorter=sorter,
+                              max_batch_elements=1 << 13, max_wait_us=100.0),
+        tenants=(TenantSpec("gold", weight=2.0, priority=1),
+                 TenantSpec("bronze", weight=1.0)),
+        slos=_slo_specs()))
+
+
+def _run_slo_cluster(cluster: SortCluster):
+    rng = np.random.default_rng(5)
+    # Calm arrivals, then a back-to-back burst big enough to queue past the
+    # deadline, so the engine has real transitions to reproduce.
+    for i in range(4):
+        n = int(rng.integers(1 << 9, 1 << 10))
+        cluster.submit(rng.integers(0, n, n).astype(np.uint32),
+                       tenant="gold" if i % 2 else "bronze",
+                       arrival_us=i * 150.0)
+    for i in range(16):
+        n = int(rng.integers(3 << 11, 1 << 13))
+        cluster.submit(rng.integers(0, n, n).astype(np.uint32),
+                       tenant="gold" if i % 3 else "bronze",
+                       arrival_us=600.0 + i * 1.0)
+    return cluster.drain()
+
+
+def _fingerprint(cluster: SortCluster, scrub_digests=False):
+    events = [e.as_dict() for e in cluster.events.events()]
+    if scrub_digests:
+        # Cache digests content-address (payload, sorter config) and the
+        # tie-break seed is part of the config — see
+        # test_cache.py::test_sensitive_to_sorter_config. Everything else
+        # (timestamps, kinds, byte counts) must still match exactly.
+        for event in events:
+            event["attributes"] = {k: v for k, v in
+                                   event["attributes"].items()
+                                   if not k.endswith("digest")}
+    return {
+        "status": cluster.slo_engine.status(),
+        "transitions": cluster.slo_engine.transitions(),
+        "events": events,
+    }
+
+
+class TestClusterSLOEndToEnd:
+    def test_burst_workload_actually_transitions(self):
+        cluster = _slo_cluster()
+        _run_slo_cluster(cluster)
+        states = {t["to_state"] for t in cluster.slo_engine.transitions()}
+        assert states & {"warning", "critical"}  # the alert really fired
+        assert cluster.events.events(kind="slo_transition")
+
+    def test_identical_runs_are_identical(self):
+        first = _slo_cluster()
+        second = _slo_cluster()
+        _run_slo_cluster(first)
+        _run_slo_cluster(second)
+        assert _fingerprint(first) == _fingerprint(second)
+
+    @pytest.mark.parametrize("tie_break", [1, 2, 1234])
+    def test_barriered_slo_evaluation_ignores_tie_break_seed(self, tie_break):
+        # Under barriered launches the packing is serial, so the tie-break
+        # seed provably cannot move a timestamp — and therefore cannot move
+        # an SLI, a transition, or an event.
+        baseline = _slo_cluster(launch_mode="barriered", tie_break=None)
+        seeded = _slo_cluster(launch_mode="barriered", tie_break=tie_break)
+        _run_slo_cluster(baseline)
+        _run_slo_cluster(seeded)
+        assert _fingerprint(baseline, scrub_digests=True) == \
+            _fingerprint(seeded, scrub_digests=True)
+
+    def test_trace_off_records_zero_events_but_evaluates_identically(self):
+        on = _slo_cluster(trace_mode="spans")
+        off = _slo_cluster(trace_mode="off")
+        _run_slo_cluster(on)
+        _run_slo_cluster(off)
+        # The trace gate silences the log...
+        assert off.events.total_recorded == 0
+        assert len(off.events) == 0
+        assert on.events.total_recorded > 0
+        # ...but the SLO engine judged the identical simulated run
+        # identically: same SLIs, same burn rates, same transitions.
+        assert off.slo_engine.status() == on.slo_engine.status()
+        assert off.slo_engine.transitions() == on.slo_engine.transitions()
+        # And the stats contract of PR 7 still holds with SLOs configured.
+        stats_off, stats_on = off.stats(), on.stats()
+        for stats in (stats_off, stats_on):
+            stats.pop("wall_s", None)
+            for replica in stats.get("replicas", []):
+                replica.pop("wall_s", None)
+        assert stats_off == stats_on
+
+
+class TestServiceSLO:
+    def _service(self, trace_mode="spans") -> SortService:
+        sorter = SampleSortConfig.small(seed=3).with_(
+            k=8, oversampling=8, bucket_threshold=1 << 9,
+            trace_mode=trace_mode)
+        return SortService(ServiceConfig(
+            num_shards=1, sorter=sorter, max_request_elements=1 << 12,
+            slos=(SLOSpec("svc-avail", deadline_us=500.0, target=0.9,
+                          objective="availability", fast_window_us=500.0,
+                          slow_window_us=2_000.0),)))
+
+    def test_rejections_feed_availability_and_the_event_log(self):
+        service = self._service()
+        rng = np.random.default_rng(5)
+        service.submit(rng.integers(0, 100, 500).astype(np.uint32),
+                       arrival_us=0.0)
+        # Rejected before the sole completion (~10us in), so the lifetime
+        # window anchored at that completion sees both requests.
+        with pytest.raises(OversizeRequestError):
+            service.submit(np.zeros(1 << 13, dtype=np.uint32),
+                           arrival_us=2.0)
+        service.drain()
+        [status] = service.slo_engine.status()
+        # One completion, one rejection in the lifetime window.
+        assert status["lifetime"]["requests"] == 2
+        assert status["lifetime"]["sli"] == pytest.approx(0.5)
+        rejects = service.events.events(kind="admission_reject")
+        assert len(rejects) == 1
+        assert rejects[0].severity == "warning"
+        assert rejects[0].attributes["reason"] == "oversize"
+        assert rejects[0].attributes["elements"] == 1 << 13
+        assert rejects[0].at_us == 2.0
+
+    def test_trace_off_service_parity(self):
+        on, off = self._service("spans"), self._service("off")
+        rng = np.random.default_rng(5)
+        keys = rng.integers(0, 100, 500).astype(np.uint32)
+        for service in (on, off):
+            service.submit(keys.copy(), arrival_us=0.0)
+            service.drain()
+        assert off.events.total_recorded == 0
+        assert off.slo_engine.status() == on.slo_engine.status()
+        stats_on, stats_off = on.stats(), off.stats()
+        stats_on.pop("wall_s"), stats_off.pop("wall_s")
+        assert stats_on == stats_off
