@@ -24,7 +24,11 @@ from repro.gpu.device import TESLA_C1060
 from repro.primitives.sorting_networks import comparator_count
 
 N = 1 << 16
-BASE_CONFIG = SampleSortConfig.paper().with_(bucket_threshold=1 << 13)
+# fusion_mode is pinned phase-separate: the ablations below read per-phase
+# trace counters ("phase2_histogram", ...), which the persistent fusion axis
+# folds into one fused launch tag.
+BASE_CONFIG = SampleSortConfig.paper().with_(bucket_threshold=1 << 13,
+                                             fusion_mode="phases")
 
 
 def _sort_with(config, workload):

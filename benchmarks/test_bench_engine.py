@@ -14,10 +14,13 @@ Two ablation axes of the distribution engine are benchmarked and archived:
 
 Results are archived in ``BENCH_engine.json`` at the repository root (one
 top-level entry per benchmark) so the performance trajectory of the engine is
-tracked from PR to PR.
+tracked from PR to PR. ``ENGINE_BENCH_SCALE=tiny`` shrinks the workload for
+CI smoke runs and the ``bench-regression`` gate (the simulated metrics stay
+deterministic at either scale).
 """
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -30,17 +33,29 @@ from repro.datagen import make_input
 from repro.gpu.device import TESLA_C1060
 from repro.harness.report import format_launch_summary, format_utilization
 
-N = 1 << 17
+TINY = os.environ.get("ENGINE_BENCH_SCALE", "").lower() == "tiny"
+#: The tiny scale keeps the same deep k=8 / M=256 recursion shape (still two
+#: distribution levels) so every structural assertion below holds unchanged;
+#: only the strict percentage bars are full-scale-only.
+N = 1 << 13 if TINY else 1 << 17
 #: k=8 / M=256 drives a 3-level recursion with hundreds of segments — the
 #: regime where one-launch-per-segment scheduling pays the most overhead.
+#: fusion_mode is pinned phase-separate: these ablations assert the per-phase
+#: launch structure; the fusion axis has its own benchmark below.
 BASE_CONFIG = SampleSortConfig.paper().with_(
-    k=8, oversampling=8, bucket_threshold=256, seed=7
+    k=8, oversampling=8, bucket_threshold=256, seed=7, fusion_mode="phases"
 )
 #: k=16 / M=512 for the kernel-mode ablation: a two-level recursion whose
 #: wall time is dominated by the fused distribution and bucket-sort launches
 #: the vectorised path collapses.
 KERNEL_MODE_CONFIG = SampleSortConfig.paper().with_(
-    k=16, oversampling=8, bucket_threshold=512, seed=7
+    k=16, oversampling=8, bucket_threshold=512, seed=7, fusion_mode="phases"
+)
+#: k=4 / M=64 for the fusion ablation: the deepest recursion of the file
+#: (8 levels at n = 2^17), where per-level launch overhead is the largest
+#: share of the makespan — the regime persistent-kernel fusion targets.
+FUSION_CONFIG = SampleSortConfig.paper().with_(
+    k=4, oversampling=8, bucket_threshold=64, seed=7
 )
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
@@ -98,6 +113,7 @@ def test_bench_engine_execution_modes(benchmark):
 
     record = {
         "benchmark": "engine_execution_modes",
+        "tiny": TINY,
         "n": N,
         "key_type": "uint32+values",
         "distribution": "uniform",
@@ -180,6 +196,7 @@ def test_bench_engine_kernel_modes(benchmark):
 
     record = {
         "benchmark": "engine_kernel_modes",
+        "tiny": TINY,
         "n": N,
         "key_type": "uint32+values",
         "distribution": "uniform",
@@ -251,11 +268,17 @@ def test_bench_engine_launch_modes(benchmark):
     assert barriered_makespan == barriered.stats["predicted_us"]
     assert pipelined.stats["launch_slots"] == \
         TESLA_C1060.concurrent_launch_slots
-    assert pipelined_makespan <= 0.85 * barriered_makespan
+    if TINY:
+        # a shallow tiny tree pays cohort-splitting overhead that packing may
+        # not fully recover; the full-scale bar below is the real contract
+        assert pipelined_makespan <= 1.10 * barriered_makespan
+    else:
+        assert pipelined_makespan <= 0.85 * barriered_makespan
     assert pipelined.stats["critical_path_us"] <= pipelined_makespan
 
     record = {
         "benchmark": "engine_launch_modes",
+        "tiny": TINY,
         "n": N,
         "key_type": "uint32+values",
         "distribution": "uniform",
@@ -292,6 +315,90 @@ def test_bench_engine_launch_modes(benchmark):
         f"makespan reduction: {record['makespan_reduction_pct']}% "
         f"(archived in {RESULT_PATH.name})\n\n"
         + format_utilization(pipelined.stats["utilization"]),
+    )
+
+
+def test_bench_engine_fusion_modes(benchmark):
+    """Persistent-kernel fusion vs phase-separate launches at n = 2^17.
+
+    The contract: byte-identical output, strictly fewer kernel launches, and
+    on the deep k=4 / M=64 recursion the fused engine's simulated makespan
+    beats the phase-separate default's by at least 20% — the acceptance bar
+    for the persistent mode (fewer launch overheads on every spine, and
+    device-local syncs instead of the two inter-phase global barriers).
+    """
+    workload = make_input("uniform", N, "uint32", with_values=True, seed=21)
+
+    def run_mode(fusion_mode):
+        sorter = SampleSorter(
+            device=TESLA_C1060,
+            config=FUSION_CONFIG.with_(fusion_mode=fusion_mode),
+        )
+        start = time.perf_counter()
+        result = sorter.sort(workload.keys.copy(), workload.values.copy())
+        return result, time.perf_counter() - start
+
+    outcome = benchmark.pedantic(
+        lambda: {mode: run_mode(mode) for mode in ("phases", "persistent")},
+        rounds=1, iterations=1,
+    )
+    phased, phased_wall = outcome["phases"]
+    fused, fused_wall = outcome["persistent"]
+
+    # fusion never changes bytes
+    assert fused.keys.tobytes() == phased.keys.tobytes()
+    assert fused.values.tobytes() == phased.values.tobytes()
+    assert np.array_equal(fused.keys, np.sort(workload.keys))
+
+    phased_makespan = phased.stats["makespan_us"]
+    fused_makespan = fused.stats["makespan_us"]
+    assert fused.stats["fused_launches"] > 0
+    assert fused.stats["kernel_launches"] < phased.stats["kernel_launches"]
+    if TINY:
+        assert fused_makespan < phased_makespan
+    else:
+        # the acceptance bar: >= 20% simulated-makespan win from fusion
+        assert fused_makespan <= 0.80 * phased_makespan
+
+    record = {
+        "benchmark": "engine_fusion_modes",
+        "tiny": TINY,
+        "n": N,
+        "key_type": "uint32+values",
+        "distribution": "uniform",
+        "config": {"k": FUSION_CONFIG.k,
+                   "bucket_threshold": FUSION_CONFIG.bucket_threshold,
+                   "oversampling": FUSION_CONFIG.oversampling,
+                   "seed": FUSION_CONFIG.seed},
+        "identical_outputs": True,
+        "modes": {
+            mode: {
+                "wall_s": round(wall, 4),
+                "makespan_us": round(result.stats["makespan_us"], 1),
+                "serialized_us": round(result.stats["predicted_us"], 1),
+                "critical_path_us": round(result.stats["critical_path_us"], 1),
+                "kernel_launches": result.stats["kernel_launches"],
+                "fused_launches": result.stats["fused_launches"],
+            }
+            for mode, (result, wall) in outcome.items()
+        },
+        "makespan_speedup": round(phased_makespan / fused_makespan, 3),
+        "makespan_reduction_pct": round(
+            (1 - fused_makespan / phased_makespan) * 100, 1),
+    }
+    _archive("engine_fusion_modes", record)
+
+    print_block(
+        "Engine ablation: persistent-kernel fusion vs phase-separate launches",
+        f"phases    : {phased_makespan:9.1f} us makespan, "
+        f"{phased.stats['kernel_launches']} launches\n"
+        f"persistent: {fused_makespan:9.1f} us makespan, "
+        f"{fused.stats['kernel_launches']} launches "
+        f"({fused.stats['fused_launches']} fused), critical path "
+        f"{fused.stats['critical_path_us']:9.1f} us\n"
+        f"makespan reduction: {record['makespan_reduction_pct']}% "
+        f"(archived in {RESULT_PATH.name})\n\n"
+        + format_utilization(fused.stats["utilization"]),
     )
 
 
@@ -381,6 +488,7 @@ def test_bench_engine_backends(benchmark):
 
     record = {
         "benchmark": "engine_backends",
+        "tiny": TINY,
         "n": N,
         "key_type": "uint32+values",
         "distribution": "uniform",

@@ -53,9 +53,12 @@ def test_bench_sample_sort_phase_breakdown(benchmark):
     from repro.gpu.device import TESLA_C1060
 
     workload = make_input("uniform", 1 << 17, "uint32", with_values=True, seed=5)
+    # pinned phase-separate: the breakdown below reads the per-phase labels
+    # that fusion_mode="persistent" folds into one fused launch tag
     sorter = SampleSorter(device=TESLA_C1060,
                           config=SampleSortConfig.paper().with_(
-                              bucket_threshold=1 << 14))
+                              bucket_threshold=1 << 14,
+                              fusion_mode="phases"))
 
     result = benchmark.pedantic(
         lambda: sorter.sort(workload.keys, workload.values), rounds=1, iterations=1

@@ -179,6 +179,11 @@ class _ClusterRequest:
     tag: ScheduleTag
     #: WFQ charge: predicted device microseconds on the reference device.
     cost_us: float = 0.0
+    #: Content digest for the cache / coalescing map, computed exactly once
+    #: at admission (None when the cluster runs without a cache). Hashing n
+    #: elements is the most expensive front-end step, so the drain loop, the
+    #: in-flight map and the cache fill all reuse this value.
+    digest: Optional[str] = None
 
     @property
     def n(self) -> int:
@@ -316,12 +321,22 @@ class SortCluster:
 
     # ------------------------------------------------------------ submission
     def submit(self, keys: np.ndarray, values: Optional[np.ndarray] = None,
-               arrival_us: float = 0.0, tenant: str = "default") -> int:
+               arrival_us: float = 0.0, tenant: str = "default",
+               digest: Optional[str] = None) -> int:
         """Admit one request to the front end; returns its cluster id.
 
         Validation happens here, once, with the same rules every replica
         applies (shape, dtype, layout, size) — an invalid request must fail at
         the front door, not mid-drain inside a replica.
+
+        The content ``digest`` keying the result cache is likewise computed
+        here, once, and carried on the request — cache lookup, in-flight
+        coalescing and the cache fill after a replica run all reuse it. A
+        caller that already holds the digest (a gateway that hashed the
+        payload for its own dedup, a replayed request) can pass it in to
+        skip the hash entirely; it must equal
+        :func:`~repro.cluster.cache.request_digest` for these bytes and the
+        cluster's sorter config, or cache hits would serve wrong answers.
         """
         self._count("submitted")
         try:
@@ -354,6 +369,9 @@ class SortCluster:
             0 if validated.values is None else validated.values.dtype.itemsize,
             self._reference_device, self.sorter_config,
         )
+        if self.cache is not None and digest is None:
+            digest = request_digest(validated.keys, validated.values,
+                                    self.sorter_config)
         request = _ClusterRequest(
             request_id=self._next_request_id,
             tenant=tenant,
@@ -362,6 +380,7 @@ class SortCluster:
             arrival_us=float(arrival_us),
             tag=self.scheduler.admit(tenant, validated.n, cost=cost_us),
             cost_us=cost_us,
+            digest=digest if self.cache is not None else None,
         )
         self._pending.append(request)
         self._next_request_id += 1
@@ -417,8 +436,8 @@ class SortCluster:
                 cached = None
                 coalesce_primary: Optional[int] = None
                 if self.cache is not None:
-                    digest = request_digest(request.keys, request.values,
-                                            self.sorter_config)
+                    # hashed once at submit(); the drain loop only reuses it
+                    digest = request.digest
                     if digest in inflight:
                         coalesce_primary = inflight[digest]
                     else:

@@ -46,6 +46,12 @@ DEFAULT_LAUNCH_MODE = os.environ.get("REPRO_LAUNCH_MODE", "pipelined")
 #: under ``spans`` without touching any call site.
 DEFAULT_TRACE_MODE = os.environ.get("REPRO_TRACE", "off")
 
+#: Default phase-fusion strategy of the distribution engine.
+#: ``REPRO_FUSION_MODE=persistent`` lets the CI ablation matrix run the whole
+#: suite with Phases 2+3+4 fused into one resident launch per level per
+#: cohort (the persistent-threads idiom) without touching any call site.
+DEFAULT_FUSION_MODE = os.environ.get("REPRO_FUSION_MODE", "phases")
+
 #: Default array-math backend for the vectorised kernels (a name registered in
 #: :mod:`repro.backend`). ``REPRO_BACKEND`` lets the CI matrix run the whole
 #: suite on another backend ("simulated", "torch", ...) without touching any
@@ -108,6 +114,15 @@ class SampleSortConfig:
     #: (the ablation). Output bytes are identical — the mode only moves the
     #: simulated makespan and the launch structure.
     launch_mode: str = DEFAULT_LAUNCH_MODE
+    #: How the engine packages the per-level phase work into launches:
+    #: ``"phases"`` (default) launches Phases 2, 3 and 4 separately with a
+    #: global barrier between them (today's structure); ``"persistent"``
+    #: fuses Phases 2→3→4 into **one** resident launch per level per cohort
+    #: (:meth:`repro.gpu.kernel.KernelLauncher.launch_persistent`), charging
+    #: a single launch overhead and replacing the two inter-phase barriers
+    #: with device-local syncs. Output bytes and memory/conflict counters are
+    #: identical — only launch counts and predicted times move.
+    fusion_mode: str = DEFAULT_FUSION_MODE
     #: Seed for randomising the launch scheduler's ready-queue tie-breaks
     #: (None = deterministic FIFO order). Any seed yields a legal packing;
     #: the property suite sweeps this to prove bytes never depend on it.
@@ -164,6 +179,11 @@ class SampleSortConfig:
             raise ValueError(
                 f"launch_mode must be 'pipelined' or 'barriered', "
                 f"got {self.launch_mode!r}"
+            )
+        if self.fusion_mode not in ("phases", "persistent"):
+            raise ValueError(
+                f"fusion_mode must be 'phases' or 'persistent', "
+                f"got {self.fusion_mode!r}"
             )
         if self.trace_mode not in ("off", "spans"):
             raise ValueError(

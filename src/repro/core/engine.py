@@ -21,6 +21,18 @@ root segments (:meth:`DistributionEngine.run` accepts any number of roots);
 :meth:`repro.core.sample_sort.SampleSorter.sort_many` uses this to amortise
 launcher setup across a batch of requests — every level then distributes the
 segments of *all* requests with a single set of phase launches.
+
+On top of either schedule sits the phase-fusion axis
+(``SampleSortConfig.fusion_mode``): with ``"persistent"`` the engine runs
+Phases 2→3→4 of each level pass as **one** resident launch
+(:meth:`repro.gpu.kernel.KernelLauncher.launch_persistent`) — the
+persistent-threads idiom — charging a single launch overhead and replacing
+the two inter-phase global barriers with device-local syncs. The fused
+launch becomes one :class:`~repro.core.launch_plan.LaunchOp` whose
+read/write sets are the union of the constituent phases, so hazard tracking
+and slot packing apply unchanged; its per-phase ``breakdown`` keeps the
+utilisation tables and span reconciliation phase-accurate (see
+:mod:`repro.core.launch_plan`).
 """
 
 from __future__ import annotations
@@ -43,6 +55,12 @@ from .launch_plan import (BufferInterval, LaunchPlan, LaunchScheduler,
 from .prefix_kernel import run_phase3_batched
 from .scatter_kernel import run_phase4_batched
 from .splitters import run_phase1_batched, segment_seed
+
+#: Phase tag of the fused Phases-2→3→4 launch the persistent mode emits.
+#: Utilisation tables and spans attribute its occupancy back to the
+#: constituent phases via the op's ``breakdown``; only the fused launch's
+#: overhead (one dispatch + device-local syncs) books under this tag.
+FUSED_PHASE = "fused_phase2_4"
 
 
 @dataclass
@@ -179,7 +197,8 @@ def _plan_add(plan: Optional[LaunchPlan], launcher: KernelLauncher, mark: int,
         return
     for record in launcher.trace.records[mark:]:
         plan.add(record.name, record.phase, record.time_us,
-                 reads=reads, writes=writes)
+                 reads=reads, writes=writes,
+                 breakdown=record.fused_phases)
 
 
 class DistributionEngine:
@@ -236,6 +255,7 @@ class DistributionEngine:
             "execution_mode": self.config.execution_mode,
             "kernel_mode": self.config.kernel_mode,
             "launch_mode": self.config.launch_mode,
+            "fusion_mode": self.config.fusion_mode,
             "launch_slots": num_slots,
             "backend": self.config.backend,
         }
@@ -277,6 +297,8 @@ class DistributionEngine:
         ).schedule(plan)
         launcher.trace.add_slot_records(schedule.records)
         stats["kernel_launches"] = run_trace.kernel_count
+        stats["fused_launches"] = sum(
+            1 for record in run_trace.records if record.constituents)
         stats["launches_by_phase"] = run_trace.launches_by_phase()
         stats["predicted_us"] = run_trace.total_time_us
         stats["makespan_us"] = schedule.makespan_us
@@ -325,6 +347,7 @@ class DistributionEngine:
                            for phase, entry in util["phases"].items()},
             execution_mode=self.config.execution_mode,
             launch_mode=self.config.launch_mode,
+            fusion_mode=self.config.fusion_mode,
             kernel_launches=stats["kernel_launches"],
         )
         groups: dict[tuple[str, int], list] = {}
@@ -346,11 +369,13 @@ class DistributionEngine:
                 busy_us=sum(r.duration_us for _, r in records),
             )
             for seq, record in records:
+                extra = ({"breakdown": dict(record.breakdown)}
+                         if record.breakdown else {})
                 tracer.span(
                     record.name, layer="launch",
                     start_us=record.start_us, end_us=record.end_us,
                     parent=group, phase=record.phase, slot=record.slot,
-                    op_id=record.op_id, seq=seq,
+                    op_id=record.op_id, seq=seq, **extra,
                 )
         return root.span_id
 
@@ -537,6 +562,12 @@ class DistributionEngine:
                 "elements": 0,
                 "cohorts": len(cohorts),
                 "launches": 0,
+                #: Launch-delta accounting for the persistent-kernel mode:
+                #: how many of this level's launches are fused ops, and how
+                #: many separate launches the fusion absorbed (0 under
+                #: fusion_mode="phases").
+                "fused_launches": 0,
+                "launches_saved": 0,
                 "fused_utilisation": 0.0,
                 "per_segment_utilisation": 0.0,
             }
@@ -559,6 +590,11 @@ class DistributionEngine:
                 elements = cohort_info["elements"]
                 level_info["elements"] += elements
                 level_info["launches"] += len(launcher.trace) - trace_before
+                fused = [r for r in launcher.trace.records[trace_before:]
+                         if r.constituents]
+                level_info["fused_launches"] += len(fused)
+                level_info["launches_saved"] += sum(
+                    len(r.constituents) - 1 for r in fused)
                 for key in ("fused_utilisation", "per_segment_utilisation"):
                     level_info[key] += cohort_info[key] * elements
             for key in ("fused_utilisation", "per_segment_utilisation"):
@@ -642,37 +678,87 @@ class DistributionEngine:
             if plan is not None:
                 store_tok = token_interval(plan.new_token("bucket_store"))
 
-        mark = len(launcher.trace)
-        hist, block_map, hist_base = run_phase2_batched(
-            launcher, in_keys, splitter_bufs, seg_starts, seg_sizes, config,
-            bucket_store=bucket_store,
-        )
-        if plan is not None:
-            _plan_add(plan, launcher, mark,
-                      reads=in_reads + [splitters_tok],
-                      writes=[hist_tok] + ([store_tok] if store_tok else []))
-
         num_buckets = 2 * config.k
-        mark = len(launcher.trace)
-        offsets, seg_scan_base, starts_per_seg, sizes_per_seg = run_phase3_batched(
-            launcher, hist, num_buckets, block_map.blocks_per_segment, hist_base,
-            kernel_mode=config.kernel_mode,
-        )
-        if plan is not None:
-            _plan_add(plan, launcher, mark,
-                      reads=[hist_tok], writes=[offsets_tok])
+        if config.fusion_mode == "persistent":
+            # Persistent-threads fusion: the three distribution stages run
+            # back-to-back inside ONE resident launch. The bodies execute the
+            # exact same kernels against the same global memory and backend
+            # (a sub-launcher shares both), so the bytes and memory/conflict
+            # counters cannot differ from the phased schedule; only the
+            # launch accounting collapses — one dispatch, device-local syncs
+            # instead of the two inter-phase global barriers.
+            state: dict = {}
 
-        mark = len(launcher.trace)
-        run_phase4_batched(
-            launcher, in_keys, in_values, out_keys, out_values, splitter_bufs,
-            offsets, block_map, seg_starts, seg_sizes, hist_base, seg_scan_base,
-            config, bucket_store=bucket_store,
-        )
-        if plan is not None:
-            reads = in_reads + [splitters_tok, offsets_tok]
-            if store_tok is not None:
-                reads = reads + [store_tok]
-            _plan_add(plan, launcher, mark, reads=reads, writes=out_writes)
+            def fused_body(sub: KernelLauncher) -> None:
+                hist, block_map, hist_base = run_phase2_batched(
+                    sub, in_keys, splitter_bufs, seg_starts, seg_sizes,
+                    config, bucket_store=bucket_store,
+                )
+                offsets, seg_scan_base, starts_per_seg, sizes_per_seg = \
+                    run_phase3_batched(
+                        sub, hist, num_buckets,
+                        block_map.blocks_per_segment, hist_base,
+                        kernel_mode=config.kernel_mode,
+                    )
+                run_phase4_batched(
+                    sub, in_keys, in_values, out_keys, out_values,
+                    splitter_bufs, offsets, block_map, seg_starts, seg_sizes,
+                    hist_base, seg_scan_base, config,
+                    bucket_store=bucket_store,
+                )
+                state.update(hist=hist, block_map=block_map, offsets=offsets,
+                             starts_per_seg=starts_per_seg,
+                             sizes_per_seg=sizes_per_seg)
+
+            mark = len(launcher.trace)
+            launcher.launch_persistent(
+                fused_body, name="persistent_distribute", phase=FUSED_PHASE)
+            if plan is not None:
+                # One fused op: reads/writes are the union of the constituent
+                # phases' footprints, so every hazard the three separate ops
+                # would have carried survives the fusion.
+                writes = [hist_tok, offsets_tok]
+                if store_tok is not None:
+                    writes = writes + [store_tok]
+                _plan_add(plan, launcher, mark,
+                          reads=in_reads + [splitters_tok],
+                          writes=writes + out_writes)
+            hist = state["hist"]
+            block_map = state["block_map"]
+            offsets = state["offsets"]
+            starts_per_seg = state["starts_per_seg"]
+            sizes_per_seg = state["sizes_per_seg"]
+        else:
+            mark = len(launcher.trace)
+            hist, block_map, hist_base = run_phase2_batched(
+                launcher, in_keys, splitter_bufs, seg_starts, seg_sizes, config,
+                bucket_store=bucket_store,
+            )
+            if plan is not None:
+                _plan_add(plan, launcher, mark,
+                          reads=in_reads + [splitters_tok],
+                          writes=[hist_tok] + ([store_tok] if store_tok else []))
+
+            mark = len(launcher.trace)
+            offsets, seg_scan_base, starts_per_seg, sizes_per_seg = run_phase3_batched(
+                launcher, hist, num_buckets, block_map.blocks_per_segment, hist_base,
+                kernel_mode=config.kernel_mode,
+            )
+            if plan is not None:
+                _plan_add(plan, launcher, mark,
+                          reads=[hist_tok], writes=[offsets_tok])
+
+            mark = len(launcher.trace)
+            run_phase4_batched(
+                launcher, in_keys, in_values, out_keys, out_values, splitter_bufs,
+                offsets, block_map, seg_starts, seg_sizes, hist_base, seg_scan_base,
+                config, bucket_store=bucket_store,
+            )
+            if plan is not None:
+                reads = in_reads + [splitters_tok, offsets_tok]
+                if store_tok is not None:
+                    reads = reads + [store_tok]
+                _plan_add(plan, launcher, mark, reads=reads, writes=out_writes)
 
         launcher.gmem.free(hist)
         launcher.gmem.free(offsets)
@@ -756,4 +842,5 @@ class DistributionEngine:
         )
 
 
-__all__ = ["SegmentDescriptor", "RequestAttribution", "DistributionEngine"]
+__all__ = ["SegmentDescriptor", "RequestAttribution", "DistributionEngine",
+           "FUSED_PHASE"]

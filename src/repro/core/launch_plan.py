@@ -18,6 +18,15 @@ simulated start times, never the data. What the schedule adds is an achieved
 **makespan** (the wall the device would show with slot packing) next to the
 serialized launch total, plus the per-phase saturated-vs-idle slot-cycle
 analysis rendered by :func:`repro.harness.report.format_utilization`.
+
+Under ``fusion_mode="persistent"`` (see
+:class:`repro.core.engine.DistributionEngine`) one op may cover several
+phases: the engine emits a single fused :class:`LaunchOp` per level per
+cohort whose read/write interval sets are the *union* of the constituent
+phases — hazard derivation and slot packing are oblivious to fusion — and
+whose ``breakdown`` attributes the op's duration back to the phases it
+covers, so the utilisation tables stay per-phase even when the launches are
+not.
 """
 
 from __future__ import annotations
@@ -58,7 +67,14 @@ def token_interval(name: str) -> BufferInterval:
 
 @dataclass(frozen=True)
 class LaunchOp:
-    """One pending kernel launch with its data footprint."""
+    """One pending kernel launch with its data footprint.
+
+    A *fused* op (persistent-kernel mode) carries a ``breakdown`` — a
+    ``((phase, busy_us), ...)`` attribution whose parts sum to
+    ``duration_us`` — so per-phase utilisation accounting can split the one
+    launch's slot occupancy across the phases it covers. Empty for ordinary
+    single-phase launches.
+    """
 
     op_id: int
     name: str
@@ -66,6 +82,7 @@ class LaunchOp:
     duration_us: float
     reads: tuple[BufferInterval, ...] = ()
     writes: tuple[BufferInterval, ...] = ()
+    breakdown: tuple[tuple[str, float], ...] = ()
 
     def conflicts_with(self, other: "LaunchOp") -> bool:
         """True if the two ops cannot be reordered (RAW, WAR or WAW hazard)."""
@@ -111,11 +128,13 @@ class LaunchPlan:
 
     def add(self, name: str, phase: str, duration_us: float,
             reads: Sequence[BufferInterval] = (),
-            writes: Sequence[BufferInterval] = ()) -> LaunchOp:
+            writes: Sequence[BufferInterval] = (),
+            breakdown: Sequence[tuple[str, float]] = ()) -> LaunchOp:
         """Append one op in program order; returns it with deps computed."""
         op = LaunchOp(op_id=len(self.ops), name=name, phase=phase,
                       duration_us=float(duration_us),
-                      reads=tuple(reads), writes=tuple(writes))
+                      reads=tuple(reads), writes=tuple(writes),
+                      breakdown=tuple(breakdown))
         deps: set[int] = set()
         for interval in op.reads:                 # RAW: earlier writes
             for other_id, other, other_writes in \
@@ -151,7 +170,12 @@ class LaunchPlan:
 
 @dataclass(frozen=True)
 class SlotRecord:
-    """One scheduled op: which slot ran it and when."""
+    """One scheduled op: which slot ran it and when.
+
+    ``breakdown`` propagates a fused op's per-phase attribution (see
+    :class:`LaunchOp`) into the schedule, where :meth:`ScheduleResult.utilization`
+    and the tracing layer's launch spans consume it.
+    """
 
     op_id: int
     name: str
@@ -159,6 +183,7 @@ class SlotRecord:
     slot: int
     start_us: float
     end_us: float
+    breakdown: tuple[tuple[str, float], ...] = ()
 
     @property
     def duration_us(self) -> float:
@@ -189,18 +214,31 @@ class ScheduleResult:
         :class:`SlotRecord` (tagged with its schedule-record index), and the
         span-derived busy totals reconcile bit-for-bit with this method's
         sums — see :func:`repro.harness.report.format_trace_summary`.
+
+        Fused records (persistent-kernel mode) split their busy slot-cycles
+        across the phases named in their ``breakdown`` — each covered phase
+        accrues its share of busy time and counts the fused record inside
+        its wall span — while ``ops`` stays the number of scheduled launches
+        *owned* by each phase tag, so launch counts keep meaning "launches".
         """
         makespan = self.makespan_us
         busy = sum(r.duration_us for r in self.records)
         idle = max(0.0, self.num_slots * makespan - busy)
         saturated = _time_at_concurrency(self.records, self.num_slots)
         phases: dict[str, dict] = {}
+        touching: dict[str, list[SlotRecord]] = {}
         for record in self.records:
-            entry = phases.setdefault(record.phase, {"ops": 0, "busy_us": 0.0})
-            entry["ops"] += 1
-            entry["busy_us"] += record.duration_us
+            parts = record.breakdown or ((record.phase, record.duration_us),)
+            for phase, part_us in parts:
+                entry = phases.setdefault(phase, {"ops": 0, "busy_us": 0.0})
+                entry["busy_us"] += part_us
+                bucket = touching.setdefault(phase, [])
+                if not bucket or bucket[-1] is not record:
+                    bucket.append(record)
+            phases.setdefault(record.phase,
+                              {"ops": 0, "busy_us": 0.0})["ops"] += 1
         for phase, entry in phases.items():
-            phase_records = [r for r in self.records if r.phase == phase]
+            phase_records = touching.get(phase, [])
             span = _covered_us(phase_records)
             entry["span_us"] = span
             entry["concurrency"] = (entry["busy_us"] / span) if span > 0 else 0.0
@@ -318,7 +356,7 @@ class LaunchScheduler:
             end_us[op_id] = end
             records.append(SlotRecord(
                 op_id=op_id, name=op.name, phase=op.phase, slot=slot,
-                start_us=start, end_us=end,
+                start_us=start, end_us=end, breakdown=op.breakdown,
             ))
             for dependent in dependents[op_id]:
                 indegree[dependent] -= 1

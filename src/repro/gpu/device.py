@@ -121,6 +121,21 @@ class DeviceSpec:
         return max(2, self.sm_count // 10)
 
     @property
+    def device_sync_us(self) -> float:
+        """Cost of one device-local synchronisation, in microseconds.
+
+        A persistent (fused) kernel replaces the global barrier between two
+        phase launches with an on-device sync: every resident block drains
+        its outstanding global-memory traffic and passes a flag, which costs
+        roughly one round-trip of global-memory latency instead of a full
+        launch tear-down/set-up. Like :attr:`concurrent_launch_slots` this is
+        a *timing* property only — it shapes predicted fused-kernel times,
+        never output bytes — so it stays out of
+        :attr:`functional_fingerprint`.
+        """
+        return self.mem_latency_cycles / (self.clock_ghz * 1e3)
+
+    @property
     def functional_fingerprint(self) -> tuple:
         """The fields that can influence *what* a sort computes, not how fast.
 

@@ -34,7 +34,7 @@ from .errors import KernelExecutionError
 from .grid import LaunchConfig
 from .memory import GlobalMemory
 from .stream import KernelRecord, KernelTrace
-from .timing import DeviceTimeModel, KernelTime
+from .timing import DeviceTimeModel, FusedKernelTime, KernelTime
 from .vector import VectorContext
 
 KernelFn = Callable[..., None]
@@ -199,6 +199,55 @@ def launch_vectorized(
                           kernel_phase, regs, trace, time_model)
 
 
+def fuse_records(records: list[KernelRecord], device: DeviceSpec, *,
+                 name: str, phase: str) -> KernelRecord:
+    """Fold the launches of one persistent kernel into a single fused record.
+
+    The persistent-threads idiom: the phase bodies ran back-to-back inside one
+    resident grid, so the fused record charges exactly **one** kernel-launch
+    overhead, and each interior phase boundary costs a device-local sync
+    (:attr:`~repro.gpu.device.DeviceSpec.device_sync_us`) instead of a full
+    kernel tear-down/relaunch. Counters are the exact sum of the constituents
+    (with ``kernel_launches`` collapsed to 1); the per-constituent *work* —
+    each predicted time minus its own launch overhead — is preserved verbatim
+    in a :class:`~repro.gpu.timing.FusedKernelTime`, and ``fused_phases``
+    carries the per-phase breakdown (plus the fused overhead under the fused
+    record's own phase tag) so the parts sum exactly to the record's total.
+    """
+    if not records:
+        raise ValueError("cannot fuse an empty launch sequence")
+    counters = KernelCounters()
+    for record in records:
+        counters += record.counters
+    # One resident grid means one dispatch, whatever the body launched.
+    counters.kernel_launches = 1
+
+    work_us = 0.0
+    memory_us = 0.0
+    compute_us = 0.0
+    phase_work: dict[str, float] = {}
+    for record in records:
+        work = record.time.total_us - record.time.overhead_us
+        work_us += work
+        memory_us += record.time.memory_us
+        compute_us += record.time.compute_us
+        phase_work[record.phase] = phase_work.get(record.phase, 0.0) + work
+    overhead_us = (device.kernel_launch_overhead_us
+                   + (len(records) - 1) * device.device_sync_us)
+    time = FusedKernelTime(
+        memory_us=memory_us, compute_us=compute_us, overhead_us=overhead_us,
+        overlap=0.0, work_us=work_us,
+    )
+    # The resident grid is sized for the widest constituent: a persistent
+    # kernel launches once with enough blocks for its biggest stage.
+    resident = max(records, key=lambda r: r.launch.grid_dim).launch
+    fused_phases = tuple(phase_work.items()) + ((phase, overhead_us),)
+    return KernelRecord(
+        name=name, phase=phase, launch=resident, counters=counters,
+        time=time, fused_phases=fused_phases, constituents=tuple(records),
+    )
+
+
 class KernelLauncher:
     """Convenience object bundling device, memory, trace and time model.
 
@@ -236,9 +285,34 @@ class KernelLauncher:
         return launch_vectorized(fn, launch_config, self.device, self.gmem,
                                  *args, **kwargs)
 
+    def launch_persistent(self, body: Callable[["KernelLauncher"], object], *,
+                          name: str, phase: str):
+        """Run several phase bodies as **one** resident (persistent) launch.
+
+        ``body`` receives a sub-launcher sharing this launcher's device,
+        global memory, time model and backend, but recording into a scratch
+        trace — every kernel it launches computes exactly the bytes it would
+        standalone (same math, same memory, same backend). The scratch
+        records are then folded by :func:`fuse_records` into a single fused
+        :class:`~repro.gpu.stream.KernelRecord` on this launcher's trace,
+        charging one launch overhead plus one device-local sync per interior
+        stage boundary instead of N launches and N-1 global barriers.
+
+        Returns ``(body_result, fused_record)``.
+        """
+        sub = KernelLauncher(self.device, gmem=self.gmem, trace=KernelTrace())
+        sub.time_model = self.time_model
+        sub.backend = self.backend
+        result = body(sub)
+        fused = fuse_records(sub.trace.records, self.device,
+                             name=name, phase=phase)
+        self.trace.append(fused)
+        return result, fused
+
     @property
     def total_time_us(self) -> float:
         return self.trace.total_time_us
 
 
-__all__ = ["kernel", "launch", "launch_vectorized", "KernelLauncher"]
+__all__ = ["kernel", "launch", "launch_vectorized", "fuse_records",
+           "KernelLauncher"]

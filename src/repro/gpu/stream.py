@@ -21,13 +21,24 @@ from .timing import KernelTime
 
 @dataclass
 class KernelRecord:
-    """One kernel launch in a trace."""
+    """One kernel launch in a trace.
+
+    A *fused* record (produced by ``KernelLauncher.launch_persistent``) folds
+    several phase bodies into one resident launch: ``constituents`` keeps the
+    per-phase records it absorbed and ``fused_phases`` is a
+    ``((phase, busy_us), ...)`` breakdown whose parts sum exactly to
+    :attr:`time_us`, so per-phase accounting (utilisation tables, span
+    reconciliation) can attribute the fused launch's slot occupancy back to
+    the phases it covers. Both stay empty for ordinary launches.
+    """
 
     name: str
     phase: str
     launch: LaunchConfig
     counters: KernelCounters
     time: KernelTime
+    fused_phases: tuple = ()
+    constituents: tuple = ()
 
     @property
     def time_us(self) -> float:

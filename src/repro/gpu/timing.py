@@ -54,6 +54,28 @@ class KernelTime:
         return "memory" if self.memory_us >= self.compute_us else "compute"
 
 
+@dataclass(frozen=True)
+class FusedKernelTime(KernelTime):
+    """Timing of one persistent (fused) launch built from several phase bodies.
+
+    The constituent launches were each predicted individually, with their own
+    occupancy/overlap factors; re-deriving an overlap from the *summed*
+    memory/compute totals would change the work estimate. So the fused record
+    carries the exact summed work of its constituents (``work_us`` — each
+    constituent's ``total_us`` minus its launch overhead) and overrides
+    ``total_us`` to ``work_us + overhead_us``, where the overhead is one
+    kernel-launch cost plus one :attr:`DeviceSpec.device_sync_us` per fused
+    phase boundary. ``memory_us``/``compute_us`` keep the constituent sums so
+    :attr:`bound` still reports the dominating resource.
+    """
+
+    work_us: float = 0.0
+
+    @property
+    def total_us(self) -> float:
+        return self.work_us + self.overhead_us
+
+
 class DeviceTimeModel:
     """Maps :class:`KernelCounters` to predicted time on a :class:`DeviceSpec`."""
 
@@ -123,4 +145,4 @@ class DeviceTimeModel:
         return self.kernel_time(counters, launch, regs_per_thread).total_us
 
 
-__all__ = ["KernelTime", "DeviceTimeModel"]
+__all__ = ["KernelTime", "FusedKernelTime", "DeviceTimeModel"]

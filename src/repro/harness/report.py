@@ -593,8 +593,17 @@ def format_trace_summary(tracer, request, title: Optional[str] = None) -> str:
         phase_busy: dict[str, float] = {}
         for launch in launches:
             busy += launch.duration_us
-            phase = launch.attributes.get("phase", "?")
-            phase_busy[phase] = phase_busy.get(phase, 0.0) + launch.duration_us
+            # A fused launch (persistent-kernel mode) carries a per-phase
+            # breakdown whose parts are the exact floats utilization()
+            # summed, so the reconciliation below stays bit-for-bit.
+            breakdown = launch.attributes.get("breakdown")
+            if breakdown:
+                for phase, amount in breakdown.items():
+                    phase_busy[phase] = phase_busy.get(phase, 0.0) + amount
+            else:
+                phase = launch.attributes.get("phase", "?")
+                phase_busy[phase] = (phase_busy.get(phase, 0.0)
+                                     + launch.duration_us)
         expected_busy = e_attrs.get("busy_slot_us")
         expected_phase = e_attrs.get("phase_busy_us", {})
         reconciles = (

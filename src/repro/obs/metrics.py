@@ -108,17 +108,26 @@ class Histogram:
     time ``0.0``. :meth:`window` snapshots the sub-sequence inside a
     ``(start_us, end_us]`` window — the primitive the sliding-window SLIs in
     :mod:`repro.obs.sli` slice their availability/goodput windows with.
+
+    :meth:`snapshot` is on the serving hot path (every ``stats()`` call
+    walks every histogram), so the sorted copy its percentiles are read
+    from is cached and invalidated by :meth:`observe` — repeated snapshots
+    between observations sort once, not once per call. Percentiles and max
+    are pure functions of the sorted multiset, and the mean still sums in
+    arrival order, so the cache is invisible in the reported values.
     """
 
-    __slots__ = ("_values", "_at_us")
+    __slots__ = ("_values", "_at_us", "_sorted")
 
     def __init__(self) -> None:
         self._values: list[float] = []
         self._at_us: list[float] = []
+        self._sorted: Optional[np.ndarray] = None
 
     def observe(self, value: float, at_us: float = 0.0) -> None:
         self._values.append(value)
         self._at_us.append(float(at_us))
+        self._sorted = None  # invalidate the snapshot cache
 
     @property
     def count(self) -> int:
@@ -156,8 +165,29 @@ class Histogram:
         layer ``stats()`` historically made over its result lists, so a
         histogram observed in commit order reproduces those values
         byte-for-byte. An empty histogram reports finite zeros.
+
+        Percentiles and max are read from a cached sorted array (rebuilt
+        lazily after each :meth:`observe`); ``np.percentile`` is a function
+        of the order statistics alone, so the values are identical to a
+        fresh unsorted computation. The mean deliberately sums in arrival
+        order — summation order changes the float result, and the contract
+        above pins the historical arrival-order sum.
         """
-        return _exact_summary(self._values, percentiles)
+        values = self._values
+        out: dict = {"count": len(values)}
+        if not values:
+            for q in percentiles:
+                out[_percentile_key(q)] = 0.0
+            out["mean"] = 0.0
+            out["max"] = 0.0
+            return out
+        if self._sorted is None:
+            self._sorted = np.sort(np.asarray(values))
+        for q in percentiles:
+            out[_percentile_key(q)] = float(np.percentile(self._sorted, q))
+        out["mean"] = float(np.mean(np.asarray(values)))
+        out["max"] = float(self._sorted[-1])
+        return out
 
     def window(self, start_us: float, end_us: float,
                percentiles: Sequence[float] = (50, 95, 99)) -> dict:

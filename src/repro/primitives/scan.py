@@ -12,6 +12,12 @@ The device-level scan follows the classic three-kernel structure (a
 work-efficient Blelloch scan): each block scans its tile and emits a block sum,
 the block sums are scanned (recursively if necessary), and a final kernel adds
 each block's offset to its tile.
+
+Under ``SampleSortConfig.fusion_mode="persistent"`` these same kernels run as
+the middle stage of the engine's fused Phases-2→3→4 launch
+(:meth:`repro.gpu.kernel.KernelLauncher.launch_persistent`): the scan bodies
+and their counters are unchanged — only the launch accounting is folded into
+the fused record.
 """
 
 from __future__ import annotations

@@ -230,3 +230,91 @@ class TestCacheEvents:
         assert len(events) == 0
         assert events.total_recorded == 0
         assert cache.stats()["admitted_bytes"] == 40  # telemetry ungated
+
+
+class TestDigestComputedOnce:
+    """The front end hashes each request's payload exactly once.
+
+    Hashing n elements is the most expensive front-end step, so ``submit()``
+    computes the digest and every later consumer — drain's cache lookup, the
+    in-flight coalescing map, the cache fill after a replica run — reuses the
+    stored value instead of re-hashing the payload.
+    """
+
+    def _cluster(self, **overrides):
+        from repro.cluster import ClusterConfig, SortCluster
+        from repro.service import ServiceConfig
+
+        service = ServiceConfig(
+            num_shards=1, sorter=CONFIG, queue_capacity=16,
+            max_request_elements=1 << 16, max_batch_requests=4,
+            max_batch_elements=1 << 14, max_wait_us=100.0,
+            shard_threshold=5000,
+        )
+        defaults = dict(num_replicas=1, service=service, cache_lookup_us=0.5)
+        defaults.update(overrides)
+        return SortCluster(ClusterConfig(**defaults))
+
+    def _counting_digest(self, monkeypatch):
+        import repro.cluster.cluster as cluster_module
+
+        calls = []
+        real = request_digest
+
+        def counting(keys, values, config):
+            calls.append(keys.tobytes())
+            return real(keys, values, config)
+
+        monkeypatch.setattr(cluster_module, "request_digest", counting)
+        return calls
+
+    def test_one_hash_per_request_through_the_full_lifecycle(self, monkeypatch):
+        calls = self._counting_digest(monkeypatch)
+        cluster = self._cluster()
+        rng = np.random.default_rng(8)
+        payload = rng.integers(0, 1 << 16, 4000).astype(np.uint32)
+        other = rng.integers(0, 1 << 16, 3000).astype(np.uint32)
+
+        # cold run + identical twin (coalesced) + distinct request
+        cluster.submit(payload.copy(), arrival_us=0.0)
+        cluster.submit(payload.copy(), arrival_us=1.0)
+        cluster.submit(other.copy(), arrival_us=2.0)
+        results = cluster.drain()
+        # repeat of the first payload: a cache hit, hashed once more at submit
+        cluster.submit(payload.copy(), arrival_us=100.0)
+        results.update(cluster.drain())
+
+        assert len(calls) == 4  # exactly one hash per submitted request
+        sources = sorted(r.source for r in results.values())
+        assert sources == ["cache", "coalesced", "replica", "replica"]
+        for result in results.values():
+            expected = np.sort(payload if result.n == 4000 else other)
+            assert np.array_equal(result.keys, expected)
+
+    def test_caller_supplied_digest_skips_hashing(self, monkeypatch):
+        calls = self._counting_digest(monkeypatch)
+        cluster = self._cluster()
+        keys = np.arange(2000, dtype=np.uint32)[::-1].copy()
+        digest = request_digest(keys, None, CONFIG)
+
+        cluster.submit(keys.copy(), arrival_us=0.0, digest=digest)
+        first = cluster.drain()
+        cluster.submit(keys.copy(), arrival_us=50.0, digest=digest)
+        second = cluster.drain()
+
+        assert calls == []  # the pass-through removed every hash
+        (cold,) = first.values()
+        (hit,) = second.values()
+        assert cold.source == "replica"
+        assert hit.source == "cache"
+        assert hit.keys.tobytes() == cold.keys.tobytes()
+
+    def test_no_hash_at_all_without_a_cache(self, monkeypatch):
+        calls = self._counting_digest(monkeypatch)
+        cluster = self._cluster(cache_capacity_bytes=0)
+        keys = np.arange(1000, dtype=np.uint32)[::-1].copy()
+        cluster.submit(keys, arrival_us=0.0)
+        results = cluster.drain()
+        assert calls == []
+        (result,) = results.values()
+        assert result.source == "replica"

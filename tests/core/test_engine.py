@@ -21,14 +21,16 @@ from repro.harness.report import format_launch_summary
 def _two_level_config(mode, launch_mode="barriered"):
     """k=16, M=512: a 20k-element input needs exactly two distribution levels.
 
-    The launch-budget assertions below pin the *barriered* launch structure
-    (one fused launch set per phase per level, one final bucket sort); the
-    pipelined default splits levels into per-slot cohorts and is covered by
-    :class:`TestPipelinedLaunches`.
+    The launch-budget assertions below pin the *barriered*, *phase-separate*
+    launch structure (one fused launch set per phase per level, one final
+    bucket sort); the pipelined default splits levels into per-slot cohorts
+    and is covered by :class:`TestPipelinedLaunches`, and the persistent
+    fusion axis has its own structural tests in
+    ``tests/core/test_fusion_mode.py``.
     """
     return SampleSortConfig.small().with_(
         k=16, bucket_threshold=512, execution_mode=mode, seed=11,
-        launch_mode=launch_mode,
+        launch_mode=launch_mode, fusion_mode="phases",
     )
 
 

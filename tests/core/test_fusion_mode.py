@@ -1,0 +1,199 @@
+"""Tests for the persistent-kernel fusion axis (``fusion_mode="persistent"``).
+
+The phase-separate launch structure is pinned by ``tests/core/test_engine.py``;
+this module pins the *fused* structure: one resident Phases-2→3→4 launch per
+level per cohort, the record-folding maths of
+:func:`repro.gpu.kernel.fuse_records`, and the stats/trace surface the engine
+exposes for fused runs. Byte identity between the two modes across every other
+axis lives in ``tests/property/test_fusion_mode_parity.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SampleSortConfig
+from repro.core.engine import FUSED_PHASE
+from repro.core.sample_sort import SampleSorter
+from repro.datagen import make_input
+from repro.gpu.device import TESLA_C1060
+from repro.gpu.grid import grid_for
+from repro.gpu.kernel import KernelLauncher, fuse_records
+from repro.gpu.timing import FusedKernelTime
+
+
+def _config(fusion_mode, **overrides):
+    return SampleSortConfig.small().with_(
+        k=16, bucket_threshold=512, seed=11, fusion_mode=fusion_mode,
+        **overrides,
+    )
+
+
+@pytest.fixture
+def workload():
+    return make_input("uniform", 20_000, "uint32", with_values=True, seed=4)
+
+
+def _noop_kernel(ctx, scale):
+    ctx.counters.global_bytes_read += 64 * scale
+    ctx.counters.global_bytes_written += 16 * scale
+    ctx.counters.instructions += 8 * scale
+
+
+class TestFuseRecords:
+    """Unit behaviour of folding a launch sequence into one fused record."""
+
+    def _records(self, count=3):
+        launcher = KernelLauncher(TESLA_C1060)
+        for i in range(count):
+            launcher.launch(_noop_kernel, grid_for(4096 * (i + 1), 256), i + 1,
+                            phase=f"phase{i}", name=f"k{i}")
+        return launcher, launcher.trace.records
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            fuse_records([], TESLA_C1060, name="f", phase="p")
+
+    def test_one_launch_overhead_plus_interior_syncs(self):
+        launcher, records = self._records(3)
+        fused = fuse_records(records, TESLA_C1060, name="f", phase="p")
+        device = TESLA_C1060
+        expected_overhead = (device.kernel_launch_overhead_us
+                             + 2 * device.device_sync_us)
+        assert isinstance(fused.time, FusedKernelTime)
+        assert fused.time.overhead_us == pytest.approx(expected_overhead)
+        # device-local sync is far cheaper than a kernel boundary
+        assert device.device_sync_us < device.kernel_launch_overhead_us
+
+    def test_work_time_is_preserved_exactly(self):
+        launcher, records = self._records(3)
+        fused = fuse_records(records, TESLA_C1060, name="f", phase="p")
+        work = sum(r.time.total_us - r.time.overhead_us for r in records)
+        assert fused.time.work_us == pytest.approx(work, abs=0.0)
+        assert fused.time.total_us == fused.time.work_us + fused.time.overhead_us
+
+    def test_counters_sum_with_one_launch(self):
+        launcher, records = self._records(3)
+        fused = fuse_records(records, TESLA_C1060, name="f", phase="p")
+        assert fused.counters.kernel_launches == 1
+        assert fused.counters.global_bytes_read == sum(
+            r.counters.global_bytes_read for r in records)
+        assert fused.counters.instructions == sum(
+            r.counters.instructions for r in records)
+
+    def test_breakdown_parts_sum_to_total(self):
+        launcher, records = self._records(3)
+        fused = fuse_records(records, TESLA_C1060, name="f", phase="fusedtag")
+        parts = dict(fused.fused_phases)
+        assert set(parts) == {"phase0", "phase1", "phase2", "fusedtag"}
+        assert sum(parts.values()) == pytest.approx(fused.time.total_us)
+        # the residual booked under the fused tag is exactly the overhead
+        assert parts["fusedtag"] == fused.time.overhead_us
+
+    def test_resident_grid_is_widest_constituent(self):
+        launcher, records = self._records(3)
+        fused = fuse_records(records, TESLA_C1060, name="f", phase="p")
+        assert fused.launch.grid_dim == max(r.launch.grid_dim for r in records)
+        assert fused.constituents == tuple(records)
+
+    def test_launch_persistent_appends_one_record(self):
+        launcher = KernelLauncher(TESLA_C1060)
+
+        def body(sub):
+            sub.launch(_noop_kernel, grid_for(1024, 256), 1, phase="a")
+            sub.launch(_noop_kernel, grid_for(2048, 256), 2, phase="b")
+            return "done"
+
+        result, fused = launcher.launch_persistent(body, name="f", phase="p")
+        assert result == "done"
+        assert launcher.trace.records == [fused]
+        assert fused.counters.kernel_launches == 1
+        assert len(fused.constituents) == 2
+
+
+class TestFusedEngineStructure:
+    """The engine-level shape of a persistent-mode multi-level sort."""
+
+    def test_fused_launches_replace_phase_234(self, workload):
+        result = SampleSorter(config=_config("persistent")).sort(
+            workload.keys, workload.values)
+        assert np.array_equal(result.keys, np.sort(workload.keys))
+        assert result.stats["fusion_mode"] == "persistent"
+
+        by_phase = result.stats["launches_by_phase"]
+        levels = result.stats["levels"]
+        # phases 2-4 ride inside the fused launches; only phase 1 and the
+        # bucket sort remain as separate top-level launches
+        assert by_phase[FUSED_PHASE] >= levels
+        for folded in ("phase2_histogram", "phase3_scan", "phase4_scatter"):
+            assert folded not in by_phase
+        # every cohort pairs one splitter launch with one fused launch
+        assert by_phase["phase1_splitters"] == by_phase[FUSED_PHASE]
+        assert by_phase["bucket_sort"] >= 1
+
+    def test_fused_launch_count_and_savings_stats(self, workload):
+        persistent = SampleSorter(config=_config("persistent")).sort(
+            workload.keys)
+        phased = SampleSorter(config=_config("phases")).sort(workload.keys)
+
+        assert persistent.stats["fused_launches"] > 0
+        assert phased.stats["fused_launches"] == 0
+        saved = sum(info["launches_saved"]
+                    for info in persistent.stats["level_launches"])
+        assert saved > 0
+        assert persistent.stats["kernel_launches"] == \
+            phased.stats["kernel_launches"] - saved
+        # per-level reporting carries the fusion columns
+        for info in persistent.stats["level_launches"]:
+            assert info["fused_launches"] >= 1
+        for info in phased.stats["level_launches"]:
+            assert info["fused_launches"] == 0
+            assert info["launches_saved"] == 0
+
+    def test_fusion_reduces_makespan(self, workload):
+        persistent = SampleSorter(config=_config("persistent")).sort(
+            workload.keys)
+        phased = SampleSorter(config=_config("phases")).sort(workload.keys)
+        assert persistent.stats["makespan_us"] < phased.stats["makespan_us"]
+        # critical path shrinks too: fewer launch overheads on the spine
+        assert persistent.stats["critical_path_us"] <= \
+            phased.stats["critical_path_us"]
+
+    def test_utilization_attributes_fused_slots_per_phase(self, workload):
+        result = SampleSorter(config=_config("persistent")).sort(workload.keys)
+        util = result.stats["utilization"]
+        phases = util["phases"]
+        # the breakdown re-attributes fused busy time to constituent phases
+        for phase in ("phase2_histogram", "phase3_scan", "phase4_scatter",
+                      FUSED_PHASE):
+            assert phase in phases
+            assert phases[phase]["busy_us"] > 0.0
+        # ops are owned by the fused tag, not the folded phases
+        assert phases[FUSED_PHASE]["ops"] == result.stats["fused_launches"]
+        assert phases["phase2_histogram"]["ops"] == 0
+        assert util["busy_slot_us"] + util["idle_slot_us"] == pytest.approx(
+            util["num_slots"] * util["makespan_us"])
+
+    def test_plan_ops_match_trace_records(self, workload):
+        result = SampleSorter(config=_config("persistent")).sort(workload.keys)
+        assert result.stats["kernel_launches"] == result.trace.kernel_count
+        assert sum(result.stats["launches_by_phase"].values()) == \
+            result.trace.kernel_count
+
+
+class TestFusionConfig:
+    def test_invalid_fusion_mode_rejected(self):
+        with pytest.raises(ValueError, match="fusion_mode"):
+            SampleSortConfig.small().with_(fusion_mode="resident")
+
+    def test_env_default(self, monkeypatch):
+        import importlib
+
+        import repro.core.config as config_module
+        monkeypatch.setenv("REPRO_FUSION_MODE", "persistent")
+        importlib.reload(config_module)
+        try:
+            assert config_module.DEFAULT_FUSION_MODE == "persistent"
+            assert config_module.SampleSortConfig().fusion_mode == "persistent"
+        finally:
+            monkeypatch.delenv("REPRO_FUSION_MODE")
+            importlib.reload(config_module)

@@ -113,6 +113,57 @@ class TestLaunchPlanHazards:
         plan.add("scan_b", "phase3", 1.0, writes=[tok])
         assert plan.deps == [[], [0]]
 
+    def test_touching_half_open_intervals_create_no_hazard(self):
+        """Adjacent [lo, mid) / [mid, hi) footprints are independent.
+
+        The engine carves segment cohorts at exact element boundaries, so a
+        off-by-one here would either serialize every neighbouring cohort
+        (span closed at both ends) or miss a real overlap (exclusive lo).
+        """
+        plan = LaunchPlan()
+        plan.add("left", "p", 1.0, writes=[_iv("buf", 0, 10)])
+        plan.add("right", "p", 1.0, writes=[_iv("buf", 10, 20)],
+                 reads=[_iv("buf", 20, 30)])
+        plan.add("reader", "p", 1.0, reads=[_iv("buf", 0, 10)])
+        # ...but extending right's write by one element trips the hazard
+        plan.add("overlap", "p", 1.0, reads=[_iv("buf", 9, 10)])
+        assert plan.deps == [[], [], [0], [0]]
+
+    def test_zero_length_footprints_are_rejected_not_ignored(self):
+        """An empty interval is a construction error wherever it appears.
+
+        A silent empty footprint would make an op conflict-free by accident;
+        the interval type refuses to exist instead, on every rejection path.
+        """
+        for lo, hi in ((0, 0), (5, 5), (7, 3), (-1, -1)):
+            with pytest.raises(ValueError):
+                _iv("buf", lo, hi)
+        # an op with genuinely *no* footprint is legal and never conflicts
+        plan = LaunchPlan()
+        plan.add("writer", "p", 1.0, writes=[_iv("buf", 0, 10)])
+        plan.add("footloose", "p", 1.0)
+        assert plan.deps == [[], []]
+
+    def test_war_only_chain_serializes_without_raw(self):
+        """Write-after-read alone orders ops (the double-buffer flip).
+
+        Each op writes exactly the region its predecessor only *read* —
+        there is never a read of an earlier write, so a tracker that only
+        follows RAW/WAW edges would schedule all three concurrently and let
+        op 1 clobber the input op 0 is still reading.
+        """
+        plan = LaunchPlan()
+        plan.add("r0", "p", 1.0, reads=[_iv("buf", 0, 10)],
+                 writes=[_iv("other", 0, 10)])
+        plan.add("w1", "p", 1.0, writes=[_iv("buf", 0, 10)],
+                 reads=[_iv("spare", 0, 10)])
+        plan.add("w2", "p", 1.0, writes=[_iv("spare", 5, 15)])
+        assert plan.deps == [[], [0], [1]]
+        # the chain really serializes even with slots to spare
+        schedule = LaunchScheduler(num_slots=3).schedule(plan)
+        _assert_valid_schedule(plan, schedule)
+        assert schedule.makespan_us == pytest.approx(3.0)
+
 
 def _assert_valid_schedule(plan, schedule):
     """Deps retire before dependents start; slots never double-book."""
@@ -211,6 +262,42 @@ class TestUtilization:
         assert work["busy_us"] == pytest.approx(8.0)
         assert work["span_us"] == pytest.approx(5.0)
         assert work["concurrency"] == pytest.approx(1.6)
+
+    def test_fused_op_breakdown_splits_busy_time_across_phases(self):
+        """A fused op's slot-cycles land on its constituent phase tags.
+
+        Mirrors the persistent-kernel engine: the op is *owned* by the fused
+        tag (it counts the launch), while ``breakdown`` re-attributes its
+        busy time to the folded phases — and the parts must sum exactly so
+        the busy/idle balance still closes.
+        """
+        plan = LaunchPlan()
+        plan.add("warmup", "phase1", 2.0, writes=[_iv("splitters", 0, 10)])
+        plan.add("fused", "fused_tag", 6.0, reads=[_iv("splitters", 0, 10)],
+                 breakdown=(("phase2", 2.5), ("phase3", 0.5),
+                            ("phase4", 2.0), ("fused_tag", 1.0)))
+        schedule = LaunchScheduler(num_slots=2).schedule(plan)
+        util = schedule.utilization()
+
+        phases = util["phases"]
+        assert set(phases) == {"phase1", "phase2", "phase3", "phase4",
+                               "fused_tag"}
+        # busy time follows the breakdown, ops follow ownership
+        assert phases["phase2"]["busy_us"] == pytest.approx(2.5)
+        assert phases["phase3"]["busy_us"] == pytest.approx(0.5)
+        assert phases["phase4"]["busy_us"] == pytest.approx(2.0)
+        assert phases["fused_tag"]["busy_us"] == pytest.approx(1.0)
+        assert phases["fused_tag"]["ops"] == 1
+        for folded in ("phase2", "phase3", "phase4"):
+            assert phases[folded]["ops"] == 0
+            # every folded phase spans the one fused record's wall interval
+            assert phases[folded]["span_us"] == pytest.approx(6.0)
+        assert util["busy_slot_us"] + util["idle_slot_us"] == pytest.approx(
+            util["num_slots"] * util["makespan_us"])
+        # the record itself still carries the breakdown for the trace layer
+        fused_record = next(r for r in schedule.records if r.name == "fused")
+        assert sum(part for _, part in fused_record.breakdown) == \
+            pytest.approx(fused_record.duration_us)
 
     def test_merge_sums_parts_and_recomputes_speedup(self):
         plan = _diamond_plan()

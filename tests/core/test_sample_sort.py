@@ -99,7 +99,11 @@ class TestAlgorithmStructure:
         assert result.stats["distribution_passes"] == 0
         assert "phase2_histogram" not in result.trace.phases()
 
-    def test_phase_labels_present_for_large_input(self, sorter, rng):
+    def test_phase_labels_present_for_large_input(self, small_config, rng):
+        # Pins the phase-separate trace structure; the persistent fusion axis
+        # collapses phases 2-4 into one tag (tests/core/test_fusion_mode.py).
+        sorter = SampleSorter(device=TESLA_C1060,
+                              config=small_config.with_(fusion_mode="phases"))
         keys = rng.integers(0, 2**32, 8000, dtype=np.uint64).astype(np.uint32)
         result = sorter.sort(keys)
         phases = result.trace.phases()

@@ -59,11 +59,13 @@ class TestEndToEndPaperConfiguration:
         values = np.arange(n, dtype=np.uint32)
         sorter = SampleSorter(device=TESLA_C1060,
                               config=SampleSortConfig.paper().with_(
-                                  bucket_threshold=1 << 14))
+                                  bucket_threshold=1 << 14,
+                                  fusion_mode="phases"))
         result = sorter.sort(keys, values)
         assert validate_result(result, keys, values).ok
         assert result.stats["distribution_passes"] >= 1
-        # phase structure of Section 4 is present
+        # phase structure of Section 4 is present (pinned phase-separate;
+        # the persistent fusion axis collapses phases 2-4 into one launch)
         phases = result.trace.phases()
         assert phases[:4] == ["phase1_splitters", "phase2_histogram",
                               "phase3_scan", "phase4_scatter"]

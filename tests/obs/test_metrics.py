@@ -45,6 +45,32 @@ def test_histogram_snapshot_matches_numpy_exactly():
     assert hist.values() == values  # arrival order preserved
 
 
+def test_histogram_snapshot_cache_survives_interleaving():
+    """Interleaved observe/snapshot never changes a reported value.
+
+    The sorted array behind percentiles/max is cached between snapshots and
+    invalidated by observe(); this pins that the cache is invisible — every
+    snapshot equals a fresh histogram's snapshot over the same prefix, and
+    repeated snapshots with no new observations are identical.
+    """
+    rng = np.random.default_rng(7)
+    stream = [float(v) for v in rng.normal(50.0, 20.0, 64)]
+    hist = Histogram()
+    for index, value in enumerate(stream):
+        hist.observe(value, at_us=float(index))
+        if index % 5 == 0:
+            continue  # some observations land without an intervening read
+        snap = hist.snapshot(percentiles=(50, 90, 95, 99))
+        fresh = Histogram()
+        for at, prefix_value in enumerate(stream[:index + 1]):
+            fresh.observe(prefix_value, at_us=float(at))
+        assert snap == fresh.snapshot(percentiles=(50, 90, 95, 99))
+        # a second read off the warm cache is byte-identical
+        assert hist.snapshot(percentiles=(50, 90, 95, 99)) == snap
+    # the window path is unaffected by the snapshot cache
+    assert hist.window(10.0, 20.0) == fresh.window(10.0, 20.0)
+
+
 def test_histogram_empty_snapshot_is_finite_zeros():
     snap = Histogram().snapshot(percentiles=(50, 99))
     assert snap == {"count": 0, "p50": 0.0, "p99": 0.0, "mean": 0.0,

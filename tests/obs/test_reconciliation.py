@@ -62,8 +62,17 @@ def _assert_engine_reconciles(tracer: Tracer, engine) -> None:
     phase_busy: dict[str, float] = {}
     for launch in launches:
         busy += launch.duration_us
-        phase = launch.attributes["phase"]
-        phase_busy[phase] = phase_busy.get(phase, 0.0) + launch.duration_us
+        # Fused launches (fusion_mode="persistent") attribute their busy time
+        # per covered phase via the breakdown attribute — the same floats
+        # utilization() summed, so equality stays exact, never approximate.
+        breakdown = launch.attributes.get("breakdown")
+        if breakdown:
+            for phase, amount in breakdown.items():
+                phase_busy[phase] = phase_busy.get(phase, 0.0) + amount
+        else:
+            phase = launch.attributes["phase"]
+            phase_busy[phase] = (phase_busy.get(phase, 0.0)
+                                 + launch.duration_us)
     assert engine.duration_us == attrs["makespan_us"]
     assert busy == attrs["busy_slot_us"]
     assert phase_busy == attrs["phase_busy_us"]

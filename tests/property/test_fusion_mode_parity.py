@@ -1,0 +1,128 @@
+"""Parity property test: persistent-kernel fusion never changes bytes.
+
+The fusion axis is *launch accounting only* — the fused body runs the same
+three phase implementations through the same ArrayBackend ops, so for every
+combination of the other execution axes (kernel mode, launch mode, backend,
+tracing) the persistent run must return byte-identical keys and values to the
+phase-separate solo ``sort()``, with identical memory-traffic and conflict
+counters. The only counter allowed to differ is ``kernel_launches`` — that is
+the entire point of the mode.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.backend.torch_backend import TORCH_AVAILABLE
+from repro.core.config import SampleSortConfig
+from repro.core.sample_sort import SampleSorter
+from repro.datagen import make_input
+from repro.obs import Tracer
+
+BACKENDS = [
+    "numpy",
+    "simulated",
+    pytest.param("torch", marks=pytest.mark.skipif(
+        not TORCH_AVAILABLE, reason="torch not installed")),
+]
+
+
+def _config(fusion_mode, **overrides):
+    return SampleSortConfig.small().with_(
+        k=8, bucket_threshold=256, seed=3, fusion_mode=fusion_mode,
+        **overrides,
+    )
+
+
+def _workload():
+    return make_input("dduplicates", 9000, "uint32", with_values=True, seed=41)
+
+
+def _counters_sans_launches(result):
+    counters = dataclasses.asdict(result.counters())
+    counters.pop("kernel_launches")
+    return counters
+
+
+def _assert_byte_parity(persistent, phased):
+    assert persistent.keys.tobytes() == phased.keys.tobytes()
+    assert persistent.values.tobytes() == phased.values.tobytes()
+    # the work is identical down to every traffic / contention counter;
+    # only the number of launches may shrink
+    assert _counters_sans_launches(persistent) == _counters_sans_launches(phased)
+    assert persistent.stats["kernel_launches"] < phased.stats["kernel_launches"]
+
+
+@pytest.mark.parametrize("kernel_mode", ["per_block", "vectorized"])
+@pytest.mark.parametrize("launch_mode", ["barriered", "pipelined"])
+def test_fusion_parity_across_kernel_and_launch_modes(kernel_mode, launch_mode):
+    workload = _workload()
+    results = {}
+    for fusion_mode in ("phases", "persistent"):
+        config = _config(fusion_mode, kernel_mode=kernel_mode,
+                         launch_mode=launch_mode)
+        results[fusion_mode] = SampleSorter(config=config).sort(
+            workload.keys, workload.values)
+    _assert_byte_parity(results["persistent"], results["phases"])
+    assert np.array_equal(results["persistent"].keys, np.sort(workload.keys))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_fusion_parity_across_backends(backend):
+    workload = _workload()
+    results = {}
+    for fusion_mode in ("phases", "persistent"):
+        config = _config(fusion_mode, kernel_mode="vectorized",
+                         backend=backend)
+        results[fusion_mode] = SampleSorter(config=config).sort(
+            workload.keys, workload.values)
+    _assert_byte_parity(results["persistent"], results["phases"])
+
+
+@pytest.mark.parametrize("distribution", ["uniform", "sorted", "zero",
+                                          "staggered"])
+def test_fusion_modes_agree_across_distributions(distribution):
+    workload = make_input(distribution, 6000, "uint64", with_values=True,
+                          seed=17)
+    results = {}
+    for fusion_mode in ("phases", "persistent"):
+        results[fusion_mode] = SampleSorter(config=_config(fusion_mode)).sort(
+            workload.keys, workload.values)
+    assert results["persistent"].keys.tobytes() == \
+        results["phases"].keys.tobytes()
+    assert results["persistent"].values.tobytes() == \
+        results["phases"].values.tobytes()
+    assert np.array_equal(results["persistent"].keys, np.sort(workload.keys))
+
+
+def test_fusion_preserves_stable_tie_order():
+    """Equal keys keep their phase-separate value order under fusion."""
+    rng = np.random.default_rng(23)
+    keys = rng.integers(0, 50, size=12_000).astype(np.uint32)  # heavy ties
+    values = np.arange(keys.size, dtype=np.uint32)
+    results = {
+        fusion_mode: SampleSorter(config=_config(fusion_mode)).sort(
+            keys, values)
+        for fusion_mode in ("phases", "persistent")
+    }
+    assert results["persistent"].values.tobytes() == \
+        results["phases"].values.tobytes()
+
+
+def test_tracing_never_moves_a_fused_timestamp():
+    """With fusion enabled, trace-off stats are byte-identical to trace-on."""
+    rng = np.random.default_rng(11)
+    keys = rng.integers(0, 1 << 30, size=9000).astype(np.uint32)
+    base = _config("persistent", kernel_mode="vectorized",
+                   launch_mode="pipelined")
+    off = SampleSorter(config=base.with_(trace_mode="off")) \
+        .sort_many([keys.copy()])
+    on = SampleSorter(config=base.with_(trace_mode="spans")) \
+        .sort_many([keys.copy()], tracer=Tracer())
+    assert np.array_equal(off[0].keys, on[0].keys)
+    assert off[0].stats["makespan_us"] == on[0].stats["makespan_us"]
+    assert off[0].stats["utilization"] == on[0].stats["utilization"]
+    assert off[0].stats["fused_launches"] == on[0].stats["fused_launches"]
+    assert "trace_root" not in off[0].stats
+    assert "trace_root" in on[0].stats
