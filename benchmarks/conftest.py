@@ -22,6 +22,30 @@ def print_block(title: str, body: str) -> None:
     print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
 
 
+def generating_config() -> dict:
+    """The resolved ``REPRO_*`` mode axes this benchmark run inherits.
+
+    Every archive writer stamps this dict into its ``BENCH_*.json`` as a
+    top-level ``generating_config`` entry, and ``repro.obs.regress`` refuses
+    to diff records produced under different configurations. The committed
+    archives are the product of the **persistent-fusion** configuration
+    (``REPRO_FUSION_MODE=persistent``, everything else default); a refresh
+    run under any other configuration must be visible in review, not a
+    silent metrics drift.
+    """
+    from repro.core.config import (
+        DEFAULT_BACKEND, DEFAULT_FUSION_MODE, DEFAULT_KERNEL_MODE,
+        DEFAULT_LAUNCH_MODE, DEFAULT_TRACE_MODE,
+    )
+    return {
+        "kernel_mode": DEFAULT_KERNEL_MODE,
+        "launch_mode": DEFAULT_LAUNCH_MODE,
+        "fusion_mode": DEFAULT_FUSION_MODE,
+        "backend": DEFAULT_BACKEND,
+        "trace_mode": DEFAULT_TRACE_MODE,
+    }
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(2026)

@@ -21,7 +21,7 @@ from pathlib import Path
 
 import numpy as np
 
-from conftest import print_block
+from conftest import generating_config, print_block
 from repro.core.config import SampleSortConfig
 from repro.core.sample_sort import SampleSorter
 from repro.cluster import ClusterConfig, SortCluster, TenantSpec
@@ -182,6 +182,7 @@ def test_bench_cluster_replica_scaling(benchmark):
     existing = (json.loads(RESULT_PATH.read_text())
                 if RESULT_PATH.exists() else {})
     existing["cluster_replica_scaling"] = record
+    existing["generating_config"] = generating_config()
     RESULT_PATH.write_text(json.dumps(existing, indent=2) + "\n")
 
     summary = "\n".join(
@@ -250,6 +251,7 @@ def test_bench_cluster_cache_sweep(benchmark):
     existing = (json.loads(RESULT_PATH.read_text())
                 if RESULT_PATH.exists() else {})
     existing["cluster_cache_sweep"] = record
+    existing["generating_config"] = generating_config()
     RESULT_PATH.write_text(json.dumps(existing, indent=2) + "\n")
 
     summary = "\n".join(

@@ -27,7 +27,7 @@ from pathlib import Path
 
 import numpy as np
 
-from conftest import print_block
+from conftest import generating_config, print_block
 from repro.core.config import SampleSortConfig
 from repro.core.sample_sort import SampleSorter
 from repro.gpu.device import GTX_285, TESLA_C1060
@@ -181,6 +181,7 @@ def test_bench_device_pools(benchmark):
             assert makespans[f"mixed/{num_shards}"] <= \
                 makespans[f"c1060/{num_shards}"] * 1.001
 
+    record["generating_config"] = generating_config()
     RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
     summary = "\n".join(
         f"{key:>10}: {entry['throughput_elements_per_us']:>7.2f} elem/us, "

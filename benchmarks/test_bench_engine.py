@@ -26,7 +26,7 @@ from pathlib import Path
 
 import numpy as np
 
-from conftest import print_block
+from conftest import generating_config, print_block
 from repro.core.config import SampleSortConfig
 from repro.core.sample_sort import SampleSorter
 from repro.datagen import make_input
@@ -71,6 +71,7 @@ def _archive(entry_name: str, record: dict) -> None:
         except json.JSONDecodeError:
             pass
     merged[entry_name] = record
+    merged["generating_config"] = generating_config()
     RESULT_PATH.write_text(json.dumps(merged, indent=2) + "\n")
 
 

@@ -22,7 +22,7 @@ from pathlib import Path
 
 import numpy as np
 
-from conftest import print_block
+from conftest import generating_config, print_block
 from repro.core.config import SampleSortConfig
 from repro.harness.report import format_service_report, format_trace_summary
 from repro.obs import chrome_trace, validate_chrome_trace
@@ -109,5 +109,6 @@ def test_bench_trace_timeline(benchmark):
         "schema_errors": errors,
         "wall_untraced_s": off_s,
         "wall_traced_s": on_s,
+        "generating_config": generating_config(),
         "trace": trace,
     }, indent=2) + "\n")

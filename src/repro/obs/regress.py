@@ -77,6 +77,35 @@ def _check_scale_flags(baseline: dict, fresh: dict) -> None:
             )
 
 
+def _check_generating_config(baseline: dict, fresh: dict) -> None:
+    """Refuse to diff records produced under different ``REPRO_*`` modes.
+
+    Benchmark files stamp the resolved mode axes (kernel/launch/fusion
+    mode, backend, trace) as a top-level ``generating_config`` entry. A
+    fresh run whose configuration differs from the baseline's would
+    "regress" (or "improve") by construction — e.g. an archive refreshed
+    under the default ``fusion_mode="phases"`` against a
+    ``persistent``-mode baseline — so that is a usage error, not a
+    verdict. Records without the stamp (pre-stamp archives) are diffed
+    as before.
+    """
+    base_cfg = baseline.get("generating_config")
+    fresh_cfg = fresh.get("generating_config")
+    if not isinstance(base_cfg, dict) or not isinstance(fresh_cfg, dict):
+        return
+    mismatched = {key for key in base_cfg.keys() | fresh_cfg.keys()
+                  if base_cfg.get(key) != fresh_cfg.get(key)}
+    if mismatched:
+        detail = ", ".join(
+            f"{key}: baseline={base_cfg.get(key)!r} vs "
+            f"fresh={fresh_cfg.get(key)!r}" for key in sorted(mismatched))
+        raise ValueError(
+            f"records were generated under different configurations "
+            f"({detail}) — rerun the fresh benchmarks under the baseline's "
+            f"REPRO_* modes before diffing"
+        )
+
+
 def compare_records(baseline: dict, fresh: dict,
                     threshold: float = 0.05) -> list[dict]:
     """Diff two record dicts; returns one row per gated baseline metric.
@@ -91,6 +120,7 @@ def compare_records(baseline: dict, fresh: dict,
     if threshold <= 0:
         raise ValueError(f"threshold must be > 0, got {threshold}")
     _check_scale_flags(baseline, fresh)
+    _check_generating_config(baseline, fresh)
     baseline_metrics = collect_metrics(baseline)
     fresh_metrics = collect_metrics(fresh)
     rows = []

@@ -22,9 +22,9 @@ from repro.obs.regress import (
 )
 
 
-def _record(makespan=1000.0, throughput=50.0, tiny=True):
+def _record(makespan=1000.0, throughput=50.0, tiny=True, fusion=None):
     """A BENCH_*.json-shaped record: benchmark name -> metrics + scale flag."""
-    return {
+    record = {
         "sort_one": {
             "tiny": tiny,
             "makespan_us": makespan,
@@ -37,6 +37,10 @@ def _record(makespan=1000.0, throughput=50.0, tiny=True):
             "pipeline": {"elements_per_us": 40.0, "requests_per_ms": 4.0},
         },
     }
+    if fusion is not None:
+        record["generating_config"] = {"fusion_mode": fusion,
+                                       "backend": "numpy"}
+    return record
 
 
 class TestCollectMetrics:
@@ -115,6 +119,28 @@ class TestCompareRecords:
         with pytest.raises(ValueError):
             compare_records(_record(tiny=True), _record(tiny=False))
 
+    def test_generating_config_mismatch_is_an_error_not_a_verdict(self):
+        # An archive refresh run under the wrong REPRO_* modes would
+        # "regress" by construction — the gate must refuse, naming the axis.
+        with pytest.raises(ValueError, match="fusion_mode"):
+            compare_records(_record(fusion="persistent"),
+                            _record(fusion="phases", makespan=1200.0))
+
+    def test_matching_or_onesided_generating_config_diffs_fine(self):
+        rows = compare_records(_record(fusion="persistent"),
+                               _record(fusion="persistent"))
+        assert verdict(rows) == "pass"
+        # pre-stamp records (no generating_config) keep diffing as before
+        assert verdict(compare_records(_record(),
+                                       _record(fusion="persistent"))) == "pass"
+        assert verdict(compare_records(_record(fusion="persistent"),
+                                       _record())) == "pass"
+
+    def test_generating_config_strings_are_never_gated_metrics(self):
+        metrics = collect_metrics(_record(fusion="persistent"))
+        assert not any(path.startswith("generating_config")
+                       for path in metrics)
+
     def test_zero_baseline_lower_better_growth_regresses(self):
         baseline = {"bench": {"makespan_us": 0.0}}
         assert verdict(compare_records(baseline,
@@ -185,3 +211,38 @@ class TestReportAndCLI:
         rows = compare_files([(path, path) for path in baselines])
         assert rows, "baselines carry no gated metrics"
         assert verdict(rows) == "pass"
+
+
+#: The configuration the committed archives are the product of: the CI
+#: persistent-fusion leg, everything else at its default. A refresh run
+#: under any other REPRO_* modes must not be committed (its deterministic
+#: metrics differ by construction, not by behaviour change).
+ARCHIVE_CONFIG = {
+    "kernel_mode": "vectorized",
+    "launch_mode": "pipelined",
+    "fusion_mode": "persistent",
+    "backend": "numpy",
+    "trace_mode": "off",
+}
+
+
+class TestCommittedArchiveConfig:
+    def test_committed_records_stamp_the_archive_config(self):
+        # Every committed BENCH_*.json — the full-scale archives at the
+        # repository root and the tiny CI baselines — must carry the
+        # persistent-fusion generating_config stamp. A regeneration under
+        # the default phases mode flips the stamp and fails here, instead
+        # of silently archiving 10%+ slower makespans.
+        from pathlib import Path
+        root = Path(__file__).resolve().parents[2]
+        paths = sorted(root.glob("BENCH_*.json")) + \
+            sorted((root / "benchmarks" / "baselines").glob("BENCH_*.json"))
+        assert len(paths) >= 9, f"expected committed archives, got {paths}"
+        for path in paths:
+            record = json.loads(path.read_text())
+            assert record.get("generating_config") == ARCHIVE_CONFIG, (
+                f"{path.name}: generating_config "
+                f"{record.get('generating_config')} != archive config "
+                f"{ARCHIVE_CONFIG} — regenerate with "
+                f"REPRO_FUSION_MODE=persistent (and default other modes)"
+            )
